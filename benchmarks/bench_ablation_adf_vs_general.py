@@ -1,0 +1,41 @@
+"""Ablation A1 — ADF (per-cluster DTH) vs general DF (one global DTH).
+
+The paper's §3.2.2 argument: one global DTH derived from the fleet-average
+velocity is too small for fast nodes (no road traffic reduction) and too
+large for slow nodes (long silences relative to their mobility).  This
+bench quantifies both halves of that claim on identical mobility.
+"""
+
+from repro.experiments import fig6_transmission_rate_by_region
+
+from benchmarks.conftest import print_header
+
+
+def test_adf_vs_general_df(benchmark, paper_run):
+    rates = benchmark(fig6_transmission_rate_by_region, paper_run)
+
+    print_header("A1: ADF vs general DF — where the reduction comes from")
+    print(f"{'policy':<12} {'total reduction':>15} {'road tx':>9} {'bldg tx':>9}")
+    for factor in ("0.75", "1", "1.25"):
+        for prefix in ("adf", "gdf"):
+            name = f"{prefix}-{factor}"
+            reduction = paper_run.reduction_vs_ideal(name)
+            print(
+                f"{name:<12} {reduction:>15.1%} "
+                f"{rates[name]['road']:>9.1%} {rates[name]['building']:>9.1%}"
+            )
+
+    for factor in ("0.75", "1", "1.25"):
+        adf, gdf = rates[f"adf-{factor}"], rates[f"gdf-{factor}"]
+        # The general DF barely filters roads (fast nodes out-run the
+        # fleet-average DTH)...
+        assert gdf["road"] > adf["road"]
+        # ...and over-filters buildings relative to the ADF.
+        assert gdf["building"] < adf["building"]
+
+    # Staleness fairness: the ADF's road error stays proportional to road
+    # speeds; the general DF buys its building reduction with building
+    # errors as large as its road errors (uniform absolute staleness).
+    adf_err = paper_run.lanes["adf-1"].region_errors_with_le
+    gdf_err = paper_run.lanes["gdf-1"].region_errors_with_le
+    assert adf_err.road_to_building_ratio > gdf_err.road_to_building_ratio

@@ -1,0 +1,51 @@
+"""Ablation A4 — smoothing-constant sweep for the Location Estimator.
+
+Brown's method has a single constant alpha trading responsiveness against
+noise rejection.  The sweep shows the estimator is robust across a wide
+band — one reason the paper prefers it over parameter-hungry ARIMA.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+from benchmarks.conftest import print_header
+
+ALPHAS = (0.1, 0.25, 0.4, 0.6, 0.8)
+_DURATION = 120.0
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {}
+    for alpha in ALPHAS:
+        config = ExperimentConfig(
+            duration=_DURATION, dth_factors=(1.25,), smoothing_alpha=alpha
+        )
+        result = run_experiment(config)
+        lane = result.lanes["adf-1.25"]
+        out[alpha] = (
+            lane.mean_rmse(with_le=True),
+            lane.mean_rmse(with_le=False),
+        )
+    return out
+
+
+def test_smoothing_alpha_sweep(benchmark, sweep):
+    def best_alpha():
+        return min(sweep, key=lambda a: sweep[a][0])
+
+    winner = benchmark(best_alpha)
+
+    print_header("A4: Brown smoothing constant sweep (ADF at 1.25 av, 120 s)")
+    print(f"{'alpha':>6} {'rmse w/ LE':>11} {'rmse w/o LE':>12}")
+    for alpha, (with_le, without_le) in sweep.items():
+        marker = "  <- best" if alpha == winner else ""
+        print(f"{alpha:>6} {with_le:>11.2f} {without_le:>12.2f}{marker}")
+
+    # Robustness: every alpha in the band beats no estimation.
+    for with_le, without_le in sweep.values():
+        assert with_le < without_le
+    # And the spread across alphas is modest (flat optimum).
+    values = [v[0] for v in sweep.values()]
+    assert max(values) / min(values) < 2.0

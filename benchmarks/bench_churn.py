@@ -1,0 +1,56 @@
+"""Churn bench: the ADF under node disconnect/reconnect cycles.
+
+Not a paper figure — the paper lists "frequent disconnectivity" as the
+mobile grid's defining constraint but evaluates a fully connected fleet.
+This bench sweeps the disconnect hazard and shows the ADF degrades
+gracefully: reductions hold, errors stay bounded, and each reconnection
+costs exactly the one unconditional first LU.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.churn import churn_study
+
+from benchmarks.conftest import print_header
+
+HAZARDS = (0.0, 0.005, 0.02)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {
+        hazard: churn_study(
+            ExperimentConfig(duration=120.0), disconnect_hazard=hazard
+        )
+        for hazard in HAZARDS
+    }
+
+
+def test_churn_sweep(benchmark, sweep):
+    def stable():
+        return sweep[HAZARDS[0]].reduction - sweep[HAZARDS[-1]].reduction
+
+    reduction_drop = benchmark(stable)
+
+    print_header("Churn: disconnect hazard sweep (ADF at 1.0 av, 120 s)")
+    print(
+        f"{'hazard':>7} {'reduction':>10} {'rmse':>6} "
+        f"{'disconnects':>12} {'reconnect LUs':>14}"
+    )
+    for hazard, r in sweep.items():
+        print(
+            f"{hazard:>7} {r.reduction:>10.1%} {r.mean_rmse:>6.2f} "
+            f"{r.disconnections:>12} {r.reconnection_transmits:>14}"
+        )
+
+    no_churn = sweep[HAZARDS[0]]
+    heavy = sweep[HAZARDS[-1]]
+    assert no_churn.disconnections == 0
+    assert heavy.disconnections > 0
+    # Churn costs a few points of reduction (reconnection LUs), never more.
+    assert 0.0 <= reduction_drop < 0.10
+    # Errors stay bounded through churn.
+    assert heavy.mean_rmse < no_churn.mean_rmse + 3.0
+    # Every reconnection transmits (first LU after forget is unconditional).
+    assert heavy.reconnect_overhead <= 1.0 + 1e-9

@@ -1,0 +1,57 @@
+"""Congestion bench: the ADF's point, in queueing-delay terms.
+
+Not a paper figure — the paper argues LU traffic "increases the system
+load ... in a limited bandwidth environment" but reports only message
+counts.  This bench replays each lane's LU stream through the same
+GPRS-class uplink: the unfiltered stream saturates it (delay in the tens
+of seconds, drops); the ADF streams fit with millisecond-scale delay.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.congestion import congestion_study
+
+from benchmarks.conftest import print_header
+
+
+@pytest.fixture(scope="module")
+def points():
+    return congestion_study(
+        ExperimentConfig(duration=120.0), bandwidth_bps=60_000.0
+    )
+
+
+def test_congestion(benchmark, points):
+    def ideal_vs_best_adf():
+        by_lane = {p.lane: p for p in points}
+        return by_lane["ideal"].mean_delay / max(
+            by_lane["adf-1.25"].mean_delay, 1e-9
+        )
+
+    speedup = benchmark(ideal_vs_best_adf)
+
+    print_header("Congestion: all LUs through one 60 kbit/s uplink (120 s)")
+    print(
+        f"{'lane':<10} {'offered':>8} {'util':>6} {'mean delay':>11} "
+        f"{'max delay':>10} {'drops':>7}"
+    )
+    for p in points:
+        print(
+            f"{p.lane:<10} {p.offered:>8} {p.utilisation:>6.0%} "
+            f"{p.mean_delay:>10.2f}s {p.max_delay:>9.2f}s {p.drop_rate:>7.1%}"
+        )
+
+    by_lane = {p.lane: p for p in points}
+    ideal = by_lane["ideal"]
+    # The unfiltered stream saturates the link...
+    assert ideal.utilisation > 0.95
+    assert ideal.mean_delay > 1.0 or ideal.drop_rate > 0.05
+    # ...while every ADF lane keeps the uplink healthy.
+    for name, p in by_lane.items():
+        if not name.startswith("adf"):
+            continue
+        assert p.drop_rate < ideal.drop_rate + 1e-9, name
+        assert p.mean_delay < ideal.mean_delay, name
+    # And the headline: orders of magnitude of delay saved.
+    assert speedup > 10.0

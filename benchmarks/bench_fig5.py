@@ -1,0 +1,36 @@
+"""Fig. 5 — The number of accumulated LUs over the run.
+
+Paper result (1800 s): ideal accumulates ~243k LUs; the ADF accumulates
+~168k / ~113k / ~56k at DTH = 0.75 / 1.0 / 1.25 av.
+"""
+
+from repro.experiments import fig5_accumulated_lus
+
+from benchmarks.conftest import print_header
+
+#: Accumulated totals reported by the paper for the full 1800 s run.
+PAPER_ACCUMULATED = {
+    "ideal": 243_000,
+    "adf-0.75": 168_000,
+    "adf-1": 113_000,
+    "adf-1.25": 56_000,
+}
+
+
+def test_fig5_accumulated_lus(benchmark, paper_run):
+    series = benchmark(fig5_accumulated_lus, paper_run)
+
+    scale = paper_run.duration / 1800.0
+    print_header("Fig. 5: accumulated LUs (paper values scaled to run length)")
+    print(f"{'lane':<12} {'measured':>10} {'paper (scaled)':>15}")
+    for name in ("ideal", "adf-0.75", "adf-1", "adf-1.25"):
+        _, measured = series[name].last()
+        paper = PAPER_ACCUMULATED[name] * scale
+        print(f"{name:<12} {int(measured):>10d} {int(paper):>15d}")
+
+    # Accumulation is monotone and ordered by DTH factor.
+    for name, s in series.items():
+        values = list(s.values)
+        assert values == sorted(values), f"{name} accumulation not monotone"
+    totals = [series[n].last()[1] for n in ("ideal", "adf-0.75", "adf-1", "adf-1.25")]
+    assert totals == sorted(totals, reverse=True)

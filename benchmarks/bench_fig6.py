@@ -1,0 +1,39 @@
+"""Fig. 6 — Transmission rate of LUs by region (road vs building).
+
+Paper result: at DTH = 0.75 / 1.0 / 1.25 av the ADF transmits 90.4 % /
+57.8 % / 24.0 % of the ideal LUs on roads, and 68.5 % / 47.3 % / 25.6 %
+in buildings — small DTHs filter buildings much harder than roads.
+"""
+
+from repro.experiments import fig6_transmission_rate_by_region
+
+from benchmarks.conftest import print_header
+
+PAPER_RATES = {
+    "adf-0.75": {"road": 0.9044, "building": 0.6854},
+    "adf-1": {"road": 0.5775, "building": 0.4727},
+    "adf-1.25": {"road": 0.2398, "building": 0.2556},
+}
+
+
+def test_fig6_transmission_rate_by_region(benchmark, paper_run):
+    rates = benchmark(fig6_transmission_rate_by_region, paper_run)
+
+    print_header("Fig. 6: transmission rate vs ideal, by region kind")
+    print(f"{'lane':<12} {'road':>8} {'paper':>8} | {'building':>9} {'paper':>8}")
+    for name in ("adf-0.75", "adf-1", "adf-1.25"):
+        measured = rates[name]
+        paper = PAPER_RATES[name]
+        print(
+            f"{name:<12} {measured['road']:>8.1%} {paper['road']:>8.1%} | "
+            f"{measured['building']:>9.1%} {paper['building']:>8.1%}"
+        )
+
+    # Shape: transmission rates fall as DTH grows, for both kinds...
+    for kind in ("road", "building"):
+        ordered = [rates[f"adf-{f}"][kind] for f in ("0.75", "1", "1.25")]
+        assert ordered == sorted(ordered, reverse=True)
+    # ...and buildings are filtered harder than roads at small DTHs
+    # (the paper's headline observation for this figure).
+    assert rates["adf-0.75"]["building"] < rates["adf-0.75"]["road"]
+    assert rates["adf-1"]["building"] < rates["adf-1"]["road"]

@@ -1,0 +1,36 @@
+"""Fig. 7 — RMSE of the location error over time, with vs without LE.
+
+Paper result: the three "without LE" curves sit above the three "with LE"
+curves; at DTH = 1.0 / 0.75 av the Location Estimator cuts the RMSE to
+33.4 % / 47.0 % of the unestimated error.
+"""
+
+from repro.experiments import fig7_rmse_over_time
+
+from benchmarks.conftest import print_header
+
+#: RMSE(with LE) / RMSE(without LE) reported by the paper.
+PAPER_LE_RATIO = {"adf-1": 0.3341, "adf-0.75": 0.4697}
+
+
+def test_fig7_rmse_over_time(benchmark, paper_run):
+    data = benchmark(fig7_rmse_over_time, paper_run)
+
+    print_header("Fig. 7: mean RMSE (m), with vs without the Location Estimator")
+    print(f"{'lane':<12} {'w/o LE':>8} {'w/ LE':>8} {'ratio':>7} {'paper':>7}")
+    for name in ("adf-0.75", "adf-1", "adf-1.25"):
+        without = data[name]["without_le"].mean()
+        with_le = data[name]["with_le"].mean()
+        ratio = with_le / without if without else 1.0
+        paper = PAPER_LE_RATIO.get(name)
+        paper_str = f"{paper:>7.1%}" if paper else f"{'-':>7}"
+        print(f"{name:<12} {without:>8.2f} {with_le:>8.2f} {ratio:>7.1%} {paper_str}")
+
+    # Shape: the LE curve lies below the no-LE curve at every DTH where
+    # filtering is substantial, and errors grow with the DTH factor.
+    for name in ("adf-1", "adf-1.25"):
+        assert data[name]["with_le"].mean() < data[name]["without_le"].mean()
+    without_by_dth = [
+        data[f"adf-{f}"]["without_le"].mean() for f in ("0.75", "1", "1.25")
+    ]
+    assert without_by_dth == sorted(without_by_dth)

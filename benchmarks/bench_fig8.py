@@ -1,0 +1,35 @@
+"""Fig. 8 — RMSE by region kind, WITHOUT the Location Estimator.
+
+Paper result: road RMSE is ~4.5x the building RMSE when the broker keeps
+only the last received fix — road nodes are faster, so a filtered LU hides
+more movement.
+"""
+
+from repro.experiments import fig8_rmse_by_region_without_le
+
+from benchmarks.conftest import print_header
+
+PAPER_ROAD_TO_BUILDING = 4.5
+
+
+def test_fig8_rmse_by_region_without_le(benchmark, paper_run):
+    data = benchmark(fig8_rmse_by_region_without_le, paper_run)
+
+    print_header("Fig. 8: RMSE by region kind, without LE")
+    print(f"{'lane':<12} {'road':>8} {'building':>9} {'ratio':>7}"
+          f"   (paper ratio ~{PAPER_ROAD_TO_BUILDING}x)")
+    for name in ("adf-0.75", "adf-1", "adf-1.25"):
+        row = data[name]
+        print(
+            f"{name:<12} {row['road']:>8.2f} {row['building']:>9.2f} "
+            f"{row['ratio']:>6.1f}x"
+        )
+
+    # Shape: for the ADF, roads dominate buildings by a multiple at every
+    # DTH (the general-DF lanes in the shared run deliberately invert this
+    # — see ablation A1).
+    for name, row in data.items():
+        if not name.startswith("adf"):
+            continue
+        assert row["road"] > row["building"]
+        assert row["ratio"] > 2.0

@@ -1,0 +1,46 @@
+"""Scalability bench: ADF behaviour and cost vs fleet size.
+
+Not a paper figure — the paper fixes 140 MNs; this guards the claim that
+the traffic reduction and cluster structure are size-stable, and tracks
+simulator throughput as the fleet grows.
+"""
+
+import pytest
+
+from repro.experiments.scaling import scaling_sweep
+
+from benchmarks.conftest import print_header
+
+FACTORS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return scaling_sweep(FACTORS, duration=60.0)
+
+
+def test_scaling_sweep(benchmark, points):
+    def spread():
+        reductions = [p.reduction for p in points]
+        return max(reductions) - min(reductions)
+
+    reduction_spread = benchmark(spread)
+
+    print_header("Scaling: ADF at 1.0 av, 60 s, population multiplier sweep")
+    print(
+        f"{'x':>3} {'nodes':>6} {'reduction':>10} {'clusters':>9} "
+        f"{'rmse':>6} {'wall (s)':>9}"
+    )
+    for p in points:
+        print(
+            f"{p.factor:>3} {p.node_count:>6} {p.reduction:>10.1%} "
+            f"{p.clusters:>9.0f} {p.rmse_with_le:>6.2f} {p.wall_seconds:>9.2f}"
+        )
+
+    # The headline reduction is population-size stable (within 10 points).
+    assert reduction_spread < 0.10
+    # Node counts scale exactly with the multiplier.
+    assert [p.node_count for p in points] == [140 * f for f in FACTORS]
+    # Clusters grow sublinearly: the BSAS bound depends on speed diversity,
+    # not on how many nodes share each speed band.
+    assert points[-1].clusters < points[0].clusters * FACTORS[-1]

@@ -1,0 +1,79 @@
+"""Engine throughput benchmarks: how fast the substrate itself runs.
+
+Not a paper figure — these guard against performance regressions in the
+simulation kernel, the ADF pipeline and the HLA federation.
+"""
+
+import pytest
+
+from repro.core import AdaptiveDistanceFilter, AdfConfig
+from repro.experiments import ExperimentConfig
+from repro.experiments.federation import run_federated_experiment
+from repro.experiments.harness import MobileGridExperiment
+from repro.geometry import Vec2
+from repro.network.messages import LocationUpdate
+from repro.simkernel import Simulator
+
+
+def test_event_engine_throughput(benchmark):
+    """Schedule-and-run 10k chained events."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule_in(1.0, tick)
+
+        sim.schedule_in(1.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_adf_pipeline_throughput(benchmark):
+    """Process 1k LUs through the full classify/cluster/filter pipeline."""
+    updates = [
+        LocationUpdate(
+            sender=f"n{i % 20}",
+            timestamp=float(i),
+            node_id=f"n{i % 20}",
+            position=Vec2(float(i), 0.0),
+            velocity=Vec2(2.0, 0.0),
+            region_id="R1",
+        )
+        for i in range(1000)
+    ]
+
+    def run():
+        adf = AdaptiveDistanceFilter(AdfConfig())
+        for update in updates:
+            adf.process(update)
+        return adf.stats.received
+
+    assert benchmark(run) == 1000
+
+
+@pytest.mark.parametrize("seconds", [30.0])
+def test_direct_harness_runtime(benchmark, seconds):
+    """Wall-clock cost of one simulated minute of the full experiment."""
+
+    def run():
+        config = ExperimentConfig(duration=seconds, dth_factors=(1.0,))
+        return MobileGridExperiment(config).run().node_count
+
+    assert benchmark.pedantic(run, rounds=2, iterations=1) == 140
+
+
+def test_federated_runtime(benchmark):
+    """Wall-clock cost of the HLA-federated variant."""
+
+    def run():
+        return run_federated_experiment(
+            ExperimentConfig(duration=30.0), dth_factor=1.0
+        ).reflections
+
+    assert benchmark.pedantic(run, rounds=2, iterations=1) == 140 * 30

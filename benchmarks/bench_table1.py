@@ -1,0 +1,37 @@
+"""Table 1 — Specification of MNs used in the experiments.
+
+Regenerates the paper's population specification table and benchmarks the
+cost of instantiating the full 140-node population.
+"""
+
+from repro.campus import default_campus
+from repro.experiments import table1_specification
+from repro.mobility.population import build_population, table1_spec
+from repro.util.rng import RngRegistry
+
+from benchmarks.conftest import print_header
+
+
+def test_table1_rows(benchmark):
+    rows = benchmark(table1_specification)
+    print_header("Table 1: Specification of MN used in experiments")
+    print(f"{'Region':<10} {'#R':>3} {'MP':<4} {'Type':<8} {'#MN':>4} {'VR':<10}")
+    for row in rows:
+        print(
+            f"{row.region_kind:<10} {row.region_count:>3} "
+            f"{row.mobility_pattern:<4} {row.node_type:<8} "
+            f"{row.node_count:>4} {row.velocity_range:<10}"
+        )
+    total = sum(r.node_count for r in rows)
+    print(f"{'Total':<28} {total:>4}   (paper: 140)")
+    assert total == 140
+
+
+def test_population_construction(benchmark):
+    campus = default_campus()
+
+    def build():
+        return build_population(campus, table1_spec(), RngRegistry(42))
+
+    nodes = benchmark(build)
+    assert len(nodes) == 140

@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures.
+
+The full paper run (140 MNs x 1800 s) takes minutes in pure Python, so the
+benchmarks default to a 300-second run that already exhibits every
+qualitative result.  Set ``REPRO_BENCH_DURATION=1800`` for the full paper
+configuration (this is what EXPERIMENTS.md records).
+
+Each ``bench_*`` module prints the rows/series of one paper table or
+figure; the pytest-benchmark timings measure the regeneration cost of the
+corresponding analysis on top of the shared simulation run.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+__all__ = ["bench_duration", "paper_run"]
+
+
+def bench_duration() -> float:
+    """Simulated seconds per benchmark run (env: REPRO_BENCH_DURATION)."""
+    return float(os.environ.get("REPRO_BENCH_DURATION", "300"))
+
+
+@pytest.fixture(scope="session")
+def paper_run():
+    """One shared evaluation run (all ADF lanes + general-DF lanes)."""
+    config = ExperimentConfig(
+        duration=bench_duration(),
+        include_general_df=True,
+    )
+    return run_experiment(config)
+
+
+def print_header(title: str) -> None:
+    """Uniform banner so benchmark output reads as a report."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")

@@ -1,0 +1,60 @@
+"""Deeper analysis: replication statistics, classifier quality, energy.
+
+Goes beyond the paper's single-run numbers:
+
+1. replicates the headline experiment across seeds and reports the
+   traffic reduction and RMSE with 95 % confidence intervals;
+2. scores the Fig. 2 mobility classifier per class (confusion matrix);
+3. converts the saved LUs into battery watt-hours per device class — the
+   "low battery capacity" motivation, made measurable;
+4. renders the Fig. 4 curves as an ASCII chart.
+
+Usage::
+
+    python examples/analysis_report.py [duration_seconds]
+"""
+
+import sys
+
+from repro.analysis import (
+    energy_report,
+    evaluate_classifier,
+    replicate,
+    summarize_metric,
+)
+from repro.experiments import ExperimentConfig, fig4_lus_per_second
+from repro.experiments.harness import MobileGridExperiment
+from repro.viz import line_chart
+
+
+def main() -> None:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 90.0
+    config = ExperimentConfig(duration=duration, dth_factors=(1.0,))
+
+    print(f"1) Replication across seeds (3 x {duration:g}s) ...")
+    results = replicate(config, seeds=[1, 2, 3])
+    for metric, extractor in (
+        ("LU reduction (adf-1)", lambda r: r.reduction_vs_ideal("adf-1")),
+        ("mean RMSE w/ LE (m)", lambda r: r.lanes["adf-1"].mean_rmse(with_le=True)),
+        ("classifier accuracy", lambda r: r.classification_accuracy),
+    ):
+        print(f"   {summarize_metric(results, extractor, metric=metric)}")
+
+    print("\n2) Mobility classifier confusion matrix:")
+    matrix = evaluate_classifier(config, duration=min(duration, 120.0))
+    for line in matrix.render().splitlines():
+        print(f"   {line}")
+
+    print("\n3) Transmission energy (one run):")
+    experiment = MobileGridExperiment(config)
+    result = experiment.run()
+    report = energy_report(result, experiment.nodes)
+    for line in report.render().splitlines():
+        print(f"   {line}")
+
+    print("\n4) Fig. 4 as an ASCII chart:")
+    print(line_chart(fig4_lus_per_second(result), height=10))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Battery-aware filtering: trade location accuracy for node lifetime.
+
+A beyond-paper extension built from the paper's own motivation ("low
+battery capacity"): wrap the ADF's cluster-derived DTH in
+:class:`~repro.core.BatteryAwareDth`, so a node's threshold grows as its
+battery drains — fewer transmissions, longer life, coarser location.
+
+The script runs two identical cell-phone walkers side by side, one with a
+healthy battery and one nearly empty, drains batteries per transmitted LU,
+and reports transmissions, battery trajectories and location error.
+
+Usage::
+
+    python examples/battery_saver.py
+"""
+
+from repro.broker import GridBroker, ResourceRegistry
+from repro.core import (
+    AdaptiveDistanceFilter,
+    AdfConfig,
+    BatteryAwareDth,
+    FilterDecision,
+)
+from repro.geometry import Path, Vec2
+from repro.mobility import MobileNode
+from repro.mobility.models import LinearPathModel, ShuttlePlanner
+from repro.mobility.states import DeviceType, VelocityBand
+from repro.network.messages import LocationUpdate
+from repro.util.rng import RngRegistry
+
+
+def main() -> None:
+    rng = RngRegistry(5)
+    registry = ResourceRegistry()
+    nodes = {}
+    for name, battery in (("healthy", 1.0), ("dying", 0.15)):
+        path = Path([Vec2(0, 0), Vec2(400, 0)])
+        model = LinearPathModel(
+            Vec2(0, 0),
+            ShuttlePlanner(path),
+            VelocityBand(1.5, 2.5),
+            rng.stream(name),
+        )
+        nodes[name] = MobileNode(name, model, device=DeviceType.CELL_PHONE)
+        registry.register(name, DeviceType.CELL_PHONE)
+        registry.set_battery(name, battery)
+        # Exaggerate the per-LU cost so 20 minutes shows a visible drain.
+        registry.drain(name, 0.0)
+
+    adf = AdaptiveDistanceFilter(AdfConfig(dth_factor=1.0))
+    # Swap in the battery-aware policy on top of the ADF's cluster DTH.
+    adf.dth_policy = BatteryAwareDth(
+        adf.dth_policy, registry.battery, max_boost=4.0, critical_level=0.2
+    )
+    broker = GridBroker()
+
+    sent = {name: 0 for name in nodes}
+    errors = {name: [] for name in nodes}
+    duration = 1200
+    per_lu_wh = 0.002  # exaggerated: real radios cost ~1e-4 Wh per message
+
+    for t in range(1, duration + 1):
+        for name, node in nodes.items():
+            sample = node.advance(1.0)
+            update = LocationUpdate(
+                sender=name,
+                timestamp=float(t),
+                node_id=name,
+                position=sample.position,
+                velocity=sample.velocity,
+                region_id="road",
+            )
+            if adf.process(update) is FilterDecision.TRANSMIT:
+                sent[name] += 1
+                registry.drain(name, per_lu_wh)
+                broker.receive_update(update)
+        adf.tick(float(t))
+        broker.tick(float(t))
+        for name, node in nodes.items():
+            believed = broker.location_db.position_of(name)
+            if believed is not None:
+                errors[name].append(node.position.distance_to(believed))
+
+    print(f"Two identical walkers, {duration}s, battery-aware ADF "
+          f"(DTH x4 at <20% battery):\n")
+    print(f"{'node':<9} {'LUs sent':>9} {'battery now':>12} "
+          f"{'mean error':>11} {'current DTH':>12}")
+    for name in nodes:
+        mean_error = sum(errors[name]) / len(errors[name])
+        print(
+            f"{name:<9} {sent[name]:>9} {registry.battery(name):>11.1%} "
+            f"{mean_error:>10.2f}m {adf.dth_policy.dth_for(name):>11.2f}m"
+        )
+    saved = 1 - sent["dying"] / sent["healthy"]
+    print(
+        f"\nThe dying node transmitted {saved:.0%} less than its healthy "
+        f"twin on the same walk, at the cost of a coarser (but bounded) "
+        f"broker view — the battery-motivated trade the paper gestures at, "
+        f"as a drop-in DthPolicy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Why the broker needs locations at all: proximity-aware grid scheduling.
+
+The mobile grid's purpose is harvesting MN compute.  This script runs the
+campus population, lets the broker track (filtered + estimated) locations,
+registers every MN's device capability, and schedules a bag-of-tasks job to
+the nodes believed nearest the chemistry building.  It then measures how
+often the broker's belief picked a node that was *actually* among the
+nearest — i.e. how location error propagates into scheduling quality.
+
+Usage::
+
+    python examples/grid_scheduling.py
+"""
+
+from repro import ExperimentConfig
+from repro.broker import GridScheduler, Job, ResourceRegistry, SchedulingPolicy
+from repro.experiments.harness import MobileGridExperiment
+from repro.geometry import Vec2
+
+
+def main() -> None:
+    config = ExperimentConfig(duration=120.0, dth_factors=(1.25,))
+    experiment = MobileGridExperiment(config)
+    print(f"Running {len(experiment.nodes)} MNs for {config.duration:g}s ...")
+    experiment.run()
+
+    lane = experiment.lanes[1]  # the adf-1.25 lane
+    broker = lane.broker_with_le
+    registry = ResourceRegistry()
+    for node in experiment.nodes:
+        registry.register(node.node_id, node.device)
+
+    anchor = experiment.campus.region("B3").bounds.center
+    now = config.duration
+    scheduler = GridScheduler(broker, registry, policy=SchedulingPolicy.PROXIMITY)
+
+    job = Job.uniform(n_tasks=20, mega_instructions=5000.0, submitted_at=now)
+    assigned = scheduler.schedule(job, now, anchor=anchor)
+    print(f"\nAssigned {assigned} tasks near B3 (chemistry building).")
+
+    # Score: of the chosen nodes, how many are truly among the 20 closest?
+    truly_nearest = {
+        n.node_id
+        for n in sorted(
+            experiment.nodes, key=lambda n: n.position.distance_to(anchor)
+        )[:20]
+    }
+    chosen = {t.assigned_to for t in job.assigned_tasks()}
+    overlap = len(chosen & truly_nearest)
+    print(
+        f"{overlap}/{len(chosen)} chosen nodes are genuinely among the 20 "
+        f"closest — the residual is the cost of filtered/estimated locations."
+    )
+
+    # Drive the job to completion.
+    makespan = scheduler.run_job(job, start=now, anchor=anchor)
+    print(f"Job completed; makespan {makespan:.0f} s "
+          f"({scheduler.tasks_completed} tasks).")
+
+    sample = experiment.nodes[0]
+    believed = broker.believed_position(sample.node_id, now)
+    assert believed is not None
+    print(
+        f"\nExample belief: {sample.node_id} is at "
+        f"({sample.position.x:.0f}, {sample.position.y:.0f}), broker believes "
+        f"({believed.x:.0f}, {believed.y:.0f}) — error "
+        f"{sample.position.distance_to(believed):.1f} m."
+    )
+
+
+if __name__ == "__main__":
+    main()

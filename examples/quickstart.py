@@ -1,0 +1,38 @@
+"""Quickstart: run the paper's evaluation and print the full report.
+
+Usage::
+
+    python examples/quickstart.py [duration_seconds]
+
+The paper uses 1800 s; the default here is 300 s, which already shows every
+qualitative result (LU reduction per DTH, road-vs-building split, and the
+Location Estimator's error reduction).
+"""
+
+import sys
+
+from repro import ExperimentConfig, render_report, run_experiment
+
+
+def main() -> None:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 300.0
+    config = ExperimentConfig(duration=duration)
+    print(
+        f"Simulating {config.population.total_for(5, 6)} mobile nodes "
+        f"for {duration:g} s ..."
+    )
+    result = run_experiment(config)
+    print(render_report(result))
+
+    best = max(result.adf_lanes(), key=lambda lane: result.reduction_vs_ideal(lane.name))
+    print(
+        f"Headline: the ADF at {best.dth_factor:g}x average velocity cut "
+        f"location-update traffic by {result.reduction_vs_ideal(best.name):.0%} "
+        f"while the Location Estimator kept mean location error at "
+        f"{best.mean_rmse(with_le=True):.2f} m "
+        f"(vs {best.mean_rmse(with_le=False):.2f} m without estimation)."
+    )
+
+
+if __name__ == "__main__":
+    main()

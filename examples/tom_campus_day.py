@@ -1,0 +1,83 @@
+"""Tom's day (paper §3.1): one student's itinerary through the ADF.
+
+Replays the paper's 11-case scenario — bus stop, library, lecture, coffee
+break, chemistry lab, part-time job — with the day compressed 60x so it runs
+in seconds.  For each itinerary phase the script reports the ground-truth
+mobility pattern, what the ADF's classifier said, and how many of Tom's
+location updates the distance filter suppressed.
+
+Usage::
+
+    python examples/tom_campus_day.py
+"""
+
+from collections import Counter
+
+from repro import AdaptiveDistanceFilter, AdfConfig, default_campus
+from repro.core.distance_filter import FilterDecision
+from repro.mobility import MobileNode, ItineraryModel, tom_itinerary
+from repro.network.messages import LocationUpdate
+from repro.util.rng import RngRegistry
+
+
+def main() -> None:
+    campus = default_campus()
+    rng = RngRegistry(seed=7)
+    itinerary = tom_itinerary(compressed=True)
+    model = ItineraryModel(campus, itinerary, rng.stream("tom"))
+    tom = MobileNode("tom", model, home_region="B4")
+
+    adf = AdaptiveDistanceFilter(AdfConfig(dth_factor=1.0, recluster_interval=10.0))
+
+    per_state: Counter[str] = Counter()
+    transmitted_per_state: Counter[str] = Counter()
+    agreement = 0
+    observations = 0
+
+    t = 0.0
+    dt = 1.0
+    print(f"Walking Tom through '{itinerary.name}' ({len(itinerary.steps)} steps)...")
+    while not model.finished:
+        t += dt
+        sample = tom.advance(dt)
+        truth = model.current_state
+        update = LocationUpdate(
+            sender="tom",
+            timestamp=t,
+            node_id="tom",
+            position=sample.position,
+            velocity=sample.velocity,
+            region_id="",
+        )
+        decision = adf.process(update)
+        adf.tick(t)
+        per_state[truth.value] += 1
+        if decision is FilterDecision.TRANSMIT:
+            transmitted_per_state[truth.value] += 1
+        label = adf.label_of("tom")
+        if label is not None:
+            observations += 1
+            if label is truth:
+                agreement += 1
+        if t > 36000:
+            raise RuntimeError("itinerary failed to finish")
+
+    print(f"\nDay finished after {t:.0f} simulated seconds (60x compressed).")
+    print(f"Classifier agreed with ground truth {agreement / observations:.0%} "
+          f"of the time.\n")
+    print(f"{'pattern':<8} {'seconds':>8} {'LUs sent':>9} {'suppressed':>11}")
+    for state in ("SS", "RMS", "LMS"):
+        total = per_state.get(state, 0)
+        sent = transmitted_per_state.get(state, 0)
+        if total == 0:
+            continue
+        print(f"{state:<8} {total:>8d} {sent:>9d} {1 - sent / total:>10.0%}")
+    print(
+        "\nNote how the filter suppresses nearly everything while Tom sits "
+        "in the library (SS), most updates while he mills about the lab "
+        "(RMS), and the fewest while he walks between buildings (LMS)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""DTH sweep and ADF-vs-general-DF comparison (the paper's §3.2.2 claim).
+
+The paper's complaint about the general DF (one global DTH from the fleet
+average velocity) is that "the DTH size can be large for some MNs and vice
+versa": a threshold sized for the ~2 m/s fleet average is *smaller* than a
+vehicle's per-second displacement — so fast road nodes transmit every
+interval and see no traffic reduction at all — while being *larger* than a
+building walker's displacement, silencing slow nodes for long stretches
+relative to their own mobility.  The ADF's per-cluster DTH scales the
+threshold to each group's speed instead.
+
+This script sweeps the DTH factor for both policies on identical mobility
+and prints, per factor: total reduction, the road/building split of the
+transmission rate, and the location error *normalised by node speed* (how
+stale a node's position is, measured in seconds of its own movement).
+
+Usage::
+
+    python examples/traffic_sweep.py [duration_seconds]
+"""
+
+import sys
+
+from repro import ExperimentConfig, run_experiment
+
+
+def main() -> None:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 240.0
+    factors = (0.75, 1.0, 1.25)
+    config = ExperimentConfig(
+        duration=duration,
+        dth_factors=factors,
+        include_general_df=True,
+    )
+    print(
+        f"Sweeping DTH factors {factors} over {duration:g}s "
+        f"(ADF and general DF lanes share identical mobility)...\n"
+    )
+    result = run_experiment(config)
+
+    header = (
+        f"{'policy':<10} {'reduction':>9} | {'road tx':>8} {'bldg tx':>8} | "
+        f"{'rmse':>6} {'road rmse':>9} {'bldg rmse':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for factor in factors:
+        for prefix in ("adf", "gdf"):
+            name = f"{prefix}-{factor:g}"
+            lane = result.lanes[name]
+            rates = result.transmission_rate_by_kind(name)
+            errors = lane.region_errors_with_le
+            print(
+                f"{name:<10} {result.reduction_vs_ideal(name):>9.1%} | "
+                f"{rates['road']:>8.1%} {rates['building']:>8.1%} | "
+                f"{lane.mean_rmse(with_le=True):>6.2f} "
+                f"{errors.road_rmse:>9.2f} {errors.building_rmse:>9.2f}"
+            )
+        print("-" * len(header))
+
+    print(
+        "\nReading: the general DF gets its reduction almost entirely from "
+        "the buildings — its global threshold exceeds what slow indoor "
+        "nodes move per interval — while road traffic passes nearly "
+        "unfiltered (the paper: an unsuitable DTH 'will fail to reduce "
+        "communication traffic effectively').  The ADF spreads the "
+        "reduction across both kinds because each cluster's threshold "
+        "tracks its members' velocity, keeping every node's staleness "
+        "proportional to its own mobility rather than to the fleet average."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro — Adaptive Distance Filter-based Traffic Reduction for Mobile Grid.
+
+A from-scratch reproduction of Kim, Jang & Lee (ICDCS Workshops 2007).  The
+package builds the full stack the paper's evaluation depends on: a campus
+world model, SS/RMS/LMS mobility, a wireless gateway/channel substrate, a
+simplified HLA run-time infrastructure, the Adaptive Distance Filter itself
+(mobility classification, sequential clustering, per-cluster distance
+thresholds), and a grid broker with Brown's double-exponential-smoothing
+location estimation.
+
+Quickstart::
+
+    from repro import ExperimentConfig, run_experiment, render_report
+
+    result = run_experiment(ExperimentConfig(duration=300.0))
+    print(render_report(result))
+"""
+
+from repro.core import (
+    AdaptiveDistanceFilter,
+    AdfConfig,
+    ClassifierConfig,
+    DistanceFilter,
+    FilterDecision,
+    GeneralDistanceFilterPolicy,
+    IdealLUPolicy,
+    MobilityClassifier,
+    MotionFeature,
+    SequentialClusterer,
+)
+from repro.broker import BrokerConfig, GridBroker, GridScheduler, ResourceRegistry
+from repro.campus import Campus, default_campus
+from repro.estimation import BrownTracker, LastKnownTracker, rmse
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentResult,
+    MobileGridExperiment,
+    render_report,
+    run_experiment,
+)
+from repro.geometry import Vec2
+from repro.mobility import MobileNode, build_population, table1_spec, tom_itinerary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveDistanceFilter",
+    "AdfConfig",
+    "ClassifierConfig",
+    "MobilityClassifier",
+    "MotionFeature",
+    "SequentialClusterer",
+    "DistanceFilter",
+    "FilterDecision",
+    "IdealLUPolicy",
+    "GeneralDistanceFilterPolicy",
+    "GridBroker",
+    "BrokerConfig",
+    "GridScheduler",
+    "ResourceRegistry",
+    "Campus",
+    "default_campus",
+    "BrownTracker",
+    "LastKnownTracker",
+    "rmse",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "MobileGridExperiment",
+    "run_experiment",
+    "render_report",
+    "Vec2",
+    "MobileNode",
+    "build_population",
+    "table1_spec",
+    "tom_itinerary",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Post-hoc analysis: replication statistics, classifier quality, energy.
+
+The paper reports single-run numbers; a production reproduction should
+also quantify run-to-run variance (:mod:`~repro.analysis.multirun`), the
+mobility classifier's confusion structure
+(:mod:`~repro.analysis.confusion`) and the battery impact of the saved
+traffic (:mod:`~repro.analysis.energy`) — the paper's motivating "low
+battery capacity" constraint, made measurable.
+"""
+
+from repro.analysis.multirun import MetricSummary, replicate, summarize_metric
+from repro.analysis.confusion import ConfusionMatrix, evaluate_classifier
+from repro.analysis.energy import EnergyReport, energy_report
+from repro.analysis.traffic_stats import (
+    TrafficShape,
+    gini,
+    lorenz_curve,
+    traffic_shape,
+)
+
+__all__ = [
+    "MetricSummary",
+    "replicate",
+    "summarize_metric",
+    "ConfusionMatrix",
+    "evaluate_classifier",
+    "EnergyReport",
+    "energy_report",
+    "TrafficShape",
+    "gini",
+    "lorenz_curve",
+    "traffic_shape",
+]

@@ -1,0 +1,130 @@
+"""Classifier-quality analysis: confusion matrix against ground truth.
+
+The Table-1 population carries each node's *generating* pattern, so we can
+score the ADF's Fig. 2 classifier per class rather than with a single
+accuracy number: SS/RMS confusion (a pausing wanderer looks stopped) is
+qualitatively different from LMS/RMS confusion (a corner-turning walker
+looks erratic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.campus import default_campus
+from repro.core.adf import AdaptiveDistanceFilter, AdfConfig
+from repro.experiments.config import ExperimentConfig
+from repro.mobility.population import build_population
+from repro.mobility.states import MobilityState
+from repro.network.messages import LocationUpdate
+from repro.util.rng import RngRegistry
+
+__all__ = ["ConfusionMatrix", "evaluate_classifier"]
+
+_STATES = (MobilityState.STOP, MobilityState.RANDOM, MobilityState.LINEAR)
+
+
+@dataclass
+class ConfusionMatrix:
+    """Counts of (true pattern, predicted pattern) observations."""
+
+    counts: dict[tuple[MobilityState, MobilityState], int] = field(
+        default_factory=dict
+    )
+
+    def record(self, truth: MobilityState, predicted: MobilityState) -> None:
+        """Add one observation."""
+        key = (truth, predicted)
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    def total(self) -> int:
+        """All observations."""
+        return sum(self.counts.values())
+
+    def correct(self) -> int:
+        """Observations on the diagonal."""
+        return sum(v for (t, p), v in self.counts.items() if t is p)
+
+    @property
+    def accuracy(self) -> float:
+        """Overall fraction correct."""
+        total = self.total()
+        return self.correct() / total if total else 0.0
+
+    def support(self, truth: MobilityState) -> int:
+        """Observations whose ground truth is *truth*."""
+        return sum(v for (t, _), v in self.counts.items() if t is truth)
+
+    def recall(self, truth: MobilityState) -> float:
+        """Fraction of *truth* observations labelled correctly."""
+        support = self.support(truth)
+        if support == 0:
+            return 0.0
+        return self.counts.get((truth, truth), 0) / support
+
+    def precision(self, predicted: MobilityState) -> float:
+        """Fraction of *predicted* labels that were correct."""
+        labelled = sum(v for (_, p), v in self.counts.items() if p is predicted)
+        if labelled == 0:
+            return 0.0
+        return self.counts.get((predicted, predicted), 0) / labelled
+
+    def render(self) -> str:
+        """A small text table, rows = truth, columns = prediction."""
+        header = "truth\\pred " + " ".join(f"{s.value:>7}" for s in _STATES)
+        lines = [header]
+        for truth in _STATES:
+            row = " ".join(
+                f"{self.counts.get((truth, p), 0):>7d}" for p in _STATES
+            )
+            lines.append(f"{truth.value:<10} {row}")
+        lines.append(f"accuracy: {self.accuracy:.1%} over {self.total()} samples")
+        return "\n".join(lines)
+
+
+def evaluate_classifier(
+    config: ExperimentConfig | None = None,
+    *,
+    duration: float = 120.0,
+    warmup: float = 15.0,
+) -> ConfusionMatrix:
+    """Run the Table-1 population through the ADF classifier and score it.
+
+    Observations during the first *warmup* seconds are excluded — the
+    classifier's window needs to fill before its label is meaningful (the
+    paper likewise separates initial recognition from steady state).
+    """
+    config = config or ExperimentConfig()
+    campus = default_campus()
+    nodes = build_population(campus, config.population, RngRegistry(config.seed))
+    adf = AdaptiveDistanceFilter(
+        AdfConfig(
+            dth_factor=1.0,
+            alpha=config.alpha,
+            recluster_interval=config.recluster_interval,
+        )
+    )
+    matrix = ConfusionMatrix()
+    dt = config.report_interval
+    steps = int(round(duration / dt))
+    for i in range(1, steps + 1):
+        now = i * dt
+        for node in nodes:
+            sample = node.advance(dt)
+            adf.process(
+                LocationUpdate(
+                    sender=node.node_id,
+                    timestamp=now,
+                    node_id=node.node_id,
+                    position=sample.position,
+                    velocity=sample.velocity,
+                    region_id=node.home_region,
+                )
+            )
+            if now <= warmup or node.true_state is None:
+                continue
+            label = adf.label_of(node.node_id)
+            if label is not None:
+                matrix.record(node.true_state, label)
+        adf.tick(now)
+    return matrix

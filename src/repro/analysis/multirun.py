@@ -1,0 +1,82 @@
+"""Replication across seeds and confidence intervals."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, replace
+
+import numpy as np
+from scipy import stats
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import run_experiment
+from repro.experiments.results import ExperimentResult
+
+__all__ = ["replicate", "MetricSummary", "summarize_metric"]
+
+
+def replicate(
+    config: ExperimentConfig, seeds: Sequence[int]
+) -> list[ExperimentResult]:
+    """Run the experiment once per seed (everything else identical)."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return [run_experiment(replace(config, seed=seed)) for seed in seeds]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean and spread of one scalar metric over replications."""
+
+    metric: str
+    n: int
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def half_width(self) -> float:
+        """Half-width of the confidence interval."""
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def contains(self, value: float) -> bool:
+        """True when *value* lies inside the confidence interval."""
+        return self.ci_low <= value <= self.ci_high
+
+    def __str__(self) -> str:
+        return (
+            f"{self.metric}: {self.mean:.3f} ± {self.half_width:.3f} "
+            f"(95% CI, n={self.n})"
+        )
+
+
+def summarize_metric(
+    results: Sequence[ExperimentResult],
+    extractor: Callable[[ExperimentResult], float],
+    *,
+    metric: str = "metric",
+    confidence: float = 0.95,
+) -> MetricSummary:
+    """Mean ± t-interval of ``extractor(result)`` over the replications.
+
+    For a single replication the interval degenerates to the point value.
+    """
+    values = np.array([extractor(result) for result in results], dtype=float)
+    n = values.size
+    if n == 0:
+        raise ValueError("no results to summarise")
+    mean = float(values.mean())
+    if n == 1:
+        return MetricSummary(metric, 1, mean, 0.0, mean, mean)
+    std = float(values.std(ddof=1))
+    sem = std / np.sqrt(n)
+    t_crit = float(stats.t.ppf((1 + confidence) / 2, df=n - 1))
+    return MetricSummary(
+        metric=metric,
+        n=n,
+        mean=mean,
+        std=std,
+        ci_low=mean - t_crit * sem,
+        ci_high=mean + t_crit * sem,
+    )

@@ -1,0 +1,32 @@
+"""The grid broker: location bookkeeping, estimation and job scheduling.
+
+Per the paper's architecture the broker holds a **location DB** and a
+**location estimator**: received LUs are stored as ground truth; when a
+node's LUs are filtered, the broker stores an *estimated* location instead.
+On top of that sits the mobile-grid workload that motivates the whole
+exercise — a resource registry of MN capabilities and a proximity/battery
+aware job scheduler that consumes the broker's location view.
+"""
+
+from repro.broker.location_db import LocationDB, LocationRecord, RecordSource
+from repro.broker.broker import BrokerConfig, GridBroker
+from repro.broker.resources import DeviceProfile, ResourceRegistry, device_profile
+from repro.broker.jobs import Job, JobState, Task, TaskState
+from repro.broker.scheduler import GridScheduler, SchedulingPolicy
+
+__all__ = [
+    "LocationDB",
+    "LocationRecord",
+    "RecordSource",
+    "BrokerConfig",
+    "GridBroker",
+    "DeviceProfile",
+    "ResourceRegistry",
+    "device_profile",
+    "Job",
+    "JobState",
+    "Task",
+    "TaskState",
+    "GridScheduler",
+    "SchedulingPolicy",
+]

@@ -1,0 +1,210 @@
+"""The grid broker (paper §3.4, "Grid Broker" component).
+
+Behaviour, straight from the paper: "If the LUs of the MN are received, then
+the grid broker stores this information to the location DB.  On the other
+hand, if the LUs are filtered, the grid broker uses the location estimator
+to predict the location of the MN and the grid broker stores an estimated
+location of the MN to the location DB."
+
+The broker is driven two ways:
+
+* :meth:`receive_update` — an LU survived the ADF and arrived;
+* :meth:`tick` — once per reporting interval the broker sweeps its known
+  nodes; any node silent this interval gets an estimated record.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.broker.location_db import LocationDB, LocationRecord, RecordSource
+from repro.estimation.arima_tracker import ArimaTracker
+from repro.estimation.kalman import KalmanTracker
+from repro.estimation.tracker import (
+    BrownTracker,
+    HoltTracker,
+    LastKnownTracker,
+    LocationTracker,
+    SimpleSmoothingTracker,
+    VelocityComponentTracker,
+)
+from repro.geometry import Vec2
+from repro.network.messages import LocationUpdate
+from repro.util.validation import check_positive
+
+__all__ = ["BrokerConfig", "GridBroker"]
+
+TrackerFactory = Callable[[], LocationTracker]
+
+#: Named estimator families selectable via :class:`BrokerConfig`.
+_ESTIMATORS: dict[str, Callable[[float], LocationTracker]] = {
+    "brown": lambda alpha: BrownTracker(alpha),
+    "simple": lambda alpha: SimpleSmoothingTracker(alpha),
+    "holt": lambda alpha: HoltTracker(alpha),
+    "velocity": lambda alpha: VelocityComponentTracker(alpha),
+    "kalman": lambda alpha: KalmanTracker(),
+    "arima": lambda alpha: ArimaTracker(),
+}
+
+
+@dataclass(frozen=True)
+class BrokerConfig:
+    """Broker tunables.
+
+    ``use_location_estimator`` toggles the paper's LE on/off (the with/
+    without-LE comparison of Figs. 7-9).  ``estimator`` names the tracker
+    family used when the LE is on — ``"brown"`` (the paper's choice),
+    ``"simple"``, ``"holt"``, ``"velocity"``, ``"kalman"`` or
+    ``"arima"`` — see ablation A3 for the measured comparison.
+    ``smoothing_alpha`` is the smoothing constant where applicable.
+    """
+
+    use_location_estimator: bool = True
+    estimator: str = "brown"
+    smoothing_alpha: float = 0.4
+    report_interval: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.report_interval, "report_interval")
+        if self.estimator not in _ESTIMATORS:
+            raise ValueError(
+                f"unknown estimator {self.estimator!r}; "
+                f"choose from {sorted(_ESTIMATORS)}"
+            )
+
+
+class GridBroker:
+    """Location consumer and estimator of the mobile grid."""
+
+    def __init__(
+        self,
+        config: BrokerConfig | None = None,
+        *,
+        tracker_factory: TrackerFactory | None = None,
+    ) -> None:
+        self.config = config or BrokerConfig()
+        if tracker_factory is not None:
+            self._tracker_factory: TrackerFactory = tracker_factory
+        elif self.config.use_location_estimator:
+            alpha = self.config.smoothing_alpha
+            make = _ESTIMATORS[self.config.estimator]
+            self._tracker_factory = lambda: make(alpha)
+        else:
+            self._tracker_factory = LastKnownTracker
+        self.location_db = LocationDB()
+        self._trackers: dict[str, LocationTracker] = {}
+        self._updated_since_tick: set[str] = set()
+        self.updates_received = 0
+        self.estimates_made = 0
+
+    # -- LU ingestion --------------------------------------------------------
+    def receive_update(self, update: LocationUpdate) -> None:
+        """Store a received LU and feed the node's tracker."""
+        self.updates_received += 1
+        tracker = self._tracker_for(update.node_id)
+        cap = update.dth if update.dth > 0 else None
+        # Map-matched trackers additionally consume the LU's region tag.
+        from repro.estimation.map_matched import MapMatchedTracker
+
+        if isinstance(tracker, MapMatchedTracker):
+            tracker.update(
+                update.timestamp,
+                update.position,
+                update.velocity,
+                displacement_cap=cap,
+                region_id=update.region_id or None,
+            )
+        else:
+            tracker.update(
+                update.timestamp,
+                update.position,
+                update.velocity,
+                displacement_cap=cap,
+            )
+        self.location_db.store(
+            LocationRecord(
+                node_id=update.node_id,
+                time=update.timestamp,
+                position=update.position,
+                source=RecordSource.RECEIVED,
+            )
+        )
+        self._updated_since_tick.add(update.node_id)
+
+    # -- the estimation sweep ------------------------------------------------
+    def tick(self, now: float) -> int:
+        """Estimate positions for nodes silent since the last tick.
+
+        Returns how many estimates were stored.  The paper's broker "waits
+        for the LU from the ADF; ... if the grid broker does not receive
+        the LU, then the grid broker estimates the location of the MN".
+        """
+        estimated = 0
+        for node_id, tracker in self._trackers.items():
+            if node_id in self._updated_since_tick:
+                continue
+            if not tracker.has_fix:
+                continue
+            position = tracker.predict(now)
+            self.location_db.store(
+                LocationRecord(
+                    node_id=node_id,
+                    time=now,
+                    position=position,
+                    source=RecordSource.ESTIMATED,
+                )
+            )
+            estimated += 1
+        self.estimates_made += estimated
+        self._updated_since_tick.clear()
+        return estimated
+
+    # -- queries ------------------------------------------------------------------
+    def believed_position(self, node_id: str, now: float | None = None) -> Vec2 | None:
+        """The broker's best current belief of a node's position.
+
+        Prefers a live tracker prediction at *now* when available (fresher
+        than the last stored record); otherwise the latest DB record.
+        """
+        tracker = self._trackers.get(node_id)
+        if tracker is not None and tracker.has_fix and now is not None:
+            return tracker.predict(now)
+        return self.location_db.position_of(node_id)
+
+    def known_nodes(self) -> list[str]:
+        """Every node the broker has ever heard from."""
+        return list(self._trackers)
+
+    def fix_age(self, node_id: str, now: float) -> float | None:
+        """Seconds since the node's last *received* LU (None if never).
+
+        Estimated records do not refresh the age — staleness measures how
+        long the broker has been extrapolating, which a scheduler may use
+        to discount unreliable placements.
+        """
+        tracker = self._trackers.get(node_id)
+        if tracker is None or tracker.last_fix is None:
+            return None
+        t_fix, _ = tracker.last_fix
+        return max(now - t_fix, 0.0)
+
+    def stale_nodes(self, now: float, *, max_age: float) -> list[str]:
+        """Nodes whose last received LU is older than *max_age* seconds."""
+        out = []
+        for node_id in self._trackers:
+            age = self.fix_age(node_id, now)
+            if age is not None and age > max_age:
+                out.append(node_id)
+        return out
+
+    def tracker(self, node_id: str) -> LocationTracker | None:
+        """The node's tracker (tests and diagnostics)."""
+        return self._trackers.get(node_id)
+
+    def _tracker_for(self, node_id: str) -> LocationTracker:
+        tracker = self._trackers.get(node_id)
+        if tracker is None:
+            tracker = self._tracker_factory()
+            self._trackers[node_id] = tracker
+        return tracker

@@ -1,0 +1,138 @@
+"""Grid jobs and tasks.
+
+A :class:`Job` is a bag of independent :class:`Task` units (the classic
+master/worker grid workload).  Tasks are sized in mega-instructions so the
+scheduler can estimate completion time from a device's MIPS rating.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.util.validation import check_positive
+
+__all__ = ["TaskState", "Task", "JobState", "Job"]
+
+_task_ids = itertools.count(1)
+_job_ids = itertools.count(1)
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of one task."""
+
+    PENDING = "pending"
+    ASSIGNED = "assigned"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+@dataclass
+class Task:
+    """One schedulable unit of work."""
+
+    mega_instructions: float
+    task_id: int = field(default_factory=lambda: next(_task_ids))
+    state: TaskState = TaskState.PENDING
+    assigned_to: str | None = None
+    assigned_at: float | None = None
+    completed_at: float | None = None
+
+    def __post_init__(self) -> None:
+        check_positive(self.mega_instructions, "mega_instructions")
+
+    def duration_on(self, mips: float) -> float:
+        """Seconds the task takes on a device rated *mips*."""
+        check_positive(mips, "mips")
+        return self.mega_instructions / mips
+
+    def assign(self, node_id: str, now: float) -> None:
+        """Transition PENDING -> ASSIGNED."""
+        if self.state is not TaskState.PENDING:
+            raise ValueError(f"task {self.task_id} is {self.state.value}, not pending")
+        self.state = TaskState.ASSIGNED
+        self.assigned_to = node_id
+        self.assigned_at = now
+
+    def complete(self, now: float) -> None:
+        """Transition ASSIGNED -> COMPLETED."""
+        if self.state is not TaskState.ASSIGNED:
+            raise ValueError(
+                f"task {self.task_id} is {self.state.value}, not assigned"
+            )
+        self.state = TaskState.COMPLETED
+        self.completed_at = now
+
+    def fail(self) -> None:
+        """Transition ASSIGNED -> FAILED (node lost, battery dead...)."""
+        if self.state is not TaskState.ASSIGNED:
+            raise ValueError(
+                f"task {self.task_id} is {self.state.value}, not assigned"
+            )
+        self.state = TaskState.FAILED
+        self.assigned_to = None
+
+    def reset(self) -> None:
+        """Requeue a FAILED task."""
+        if self.state is not TaskState.FAILED:
+            raise ValueError(f"task {self.task_id} is {self.state.value}, not failed")
+        self.state = TaskState.PENDING
+        self.assigned_at = None
+        self.completed_at = None
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a job."""
+
+    RUNNING = "running"
+    COMPLETED = "completed"
+
+
+@dataclass
+class Job:
+    """A collection of independent tasks submitted together."""
+
+    tasks: list[Task]
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+    submitted_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ValueError("a job needs at least one task")
+
+    @staticmethod
+    def uniform(n_tasks: int, mega_instructions: float, *, submitted_at: float = 0.0) -> "Job":
+        """A job of *n_tasks* equally sized tasks."""
+        if n_tasks < 1:
+            raise ValueError(f"n_tasks must be >= 1, got {n_tasks}")
+        return Job(
+            tasks=[Task(mega_instructions) for _ in range(n_tasks)],
+            submitted_at=submitted_at,
+        )
+
+    @property
+    def state(self) -> JobState:
+        """COMPLETED once every task is completed."""
+        done = all(t.state is TaskState.COMPLETED for t in self.tasks)
+        return JobState.COMPLETED if done else JobState.RUNNING
+
+    def pending_tasks(self) -> list[Task]:
+        """Tasks still waiting for assignment."""
+        return [t for t in self.tasks if t.state is TaskState.PENDING]
+
+    def assigned_tasks(self) -> list[Task]:
+        """Tasks currently running on some node."""
+        return [t for t in self.tasks if t.state is TaskState.ASSIGNED]
+
+    def completion_fraction(self) -> float:
+        """Fraction of tasks completed."""
+        done = sum(1 for t in self.tasks if t.state is TaskState.COMPLETED)
+        return done / len(self.tasks)
+
+    def makespan(self) -> float | None:
+        """Submission-to-last-completion time, once the job is done."""
+        if self.state is not JobState.COMPLETED:
+            return None
+        last = max(t.completed_at for t in self.tasks if t.completed_at is not None)
+        return last - self.submitted_at

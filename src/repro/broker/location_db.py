@@ -1,0 +1,99 @@
+"""The broker's location database.
+
+Stores, per MN, the latest location record plus bounded history.  Every
+record is tagged with its provenance: ``RECEIVED`` (an actual LU arrived)
+or ``ESTIMATED`` (the Location Estimator filled a gap while LUs were being
+filtered) — the distinction the paper's Fig. 7 analysis rests on.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+
+from repro.geometry import Vec2
+
+__all__ = ["RecordSource", "LocationRecord", "LocationDB"]
+
+
+class RecordSource(enum.Enum):
+    """Where a location record came from."""
+
+    RECEIVED = "received"
+    ESTIMATED = "estimated"
+
+
+@dataclass(frozen=True, slots=True)
+class LocationRecord:
+    """One entry of the location DB."""
+
+    node_id: str
+    time: float
+    position: Vec2
+    source: RecordSource
+
+    @property
+    def is_estimate(self) -> bool:
+        """True when this record was produced by the Location Estimator."""
+        return self.source is RecordSource.ESTIMATED
+
+
+class LocationDB:
+    """Latest-record store with bounded per-node history."""
+
+    def __init__(self, history_length: int = 128) -> None:
+        if history_length < 1:
+            raise ValueError(f"history_length must be >= 1, got {history_length}")
+        self._latest: dict[str, LocationRecord] = {}
+        self._history: dict[str, deque[LocationRecord]] = {}
+        self._history_length = history_length
+        self.stored_received = 0
+        self.stored_estimated = 0
+
+    def store(self, record: LocationRecord) -> None:
+        """Insert a record; it becomes the node's latest."""
+        previous = self._latest.get(record.node_id)
+        if previous is not None and record.time < previous.time:
+            raise ValueError(
+                f"record for {record.node_id} at {record.time} is older than "
+                f"latest ({previous.time})"
+            )
+        self._latest[record.node_id] = record
+        history = self._history.setdefault(
+            record.node_id, deque(maxlen=self._history_length)
+        )
+        history.append(record)
+        if record.source is RecordSource.RECEIVED:
+            self.stored_received += 1
+        else:
+            self.stored_estimated += 1
+
+    def latest(self, node_id: str) -> LocationRecord | None:
+        """The node's most recent record, if any."""
+        return self._latest.get(node_id)
+
+    def position_of(self, node_id: str) -> Vec2 | None:
+        """Convenience: the node's latest stored position."""
+        record = self._latest.get(node_id)
+        return record.position if record else None
+
+    def history(self, node_id: str) -> list[LocationRecord]:
+        """The node's retained history, oldest first."""
+        return list(self._history.get(node_id, ()))
+
+    def node_ids(self) -> list[str]:
+        """Ids of every node with at least one record."""
+        return list(self._latest)
+
+    def __len__(self) -> int:
+        return len(self._latest)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._latest
+
+    @property
+    def estimate_fraction(self) -> float:
+        """Fraction of stored records that were estimates."""
+        total = self.stored_received + self.stored_estimated
+        return self.stored_estimated / total if total else 0.0

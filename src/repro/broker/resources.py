@@ -1,0 +1,144 @@
+"""MN resource profiles: what each device can contribute to the grid.
+
+The mobile grid's raison d'etre is harvesting MN compute.  The paper lists
+the constraints — low processing power, low battery, low bandwidth — so a
+registry tracks per-node capability plus a simple battery model that drains
+with work and with transmitted LUs (communication is the dominant cost the
+ADF is designed to cut).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mobility.states import DeviceType
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["DeviceProfile", "device_profile", "ResourceRegistry"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Static capability of a device class."""
+
+    device: DeviceType
+    compute_mips: float
+    bandwidth_kbps: float
+    battery_wh: float
+    #: Battery cost of transmitting one LU, in watt-hours.
+    tx_cost_wh: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.compute_mips, "compute_mips")
+        check_positive(self.bandwidth_kbps, "bandwidth_kbps")
+        check_positive(self.battery_wh, "battery_wh")
+        check_positive(self.tx_cost_wh, "tx_cost_wh")
+
+
+_PROFILES: dict[DeviceType, DeviceProfile] = {
+    DeviceType.LAPTOP: DeviceProfile(
+        DeviceType.LAPTOP,
+        compute_mips=2000.0,
+        bandwidth_kbps=1024.0,
+        battery_wh=60.0,
+        tx_cost_wh=2e-4,
+    ),
+    DeviceType.PDA: DeviceProfile(
+        DeviceType.PDA,
+        compute_mips=400.0,
+        bandwidth_kbps=256.0,
+        battery_wh=12.0,
+        tx_cost_wh=1.2e-4,
+    ),
+    DeviceType.CELL_PHONE: DeviceProfile(
+        DeviceType.CELL_PHONE,
+        compute_mips=200.0,
+        bandwidth_kbps=128.0,
+        battery_wh=5.0,
+        tx_cost_wh=1e-4,
+    ),
+}
+
+
+def device_profile(device: DeviceType) -> DeviceProfile:
+    """The static capability profile for a device class."""
+    return _PROFILES[device]
+
+
+@dataclass
+class _NodeResources:
+    profile: DeviceProfile
+    battery_fraction: float = 1.0
+    busy_until: float = 0.0
+    tasks_completed: int = 0
+
+
+class ResourceRegistry:
+    """Per-node dynamic resource state at the broker."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, _NodeResources] = {}
+
+    def register(self, node_id: str, device: DeviceType) -> None:
+        """Register a node with its device class (idempotent)."""
+        if node_id not in self._nodes:
+            self._nodes[node_id] = _NodeResources(device_profile(device))
+
+    def is_registered(self, node_id: str) -> bool:
+        """True when the node is known to the registry."""
+        return node_id in self._nodes
+
+    def node_ids(self) -> list[str]:
+        """All registered nodes."""
+        return list(self._nodes)
+
+    def profile(self, node_id: str) -> DeviceProfile:
+        """A node's static profile."""
+        return self._entry(node_id).profile
+
+    def battery(self, node_id: str) -> float:
+        """Remaining battery fraction in [0, 1]."""
+        return self._entry(node_id).battery_fraction
+
+    def drain(self, node_id: str, wh: float) -> float:
+        """Consume *wh* watt-hours; returns the new battery fraction."""
+        entry = self._entry(node_id)
+        fraction_cost = wh / entry.profile.battery_wh
+        entry.battery_fraction = max(entry.battery_fraction - fraction_cost, 0.0)
+        return entry.battery_fraction
+
+    def drain_for_transmission(self, node_id: str, messages: int = 1) -> float:
+        """Battery cost of transmitting *messages* LUs."""
+        entry = self._entry(node_id)
+        return self.drain(node_id, entry.profile.tx_cost_wh * messages)
+
+    def set_battery(self, node_id: str, fraction: float) -> None:
+        """Force a battery level (tests, scenarios)."""
+        check_in_range(fraction, "fraction", 0.0, 1.0)
+        self._entry(node_id).battery_fraction = fraction
+
+    # -- availability for scheduling ------------------------------------------
+    def is_available(self, node_id: str, now: float, *, min_battery: float = 0.1) -> bool:
+        """Can the node accept a task right now?"""
+        entry = self._entry(node_id)
+        return entry.battery_fraction >= min_battery and entry.busy_until <= now
+
+    def mark_busy(self, node_id: str, until: float) -> None:
+        """Reserve the node until simulated time *until*."""
+        self._entry(node_id).busy_until = until
+
+    def mark_completed(self, node_id: str) -> None:
+        """Record one finished task."""
+        entry = self._entry(node_id)
+        entry.tasks_completed += 1
+        entry.busy_until = 0.0
+
+    def tasks_completed(self, node_id: str) -> int:
+        """How many tasks the node has finished."""
+        return self._entry(node_id).tasks_completed
+
+    def _entry(self, node_id: str) -> _NodeResources:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise KeyError(f"node {node_id!r} is not registered") from None

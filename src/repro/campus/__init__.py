@@ -1,0 +1,22 @@
+"""The campus world: regions, connectivity and routing.
+
+The paper's experiment site is a university campus with 5 roads (R1-R5) and
+6 buildings (B1-B6), entered through gates A and B (paper Fig. 1).  All 11
+regions offer cellular coverage; the buildings additionally offer wireless
+LAN.  :func:`~repro.campus.builder.default_campus` builds a synthetic campus
+with that structure.
+"""
+
+from repro.campus.region import NetworkAccess, Region, RegionKind
+from repro.campus.campus import Campus
+from repro.campus.builder import default_campus
+from repro.campus.generator import generate_grid_campus
+
+__all__ = [
+    "NetworkAccess",
+    "Region",
+    "RegionKind",
+    "Campus",
+    "default_campus",
+    "generate_grid_campus",
+]

@@ -1,0 +1,169 @@
+"""Builder of the default 11-region campus (paper Fig. 1).
+
+The paper's site has 5 roads (R1-R5) and 6 buildings (B1-B6) with gates A
+and B on the south side.  The real coordinates are not published, so we lay
+out a plausible ~650 m x 550 m campus preserving the paper's topology:
+
+* gate B -> R2 -> library B4 (Tom's cases 1, 5);
+* B4 -> R5 -> B6 (cases 3, 5);
+* B4 -> R2 -> R1 -> R3 -> B3 with direction changes at the R2/R1 and R1/R3
+  crossings (case 8);
+* B3 -> R4 -> gate A (case 11).
+
+Buildings carry WLAN + cellular; roads carry cellular only.
+"""
+
+from __future__ import annotations
+
+from repro.campus.campus import Campus
+from repro.campus.region import NetworkAccess, Region, RegionKind
+from repro.geometry import Path, Rect, Vec2
+
+__all__ = [
+    "default_campus",
+    "GATE_A",
+    "GATE_B",
+    "ROAD_IDS",
+    "BUILDING_IDS",
+]
+
+#: Gate coordinates on the campus's south edge.
+GATE_A = Vec2(100.0, 10.0)
+GATE_B = Vec2(400.0, 10.0)
+
+ROAD_IDS = ("R1", "R2", "R3", "R4", "R5")
+BUILDING_IDS = ("B1", "B2", "B3", "B4", "B5", "B6")
+
+#: Road half-width in metres (roads are thin rectangles around a centerline).
+_ROAD_HALF_WIDTH = 8.0
+
+# Junction points of the road network.
+_J1 = Vec2(400.0, 250.0)  # R2 north end; R1 east end; R5 west end
+_J2 = Vec2(150.0, 250.0)  # R1 west end; R3 south end; R4 north end
+_J3 = Vec2(150.0, 450.0)  # R3 north end (near B3)
+_J4 = Vec2(550.0, 250.0)  # R5 east end (near B6)
+
+
+def _road_bounds(a: Vec2, b: Vec2) -> Rect:
+    """Axis-aligned bounds of a road segment, padded to the road width."""
+    return Rect(
+        min(a.x, b.x) - _ROAD_HALF_WIDTH,
+        min(a.y, b.y) - _ROAD_HALF_WIDTH,
+        max(a.x, b.x) + _ROAD_HALF_WIDTH,
+        max(a.y, b.y) + _ROAD_HALF_WIDTH,
+    )
+
+
+def _road(region_id: str, name: str, a: Vec2, b: Vec2) -> Region:
+    return Region(
+        region_id=region_id,
+        name=name,
+        kind=RegionKind.ROAD,
+        bounds=_road_bounds(a, b),
+        access=NetworkAccess.CELLULAR,
+        centerline=Path([a, b]),
+    )
+
+
+def _building(
+    region_id: str, name: str, bounds: Rect, entrance: Vec2, corridors: tuple[Path, ...]
+) -> Region:
+    return Region(
+        region_id=region_id,
+        name=name,
+        kind=RegionKind.BUILDING,
+        bounds=bounds,
+        access=NetworkAccess.CELLULAR | NetworkAccess.WLAN,
+        entrance=entrance,
+        corridors=corridors,
+    )
+
+
+def _corridor_loop(bounds: Rect, entrance: Vec2) -> tuple[Path, ...]:
+    """A simple two-corridor layout: entrance hall + perimeter hallway.
+
+    Gives LMS nodes inside buildings realistic direction changes "in
+    accordance with the structure of the hallway" (paper case 9).
+    """
+    inset = 6.0
+    inner = Rect(
+        bounds.x_min + inset,
+        bounds.y_min + inset,
+        bounds.x_max - inset,
+        bounds.y_max - inset,
+    )
+    hall = Path([entrance, inner.center])
+    perimeter = Path(
+        [
+            Vec2(inner.x_min, inner.y_min),
+            Vec2(inner.x_max, inner.y_min),
+            Vec2(inner.x_max, inner.y_max),
+            Vec2(inner.x_min, inner.y_max),
+            Vec2(inner.x_min, inner.y_min),
+        ]
+    )
+    return (hall, perimeter)
+
+
+def default_campus() -> Campus:
+    """Build the 11-region campus with its navigation graph."""
+    roads = [
+        _road("R1", "East-west spine", _J1, _J2),
+        _road("R2", "Gate B approach", GATE_B, _J1),
+        _road("R3", "North branch", _J2, _J3),
+        _road("R4", "Gate A approach", GATE_A, _J2),
+        _road("R5", "East branch", _J1, _J4),
+    ]
+
+    building_specs = [
+        # (id, name, bounds, entrance)
+        ("B1", "Engineering hall", Rect(30.0, 100.0, 120.0, 180.0), Vec2(120.0, 140.0)),
+        ("B2", "Student union", Rect(300.0, 80.0, 380.0, 160.0), Vec2(380.0, 120.0)),
+        ("B3", "Chemistry building", Rect(90.0, 460.0, 210.0, 540.0), Vec2(150.0, 460.0)),
+        ("B4", "Library", Rect(430.0, 150.0, 520.0, 240.0), Vec2(430.0, 230.0)),
+        ("B5", "Science center", Rect(230.0, 270.0, 320.0, 350.0), Vec2(270.0, 270.0)),
+        ("B6", "Lecture hall", Rect(510.0, 270.0, 600.0, 350.0), Vec2(550.0, 270.0)),
+    ]
+    buildings = [
+        _building(rid, name, bounds, entrance, _corridor_loop(bounds, entrance))
+        for rid, name, bounds, entrance in building_specs
+    ]
+
+    campus = Campus(roads + buildings)
+
+    # Navigation nodes: gates, junctions, building entrances and the road
+    # foot points serving mid-road entrances.
+    campus.add_node("gateA", GATE_A)
+    campus.add_node("gateB", GATE_B)
+    campus.add_node("J1", _J1)
+    campus.add_node("J2", _J2)
+    campus.add_node("J3", _J3)
+    campus.add_node("J4", _J4)
+    for region in buildings:
+        campus.add_node(f"{region.region_id}.door", region.entrance)
+
+    # Foot points: where a building's entrance path meets its serving road.
+    campus.add_node("R4.footB1", Vec2(128.0, 140.0))   # on R4 (GATE_A->J2)
+    campus.add_node("R2.footB2", Vec2(400.0, 120.0))   # on R2 (GATE_B->J1)
+    campus.add_node("R1.footB5", Vec2(270.0, 250.0))   # on R1 (J1->J2)
+
+    # Road edges (split where foot points sit mid-road).
+    campus.add_edge("gateB", "R2.footB2", "R2")
+    campus.add_edge("R2.footB2", "J1", "R2")
+    campus.add_edge("J1", "R1.footB5", "R1")
+    campus.add_edge("R1.footB5", "J2", "R1")
+    campus.add_edge("J2", "J3", "R3")
+    campus.add_edge("gateA", "R4.footB1", "R4")
+    campus.add_edge("R4.footB1", "J2", "R4")
+    campus.add_edge("J1", "J4", "R5")
+
+    # Entrance edges (short connectors from road to door; attributed to the
+    # serving road since the connectors are outdoors).
+    campus.add_edge("R4.footB1", "B1.door", "R4")
+    campus.add_edge("R2.footB2", "B2.door", "R2")
+    campus.add_edge("J3", "B3.door", "R3")
+    campus.add_edge("J1", "B4.door", "R2")
+    campus.add_edge("R1.footB5", "B5.door", "R1")
+    campus.add_edge("J4", "B6.door", "R5")
+
+    return campus

@@ -1,0 +1,139 @@
+"""The campus: region registry + walkable graph + routing."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import networkx as nx
+import numpy as np
+
+from repro.campus.region import Region, RegionKind
+from repro.geometry import Path, Vec2
+
+__all__ = ["Campus"]
+
+
+class Campus:
+    """Regions plus a navigation graph.
+
+    The navigation graph's nodes are named points (junctions, gates, building
+    entrances) with a ``pos`` attribute; edges carry ``length`` (metres) and
+    the ``region`` they belong to.  Routing produces arc-length parametrised
+    :class:`~repro.geometry.Path` objects that LMS mobility models traverse.
+    """
+
+    def __init__(self, regions: Iterable[Region]) -> None:
+        self._regions: dict[str, Region] = {}
+        for region in regions:
+            if region.region_id in self._regions:
+                raise ValueError(f"duplicate region id {region.region_id!r}")
+            self._regions[region.region_id] = region
+        self._graph = nx.Graph()
+
+    # -- regions ---------------------------------------------------------------
+    @property
+    def regions(self) -> dict[str, Region]:
+        """All regions keyed by id."""
+        return dict(self._regions)
+
+    def region(self, region_id: str) -> Region:
+        """Region by id (KeyError when unknown)."""
+        try:
+            return self._regions[region_id]
+        except KeyError:
+            raise KeyError(f"unknown region {region_id!r}") from None
+
+    def roads(self) -> list[Region]:
+        """All road regions, in insertion order."""
+        return [r for r in self._regions.values() if r.kind is RegionKind.ROAD]
+
+    def buildings(self) -> list[Region]:
+        """All building regions, in insertion order."""
+        return [r for r in self._regions.values() if r.kind is RegionKind.BUILDING]
+
+    def region_at(self, point: Vec2) -> Region | None:
+        """The region containing *point*; buildings win over roads on overlap."""
+        hit: Region | None = None
+        for region in self._regions.values():
+            if region.contains(point):
+                if region.is_building:
+                    return region
+                if hit is None:
+                    hit = region
+        return hit
+
+    def random_point_in(self, region_id: str, rng: np.random.Generator) -> Vec2:
+        """A uniform random point inside a region's bounds."""
+        return self.region(region_id).bounds.random_point(rng)
+
+    # -- navigation graph ------------------------------------------------------
+    @property
+    def graph(self) -> nx.Graph:
+        """The navigation graph (mutate only via :meth:`add_node` / :meth:`add_edge`)."""
+        return self._graph
+
+    def add_node(self, name: str, pos: Vec2) -> None:
+        """Add a named navigation point."""
+        if name in self._graph:
+            raise ValueError(f"navigation node {name!r} already exists")
+        self._graph.add_node(name, pos=pos)
+
+    def add_edge(self, a: str, b: str, region_id: str) -> None:
+        """Connect two navigation points; length is the straight-line distance."""
+        if a not in self._graph or b not in self._graph:
+            raise KeyError(f"both nodes must exist before connecting {a!r}-{b!r}")
+        self.region(region_id)  # validates
+        length = self.node_pos(a).distance_to(self.node_pos(b))
+        self._graph.add_edge(a, b, length=length, region=region_id)
+
+    def node_pos(self, name: str) -> Vec2:
+        """Coordinates of a navigation node."""
+        try:
+            return self._graph.nodes[name]["pos"]
+        except KeyError:
+            raise KeyError(f"unknown navigation node {name!r}") from None
+
+    def nearest_node(self, point: Vec2) -> str:
+        """The navigation node closest to *point*."""
+        if self._graph.number_of_nodes() == 0:
+            raise ValueError("navigation graph is empty")
+        return min(
+            self._graph.nodes,
+            key=lambda n: self.node_pos(n).distance_to(point),
+        )
+
+    def route(self, start: str, goal: str) -> Path:
+        """Shortest path between two navigation nodes as a geometric Path."""
+        try:
+            nodes = nx.shortest_path(self._graph, start, goal, weight="length")
+        except nx.NetworkXNoPath:
+            raise ValueError(f"no route from {start!r} to {goal!r}") from None
+        return Path(self.node_pos(n) for n in nodes)
+
+    def route_between_points(self, start: Vec2, goal: Vec2) -> Path:
+        """Route between arbitrary points via their nearest navigation nodes.
+
+        The returned path starts at *start*, walks the road network, and ends
+        at *goal*.
+        """
+        a = self.nearest_node(start)
+        b = self.nearest_node(goal)
+        network = nx.shortest_path(self._graph, a, b, weight="length")
+        waypoints = [start] + [self.node_pos(n) for n in network] + [goal]
+        return Path(waypoints)
+
+    def regions_on_route(self, path: Path) -> list[str]:
+        """Region ids visited by the midpoints of a path's segments (deduped)."""
+        seen: list[str] = []
+        points = list(path.waypoints)
+        for a, b in zip(points, points[1:]):
+            region = self.region_at(a.lerp(b, 0.5))
+            if region is not None and (not seen or seen[-1] != region.region_id):
+                seen.append(region.region_id)
+        return seen
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Campus(regions={len(self._regions)}, "
+            f"nav_nodes={self._graph.number_of_nodes()})"
+        )

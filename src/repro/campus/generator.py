@@ -1,0 +1,165 @@
+"""Parameterised synthetic campus generation.
+
+The paper's site is one fixed campus.  To test that nothing depends on its
+particular geometry, :func:`generate_grid_campus` builds an arbitrary-size
+campus: a rectangular grid of roads with buildings placed inside blocks,
+entrances on the nearest road, and the same road/building semantics
+(cellular everywhere, WLAN indoors) as the default site.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.campus.campus import Campus
+from repro.campus.region import NetworkAccess, Region, RegionKind
+from repro.geometry import Path, Rect, Vec2
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["generate_grid_campus"]
+
+_ROAD_HALF_WIDTH = 8.0
+
+
+def _corridor_loop(bounds: Rect, entrance: Vec2) -> tuple[Path, ...]:
+    inset = min(6.0, bounds.width / 4, bounds.height / 4)
+    inner = Rect(
+        bounds.x_min + inset,
+        bounds.y_min + inset,
+        bounds.x_max - inset,
+        bounds.y_max - inset,
+    )
+    hall = Path([entrance, inner.center])
+    perimeter = Path(
+        [
+            Vec2(inner.x_min, inner.y_min),
+            Vec2(inner.x_max, inner.y_min),
+            Vec2(inner.x_max, inner.y_max),
+            Vec2(inner.x_min, inner.y_max),
+            Vec2(inner.x_min, inner.y_min),
+        ]
+    )
+    return (hall, perimeter)
+
+
+def generate_grid_campus(
+    *,
+    blocks_x: int = 3,
+    blocks_y: int = 2,
+    block_size: float = 150.0,
+    building_probability: float = 0.7,
+    rng: np.random.Generator | None = None,
+) -> Campus:
+    """Build a grid campus with ``blocks_x x blocks_y`` city blocks.
+
+    Roads run between (and around) the blocks: horizontal roads ``H<i>``
+    and vertical roads ``V<j>``.  Each block independently hosts a building
+    ``B<i>_<j>`` with probability *building_probability*; buildings take
+    ~60 % of the block, centred, with an entrance towards the road south of
+    them.  The navigation graph covers every junction and entrance.
+    """
+    if blocks_x < 1 or blocks_y < 1:
+        raise ValueError("need at least a 1x1 block grid")
+    check_positive(block_size, "block_size")
+    check_in_range(building_probability, "building_probability", 0.0, 1.0)
+    rng = rng or np.random.default_rng(0)
+
+    width = blocks_x * block_size
+    height = blocks_y * block_size
+
+    regions: list[Region] = []
+    # Horizontal roads at y = 0, block, 2*block, ...
+    for i in range(blocks_y + 1):
+        y = i * block_size
+        regions.append(
+            Region(
+                region_id=f"H{i}",
+                name=f"Horizontal road {i}",
+                kind=RegionKind.ROAD,
+                bounds=Rect(
+                    -_ROAD_HALF_WIDTH,
+                    y - _ROAD_HALF_WIDTH,
+                    width + _ROAD_HALF_WIDTH,
+                    y + _ROAD_HALF_WIDTH,
+                ),
+                access=NetworkAccess.CELLULAR,
+                centerline=Path([Vec2(0.0, y), Vec2(width, y)]),
+            )
+        )
+    # Vertical roads at x = 0, block, ...
+    for j in range(blocks_x + 1):
+        x = j * block_size
+        regions.append(
+            Region(
+                region_id=f"V{j}",
+                name=f"Vertical road {j}",
+                kind=RegionKind.ROAD,
+                bounds=Rect(
+                    x - _ROAD_HALF_WIDTH,
+                    -_ROAD_HALF_WIDTH,
+                    x + _ROAD_HALF_WIDTH,
+                    height + _ROAD_HALF_WIDTH,
+                ),
+                access=NetworkAccess.CELLULAR,
+                centerline=Path([Vec2(x, 0.0), Vec2(x, height)]),
+            )
+        )
+
+    buildings: list[tuple[Region, int, int]] = []
+    for bj in range(blocks_x):
+        for bi in range(blocks_y):
+            if rng.random() >= building_probability:
+                continue
+            block = Rect(
+                bj * block_size + _ROAD_HALF_WIDTH,
+                bi * block_size + _ROAD_HALF_WIDTH,
+                (bj + 1) * block_size - _ROAD_HALF_WIDTH,
+                (bi + 1) * block_size - _ROAD_HALF_WIDTH,
+            )
+            margin_x = 0.2 * block.width
+            margin_y = 0.2 * block.height
+            bounds = Rect(
+                block.x_min + margin_x,
+                block.y_min + margin_y,
+                block.x_max - margin_x,
+                block.y_max - margin_y,
+            )
+            entrance = Vec2(bounds.center.x, bounds.y_min)
+            region = Region(
+                region_id=f"B{bi}_{bj}",
+                name=f"Building ({bi}, {bj})",
+                kind=RegionKind.BUILDING,
+                bounds=bounds,
+                access=NetworkAccess.CELLULAR | NetworkAccess.WLAN,
+                entrance=entrance,
+                corridors=_corridor_loop(bounds, entrance),
+            )
+            regions.append(region)
+            buildings.append((region, bi, bj))
+
+    campus = Campus(regions)
+
+    # Junction nodes at every grid crossing.
+    for i in range(blocks_y + 1):
+        for j in range(blocks_x + 1):
+            campus.add_node(f"J{i}_{j}", Vec2(j * block_size, i * block_size))
+    # Horizontal edges.
+    for i in range(blocks_y + 1):
+        for j in range(blocks_x):
+            campus.add_edge(f"J{i}_{j}", f"J{i}_{j + 1}", f"H{i}")
+    # Vertical edges.
+    for i in range(blocks_y):
+        for j in range(blocks_x + 1):
+            campus.add_edge(f"J{i}_{j}", f"J{i + 1}_{j}", f"V{j}")
+    # Building entrances: foot point on the road south of the block.
+    for region, bi, bj in buildings:
+        door = f"{region.region_id}.door"
+        assert region.entrance is not None
+        campus.add_node(door, region.entrance)
+        foot = f"{region.region_id}.foot"
+        campus.add_node(foot, Vec2(region.entrance.x, bi * block_size))
+        campus.add_edge(foot, door, f"H{bi}")
+        campus.add_edge(f"J{bi}_{bj}", foot, f"H{bi}")
+        campus.add_edge(foot, f"J{bi}_{bj + 1}", f"H{bi}")
+
+    return campus

@@ -1,0 +1,85 @@
+"""Campus regions: roads and buildings."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.geometry import Path, Rect, Vec2
+
+__all__ = ["RegionKind", "NetworkAccess", "Region"]
+
+
+class RegionKind(enum.Enum):
+    """What a region is; determines which mobility patterns occur in it.
+
+    Per paper §3.1: roads host LMS-type nodes only (humans and vehicles);
+    buildings host SS, RMS and LMS human nodes.
+    """
+
+    ROAD = "road"
+    BUILDING = "building"
+
+
+class NetworkAccess(enum.Flag):
+    """Wireless technologies available in a region.
+
+    The paper: "Cellular network services are provided for the roads and
+    buildings within the campus, and wireless Internet access is provided
+    for 6 buildings."
+    """
+
+    NONE = 0
+    CELLULAR = enum.auto()
+    WLAN = enum.auto()
+
+
+@dataclass(frozen=True)
+class Region:
+    """One of the 11 campus regions.
+
+    Roads carry a *centerline* path that LMS nodes follow; buildings carry an
+    *entrance* point where their corridor network meets the road network.
+    """
+
+    region_id: str
+    name: str
+    kind: RegionKind
+    bounds: Rect
+    access: NetworkAccess
+    centerline: Path | None = None
+    entrance: Vec2 | None = None
+    corridors: tuple[Path, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.region_id:
+            raise ValueError("region_id must be non-empty")
+        if self.kind is RegionKind.ROAD and self.centerline is None:
+            raise ValueError(f"road {self.region_id} needs a centerline")
+        if self.kind is RegionKind.BUILDING and self.entrance is None:
+            raise ValueError(f"building {self.region_id} needs an entrance")
+
+    @property
+    def is_road(self) -> bool:
+        """True for road regions."""
+        return self.kind is RegionKind.ROAD
+
+    @property
+    def is_building(self) -> bool:
+        """True for building regions."""
+        return self.kind is RegionKind.BUILDING
+
+    def has_wlan(self) -> bool:
+        """True when the region offers wireless-LAN access."""
+        return bool(self.access & NetworkAccess.WLAN)
+
+    def has_cellular(self) -> bool:
+        """True when the region offers cellular access."""
+        return bool(self.access & NetworkAccess.CELLULAR)
+
+    def contains(self, point: Vec2, *, tol: float = 0.0) -> bool:
+        """True when *point* lies inside the region's bounds."""
+        return self.bounds.contains(point, tol=tol)
+
+    def __repr__(self) -> str:
+        return f"Region({self.region_id}, {self.kind.value})"

@@ -1,0 +1,292 @@
+"""Command-line entry point: regenerate any figure or the full report.
+
+Usage::
+
+    python -m repro report --duration 1800
+    python -m repro fig4 --duration 600 --plot
+    python -m repro table1
+    python -m repro map
+    python -m repro confusion --duration 120
+    python -m repro energy --duration 120
+    python -m repro replicate --duration 60 --seeds 1 2 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    ExperimentConfig,
+    fig4_lus_per_second,
+    fig5_accumulated_lus,
+    fig6_transmission_rate_by_region,
+    fig7_rmse_over_time,
+    fig8_rmse_by_region_without_le,
+    fig9_rmse_by_region_with_le,
+    render_report,
+    run_experiment,
+    table1_specification,
+)
+
+__all__ = ["main"]
+
+_TARGETS = (
+    "report",
+    "table1",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "map",
+    "confusion",
+    "energy",
+    "replicate",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mobile-grid",
+        description="Reproduce the ADF mobile-grid evaluation figures.",
+    )
+    parser.add_argument("target", choices=_TARGETS, help="what to regenerate")
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=1800.0,
+        help="simulated seconds (paper: 1800)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="experiment seed")
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[1, 2, 3],
+        help="seeds for the replicate target",
+    )
+    parser.add_argument(
+        "--general-df",
+        action="store_true",
+        help="also run the general (global-DTH) distance filter lanes",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render the figure as an ASCII chart instead of numbers",
+    )
+    parser.add_argument(
+        "--config",
+        type=str,
+        default=None,
+        help="load the experiment configuration from a .toml/.json file "
+        "(CLI flags for duration/seed still override)",
+    )
+    parser.add_argument(
+        "--export-json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="additionally write the full run summary as JSON",
+    )
+    parser.add_argument(
+        "--export-csv",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="additionally write the per-second LU series as CSV",
+    )
+    parser.add_argument(
+        "--markdown",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="with `report`: also write the run as a Markdown document",
+    )
+    return parser
+
+
+def _static_target(args: argparse.Namespace) -> int | None:
+    """Handle targets that need no experiment run; None = not handled."""
+    if args.target == "table1":
+        for row in table1_specification():
+            print(
+                f"{row.region_kind:<9} x{row.region_count}  "
+                f"{row.mobility_pattern:<4} {row.node_type:<8} "
+                f"n={row.node_count:<4} VR={row.velocity_range}"
+            )
+        return 0
+    if args.target == "map":
+        from repro.campus import default_campus
+        from repro.mobility import build_population, table1_spec
+        from repro.util.rng import RngRegistry
+        from repro.viz import render_campus
+
+        campus = default_campus()
+        nodes = build_population(campus, table1_spec(), RngRegistry(args.seed))
+        for node in nodes:
+            node.advance(30.0)
+        print(render_campus(campus, nodes))
+        return 0
+    if args.target == "confusion":
+        from repro.analysis import evaluate_classifier
+
+        duration = min(args.duration, 300.0)
+        matrix = evaluate_classifier(
+            ExperimentConfig(seed=args.seed), duration=duration
+        )
+        print(matrix.render())
+        return 0
+    if args.target == "replicate":
+        from repro.analysis import replicate, summarize_metric
+
+        config = ExperimentConfig(duration=args.duration, dth_factors=(1.0,))
+        results = replicate(config, args.seeds)
+        for metric, extractor in (
+            ("reduction(adf-1)", lambda r: r.reduction_vs_ideal("adf-1")),
+            ("rmse w/ LE", lambda r: r.lanes["adf-1"].mean_rmse(with_le=True)),
+            ("rmse w/o LE", lambda r: r.lanes["adf-1"].mean_rmse(with_le=False)),
+            ("classifier acc", lambda r: r.classification_accuracy),
+        ):
+            print(summarize_metric(results, extractor, metric=metric))
+        return 0
+    return None
+
+
+def _build_config(args: argparse.Namespace) -> ExperimentConfig:
+    if args.config:
+        from dataclasses import replace
+
+        from repro.experiments.config_io import load_config
+
+        config = load_config(args.config)
+        return replace(
+            config,
+            duration=args.duration,
+            seed=args.seed,
+            include_general_df=args.general_df or config.include_general_df,
+        )
+    return ExperimentConfig(
+        duration=args.duration,
+        seed=args.seed,
+        include_general_df=args.general_df,
+    )
+
+
+def _figure_target(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    if args.target == "energy":
+        from repro.analysis import energy_report
+        from repro.experiments.harness import MobileGridExperiment
+
+        experiment = MobileGridExperiment(config)
+        result = experiment.run()
+        print(energy_report(result, experiment.nodes).render())
+        return 0
+
+    result = run_experiment(config)
+    if args.export_json:
+        from repro.experiments.io import write_json
+
+        print(f"wrote {write_json(result, args.export_json)}")
+    if args.export_csv:
+        from repro.experiments.io import write_series_csv
+
+        print(f"wrote {write_series_csv(result, args.export_csv)}")
+    if args.target == "report":
+        print(render_report(result))
+        if args.markdown:
+            from repro.experiments.markdown_report import write_markdown_report
+
+            print(f"wrote {write_markdown_report(result, args.markdown)}")
+    elif args.target == "fig4":
+        series = fig4_lus_per_second(result)
+        if args.plot:
+            from repro.viz import line_chart
+
+            print(line_chart(series, title="Fig. 4: transmitted LUs per second"))
+        else:
+            for name, s in series.items():
+                print(f"{name}: mean {s.mean():.1f} LU/s over {len(s)}s")
+    elif args.target == "fig5":
+        series = fig5_accumulated_lus(result)
+        if args.plot:
+            from repro.viz import line_chart
+
+            print(line_chart(series, title="Fig. 5: accumulated LUs"))
+        else:
+            for name, s in series.items():
+                _, total = s.last()
+                print(f"{name}: {int(total)} accumulated LUs")
+    elif args.target == "fig6":
+        rates = fig6_transmission_rate_by_region(result)
+        if args.plot:
+            from repro.viz import bar_chart
+
+            rows = [
+                (f"{name}/{kind}", value * 100)
+                for name, kinds in rates.items()
+                for kind, value in kinds.items()
+            ]
+            print(bar_chart(rows, unit="%", title="Fig. 6: transmission rate"))
+        else:
+            for name, kinds in rates.items():
+                print(
+                    f"{name}: road {kinds['road']:.1%}, "
+                    f"building {kinds['building']:.1%}"
+                )
+    elif args.target == "fig7":
+        data = fig7_rmse_over_time(result)
+        if args.plot:
+            from repro.viz import line_chart
+
+            flattened = {
+                f"{name} ({mode})": series
+                for name, modes in data.items()
+                for mode, series in modes.items()
+            }
+            print(line_chart(flattened, title="Fig. 7: RMSE over time"))
+        else:
+            for name, series in data.items():
+                print(
+                    f"{name}: mean RMSE w/o LE "
+                    f"{series['without_le'].mean():.2f} m, "
+                    f"w/ LE {series['with_le'].mean():.2f} m"
+                )
+    elif args.target in ("fig8", "fig9"):
+        data = (
+            fig8_rmse_by_region_without_le(result)
+            if args.target == "fig8"
+            else fig9_rmse_by_region_with_le(result)
+        )
+        if args.plot:
+            from repro.viz import bar_chart
+
+            rows = [
+                (f"{name}/{kind}", row[kind])
+                for name, row in data.items()
+                for kind in ("road", "building")
+            ]
+            print(bar_chart(rows, unit="m", title=f"{args.target}: RMSE by region"))
+        else:
+            for name, row in data.items():
+                print(
+                    f"{name}: road {row['road']:.2f} m, building "
+                    f"{row['building']:.2f} m (ratio {row['ratio']:.2f}x)"
+                )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handled = _static_target(args)
+    if handled is not None:
+        return handled
+    return _figure_target(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

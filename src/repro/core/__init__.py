@@ -1,0 +1,60 @@
+"""The Adaptive Distance Filter (ADF) — the paper's contribution.
+
+Pipeline (paper §3.2, §3.4):
+
+1. :class:`~repro.core.classifier.MobilityClassifier` labels each MN
+   SS / RMS / LMS from a window of observed velocity and direction (Fig. 2);
+2. :class:`~repro.core.clustering.SequentialClusterer` groups moving MNs by
+   velocity/direction similarity (sequential clustering, bound alpha);
+3. :class:`~repro.core.dth.ClusterAverageDth` sizes each cluster's Distance
+   Threshold from the cluster's average velocity;
+4. :class:`~repro.core.distance_filter.DistanceFilter` suppresses LUs whose
+   displacement since the last *transmitted* LU is under the DTH;
+5. the :class:`~repro.core.adf.AdaptiveDistanceFilter` orchestrates all of
+   the above, forwards surviving LUs to the grid broker and periodically
+   reconstructs the clusters.
+
+Baselines: :class:`~repro.core.baselines.IdealLUPolicy` (no filtering) and
+:class:`~repro.core.baselines.GeneralDistanceFilterPolicy` (one global DTH),
+the comparison points of the evaluation.
+"""
+
+from repro.core.classifier import ClassifierConfig, MobilityClassifier
+from repro.core.clustering import Cluster, MotionFeature, SequentialClusterer
+from repro.core.cluster_manager import ClusterManager
+from repro.core.distance_filter import DistanceFilter, FilterDecision
+from repro.core.dth import (
+    ClusterAverageDth,
+    DthPolicy,
+    FixedDth,
+    GlobalAverageDth,
+)
+from repro.core.battery_aware import BatteryAwareDth
+from repro.core.adf import AdaptiveDistanceFilter, AdfConfig, AdfStats
+from repro.core.baselines import (
+    FilterPolicy,
+    GeneralDistanceFilterPolicy,
+    IdealLUPolicy,
+)
+
+__all__ = [
+    "ClassifierConfig",
+    "MobilityClassifier",
+    "MotionFeature",
+    "Cluster",
+    "SequentialClusterer",
+    "ClusterManager",
+    "DistanceFilter",
+    "FilterDecision",
+    "DthPolicy",
+    "FixedDth",
+    "GlobalAverageDth",
+    "ClusterAverageDth",
+    "BatteryAwareDth",
+    "AdaptiveDistanceFilter",
+    "AdfConfig",
+    "AdfStats",
+    "FilterPolicy",
+    "IdealLUPolicy",
+    "GeneralDistanceFilterPolicy",
+]

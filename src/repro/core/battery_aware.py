@@ -1,0 +1,65 @@
+"""Battery-aware distance thresholds — an ADF extension.
+
+The paper motivates traffic reduction with the MN's "low battery capacity"
+but applies one DTH factor fleet-wide.  A natural extension: nodes running
+low on battery should filter *harder* (fewer transmissions, longer life)
+at the cost of coarser location accuracy.  This policy wraps any base
+:class:`~repro.core.dth.DthPolicy` and scales its threshold by a battery-
+dependent multiplier:
+
+* full battery  -> multiplier 1 (the paper's behaviour);
+* at or below ``critical_level`` -> ``max_boost``;
+* linear in between.
+
+Because the DTH rides on top of the cluster machinery, everything else —
+classification, clustering, estimation, the silence-implies-nearby bound —
+keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.dth import DthPolicy
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["BatteryAwareDth"]
+
+BatteryLookup = Callable[[str], float]
+
+
+class BatteryAwareDth(DthPolicy):
+    """Scales a base policy's DTH as a node's battery drains."""
+
+    def __init__(
+        self,
+        base: DthPolicy,
+        battery_of: BatteryLookup,
+        *,
+        max_boost: float = 3.0,
+        critical_level: float = 0.2,
+    ) -> None:
+        if max_boost < 1.0:
+            raise ValueError(f"max_boost must be >= 1, got {max_boost}")
+        check_positive(critical_level, "critical_level")
+        check_in_range(critical_level, "critical_level", 0.0, 1.0)
+        self._base = base
+        self._battery_of = battery_of
+        self.max_boost = max_boost
+        self.critical_level = critical_level
+
+    def multiplier_for(self, battery_fraction: float) -> float:
+        """The DTH multiplier applied at a given battery level."""
+        check_in_range(battery_fraction, "battery_fraction", 0.0, 1.0)
+        if battery_fraction >= 1.0:
+            return 1.0
+        if battery_fraction <= self.critical_level:
+            return self.max_boost
+        # Linear ramp from 1.0 (full) to max_boost (critical).
+        span = 1.0 - self.critical_level
+        depth = (1.0 - battery_fraction) / span
+        return 1.0 + depth * (self.max_boost - 1.0)
+
+    def dth_for(self, node_id: str) -> float:
+        battery = self._battery_of(node_id)
+        return self._base.dth_for(node_id) * self.multiplier_for(battery)

@@ -1,0 +1,90 @@
+"""Cluster lifecycle management (paper §3.4, ADF steps (2) and (6)).
+
+The ADF "constructs, manages, and adjusts the MN clusters": nodes drift
+between patterns, so clusters must be reconstructed periodically.  The
+manager feeds the :class:`SequentialClusterer` from the classifier's
+observation windows and tracks reconstruction statistics.
+"""
+
+from __future__ import annotations
+
+from repro.core.classifier import MobilityClassifier
+from repro.core.clustering import Cluster, MotionFeature, SequentialClusterer
+from repro.mobility.states import MobilityState
+
+__all__ = ["ClusterManager"]
+
+
+class ClusterManager:
+    """Keeps the cluster structure in sync with observed mobility."""
+
+    def __init__(
+        self,
+        classifier: MobilityClassifier,
+        clusterer: SequentialClusterer,
+    ) -> None:
+        self._classifier = classifier
+        self._clusterer = clusterer
+        self.reconstructions = 0
+        self.reassignments = 0
+
+    @property
+    def clusterer(self) -> SequentialClusterer:
+        """The underlying sequential clusterer."""
+        return self._clusterer
+
+    def feature_of(self, node_id: str) -> MotionFeature | None:
+        """Current motion feature from the node's observation window."""
+        window = self._classifier.window(node_id)
+        if window is None or len(window) == 0:
+            return None
+        return MotionFeature(window.mean_speed(), window.mean_direction())
+
+    def place(self, node_id: str) -> Cluster | None:
+        """(Re)place one node according to its current label and feature.
+
+        SS nodes are kept out of clusters (the paper clusters every MN
+        *except* those in SS); they are unassigned if previously clustered.
+        Returns the node's cluster, or ``None`` for SS/unknown nodes.
+        """
+        label = self._classifier.label(node_id)
+        if label is None or label is MobilityState.STOP:
+            self._clusterer.unassign(node_id)
+            return None
+        feature = self.feature_of(node_id)
+        if feature is None:
+            return None
+        before = self._clusterer.cluster_of(node_id)
+        cluster = self._clusterer.assign(node_id, feature)
+        if before is not None and before.cluster_id != cluster.cluster_id:
+            self.reassignments += 1
+        return cluster
+
+    def reconstruct(self) -> int:
+        """Tear down and rebuild all clusters from current features.
+
+        This is the ADF's step (6).  Returns the number of clusters after
+        reconstruction.
+        """
+        node_ids = self._classifier.node_ids()
+        self._clusterer.clear()
+        for node_id in node_ids:
+            self.place(node_id)
+        self.reconstructions += 1
+        return self._clusterer.cluster_count()
+
+    def cluster_of(self, node_id: str) -> Cluster | None:
+        """The node's current cluster, if any."""
+        return self._clusterer.cluster_of(node_id)
+
+    def summary(self) -> dict[str, float]:
+        """Cluster-structure statistics (for reports and tests)."""
+        clusters = self._clusterer.clusters
+        sizes = [len(c) for c in clusters]
+        return {
+            "clusters": float(len(clusters)),
+            "clustered_nodes": float(sum(sizes)),
+            "mean_size": float(sum(sizes) / len(sizes)) if sizes else 0.0,
+            "reconstructions": float(self.reconstructions),
+            "reassignments": float(self.reassignments),
+        }

@@ -1,0 +1,204 @@
+"""Sequential clustering of moving MNs (paper §3.2.1).
+
+The ADF uses *sequential clustering* (BSAS — Basic Sequential Algorithmic
+Scheme, Theodoridis & Koutroumbas) over each moving MN's velocity/direction:
+compute the similarity difference ``d(MN, C)`` to every existing cluster;
+if the minimum is below the similarity bound ``alpha`` the MN joins that
+cluster (whose representative is updated incrementally), otherwise a new
+cluster is born.  SS nodes are excluded — the paper clusters "every MN
+except MN in the SS".
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+from repro.geometry import angle_difference
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["MotionFeature", "Cluster", "SequentialClusterer"]
+
+
+@dataclass(frozen=True, slots=True)
+class MotionFeature:
+    """The clustering feature of one MN: mean speed and mean heading."""
+
+    speed: float
+    direction: float
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.speed, "speed")
+
+    def distance_to(self, other: "MotionFeature", direction_weight: float) -> float:
+        """Similarity difference between two features.
+
+        Dominated by the velocity difference (the paper's alpha is a
+        "minimum difference in velocity"); optionally augmented with the
+        angular distance scaled by *direction_weight* (m/s per radian).
+        """
+        d_speed = abs(self.speed - other.speed)
+        if direction_weight <= 0.0:
+            return d_speed
+        d_dir = abs(angle_difference(self.direction, other.direction))
+        return d_speed + direction_weight * d_dir
+
+
+class Cluster:
+    """A group of MNs with similar motion; keeps an incremental centroid."""
+
+    def __init__(self, cluster_id: int, first_member: str, feature: MotionFeature):
+        self.cluster_id = cluster_id
+        self._members: dict[str, MotionFeature] = {first_member: feature}
+        self._speed_sum = feature.speed
+        self._dir_x_sum = math.cos(feature.direction)
+        self._dir_y_sum = math.sin(feature.direction)
+
+    # -- membership ---------------------------------------------------------
+    @property
+    def members(self) -> frozenset[str]:
+        """Ids of member MNs."""
+        return frozenset(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._members
+
+    def add(self, node_id: str, feature: MotionFeature) -> None:
+        """Add (or re-add with a new feature) a member."""
+        if node_id in self._members:
+            self.remove(node_id)
+        self._members[node_id] = feature
+        self._speed_sum += feature.speed
+        self._dir_x_sum += math.cos(feature.direction)
+        self._dir_y_sum += math.sin(feature.direction)
+
+    def remove(self, node_id: str) -> None:
+        """Remove a member (KeyError when absent)."""
+        feature = self._members.pop(node_id)
+        self._speed_sum -= feature.speed
+        self._dir_x_sum -= math.cos(feature.direction)
+        self._dir_y_sum -= math.sin(feature.direction)
+
+    def member_feature(self, node_id: str) -> MotionFeature:
+        """The feature a member was inserted with."""
+        return self._members[node_id]
+
+    # -- representative -----------------------------------------------------
+    @property
+    def centroid(self) -> MotionFeature:
+        """Mean speed + circular-mean direction of the members."""
+        n = len(self._members)
+        if n == 0:
+            return MotionFeature(0.0, 0.0)
+        return MotionFeature(
+            speed=max(self._speed_sum / n, 0.0),
+            direction=math.atan2(self._dir_y_sum / n, self._dir_x_sum / n),
+        )
+
+    @property
+    def average_speed(self) -> float:
+        """Mean member speed — the quantity that sizes the cluster's DTH."""
+        n = len(self._members)
+        return max(self._speed_sum / n, 0.0) if n else 0.0
+
+    def __repr__(self) -> str:
+        c = self.centroid
+        return (
+            f"Cluster(id={self.cluster_id}, n={len(self)}, "
+            f"v={c.speed:.2f}m/s)"
+        )
+
+
+class SequentialClusterer:
+    """BSAS over a stream of (node, feature) assignments.
+
+    ``assign`` is idempotent per node: reassigning moves the node between
+    clusters as its motion changes.  Empty clusters are garbage-collected.
+    ``max_clusters`` bounds growth (the standard BSAS "q" parameter): when
+    the bound is hit, an out-of-range node joins its nearest cluster anyway.
+    """
+
+    def __init__(
+        self,
+        alpha: float,
+        *,
+        direction_weight: float = 0.0,
+        max_clusters: int | None = None,
+    ) -> None:
+        check_positive(alpha, "alpha")
+        check_non_negative(direction_weight, "direction_weight")
+        if max_clusters is not None and max_clusters < 1:
+            raise ValueError(f"max_clusters must be >= 1, got {max_clusters}")
+        self.alpha = alpha
+        self.direction_weight = direction_weight
+        self.max_clusters = max_clusters
+        self._clusters: dict[int, Cluster] = {}
+        self._assignment: dict[str, int] = {}
+        self._ids = itertools.count(1)
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def clusters(self) -> list[Cluster]:
+        """Live clusters (insertion order)."""
+        return list(self._clusters.values())
+
+    def cluster_count(self) -> int:
+        """Number of live clusters."""
+        return len(self._clusters)
+
+    def cluster_of(self, node_id: str) -> Cluster | None:
+        """The cluster a node currently belongs to, if any."""
+        cid = self._assignment.get(node_id)
+        return self._clusters.get(cid) if cid is not None else None
+
+    def assigned_nodes(self) -> list[str]:
+        """Ids of all currently clustered nodes."""
+        return list(self._assignment)
+
+    # -- the BSAS step -----------------------------------------------------------
+    def nearest(self, feature: MotionFeature) -> tuple[Cluster | None, float]:
+        """The nearest cluster and its distance (``(None, inf)`` when empty)."""
+        best: Cluster | None = None
+        best_d = math.inf
+        for cluster in self._clusters.values():
+            d = feature.distance_to(cluster.centroid, self.direction_weight)
+            if d < best_d:
+                best, best_d = cluster, d
+        return best, best_d
+
+    def assign(self, node_id: str, feature: MotionFeature) -> Cluster:
+        """Place *node_id* per BSAS; returns its (possibly new) cluster."""
+        self.unassign(node_id)
+        cluster, distance = self.nearest(feature)
+        if cluster is not None and distance < self.alpha:
+            cluster.add(node_id, feature)
+        elif (
+            self.max_clusters is not None
+            and len(self._clusters) >= self.max_clusters
+            and cluster is not None
+        ):
+            cluster.add(node_id, feature)
+        else:
+            cluster = Cluster(next(self._ids), node_id, feature)
+            self._clusters[cluster.cluster_id] = cluster
+        self._assignment[node_id] = cluster.cluster_id
+        return cluster
+
+    def unassign(self, node_id: str) -> None:
+        """Remove a node from its cluster (no-op when unassigned)."""
+        cid = self._assignment.pop(node_id, None)
+        if cid is None:
+            return
+        cluster = self._clusters[cid]
+        cluster.remove(node_id)
+        if len(cluster) == 0:
+            del self._clusters[cid]
+
+    def clear(self) -> None:
+        """Drop every cluster and assignment (used on reconstruction)."""
+        self._clusters.clear()
+        self._assignment.clear()

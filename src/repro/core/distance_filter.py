@@ -1,0 +1,85 @@
+"""The Distance Filter (paper §3.2.2).
+
+The DF suppresses a node's location update when the node has moved less
+than its Distance Threshold (DTH) since the *last transmitted* update.
+Crucially the reference point is the last transmitted fix, not the last
+observed one — otherwise a slowly creeping node would never be reported
+even after drifting arbitrarily far.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.geometry import Vec2
+from repro.util.validation import check_non_negative
+
+__all__ = ["FilterDecision", "DistanceFilter"]
+
+
+class FilterDecision(enum.Enum):
+    """Outcome of one filtering step."""
+
+    TRANSMIT = "transmit"
+    SUPPRESS = "suppress"
+
+
+@dataclass(frozen=True, slots=True)
+class _Reference:
+    position: Vec2
+    time: float
+
+
+class DistanceFilter:
+    """Per-node displacement gate against a caller-supplied DTH."""
+
+    def __init__(self) -> None:
+        self._reference: dict[str, _Reference] = {}
+        self.transmitted = 0
+        self.suppressed = 0
+
+    def decide(
+        self, node_id: str, position: Vec2, time: float, dth: float
+    ) -> FilterDecision:
+        """Gate one update.
+
+        The first update from a node always transmits (the broker knows
+        nothing yet).  Subsequent updates transmit iff the displacement from
+        the last transmitted fix *exceeds* *dth*; transmitting refreshes the
+        reference fix.  The inequality is strict so that a zero DTH filters
+        exactly the zero-displacement (stationary) updates while letting any
+        actual movement through.
+        """
+        check_non_negative(dth, "dth")
+        ref = self._reference.get(node_id)
+        if ref is None or position.distance_to(ref.position) > dth:
+            self._reference[node_id] = _Reference(position, time)
+            self.transmitted += 1
+            return FilterDecision.TRANSMIT
+        self.suppressed += 1
+        return FilterDecision.SUPPRESS
+
+    def displacement(self, node_id: str, position: Vec2) -> float | None:
+        """Displacement from the node's last transmitted fix (None if none)."""
+        ref = self._reference.get(node_id)
+        return position.distance_to(ref.position) if ref else None
+
+    def last_transmitted(self, node_id: str) -> Vec2 | None:
+        """The node's last transmitted position, if any."""
+        ref = self._reference.get(node_id)
+        return ref.position if ref else None
+
+    def forget(self, node_id: str) -> None:
+        """Drop the node's reference fix (e.g. when it leaves the grid)."""
+        self._reference.pop(node_id, None)
+
+    @property
+    def total(self) -> int:
+        """Total decisions made."""
+        return self.transmitted + self.suppressed
+
+    @property
+    def suppression_rate(self) -> float:
+        """Fraction of updates suppressed so far."""
+        return self.suppressed / self.total if self.total else 0.0

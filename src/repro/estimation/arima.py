@@ -1,0 +1,169 @@
+"""A small ARIMA(p, d, q) implementation.
+
+The paper cites ARIMA (Bowerman & O'Connell) as the precise-but-heavy
+alternative to exponential smoothing: "it needs a massive dataset to
+estimate and it is hard to update parameters".  We implement enough of it to
+run that comparison honestly (ablation A3): differencing, AR fitting via
+Yule-Walker, optional MA terms via conditional-sum-of-squares with scipy,
+and recursive forecasting with integration back to the original scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+__all__ = ["fit_ar_coefficients", "ArimaModel"]
+
+
+def fit_ar_coefficients(series: np.ndarray, order: int) -> np.ndarray:
+    """Fit AR(*order*) coefficients with the Yule-Walker equations.
+
+    Returns the ``phi`` vector such that
+    ``x_t ≈ phi_1 x_{t-1} + ... + phi_p x_{t-p}``.
+    """
+    x = np.asarray(series, dtype=float)
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    if x.size <= order:
+        raise ValueError(
+            f"need more than {order} observations to fit AR({order}), got {x.size}"
+        )
+    x = x - x.mean()
+    n = x.size
+    # Biased autocovariance estimates gamma(0..order).
+    gamma = np.array(
+        [float(np.dot(x[: n - k], x[k:])) / n for k in range(order + 1)]
+    )
+    if gamma[0] <= 0:
+        return np.zeros(order)
+    r_matrix = np.array(
+        [[gamma[abs(i - j)] for j in range(order)] for i in range(order)]
+    )
+    rhs = gamma[1 : order + 1]
+    try:
+        phi = np.linalg.solve(r_matrix, rhs)
+    except np.linalg.LinAlgError:
+        phi, *_ = np.linalg.lstsq(r_matrix, rhs, rcond=None)
+    return phi
+
+
+def _css_residuals(
+    params: np.ndarray, x: np.ndarray, p: int, q: int
+) -> np.ndarray:
+    """Conditional-sum-of-squares residuals for ARMA(p, q) on centred data."""
+    phi, theta = params[:p], params[p : p + q]
+    n = x.size
+    eps = np.zeros(n)
+    for t in range(n):
+        ar = sum(phi[i] * x[t - 1 - i] for i in range(p) if t - 1 - i >= 0)
+        ma = sum(theta[j] * eps[t - 1 - j] for j in range(q) if t - 1 - j >= 0)
+        eps[t] = x[t] - ar - ma
+    return eps
+
+
+class ArimaModel:
+    """ARIMA(p, d, q) fit on a fixed training window.
+
+    The model must be (re)fit whenever new data arrives — exactly the
+    operational cost the paper holds against ARIMA.  :meth:`forecast`
+    extrapolates ``h`` steps from the end of the training data.
+    """
+
+    def __init__(self, p: int = 2, d: int = 1, q: int = 0) -> None:
+        if p < 0 or d < 0 or q < 0:
+            raise ValueError(f"orders must be >= 0, got ({p}, {d}, {q})")
+        if p == 0 and q == 0:
+            raise ValueError("need at least one AR or MA term")
+        self.p, self.d, self.q = p, d, q
+        self._phi = np.zeros(p)
+        self._theta = np.zeros(q)
+        self._mean = 0.0
+        self._train: np.ndarray | None = None
+        self._diffed: np.ndarray | None = None
+
+    @property
+    def fitted(self) -> bool:
+        """True once :meth:`fit` has been called successfully."""
+        return self._train is not None
+
+    def min_observations(self) -> int:
+        """Fewest observations :meth:`fit` will accept."""
+        return self.d + max(self.p, self.q) + 4
+
+    def fit(self, series: np.ndarray) -> "ArimaModel":
+        """Estimate parameters from *series*; returns ``self``."""
+        x = np.asarray(series, dtype=float)
+        if x.size < self.min_observations():
+            raise ValueError(
+                f"need >= {self.min_observations()} observations, got {x.size}"
+            )
+        diffed = np.diff(x, n=self.d) if self.d else x.copy()
+        self._mean = float(diffed.mean())
+        centred = diffed - self._mean
+        if self.q == 0:
+            self._phi = (
+                fit_ar_coefficients(centred + self._mean, self.p)
+                if self.p
+                else np.zeros(0)
+            )
+        else:
+            start = np.zeros(self.p + self.q)
+            if self.p:
+                start[: self.p] = fit_ar_coefficients(centred + self._mean, self.p)
+            result = optimize.least_squares(
+                _css_residuals,
+                start,
+                args=(centred, self.p, self.q),
+                method="lm",
+                max_nfev=200,
+            )
+            self._phi = result.x[: self.p]
+            self._theta = result.x[self.p : self.p + self.q]
+        self._train = x
+        self._diffed = centred
+        return self
+
+    def forecast(self, horizon: int = 1) -> np.ndarray:
+        """Forecast *horizon* future values on the original scale."""
+        if not self.fitted:
+            raise RuntimeError("fit() the model before forecasting")
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        assert self._diffed is not None and self._train is not None
+        history = list(self._diffed)
+        eps = _css_residuals(
+            np.concatenate([self._phi, self._theta]), self._diffed, self.p, self.q
+        )
+        eps_hist = list(eps)
+        diffed_forecasts = []
+        for _ in range(horizon):
+            ar = sum(
+                self._phi[i] * history[-1 - i]
+                for i in range(self.p)
+                if len(history) > i
+            )
+            ma = sum(
+                self._theta[j] * eps_hist[-1 - j]
+                for j in range(self.q)
+                if len(eps_hist) > j
+            )
+            value = ar + ma
+            history.append(value)
+            eps_hist.append(0.0)  # future shocks have zero expectation
+            diffed_forecasts.append(value + self._mean)
+        return self._integrate(np.asarray(diffed_forecasts))
+
+    def _integrate(self, diffed_forecasts: np.ndarray) -> np.ndarray:
+        """Undo d rounds of differencing against the training tail."""
+        assert self._train is not None
+        if self.d == 0:
+            return diffed_forecasts
+        # Rebuild the chain of last values of each differencing level.
+        levels = [self._train]
+        for _ in range(self.d - 1):
+            levels.append(np.diff(levels[-1]))
+        out = diffed_forecasts
+        for level in reversed(levels):
+            out = np.cumsum(out) + level[-1]
+        return out

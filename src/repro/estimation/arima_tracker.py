@@ -1,0 +1,69 @@
+"""An ARIMA-based location tracker — the estimator the paper rejects.
+
+The paper (§3.3): "ARIMA can estimate precisely, but it needs a massive
+dataset to estimate and it is hard to update parameters."  This tracker
+makes that concrete: it keeps a window of position fixes per coordinate
+and refits ARIMA(p, d, 0) whenever a prediction is requested.  Accuracy is
+comparable to Brown's smoothing on linear movement; the per-prediction
+cost is orders of magnitude higher (see ``bench_ablation_estimator``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.estimation.arima import ArimaModel
+from repro.estimation.tracker import LocationTracker
+from repro.geometry import Vec2
+
+__all__ = ["ArimaTracker"]
+
+
+class ArimaTracker(LocationTracker):
+    """Refit-per-prediction ARIMA(p, d, 0) on each coordinate."""
+
+    def __init__(self, p: int = 1, d: int = 1, window: int = 64) -> None:
+        super().__init__()
+        if window < ArimaModel(p=p, d=d).min_observations():
+            raise ValueError(
+                f"window {window} too small for ARIMA({p},{d},0)"
+            )
+        self._p = p
+        self._d = d
+        self._window = window
+        self._xs: list[float] = []
+        self._ys: list[float] = []
+
+    @property
+    def observations_buffered(self) -> int:
+        """Fixes currently in the refit window."""
+        return len(self._xs)
+
+    def _observe(self, time: float, position: Vec2, velocity: Vec2) -> None:
+        self._xs.append(position.x)
+        self._ys.append(position.y)
+        if len(self._xs) > self._window:
+            self._xs.pop(0)
+            self._ys.pop(0)
+
+    def predict(self, time: float) -> Vec2:
+        t_fix, position = self._require_fix()
+        if len(self._xs) < ArimaModel(p=self._p, d=self._d).min_observations():
+            return position
+        horizon = max(int(round(time - t_fix)), 1)
+        try:
+            x = (
+                ArimaModel(p=self._p, d=self._d)
+                .fit(np.asarray(self._xs))
+                .forecast(horizon)[-1]
+            )
+            y = (
+                ArimaModel(p=self._p, d=self._d)
+                .fit(np.asarray(self._ys))
+                .forecast(horizon)[-1]
+            )
+        except (ValueError, np.linalg.LinAlgError):
+            return position
+        if not (np.isfinite(x) and np.isfinite(y)):
+            return position
+        return self._clamp_to_cap(Vec2(float(x), float(y)))

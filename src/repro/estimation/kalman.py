@@ -1,0 +1,112 @@
+"""A constant-velocity Kalman filter tracker.
+
+The canonical dead-reckoning estimator for moving targets, included as the
+strongest reasonable alternative to the paper's Brown smoothing (ablation
+A3).  State is ``[x, y, vx, vy]`` with a white-acceleration process model;
+measurements are the LU's position and velocity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.estimation.tracker import LocationTracker
+from repro.geometry import Vec2
+from repro.util.validation import check_positive
+
+__all__ = ["KalmanTracker"]
+
+
+class KalmanTracker(LocationTracker):
+    """Linear Kalman filter over position + velocity.
+
+    ``process_noise`` (sigma_a, m/s^2) sets how quickly the filter expects
+    velocity to wander; ``position_noise`` / ``velocity_noise`` are the
+    measurement standard deviations of the LU's fix.
+    """
+
+    def __init__(
+        self,
+        *,
+        process_noise: float = 0.8,
+        position_noise: float = 0.5,
+        velocity_noise: float = 0.5,
+    ) -> None:
+        super().__init__()
+        check_positive(process_noise, "process_noise")
+        check_positive(position_noise, "position_noise")
+        check_positive(velocity_noise, "velocity_noise")
+        self._sigma_a = process_noise
+        self._r = np.diag(
+            [
+                position_noise**2,
+                position_noise**2,
+                velocity_noise**2,
+                velocity_noise**2,
+            ]
+        )
+        self._state = np.zeros(4)
+        self._cov = np.eye(4) * 1e3
+        self._initialised = False
+
+    # -- model matrices --------------------------------------------------------
+    @staticmethod
+    def _transition(dt: float) -> np.ndarray:
+        f = np.eye(4)
+        f[0, 2] = dt
+        f[1, 3] = dt
+        return f
+
+    def _process_cov(self, dt: float) -> np.ndarray:
+        """White-acceleration Q for a 2-D constant-velocity model."""
+        q11 = dt**4 / 4.0
+        q13 = dt**3 / 2.0
+        q33 = dt**2
+        q = np.array(
+            [
+                [q11, 0.0, q13, 0.0],
+                [0.0, q11, 0.0, q13],
+                [q13, 0.0, q33, 0.0],
+                [0.0, q13, 0.0, q33],
+            ]
+        )
+        return q * self._sigma_a**2
+
+    def _predict_state(self, dt: float) -> tuple[np.ndarray, np.ndarray]:
+        f = self._transition(dt)
+        return f @ self._state, f @ self._cov @ f.T + self._process_cov(dt)
+
+    # -- tracker interface --------------------------------------------------------
+    def _observe(self, time: float, position: Vec2, velocity: Vec2) -> None:
+        z = np.array([position.x, position.y, velocity.x, velocity.y])
+        if not self._initialised:
+            self._state = z.copy()
+            self._cov = self._r.copy()
+            self._initialised = True
+            return
+        dt = max(time - (self._last_time if self._last_time is not None else time), 0.0)
+        state, cov = self._predict_state(dt) if dt > 0 else (self._state, self._cov)
+        # Measurement model H = I (we observe the full state).
+        innovation = z - state
+        s = cov + self._r
+        gain = cov @ np.linalg.inv(s)
+        self._state = state + gain @ innovation
+        self._cov = (np.eye(4) - gain) @ cov
+
+    def predict(self, time: float) -> Vec2:
+        t_fix, position = self._require_fix()
+        if not self._initialised:
+            return position
+        dt = max(time - t_fix, 0.0)
+        if dt == 0.0:
+            # At the fix time the answer is the *filtered* state — the
+            # whole point of the filter is that it beats the raw fix.
+            state = self._state
+        else:
+            state, _ = self._predict_state(dt)
+        return self._clamp_to_cap(Vec2(float(state[0]), float(state[1])))
+
+    @property
+    def velocity_estimate(self) -> Vec2:
+        """The filter's current velocity estimate."""
+        return Vec2(float(self._state[2]), float(self._state[3]))

@@ -1,0 +1,81 @@
+"""Map-matched estimation: snap predictions onto the road network.
+
+The broker knows the campus map and each LU's region; a node last seen on
+a road is overwhelmingly likely still on it.  Wrapping any base tracker
+with a map-matching step projects off-road predictions onto the serving
+road's centerline, cutting the cross-track component of the error.  (For
+nodes last seen in a building the prediction is clamped into the
+building's bounds instead.)
+
+This is a beyond-paper extension demonstrating how the broker could exploit
+world knowledge the ADF already transmits for free (the LU's region tag).
+"""
+
+from __future__ import annotations
+
+from repro.campus import Campus, RegionKind
+from repro.estimation.tracker import LocationTracker
+from repro.geometry import Vec2
+
+__all__ = ["MapMatchedTracker"]
+
+
+class MapMatchedTracker(LocationTracker):
+    """Decorates a base tracker with region-aware prediction projection."""
+
+    def __init__(self, base: LocationTracker, campus: Campus) -> None:
+        super().__init__()
+        self._base = base
+        self._campus = campus
+        self._last_region: str | None = None
+
+    def set_region(self, region_id: str | None) -> None:
+        """Record the region tag of the most recent LU."""
+        self._last_region = region_id if region_id else None
+
+    def update(
+        self,
+        time: float,
+        position: Vec2,
+        velocity: Vec2,
+        *,
+        displacement_cap: float | None = None,
+        region_id: str | None = None,
+    ) -> None:
+        """Absorb an LU; *region_id* enables the map-matching step."""
+        super().update(
+            time, position, velocity, displacement_cap=displacement_cap
+        )
+        self._base.update(
+            time, position, velocity, displacement_cap=displacement_cap
+        )
+        if region_id is not None:
+            self.set_region(region_id)
+
+    def _observe(self, time: float, position: Vec2, velocity: Vec2) -> None:
+        pass  # the base tracker holds the estimation state
+
+    def predict(self, time: float) -> Vec2:
+        self._require_fix()
+        raw = self._base.predict(time)
+        if self._last_region is None:
+            return raw
+        try:
+            region = self._campus.region(self._last_region)
+        except KeyError:
+            return raw
+        if region.kind is RegionKind.ROAD and region.centerline is not None:
+            # Project onto the road's centerline polyline.
+            best = raw
+            best_d = float("inf")
+            waypoints = list(region.centerline.waypoints)
+            from repro.geometry.shapes import Segment
+
+            for a, b in zip(waypoints, waypoints[1:]):
+                _, closest = Segment(a, b).project(raw)
+                d = closest.distance_to(raw)
+                if d < best_d:
+                    best, best_d = closest, d
+            return best
+        # Buildings: clamp into the region's bounds.
+        return region.bounds.clamp(raw)

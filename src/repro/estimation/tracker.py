@@ -1,0 +1,268 @@
+"""2-D location trackers: the broker's view of one mobile node.
+
+A tracker absorbs the (possibly filtered) stream of location updates for one
+MN and answers ``predict(t)``: where is the node now?  The paper's Location
+Estimator (:class:`BrownTracker`) smooths the node's *velocity and
+direction* with Brown's double exponential smoothing and projects the next
+coordinates "by using trigonometric function" (§3.3).  The no-LE baseline
+(:class:`LastKnownTracker`) just returns the last received fix.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+from repro.estimation.smoothing import (
+    BrownDoubleExponentialSmoothing,
+    HoltLinearSmoothing,
+    SimpleExponentialSmoothing,
+    _Smoother,
+)
+from repro.geometry import Vec2
+
+__all__ = [
+    "LocationTracker",
+    "LastKnownTracker",
+    "BrownTracker",
+    "VelocityComponentTracker",
+    "SimpleSmoothingTracker",
+    "HoltTracker",
+]
+
+
+class LocationTracker(abc.ABC):
+    """Base tracker: one per (broker, MN) pair."""
+
+    def __init__(self) -> None:
+        self._last_time: float | None = None
+        self._last_position: Vec2 | None = None
+        self._displacement_cap: float | None = None
+        self._updates = 0
+
+    @property
+    def updates_received(self) -> int:
+        """How many LUs have been absorbed."""
+        return self._updates
+
+    @property
+    def has_fix(self) -> bool:
+        """True once at least one LU has been absorbed."""
+        return self._last_position is not None
+
+    @property
+    def last_fix(self) -> tuple[float, Vec2] | None:
+        """The most recent received ``(time, position)``, if any."""
+        if self._last_position is None or self._last_time is None:
+            return None
+        return self._last_time, self._last_position
+
+    def update(
+        self,
+        time: float,
+        position: Vec2,
+        velocity: Vec2,
+        *,
+        displacement_cap: float | None = None,
+    ) -> None:
+        """Absorb a received LU.
+
+        *displacement_cap*, when given and positive, is the distance filter's
+        DTH in force for this node: until the next LU arrives, the node is
+        guaranteed to be within that distance of *position*, so predictions
+        are clamped onto that disc.
+        """
+        if self._last_time is not None and time < self._last_time:
+            raise ValueError(
+                f"update times must be non-decreasing: {time} < {self._last_time}"
+            )
+        self._observe(time, position, velocity)
+        self._last_time = time
+        self._last_position = position
+        self._displacement_cap = (
+            displacement_cap if displacement_cap and displacement_cap > 0 else None
+        )
+        self._updates += 1
+
+    def _clamp_to_cap(self, predicted: Vec2) -> Vec2:
+        """Pull *predicted* back onto the silence-implied disc, if any."""
+        if self._displacement_cap is None or self._last_position is None:
+            return predicted
+        offset = predicted - self._last_position
+        distance = offset.norm()
+        if distance <= self._displacement_cap:
+            return predicted
+        return self._last_position + offset * (self._displacement_cap / distance)
+
+    @abc.abstractmethod
+    def _observe(self, time: float, position: Vec2, velocity: Vec2) -> None: ...
+
+    @abc.abstractmethod
+    def predict(self, time: float) -> Vec2:
+        """Best estimate of the node's position at *time* (>= last update)."""
+
+    def _require_fix(self) -> tuple[float, Vec2]:
+        if self._last_position is None or self._last_time is None:
+            raise RuntimeError("tracker has no fix yet; cannot predict")
+        return self._last_time, self._last_position
+
+
+class LastKnownTracker(LocationTracker):
+    """No estimation: the node is assumed frozen at its last reported fix.
+
+    This is the "without LE" configuration of Figs. 7 and 8.
+    """
+
+    def _observe(self, time: float, position: Vec2, velocity: Vec2) -> None:
+        pass
+
+    def predict(self, time: float) -> Vec2:
+        _, position = self._require_fix()
+        return position
+
+
+class BrownTracker(LocationTracker):
+    """The paper's Location Estimator.
+
+    Speed and direction are each smoothed with Brown's double exponential
+    smoothing over the received LUs.  Direction is smoothed on its unit
+    vector (one Brown smoother per cos/sin component), which keeps the
+    estimate wrap-safe: smoothing a raw or unwrapped angle turns periodic
+    headings — e.g. a node patrolling a road back and forth — into a ramp
+    whose trend permanently rotates the estimate off-heading.  The
+    prediction projects from the last fix:
+
+        position(t) = last_fix + v_hat * (t - t_fix) * (cos θ_hat, sin θ_hat)
+    """
+
+    def __init__(self, alpha: float = 0.4) -> None:
+        super().__init__()
+        self._speed = BrownDoubleExponentialSmoothing(alpha)
+        self._dir_cos = BrownDoubleExponentialSmoothing(alpha)
+        self._dir_sin = BrownDoubleExponentialSmoothing(alpha)
+
+    def _observe(self, time: float, position: Vec2, velocity: Vec2) -> None:
+        speed = velocity.norm()
+        self._speed.update(speed)
+        if speed > 1e-9:
+            unit = velocity / speed
+            self._dir_cos.update(unit.x)
+            self._dir_sin.update(unit.y)
+
+    def _heading_vector(self) -> Vec2 | None:
+        """Smoothed heading as a vector whose norm encodes confidence.
+
+        The forecast of the cos/sin components is the (trend-extrapolated)
+        mean resultant vector of recent headings: length ~1 for steady
+        headings, ~0 for erratic ones.  Scaling the dead-reckoned
+        displacement by that length makes the estimator conservative exactly
+        when direction is unpredictable (RMS nodes, reversals).
+        """
+        if not self._dir_cos.ready:
+            return None
+        c = self._dir_cos.forecast(1.0)
+        s = self._dir_sin.forecast(1.0)
+        norm = math.hypot(c, s)
+        if norm <= 1e-9:
+            return None
+        if norm > 1.0:
+            c, s = c / norm, s / norm
+        return Vec2(c, s)
+
+    def predict(self, time: float) -> Vec2:
+        t_fix, position = self._require_fix()
+        dt = max(time - t_fix, 0.0)
+        if dt == 0.0 or not self._speed.ready:
+            return position
+        speed = max(self._speed.forecast(1.0), 0.0)
+        heading = self._heading_vector()
+        if speed <= 1e-9 or heading is None:
+            return position
+        return self._clamp_to_cap(position + heading * (speed * dt))
+
+
+class VelocityComponentTracker(LocationTracker):
+    """Smooths the velocity's x/y components instead of speed/direction.
+
+    Mathematically close to :class:`BrownTracker` but free of angle
+    unwrapping; included as an estimator-design ablation.
+    """
+
+    def __init__(self, alpha: float = 0.4) -> None:
+        super().__init__()
+        self._vx = BrownDoubleExponentialSmoothing(alpha)
+        self._vy = BrownDoubleExponentialSmoothing(alpha)
+
+    def _observe(self, time: float, position: Vec2, velocity: Vec2) -> None:
+        self._vx.update(velocity.x)
+        self._vy.update(velocity.y)
+
+    def predict(self, time: float) -> Vec2:
+        t_fix, position = self._require_fix()
+        dt = max(time - t_fix, 0.0)
+        if dt == 0.0 or not self._vx.ready:
+            return position
+        return self._clamp_to_cap(
+            position + Vec2(self._vx.forecast(1.0), self._vy.forecast(1.0)) * dt
+        )
+
+
+class _ScalarPairTracker(LocationTracker):
+    """Shared machinery for trackers that smooth speed + direction.
+
+    Direction is smoothed on its unit vector components, as in
+    :class:`BrownTracker`.
+    """
+
+    def __init__(
+        self, speed: _Smoother, dir_cos: _Smoother, dir_sin: _Smoother
+    ) -> None:
+        super().__init__()
+        self._speed = speed
+        self._dir_cos = dir_cos
+        self._dir_sin = dir_sin
+
+    def _observe(self, time: float, position: Vec2, velocity: Vec2) -> None:
+        speed = velocity.norm()
+        self._speed.update(speed)
+        if speed > 1e-9:
+            unit = velocity / speed
+            self._dir_cos.update(unit.x)
+            self._dir_sin.update(unit.y)
+
+    def predict(self, time: float) -> Vec2:
+        t_fix, position = self._require_fix()
+        dt = max(time - t_fix, 0.0)
+        if dt == 0.0 or not self._speed.ready or not self._dir_cos.ready:
+            return position
+        speed = max(self._speed.forecast(1.0), 0.0)
+        c = self._dir_cos.forecast(1.0)
+        s = self._dir_sin.forecast(1.0)
+        norm = math.hypot(c, s)
+        if speed <= 1e-9 or norm <= 1e-9:
+            return position
+        if norm > 1.0:
+            c, s = c / norm, s / norm
+        return self._clamp_to_cap(position + Vec2(c, s) * (speed * dt))
+
+
+class SimpleSmoothingTracker(_ScalarPairTracker):
+    """Single exponential smoothing on speed/direction (no trend)."""
+
+    def __init__(self, alpha: float = 0.4) -> None:
+        super().__init__(
+            SimpleExponentialSmoothing(alpha),
+            SimpleExponentialSmoothing(alpha),
+            SimpleExponentialSmoothing(alpha),
+        )
+
+
+class HoltTracker(_ScalarPairTracker):
+    """Holt's linear method on speed/direction."""
+
+    def __init__(self, alpha: float = 0.4, beta: float = 0.2) -> None:
+        super().__init__(
+            HoltLinearSmoothing(alpha, beta),
+            HoltLinearSmoothing(alpha, beta),
+            HoltLinearSmoothing(alpha, beta),
+        )

@@ -1,0 +1,38 @@
+"""Experiment harness reproducing the paper's evaluation (§4).
+
+The setup: 140 MNs on the 11-region campus for 1800 simulated seconds, one
+LU per node per second, DTH factors 0.75 / 1.0 / 1.25 x average velocity.
+Every figure and table of the paper has a generator here; the benchmarks in
+``benchmarks/`` and the CLI drive them.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.results import ExperimentResult, LaneResult, RegionErrors
+from repro.experiments.harness import MobileGridExperiment, run_experiment
+from repro.experiments.figures import (
+    fig4_lus_per_second,
+    fig5_accumulated_lus,
+    fig6_transmission_rate_by_region,
+    fig7_rmse_over_time,
+    fig8_rmse_by_region_without_le,
+    fig9_rmse_by_region_with_le,
+    table1_specification,
+)
+from repro.experiments.report import render_report
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "LaneResult",
+    "RegionErrors",
+    "MobileGridExperiment",
+    "run_experiment",
+    "table1_specification",
+    "fig4_lus_per_second",
+    "fig5_accumulated_lus",
+    "fig6_transmission_rate_by_region",
+    "fig7_rmse_over_time",
+    "fig8_rmse_by_region_without_le",
+    "fig9_rmse_by_region_with_le",
+    "render_report",
+]

@@ -1,0 +1,66 @@
+"""Experiment configuration files (TOML or JSON).
+
+Lets a user pin an experiment in version control::
+
+    # experiment.toml
+    duration = 1800.0
+    dth_factors = [0.75, 1.0, 1.25]
+    seed = 7
+    [population]
+    road_humans_per_road = 5
+    building_stop = 5
+
+Unknown keys raise — silently ignored configuration is how reproductions
+rot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import tomllib
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.config import ExperimentConfig
+from repro.mobility.population import PopulationSpec
+
+__all__ = ["config_from_dict", "load_config"]
+
+_CONFIG_FIELDS = {f.name for f in dataclasses.fields(ExperimentConfig)}
+_POPULATION_FIELDS = {f.name for f in dataclasses.fields(PopulationSpec)}
+
+
+def config_from_dict(data: dict[str, Any]) -> ExperimentConfig:
+    """Build an :class:`ExperimentConfig` from plain data.
+
+    ``population`` may be a nested mapping of :class:`PopulationSpec`
+    fields (velocity bands keep their defaults).  Any unknown key raises
+    ``ValueError``.
+    """
+    data = dict(data)
+    population_data = data.pop("population", None)
+    unknown = set(data) - _CONFIG_FIELDS
+    if unknown:
+        raise ValueError(f"unknown config keys: {sorted(unknown)}")
+    if "dth_factors" in data:
+        data["dth_factors"] = tuple(data["dth_factors"])
+    kwargs: dict[str, Any] = dict(data)
+    if population_data is not None:
+        bad = set(population_data) - _POPULATION_FIELDS
+        if bad:
+            raise ValueError(f"unknown population keys: {sorted(bad)}")
+        kwargs["population"] = PopulationSpec(**population_data)
+    return ExperimentConfig(**kwargs)
+
+
+def load_config(path: str | Path) -> ExperimentConfig:
+    """Load a config from a ``.toml`` or ``.json`` file."""
+    path = Path(path)
+    if path.suffix == ".toml":
+        data = tomllib.loads(path.read_text())
+    elif path.suffix == ".json":
+        data = json.loads(path.read_text())
+    else:
+        raise ValueError(f"unsupported config format {path.suffix!r}")
+    return config_from_dict(data)

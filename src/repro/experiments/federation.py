@@ -1,0 +1,292 @@
+"""The experiment as an HLA federation (paper §3.4: HLA 1.3 simulation).
+
+The paper runs its evaluation as a distributed HLA simulation.  This module
+wires the same experiment through :class:`repro.hla.RTIKernel` with three
+federates, exercising publish/subscribe attribute reflection, interactions
+and conservative time management end-to-end:
+
+* **MobilityFederate** — owns one ``MobileNode`` object instance per MN and
+  publishes per-second position/velocity attribute updates (TSO);
+* **AdfFederate** — subscribes to MN attributes, runs the ADF pipeline, and
+  sends surviving LUs as ``LocationUpdate`` interactions (TSO);
+* **BrokerFederate** — subscribes to the interactions, maintains the
+  location DB and runs the Location Estimator each granted step.
+
+All three are time-regulating and time-constrained with lookahead equal to
+the reporting interval, advancing in lock-step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.broker.broker import BrokerConfig, GridBroker
+from repro.campus import Campus, default_campus
+from repro.core.adf import AdaptiveDistanceFilter
+from repro.core.distance_filter import FilterDecision
+from repro.estimation.metrics import rmse
+from repro.experiments.config import ExperimentConfig
+from repro.geometry import Vec2
+from repro.hla import FederateAmbassador, FederationObjectModel, RTIKernel
+from repro.mobility.node import MobileNode
+from repro.mobility.population import build_population
+from repro.network.messages import LocationUpdate
+from repro.util.rng import RngRegistry
+from repro.util.timeseries import TimeSeries
+
+__all__ = [
+    "MOBILE_NODE_CLASS",
+    "LOCATION_UPDATE_INTERACTION",
+    "mobile_grid_fom",
+    "MobilityFederate",
+    "AdfFederate",
+    "BrokerFederate",
+    "FederationResult",
+    "run_federated_experiment",
+]
+
+MOBILE_NODE_CLASS = "MobileNode"
+LOCATION_UPDATE_INTERACTION = "LocationUpdate"
+
+
+def mobile_grid_fom() -> FederationObjectModel:
+    """The federation object model the three federates agree on."""
+    fom = FederationObjectModel()
+    fom.add_object_class(
+        MOBILE_NODE_CLASS, ("x", "y", "vx", "vy", "region", "node_id")
+    )
+    fom.add_interaction_class(
+        LOCATION_UPDATE_INTERACTION,
+        ("node_id", "x", "y", "vx", "vy", "region", "time", "dth"),
+    )
+    return fom
+
+
+class MobilityFederate(FederateAmbassador):
+    """Owns the MN instances and publishes their kinematics."""
+
+    def __init__(
+        self,
+        rti: RTIKernel,
+        campus: Campus,
+        nodes: list[MobileNode],
+        step: float,
+    ) -> None:
+        self._rti = rti
+        self._campus = campus
+        self._nodes = nodes
+        self._step = step
+        self.handle = rti.join("mobility", self)
+        rti.publish_object_class(self.handle, MOBILE_NODE_CLASS)
+        rti.enable_time_regulation(self.handle, lookahead=step)
+        rti.enable_time_constrained(self.handle)
+        self._instances = {
+            node.node_id: rti.register_object_instance(
+                self.handle, MOBILE_NODE_CLASS, node.node_id
+            )
+            for node in nodes
+        }
+        self.granted_time = 0.0
+
+    def advance_and_publish(self, to_time: float) -> None:
+        """Move every node one step and push TSO attribute updates."""
+        for node in self._nodes:
+            sample = node.advance(self._step)
+            region = self._campus.region_at(sample.position)
+            self._rti.update_attribute_values(
+                self.handle,
+                self._instances[node.node_id],
+                {
+                    "x": sample.position.x,
+                    "y": sample.position.y,
+                    "vx": sample.velocity.x,
+                    "vy": sample.velocity.y,
+                    "region": region.region_id if region else node.home_region,
+                    "node_id": node.node_id,
+                },
+                timestamp=to_time,
+            )
+
+    def request_advance(self, to_time: float) -> None:
+        """Issue the TAR for this step."""
+        self._rti.time_advance_request(self.handle, to_time)
+
+    def time_advance_grant(self, time: float) -> None:
+        self.granted_time = time
+
+
+class AdfFederate(FederateAmbassador):
+    """Runs the ADF over reflected MN attributes; emits LU interactions."""
+
+    def __init__(self, rti: RTIKernel, adf: AdaptiveDistanceFilter, step: float) -> None:
+        self._rti = rti
+        self.adf = adf
+        self._step = step
+        self.handle = rti.join("adf", self)
+        rti.subscribe_object_class(self.handle, MOBILE_NODE_CLASS)
+        rti.publish_interaction_class(self.handle, LOCATION_UPDATE_INTERACTION)
+        rti.enable_time_regulation(self.handle, lookahead=step)
+        rti.enable_time_constrained(self.handle)
+        self.granted_time = 0.0
+        self.reflections = 0
+        self.forwarded = 0
+
+    def reflect_attribute_values(
+        self, instance: int, attributes: dict[str, Any], timestamp: float | None
+    ) -> None:
+        self.reflections += 1
+        time = timestamp if timestamp is not None else self.granted_time
+        update = LocationUpdate(
+            sender=str(attributes["node_id"]),
+            timestamp=time,
+            node_id=str(attributes["node_id"]),
+            position=Vec2(float(attributes["x"]), float(attributes["y"])),
+            velocity=Vec2(float(attributes["vx"]), float(attributes["vy"])),
+            region_id=str(attributes["region"]),
+        )
+        decision = self.adf.process(update)
+        if decision is FilterDecision.TRANSMIT:
+            self.forwarded += 1
+            self._rti.send_interaction(
+                self.handle,
+                LOCATION_UPDATE_INTERACTION,
+                {
+                    "node_id": update.node_id,
+                    "x": update.position.x,
+                    "y": update.position.y,
+                    "vx": update.velocity.x,
+                    "vy": update.velocity.y,
+                    "region": update.region_id,
+                    "time": time,
+                    "dth": self.adf.dth_of(update.node_id),
+                },
+                timestamp=time + self._step,
+            )
+
+    def request_advance(self, to_time: float) -> None:
+        """Issue the TAR for this step; reclusters on grant."""
+        self._rti.time_advance_request(self.handle, to_time)
+
+    def time_advance_grant(self, time: float) -> None:
+        self.granted_time = time
+        self.adf.tick(time)
+
+
+class BrokerFederate(FederateAmbassador):
+    """Consumes LU interactions; estimates silent nodes on each grant."""
+
+    def __init__(self, rti: RTIKernel, broker: GridBroker, step: float) -> None:
+        self._rti = rti
+        self.broker = broker
+        self._step = step
+        self.handle = rti.join("broker", self)
+        rti.subscribe_interaction_class(self.handle, LOCATION_UPDATE_INTERACTION)
+        rti.enable_time_constrained(self.handle)
+        rti.enable_time_regulation(self.handle, lookahead=step)
+        self.granted_time = 0.0
+        self.received = 0
+
+    def receive_interaction(
+        self, class_name: str, parameters: dict[str, Any], timestamp: float | None
+    ) -> None:
+        self.received += 1
+        update = LocationUpdate(
+            sender=str(parameters["node_id"]),
+            timestamp=float(parameters["time"]),
+            node_id=str(parameters["node_id"]),
+            position=Vec2(float(parameters["x"]), float(parameters["y"])),
+            velocity=Vec2(float(parameters["vx"]), float(parameters["vy"])),
+            region_id=str(parameters["region"]),
+            dth=float(parameters["dth"]),
+        )
+        self.broker.receive_update(update)
+
+    def request_advance(self, to_time: float) -> None:
+        """Issue the TAR for this step."""
+        self._rti.time_advance_request(self.handle, to_time)
+
+    def time_advance_grant(self, time: float) -> None:
+        self.granted_time = time
+        self.broker.tick(time)
+
+
+@dataclass
+class FederationResult:
+    """Measurements of a federated run."""
+
+    duration: float
+    lus_forwarded: int
+    lus_received_by_broker: int
+    reflections: int
+    rmse_series: TimeSeries
+    reduction_vs_ideal: float
+
+
+def run_federated_experiment(
+    config: ExperimentConfig | None = None,
+    *,
+    dth_factor: float = 1.0,
+) -> FederationResult:
+    """Run the experiment through the HLA federation.
+
+    One ADF lane at *dth_factor*, brokers with the Location Estimator on.
+    The interaction timestamps carry one-step lookahead, so the broker sees
+    each LU one reporting interval after the fix was taken — the RTI's
+    conservative time management in action.
+    """
+    config = config or ExperimentConfig()
+    campus = default_campus()
+    rng = RngRegistry(config.seed)
+    nodes = build_population(campus, config.population, rng)
+
+    rti = RTIKernel("mobile-grid", mobile_grid_fom())
+    step = config.report_interval
+    mobility = MobilityFederate(rti, campus, nodes, step)
+    adf = AdfFederate(rti, AdaptiveDistanceFilter(config.adf_config(dth_factor)), step)
+    broker = BrokerFederate(
+        rti,
+        GridBroker(
+            BrokerConfig(
+                use_location_estimator=True,
+                smoothing_alpha=config.smoothing_alpha,
+                report_interval=step,
+            )
+        ),
+        step,
+    )
+
+    # Initialization barrier, as a real HLA federation would do: nobody
+    # advances time until every federate has achieved "population-ready".
+    rti.register_synchronization_point(mobility.handle, "population-ready")
+    for federate in (mobility, adf, broker):
+        rti.synchronization_point_achieved(federate.handle, "population-ready")
+    assert rti.pending_synchronization("population-ready") == set()
+
+    rmse_series = TimeSeries()
+    steps = config.steps()
+    ideal_total = 0
+    for i in range(1, steps + 1):
+        now = i * step
+        mobility.advance_and_publish(now)
+        ideal_total += len(nodes)
+        mobility.request_advance(now)
+        adf.request_advance(now)
+        broker.request_advance(now)
+        errors = []
+        for node in nodes:
+            believed = broker.broker.location_db.position_of(node.node_id)
+            if believed is not None:
+                errors.append(node.position.distance_to(believed))
+        if errors:
+            rmse_series.append(now, rmse(errors))
+
+    reduction = 1.0 - (broker.received / ideal_total if ideal_total else 0.0)
+    return FederationResult(
+        duration=config.duration,
+        lus_forwarded=adf.forwarded,
+        lus_received_by_broker=broker.received,
+        reflections=adf.reflections,
+        rmse_series=rmse_series,
+        reduction_vs_ideal=reduction,
+    )

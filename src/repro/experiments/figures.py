@@ -1,0 +1,155 @@
+"""Per-figure/table data generators.
+
+Each function turns an :class:`ExperimentResult` (or, for Table 1, just a
+population spec) into the rows/series the corresponding paper figure
+reports.  The benchmark harness prints these; EXPERIMENTS.md records them
+against the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.campus import Campus, default_campus
+from repro.experiments.results import ExperimentResult
+from repro.mobility.population import PopulationSpec, table1_spec
+from repro.util.timeseries import TimeSeries
+
+__all__ = [
+    "Table1Row",
+    "table1_specification",
+    "fig4_lus_per_second",
+    "fig5_accumulated_lus",
+    "fig6_transmission_rate_by_region",
+    "fig7_rmse_over_time",
+    "fig8_rmse_by_region_without_le",
+    "fig9_rmse_by_region_with_le",
+]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table 1."""
+
+    region_kind: str
+    region_count: int
+    mobility_pattern: str
+    node_type: str
+    node_count: int
+    velocity_range: str
+
+
+def table1_specification(
+    spec: PopulationSpec | None = None, campus: Campus | None = None
+) -> list[Table1Row]:
+    """Reproduce Table 1 (MN specification) from the population spec."""
+    spec = spec or table1_spec()
+    campus = campus or default_campus()
+    n_roads = len(campus.roads())
+    n_buildings = len(campus.buildings())
+
+    def fmt(band) -> str:
+        if band.low == band.high:
+            return f"{band.low:g}m/s"
+        return f"{band.low:g}~{band.high:g}m/s"
+
+    return [
+        Table1Row(
+            "Road", n_roads, "LMS", "Human",
+            n_roads * spec.road_humans_per_road, fmt(spec.road_human_band),
+        ),
+        Table1Row(
+            "Road", n_roads, "LMS", "Vehicle",
+            n_roads * spec.road_vehicles_per_road, fmt(spec.road_vehicle_band),
+        ),
+        Table1Row(
+            "Building", n_buildings, "SS", "Human",
+            n_buildings * spec.building_stop, fmt(spec.building_stop_band),
+        ),
+        Table1Row(
+            "Building", n_buildings, "RMS", "Human",
+            n_buildings * spec.building_random, fmt(spec.building_random_band),
+        ),
+        Table1Row(
+            "Building", n_buildings, "LMS", "Human",
+            n_buildings * spec.building_linear, fmt(spec.building_linear_band),
+        ),
+    ]
+
+
+def fig4_lus_per_second(result: ExperimentResult) -> dict[str, TimeSeries]:
+    """Fig. 4: transmitted LUs per second, per lane."""
+    return {
+        name: lane.meter.per_second(result.duration)
+        for name, lane in result.lanes.items()
+    }
+
+
+def fig5_accumulated_lus(result: ExperimentResult) -> dict[str, TimeSeries]:
+    """Fig. 5: accumulated LU count over the run, per lane."""
+    return {
+        name: lane.meter.accumulated(result.duration)
+        for name, lane in result.lanes.items()
+    }
+
+
+def fig6_transmission_rate_by_region(
+    result: ExperimentResult,
+) -> dict[str, dict[str, float]]:
+    """Fig. 6: fraction of ideal LUs transmitted, per region kind and lane.
+
+    Only filtering lanes appear (the ideal lane is the 100 % reference).
+    """
+    return {
+        name: result.transmission_rate_by_kind(name)
+        for name in result.lanes
+        if name != "ideal"
+    }
+
+
+def fig7_rmse_over_time(
+    result: ExperimentResult,
+) -> dict[str, dict[str, TimeSeries]]:
+    """Fig. 7: per-second RMSE, with and without the Location Estimator."""
+    return {
+        name: {
+            "with_le": lane.rmse_with_le,
+            "without_le": lane.rmse_without_le,
+        }
+        for name, lane in result.lanes.items()
+        if name != "ideal"
+    }
+
+
+def fig8_rmse_by_region_without_le(
+    result: ExperimentResult,
+) -> dict[str, dict[str, float]]:
+    """Fig. 8: whole-run RMSE by region kind, LE disabled."""
+    out: dict[str, dict[str, float]] = {}
+    for name, lane in result.lanes.items():
+        if name == "ideal":
+            continue
+        errors = lane.region_errors_without_le
+        out[name] = {
+            "road": errors.road_rmse,
+            "building": errors.building_rmse,
+            "ratio": errors.road_to_building_ratio,
+        }
+    return out
+
+
+def fig9_rmse_by_region_with_le(
+    result: ExperimentResult,
+) -> dict[str, dict[str, float]]:
+    """Fig. 9: whole-run RMSE by region kind, LE enabled."""
+    out: dict[str, dict[str, float]] = {}
+    for name, lane in result.lanes.items():
+        if name == "ideal":
+            continue
+        errors = lane.region_errors_with_le
+        out[name] = {
+            "road": errors.road_rmse,
+            "building": errors.building_rmse,
+            "ratio": errors.road_to_building_ratio,
+        }
+    return out

@@ -1,0 +1,304 @@
+"""The full mobile-grid evaluation harness.
+
+One run simulates the Table 1 population on the default campus and pushes
+every node's per-second LU through several filtering "lanes" in parallel:
+
+* ``ideal`` — no filtering (the paper's reference);
+* ``adf-<f>`` — the Adaptive Distance Filter at DTH factor ``f``;
+* ``gdf-<f>`` — the general DF baseline (optional, for ablation A1).
+
+All lanes see the *same* mobility, so comparisons are paired exactly as in
+the paper.  Each lane feeds two grid brokers — one with the Location
+Estimator, one without — and per-second RMSE is measured against ground
+truth for both, yielding every data series of Figs. 4-9 from a single run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.broker.broker import BrokerConfig, GridBroker
+from repro.campus import Campus, default_campus
+from repro.core.adf import AdaptiveDistanceFilter
+from repro.core.baselines import (
+    FilterPolicy,
+    GeneralDistanceFilterPolicy,
+    IdealLUPolicy,
+)
+from repro.core.distance_filter import FilterDecision
+from repro.estimation.metrics import rmse
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.results import ExperimentResult, LaneResult, RegionErrors
+from repro.mobility.node import MobileNode
+from repro.mobility.population import build_population
+from repro.network.association import AssociationManager
+from repro.network.channel import WirelessChannel
+from repro.network.gateway import WirelessGateway
+from repro.network.messages import LocationUpdate
+from repro.network.traffic import TrafficMeter
+from repro.simkernel import Simulator
+from repro.util.rng import RngRegistry
+from repro.util.timeseries import TimeSeries
+
+__all__ = ["Lane", "MobileGridExperiment", "run_experiment"]
+
+
+@dataclass
+class Lane:
+    """One filtering policy plus its measurement apparatus."""
+
+    name: str
+    dth_factor: float | None
+    policy: FilterPolicy
+    meter: TrafficMeter
+    broker_with_le: GridBroker
+    broker_without_le: GridBroker
+    gateways: dict[str, WirelessGateway] = field(default_factory=dict)
+    rmse_with_le: TimeSeries = field(default_factory=TimeSeries)
+    rmse_without_le: TimeSeries = field(default_factory=TimeSeries)
+    region_errors_with_le: RegionErrors = field(default_factory=RegionErrors)
+    region_errors_without_le: RegionErrors = field(default_factory=RegionErrors)
+    cluster_series: TimeSeries = field(default_factory=TimeSeries)
+
+
+class MobileGridExperiment:
+    """Builds and runs the paper's evaluation."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        *,
+        campus: Campus | None = None,
+    ) -> None:
+        self.config = config or ExperimentConfig()
+        self.campus = campus or default_campus()
+        self.rng = RngRegistry(self.config.seed)
+        self.sim = Simulator()
+        self.nodes: list[MobileNode] = build_population(
+            self.campus, self.config.population, self.rng
+        )
+        self.lanes: list[Lane] = []
+        self._build_lanes()
+        # One association view for the whole experiment: which gateway
+        # serves each node is a property of mobility, not of the filter
+        # policy, so the ideal lane's gateways stand in for all lanes.
+        self.associations = AssociationManager(self.lanes[0].gateways)
+        self._speed_sum = 0.0
+        self._speed_count = 0
+        self._classified_right = 0
+        self._classified_total = 0
+
+    # -- construction -----------------------------------------------------------
+    def _build_lanes(self) -> None:
+        self._add_lane("ideal", None, IdealLUPolicy())
+        for factor in self.config.dth_factors:
+            adf = AdaptiveDistanceFilter(self.config.adf_config(factor))
+            self._add_lane(f"adf-{factor:g}", factor, adf)
+        if self.config.include_general_df:
+            for factor in self.config.dth_factors:
+                gdf = GeneralDistanceFilterPolicy(
+                    factor, report_interval=self.config.report_interval
+                )
+                self._add_lane(f"gdf-{factor:g}", factor, gdf)
+
+    def _add_lane(self, name: str, factor: float | None, policy: FilterPolicy) -> None:
+        broker_cfg_on = BrokerConfig(
+            use_location_estimator=True,
+            smoothing_alpha=self.config.smoothing_alpha,
+            report_interval=self.config.report_interval,
+        )
+        broker_cfg_off = BrokerConfig(
+            use_location_estimator=False,
+            report_interval=self.config.report_interval,
+        )
+        lane = Lane(
+            name=name,
+            dth_factor=factor,
+            policy=policy,
+            meter=TrafficMeter(name),
+            broker_with_le=GridBroker(broker_cfg_on),
+            broker_without_le=GridBroker(broker_cfg_off),
+        )
+        channel_rng = self.rng.stream(f"channel/{name}")
+        for region in self.campus.regions.values():
+            channel = WirelessChannel(
+                self.sim,
+                channel_rng,
+                base_latency=self.config.channel_latency,
+                loss_probability=self.config.channel_loss,
+                name=f"{name}/{region.region_id}",
+            )
+            lane.gateways[region.region_id] = WirelessGateway(
+                region,
+                channel,
+                sink=lambda lu, lane=lane: self._filter_and_forward(lane, lu),
+            )
+        self.lanes.append(lane)
+
+    # -- per-LU path ---------------------------------------------------------------
+    def _filter_and_forward(self, lane: Lane, update: LocationUpdate) -> None:
+        decision = lane.policy.process(update)
+        if decision is FilterDecision.TRANSMIT:
+            dth = self._current_dth(lane.policy, update.node_id)
+            if dth > 0:
+                update = replace(update, dth=dth)
+            lane.meter.count(
+                update.timestamp,
+                update.region_id,
+                size_bytes=update.size_bytes,
+                node_id=update.node_id,
+            )
+            lane.broker_with_le.receive_update(update)
+            lane.broker_without_le.receive_update(update)
+
+    @staticmethod
+    def _current_dth(policy: FilterPolicy, node_id: str) -> float:
+        """The DTH the filter will hold this node to until its next LU."""
+        if isinstance(policy, AdaptiveDistanceFilter):
+            return policy.dth_of(node_id)
+        if isinstance(policy, GeneralDistanceFilterPolicy):
+            return policy.dth_policy.dth_for(node_id)
+        return 0.0
+
+    # -- one reporting interval ------------------------------------------------------
+    def _step(self) -> None:
+        now = self.sim.now
+        dt = self.config.report_interval
+        updates: list[LocationUpdate] = []
+        for node in self.nodes:
+            sample = node.advance(dt)
+            self._speed_sum += sample.speed
+            self._speed_count += 1
+            region = self.campus.region_at(sample.position)
+            region_id = region.region_id if region else node.home_region
+            update = LocationUpdate(
+                sender=node.node_id,
+                timestamp=now,
+                node_id=node.node_id,
+                position=sample.position,
+                velocity=sample.velocity,
+                region_id=region_id,
+            )
+            self.associations.observe(update)
+            updates.append(update)
+        for lane in self.lanes:
+            for update in updates:
+                gateway = lane.gateways.get(update.region_id)
+                if gateway is None:
+                    gateway = lane.gateways[self.nodes[0].home_region]
+                gateway.receive(update)
+            if isinstance(lane.policy, AdaptiveDistanceFilter):
+                lane.policy.tick(now)
+                lane.cluster_series.append(
+                    now,
+                    float(lane.policy.cluster_manager.clusterer.cluster_count()),
+                )
+            lane.broker_with_le.tick(now)
+            lane.broker_without_le.tick(now)
+        self._measure(now)
+        self._score_classifier()
+
+    def _measure(self, now: float) -> None:
+        for lane in self.lanes:
+            errors_on: list[float] = []
+            errors_off: list[float] = []
+            for node in self.nodes:
+                truth = node.position
+                is_road = node.home_region.startswith("R")
+                believed_on = lane.broker_with_le.location_db.position_of(
+                    node.node_id
+                )
+                believed_off = lane.broker_without_le.location_db.position_of(
+                    node.node_id
+                )
+                if believed_on is not None:
+                    err = truth.distance_to(believed_on)
+                    errors_on.append(err)
+                    lane.region_errors_with_le.add(err, is_road=is_road)
+                if believed_off is not None:
+                    err = truth.distance_to(believed_off)
+                    errors_off.append(err)
+                    lane.region_errors_without_le.add(err, is_road=is_road)
+            if errors_on:
+                lane.rmse_with_le.append(now, rmse(errors_on))
+            if errors_off:
+                lane.rmse_without_le.append(now, rmse(errors_off))
+
+    def _score_classifier(self) -> None:
+        adf = next(
+            (
+                lane.policy
+                for lane in self.lanes
+                if isinstance(lane.policy, AdaptiveDistanceFilter)
+            ),
+            None,
+        )
+        if adf is None:
+            return
+        for node in self.nodes:
+            if node.true_state is None:
+                continue
+            label = adf.label_of(node.node_id)
+            if label is None:
+                continue
+            self._classified_total += 1
+            if label is node.true_state:
+                self._classified_right += 1
+
+    # -- the run ------------------------------------------------------------------
+    def run(self) -> ExperimentResult:
+        """Execute the configured duration and collect all measurements."""
+        interval = self.config.report_interval
+        self.sim.schedule_every(
+            interval,
+            self._step,
+            start=interval,
+            end=self.config.duration,
+            label="experiment:step",
+        )
+        self.sim.run_until(self.config.duration)
+        # Drain in-flight channel deliveries (non-zero latency puts the
+        # final interval's LUs slightly past the nominal end time).  The
+        # periodic step schedule is bounded by `end`, so this terminates.
+        self.sim.run()
+        return self._collect()
+
+    def _collect(self) -> ExperimentResult:
+        lanes: dict[str, LaneResult] = {}
+        for lane in self.lanes:
+            summary: dict[str, float] = {}
+            if isinstance(lane.policy, AdaptiveDistanceFilter):
+                summary = lane.policy.summary()
+            lanes[lane.name] = LaneResult(
+                name=lane.name,
+                dth_factor=lane.dth_factor,
+                meter=lane.meter,
+                rmse_with_le=lane.rmse_with_le,
+                rmse_without_le=lane.rmse_without_le,
+                region_errors_with_le=lane.region_errors_with_le,
+                region_errors_without_le=lane.region_errors_without_le,
+                filter_summary=summary,
+                cluster_series=lane.cluster_series,
+            )
+        accuracy = (
+            self._classified_right / self._classified_total
+            if self._classified_total
+            else 0.0
+        )
+        mean_speed = self._speed_sum / self._speed_count if self._speed_count else 0.0
+        return ExperimentResult(
+            duration=self.config.duration,
+            report_interval=self.config.report_interval,
+            node_count=len(self.nodes),
+            lanes=lanes,
+            road_region_ids=[r.region_id for r in self.campus.roads()],
+            building_region_ids=[r.region_id for r in self.campus.buildings()],
+            classification_accuracy=accuracy,
+            average_fleet_speed=mean_speed,
+            handoffs=self.associations.stats.handoffs,
+        )
+
+
+def run_experiment(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Convenience wrapper: build, run and collect in one call."""
+    return MobileGridExperiment(config).run()

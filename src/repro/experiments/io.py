@@ -1,0 +1,110 @@
+"""Result serialisation: JSON and CSV export of experiment runs.
+
+A downstream user wants the regenerated figures as data, not console text.
+``result_to_dict`` produces a plain-JSON-serialisable structure covering
+every figure; ``write_json`` / ``write_series_csv`` persist it.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.figures import (
+    fig6_transmission_rate_by_region,
+    fig8_rmse_by_region_without_le,
+    fig9_rmse_by_region_with_le,
+)
+from repro.experiments.results import ExperimentResult
+from repro.util.timeseries import TimeSeries
+
+__all__ = ["result_to_dict", "write_json", "write_series_csv", "load_json"]
+
+
+def _series_to_lists(series: TimeSeries) -> dict[str, list[float]]:
+    return {
+        "times": [float(t) for t in series.times],
+        "values": [float(v) for v in series.values],
+    }
+
+
+def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
+    """A JSON-serialisable summary of a run (all figures included)."""
+    lanes: dict[str, Any] = {}
+    for name, lane in result.lanes.items():
+        lanes[name] = {
+            "dth_factor": lane.dth_factor,
+            "total_lus": lane.total_lus,
+            "reduction_vs_ideal": result.reduction_vs_ideal(name),
+            "per_region": lane.meter.per_region(),
+            "rmse_with_le": _series_to_lists(lane.rmse_with_le),
+            "rmse_without_le": _series_to_lists(lane.rmse_without_le),
+            "mean_rmse_with_le": lane.mean_rmse(with_le=True),
+            "mean_rmse_without_le": lane.mean_rmse(with_le=False),
+            "filter_summary": lane.filter_summary,
+        }
+    return {
+        "duration": result.duration,
+        "report_interval": result.report_interval,
+        "node_count": result.node_count,
+        "classification_accuracy": result.classification_accuracy,
+        "average_fleet_speed": result.average_fleet_speed,
+        "road_regions": result.road_region_ids,
+        "building_regions": result.building_region_ids,
+        "lanes": lanes,
+        "fig6": fig6_transmission_rate_by_region(result),
+        "fig8": fig8_rmse_by_region_without_le(result),
+        "fig9": fig9_rmse_by_region_with_le(result),
+    }
+
+
+def write_json(result: ExperimentResult, path: str | Path) -> Path:
+    """Serialise a run to pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(result_to_dict(result), indent=2, sort_keys=True))
+    return path
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    """Load a previously exported run summary."""
+    return json.loads(Path(path).read_text())
+
+
+def write_series_csv(
+    result: ExperimentResult,
+    path: str | Path,
+    *,
+    kind: str = "lus_per_second",
+) -> Path:
+    """Export one per-second series family as CSV (column per lane).
+
+    *kind* is one of ``lus_per_second``, ``rmse_with_le``,
+    ``rmse_without_le``.
+    """
+    path = Path(path)
+    columns: dict[str, TimeSeries] = {}
+    for name, lane in result.lanes.items():
+        if kind == "lus_per_second":
+            columns[name] = lane.meter.per_second(result.duration)
+        elif kind == "rmse_with_le":
+            columns[name] = lane.rmse_with_le
+        elif kind == "rmse_without_le":
+            columns[name] = lane.rmse_without_le
+        else:
+            raise ValueError(f"unknown series kind {kind!r}")
+    columns = {name: s for name, s in columns.items() if len(s)}
+    if not columns:
+        raise ValueError(f"no data for series kind {kind!r}")
+    length = min(len(s) for s in columns.values())
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time", *columns.keys()])
+        reference = next(iter(columns.values()))
+        for i in range(length):
+            time, _ = reference[i]
+            writer.writerow(
+                [time, *(f"{columns[name][i][1]:.6g}" for name in columns)]
+            )
+    return path

@@ -1,0 +1,156 @@
+"""Markdown report generation: the whole evaluation as one document.
+
+``write_markdown_report`` renders a run into a self-contained Markdown
+file — summary, every figure as a table, and the per-second series as
+fenced ASCII charts — suitable for committing next to EXPERIMENTS.md or
+attaching to a CI run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.figures import (
+    fig4_lus_per_second,
+    fig6_transmission_rate_by_region,
+    fig7_rmse_over_time,
+    fig8_rmse_by_region_without_le,
+    fig9_rmse_by_region_with_le,
+    table1_specification,
+)
+from repro.experiments.results import ExperimentResult
+from repro.viz import line_chart
+
+__all__ = ["render_markdown_report", "write_markdown_report"]
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    out = ["| " + " | ".join(headers) + " |"]
+    out.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        out.append("| " + " | ".join(row) + " |")
+    return "\n".join(out)
+
+
+def render_markdown_report(result: ExperimentResult, *, title: str = "") -> str:
+    """The full run as a Markdown document (returned as a string)."""
+    title = title or "Mobile-grid evaluation report"
+    parts: list[str] = [f"# {title}", ""]
+    parts.append(
+        f"{result.node_count} mobile nodes, {result.duration:g} s at "
+        f"{result.report_interval:g} s reporting intervals.  Fleet average "
+        f"speed {result.average_fleet_speed:.2f} m/s; classifier accuracy "
+        f"{result.classification_accuracy:.1%}; {result.handoffs} gateway "
+        f"handoffs."
+    )
+
+    parts.append("\n## Table 1 — population specification\n")
+    parts.append(
+        _table(
+            ["Region", "#R", "Pattern", "Type", "#MN", "Velocity"],
+            [
+                [
+                    r.region_kind,
+                    str(r.region_count),
+                    r.mobility_pattern,
+                    r.node_type,
+                    str(r.node_count),
+                    r.velocity_range,
+                ]
+                for r in table1_specification()
+            ],
+        )
+    )
+
+    parts.append("\n## Figs. 4-5 — location updates\n")
+    steps = max(result.duration / result.report_interval, 1.0)
+    parts.append(
+        _table(
+            ["lane", "LU/s", "total", "reduction vs ideal"],
+            [
+                [
+                    name,
+                    f"{lane.total_lus / steps:.1f}",
+                    str(lane.total_lus),
+                    f"{result.reduction_vs_ideal(name):.1%}",
+                ]
+                for name, lane in result.lanes.items()
+            ],
+        )
+    )
+    parts.append("\n```\n" + line_chart(
+        fig4_lus_per_second(result), title="LUs per second", height=10
+    ) + "\n```")
+
+    parts.append("\n## Fig. 6 — transmission rate by region kind\n")
+    parts.append(
+        _table(
+            ["lane", "road", "building"],
+            [
+                [name, f"{r['road']:.1%}", f"{r['building']:.1%}"]
+                for name, r in fig6_transmission_rate_by_region(result).items()
+            ],
+        )
+    )
+
+    parts.append("\n## Fig. 7 — RMSE with vs without the Location Estimator\n")
+    fig7 = fig7_rmse_over_time(result)
+    parts.append(
+        _table(
+            ["lane", "RMSE w/o LE (m)", "RMSE w/ LE (m)", "LE keeps"],
+            [
+                [
+                    name,
+                    f"{series['without_le'].mean():.2f}",
+                    f"{series['with_le'].mean():.2f}",
+                    f"{series['with_le'].mean() / series['without_le'].mean():.1%}"
+                    if series["without_le"].mean()
+                    else "-",
+                ]
+                for name, series in fig7.items()
+            ],
+        )
+    )
+
+    for heading, data in (
+        ("Fig. 8 — RMSE by region, without LE", fig8_rmse_by_region_without_le(result)),
+        ("Fig. 9 — RMSE by region, with LE", fig9_rmse_by_region_with_le(result)),
+    ):
+        parts.append(f"\n## {heading}\n")
+        parts.append(
+            _table(
+                ["lane", "road (m)", "building (m)", "ratio"],
+                [
+                    [
+                        name,
+                        f"{row['road']:.2f}",
+                        f"{row['building']:.2f}",
+                        f"{row['ratio']:.1f}x",
+                    ]
+                    for name, row in data.items()
+                ],
+            )
+        )
+
+    adf_clusters = {
+        name: lane.cluster_series
+        for name, lane in result.lanes.items()
+        if len(lane.cluster_series)
+    }
+    if adf_clusters:
+        parts.append("\n## Cluster dynamics\n")
+        parts.append(
+            "```\n"
+            + line_chart(adf_clusters, title="Live clusters over time", height=8)
+            + "\n```"
+        )
+    return "\n".join(parts) + "\n"
+
+
+def write_markdown_report(
+    result: ExperimentResult, path: str | Path, *, title: str = ""
+) -> Path:
+    """Render and write the Markdown report; returns the path."""
+    path = Path(path)
+    path.write_text(render_markdown_report(result, title=title))
+    return path

@@ -1,0 +1,87 @@
+"""ASCII report rendering of a full experiment run."""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from repro.experiments.figures import (
+    fig6_transmission_rate_by_region,
+    fig8_rmse_by_region_without_le,
+    fig9_rmse_by_region_with_le,
+    table1_specification,
+)
+from repro.experiments.results import ExperimentResult
+
+__all__ = ["render_report"]
+
+
+def _rule(out: StringIO, title: str) -> None:
+    out.write(f"\n=== {title} ===\n")
+
+
+def render_report(result: ExperimentResult) -> str:
+    """A human-readable summary covering every figure of the paper."""
+    out = StringIO()
+    out.write(
+        f"Mobile-grid experiment: {result.node_count} MNs, "
+        f"{result.duration:g}s at {result.report_interval:g}s intervals\n"
+    )
+    out.write(
+        f"fleet average speed {result.average_fleet_speed:.2f} m/s, "
+        f"classifier accuracy {result.classification_accuracy:.1%}, "
+        f"{result.handoffs} gateway handoffs\n"
+    )
+
+    _rule(out, "Table 1: MN specification")
+    for row in table1_specification():
+        out.write(
+            f"  {row.region_kind:<9} x{row.region_count}  {row.mobility_pattern:<4} "
+            f"{row.node_type:<8} n={row.node_count:<4} VR={row.velocity_range}\n"
+        )
+
+    _rule(out, "Fig. 4/5: location updates")
+    ideal_total = result.ideal.total_lus
+    steps = max(result.duration / result.report_interval, 1.0)
+    out.write(
+        f"  {'lane':<12} {'LU/s':>8} {'total':>10} {'reduction':>10}\n"
+    )
+    for name, lane in result.lanes.items():
+        reduction = result.reduction_vs_ideal(name)
+        out.write(
+            f"  {name:<12} {lane.total_lus / steps:>8.1f} "
+            f"{lane.total_lus:>10d} {reduction:>9.1%}\n"
+        )
+    del ideal_total
+
+    _rule(out, "Fig. 6: transmission rate vs ideal, by region kind")
+    for name, rates in fig6_transmission_rate_by_region(result).items():
+        out.write(
+            f"  {name:<12} road={rates['road']:.1%}  "
+            f"building={rates['building']:.1%}\n"
+        )
+
+    _rule(out, "Fig. 7: mean RMSE (m), with vs without Location Estimator")
+    for name, lane in result.lanes.items():
+        if name == "ideal":
+            continue
+        with_le = lane.mean_rmse(with_le=True)
+        without_le = lane.mean_rmse(with_le=False)
+        out.write(
+            f"  {name:<12} w/o LE={without_le:>7.2f}  w/ LE={with_le:>7.2f}  "
+            f"(LE keeps {lane.le_improvement():.1%} of the error)\n"
+        )
+
+    _rule(out, "Fig. 8: RMSE by region kind, without LE")
+    for name, row in fig8_rmse_by_region_without_le(result).items():
+        out.write(
+            f"  {name:<12} road={row['road']:>7.2f}  "
+            f"building={row['building']:>7.2f}  ratio={row['ratio']:.2f}x\n"
+        )
+
+    _rule(out, "Fig. 9: RMSE by region kind, with LE")
+    for name, row in fig9_rmse_by_region_with_le(result).items():
+        out.write(
+            f"  {name:<12} road={row['road']:>7.2f}  "
+            f"building={row['building']:>7.2f}  ratio={row['ratio']:.2f}x\n"
+        )
+    return out.getvalue()

@@ -1,0 +1,72 @@
+"""Scalability study: does the ADF's behaviour survive bigger fleets?
+
+The paper evaluates exactly 140 MNs.  A system claim like "reduces
+communication traffic" should be robust to fleet size, and a grid broker
+cares about how the cluster structure grows.  This module sweeps the
+population multiplier and reports, per size: LU reduction, cluster count,
+mean RMSE and wall-clock cost.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import run_experiment
+
+__all__ = ["ScalingPoint", "scaling_sweep"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One population size of the scaling sweep."""
+
+    factor: int
+    node_count: int
+    reduction: float
+    clusters: float
+    rmse_with_le: float
+    wall_seconds: float
+
+    def nodes_per_cluster(self) -> float:
+        """Average cluster occupancy (moving nodes only)."""
+        return self.node_count / self.clusters if self.clusters else 0.0
+
+
+def scaling_sweep(
+    factors: tuple[int, ...] = (1, 2, 4),
+    *,
+    duration: float = 60.0,
+    dth_factor: float = 1.0,
+    seed: int = 42,
+) -> list[ScalingPoint]:
+    """Run the experiment at several population multipliers.
+
+    Each factor multiplies every Table 1 per-region count, so factor 2
+    means 280 MNs on the same campus.
+    """
+    if not factors:
+        raise ValueError("need at least one factor")
+    base = ExperimentConfig(
+        duration=duration, dth_factors=(dth_factor,), seed=seed
+    )
+    lane_name = f"adf-{dth_factor:g}"
+    points: list[ScalingPoint] = []
+    for factor in factors:
+        config = replace(base, population=base.population.scaled(factor))
+        start = time.perf_counter()
+        result = run_experiment(config)
+        wall = time.perf_counter() - start
+        lane = result.lanes[lane_name]
+        points.append(
+            ScalingPoint(
+                factor=factor,
+                node_count=result.node_count,
+                reduction=result.reduction_vs_ideal(lane_name),
+                clusters=lane.filter_summary.get("clusters", 0.0),
+                rmse_with_le=lane.mean_rmse(with_le=True),
+                wall_seconds=wall,
+            )
+        )
+    return points

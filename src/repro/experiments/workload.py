@@ -1,0 +1,104 @@
+"""The grid workload study: location accuracy -> scheduling quality.
+
+The entire point of tracking MN locations is using MNs as grid resources.
+This study runs the campus population, lets a lane's broker accumulate its
+(filtered + estimated) world view, and then repeatedly schedules
+proximity-anchored jobs from that view.  Scheduling quality is the overlap
+between the nodes the broker *chose* and the nodes that were *actually*
+nearest the anchor — directly measuring the application-level cost of the
+DTH factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.broker.jobs import Job
+from repro.broker.resources import ResourceRegistry
+from repro.broker.scheduler import GridScheduler, SchedulingPolicy
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import MobileGridExperiment
+from repro.geometry import Vec2
+
+__all__ = ["WorkloadPoint", "workload_study"]
+
+
+@dataclass(frozen=True)
+class WorkloadPoint:
+    """Scheduling quality for one lane (one DTH factor)."""
+
+    lane: str
+    dth_factor: float | None
+    reduction: float
+    mean_rmse: float
+    #: Mean fraction of chosen nodes that are truly among the k nearest.
+    placement_precision: float
+    jobs_scheduled: int
+
+
+def _precision_at_anchor(
+    experiment: MobileGridExperiment,
+    broker,
+    anchor: Vec2,
+    now: float,
+    k: int,
+) -> float:
+    registry = ResourceRegistry()
+    for node in experiment.nodes:
+        registry.register(node.node_id, node.device)
+    scheduler = GridScheduler(
+        broker, registry, policy=SchedulingPolicy.PROXIMITY
+    )
+    job = Job.uniform(n_tasks=k, mega_instructions=1000.0, submitted_at=now)
+    scheduler.schedule(job, now, anchor=anchor)
+    chosen = {t.assigned_to for t in job.assigned_tasks() if t.assigned_to}
+    if not chosen:
+        return 0.0
+    truly_nearest = {
+        n.node_id
+        for n in sorted(
+            experiment.nodes, key=lambda n: n.position.distance_to(anchor)
+        )[: len(chosen)]
+    }
+    return len(chosen & truly_nearest) / len(chosen)
+
+
+def workload_study(
+    config: ExperimentConfig | None = None,
+    *,
+    tasks_per_job: int = 15,
+    anchors: tuple[str, ...] = ("B3", "B4", "B6"),
+) -> list[WorkloadPoint]:
+    """Run the experiment once, then score placement per lane.
+
+    One proximity-anchored job is scheduled per anchor region against each
+    lane's with-LE broker; precision is averaged over anchors.  The ideal
+    lane provides the ceiling (its broker view is exact up to one
+    reporting interval).
+    """
+    config = config or ExperimentConfig(duration=120.0)
+    experiment = MobileGridExperiment(config)
+    result = experiment.run()
+    now = config.duration
+    points: list[WorkloadPoint] = []
+    for lane in experiment.lanes:
+        precisions = []
+        for region_id in anchors:
+            anchor = experiment.campus.region(region_id).bounds.center
+            precisions.append(
+                _precision_at_anchor(
+                    experiment, lane.broker_with_le, anchor, now, tasks_per_job
+                )
+            )
+        lane_result = result.lanes[lane.name]
+        points.append(
+            WorkloadPoint(
+                lane=lane.name,
+                dth_factor=lane.dth_factor,
+                reduction=result.reduction_vs_ideal(lane.name),
+                mean_rmse=lane_result.mean_rmse(with_le=True),
+                placement_precision=sum(precisions) / len(precisions),
+                jobs_scheduled=len(anchors),
+            )
+        )
+    return points

@@ -1,0 +1,18 @@
+"""Planar geometry primitives for the campus world and mobility models.
+
+Coordinates are metres in a local east/north frame.  Directions are radians
+in ``(-pi, pi]`` measured counter-clockwise from the +x axis.
+"""
+
+from repro.geometry.vec import Vec2, angle_difference, normalize_angle
+from repro.geometry.shapes import Rect, Segment
+from repro.geometry.path import Path
+
+__all__ = [
+    "Vec2",
+    "angle_difference",
+    "normalize_angle",
+    "Rect",
+    "Segment",
+    "Path",
+]

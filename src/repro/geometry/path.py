@@ -1,0 +1,109 @@
+"""Arc-length parametrised polyline paths.
+
+Linear Movement State (LMS) nodes follow paths: road centre lines, corridor
+routes inside buildings, and multi-region itineraries (paper §3.1 case 8-9:
+direction changes at intersections and along hallways).  A :class:`Path`
+supports constant-speed traversal by arc length, which is exactly what the
+LMS mobility model needs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable, Sequence
+
+from repro.geometry.vec import Vec2
+
+__all__ = ["Path"]
+
+
+class Path:
+    """A polyline with arc-length lookup.
+
+    Consecutive duplicate waypoints are collapsed; a path needs at least one
+    point.  A single-point path has zero length and a constant position.
+    """
+
+    def __init__(self, waypoints: Iterable[Vec2]) -> None:
+        points: list[Vec2] = []
+        for wp in waypoints:
+            if not points or not wp.is_close(points[-1]):
+                points.append(wp)
+        if not points:
+            raise ValueError("a path needs at least one waypoint")
+        self._points: list[Vec2] = points
+        # Cumulative arc length at each waypoint; _cumlen[0] == 0.
+        self._cumlen: list[float] = [0.0]
+        for prev, cur in zip(points, points[1:]):
+            self._cumlen.append(self._cumlen[-1] + prev.distance_to(cur))
+
+    # -- basic queries ------------------------------------------------------
+    @property
+    def waypoints(self) -> Sequence[Vec2]:
+        """The (deduplicated) waypoints defining the path."""
+        return tuple(self._points)
+
+    @property
+    def length(self) -> float:
+        """Total arc length in metres."""
+        return self._cumlen[-1]
+
+    @property
+    def start(self) -> Vec2:
+        """First waypoint."""
+        return self._points[0]
+
+    @property
+    def end(self) -> Vec2:
+        """Last waypoint."""
+        return self._points[-1]
+
+    def segment_count(self) -> int:
+        """Number of line segments (waypoints minus one)."""
+        return len(self._points) - 1
+
+    # -- arc-length parametrisation ------------------------------------------
+    def _locate(self, s: float) -> tuple[int, float]:
+        """Return ``(segment_index, offset_into_segment)`` for arc length *s*.
+
+        *s* is clamped into ``[0, length]``.
+        """
+        s = min(max(s, 0.0), self.length)
+        # Find the segment whose cumulative start is <= s.
+        i = bisect.bisect_right(self._cumlen, s) - 1
+        i = min(i, len(self._points) - 2) if len(self._points) > 1 else 0
+        return i, s - self._cumlen[i]
+
+    def point_at(self, s: float) -> Vec2:
+        """Position at arc length *s* from the start (clamped)."""
+        if len(self._points) == 1:
+            return self._points[0]
+        i, offset = self._locate(s)
+        a, b = self._points[i], self._points[i + 1]
+        seg_len = a.distance_to(b)
+        if seg_len == 0.0:
+            return a
+        return a.lerp(b, offset / seg_len)
+
+    def direction_at(self, s: float) -> float:
+        """Heading (radians) of the segment containing arc length *s*."""
+        if len(self._points) == 1:
+            return 0.0
+        i, _ = self._locate(s)
+        return (self._points[i + 1] - self._points[i]).angle()
+
+    def remaining(self, s: float) -> float:
+        """Arc length left after position *s* (never negative)."""
+        return max(self.length - s, 0.0)
+
+    # -- composition ----------------------------------------------------------
+    def reversed(self) -> "Path":
+        """The same polyline traversed end-to-start."""
+        return Path(reversed(self._points))
+
+    def concat(self, other: "Path") -> "Path":
+        """This path followed by *other* (duplicated junction collapsed)."""
+        return Path(list(self._points) + list(other._points))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Path(waypoints={len(self._points)}, length={self.length:.1f}m)"

@@ -1,0 +1,149 @@
+"""Axis-aligned rectangles and line segments.
+
+Campus regions (roads, buildings) are modelled as rectangles; road centre
+lines and indoor corridors as segments and polylines (see
+:mod:`repro.geometry.path`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.vec import Vec2
+
+__all__ = ["Rect", "Segment"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """An axis-aligned rectangle ``[x_min, x_max] x [y_min, y_max]``."""
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_max < self.x_min or self.y_max < self.y_min:
+            raise ValueError(
+                f"degenerate rect: ({self.x_min}, {self.y_min}) .. "
+                f"({self.x_max}, {self.y_max})"
+            )
+
+    @staticmethod
+    def from_center(center: Vec2, width: float, height: float) -> "Rect":
+        """Build a rect of given size centred on *center*."""
+        hw, hh = width / 2.0, height / 2.0
+        return Rect(center.x - hw, center.y - hh, center.x + hw, center.y + hh)
+
+    @property
+    def width(self) -> float:
+        """Extent along x."""
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        """Extent along y."""
+        return self.y_max - self.y_min
+
+    @property
+    def area(self) -> float:
+        """Width times height."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Vec2:
+        """The rectangle's centroid."""
+        return Vec2((self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0)
+
+    def contains(self, point: Vec2, *, tol: float = 0.0) -> bool:
+        """True when *point* lies inside (boundary inclusive, +/- *tol*)."""
+        return (
+            self.x_min - tol <= point.x <= self.x_max + tol
+            and self.y_min - tol <= point.y <= self.y_max + tol
+        )
+
+    def clamp(self, point: Vec2) -> Vec2:
+        """Nearest point of the rectangle to *point*."""
+        return Vec2(
+            min(max(point.x, self.x_min), self.x_max),
+            min(max(point.y, self.y_min), self.y_max),
+        )
+
+    def random_point(self, rng: np.random.Generator) -> Vec2:
+        """A uniformly distributed point inside the rectangle."""
+        return Vec2(
+            float(rng.uniform(self.x_min, self.x_max)),
+            float(rng.uniform(self.y_min, self.y_max)),
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the two rectangles overlap (boundary touch counts)."""
+        return (
+            self.x_min <= other.x_max
+            and other.x_min <= self.x_max
+            and self.y_min <= other.y_max
+            and other.y_min <= self.y_max
+        )
+
+    def expanded(self, margin: float) -> "Rect":
+        """This rectangle grown by *margin* on every side."""
+        return Rect(
+            self.x_min - margin,
+            self.y_min - margin,
+            self.x_max + margin,
+            self.y_max + margin,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """A directed line segment from *a* to *b*."""
+
+    a: Vec2
+    b: Vec2
+
+    @property
+    def length(self) -> float:
+        """Euclidean length of the segment."""
+        return self.a.distance_to(self.b)
+
+    @property
+    def direction(self) -> float:
+        """Heading of the segment in radians (``a`` towards ``b``)."""
+        return (self.b - self.a).angle()
+
+    def point_at(self, s: float) -> Vec2:
+        """Point at arc length *s* from ``a`` (clamped to the segment)."""
+        total = self.length
+        if total == 0.0:
+            return self.a
+        t = min(max(s / total, 0.0), 1.0)
+        return self.a.lerp(self.b, t)
+
+    def midpoint(self) -> Vec2:
+        """The segment's midpoint."""
+        return self.a.lerp(self.b, 0.5)
+
+    def project(self, point: Vec2) -> tuple[float, Vec2]:
+        """Closest point on the segment to *point*.
+
+        Returns ``(arc_length, closest_point)`` where ``arc_length`` is the
+        distance from ``a`` along the segment to the projection.
+        """
+        ab = self.b - self.a
+        denom = ab.norm_squared()
+        if denom == 0.0:
+            return 0.0, self.a
+        t = (point - self.a).dot(ab) / denom
+        t = min(max(t, 0.0), 1.0)
+        closest = self.a.lerp(self.b, t)
+        return t * math.sqrt(denom), closest
+
+    def distance_to_point(self, point: Vec2) -> float:
+        """Shortest distance from *point* to the segment."""
+        _, closest = self.project(point)
+        return closest.distance_to(point)

@@ -1,0 +1,130 @@
+"""2-D vectors and angle arithmetic."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Vec2", "normalize_angle", "angle_difference"]
+
+_TWO_PI = 2.0 * math.pi
+
+
+def normalize_angle(theta: float) -> float:
+    """Wrap an angle into ``(-pi, pi]``."""
+    theta = math.fmod(theta, _TWO_PI)
+    if theta <= -math.pi:
+        theta += _TWO_PI
+    elif theta > math.pi:
+        theta -= _TWO_PI
+    return theta
+
+
+def angle_difference(a: float, b: float) -> float:
+    """Smallest signed rotation taking direction *b* to direction *a*.
+
+    The result lies in ``(-pi, pi]``; its absolute value is the angular
+    distance used by the mobility classifier and clusterer.
+    """
+    return normalize_angle(a - b)
+
+
+@dataclass(frozen=True, slots=True)
+class Vec2:
+    """An immutable 2-D vector / point in metres."""
+
+    x: float
+    y: float
+
+    # -- construction ------------------------------------------------------
+    @staticmethod
+    def zero() -> "Vec2":
+        """The origin."""
+        return Vec2(0.0, 0.0)
+
+    @staticmethod
+    def from_polar(magnitude: float, angle: float) -> "Vec2":
+        """Build a vector of given *magnitude* pointing at *angle* radians."""
+        return Vec2(magnitude * math.cos(angle), magnitude * math.sin(angle))
+
+    # -- arithmetic ---------------------------------------------------------
+    def __add__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Vec2":
+        return Vec2(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Vec2":
+        return Vec2(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Vec2":
+        return Vec2(-self.x, -self.y)
+
+    # -- metrics ------------------------------------------------------------
+    def dot(self, other: "Vec2") -> float:
+        """Dot product."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Vec2") -> float:
+        """Z-component of the 3-D cross product (signed area)."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Euclidean length."""
+        return math.hypot(self.x, self.y)
+
+    def norm_squared(self) -> float:
+        """Squared Euclidean length (avoids the sqrt)."""
+        return self.x * self.x + self.y * self.y
+
+    def distance_to(self, other: "Vec2") -> float:
+        """Euclidean distance to another point."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def angle(self) -> float:
+        """Direction of this vector in radians, ``(-pi, pi]``.
+
+        The zero vector has no direction; we return 0.0 by convention.
+        """
+        if self.x == 0.0 and self.y == 0.0:
+            return 0.0
+        return math.atan2(self.y, self.x)
+
+    def unit(self) -> "Vec2":
+        """This vector scaled to length one.
+
+        Raises ``ZeroDivisionError`` style ``ValueError`` for the zero vector,
+        which has no direction.
+        """
+        n = self.norm()
+        if n == 0.0:
+            raise ValueError("cannot normalise the zero vector")
+        return Vec2(self.x / n, self.y / n)
+
+    def rotated(self, theta: float) -> "Vec2":
+        """This vector rotated counter-clockwise by *theta* radians."""
+        c, s = math.cos(theta), math.sin(theta)
+        return Vec2(c * self.x - s * self.y, s * self.x + c * self.y)
+
+    def lerp(self, other: "Vec2", t: float) -> "Vec2":
+        """Linear interpolation: ``self`` at ``t=0``, ``other`` at ``t=1``."""
+        return Vec2(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+
+    def is_close(self, other: "Vec2", tol: float = 1e-9) -> bool:
+        """Component-wise closeness within absolute tolerance *tol*."""
+        return abs(self.x - other.x) <= tol and abs(self.y - other.y) <= tol
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+    def __repr__(self) -> str:
+        return f"Vec2({self.x:.3f}, {self.y:.3f})"

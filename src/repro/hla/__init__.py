@@ -1,0 +1,47 @@
+"""A simplified High Level Architecture (HLA 1.3-style) run-time infrastructure.
+
+The paper evaluates the ADF inside an HLA 1.3 distributed simulation (DMSO
+RTI).  We reproduce the aspects the experiments actually rely on, in-process:
+
+* **federation management** — create/join/resign/destroy;
+* **declaration management** — publish/subscribe on object-class attributes
+  and interaction classes;
+* **object management** — register instances, update attribute values,
+  reflect updates to subscribers, send/receive interactions;
+* **time management** — conservative synchronisation with per-federate
+  lookahead: time-advance requests are granted only up to the federation's
+  LBTS (lower bound on time stamp), and timestamp-ordered (TSO) messages are
+  delivered in timestamp order, never in a federate's past.
+
+What we deliberately do not reproduce: network transport, DDM regions, save/
+restore, MOM.  Those do not affect LU counts or RMSE.
+"""
+
+from repro.hla.object_model import (
+    AttributeName,
+    FederationObjectModel,
+    InteractionClass,
+    ObjectClass,
+)
+from repro.hla.federate import FederateAmbassador
+from repro.hla.rti import (
+    FederateHandle,
+    ObjectInstanceHandle,
+    RTIKernel,
+    RTIError,
+)
+from repro.hla.time_management import TimeManager, TimeStatus
+
+__all__ = [
+    "AttributeName",
+    "FederationObjectModel",
+    "InteractionClass",
+    "ObjectClass",
+    "FederateAmbassador",
+    "FederateHandle",
+    "ObjectInstanceHandle",
+    "RTIKernel",
+    "RTIError",
+    "TimeManager",
+    "TimeStatus",
+]

@@ -1,0 +1,53 @@
+"""The federate ambassador: RTI -> federate callback interface.
+
+Mirrors the HLA 1.3 ``FederateAmbassador``.  Model code subclasses this and
+overrides the callbacks it cares about; the defaults are no-ops so simple
+federates stay simple.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["FederateAmbassador"]
+
+
+class FederateAmbassador:
+    """Callbacks delivered by the RTI to a joined federate."""
+
+    def discover_object_instance(
+        self, instance: int, class_name: str, instance_name: str
+    ) -> None:
+        """A remote federate registered an instance of a subscribed class."""
+
+    def remove_object_instance(self, instance: int) -> None:
+        """A discovered instance was deleted by its owner."""
+
+    def reflect_attribute_values(
+        self,
+        instance: int,
+        attributes: dict[str, Any],
+        timestamp: float | None,
+    ) -> None:
+        """Attribute updates arrived for a discovered instance.
+
+        *timestamp* is ``None`` for receive-order (RO) updates and the send
+        timestamp for timestamp-order (TSO) updates.
+        """
+
+    def receive_interaction(
+        self,
+        class_name: str,
+        parameters: dict[str, Any],
+        timestamp: float | None,
+    ) -> None:
+        """A subscribed interaction was delivered."""
+
+    def time_advance_grant(self, time: float) -> None:
+        """The RTI granted this federate's pending time-advance request."""
+
+    def announce_synchronization_point(self, label: str, tag: Any) -> None:
+        """A federation-wide synchronization point was registered."""
+
+    def federation_synchronized(self, label: str) -> None:
+        """Every federate achieved the synchronization point *label*."""

@@ -1,0 +1,94 @@
+"""Federation Object Model (FOM) declarations.
+
+An HLA federation agrees up front on the classes of shared objects and
+interactions.  Our mobile-grid FOM (built in :mod:`repro.experiments.harness`)
+declares a ``MobileNode`` object class with ``position``/``velocity``
+attributes and ``LocationUpdate`` interactions, mirroring how the paper's
+federates exchange state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "AttributeName",
+    "ObjectClass",
+    "InteractionClass",
+    "FederationObjectModel",
+]
+
+#: Attributes are referred to by name; a type alias documents intent.
+AttributeName = str
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectClass:
+    """An object class: a name plus its declared attribute names."""
+
+    name: str
+    attributes: tuple[AttributeName, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("object class name must be non-empty")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise ValueError(f"duplicate attributes in class {self.name!r}")
+
+    def has_attribute(self, attribute: AttributeName) -> bool:
+        """True when *attribute* is declared on this class."""
+        return attribute in self.attributes
+
+
+@dataclass(frozen=True, slots=True)
+class InteractionClass:
+    """An interaction class: a name plus its parameter names."""
+
+    name: str
+    parameters: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("interaction class name must be non-empty")
+        if len(set(self.parameters)) != len(self.parameters):
+            raise ValueError(f"duplicate parameters in interaction {self.name!r}")
+
+
+@dataclass
+class FederationObjectModel:
+    """The agreed set of object and interaction classes for a federation."""
+
+    object_classes: dict[str, ObjectClass] = field(default_factory=dict)
+    interaction_classes: dict[str, InteractionClass] = field(default_factory=dict)
+
+    def add_object_class(self, name: str, attributes: tuple[str, ...]) -> ObjectClass:
+        """Declare an object class; names must be unique within the FOM."""
+        if name in self.object_classes:
+            raise ValueError(f"object class {name!r} already declared")
+        cls = ObjectClass(name, tuple(attributes))
+        self.object_classes[name] = cls
+        return cls
+
+    def add_interaction_class(
+        self, name: str, parameters: tuple[str, ...] = ()
+    ) -> InteractionClass:
+        """Declare an interaction class; names must be unique within the FOM."""
+        if name in self.interaction_classes:
+            raise ValueError(f"interaction class {name!r} already declared")
+        cls = InteractionClass(name, tuple(parameters))
+        self.interaction_classes[name] = cls
+        return cls
+
+    def object_class(self, name: str) -> ObjectClass:
+        """Look up an object class by name (KeyError if undeclared)."""
+        try:
+            return self.object_classes[name]
+        except KeyError:
+            raise KeyError(f"object class {name!r} is not in the FOM") from None
+
+    def interaction_class(self, name: str) -> InteractionClass:
+        """Look up an interaction class by name (KeyError if undeclared)."""
+        try:
+            return self.interaction_classes[name]
+        except KeyError:
+            raise KeyError(f"interaction class {name!r} is not in the FOM") from None

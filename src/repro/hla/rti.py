@@ -1,0 +1,439 @@
+"""The RTI kernel: federation, declaration, object and time services.
+
+This is an in-process reproduction of the HLA 1.3 services the paper's
+simulation depends on.  Federates join, publish/subscribe, register object
+instances, push attribute updates and interactions, and advance time under
+conservative synchronisation.  Timestamp-ordered (TSO) messages are queued
+per receiving federate and released in timestamp order when the receiver's
+time advances past them — never into its past.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.hla.federate import FederateAmbassador
+from repro.hla.object_model import FederationObjectModel
+from repro.hla.time_management import TimeManager
+
+__all__ = ["RTIError", "FederateHandle", "ObjectInstanceHandle", "RTIKernel"]
+
+FederateHandle = int
+ObjectInstanceHandle = int
+
+
+class RTIError(RuntimeError):
+    """Misuse of an RTI service (unknown handle, FOM violation, ...)."""
+
+
+@dataclass(order=True)
+class _TsoMessage:
+    """A timestamp-ordered message queued for one federate."""
+
+    timestamp: float
+    seq: int
+    deliver: Any = field(compare=False)  # zero-arg callable
+
+
+@dataclass
+class _Federate:
+    handle: FederateHandle
+    name: str
+    ambassador: FederateAmbassador
+    published_objects: set[str] = field(default_factory=set)
+    subscribed_objects: set[str] = field(default_factory=set)
+    #: Per-class attribute filter; a class absent from this map (or mapped
+    #: to None) means "all declared attributes".
+    attribute_filters: dict[str, frozenset[str] | None] = field(
+        default_factory=dict
+    )
+    published_interactions: set[str] = field(default_factory=set)
+    subscribed_interactions: set[str] = field(default_factory=set)
+    #: Instances this federate has discovered (delivered discover callback).
+    discovered: set[ObjectInstanceHandle] = field(default_factory=set)
+    tso_queue: list[_TsoMessage] = field(default_factory=list)
+
+
+@dataclass
+class _Instance:
+    handle: ObjectInstanceHandle
+    class_name: str
+    name: str
+    owner: FederateHandle
+    #: Last reflected value of each attribute, for late joiners and queries.
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+
+class RTIKernel:
+    """A single-federation, in-process run-time infrastructure."""
+
+    def __init__(self, federation_name: str, fom: FederationObjectModel) -> None:
+        self.federation_name = federation_name
+        self.fom = fom
+        self._federates: dict[FederateHandle, _Federate] = {}
+        self._instances: dict[ObjectInstanceHandle, _Instance] = {}
+        self._next_federate = itertools.count(1)
+        self._next_instance = itertools.count(1)
+        self._tso_seq = itertools.count()
+        self._time = TimeManager()
+        #: label -> set of federates that have not yet achieved the point.
+        self._sync_pending: dict[str, set[FederateHandle]] = {}
+
+    # ------------------------------------------------------------------
+    # Federation management
+    # ------------------------------------------------------------------
+    def join(self, name: str, ambassador: FederateAmbassador) -> FederateHandle:
+        """Join the federation; returns the new federate's handle."""
+        if any(f.name == name for f in self._federates.values()):
+            raise RTIError(f"federate name {name!r} already joined")
+        handle = next(self._next_federate)
+        self._federates[handle] = _Federate(handle, name, ambassador)
+        self._time.add_federate(handle)
+        return handle
+
+    def resign(self, federate: FederateHandle) -> None:
+        """Resign: delete owned instances, drop subscriptions and time status."""
+        fed = self._federate(federate)
+        owned = [h for h, inst in self._instances.items() if inst.owner == federate]
+        for h in owned:
+            self.delete_object_instance(federate, h)
+        self._time.remove_federate(federate)
+        del self._federates[fed.handle]
+        # A resigning federate can complete pending synchronization points
+        # and unblock time-advance waiters.
+        for label in list(self._sync_pending):
+            self._sync_achieve(label, federate)
+        self._deliver_grants()
+
+    def federate_names(self) -> list[str]:
+        """Names of currently joined federates (join order)."""
+        return [f.name for f in self._federates.values()]
+
+    def _federate(self, handle: FederateHandle) -> _Federate:
+        try:
+            return self._federates[handle]
+        except KeyError:
+            raise RTIError(f"unknown federate handle {handle}") from None
+
+    # ------------------------------------------------------------------
+    # Declaration management
+    # ------------------------------------------------------------------
+    def publish_object_class(self, federate: FederateHandle, class_name: str) -> None:
+        """Declare intent to register/update instances of *class_name*."""
+        self.fom.object_class(class_name)  # validates
+        self._federate(federate).published_objects.add(class_name)
+
+    def subscribe_object_class(
+        self,
+        federate: FederateHandle,
+        class_name: str,
+        attributes: tuple[str, ...] | None = None,
+    ) -> None:
+        """Subscribe to reflections of *class_name*; discovers existing
+        instances.
+
+        *attributes* optionally restricts the subscription to a subset of
+        the class's declared attributes (HLA attribute-level subscription);
+        reflections then carry only the intersection, and updates touching
+        none of the subscribed attributes are not delivered at all.
+        """
+        declared = self.fom.object_class(class_name)
+        fed = self._federate(federate)
+        if attributes is not None:
+            unknown = [a for a in attributes if not declared.has_attribute(a)]
+            if unknown:
+                raise RTIError(
+                    f"attributes {unknown} not declared on {class_name!r}"
+                )
+            fed.attribute_filters[class_name] = frozenset(attributes)
+        else:
+            fed.attribute_filters[class_name] = None
+        fed.subscribed_objects.add(class_name)
+        for inst in self._instances.values():
+            if inst.class_name == class_name and inst.owner != federate:
+                self._discover(fed, inst)
+
+    def publish_interaction_class(
+        self, federate: FederateHandle, class_name: str
+    ) -> None:
+        """Declare intent to send interactions of *class_name*."""
+        self.fom.interaction_class(class_name)
+        self._federate(federate).published_interactions.add(class_name)
+
+    def subscribe_interaction_class(
+        self, federate: FederateHandle, class_name: str
+    ) -> None:
+        """Subscribe to interactions of *class_name*."""
+        self.fom.interaction_class(class_name)
+        self._federate(federate).subscribed_interactions.add(class_name)
+
+    # ------------------------------------------------------------------
+    # Object management
+    # ------------------------------------------------------------------
+    def register_object_instance(
+        self, federate: FederateHandle, class_name: str, instance_name: str
+    ) -> ObjectInstanceHandle:
+        """Create a shared object instance owned by *federate*."""
+        fed = self._federate(federate)
+        if class_name not in fed.published_objects:
+            raise RTIError(
+                f"federate {fed.name!r} registers {class_name!r} without publishing it"
+            )
+        handle = next(self._next_instance)
+        inst = _Instance(handle, class_name, instance_name, federate)
+        self._instances[handle] = inst
+        for other in self._federates.values():
+            if other.handle != federate and class_name in other.subscribed_objects:
+                self._discover(other, inst)
+        return handle
+
+    def delete_object_instance(
+        self, federate: FederateHandle, instance: ObjectInstanceHandle
+    ) -> None:
+        """Delete an owned instance; subscribers get ``remove_object_instance``."""
+        inst = self._instance(instance)
+        if inst.owner != federate:
+            raise RTIError(
+                f"federate {federate} cannot delete instance {instance} "
+                f"owned by {inst.owner}"
+            )
+        del self._instances[instance]
+        for fed in self._federates.values():
+            if instance in fed.discovered:
+                fed.discovered.discard(instance)
+                fed.ambassador.remove_object_instance(instance)
+
+    def update_attribute_values(
+        self,
+        federate: FederateHandle,
+        instance: ObjectInstanceHandle,
+        attributes: dict[str, Any],
+        timestamp: float | None = None,
+    ) -> None:
+        """Push attribute values; subscribers receive reflections.
+
+        With ``timestamp=None`` the update is receive-ordered and reflected
+        immediately.  With a timestamp it is TSO: the send time must respect
+        the sender's lookahead guarantee, and delivery waits until each
+        receiver has been granted a time >= the timestamp.
+        """
+        inst = self._instance(instance)
+        if inst.owner != federate:
+            raise RTIError(
+                f"federate {federate} cannot update instance {instance} "
+                f"owned by {inst.owner}"
+            )
+        object_class = self.fom.object_class(inst.class_name)
+        for name in attributes:
+            if not object_class.has_attribute(name):
+                raise RTIError(
+                    f"attribute {name!r} not declared on class {inst.class_name!r}"
+                )
+        self._check_send_time(federate, timestamp)
+        inst.attributes.update(attributes)
+        for fed in self._federates.values():
+            if fed.handle == federate:
+                continue
+            if inst.class_name not in fed.subscribed_objects:
+                continue
+            subscribed = fed.attribute_filters.get(inst.class_name)
+            if subscribed is None:
+                payload = dict(attributes)
+            else:
+                payload = {
+                    k: v for k, v in attributes.items() if k in subscribed
+                }
+                if not payload:
+                    continue  # nothing this federate cares about changed
+            self._route(
+                fed,
+                timestamp,
+                lambda f=fed, i=inst.handle, p=payload, t=timestamp: (
+                    f.ambassador.reflect_attribute_values(i, dict(p), t)
+                ),
+            )
+
+    def get_attribute_values(self, instance: ObjectInstanceHandle) -> dict[str, Any]:
+        """Snapshot of the last-known attribute values of *instance*."""
+        return dict(self._instance(instance).attributes)
+
+    def send_interaction(
+        self,
+        federate: FederateHandle,
+        class_name: str,
+        parameters: dict[str, Any],
+        timestamp: float | None = None,
+    ) -> None:
+        """Send an interaction to all subscribers of *class_name*."""
+        fed = self._federate(federate)
+        if class_name not in fed.published_interactions:
+            raise RTIError(
+                f"federate {fed.name!r} sends {class_name!r} without publishing it"
+            )
+        interaction = self.fom.interaction_class(class_name)
+        for name in parameters:
+            if interaction.parameters and name not in interaction.parameters:
+                raise RTIError(
+                    f"parameter {name!r} not declared on interaction {class_name!r}"
+                )
+        self._check_send_time(federate, timestamp)
+        payload = dict(parameters)
+        for other in self._federates.values():
+            if other.handle == federate:
+                continue
+            if class_name not in other.subscribed_interactions:
+                continue
+            self._route(
+                other,
+                timestamp,
+                lambda f=other, p=payload, t=timestamp: (
+                    f.ambassador.receive_interaction(class_name, dict(p), t)
+                ),
+            )
+
+    def _instance(self, handle: ObjectInstanceHandle) -> _Instance:
+        try:
+            return self._instances[handle]
+        except KeyError:
+            raise RTIError(f"unknown object instance {handle}") from None
+
+    def _discover(self, fed: _Federate, inst: _Instance) -> None:
+        if inst.handle not in fed.discovered:
+            fed.discovered.add(inst.handle)
+            fed.ambassador.discover_object_instance(
+                inst.handle, inst.class_name, inst.name
+            )
+
+    # ------------------------------------------------------------------
+    # Federation synchronization points
+    # ------------------------------------------------------------------
+    def register_synchronization_point(
+        self, federate: FederateHandle, label: str, tag: Any = None
+    ) -> None:
+        """Register a federation-wide sync point; announces to everyone.
+
+        Every currently joined federate (the registrant included) must call
+        :meth:`synchronization_point_achieved` before the federation is
+        declared synchronized on *label*.
+        """
+        self._federate(federate)
+        if label in self._sync_pending:
+            raise RTIError(f"synchronization point {label!r} already registered")
+        if not label:
+            raise RTIError("synchronization point label must be non-empty")
+        self._sync_pending[label] = set(self._federates)
+        for fed in list(self._federates.values()):
+            fed.ambassador.announce_synchronization_point(label, tag)
+
+    def synchronization_point_achieved(
+        self, federate: FederateHandle, label: str
+    ) -> None:
+        """A federate reached *label*; completes the point when all have."""
+        self._federate(federate)
+        if label not in self._sync_pending:
+            raise RTIError(f"unknown synchronization point {label!r}")
+        if federate not in self._sync_pending[label]:
+            raise RTIError(
+                f"federate {federate} already achieved or never owed {label!r}"
+            )
+        self._sync_achieve(label, federate)
+
+    def pending_synchronization(self, label: str) -> set[FederateHandle]:
+        """Federates that have not yet achieved *label* (empty set = done)."""
+        return set(self._sync_pending.get(label, set()))
+
+    def _sync_achieve(self, label: str, federate: FederateHandle) -> None:
+        waiting = self._sync_pending.get(label)
+        if waiting is None:
+            return
+        waiting.discard(federate)
+        if not waiting:
+            del self._sync_pending[label]
+            for fed in list(self._federates.values()):
+                fed.ambassador.federation_synchronized(label)
+
+    # ------------------------------------------------------------------
+    # Time management
+    # ------------------------------------------------------------------
+    def enable_time_regulation(
+        self, federate: FederateHandle, lookahead: float
+    ) -> None:
+        """Make *federate* time-regulating with the given lookahead."""
+        self._federate(federate)
+        self._time.enable_time_regulation(federate, lookahead)
+
+    def enable_time_constrained(self, federate: FederateHandle) -> None:
+        """Make *federate* time-constrained."""
+        self._federate(federate)
+        self._time.enable_time_constrained(federate)
+
+    def logical_time(self, federate: FederateHandle) -> float:
+        """Current logical time of *federate*."""
+        return self._time.status(federate).logical_time
+
+    def time_advance_request(self, federate: FederateHandle, time: float) -> None:
+        """Request advancement to *time*; grant arrives via the ambassador.
+
+        Granting may cascade: one federate's grant can raise the LBTS and
+        unblock others, so we loop until a fixed point.
+        """
+        self._federate(federate)
+        self._time.request_advance(federate, time)
+        self._deliver_grants()
+
+    def _deliver_grants(self) -> None:
+        while True:
+            grants = self._time.grantable()
+            if not grants:
+                return
+            for handle, time in grants:
+                if handle not in self._federates:
+                    continue
+                self._time.grant(handle, time)
+                fed = self._federates[handle]
+                self._release_tso(fed, time)
+                fed.ambassador.time_advance_grant(time)
+
+    def _check_send_time(
+        self, federate: FederateHandle, timestamp: float | None
+    ) -> None:
+        if timestamp is None:
+            return
+        status = self._time.status(federate)
+        if not status.regulating:
+            raise RTIError(
+                f"federate {federate} sent a TSO message but is not regulating"
+            )
+        earliest = status.logical_time + status.lookahead
+        if timestamp < earliest:
+            raise RTIError(
+                f"TSO timestamp {timestamp} violates lookahead: earliest "
+                f"allowed is {earliest}"
+            )
+
+    def _route(self, fed: _Federate, timestamp: float | None, deliver: Any) -> None:
+        """Deliver RO immediately; queue TSO until the receiver reaches it."""
+        if timestamp is None or not self._time.status(fed.handle).constrained:
+            deliver()
+            return
+        if timestamp <= self._time.status(fed.handle).logical_time:
+            # Receiver is already at/past this time (equal is fine: delivery
+            # at the receiver's current time is still causally safe).
+            deliver()
+            return
+        heapq.heappush(
+            fed.tso_queue,
+            _TsoMessage(timestamp=timestamp, seq=next(self._tso_seq), deliver=deliver),
+        )
+
+    def _release_tso(self, fed: _Federate, up_to: float) -> None:
+        while fed.tso_queue and fed.tso_queue[0].timestamp <= up_to:
+            message = heapq.heappop(fed.tso_queue)
+            message.deliver()
+
+    def pending_tso(self, federate: FederateHandle) -> int:
+        """Number of TSO messages queued for *federate* (for tests)."""
+        return len(self._federate(federate).tso_queue)

@@ -1,0 +1,147 @@
+"""Conservative HLA time management.
+
+Each time-regulating federate ``f`` promises not to send timestamp-ordered
+messages earlier than ``logical_time(f) + lookahead(f)``.  The federation's
+LBTS (lower bound on time stamp) as seen by a constrained federate is the
+minimum of that bound over all *other* regulating federates.  A constrained
+federate's time-advance request (TAR) to time ``t`` is granted once
+``LBTS >= t``, guaranteeing no TSO message can still arrive in its past.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TimeStatus", "TimeManager"]
+
+_INFINITY = float("inf")
+
+
+@dataclass
+class TimeStatus:
+    """Per-federate time-management state."""
+
+    handle: int
+    regulating: bool = False
+    constrained: bool = False
+    lookahead: float = 0.0
+    logical_time: float = 0.0
+    #: Pending TAR target, or None when no request is outstanding.
+    pending_request: float | None = None
+
+    def guarantee(self) -> float:
+        """Earliest TSO timestamp this federate could still send.
+
+        Only meaningful for regulating federates.  While a TAR to time ``t``
+        is outstanding the federate has implicitly promised not to send
+        messages before ``t + lookahead``.
+        """
+        if not self.regulating:
+            return _INFINITY
+        base = (
+            self.pending_request
+            if self.pending_request is not None
+            else self.logical_time
+        )
+        return base + self.lookahead
+
+
+class TimeManager:
+    """Tracks federate time status and computes grants.
+
+    The manager is purely computational: the RTI kernel asks it which pending
+    requests are now grantable and performs the actual callback delivery.
+    """
+
+    def __init__(self) -> None:
+        self._status: dict[int, TimeStatus] = {}
+
+    # -- membership -----------------------------------------------------------
+    def add_federate(self, handle: int) -> TimeStatus:
+        """Register a newly joined federate (neither regulating nor constrained)."""
+        if handle in self._status:
+            raise ValueError(f"federate {handle} already registered")
+        status = TimeStatus(handle=handle)
+        self._status[handle] = status
+        return status
+
+    def remove_federate(self, handle: int) -> None:
+        """Remove a resigned federate; its guarantee no longer binds LBTS."""
+        self._status.pop(handle, None)
+
+    def status(self, handle: int) -> TimeStatus:
+        """The :class:`TimeStatus` for *handle* (KeyError when unknown)."""
+        return self._status[handle]
+
+    # -- mode switches ----------------------------------------------------------
+    def enable_time_regulation(self, handle: int, lookahead: float) -> None:
+        """Make *handle* time-regulating with the given *lookahead* (> 0)."""
+        if lookahead <= 0:
+            raise ValueError(f"lookahead must be > 0, got {lookahead}")
+        status = self._status[handle]
+        status.regulating = True
+        status.lookahead = lookahead
+
+    def enable_time_constrained(self, handle: int) -> None:
+        """Make *handle* time-constrained (subject to LBTS gating)."""
+        self._status[handle].constrained = True
+
+    # -- queries -----------------------------------------------------------------
+    def lbts_for(self, handle: int) -> float:
+        """LBTS from the perspective of federate *handle*.
+
+        The minimum guarantee over all *other* regulating federates; infinity
+        when there are none (then any advance is immediately grantable).
+        """
+        guarantees = [
+            s.guarantee()
+            for h, s in self._status.items()
+            if h != handle and s.regulating
+        ]
+        return min(guarantees, default=_INFINITY)
+
+    # -- the TAR/TAG protocol -------------------------------------------------------
+    def request_advance(self, handle: int, time: float) -> None:
+        """Record a time-advance request to *time* (must move forward)."""
+        status = self._status[handle]
+        if status.pending_request is not None:
+            raise ValueError(f"federate {handle} already has a pending TAR")
+        if time < status.logical_time:
+            raise ValueError(
+                f"TAR to {time} is before federate {handle}'s logical time "
+                f"{status.logical_time}"
+            )
+        status.pending_request = time
+
+    def grantable(self) -> list[tuple[int, float]]:
+        """Pending requests that can be granted right now.
+
+        A constrained federate is granted when its LBTS has reached the
+        requested time; an unconstrained federate is granted immediately.
+        Returns ``(handle, time)`` pairs; the caller performs the grants via
+        :meth:`grant`.
+        """
+        out: list[tuple[int, float]] = []
+        for handle, status in self._status.items():
+            t = status.pending_request
+            if t is None:
+                continue
+            if not status.constrained or self.lbts_for(handle) >= t:
+                out.append((handle, t))
+        return out
+
+    def grant(self, handle: int, time: float) -> None:
+        """Complete a grant: advance logical time, clear the pending request."""
+        status = self._status[handle]
+        if status.pending_request != time:
+            raise ValueError(
+                f"grant({handle}, {time}) does not match pending request "
+                f"{status.pending_request}"
+            )
+        status.logical_time = time
+        status.pending_request = None
+
+    def min_constrained_time(self) -> float:
+        """Smallest logical time over constrained federates (inf if none)."""
+        times = [s.logical_time for s in self._status.values() if s.constrained]
+        return min(times, default=_INFINITY)

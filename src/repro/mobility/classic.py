@@ -1,0 +1,258 @@
+"""Classic mobility models from the mobile-networking literature.
+
+The paper derives its SS/RMS/LMS taxonomy from first principles; the
+mobility community's standard generators are different processes with the
+same observable (position over time).  Implementing them lets us test that
+the ADF's behaviour is not an artefact of our generator:
+
+* :class:`RandomWaypointModel` — pick a uniform destination in the area,
+  travel at a uniform speed, pause, repeat (Johnson & Maltz);
+* :class:`GaussMarkovModel` — speed and heading evolve as mean-reverting
+  AR(1) processes with tunable memory (Liang & Haas);
+* :class:`ManhattanGridModel` — movement constrained to a street grid with
+  turn probabilities at intersections.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry import Rect, Vec2
+from repro.mobility.models import MobilityModel
+from repro.mobility.states import VelocityBand
+from repro.util.validation import check_in_range, check_non_negative, check_positive
+
+__all__ = ["RandomWaypointModel", "GaussMarkovModel", "ManhattanGridModel"]
+
+
+class RandomWaypointModel(MobilityModel):
+    """The Random Waypoint model: travel-pause cycles across an area."""
+
+    def __init__(
+        self,
+        position: Vec2,
+        area: Rect,
+        band: VelocityBand,
+        rng: np.random.Generator,
+        *,
+        max_pause: float = 30.0,
+    ) -> None:
+        super().__init__(area.clamp(position))
+        check_non_negative(max_pause, "max_pause")
+        if band.high <= 0:
+            raise ValueError("random waypoint needs a positive max speed")
+        self._area = area
+        self._band = band
+        self._rng = rng
+        self._max_pause = max_pause
+        self._target: Vec2 | None = None
+        self._speed = 0.0
+        self._pause_left = 0.0
+
+    def _begin_trip(self) -> None:
+        self._target = self._area.random_point(self._rng)
+        low = max(self._band.low, 0.05 * self._band.high)
+        self._speed = float(self._rng.uniform(low, self._band.high))
+
+    def step(self, dt: float) -> Vec2:
+        self._require_dt(dt)
+        remaining = dt
+        while remaining > 1e-12:
+            if self._pause_left > 0.0:
+                used = min(self._pause_left, remaining)
+                self._pause_left -= used
+                remaining -= used
+                continue
+            if self._target is None:
+                self._begin_trip()
+                continue
+            offset = self._target - self._position
+            dist = offset.norm()
+            travel = self._speed * remaining
+            if travel >= dist:
+                self._position = self._target
+                remaining -= dist / self._speed if self._speed > 0 else remaining
+                self._target = None
+                if self._max_pause > 0:
+                    self._pause_left = float(
+                        self._rng.uniform(0.0, self._max_pause)
+                    )
+            else:
+                self._position = self._position + offset.unit() * travel
+                remaining = 0.0
+        return self._position
+
+
+class GaussMarkovModel(MobilityModel):
+    """The Gauss-Markov model: AR(1) speed and heading with memory alpha.
+
+    ``alpha`` in [0, 1): 0 is a fresh random draw each step (Brownian-ish),
+    values near 1 give strongly correlated, almost-linear motion.  Nodes
+    reflect off the area boundary by steering towards the centre.
+    """
+
+    def __init__(
+        self,
+        position: Vec2,
+        area: Rect,
+        band: VelocityBand,
+        rng: np.random.Generator,
+        *,
+        alpha: float = 0.85,
+        heading_sigma: float = 0.4,
+        speed_sigma: float | None = None,
+    ) -> None:
+        super().__init__(area.clamp(position))
+        check_in_range(alpha, "alpha", 0.0, 1.0)
+        check_non_negative(heading_sigma, "heading_sigma")
+        self._area = area
+        self._band = band
+        self._rng = rng
+        self._alpha = alpha
+        self._heading_sigma = heading_sigma
+        self._speed_sigma = (
+            speed_sigma
+            if speed_sigma is not None
+            else 0.2 * max(band.high - band.low, 0.1)
+        )
+        self._mean_speed = band.mean if band.mean > 0 else band.high / 2
+        self._speed = self._mean_speed
+        self._heading = float(rng.uniform(-math.pi, math.pi))
+
+    @property
+    def heading(self) -> float:
+        """The current heading state (radians)."""
+        return self._heading
+
+    def _mean_heading(self) -> float:
+        """Steer towards the area centre when close to the boundary."""
+        margin = 0.1 * min(self._area.width, self._area.height)
+        inner = self._area.expanded(-margin) if margin > 0 else self._area
+        if inner.contains(self._position):
+            return self._heading
+        return (self._area.center - self._position).angle()
+
+    def step(self, dt: float) -> Vec2:
+        self._require_dt(dt)
+        a = self._alpha
+        root = math.sqrt(max(1.0 - a * a, 0.0))
+        self._speed = (
+            a * self._speed
+            + (1.0 - a) * self._mean_speed
+            + root * self._speed_sigma * float(self._rng.standard_normal())
+        )
+        self._speed = self._band.clamp(max(self._speed, 0.0))
+        mean_heading = self._mean_heading()
+        self._heading = (
+            a * self._heading
+            + (1.0 - a) * mean_heading
+            + root * self._heading_sigma * float(self._rng.standard_normal())
+        )
+        step_vector = Vec2.from_polar(self._speed * dt, self._heading)
+        self._position = self._area.clamp(self._position + step_vector)
+        return self._position
+
+
+class ManhattanGridModel(MobilityModel):
+    """Movement on a street grid with probabilistic turns at corners.
+
+    The area is overlaid with a square grid of street spacing ``block``;
+    nodes move along grid lines and, at each intersection, continue
+    straight with probability ``p_straight`` or turn left/right with equal
+    shares of the remainder.
+    """
+
+    _DIRS = (Vec2(1, 0), Vec2(0, 1), Vec2(-1, 0), Vec2(0, -1))
+
+    def __init__(
+        self,
+        position: Vec2,
+        area: Rect,
+        band: VelocityBand,
+        rng: np.random.Generator,
+        *,
+        block: float = 50.0,
+        p_straight: float = 0.6,
+    ) -> None:
+        check_positive(block, "block")
+        check_in_range(p_straight, "p_straight", 0.0, 1.0)
+        snapped, vertical_street = self._snap(area.clamp(position), area, block)
+        super().__init__(snapped)
+        self._area = area
+        self._band = band
+        self._rng = rng
+        self._block = block
+        self._p_straight = p_straight
+        # The initial direction must run along the street we snapped onto:
+        # directions 1/3 are vertical (for a snapped x), 0/2 horizontal.
+        if vertical_street:
+            self._direction = 1 if rng.random() < 0.5 else 3
+        else:
+            self._direction = 0 if rng.random() < 0.5 else 2
+        self._speed = band.sample(rng) or max(band.high, 0.5)
+        self._to_next = self._distance_to_next_corner()
+
+    @staticmethod
+    def _snap(point: Vec2, area: Rect, block: float) -> tuple[Vec2, bool]:
+        """Snap onto the nearest grid line.
+
+        Returns the snapped point and whether it lies on a *vertical*
+        street (x snapped) rather than a horizontal one (y snapped).
+        """
+        gx = area.x_min + round((point.x - area.x_min) / block) * block
+        gy = area.y_min + round((point.y - area.y_min) / block) * block
+        if abs(point.x - gx) <= abs(point.y - gy):
+            return Vec2(gx, point.y), True
+        return Vec2(point.x, gy), False
+
+    def _distance_to_next_corner(self) -> float:
+        d = self._DIRS[self._direction]
+        if d.x != 0:
+            along = (self._position.x - self._area.x_min) / self._block
+            frac = along - math.floor(along)
+            gap = (1.0 - frac) if d.x > 0 else frac
+        else:
+            along = (self._position.y - self._area.y_min) / self._block
+            frac = along - math.floor(along)
+            gap = (1.0 - frac) if d.y > 0 else frac
+        gap = gap if gap > 1e-9 else 1.0
+        return gap * self._block
+
+    def _choose_direction(self) -> None:
+        roll = float(self._rng.random())
+        if roll >= self._p_straight:
+            turn = 1 if roll < self._p_straight + (1 - self._p_straight) / 2 else -1
+            self._direction = (self._direction + turn) % 4
+        # Reflect instead of walking out of the area.
+        probe = self._position + self._DIRS[self._direction] * self._block
+        if not self._area.contains(probe, tol=1e-6):
+            self._direction = (self._direction + 2) % 4
+
+    def step(self, dt: float) -> Vec2:
+        self._require_dt(dt)
+        remaining = dt
+        while remaining > 1e-12:
+            travel = self._speed * remaining
+            if travel >= self._to_next:
+                self._position = self._area.clamp(
+                    self._position + self._DIRS[self._direction] * self._to_next
+                )
+                remaining -= (
+                    self._to_next / self._speed if self._speed > 0 else remaining
+                )
+                self._choose_direction()
+                self._speed = self._band.clamp(
+                    self._speed * (1.0 + 0.1 * float(self._rng.standard_normal()))
+                )
+                if self._speed <= 0:
+                    self._speed = max(self._band.high * 0.5, 0.1)
+                self._to_next = self._block
+            else:
+                self._position = self._area.clamp(
+                    self._position + self._DIRS[self._direction] * travel
+                )
+                self._to_next -= travel
+                remaining = 0.0
+        return self._position

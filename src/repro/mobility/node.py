@@ -1,0 +1,128 @@
+"""The mobile node: identity, device, kinematics and motion history."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.geometry import Vec2
+from repro.mobility.models import MobilityModel
+from repro.mobility.states import DeviceType, MobilityState, NodeKind
+
+__all__ = ["MotionSample", "MobileNode"]
+
+
+@dataclass(frozen=True, slots=True)
+class MotionSample:
+    """One observed kinematic sample of a node."""
+
+    time: float
+    position: Vec2
+    velocity: Vec2
+
+    @property
+    def speed(self) -> float:
+        """Scalar speed in m/s."""
+        return self.velocity.norm()
+
+    @property
+    def direction(self) -> float:
+        """Heading in radians (meaningless when speed is ~0)."""
+        return self.velocity.angle()
+
+
+class MobileNode:
+    """A mobile grid node (cell phone / PDA / laptop on a person or vehicle).
+
+    The node hosts a mobility model, advances in fixed time steps, and keeps
+    a bounded history of motion samples — the observable the ADF's mobility
+    classifier works from.  ``true_state`` records the generating pattern so
+    experiments can score the classifier against ground truth.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        model: MobilityModel,
+        *,
+        device: DeviceType = DeviceType.CELL_PHONE,
+        kind: NodeKind = NodeKind.HUMAN,
+        home_region: str = "",
+        true_state: MobilityState | None = None,
+        history_length: int = 32,
+    ) -> None:
+        if not node_id:
+            raise ValueError("node_id must be non-empty")
+        if history_length < 2:
+            raise ValueError(f"history_length must be >= 2, got {history_length}")
+        self.node_id = node_id
+        self.device = device
+        self.kind = kind
+        self.home_region = home_region
+        self.true_state = true_state
+        self._model = model
+        self._velocity = Vec2.zero()
+        self._time = 0.0
+        self._history: deque[MotionSample] = deque(maxlen=history_length)
+        self._history.append(MotionSample(0.0, model.position, Vec2.zero()))
+
+    # -- kinematics ------------------------------------------------------------
+    @property
+    def position(self) -> Vec2:
+        """Current true position."""
+        return self._model.position
+
+    @property
+    def velocity(self) -> Vec2:
+        """Velocity over the last advance step."""
+        return self._velocity
+
+    @property
+    def speed(self) -> float:
+        """Scalar speed over the last advance step (m/s)."""
+        return self._velocity.norm()
+
+    @property
+    def direction(self) -> float:
+        """Heading over the last advance step (radians)."""
+        return self._velocity.angle()
+
+    @property
+    def time(self) -> float:
+        """Node-local clock: time of the latest sample."""
+        return self._time
+
+    @property
+    def model(self) -> MobilityModel:
+        """The mobility model driving this node."""
+        return self._model
+
+    def replace_model(self, model: MobilityModel) -> None:
+        """Swap the mobility model (used by itinerary scenarios)."""
+        self._model = model
+
+    def advance(self, dt: float) -> MotionSample:
+        """Move the node forward by *dt* seconds; returns the new sample."""
+        if dt <= 0:
+            raise ValueError(f"dt must be > 0, got {dt}")
+        old = self.position
+        new = self._model.step(dt)
+        self._velocity = (new - old) / dt
+        self._time += dt
+        sample = MotionSample(self._time, new, self._velocity)
+        self._history.append(sample)
+        return sample
+
+    # -- history ------------------------------------------------------------
+    @property
+    def history(self) -> tuple[MotionSample, ...]:
+        """Recent motion samples, oldest first."""
+        return tuple(self._history)
+
+    def latest(self) -> MotionSample:
+        """The most recent motion sample."""
+        return self._history[-1]
+
+    def __repr__(self) -> str:
+        state = self.true_state.value if self.true_state else "?"
+        return f"MobileNode({self.node_id}, {state}, {self.kind.value})"

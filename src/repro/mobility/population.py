@@ -1,0 +1,205 @@
+"""Population construction per paper Table 1.
+
+The evaluation uses 140 MNs: each of the 5 roads gets 5 human-type LMS and
+5 vehicle-type LMS nodes; each of the 6 buildings gets 5 SS, 5 RMS and 5 LMS
+human nodes.  Velocity ranges:
+
+==========  ========  =======  ============
+Region      Pattern   Type     Range (m/s)
+==========  ========  =======  ============
+Road        LMS       human    1 - 4
+Road        LMS       vehicle  4 - 10
+Building    SS        human    0
+Building    RMS       human    0 - 1
+Building    LMS       human    1 - 1.5
+==========  ========  =======  ============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.campus import Campus, Region
+from repro.mobility.models import (
+    LinearPathModel,
+    RandomTripPlanner,
+    RandomWalkModel,
+    ShuttlePlanner,
+    StopModel,
+)
+from repro.mobility.node import MobileNode
+from repro.mobility.states import (
+    BUILDING_LINEAR_BAND,
+    BUILDING_RANDOM_BAND,
+    BUILDING_STOP_BAND,
+    ROAD_HUMAN_BAND,
+    ROAD_VEHICLE_BAND,
+    DeviceType,
+    MobilityState,
+    NodeKind,
+    VelocityBand,
+)
+from repro.util.rng import RngRegistry
+
+__all__ = ["PopulationSpec", "table1_spec", "build_population"]
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """How many nodes of each flavour to place, and at what speeds."""
+
+    road_humans_per_road: int = 5
+    road_vehicles_per_road: int = 5
+    building_stop: int = 5
+    building_random: int = 5
+    building_linear: int = 5
+    road_human_band: VelocityBand = field(default=ROAD_HUMAN_BAND)
+    road_vehicle_band: VelocityBand = field(default=ROAD_VEHICLE_BAND)
+    building_stop_band: VelocityBand = field(default=BUILDING_STOP_BAND)
+    building_random_band: VelocityBand = field(default=BUILDING_RANDOM_BAND)
+    building_linear_band: VelocityBand = field(default=BUILDING_LINEAR_BAND)
+
+    def total_for(self, n_roads: int, n_buildings: int) -> int:
+        """Total node count for a campus with the given region counts."""
+        per_road = self.road_humans_per_road + self.road_vehicles_per_road
+        per_building = (
+            self.building_stop + self.building_random + self.building_linear
+        )
+        return n_roads * per_road + n_buildings * per_building
+
+    def scaled(self, factor: int) -> "PopulationSpec":
+        """A spec with every per-region count multiplied by *factor*."""
+        if factor < 1:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        return PopulationSpec(
+            road_humans_per_road=self.road_humans_per_road * factor,
+            road_vehicles_per_road=self.road_vehicles_per_road * factor,
+            building_stop=self.building_stop * factor,
+            building_random=self.building_random * factor,
+            building_linear=self.building_linear * factor,
+            road_human_band=self.road_human_band,
+            road_vehicle_band=self.road_vehicle_band,
+            building_stop_band=self.building_stop_band,
+            building_random_band=self.building_random_band,
+            building_linear_band=self.building_linear_band,
+        )
+
+
+def table1_spec() -> PopulationSpec:
+    """The exact paper configuration (140 MNs on the default campus)."""
+    return PopulationSpec()
+
+
+_DEVICE_CYCLE = (DeviceType.CELL_PHONE, DeviceType.PDA, DeviceType.LAPTOP)
+
+
+def _device_for(index: int) -> DeviceType:
+    return _DEVICE_CYCLE[index % len(_DEVICE_CYCLE)]
+
+
+def _road_node(
+    region: Region,
+    index: int,
+    kind: NodeKind,
+    band: VelocityBand,
+    rng_registry: RngRegistry,
+) -> MobileNode:
+    node_id = f"{region.region_id}-{kind.value}-{index:02d}"
+    rng = rng_registry.stream(f"mobility/{node_id}")
+    centerline = region.centerline
+    assert centerline is not None  # guaranteed for roads by Region validation
+    start = centerline.point_at(float(rng.uniform(0.0, centerline.length)))
+    model = LinearPathModel(start, ShuttlePlanner(centerline), band, rng)
+    return MobileNode(
+        node_id,
+        model,
+        device=_device_for(index),
+        kind=kind,
+        home_region=region.region_id,
+        true_state=MobilityState.LINEAR,
+    )
+
+
+def _building_node(
+    region: Region,
+    index: int,
+    state: MobilityState,
+    band: VelocityBand,
+    rng_registry: RngRegistry,
+) -> MobileNode:
+    node_id = f"{region.region_id}-{state.value}-{index:02d}"
+    rng = rng_registry.stream(f"mobility/{node_id}")
+    start = region.bounds.random_point(rng)
+    if state is MobilityState.STOP:
+        model = StopModel(start)
+    elif state is MobilityState.RANDOM:
+        model = RandomWalkModel(start, region.bounds, band, rng)
+    else:
+        corridors = list(region.corridors)
+        if not corridors:
+            raise ValueError(
+                f"building {region.region_id} has no corridors for LMS nodes"
+            )
+        model = LinearPathModel(
+            start, RandomTripPlanner(corridors, rng), band, rng
+        )
+    return MobileNode(
+        node_id,
+        model,
+        device=_device_for(index),
+        kind=NodeKind.HUMAN,
+        home_region=region.region_id,
+        true_state=state,
+    )
+
+
+def build_population(
+    campus: Campus,
+    spec: PopulationSpec,
+    rng_registry: RngRegistry,
+) -> list[MobileNode]:
+    """Instantiate the full node population on *campus* per *spec*.
+
+    Node ids are deterministic (region + pattern + index), and each node gets
+    its own named RNG stream, so populations are reproducible under a seed.
+    """
+    nodes: list[MobileNode] = []
+    for region in campus.roads():
+        for i in range(spec.road_humans_per_road):
+            nodes.append(
+                _road_node(region, i, NodeKind.HUMAN, spec.road_human_band, rng_registry)
+            )
+        for i in range(spec.road_vehicles_per_road):
+            nodes.append(
+                _road_node(
+                    region, i, NodeKind.VEHICLE, spec.road_vehicle_band, rng_registry
+                )
+            )
+    for region in campus.buildings():
+        for i in range(spec.building_stop):
+            nodes.append(
+                _building_node(
+                    region, i, MobilityState.STOP, spec.building_stop_band, rng_registry
+                )
+            )
+        for i in range(spec.building_random):
+            nodes.append(
+                _building_node(
+                    region,
+                    i,
+                    MobilityState.RANDOM,
+                    spec.building_random_band,
+                    rng_registry,
+                )
+            )
+        for i in range(spec.building_linear):
+            nodes.append(
+                _building_node(
+                    region,
+                    i,
+                    MobilityState.LINEAR,
+                    spec.building_linear_band,
+                    rng_registry,
+                )
+            )
+    return nodes

@@ -1,0 +1,76 @@
+"""Mobility taxonomy: states, node kinds, devices and velocity bands."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_non_negative
+
+__all__ = ["MobilityState", "NodeKind", "DeviceType", "VelocityBand"]
+
+
+class MobilityState(enum.Enum):
+    """The paper's three mobility patterns (§3.1)."""
+
+    STOP = "SS"
+    RANDOM = "RMS"
+    LINEAR = "LMS"
+
+
+class NodeKind(enum.Enum):
+    """Human versus vehicle MNs; only roads carry vehicles (paper §4)."""
+
+    HUMAN = "human"
+    VEHICLE = "vehicle"
+
+
+class DeviceType(enum.Enum):
+    """The mobile devices the paper limits itself to (§3.1)."""
+
+    LAPTOP = "laptop"
+    PDA = "pda"
+    CELL_PHONE = "cell_phone"
+
+
+@dataclass(frozen=True, slots=True)
+class VelocityBand:
+    """An inclusive speed range in m/s (paper Table 1's "VR" column)."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.low, "low")
+        check_non_negative(self.high, "high")
+        if self.high < self.low:
+            raise ValueError(f"velocity band inverted: [{self.low}, {self.high}]")
+
+    @property
+    def mean(self) -> float:
+        """Midpoint of the band."""
+        return (self.low + self.high) / 2.0
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """A uniformly distributed speed from the band."""
+        if self.low == self.high:
+            return self.low
+        return float(rng.uniform(self.low, self.high))
+
+    def clamp(self, speed: float) -> float:
+        """*speed* limited to the band."""
+        return min(max(speed, self.low), self.high)
+
+    def contains(self, speed: float, *, tol: float = 1e-9) -> bool:
+        """True when *speed* lies inside the band (within tolerance)."""
+        return self.low - tol <= speed <= self.high + tol
+
+
+#: Paper Table 1 velocity ranges.
+ROAD_HUMAN_BAND = VelocityBand(1.0, 4.0)
+ROAD_VEHICLE_BAND = VelocityBand(4.0, 10.0)
+BUILDING_STOP_BAND = VelocityBand(0.0, 0.0)
+BUILDING_RANDOM_BAND = VelocityBand(0.0, 1.0)
+BUILDING_LINEAR_BAND = VelocityBand(1.0, 1.5)

@@ -1,0 +1,65 @@
+"""Trajectory recording for analysis and visualisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mobility.node import MobileNode, MotionSample
+
+__all__ = ["TrajectoryTrace"]
+
+
+class TrajectoryTrace:
+    """Collects per-node motion samples over a run.
+
+    Unlike the node's own bounded history, a trace keeps everything, so the
+    experiment harness can compute exact displacement statistics after the
+    fact (e.g. average moving distance, which calibrates DTH sizes).
+    """
+
+    def __init__(self) -> None:
+        self._samples: dict[str, list[MotionSample]] = {}
+
+    def record(self, node: MobileNode) -> None:
+        """Append the node's latest motion sample to its trace."""
+        self._samples.setdefault(node.node_id, []).append(node.latest())
+
+    def node_ids(self) -> list[str]:
+        """Ids of all traced nodes."""
+        return list(self._samples)
+
+    def samples(self, node_id: str) -> list[MotionSample]:
+        """All samples for one node, oldest first."""
+        return list(self._samples.get(node_id, []))
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._samples.values())
+
+    def positions(self, node_id: str) -> np.ndarray:
+        """An ``(n, 2)`` array of a node's positions."""
+        pts = self._samples.get(node_id, [])
+        return np.array([[s.position.x, s.position.y] for s in pts], dtype=float)
+
+    def speeds(self, node_id: str) -> np.ndarray:
+        """A node's scalar speeds over time."""
+        pts = self._samples.get(node_id, [])
+        return np.array([s.speed for s in pts], dtype=float)
+
+    def total_distance(self, node_id: str) -> float:
+        """Path length travelled by a node over the trace."""
+        positions = self.positions(node_id)
+        if len(positions) < 2:
+            return 0.0
+        deltas = np.diff(positions, axis=0)
+        return float(np.sum(np.hypot(deltas[:, 0], deltas[:, 1])))
+
+    def mean_speed(self, node_id: str) -> float:
+        """Average of a node's recorded speeds (0.0 when untraced)."""
+        speeds = self.speeds(node_id)
+        return float(np.mean(speeds)) if speeds.size else 0.0
+
+    def fleet_mean_speed(self) -> float:
+        """Mean speed across every sample of every node."""
+        all_speeds = [self.speeds(nid) for nid in self._samples]
+        flat = np.concatenate(all_speeds) if all_speeds else np.array([])
+        return float(np.mean(flat)) if flat.size else 0.0

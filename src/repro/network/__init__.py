@@ -1,0 +1,29 @@
+"""The wireless side of the mobile grid.
+
+MNs report location updates (LUs) to per-region wireless gateways (base
+stations on roads, access points in buildings); gateways forward them over a
+lossy, latency-bearing channel towards the ADF and broker.  Traffic meters
+count every message, producing the per-second / accumulated / per-region
+series of the paper's figures.
+"""
+
+from repro.network.messages import Ack, LocationUpdate, Message
+from repro.network.channel import ChannelStats, WirelessChannel
+from repro.network.gateway import WirelessGateway
+from repro.network.association import AssociationManager, HandoffRecord
+from repro.network.queueing import QueueingChannel, QueueingStats
+from repro.network.traffic import TrafficMeter
+
+__all__ = [
+    "Message",
+    "LocationUpdate",
+    "Ack",
+    "WirelessChannel",
+    "ChannelStats",
+    "WirelessGateway",
+    "AssociationManager",
+    "HandoffRecord",
+    "QueueingChannel",
+    "QueueingStats",
+    "TrafficMeter",
+]

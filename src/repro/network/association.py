@@ -1,0 +1,116 @@
+"""MN-to-gateway association and handoff tracking.
+
+The paper's architecture has MNs "connected by a wireless gateway, like a
+base station or AP".  When a node crosses a region boundary it must
+re-associate with the new region's gateway — signalling traffic that
+exists *regardless* of location-update filtering.  The
+:class:`AssociationManager` tracks which gateway serves each node, counts
+handoffs, and (optionally) charges a registration message per handoff so
+experiments can report total signalling, not just LUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.network.gateway import WirelessGateway
+from repro.network.messages import LocationUpdate
+from repro.util.timeseries import TimeSeries
+
+__all__ = ["HandoffRecord", "AssociationManager"]
+
+
+@dataclass(frozen=True, slots=True)
+class HandoffRecord:
+    """One gateway change for one node."""
+
+    node_id: str
+    time: float
+    from_region: str | None
+    to_region: str
+
+
+@dataclass
+class AssociationStats:
+    """Aggregate association statistics."""
+
+    associations: int = 0
+    handoffs: int = 0
+    registration_messages: int = 0
+
+
+class AssociationManager:
+    """Tracks the serving gateway of every node."""
+
+    def __init__(
+        self,
+        gateways: dict[str, WirelessGateway],
+        *,
+        registration_cost_messages: int = 2,
+    ) -> None:
+        if registration_cost_messages < 0:
+            raise ValueError("registration_cost_messages must be >= 0")
+        self._gateways = dict(gateways)
+        self._serving: dict[str, str] = {}
+        self._handoffs: list[HandoffRecord] = []
+        self._registration_cost = registration_cost_messages
+        self.stats = AssociationStats()
+
+    # -- association ----------------------------------------------------------
+    def serving_region(self, node_id: str) -> str | None:
+        """Region id of the gateway currently serving *node_id*."""
+        return self._serving.get(node_id)
+
+    def serving_gateway(self, node_id: str) -> WirelessGateway | None:
+        """The gateway object currently serving *node_id*."""
+        region = self._serving.get(node_id)
+        return self._gateways.get(region) if region else None
+
+    def observe(self, update: LocationUpdate) -> WirelessGateway:
+        """Route an LU: (re)associate if needed, then return the gateway.
+
+        Association changes are recorded as handoffs with their
+        registration-message cost.
+        """
+        region = update.region_id
+        gateway = self._gateways.get(region)
+        if gateway is None:
+            raise KeyError(f"no gateway for region {update.region_id!r}")
+        previous = self._serving.get(update.node_id)
+        if previous != region:
+            self._serving[update.node_id] = region
+            if previous is None:
+                self.stats.associations += 1
+            else:
+                self.stats.handoffs += 1
+                self.stats.registration_messages += self._registration_cost
+            self._handoffs.append(
+                HandoffRecord(
+                    node_id=update.node_id,
+                    time=update.timestamp,
+                    from_region=previous,
+                    to_region=region,
+                )
+            )
+        return gateway
+
+    # -- reporting -----------------------------------------------------------
+    def handoff_history(self, node_id: str | None = None) -> list[HandoffRecord]:
+        """All handoff records, optionally filtered to one node."""
+        if node_id is None:
+            return list(self._handoffs)
+        return [h for h in self._handoffs if h.node_id == node_id]
+
+    def handoffs_per_second(self, duration: float) -> TimeSeries:
+        """Handoff rate over time (initial associations excluded)."""
+        raw = TimeSeries()
+        events = sorted(
+            (h.time for h in self._handoffs if h.from_region is not None)
+        )
+        for t in events:
+            raw.append(t, 1.0)
+        return raw.bin_sum(1.0, duration)
+
+    def nodes_served_by(self, region_id: str) -> list[str]:
+        """Node ids currently associated with *region_id*'s gateway."""
+        return [n for n, r in self._serving.items() if r == region_id]

@@ -1,0 +1,95 @@
+"""A lossy wireless channel with configurable latency.
+
+Delivery is scheduled on the shared simulator: each message experiences an
+exponentially-jittered latency and an independent drop probability.  With
+the defaults (zero latency, zero loss) the channel is transparent, which is
+what the paper's LU-counting experiments assume; the loss/latency knobs
+exist for the failure-injection tests and robustness ablations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.messages import Message
+from repro.simkernel import Simulator
+
+__all__ = ["ChannelStats", "WirelessChannel"]
+
+
+@dataclass
+class ChannelStats:
+    """Counters accumulated by a channel."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    bytes_sent: int = 0
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of sent messages that were dropped."""
+        return self.dropped / self.sent if self.sent else 0.0
+
+
+class WirelessChannel:
+    """Point-to-point message transport with latency and loss."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: np.random.Generator,
+        *,
+        base_latency: float = 0.0,
+        latency_jitter: float = 0.0,
+        loss_probability: float = 0.0,
+        name: str = "channel",
+    ) -> None:
+        if base_latency < 0:
+            raise ValueError(f"base_latency must be >= 0, got {base_latency}")
+        if latency_jitter < 0:
+            raise ValueError(f"latency_jitter must be >= 0, got {latency_jitter}")
+        if not (0.0 <= loss_probability <= 1.0):
+            raise ValueError(
+                f"loss_probability must be in [0, 1], got {loss_probability}"
+            )
+        self._sim = sim
+        self._rng = rng
+        self._base_latency = base_latency
+        self._latency_jitter = latency_jitter
+        self._loss_probability = loss_probability
+        self.name = name
+        self.stats = ChannelStats()
+
+    def latency_sample(self) -> float:
+        """One latency draw: base + exponential jitter."""
+        jitter = 0.0
+        if self._latency_jitter > 0:
+            jitter = float(self._rng.exponential(self._latency_jitter))
+        return self._base_latency + jitter
+
+    def send(self, message: Message, deliver: Callable[[Message], None]) -> bool:
+        """Transmit *message*; *deliver* runs after the latency unless dropped.
+
+        Returns ``True`` when the message was accepted for delivery (it may
+        still be in flight), ``False`` when it was dropped.
+        """
+        self.stats.sent += 1
+        self.stats.bytes_sent += message.size_bytes
+        if self._loss_probability > 0 and self._rng.random() < self._loss_probability:
+            self.stats.dropped += 1
+            return False
+        latency = self.latency_sample()
+
+        def arrive() -> None:
+            self.stats.delivered += 1
+            deliver(message)
+
+        if latency <= 0:
+            arrive()
+        else:
+            self._sim.schedule_in(latency, arrive, label=f"{self.name}:deliver")
+        return True

@@ -1,0 +1,76 @@
+"""Wireless gateways: base stations (roads) and access points (buildings).
+
+Per the paper's architecture (§3.4), MNs transmit their location to the
+wireless gateway covering their region; the gateway collects incoming LUs
+and forwards them to the ADF.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.campus import Region
+from repro.network.channel import WirelessChannel
+from repro.network.messages import LocationUpdate, Message
+
+__all__ = ["WirelessGateway"]
+
+
+class WirelessGateway:
+    """One gateway per campus region.
+
+    The gateway's *uplink* delivers LUs to a sink (normally the ADF).  An
+    operational flag supports failure injection: a downed gateway silently
+    discards traffic, as a real dead AP would.
+    """
+
+    def __init__(
+        self,
+        region: Region,
+        uplink: WirelessChannel,
+        sink: Callable[[LocationUpdate], None],
+    ) -> None:
+        self.region = region
+        self._uplink = uplink
+        self._sink = sink
+        self.operational = True
+        self.received = 0
+        self.forwarded = 0
+        self.discarded = 0
+
+    @property
+    def gateway_id(self) -> str:
+        """Id of the gateway: ``gw.<region>``."""
+        return f"gw.{self.region.region_id}"
+
+    def covers(self, update: LocationUpdate) -> bool:
+        """True when the update's fix lies inside this gateway's region."""
+        return self.region.contains(update.position, tol=1e-6)
+
+    def receive(self, update: LocationUpdate) -> None:
+        """Accept an LU from an MN and forward it upstream."""
+        self.received += 1
+        if not self.operational:
+            self.discarded += 1
+            return
+        accepted = self._uplink.send(update, self._deliver)
+        if accepted:
+            self.forwarded += 1
+        else:
+            self.discarded += 1
+
+    def _deliver(self, message: Message) -> None:
+        assert isinstance(message, LocationUpdate)
+        self._sink(message)
+
+    def fail(self) -> None:
+        """Take the gateway down (failure injection)."""
+        self.operational = False
+
+    def restore(self) -> None:
+        """Bring the gateway back up."""
+        self.operational = True
+
+    def __repr__(self) -> str:
+        state = "up" if self.operational else "down"
+        return f"WirelessGateway({self.gateway_id}, {state})"

@@ -1,0 +1,123 @@
+"""A bandwidth-limited uplink: FIFO queueing over a finite service rate.
+
+The paper's core motivation: LU traffic "increases the system load of the
+mobile grid in a limited bandwidth environment".  The plain
+:class:`~repro.network.channel.WirelessChannel` models latency and loss
+but infinite capacity; this module adds the missing piece — a serial
+uplink that transmits one message at a time at ``bandwidth_bps``, queueing
+arrivals FIFO up to ``queue_limit`` and dropping beyond it.
+
+Under offered load above capacity the queue grows and per-message delay
+explodes; cutting the offered load (what the ADF does) is then visible
+directly as delay, not just message counts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.network.messages import Message
+from repro.simkernel import Simulator
+from repro.util.validation import check_positive
+
+__all__ = ["QueueingStats", "QueueingChannel"]
+
+
+@dataclass
+class QueueingStats:
+    """Counters and delay series of a queueing channel."""
+
+    accepted: int = 0
+    delivered: int = 0
+    dropped_queue_full: int = 0
+    total_delay: float = 0.0
+    max_delay: float = 0.0
+    delays: list[float] = field(default_factory=list)
+
+    @property
+    def mean_delay(self) -> float:
+        """Average queueing + transmission delay of delivered messages."""
+        return self.total_delay / self.delivered if self.delivered else 0.0
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of offered messages dropped for a full queue."""
+        offered = self.accepted + self.dropped_queue_full
+        return self.dropped_queue_full / offered if offered else 0.0
+
+
+@dataclass
+class _Pending:
+    message: Message
+    deliver: Callable[[Message], None]
+    enqueued_at: float
+
+
+class QueueingChannel:
+    """A serial FIFO uplink with finite bandwidth.
+
+    Service time per message is ``size_bytes * 8 / bandwidth_bps``.  The
+    channel is work-conserving: it transmits whenever the queue is
+    non-empty.  Delivery callbacks run at transmission-complete time on
+    the shared simulator.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        bandwidth_bps: float,
+        queue_limit: int = 256,
+        name: str = "uplink",
+    ) -> None:
+        check_positive(bandwidth_bps, "bandwidth_bps")
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self._sim = sim
+        self._bandwidth = bandwidth_bps
+        self._queue_limit = queue_limit
+        self._queue: deque[_Pending] = deque()
+        self._busy = False
+        self.name = name
+        self.stats = QueueingStats()
+
+    @property
+    def queue_length(self) -> int:
+        """Messages currently waiting (excluding the one in service)."""
+        return len(self._queue)
+
+    def service_time(self, message: Message) -> float:
+        """Seconds the link needs to transmit *message*."""
+        return message.size_bytes * 8.0 / self._bandwidth
+
+    def send(self, message: Message, deliver: Callable[[Message], None]) -> bool:
+        """Offer a message; returns False when the queue is full."""
+        if len(self._queue) >= self._queue_limit:
+            self.stats.dropped_queue_full += 1
+            return False
+        self.stats.accepted += 1
+        self._queue.append(_Pending(message, deliver, self._sim.now))
+        if not self._busy:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        pending = self._queue.popleft()
+        duration = self.service_time(pending.message)
+
+        def complete() -> None:
+            delay = self._sim.now - pending.enqueued_at
+            self.stats.delivered += 1
+            self.stats.total_delay += delay
+            self.stats.max_delay = max(self.stats.max_delay, delay)
+            self.stats.delays.append(delay)
+            pending.deliver(pending.message)
+            self._start_next()
+
+        self._sim.schedule_in(duration, complete, label=f"{self.name}:tx")

@@ -1,0 +1,28 @@
+"""A small discrete-event simulation kernel.
+
+The mobile-grid experiments are time-stepped at their core (MNs move every
+``dt``), but the network channel, gateways and broker react to events at
+arbitrary times, so everything is driven by a classic event heap.
+
+Components:
+
+* :class:`~repro.simkernel.events.Event` / :class:`~repro.simkernel.events.EventQueue`
+  — the ordered future event list;
+* :class:`~repro.simkernel.engine.Simulator` — scheduling, `run_until`,
+  periodic activities;
+* :mod:`repro.simkernel.process` — generator-based processes (``yield`` a
+  delay to sleep) layered on top of the engine.
+"""
+
+from repro.simkernel.events import Event, EventQueue
+from repro.simkernel.engine import Simulator, SimulationError
+from repro.simkernel.process import Process, hold
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "SimulationError",
+    "Process",
+    "hold",
+]

@@ -1,0 +1,159 @@
+"""The simulation engine: clock + event loop + periodic activities."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.simkernel.events import Event, EventQueue
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling misuse (e.g. scheduling into the past)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Time starts at ``start_time`` (default 0) and only moves forward.  All
+    model components share one simulator and schedule work through it, which
+    keeps global event ordering well-defined.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._running = False
+        self._events_executed = 0
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of events executed so far (for stats/tests)."""
+        return self._events_executed
+
+    def pending_events(self) -> int:
+        """Number of live events in the future event list."""
+        return len(self._queue)
+
+    # -- scheduling -----------------------------------------------------------
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule *action* to run at absolute *time* (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: {time} < now {self._now}"
+            )
+        return self._queue.push(time, action, priority=priority, label=label)
+
+    def schedule_in(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule *action* to run *delay* seconds from now (delay >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(
+            self._now + delay, action, priority=priority, label=label
+        )
+
+    def schedule_every(
+        self,
+        interval: float,
+        action: Callable[[], None],
+        *,
+        start: float | None = None,
+        end: float | None = None,
+        priority: int = 0,
+        label: str = "",
+    ) -> None:
+        """Run *action* every *interval* seconds.
+
+        The first firing is at *start* (default: ``now + interval``); firings
+        with time strictly greater than *end* are not scheduled.  The schedule
+        self-perpetuates via the event queue, so cancelling requires draining
+        the simulation or bounding with *end*.
+        """
+        if interval <= 0:
+            raise SimulationError(f"interval must be > 0, got {interval}")
+        first = self._now + interval if start is None else start
+
+        def fire_and_reschedule(when: float) -> None:
+            action()
+            nxt = when + interval
+            if end is None or nxt <= end:
+                self.schedule_at(
+                    nxt,
+                    lambda: fire_and_reschedule(nxt),
+                    priority=priority,
+                    label=label,
+                )
+
+        if end is None or first <= end:
+            self.schedule_at(
+                first, lambda: fire_and_reschedule(first), priority=priority, label=label
+            )
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event."""
+        self._queue.cancel(event)
+
+    # -- execution --------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event; returns ``False`` when the queue is empty."""
+        if self._queue.is_empty():
+            return False
+        event = self._queue.pop()
+        self._now = event.time
+        self._events_executed += 1
+        event.action()
+        return True
+
+    def run_until(self, end_time: float) -> None:
+        """Execute events with ``time <= end_time``; clock ends at *end_time*.
+
+        Events scheduled exactly at *end_time* do run.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"end_time {end_time} precedes current time {self._now}"
+            )
+        self._running = True
+        try:
+            while self._running:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > end_time:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        self._now = max(self._now, end_time)
+
+    def run(self) -> None:
+        """Execute events until the queue drains."""
+        self._running = True
+        try:
+            while self._running and self.step():
+                pass
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Request the current ``run``/``run_until`` loop to exit."""
+        self._running = False

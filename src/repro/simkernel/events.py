@@ -1,0 +1,100 @@
+"""The future event list: timestamped, priority-ordered callbacks."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is ``(time, priority, seq)``: earlier times first, then lower
+    priority values, then insertion order.  The sequence number makes the
+    ordering total and the simulation deterministic.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A binary-heap future event list with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) events."""
+        return self._live
+
+    def is_empty(self) -> bool:
+        """True when no live events remain."""
+        return self._live == 0
+
+    def push(
+        self,
+        time: float,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule *action* at *time*; returns the event for cancellation."""
+        if not math.isfinite(time):
+            raise ValueError(f"event time must be finite, got {time!r}")
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=next(self._counter),
+            action=action,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event (idempotent)."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next live event, or ``None`` when empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> Event:
+        """Remove and return the next live event."""
+        self._drop_cancelled()
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

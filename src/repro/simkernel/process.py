@@ -1,0 +1,75 @@
+"""Generator-based processes on top of the event engine.
+
+A process is a generator that ``yield``-s :func:`hold` delays; the kernel
+resumes it after the requested simulated time.  This gives scenario code
+(e.g. the "Tom" itinerary of paper §3.1) a readable sequential style::
+
+    def day(proc):
+        walk_to(library)
+        yield hold(1 * HOUR)      # study
+        walk_to(lecture_hall)
+        yield hold(2 * HOUR)      # class
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass
+
+from repro.simkernel.engine import Simulator
+
+__all__ = ["hold", "Hold", "Process"]
+
+
+@dataclass(frozen=True, slots=True)
+class Hold:
+    """A request to suspend the process for *delay* simulated seconds."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"hold delay must be >= 0, got {self.delay}")
+
+
+def hold(delay: float) -> Hold:
+    """Suspend the yielding process for *delay* seconds."""
+    return Hold(delay)
+
+
+class Process:
+    """Drives a generator as a simulation process.
+
+    The generator may yield :class:`Hold` objects (or bare non-negative
+    numbers, treated as delays).  When the generator returns, the process is
+    finished; :attr:`done` flips to ``True``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator,
+        *,
+        name: str = "process",
+        start_delay: float = 0.0,
+    ) -> None:
+        self._sim = sim
+        self._generator = generator
+        self.name = name
+        self.done = False
+        sim.schedule_in(start_delay, self._resume, label=f"{name}:start")
+
+    def _resume(self) -> None:
+        if self.done:
+            return
+        try:
+            yielded = next(self._generator)
+        except StopIteration:
+            self.done = True
+            return
+        delay = yielded.delay if isinstance(yielded, Hold) else float(yielded)
+        if delay < 0:
+            raise ValueError(
+                f"process {self.name!r} yielded a negative delay: {delay}"
+            )
+        self._sim.schedule_in(delay, self._resume, label=f"{self.name}:resume")

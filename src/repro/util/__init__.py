@@ -1,0 +1,27 @@
+"""Shared utilities: seeded RNG streams, unit conversions, validation helpers.
+
+These live at the bottom of the dependency stack; nothing in :mod:`repro.util`
+imports any other ``repro`` package.
+"""
+
+from repro.util.rng import RngRegistry, child_rng
+from repro.util.timeseries import TimeSeries
+from repro.util.units import kmh_to_ms, ms_to_kmh
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+)
+
+__all__ = [
+    "RngRegistry",
+    "child_rng",
+    "TimeSeries",
+    "kmh_to_ms",
+    "ms_to_kmh",
+    "check_finite",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+]

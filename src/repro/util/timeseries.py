@@ -1,0 +1,124 @@
+"""A light append-only time series used by meters and error trackers.
+
+Keeps parallel (time, value) lists and converts to numpy arrays on demand.
+The simulator produces per-second series of LU counts and RMSE values; this
+class centralises binning, accumulation and windowed statistics for them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["TimeSeries"]
+
+
+class TimeSeries:
+    """An append-only sequence of ``(time, value)`` samples.
+
+    Times must be appended in non-decreasing order; this mirrors how the
+    discrete-event simulator produces observations and lets windowed queries
+    use binary search.
+    """
+
+    def __init__(self, points: Iterable[tuple[float, float]] | None = None) -> None:
+        self._times: list[float] = []
+        self._values: list[float] = []
+        if points is not None:
+            for t, v in points:
+                self.append(t, v)
+
+    def append(self, time: float, value: float) -> None:
+        """Record *value* observed at *time* (non-decreasing times only)."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"time must be non-decreasing: {time} < {self._times[-1]}"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self._times, self._values))
+
+    def __getitem__(self, index: int) -> tuple[float, float]:
+        return self._times[index], self._values[index]
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample times as a float array."""
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sample values as a float array."""
+        return np.asarray(self._values, dtype=float)
+
+    def is_empty(self) -> bool:
+        """True when no samples have been recorded."""
+        return not self._times
+
+    def last(self) -> tuple[float, float]:
+        """The most recent ``(time, value)`` sample."""
+        if self.is_empty():
+            raise IndexError("time series is empty")
+        return self._times[-1], self._values[-1]
+
+    def total(self) -> float:
+        """Sum of all values (e.g. accumulated LU count)."""
+        return float(np.sum(self.values)) if self._times else 0.0
+
+    def mean(self) -> float:
+        """Arithmetic mean of the values."""
+        if self.is_empty():
+            raise ValueError("mean of empty time series")
+        return float(np.mean(self.values))
+
+    def cumulative(self) -> "TimeSeries":
+        """Running-sum series, aligned to the same times (paper Fig. 5)."""
+        out = TimeSeries()
+        running = 0.0
+        for t, v in self:
+            running += v
+            out.append(t, running)
+        return out
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """Samples with ``start <= time < end``."""
+        if end < start:
+            raise ValueError(f"window end {end} precedes start {start}")
+        times = self.times
+        lo = int(np.searchsorted(times, start, side="left"))
+        hi = int(np.searchsorted(times, end, side="left"))
+        out = TimeSeries()
+        for i in range(lo, hi):
+            out.append(self._times[i], self._values[i])
+        return out
+
+    def bin_sum(self, bin_width: float, duration: float) -> "TimeSeries":
+        """Aggregate values into fixed-width bins covering ``[0, duration)``.
+
+        Returns one sample per bin labelled with the bin's start time; empty
+        bins contribute zero.  Bins are right-closed — bin ``i`` covers
+        ``(i*w, (i+1)*w]`` — because a run of N reporting intervals emits
+        events over ``(0, duration]``: each interval's events then land in
+        exactly one bin.  A sample at exactly ``t = 0`` joins the first bin.
+        """
+        if bin_width <= 0:
+            raise ValueError(f"bin_width must be > 0, got {bin_width}")
+        n_bins = int(np.ceil(duration / bin_width))
+        sums = np.zeros(n_bins, dtype=float)
+        for t, v in self:
+            if 0 <= t <= duration:
+                index = int(np.ceil(t / bin_width)) - 1
+                sums[max(index, 0)] += v
+        out = TimeSeries()
+        for i in range(n_bins):
+            out.append(i * bin_width, float(sums[i]))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TimeSeries(n={len(self)})"

@@ -1,0 +1,26 @@
+"""Unit conversions used throughout the mobile-grid simulator.
+
+All internal computation uses SI units: metres, seconds, metres/second.
+The paper quotes some velocities in km/h (e.g. vehicles up to 40 km/h),
+so conversions live here.
+"""
+
+from __future__ import annotations
+
+__all__ = ["kmh_to_ms", "ms_to_kmh", "MINUTE", "HOUR"]
+
+#: Seconds in a minute / hour, for readable scenario definitions.
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+
+_KMH_PER_MS = 3.6
+
+
+def kmh_to_ms(kmh: float) -> float:
+    """Convert kilometres/hour to metres/second."""
+    return kmh / _KMH_PER_MS
+
+
+def ms_to_kmh(ms: float) -> float:
+    """Convert metres/second to kilometres/hour."""
+    return ms * _KMH_PER_MS

@@ -1,0 +1,55 @@
+"""Small argument-validation helpers.
+
+They raise ``ValueError`` with a uniform message format so call sites stay
+one-liners and error messages stay greppable.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "check_finite",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+]
+
+
+def check_finite(value: float, name: str) -> float:
+    """Require *value* to be a finite real number; return it."""
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require *value* to be strictly positive; return it."""
+    check_finite(value, name)
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Require *value* to be >= 0; return it."""
+    check_finite(value, name)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: float, name: str, low: float, high: float, *, inclusive: bool = True
+) -> float:
+    """Require ``low <= value <= high`` (or strict, if not *inclusive*)."""
+    check_finite(value, name)
+    if inclusive:
+        ok = low <= value <= high
+        bounds = f"[{low}, {high}]"
+    else:
+        ok = low < value < high
+        bounds = f"({low}, {high})"
+    if not ok:
+        raise ValueError(f"{name} must be in {bounds}, got {value!r}")
+    return value

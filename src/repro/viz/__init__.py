@@ -1,0 +1,12 @@
+"""Terminal visualisation: ASCII charts and campus maps.
+
+The paper's figures are line charts (Figs. 4, 5, 7) and bar charts
+(Figs. 6, 8, 9).  This package renders both as plain text so the CLI and
+examples can show figure *shapes* without any plotting dependency, plus a
+top-down ASCII map of the campus with live node positions.
+"""
+
+from repro.viz.ascii_chart import bar_chart, line_chart, sparkline
+from repro.viz.campus_map import render_campus
+
+__all__ = ["sparkline", "line_chart", "bar_chart", "render_campus"]

@@ -1,0 +1,107 @@
+"""ASCII charts: sparklines, multi-series line charts, bar charts."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.util.timeseries import TimeSeries
+
+__all__ = ["sparkline", "line_chart", "bar_chart"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def _resample(values: np.ndarray, width: int) -> np.ndarray:
+    """Average *values* into *width* equal buckets (last may be short)."""
+    if values.size <= width:
+        return values
+    edges = np.linspace(0, values.size, width + 1).astype(int)
+    return np.array(
+        [values[a:b].mean() if b > a else values[min(a, values.size - 1)]
+         for a, b in zip(edges[:-1], edges[1:])]
+    )
+
+
+def sparkline(values: Iterable[float], *, width: int = 60) -> str:
+    """A one-line unicode sparkline of *values* (resampled to *width*)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    arr = _resample(arr, width)
+    low, high = float(arr.min()), float(arr.max())
+    if high == low:
+        return _SPARK_LEVELS[0] * arr.size
+    scaled = (arr - low) / (high - low) * (len(_SPARK_LEVELS) - 1)
+    return "".join(_SPARK_LEVELS[int(round(s))] for s in scaled)
+
+
+def line_chart(
+    series: dict[str, TimeSeries],
+    *,
+    width: int = 64,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """A multi-series ASCII line chart.
+
+    Each series gets a distinct marker; the y-axis is shared and labelled
+    with its min/max.  Designed for the paper's per-second LU and RMSE
+    curves.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    markers = "*o+x#@%&"
+    resampled: dict[str, np.ndarray] = {}
+    for name, ts in series.items():
+        values = ts.values if isinstance(ts, TimeSeries) else np.asarray(ts, float)
+        if values.size == 0:
+            continue
+        resampled[name] = _resample(values, width)
+    if not resampled:
+        raise ValueError("all series are empty")
+    low = min(float(v.min()) for v in resampled.values())
+    high = max(float(v.max()) for v in resampled.values())
+    span = high - low if high > low else 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(resampled.items()):
+        marker = markers[index % len(markers)]
+        for x, value in enumerate(values[:width]):
+            y = int(round((value - low) / span * (height - 1)))
+            grid[height - 1 - y][x] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{high:>10.2f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{low:>10.2f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + "└" + "─" * width)
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(resampled)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    rows: Sequence[tuple[str, float]],
+    *,
+    width: int = 48,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """A horizontal ASCII bar chart for per-category values (Figs. 6/8/9)."""
+    if not rows:
+        raise ValueError("need at least one row")
+    top = max(value for _, value in rows)
+    label_width = max(len(label) for label, _ in rows)
+    lines = [title] if title else []
+    for label, value in rows:
+        filled = int(round(value / top * width)) if top > 0 else 0
+        bar = "█" * filled
+        lines.append(f"{label:<{label_width}} │{bar:<{width}} {value:.2f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Top-down ASCII rendering of the campus and (optionally) node positions.
+
+Buildings draw as ``#`` outlines labelled with their id, roads as ``.``
+along their centerlines, gates as ``G``; mobile nodes overlay as ``o``
+(human) / ``v`` (vehicle).  Useful for eyeballing mobility in examples and
+for debugging region attribution.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.campus import Campus
+from repro.geometry import Vec2
+from repro.mobility.node import MobileNode
+from repro.mobility.states import NodeKind
+
+__all__ = ["render_campus"]
+
+
+def _bounds_of(campus: Campus) -> tuple[float, float, float, float]:
+    xs: list[float] = []
+    ys: list[float] = []
+    for region in campus.regions.values():
+        xs.extend((region.bounds.x_min, region.bounds.x_max))
+        ys.extend((region.bounds.y_min, region.bounds.y_max))
+    return min(xs), min(ys), max(xs), max(ys)
+
+
+class _Canvas:
+    def __init__(
+        self, campus: Campus, width: int, height: int
+    ) -> None:
+        self.width = width
+        self.height = height
+        x_min, y_min, x_max, y_max = _bounds_of(campus)
+        margin = 10.0
+        self.x_min, self.y_min = x_min - margin, y_min - margin
+        self.x_span = (x_max - x_min) + 2 * margin
+        self.y_span = (y_max - y_min) + 2 * margin
+        self.cells = [[" "] * width for _ in range(height)]
+
+    def to_cell(self, point: Vec2) -> tuple[int, int]:
+        cx = int((point.x - self.x_min) / self.x_span * (self.width - 1))
+        # The y-axis is flipped: row 0 is the campus's north edge.
+        cy = int((1.0 - (point.y - self.y_min) / self.y_span) * (self.height - 1))
+        return (
+            min(max(cx, 0), self.width - 1),
+            min(max(cy, 0), self.height - 1),
+        )
+
+    def plot(self, point: Vec2, char: str) -> None:
+        cx, cy = self.to_cell(point)
+        self.cells[cy][cx] = char
+
+    def text(self, point: Vec2, label: str) -> None:
+        cx, cy = self.to_cell(point)
+        for i, char in enumerate(label):
+            if 0 <= cx + i < self.width:
+                self.cells[cy][cx + i] = char
+
+    def render(self) -> str:
+        return "\n".join("".join(row) for row in self.cells)
+
+
+def render_campus(
+    campus: Campus,
+    nodes: Iterable[MobileNode] = (),
+    *,
+    width: int = 78,
+    height: int = 30,
+) -> str:
+    """Render the campus (and node markers) as a text block."""
+    canvas = _Canvas(campus, width, height)
+
+    for region in campus.roads():
+        centerline = region.centerline
+        assert centerline is not None
+        steps = max(int(centerline.length), 2)
+        for i in range(steps + 1):
+            canvas.plot(centerline.point_at(centerline.length * i / steps), ".")
+
+    for region in campus.buildings():
+        b = region.bounds
+        corners = [
+            Vec2(b.x_min, b.y_min),
+            Vec2(b.x_max, b.y_min),
+            Vec2(b.x_max, b.y_max),
+            Vec2(b.x_min, b.y_max),
+        ]
+        for a, c in zip(corners, corners[1:] + corners[:1]):
+            steps = max(int(a.distance_to(c) / 4), 1)
+            for i in range(steps + 1):
+                canvas.plot(a.lerp(c, i / steps), "#")
+
+    for node in nodes:
+        marker = "v" if node.kind is NodeKind.VEHICLE else "o"
+        canvas.plot(node.position, marker)
+
+    # Labels go last so node markers never make a region unreadable.
+    for region in campus.buildings():
+        canvas.text(region.bounds.center, region.region_id)
+    for name in ("gateA", "gateB"):
+        try:
+            canvas.text(campus.node_pos(name), "G")
+        except KeyError:
+            continue
+
+    return canvas.render()

@@ -1,0 +1,67 @@
+"""Tests for the classifier confusion analysis."""
+
+import pytest
+
+from repro.analysis import ConfusionMatrix, evaluate_classifier
+from repro.experiments import ExperimentConfig
+from repro.mobility.states import MobilityState
+
+SS, RMS, LMS = MobilityState.STOP, MobilityState.RANDOM, MobilityState.LINEAR
+
+
+class TestConfusionMatrix:
+    def test_accuracy(self):
+        m = ConfusionMatrix()
+        m.record(SS, SS)
+        m.record(SS, SS)
+        m.record(SS, RMS)
+        assert m.total() == 3
+        assert m.correct() == 2
+        assert m.accuracy == pytest.approx(2 / 3)
+
+    def test_recall_and_precision(self):
+        m = ConfusionMatrix()
+        m.record(LMS, LMS)
+        m.record(LMS, RMS)
+        m.record(RMS, LMS)
+        assert m.recall(LMS) == 0.5
+        assert m.precision(LMS) == 0.5
+        assert m.support(LMS) == 2
+
+    def test_empty_matrix(self):
+        m = ConfusionMatrix()
+        assert m.accuracy == 0.0
+        assert m.recall(SS) == 0.0
+        assert m.precision(SS) == 0.0
+
+    def test_render(self):
+        m = ConfusionMatrix()
+        m.record(SS, SS)
+        out = m.render()
+        assert "SS" in out and "accuracy" in out
+
+
+class TestEvaluateClassifier:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return evaluate_classifier(
+            ExperimentConfig(duration=60.0), duration=60.0, warmup=15.0
+        )
+
+    def test_overall_accuracy(self, matrix):
+        assert matrix.accuracy > 0.65
+
+    def test_stop_recall_is_high(self, matrix):
+        """Stationary nodes are the easiest class."""
+        assert matrix.recall(SS) > 0.9
+
+    def test_all_classes_observed(self, matrix):
+        for state in (SS, RMS, LMS):
+            assert matrix.support(state) > 0
+
+    def test_lms_recall_reasonable(self, matrix):
+        assert matrix.recall(LMS) > 0.6
+
+    def test_sample_count_matches_setup(self, matrix):
+        # 140 nodes x (60 - 15) seconds of scored observations.
+        assert matrix.total() == 140 * 45

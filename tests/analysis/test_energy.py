@@ -1,0 +1,57 @@
+"""Tests for energy accounting."""
+
+import pytest
+
+from repro.analysis import energy_report
+from repro.experiments import ExperimentConfig
+from repro.experiments.harness import MobileGridExperiment
+from repro.mobility.states import DeviceType
+
+
+@pytest.fixture(scope="module")
+def run():
+    config = ExperimentConfig(duration=30.0, dth_factors=(1.25,))
+    experiment = MobileGridExperiment(config)
+    result = experiment.run()
+    return result, experiment.nodes
+
+
+class TestEnergyReport:
+    def test_lanes_present(self, run):
+        result, nodes = run
+        report = energy_report(result, nodes)
+        assert set(report.total_wh) == {"ideal", "adf-1.25"}
+
+    def test_adf_saves_energy(self, run):
+        result, nodes = run
+        report = energy_report(result, nodes)
+        assert report.total_wh["adf-1.25"] < report.total_wh["ideal"]
+        savings = report.savings_vs_ideal("adf-1.25")
+        # Energy savings mirror the LU reduction.
+        assert savings == pytest.approx(
+            result.reduction_vs_ideal("adf-1.25"), abs=0.1
+        )
+
+    def test_ideal_saves_nothing(self, run):
+        result, nodes = run
+        report = energy_report(result, nodes)
+        assert report.savings_vs_ideal("ideal") == 0.0
+
+    def test_per_device_split_sums_to_total(self, run):
+        result, nodes = run
+        report = energy_report(result, nodes)
+        for lane, per_device in report.per_device_wh.items():
+            assert sum(per_device.values()) == pytest.approx(
+                report.total_wh[lane]
+            )
+
+    def test_battery_fraction_saved_positive(self, run):
+        result, nodes = run
+        report = energy_report(result, nodes)
+        saved = report.battery_fraction_saved("adf-1.25", DeviceType.CELL_PHONE)
+        assert saved > 0.0
+
+    def test_render(self, run):
+        result, nodes = run
+        out = energy_report(result, nodes).render()
+        assert "ideal" in out and "saved vs ideal" in out

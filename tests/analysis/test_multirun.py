@@ -1,0 +1,64 @@
+"""Tests for replication statistics."""
+
+import pytest
+
+from repro.analysis import replicate, summarize_metric
+from repro.experiments import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def results():
+    config = ExperimentConfig(duration=15.0, dth_factors=(1.0,))
+    return replicate(config, seeds=[1, 2, 3])
+
+
+class TestReplicate:
+    def test_one_result_per_seed(self, results):
+        assert len(results) == 3
+
+    def test_seeds_produce_different_runs(self, results):
+        totals = {r.lanes["adf-1"].total_lus for r in results}
+        assert len(totals) > 1
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(ExperimentConfig(duration=5.0), seeds=[])
+
+
+class TestSummarize:
+    def test_mean_and_ci(self, results):
+        summary = summarize_metric(
+            results,
+            lambda r: r.reduction_vs_ideal("adf-1"),
+            metric="reduction",
+        )
+        assert summary.n == 3
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+        assert 0.3 < summary.mean < 0.7
+
+    def test_reduction_stable_across_seeds(self, results):
+        summary = summarize_metric(
+            results, lambda r: r.reduction_vs_ideal("adf-1")
+        )
+        # Run-to-run spread of the headline reduction is small.
+        assert summary.half_width < 0.1
+
+    def test_single_result_degenerate_interval(self, results):
+        summary = summarize_metric(results[:1], lambda r: 5.0)
+        assert summary.mean == 5.0
+        assert summary.ci_low == summary.ci_high == 5.0
+        assert summary.std == 0.0
+
+    def test_contains(self, results):
+        summary = summarize_metric(results, lambda r: 1.0)
+        assert summary.contains(1.0)
+        assert not summary.contains(2.0)
+
+    def test_str_rendering(self, results):
+        summary = summarize_metric(results, lambda r: 1.0, metric="x")
+        assert "x:" in str(summary)
+        assert "n=3" in str(summary)
+
+    def test_no_results_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_metric([], lambda r: 0.0)

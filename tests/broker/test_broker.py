@@ -1,0 +1,144 @@
+"""Tests for the grid broker's LU handling and estimation sweep."""
+
+import pytest
+
+from repro.broker import BrokerConfig, GridBroker, RecordSource
+from repro.estimation import BrownTracker, LastKnownTracker
+from repro.geometry import Vec2
+from repro.network.messages import LocationUpdate
+
+
+def lu(node="n", t=0.0, x=0.0, vx=0.0, dth=0.0):
+    return LocationUpdate(
+        sender=node,
+        timestamp=t,
+        node_id=node,
+        position=Vec2(x, 0.0),
+        velocity=Vec2(vx, 0.0),
+        region_id="R1",
+        dth=dth,
+    )
+
+
+class TestReceive:
+    def test_received_lu_stored_as_received(self):
+        broker = GridBroker()
+        broker.receive_update(lu(t=1.0, x=5.0))
+        latest = broker.location_db.latest("n")
+        assert latest.source is RecordSource.RECEIVED
+        assert broker.updates_received == 1
+
+    def test_tracker_created_per_node(self):
+        broker = GridBroker()
+        broker.receive_update(lu(node="a"))
+        broker.receive_update(lu(node="b"))
+        assert set(broker.known_nodes()) == {"a", "b"}
+        assert broker.tracker("a") is not broker.tracker("b")
+
+    def test_le_config_selects_brown(self):
+        broker = GridBroker(BrokerConfig(use_location_estimator=True))
+        broker.receive_update(lu())
+        assert isinstance(broker.tracker("n"), BrownTracker)
+
+    def test_no_le_config_selects_last_known(self):
+        broker = GridBroker(BrokerConfig(use_location_estimator=False))
+        broker.receive_update(lu())
+        assert isinstance(broker.tracker("n"), LastKnownTracker)
+
+    def test_custom_tracker_factory(self):
+        broker = GridBroker(tracker_factory=LastKnownTracker)
+        broker.receive_update(lu())
+        assert isinstance(broker.tracker("n"), LastKnownTracker)
+
+    def test_named_estimator_selection(self):
+        from repro.estimation import KalmanTracker
+
+        broker = GridBroker(BrokerConfig(estimator="kalman"))
+        broker.receive_update(lu())
+        assert isinstance(broker.tracker("n"), KalmanTracker)
+
+    def test_unknown_estimator_rejected(self):
+        with pytest.raises(ValueError, match="unknown estimator"):
+            BrokerConfig(estimator="oracle")
+
+    @pytest.mark.parametrize(
+        "name", ["brown", "simple", "holt", "velocity", "kalman", "arima"]
+    )
+    def test_every_named_estimator_works(self, name):
+        broker = GridBroker(BrokerConfig(estimator=name))
+        for t in range(8):
+            broker.receive_update(lu(t=float(t), x=2.0 * t, vx=2.0))
+        broker.tick(8.0)
+        believed = broker.believed_position("n", now=9.0)
+        assert believed is not None
+
+
+class TestTick:
+    def test_silent_node_estimated(self):
+        broker = GridBroker()
+        for t in range(5):
+            broker.receive_update(lu(t=float(t), x=2.0 * t, vx=2.0))
+        broker.tick(4.0)  # node updated this interval: no estimate yet
+        estimated = broker.tick(6.0)
+        assert estimated == 1
+        latest = broker.location_db.latest("n")
+        assert latest.source is RecordSource.ESTIMATED
+        # Dead-reckoned forward from the last fix at x=8.
+        assert latest.position.x > 8.0
+
+    def test_updated_node_not_estimated(self):
+        broker = GridBroker()
+        broker.receive_update(lu(t=1.0))
+        assert broker.tick(1.0) == 0
+
+    def test_estimation_resumes_next_tick(self):
+        broker = GridBroker()
+        broker.receive_update(lu(t=1.0))
+        broker.tick(1.0)
+        assert broker.tick(2.0) == 1
+        assert broker.estimates_made == 1
+
+    def test_unknown_nodes_ignored(self):
+        broker = GridBroker()
+        assert broker.tick(1.0) == 0
+
+    def test_estimates_counted(self):
+        broker = GridBroker()
+        broker.receive_update(lu(node="a", t=0.0))
+        broker.receive_update(lu(node="b", t=0.0))
+        broker.tick(0.0)  # both freshly updated
+        broker.tick(1.0)  # both silent now
+        assert broker.estimates_made == 2
+
+
+class TestBelievedPosition:
+    def test_unknown_node_none(self):
+        assert GridBroker().believed_position("ghost") is None
+
+    def test_prefers_live_prediction(self):
+        broker = GridBroker()
+        for t in range(5):
+            broker.receive_update(lu(t=float(t), x=2.0 * t, vx=2.0))
+        believed = broker.believed_position("n", now=6.0)
+        assert believed is not None and believed.x > 8.0
+
+    def test_without_now_uses_db(self):
+        broker = GridBroker()
+        broker.receive_update(lu(t=0.0, x=3.0))
+        assert broker.believed_position("n") == Vec2(3, 0)
+
+    def test_dth_cap_respected_in_estimates(self):
+        """Silence implies the node is within DTH of the fix; estimates
+        must respect that bound."""
+        broker = GridBroker()
+        for t in range(5):
+            broker.receive_update(lu(t=float(t), x=5.0 * t, vx=5.0, dth=2.0))
+        believed = broker.believed_position("n", now=20.0)
+        last_fix = Vec2(20.0, 0.0)
+        assert believed.distance_to(last_fix) <= 2.0 + 1e-9
+
+
+class TestConfig:
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            BrokerConfig(report_interval=0.0)

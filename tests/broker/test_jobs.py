@@ -1,0 +1,94 @@
+"""Tests for jobs and task lifecycle."""
+
+import pytest
+
+from repro.broker import Job, JobState, Task, TaskState
+
+
+class TestTask:
+    def test_duration(self):
+        assert Task(1000.0).duration_on(500.0) == 2.0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Task(0.0)
+
+    def test_lifecycle(self):
+        task = Task(100.0)
+        task.assign("n", now=1.0)
+        assert task.state is TaskState.ASSIGNED
+        assert task.assigned_to == "n"
+        task.complete(now=5.0)
+        assert task.state is TaskState.COMPLETED
+        assert task.completed_at == 5.0
+
+    def test_double_assign_rejected(self):
+        task = Task(100.0)
+        task.assign("n", 0.0)
+        with pytest.raises(ValueError):
+            task.assign("m", 1.0)
+
+    def test_complete_requires_assigned(self):
+        with pytest.raises(ValueError):
+            Task(100.0).complete(1.0)
+
+    def test_fail_and_reset(self):
+        task = Task(100.0)
+        task.assign("n", 0.0)
+        task.fail()
+        assert task.state is TaskState.FAILED
+        task.reset()
+        assert task.state is TaskState.PENDING
+        assert task.assigned_to is None
+
+    def test_reset_requires_failed(self):
+        with pytest.raises(ValueError):
+            Task(100.0).reset()
+
+    def test_unique_ids(self):
+        assert Task(1.0).task_id != Task(1.0).task_id
+
+
+class TestJob:
+    def test_uniform(self):
+        job = Job.uniform(5, 100.0)
+        assert len(job.tasks) == 5
+        assert all(t.mega_instructions == 100.0 for t in job.tasks)
+
+    def test_uniform_invalid(self):
+        with pytest.raises(ValueError):
+            Job.uniform(0, 100.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Job(tasks=[])
+
+    def test_state_transitions(self):
+        job = Job.uniform(2, 100.0)
+        assert job.state is JobState.RUNNING
+        for task in job.tasks:
+            task.assign("n", 0.0)
+            task.complete(1.0)
+        assert job.state is JobState.COMPLETED
+
+    def test_pending_and_assigned_views(self):
+        job = Job.uniform(3, 100.0)
+        job.tasks[0].assign("n", 0.0)
+        assert len(job.pending_tasks()) == 2
+        assert len(job.assigned_tasks()) == 1
+
+    def test_completion_fraction(self):
+        job = Job.uniform(4, 100.0)
+        job.tasks[0].assign("n", 0.0)
+        job.tasks[0].complete(1.0)
+        assert job.completion_fraction() == 0.25
+
+    def test_makespan_running_is_none(self):
+        assert Job.uniform(1, 100.0).makespan() is None
+
+    def test_makespan(self):
+        job = Job.uniform(2, 100.0, submitted_at=10.0)
+        for i, task in enumerate(job.tasks):
+            task.assign("n", 10.0)
+            task.complete(12.0 + i)
+        assert job.makespan() == 3.0

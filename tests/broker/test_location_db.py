@@ -1,0 +1,88 @@
+"""Tests for the broker's location database."""
+
+import pytest
+
+from repro.broker import LocationDB, LocationRecord, RecordSource
+from repro.geometry import Vec2
+
+
+def record(node="n", t=0.0, x=0.0, source=RecordSource.RECEIVED):
+    return LocationRecord(node_id=node, time=t, position=Vec2(x, 0.0), source=source)
+
+
+class TestStore:
+    def test_store_and_latest(self):
+        db = LocationDB()
+        db.store(record(t=1.0, x=5.0))
+        latest = db.latest("n")
+        assert latest is not None and latest.position == Vec2(5, 0)
+
+    def test_latest_unknown_is_none(self):
+        assert LocationDB().latest("ghost") is None
+
+    def test_newer_replaces(self):
+        db = LocationDB()
+        db.store(record(t=1.0, x=5.0))
+        db.store(record(t=2.0, x=7.0))
+        assert db.position_of("n") == Vec2(7, 0)
+
+    def test_stale_record_rejected(self):
+        db = LocationDB()
+        db.store(record(t=2.0))
+        with pytest.raises(ValueError, match="older"):
+            db.store(record(t=1.0))
+
+    def test_equal_time_allowed(self):
+        db = LocationDB()
+        db.store(record(t=1.0, x=1.0))
+        db.store(record(t=1.0, x=2.0))
+        assert db.position_of("n") == Vec2(2, 0)
+
+    def test_membership(self):
+        db = LocationDB()
+        db.store(record())
+        assert "n" in db
+        assert "ghost" not in db
+        assert len(db) == 1
+        assert db.node_ids() == ["n"]
+
+
+class TestHistory:
+    def test_history_ordered(self):
+        db = LocationDB()
+        for t in range(5):
+            db.store(record(t=float(t), x=float(t)))
+        times = [r.time for r in db.history("n")]
+        assert times == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_history_bounded(self):
+        db = LocationDB(history_length=3)
+        for t in range(10):
+            db.store(record(t=float(t)))
+        assert len(db.history("n")) == 3
+
+    def test_invalid_history_length(self):
+        with pytest.raises(ValueError):
+            LocationDB(history_length=0)
+
+    def test_history_unknown_empty(self):
+        assert LocationDB().history("ghost") == []
+
+
+class TestProvenance:
+    def test_source_counted(self):
+        db = LocationDB()
+        db.store(record(t=0.0, source=RecordSource.RECEIVED))
+        db.store(record(t=1.0, source=RecordSource.ESTIMATED))
+        db.store(record(t=2.0, source=RecordSource.ESTIMATED))
+        assert db.stored_received == 1
+        assert db.stored_estimated == 2
+        assert db.estimate_fraction == pytest.approx(2 / 3)
+
+    def test_is_estimate_flag(self):
+        est = record(source=RecordSource.ESTIMATED)
+        assert est.is_estimate
+        assert not record().is_estimate
+
+    def test_estimate_fraction_empty(self):
+        assert LocationDB().estimate_fraction == 0.0

@@ -1,0 +1,97 @@
+"""Tests for the resource registry and device profiles."""
+
+import pytest
+
+from repro.broker import ResourceRegistry, device_profile
+from repro.mobility.states import DeviceType
+
+
+class TestProfiles:
+    def test_all_devices_have_profiles(self):
+        for device in DeviceType:
+            profile = device_profile(device)
+            assert profile.compute_mips > 0
+            assert profile.battery_wh > 0
+
+    def test_laptop_beats_phone(self):
+        laptop = device_profile(DeviceType.LAPTOP)
+        phone = device_profile(DeviceType.CELL_PHONE)
+        assert laptop.compute_mips > phone.compute_mips
+        assert laptop.battery_wh > phone.battery_wh
+
+
+@pytest.fixture
+def registry():
+    reg = ResourceRegistry()
+    reg.register("phone", DeviceType.CELL_PHONE)
+    reg.register("laptop", DeviceType.LAPTOP)
+    return reg
+
+
+class TestRegistry:
+    def test_register_idempotent(self, registry):
+        registry.drain("phone", 1.0)
+        before = registry.battery("phone")
+        registry.register("phone", DeviceType.CELL_PHONE)
+        assert registry.battery("phone") == before
+
+    def test_unknown_node_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.battery("ghost")
+
+    def test_node_ids(self, registry):
+        assert set(registry.node_ids()) == {"phone", "laptop"}
+
+    def test_is_registered(self, registry):
+        assert registry.is_registered("phone")
+        assert not registry.is_registered("ghost")
+
+
+class TestBattery:
+    def test_starts_full(self, registry):
+        assert registry.battery("phone") == 1.0
+
+    def test_drain_proportional_to_capacity(self, registry):
+        registry.drain("phone", 0.5)  # 0.5 Wh of a 5 Wh battery
+        assert registry.battery("phone") == pytest.approx(0.9)
+
+    def test_drain_floors_at_zero(self, registry):
+        registry.drain("phone", 999.0)
+        assert registry.battery("phone") == 0.0
+
+    def test_transmission_drain(self, registry):
+        before = registry.battery("phone")
+        registry.drain_for_transmission("phone", messages=100)
+        after = registry.battery("phone")
+        assert after < before
+
+    def test_laptop_drains_slower_per_wh(self, registry):
+        registry.drain("phone", 1.0)
+        registry.drain("laptop", 1.0)
+        assert registry.battery("laptop") > registry.battery("phone")
+
+    def test_set_battery_validates(self, registry):
+        with pytest.raises(ValueError):
+            registry.set_battery("phone", 1.5)
+        registry.set_battery("phone", 0.2)
+        assert registry.battery("phone") == 0.2
+
+
+class TestAvailability:
+    def test_available_by_default(self, registry):
+        assert registry.is_available("phone", now=0.0)
+
+    def test_low_battery_unavailable(self, registry):
+        registry.set_battery("phone", 0.05)
+        assert not registry.is_available("phone", now=0.0)
+
+    def test_busy_until(self, registry):
+        registry.mark_busy("phone", until=10.0)
+        assert not registry.is_available("phone", now=5.0)
+        assert registry.is_available("phone", now=10.0)
+
+    def test_completion_clears_busy(self, registry):
+        registry.mark_busy("phone", until=10.0)
+        registry.mark_completed("phone")
+        assert registry.is_available("phone", now=0.0)
+        assert registry.tasks_completed("phone") == 1

@@ -1,0 +1,170 @@
+"""Tests for the location-aware grid scheduler."""
+
+import pytest
+
+from repro.broker import (
+    GridBroker,
+    GridScheduler,
+    Job,
+    ResourceRegistry,
+    SchedulingPolicy,
+    TaskState,
+)
+from repro.geometry import Vec2
+from repro.mobility.states import DeviceType
+from repro.network.messages import LocationUpdate
+
+
+def lu(node, x, y=0.0, t=0.0):
+    return LocationUpdate(
+        sender=node,
+        timestamp=t,
+        node_id=node,
+        position=Vec2(x, y),
+        velocity=Vec2.zero(),
+        region_id="R1",
+    )
+
+
+@pytest.fixture
+def world():
+    broker = GridBroker()
+    registry = ResourceRegistry()
+    # Three nodes at x = 0, 50, 100.
+    for i, x in enumerate((0.0, 50.0, 100.0)):
+        node = f"n{i}"
+        registry.register(node, DeviceType.LAPTOP)
+        broker.receive_update(lu(node, x))
+    return broker, registry
+
+
+class TestAvailability:
+    def test_all_available_initially(self, world):
+        broker, registry = world
+        scheduler = GridScheduler(broker, registry)
+        assert len(scheduler.available_nodes(0.0)) == 3
+
+    def test_low_battery_excluded(self, world):
+        broker, registry = world
+        registry.set_battery("n0", 0.01)
+        scheduler = GridScheduler(broker, registry)
+        assert "n0" not in scheduler.available_nodes(0.0)
+
+
+class TestProximityPolicy:
+    def test_nearest_chosen_first(self, world):
+        broker, registry = world
+        scheduler = GridScheduler(broker, registry, policy=SchedulingPolicy.PROXIMITY)
+        job = Job.uniform(1, 100.0)
+        scheduler.schedule(job, now=0.0, anchor=Vec2(100, 0))
+        assert job.tasks[0].assigned_to == "n2"
+
+    def test_belief_drives_choice_not_truth(self, world):
+        """The scheduler sees broker beliefs; a wrong belief misroutes."""
+        broker, registry = world
+        # n0's belief is moved far away even though the 'truth' had it at 0.
+        broker.receive_update(lu("n0", 1000.0, t=1.0))
+        scheduler = GridScheduler(broker, registry, policy=SchedulingPolicy.PROXIMITY)
+        job = Job.uniform(1, 100.0)
+        scheduler.schedule(job, now=1.0, anchor=Vec2(0, 0))
+        assert job.tasks[0].assigned_to == "n1"
+
+
+class TestStalenessAwarePolicy:
+    def test_fresh_fix_preferred_over_stale_equal_distance(self, world):
+        broker, registry = world
+        # Both n0 and n1 believed at similar distance from the anchor, but
+        # n0's fix is old.
+        broker.receive_update(lu("n0", 10.0, t=0.0))
+        broker.receive_update(lu("n1", 12.0, t=50.0))
+        scheduler = GridScheduler(
+            broker, registry,
+            policy=SchedulingPolicy.STALENESS_AWARE,
+            staleness_penalty=2.0,
+        )
+        job = Job.uniform(1, 100.0)
+        scheduler.schedule(job, now=50.0, anchor=Vec2(0, 0))
+        assert job.tasks[0].assigned_to == "n1"
+
+    def test_zero_penalty_degenerates_to_proximity(self, world):
+        broker, registry = world
+        scheduler = GridScheduler(
+            broker, registry,
+            policy=SchedulingPolicy.STALENESS_AWARE,
+            staleness_penalty=0.0,
+        )
+        job = Job.uniform(1, 100.0)
+        scheduler.schedule(job, now=0.0, anchor=Vec2(100, 0))
+        assert job.tasks[0].assigned_to == "n2"
+
+    def test_negative_penalty_rejected(self, world):
+        broker, registry = world
+        with pytest.raises(ValueError):
+            GridScheduler(broker, registry, staleness_penalty=-1.0)
+
+
+class TestCapabilityPolicy:
+    def test_higher_mips_wins(self, world):
+        broker, registry = world
+        registry.register("phone", DeviceType.CELL_PHONE)
+        broker.receive_update(lu("phone", 10.0))
+        scheduler = GridScheduler(
+            broker, registry, policy=SchedulingPolicy.CAPABILITY
+        )
+        job = Job.uniform(1, 100.0)
+        scheduler.schedule(job, now=0.0)
+        assert job.tasks[0].assigned_to != "phone"
+
+
+class TestExecution:
+    def test_schedule_assigns_up_to_capacity(self, world):
+        broker, registry = world
+        scheduler = GridScheduler(broker, registry)
+        job = Job.uniform(5, 100.0)
+        assigned = scheduler.schedule(job, now=0.0)
+        assert assigned == 3
+        assert len(job.pending_tasks()) == 2
+
+    def test_busy_nodes_not_double_booked(self, world):
+        broker, registry = world
+        scheduler = GridScheduler(broker, registry)
+        job = Job.uniform(3, 1e6)  # long tasks
+        scheduler.schedule(job, now=0.0)
+        more = scheduler.schedule(Job.uniform(1, 100.0), now=1.0)
+        assert more == 0
+
+    def test_advance_completes(self, world):
+        broker, registry = world
+        scheduler = GridScheduler(broker, registry)
+        job = Job.uniform(3, 100.0)  # 100 MI / 2000 MIPS = 0.05 s
+        scheduler.schedule(job, now=0.0)
+        done = scheduler.advance(now=1.0)
+        assert done == 3
+        assert job.completion_fraction() == 1.0
+        assert scheduler.tasks_completed == 3
+
+    def test_run_job_to_completion(self, world):
+        broker, registry = world
+        scheduler = GridScheduler(broker, registry)
+        job = Job.uniform(7, 2000.0)  # 1 s each on a laptop; 3 nodes
+        makespan = scheduler.run_job(job, step=1.0)
+        assert job.completion_fraction() == 1.0
+        assert makespan >= 2.0  # needs at least three waves
+
+    def test_run_job_timeout(self, world):
+        broker, registry = world
+        for node in registry.node_ids():
+            registry.set_battery(node, 0.0)
+        scheduler = GridScheduler(broker, registry)
+        with pytest.raises(RuntimeError, match="max_time"):
+            scheduler.run_job(Job.uniform(1, 100.0), max_time=5.0)
+
+    def test_fail_node_requeues(self, world):
+        broker, registry = world
+        scheduler = GridScheduler(broker, registry)
+        job = Job.uniform(3, 1e6)
+        scheduler.schedule(job, now=0.0)
+        lost = scheduler.fail_node(job.tasks[0].assigned_to)
+        assert lost == 1
+        assert len(job.pending_tasks()) == 1
+        assert all(t.state is not TaskState.FAILED for t in job.tasks)

@@ -1,0 +1,80 @@
+"""Tests for the broker's staleness API."""
+
+import pytest
+
+from repro.broker import GridBroker
+from repro.estimation import BrownTracker, MapMatchedTracker
+from repro.geometry import Vec2
+from repro.network.messages import LocationUpdate
+
+
+def lu(node="n", t=0.0, x=0.0, region="R1"):
+    return LocationUpdate(
+        sender=node,
+        timestamp=t,
+        node_id=node,
+        position=Vec2(x, 0.0),
+        velocity=Vec2(1.0, 0.0),
+        region_id=region,
+    )
+
+
+class TestFixAge:
+    def test_unknown_node_none(self):
+        assert GridBroker().fix_age("ghost", now=10.0) is None
+
+    def test_age_measured_from_last_received(self):
+        broker = GridBroker()
+        broker.receive_update(lu(t=5.0))
+        assert broker.fix_age("n", now=9.0) == 4.0
+
+    def test_estimates_do_not_refresh_age(self):
+        broker = GridBroker()
+        broker.receive_update(lu(t=5.0))
+        broker.tick(5.0)
+        broker.tick(8.0)  # stores an estimated record at t=8
+        assert broker.fix_age("n", now=9.0) == 4.0
+
+    def test_new_lu_resets_age(self):
+        broker = GridBroker()
+        broker.receive_update(lu(t=5.0))
+        broker.receive_update(lu(t=9.0, x=4.0))
+        assert broker.fix_age("n", now=9.0) == 0.0
+
+    def test_clock_skew_clamped(self):
+        broker = GridBroker()
+        broker.receive_update(lu(t=5.0))
+        assert broker.fix_age("n", now=4.0) == 0.0
+
+
+class TestStaleNodes:
+    def test_partition_by_age(self):
+        broker = GridBroker()
+        broker.receive_update(lu(node="fresh", t=9.0))
+        broker.receive_update(lu(node="stale", t=1.0))
+        assert broker.stale_nodes(10.0, max_age=5.0) == ["stale"]
+
+    def test_empty_broker(self):
+        assert GridBroker().stale_nodes(10.0, max_age=1.0) == []
+
+
+class TestMapMatchedIntegration:
+    def test_broker_feeds_region_to_map_matched_tracker(self, campus):
+        broker = GridBroker(
+            tracker_factory=lambda: MapMatchedTracker(BrownTracker(), campus)
+        )
+        # Node on R1 (y = 250): the map-matched prediction snaps to it.
+        for t in range(6):
+            broker.receive_update(
+                LocationUpdate(
+                    sender="n",
+                    timestamp=float(t),
+                    node_id="n",
+                    position=Vec2(200.0 + 2.0 * t, 250.0),
+                    velocity=Vec2(2.0, 0.3),
+                    region_id="R1",
+                )
+            )
+        believed = broker.believed_position("n", now=10.0)
+        assert believed is not None
+        assert believed.y == pytest.approx(250.0, abs=1e-6)

@@ -1,0 +1,93 @@
+"""Tests for the default 11-region campus (paper Fig. 1 topology)."""
+
+import networkx as nx
+import pytest
+
+from repro.campus import default_campus
+from repro.campus.builder import BUILDING_IDS, GATE_A, GATE_B, ROAD_IDS
+
+
+@pytest.fixture(scope="module")
+def built():
+    return default_campus()
+
+
+class TestInventory:
+    def test_eleven_regions(self, built):
+        assert len(built.regions) == 11
+
+    def test_five_roads_six_buildings(self, built):
+        assert {r.region_id for r in built.roads()} == set(ROAD_IDS)
+        assert {b.region_id for b in built.buildings()} == set(BUILDING_IDS)
+
+    def test_roads_have_centerlines(self, built):
+        for road in built.roads():
+            assert road.centerline is not None
+            assert road.centerline.length > 0
+
+    def test_buildings_have_entrances_and_corridors(self, built):
+        for building in built.buildings():
+            assert building.entrance is not None
+            assert len(building.corridors) >= 2
+
+    def test_network_access_per_paper(self, built):
+        """Cellular everywhere; WLAN only in the 6 buildings."""
+        for road in built.roads():
+            assert road.has_cellular() and not road.has_wlan()
+        for building in built.buildings():
+            assert building.has_cellular() and building.has_wlan()
+
+
+class TestTopology:
+    def test_graph_is_connected(self, built):
+        assert nx.is_connected(built.graph)
+
+    def test_gates_present(self, built):
+        assert built.node_pos("gateA") == GATE_A
+        assert built.node_pos("gateB") == GATE_B
+
+    def test_every_building_reachable_from_both_gates(self, built):
+        for building in BUILDING_IDS:
+            for gate in ("gateA", "gateB"):
+                path = built.route(gate, f"{building}.door")
+                assert path.length > 0
+
+    def test_toms_route_gateb_to_library_uses_r2(self, built):
+        """Tom's case (1): gate B -> R2 -> library (B4)."""
+        path = built.route("gateB", "B4.door")
+        assert "R2" in built.regions_on_route(path)
+
+    def test_library_to_b3_changes_direction_twice(self, built):
+        """Tom's case (8): B4 -> R2 -> R1 -> R3 -> B3 with two turns."""
+        path = built.route("B4.door", "B3.door")
+        regions = built.regions_on_route(path)
+        for expected in ("R1", "R3"):
+            assert expected in regions
+        # at least two interior vertices => at least two direction changes
+        assert path.segment_count() >= 3
+
+    def test_b3_to_gate_a_uses_r4(self, built):
+        """Tom's case (11): B3 -> ... -> R4 -> gate A."""
+        path = built.route("B3.door", "gateA")
+        assert "R4" in built.regions_on_route(path)
+
+    def test_centerline_endpoints_inside_road_bounds(self, built):
+        for road in built.roads():
+            assert road.contains(road.centerline.start, tol=1e-6)
+            assert road.contains(road.centerline.end, tol=1e-6)
+
+    def test_entrances_inside_building_bounds(self, built):
+        for building in built.buildings():
+            assert building.contains(building.entrance, tol=1e-6)
+
+    def test_corridors_inside_buildings(self, built):
+        for building in built.buildings():
+            for corridor in building.corridors:
+                for wp in corridor.waypoints:
+                    assert building.contains(wp, tol=1e-6)
+
+    def test_buildings_do_not_overlap_each_other(self, built):
+        buildings = built.buildings()
+        for i, a in enumerate(buildings):
+            for b in buildings[i + 1 :]:
+                assert not a.bounds.intersects(b.bounds)

@@ -1,0 +1,86 @@
+"""Tests for the Campus container and navigation graph."""
+
+import pytest
+
+from repro.campus import Campus
+from repro.geometry import Vec2
+
+from tests.campus.test_region import make_building, make_road
+
+
+@pytest.fixture
+def small_campus():
+    campus = Campus([make_road("R1"), make_building("B1")])
+    campus.add_node("a", Vec2(0, 5))
+    campus.add_node("b", Vec2(100, 5))
+    campus.add_node("door", Vec2(0, 25))
+    campus.add_edge("a", "b", "R1")
+    campus.add_edge("a", "door", "R1")
+    return campus
+
+
+class TestRegions:
+    def test_duplicate_region_id_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Campus([make_road("R1"), make_road("R1")])
+
+    def test_lookup(self, small_campus):
+        assert small_campus.region("R1").region_id == "R1"
+        with pytest.raises(KeyError):
+            small_campus.region("R9")
+
+    def test_roads_and_buildings(self, small_campus):
+        assert [r.region_id for r in small_campus.roads()] == ["R1"]
+        assert [b.region_id for b in small_campus.buildings()] == ["B1"]
+
+    def test_region_at_prefers_buildings(self, small_campus):
+        # (0..50, 0..50) building overlaps the road strip (0..100, 0..10).
+        inside_both = Vec2(5, 5)
+        region = small_campus.region_at(inside_both)
+        assert region is not None and region.region_id == "B1"
+
+    def test_region_at_none_outside(self, small_campus):
+        assert small_campus.region_at(Vec2(999, 999)) is None
+
+    def test_random_point_in(self, small_campus, rng):
+        p = small_campus.random_point_in("B1", rng)
+        assert small_campus.region("B1").contains(p)
+
+
+class TestNavigation:
+    def test_duplicate_node_rejected(self, small_campus):
+        with pytest.raises(ValueError):
+            small_campus.add_node("a", Vec2(1, 1))
+
+    def test_edge_requires_nodes(self, small_campus):
+        with pytest.raises(KeyError):
+            small_campus.add_edge("a", "ghost", "R1")
+
+    def test_edge_validates_region(self, small_campus):
+        small_campus.add_node("c", Vec2(50, 5))
+        with pytest.raises(KeyError):
+            small_campus.add_edge("a", "c", "R99")
+
+    def test_node_pos(self, small_campus):
+        assert small_campus.node_pos("b") == Vec2(100, 5)
+        with pytest.raises(KeyError):
+            small_campus.node_pos("ghost")
+
+    def test_nearest_node(self, small_campus):
+        assert small_campus.nearest_node(Vec2(99, 6)) == "b"
+
+    def test_route(self, small_campus):
+        path = small_campus.route("door", "b")
+        assert path.start == Vec2(0, 25)
+        assert path.end == Vec2(100, 5)
+
+    def test_route_no_path(self, small_campus):
+        small_campus.add_node("island", Vec2(500, 500))
+        with pytest.raises(ValueError, match="no route"):
+            small_campus.route("a", "island")
+
+    def test_route_between_points(self, small_campus):
+        path = small_campus.route_between_points(Vec2(2, 6), Vec2(98, 6))
+        assert path.start == Vec2(2, 6)
+        assert path.end == Vec2(98, 6)
+        assert path.length >= Vec2(2, 6).distance_to(Vec2(98, 6)) - 1e-9

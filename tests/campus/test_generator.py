@@ -1,0 +1,95 @@
+"""Tests for the parameterised grid-campus generator."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.campus import generate_grid_campus
+from repro.mobility.population import PopulationSpec, build_population
+from repro.util.rng import RngRegistry
+
+
+@pytest.fixture(scope="module")
+def city():
+    return generate_grid_campus(
+        blocks_x=3, blocks_y=2, rng=np.random.default_rng(7)
+    )
+
+
+class TestStructure:
+    def test_road_count(self, city):
+        # (blocks_y + 1) horizontal + (blocks_x + 1) vertical roads.
+        assert len(city.roads()) == 3 + 4
+
+    def test_buildings_bounded_by_blocks(self, city):
+        assert 0 <= len(city.buildings()) <= 6
+
+    def test_graph_connected(self, city):
+        assert nx.is_connected(city.graph)
+
+    def test_all_buildings_reachable(self, city):
+        for building in city.buildings():
+            path = city.route("J0_0", f"{building.region_id}.door")
+            assert path.length > 0
+
+    def test_building_probability_zero(self):
+        empty = generate_grid_campus(
+            blocks_x=2, blocks_y=2, building_probability=0.0
+        )
+        assert empty.buildings() == []
+
+    def test_building_probability_one(self):
+        full = generate_grid_campus(
+            blocks_x=2, blocks_y=2, building_probability=1.0
+        )
+        assert len(full.buildings()) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_grid_campus(blocks_x=0)
+        with pytest.raises(ValueError):
+            generate_grid_campus(block_size=-5.0)
+
+    def test_network_access_semantics(self, city):
+        for road in city.roads():
+            assert not road.has_wlan()
+        for building in city.buildings():
+            assert building.has_wlan()
+
+
+class TestPopulationOnGeneratedCampus:
+    def test_table1_style_population_builds(self):
+        city = generate_grid_campus(
+            blocks_x=2, blocks_y=2, building_probability=1.0
+        )
+        spec = PopulationSpec(
+            road_humans_per_road=1,
+            road_vehicles_per_road=1,
+            building_stop=1,
+            building_random=1,
+            building_linear=1,
+        )
+        nodes = build_population(city, spec, RngRegistry(5))
+        # (3 horizontal + 3 vertical) roads x 2 + 4 buildings x 3
+        assert len(nodes) == 6 * 2 + 4 * 3
+        for node in nodes[:20]:
+            node.advance(1.0)
+
+
+class TestProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        bx=st.integers(min_value=1, max_value=4),
+        by=st.integers(min_value=1, max_value=4),
+        prob=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_any_size_is_connected(self, bx, by, prob):
+        city = generate_grid_campus(
+            blocks_x=bx,
+            blocks_y=by,
+            building_probability=prob,
+            rng=np.random.default_rng(1),
+        )
+        assert nx.is_connected(city.graph)
+        assert len(city.roads()) == (bx + 1) + (by + 1)

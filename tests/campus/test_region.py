@@ -1,0 +1,77 @@
+"""Tests for campus regions."""
+
+import pytest
+
+from repro.campus import NetworkAccess, Region, RegionKind
+from repro.geometry import Path, Rect, Vec2
+
+
+def make_road(region_id="R1"):
+    return Region(
+        region_id=region_id,
+        name="test road",
+        kind=RegionKind.ROAD,
+        bounds=Rect(0, 0, 100, 10),
+        access=NetworkAccess.CELLULAR,
+        centerline=Path([Vec2(0, 5), Vec2(100, 5)]),
+    )
+
+
+def make_building(region_id="B1"):
+    return Region(
+        region_id=region_id,
+        name="test building",
+        kind=RegionKind.BUILDING,
+        bounds=Rect(0, 0, 50, 50),
+        access=NetworkAccess.CELLULAR | NetworkAccess.WLAN,
+        entrance=Vec2(0, 25),
+    )
+
+
+class TestValidation:
+    def test_road_requires_centerline(self):
+        with pytest.raises(ValueError, match="centerline"):
+            Region(
+                region_id="R9",
+                name="bad",
+                kind=RegionKind.ROAD,
+                bounds=Rect(0, 0, 1, 1),
+                access=NetworkAccess.CELLULAR,
+            )
+
+    def test_building_requires_entrance(self):
+        with pytest.raises(ValueError, match="entrance"):
+            Region(
+                region_id="B9",
+                name="bad",
+                kind=RegionKind.BUILDING,
+                bounds=Rect(0, 0, 1, 1),
+                access=NetworkAccess.CELLULAR,
+            )
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Region(
+                region_id="",
+                name="bad",
+                kind=RegionKind.ROAD,
+                bounds=Rect(0, 0, 1, 1),
+                access=NetworkAccess.CELLULAR,
+                centerline=Path([Vec2(0, 0), Vec2(1, 0)]),
+            )
+
+
+class TestPredicates:
+    def test_kind_flags(self):
+        assert make_road().is_road
+        assert not make_road().is_building
+        assert make_building().is_building
+
+    def test_network_access(self):
+        road, building = make_road(), make_building()
+        assert road.has_cellular() and not road.has_wlan()
+        assert building.has_cellular() and building.has_wlan()
+
+    def test_contains(self):
+        assert make_road().contains(Vec2(50, 5))
+        assert not make_road().contains(Vec2(50, 50))

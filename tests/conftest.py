@@ -1,0 +1,24 @@
+"""Shared fixtures."""
+
+import pytest
+
+from repro.campus import default_campus
+from repro.util.rng import RngRegistry
+
+
+@pytest.fixture
+def campus():
+    """The default 11-region campus."""
+    return default_campus()
+
+
+@pytest.fixture
+def rng_registry():
+    """A seeded registry of named RNG streams."""
+    return RngRegistry(seed=1234)
+
+
+@pytest.fixture
+def rng(rng_registry):
+    """One generic RNG stream."""
+    return rng_registry.stream("tests")

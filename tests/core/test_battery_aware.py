@@ -1,0 +1,76 @@
+"""Tests for the battery-aware DTH extension."""
+
+import pytest
+
+from repro.core import FixedDth
+from repro.core.battery_aware import BatteryAwareDth
+
+
+def lookup(levels):
+    return lambda node_id: levels[node_id]
+
+
+class TestMultiplier:
+    @pytest.fixture
+    def policy(self):
+        return BatteryAwareDth(
+            FixedDth(2.0), lookup({}), max_boost=3.0, critical_level=0.2
+        )
+
+    def test_full_battery_unchanged(self, policy):
+        assert policy.multiplier_for(1.0) == 1.0
+
+    def test_critical_battery_max_boost(self, policy):
+        assert policy.multiplier_for(0.2) == 3.0
+        assert policy.multiplier_for(0.05) == 3.0
+
+    def test_linear_in_between(self, policy):
+        assert policy.multiplier_for(0.6) == pytest.approx(2.0)
+
+    def test_monotone_in_drain(self, policy):
+        levels = [1.0, 0.8, 0.6, 0.4, 0.2, 0.0]
+        multipliers = [policy.multiplier_for(b) for b in levels]
+        assert multipliers == sorted(multipliers)
+
+    def test_invalid_battery(self, policy):
+        with pytest.raises(ValueError):
+            policy.multiplier_for(1.5)
+
+
+class TestPolicy:
+    def test_scales_base_dth(self):
+        policy = BatteryAwareDth(
+            FixedDth(2.0),
+            lookup({"fresh": 1.0, "dying": 0.1}),
+            max_boost=3.0,
+        )
+        assert policy.dth_for("fresh") == 2.0
+        assert policy.dth_for("dying") == 6.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatteryAwareDth(FixedDth(1.0), lookup({}), max_boost=0.5)
+        with pytest.raises(ValueError):
+            BatteryAwareDth(FixedDth(1.0), lookup({}), critical_level=1.5)
+
+
+class TestEndToEnd:
+    def test_dying_node_transmits_less(self):
+        """Same movement, different battery: the dying node sends fewer LUs."""
+        from repro.core import DistanceFilter, FilterDecision
+        from repro.geometry import Vec2
+
+        policy = BatteryAwareDth(
+            FixedDth(1.5), lookup({"fresh": 1.0, "dying": 0.1}), max_boost=3.0
+        )
+        counts = {}
+        for node in ("fresh", "dying"):
+            df = DistanceFilter()
+            sent = 0
+            for t in range(60):
+                position = Vec2(2.0 * t, 0.0)
+                decision = df.decide(node, position, float(t), policy.dth_for(node))
+                if decision is FilterDecision.TRANSMIT:
+                    sent += 1
+            counts[node] = sent
+        assert counts["dying"] < counts["fresh"]

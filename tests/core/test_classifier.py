@@ -1,0 +1,144 @@
+"""Tests for the Fig. 2 mobility pattern classifier."""
+
+import math
+
+import pytest
+
+from repro.core import ClassifierConfig, MobilityClassifier
+from repro.mobility.states import MobilityState
+
+
+@pytest.fixture
+def classifier():
+    return MobilityClassifier()
+
+
+def observe_many(classifier, node, samples):
+    label = None
+    for speed, direction in samples:
+        label = classifier.observe(node, speed, direction)
+    return label
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        ClassifierConfig()
+
+    def test_window_too_small(self):
+        with pytest.raises(ValueError):
+            ClassifierConfig(window=1)
+
+    def test_min_observations_bounds(self):
+        with pytest.raises(ValueError):
+            ClassifierConfig(window=5, min_observations=6)
+
+    def test_negative_stop_speed(self):
+        with pytest.raises(ValueError):
+            ClassifierConfig(stop_speed=-0.1)
+
+
+class TestFig2Rules:
+    def test_zero_velocity_is_stop(self, classifier):
+        label = observe_many(classifier, "n", [(0.0, 0.0)] * 6)
+        assert label is MobilityState.STOP
+
+    def test_above_walking_speed_is_linear(self, classifier):
+        """V_mn > V_walk: running or vehicle => LMS regardless of wiggle."""
+        samples = [(7.0, 0.1 * i) for i in range(8)]
+        assert observe_many(classifier, "n", samples) is MobilityState.LINEAR
+
+    def test_slow_constant_velocity_is_linear(self, classifier):
+        """0 < V <= V_walk with steady velocity and direction => LMS."""
+        samples = [(1.2, 0.5)] * 8
+        assert observe_many(classifier, "n", samples) is MobilityState.LINEAR
+
+    def test_slow_erratic_direction_is_random(self, classifier):
+        headings = [0.0, 2.5, 5.0, 1.2, 3.9, 0.3, 4.4, 2.0]
+        samples = [(0.8, h) for h in headings]
+        assert observe_many(classifier, "n", samples) is MobilityState.RANDOM
+
+    def test_slow_erratic_speed_is_random(self, classifier):
+        speeds = [0.2, 1.8, 0.1, 1.5, 0.3, 1.9, 0.2, 1.6]
+        samples = [(s, 0.5) for s in speeds]
+        assert observe_many(classifier, "n", samples) is MobilityState.RANDOM
+
+    def test_noise_below_stop_speed_still_stop(self, classifier):
+        samples = [(0.02, 1.0)] * 8
+        assert observe_many(classifier, "n", samples) is MobilityState.STOP
+
+
+class TestWarmup:
+    def test_instantaneous_rule_before_window_fills(self, classifier):
+        assert classifier.observe("n", 0.0, 0.0) is MobilityState.STOP
+        assert classifier.observe("n2", 9.0, 0.0) is MobilityState.LINEAR
+        assert classifier.observe("n3", 1.0, 0.0) is MobilityState.RANDOM
+
+    def test_transition_stop_to_linear(self, classifier):
+        observe_many(classifier, "n", [(0.0, 0.0)] * 8)
+        label = observe_many(classifier, "n", [(3.0, 0.2)] * 10)
+        assert label is MobilityState.LINEAR
+
+    def test_transition_linear_to_stop(self, classifier):
+        observe_many(classifier, "n", [(3.0, 0.2)] * 10)
+        label = observe_many(classifier, "n", [(0.0, 0.0)] * 10)
+        assert label is MobilityState.STOP
+
+
+class TestBookkeeping:
+    def test_label_lookup(self, classifier):
+        assert classifier.label("ghost") is None
+        classifier.observe("n", 5.0, 0.0)
+        assert classifier.label("n") is MobilityState.LINEAR
+
+    def test_labels_snapshot(self, classifier):
+        classifier.observe("a", 0.0, 0.0)
+        classifier.observe("b", 9.0, 0.0)
+        labels = classifier.labels()
+        assert labels == {
+            "a": MobilityState.STOP,
+            "b": MobilityState.LINEAR,
+        }
+
+    def test_forget(self, classifier):
+        classifier.observe("n", 1.0, 0.0)
+        classifier.forget("n")
+        assert classifier.label("n") is None
+        assert "n" not in classifier.node_ids()
+
+    def test_negative_speed_rejected(self, classifier):
+        with pytest.raises(ValueError):
+            classifier.observe("n", -1.0, 0.0)
+
+    def test_window_access(self, classifier):
+        classifier.observe("n", 2.0, 0.5)
+        window = classifier.window("n")
+        assert window is not None and len(window) == 1
+        assert window.mean_speed() == 2.0
+
+
+class TestObservationWindow:
+    def test_direction_std_wrap_safe(self, classifier):
+        """Headings straddling +/-pi have small circular spread."""
+        samples = [
+            (1.0, math.pi - 0.05),
+            (1.0, -math.pi + 0.05),
+        ] * 4
+        observe_many(classifier, "n", samples)
+        window = classifier.window("n")
+        assert window.direction_std() < 0.2
+
+    def test_mean_direction_wraps(self, classifier):
+        samples = [(1.0, math.pi - 0.1), (1.0, -math.pi + 0.1)] * 3
+        observe_many(classifier, "n", samples)
+        window = classifier.window("n")
+        assert abs(abs(window.mean_direction()) - math.pi) < 0.05
+
+    def test_speed_std(self, classifier):
+        observe_many(classifier, "n", [(1.0, 0.0), (3.0, 0.0)])
+        window = classifier.window("n")
+        assert window.speed_std() == pytest.approx(1.0)
+
+    def test_stationary_samples_have_no_direction(self, classifier):
+        observe_many(classifier, "n", [(0.0, 0.0)] * 5)
+        window = classifier.window("n")
+        assert window.direction_std() == 0.0

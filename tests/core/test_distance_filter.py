@@ -1,0 +1,125 @@
+"""Tests for the Distance Filter."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import DistanceFilter, FilterDecision
+from repro.geometry import Vec2
+
+coords = st.floats(min_value=-1e3, max_value=1e3)
+
+
+@pytest.fixture
+def df():
+    return DistanceFilter()
+
+
+class TestBasics:
+    def test_first_update_always_transmits(self, df):
+        decision = df.decide("n", Vec2(0, 0), 0.0, dth=100.0)
+        assert decision is FilterDecision.TRANSMIT
+
+    def test_below_threshold_suppressed(self, df):
+        df.decide("n", Vec2(0, 0), 0.0, dth=5.0)
+        assert df.decide("n", Vec2(3, 0), 1.0, dth=5.0) is FilterDecision.SUPPRESS
+
+    def test_above_threshold_transmits(self, df):
+        df.decide("n", Vec2(0, 0), 0.0, dth=5.0)
+        assert df.decide("n", Vec2(6, 0), 1.0, dth=5.0) is FilterDecision.TRANSMIT
+
+    def test_exactly_at_threshold_suppressed(self, df):
+        """Strict inequality: displacement == DTH does not transmit."""
+        df.decide("n", Vec2(0, 0), 0.0, dth=5.0)
+        assert df.decide("n", Vec2(5, 0), 1.0, dth=5.0) is FilterDecision.SUPPRESS
+
+    def test_zero_dth_zero_displacement_suppressed(self, df):
+        """A stationary node with DTH 0 stays silent after its first LU."""
+        df.decide("n", Vec2(1, 1), 0.0, dth=0.0)
+        assert df.decide("n", Vec2(1, 1), 1.0, dth=0.0) is FilterDecision.SUPPRESS
+
+    def test_zero_dth_any_movement_transmits(self, df):
+        df.decide("n", Vec2(0, 0), 0.0, dth=0.0)
+        assert df.decide("n", Vec2(0.01, 0), 1.0, dth=0.0) is FilterDecision.TRANSMIT
+
+    def test_negative_dth_rejected(self, df):
+        with pytest.raises(ValueError):
+            df.decide("n", Vec2(0, 0), 0.0, dth=-1.0)
+
+
+class TestReferenceSemantics:
+    def test_reference_is_last_transmitted_not_last_seen(self, df):
+        """A creeping node must eventually transmit: displacement accumulates
+        against the last *transmitted* fix."""
+        df.decide("n", Vec2(0, 0), 0.0, dth=5.0)
+        decisions = []
+        for i in range(1, 10):
+            decisions.append(df.decide("n", Vec2(float(i), 0), float(i), dth=5.0))
+        assert FilterDecision.TRANSMIT in decisions
+        first_tx = decisions.index(FilterDecision.TRANSMIT)
+        assert first_tx == 5  # at x=6: 6 > 5
+
+    def test_transmit_refreshes_reference(self, df):
+        df.decide("n", Vec2(0, 0), 0.0, dth=2.0)
+        df.decide("n", Vec2(3, 0), 1.0, dth=2.0)  # transmits, ref -> (3,0)
+        assert df.last_transmitted("n") == Vec2(3, 0)
+        assert df.decide("n", Vec2(4, 0), 2.0, dth=2.0) is FilterDecision.SUPPRESS
+
+    def test_displacement_query(self, df):
+        assert df.displacement("n", Vec2(0, 0)) is None
+        df.decide("n", Vec2(0, 0), 0.0, dth=1.0)
+        assert df.displacement("n", Vec2(3, 4)) == 5.0
+
+    def test_forget(self, df):
+        df.decide("n", Vec2(0, 0), 0.0, dth=1.0)
+        df.forget("n")
+        assert df.last_transmitted("n") is None
+        assert df.decide("n", Vec2(0, 0), 1.0, dth=1.0) is FilterDecision.TRANSMIT
+
+    def test_nodes_independent(self, df):
+        df.decide("a", Vec2(0, 0), 0.0, dth=5.0)
+        assert df.decide("b", Vec2(1, 0), 0.0, dth=5.0) is FilterDecision.TRANSMIT
+
+
+class TestStats:
+    def test_counters(self, df):
+        df.decide("n", Vec2(0, 0), 0.0, dth=5.0)
+        df.decide("n", Vec2(1, 0), 1.0, dth=5.0)
+        df.decide("n", Vec2(9, 0), 2.0, dth=5.0)
+        assert df.transmitted == 2
+        assert df.suppressed == 1
+        assert df.total == 3
+        assert df.suppression_rate == pytest.approx(1 / 3)
+
+    def test_empty_rate(self, df):
+        assert df.suppression_rate == 0.0
+
+
+class TestInvariants:
+    @given(
+        st.lists(st.tuples(coords, coords), min_size=1, max_size=60),
+        st.floats(min_value=0.0, max_value=50.0),
+    )
+    def test_suppressed_implies_within_dth(self, points, dth):
+        """The paper's correctness property: while suppressed, the node is
+        within DTH of the broker's last known fix."""
+        df = DistanceFilter()
+        reference = None
+        for i, (x, y) in enumerate(points):
+            position = Vec2(x, y)
+            decision = df.decide("n", position, float(i), dth)
+            if decision is FilterDecision.TRANSMIT:
+                reference = position
+            else:
+                assert reference is not None
+                assert position.distance_to(reference) <= dth
+
+    @given(st.lists(st.tuples(coords, coords), min_size=1, max_size=60))
+    def test_zero_dth_transmits_every_distinct_position(self, points):
+        df = DistanceFilter()
+        last_tx = None
+        for i, (x, y) in enumerate(points):
+            position = Vec2(x, y)
+            decision = df.decide("n", position, float(i), 0.0)
+            if last_tx is None or position.distance_to(last_tx) > 0:
+                assert decision is FilterDecision.TRANSMIT
+                last_tx = position

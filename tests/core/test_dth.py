@@ -1,0 +1,107 @@
+"""Tests for DTH policies."""
+
+import pytest
+
+from repro.core import (
+    ClusterAverageDth,
+    ClassifierConfig,
+    FixedDth,
+    GlobalAverageDth,
+    MobilityClassifier,
+    SequentialClusterer,
+)
+from repro.core.cluster_manager import ClusterManager
+
+
+class TestFixedDth:
+    def test_constant(self):
+        policy = FixedDth(3.0)
+        assert policy.dth_for("anyone") == 3.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FixedDth(-1.0)
+
+
+class TestGlobalAverageDth:
+    def test_zero_before_observations(self):
+        policy = GlobalAverageDth(1.0)
+        assert policy.dth_for("n") == 0.0
+
+    def test_running_average(self):
+        policy = GlobalAverageDth(1.0)
+        policy.observe_speed(2.0)
+        policy.observe_speed(4.0)
+        assert policy.average_speed == 3.0
+        assert policy.dth_for("n") == 3.0
+
+    def test_factor_scales(self):
+        policy = GlobalAverageDth(0.5)
+        policy.observe_speed(4.0)
+        assert policy.dth_for("n") == 2.0
+
+    def test_report_interval_scales(self):
+        policy = GlobalAverageDth(1.0, report_interval=2.0)
+        policy.observe_speed(3.0)
+        assert policy.dth_for("n") == 6.0
+
+    def test_same_for_all_nodes(self):
+        policy = GlobalAverageDth(1.0)
+        policy.observe_speed(5.0)
+        assert policy.dth_for("a") == policy.dth_for("b")
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalAverageDth(1.0).observe_speed(-1.0)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            GlobalAverageDth(0.0)
+
+
+@pytest.fixture
+def manager():
+    classifier = MobilityClassifier(ClassifierConfig(min_observations=1))
+    return ClusterManager(classifier, SequentialClusterer(alpha=1.0)), classifier
+
+
+class TestClusterAverageDth:
+    def test_unclustered_node_gets_zero(self, manager):
+        mgr, _ = manager
+        policy = ClusterAverageDth(1.0, mgr)
+        assert policy.dth_for("ghost") == 0.0
+
+    def test_cluster_average_drives_dth(self, manager):
+        mgr, classifier = manager
+        for speed, node in ((6.0, "a"), (6.5, "b")):
+            for _ in range(5):
+                classifier.observe(node, speed, 0.0)
+            mgr.place(node)
+        policy = ClusterAverageDth(1.0, mgr)
+        assert policy.dth_for("a") == pytest.approx(6.25, abs=0.01)
+
+    def test_different_clusters_different_dth(self, manager):
+        mgr, classifier = manager
+        for speed, node in ((6.0, "fast"), (2.5, "slow")):
+            for _ in range(5):
+                classifier.observe(node, speed, 0.0)
+            mgr.place(node)
+        policy = ClusterAverageDth(1.0, mgr)
+        assert policy.dth_for("fast") == pytest.approx(6.0, abs=0.01)
+        assert policy.dth_for("slow") == pytest.approx(2.5, abs=0.01)
+
+    def test_stopped_node_gets_zero(self, manager):
+        mgr, classifier = manager
+        for _ in range(5):
+            classifier.observe("sitter", 0.0, 0.0)
+        mgr.place("sitter")
+        policy = ClusterAverageDth(1.0, mgr)
+        assert policy.dth_for("sitter") == 0.0
+
+    def test_factor_and_interval_scale(self, manager):
+        mgr, classifier = manager
+        for _ in range(5):
+            classifier.observe("n", 4.0, 0.0)
+        mgr.place("n")
+        policy = ClusterAverageDth(1.25, mgr, report_interval=2.0)
+        assert policy.dth_for("n") == pytest.approx(10.0, abs=0.05)

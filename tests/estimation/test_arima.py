@@ -1,0 +1,108 @@
+"""Tests for the small ARIMA implementation."""
+
+import numpy as np
+import pytest
+
+from repro.estimation import ArimaModel, fit_ar_coefficients
+
+
+@pytest.fixture
+def ar1_series(rng):
+    """A long AR(1) series with phi = 0.8."""
+    n = 2000
+    x = np.zeros(n)
+    noise = rng.standard_normal(n)
+    for t in range(1, n):
+        x[t] = 0.8 * x[t - 1] + noise[t]
+    return x
+
+
+class TestYuleWalker:
+    def test_recovers_ar1_coefficient(self, ar1_series):
+        phi = fit_ar_coefficients(ar1_series, 1)
+        assert phi[0] == pytest.approx(0.8, abs=0.05)
+
+    def test_ar2(self, rng):
+        n = 4000
+        x = np.zeros(n)
+        noise = rng.standard_normal(n)
+        for t in range(2, n):
+            x[t] = 0.5 * x[t - 1] + 0.3 * x[t - 2] + noise[t]
+        phi = fit_ar_coefficients(x, 2)
+        assert phi[0] == pytest.approx(0.5, abs=0.08)
+        assert phi[1] == pytest.approx(0.3, abs=0.08)
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            fit_ar_coefficients(np.arange(10.0), 0)
+
+    def test_too_short_series(self):
+        with pytest.raises(ValueError, match="more than"):
+            fit_ar_coefficients(np.array([1.0, 2.0]), 3)
+
+    def test_constant_series_zero_coefficients(self):
+        phi = fit_ar_coefficients(np.full(100, 7.0), 2)
+        assert np.allclose(phi, 0.0)
+
+
+class TestArimaModel:
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            ArimaModel(p=-1)
+        with pytest.raises(ValueError):
+            ArimaModel(p=0, d=0, q=0)
+
+    def test_forecast_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            ArimaModel(p=1, d=0).forecast()
+
+    def test_fit_requires_enough_data(self):
+        model = ArimaModel(p=2, d=1)
+        with pytest.raises(ValueError, match="observations"):
+            model.fit(np.arange(3.0))
+
+    def test_fitted_flag(self, ar1_series):
+        model = ArimaModel(p=1, d=0)
+        assert not model.fitted
+        model.fit(ar1_series)
+        assert model.fitted
+
+    def test_ar1_one_step_forecast(self, ar1_series):
+        model = ArimaModel(p=1, d=0).fit(ar1_series)
+        forecast = model.forecast(1)[0]
+        # Expectation of x_{n+1} is ~ phi * x_n (mean ~0).
+        assert forecast == pytest.approx(0.8 * ar1_series[-1], abs=1.0)
+
+    def test_differencing_handles_linear_trend(self):
+        x = 5.0 + 2.0 * np.arange(200.0)
+        model = ArimaModel(p=1, d=1).fit(x)
+        forecast = model.forecast(3)
+        expected = 5.0 + 2.0 * np.arange(200, 203)
+        assert np.allclose(forecast, expected, atol=0.5)
+
+    def test_forecast_horizon_validation(self, ar1_series):
+        model = ArimaModel(p=1, d=0).fit(ar1_series)
+        with pytest.raises(ValueError):
+            model.forecast(0)
+
+    def test_ma_fit_runs(self, rng):
+        n = 500
+        noise = rng.standard_normal(n)
+        x = np.zeros(n)
+        for t in range(1, n):
+            x[t] = noise[t] + 0.5 * noise[t - 1]
+        model = ArimaModel(p=0, d=0, q=1).fit(x)
+        forecast = model.forecast(2)
+        assert forecast.shape == (2,)
+        assert np.all(np.isfinite(forecast))
+
+    def test_double_differencing(self):
+        # Quadratic series: second difference is constant.
+        t = np.arange(100.0)
+        x = 0.5 * t * t
+        model = ArimaModel(p=1, d=2).fit(x)
+        forecast = model.forecast(1)[0]
+        assert forecast == pytest.approx(0.5 * 100 * 100, rel=0.05)
+
+    def test_min_observations(self):
+        assert ArimaModel(p=2, d=1).min_observations() == 7

@@ -1,0 +1,56 @@
+"""Tests for the ARIMA-based tracker."""
+
+import pytest
+
+from repro.estimation import ArimaTracker
+from repro.geometry import Vec2
+
+
+def feed_linear(tracker, n=30, speed=2.0):
+    position = Vec2(0, 0)
+    velocity = Vec2(speed, 0)
+    for t in range(n):
+        tracker.update(float(t), position, velocity)
+        position = position + velocity
+    return float(n - 1), position - velocity
+
+
+class TestArimaTracker:
+    def test_window_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            ArimaTracker(p=2, d=2, window=3)
+
+    def test_cold_start_returns_fix(self):
+        tracker = ArimaTracker()
+        tracker.update(0.0, Vec2(3, 4), Vec2(1, 0))
+        assert tracker.predict(5.0) == Vec2(3, 4)
+
+    def test_extrapolates_linear_movement(self):
+        tracker = ArimaTracker(p=1, d=1)
+        t_last, p_last = feed_linear(tracker)
+        predicted = tracker.predict(t_last + 3.0)
+        expected = p_last + Vec2(6.0, 0.0)
+        assert predicted.distance_to(expected) < 1.0
+
+    def test_window_bounded(self):
+        tracker = ArimaTracker(window=16)
+        feed_linear(tracker, n=100)
+        assert tracker.observations_buffered == 16
+
+    def test_respects_displacement_cap(self):
+        tracker = ArimaTracker(p=1, d=1)
+        position = Vec2(0, 0)
+        for t in range(30):
+            tracker.update(
+                float(t), position, Vec2(2, 0), displacement_cap=1.5
+            )
+            position = position + Vec2(2, 0)
+        predicted = tracker.predict(60.0)
+        assert predicted.distance_to(position - Vec2(2, 0)) <= 1.5 + 1e-9
+
+    def test_stationary_series(self):
+        tracker = ArimaTracker(p=1, d=1)
+        for t in range(20):
+            tracker.update(float(t), Vec2(5, 5), Vec2.zero())
+        predicted = tracker.predict(25.0)
+        assert predicted.distance_to(Vec2(5, 5)) < 0.5

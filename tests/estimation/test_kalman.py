@@ -1,0 +1,86 @@
+"""Tests for the constant-velocity Kalman tracker."""
+
+import pytest
+
+from repro.estimation import KalmanTracker
+from repro.geometry import Vec2
+
+
+def feed_linear(tracker, *, speed=2.0, theta=0.0, n=15):
+    velocity = Vec2.from_polar(speed, theta)
+    position = Vec2(0, 0)
+    for t in range(n):
+        tracker.update(float(t), position, velocity)
+        position = position + velocity
+    return float(n - 1), position - velocity
+
+
+class TestKalman:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            KalmanTracker(process_noise=0.0)
+        with pytest.raises(ValueError):
+            KalmanTracker(position_noise=-1.0)
+
+    def test_first_update_initialises(self):
+        tracker = KalmanTracker()
+        tracker.update(0.0, Vec2(3, 4), Vec2(1, 0))
+        assert tracker.predict(0.0) == Vec2(3, 4)
+
+    def test_extrapolates_constant_velocity(self):
+        tracker = KalmanTracker()
+        t_last, p_last = feed_linear(tracker, speed=3.0, theta=0.7)
+        predicted = tracker.predict(t_last + 2.0)
+        expected = p_last + Vec2.from_polar(6.0, 0.7)
+        assert predicted.distance_to(expected) < 0.5
+
+    def test_velocity_estimate_converges(self):
+        tracker = KalmanTracker()
+        feed_linear(tracker, speed=2.0, theta=0.0)
+        v = tracker.velocity_estimate
+        assert v.x == pytest.approx(2.0, abs=0.2)
+        assert abs(v.y) < 0.2
+
+    def test_filters_noisy_measurements(self, rng):
+        """With noisy fixes the filter's estimate beats the raw fix."""
+        tracker = KalmanTracker(position_noise=1.0)
+        true_position = Vec2(0, 0)
+        velocity = Vec2(2, 0)
+        raw_errors, kf_errors = [], []
+        for t in range(60):
+            noise = Vec2(float(rng.normal(0, 1.0)), float(rng.normal(0, 1.0)))
+            measured = true_position + noise
+            tracker.update(float(t), measured, velocity)
+            estimate = tracker.predict(float(t))
+            raw_errors.append(measured.distance_to(true_position))
+            kf_errors.append(estimate.distance_to(true_position))
+            true_position = true_position + velocity
+        assert sum(kf_errors[10:]) < sum(raw_errors[10:])
+
+    def test_adapts_to_velocity_change(self):
+        tracker = KalmanTracker(process_noise=2.0)
+        position = Vec2(0, 0)
+        for t in range(20):
+            tracker.update(float(t), position, Vec2(2, 0))
+            position = position + Vec2(2, 0)
+        # Reverse direction; the filter should converge within ~5 updates.
+        for t in range(20, 35):
+            tracker.update(float(t), position, Vec2(-2, 0))
+            position = position + Vec2(-2, 0)
+        assert tracker.velocity_estimate.x == pytest.approx(-2.0, abs=0.5)
+
+    def test_respects_displacement_cap(self):
+        tracker = KalmanTracker()
+        position = Vec2(0, 0)
+        for t in range(10):
+            tracker.update(float(t), position, Vec2(5, 0), displacement_cap=2.0)
+            position = position + Vec2(5, 0)
+        predicted = tracker.predict(30.0)
+        last_fix = position - Vec2(5, 0)
+        assert predicted.distance_to(last_fix) <= 2.0 + 1e-9
+
+    def test_stationary_node(self):
+        tracker = KalmanTracker()
+        for t in range(10):
+            tracker.update(float(t), Vec2(5, 5), Vec2.zero())
+        assert tracker.predict(20.0).distance_to(Vec2(5, 5)) < 0.5

@@ -1,0 +1,66 @@
+"""Tests for map-matched prediction."""
+
+import pytest
+
+from repro.estimation import BrownTracker, MapMatchedTracker
+from repro.geometry import Vec2
+
+
+@pytest.fixture
+def tracker(campus):
+    return MapMatchedTracker(BrownTracker(), campus)
+
+
+class TestMapMatching:
+    def test_no_region_passes_through(self, tracker):
+        tracker.update(0.0, Vec2(200, 250), Vec2(2, 0))
+        raw = tracker.predict(3.0)
+        assert raw is not None
+
+    def test_road_prediction_snapped_to_centerline(self, campus, tracker):
+        """A node on R1 (y=250) predicted off-road snaps back to y=250."""
+        # Feed movement along R1 with a slight off-axis velocity so the
+        # base tracker drifts off the centerline.
+        position = Vec2(200, 250)
+        for t in range(8):
+            tracker.update(
+                float(t), position, Vec2(2.0, 0.3), region_id="R1"
+            )
+            position = position + Vec2(2.0, 0.3)
+        predicted = tracker.predict(12.0)
+        assert predicted.y == pytest.approx(250.0, abs=1e-6)
+
+    def test_building_prediction_clamped_into_bounds(self, campus, tracker):
+        """A node in B4 walking towards the wall stays inside B4."""
+        bounds = campus.region("B4").bounds
+        position = Vec2(bounds.x_max - 3.0, bounds.center.y)
+        for t in range(6):
+            tracker.update(float(t), position, Vec2(1.4, 0.0), region_id="B4")
+            position = position + Vec2(1.0, 0.0)
+        predicted = tracker.predict(20.0)
+        assert bounds.contains(predicted, tol=1e-9)
+
+    def test_unknown_region_ignored(self, tracker):
+        tracker.update(0.0, Vec2(0, 0), Vec2(1, 0), region_id="R99")
+        assert tracker.predict(2.0) is not None
+
+    def test_matching_reduces_cross_track_error(self, campus):
+        """Against a node truly on the road, matching beats the raw
+        prediction whenever the raw one drifts off-axis."""
+        raw = BrownTracker()
+        matched = MapMatchedTracker(BrownTracker(), campus)
+        position = Vec2(200.0, 250.0)  # on R1
+        for t in range(10):
+            noisy_velocity = Vec2(2.0, 0.4 if t % 2 == 0 else -0.2)
+            raw.update(float(t), position, noisy_velocity)
+            matched.update(float(t), position, noisy_velocity, region_id="R1")
+            position = Vec2(position.x + 2.0, 250.0)
+        truth = Vec2(position.x + 2.0 * 3.0, 250.0)
+        raw_err = raw.predict(12.0).distance_to(truth)
+        matched_err = matched.predict(12.0).distance_to(truth)
+        assert matched_err <= raw_err + 1e-9
+
+    def test_update_tracks_fix(self, tracker):
+        tracker.update(1.0, Vec2(3, 4), Vec2(1, 0), region_id="R1")
+        assert tracker.last_fix == (1.0, Vec2(3, 4))
+        assert tracker.updates_received == 1

@@ -1,0 +1,49 @@
+"""Tests for error metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.estimation import mae, max_error, rmse
+
+errors = st.lists(st.floats(min_value=0, max_value=1e4), min_size=1, max_size=50)
+
+
+class TestRmse:
+    def test_known_value(self):
+        # sqrt((3^2 + 4^2) / 2)
+        assert rmse([3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_zero_errors(self):
+        assert rmse([0.0, 0.0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rmse([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            rmse([-1.0])
+
+    def test_single_error(self):
+        assert rmse([5.0]) == 5.0
+
+
+class TestMaeMax:
+    def test_mae(self):
+        assert mae([1.0, 3.0]) == 2.0
+
+    def test_max_error(self):
+        assert max_error([1.0, 9.0, 3.0]) == 9.0
+
+
+class TestProperties:
+    @given(errors)
+    def test_ordering_mae_rmse_max(self, xs):
+        assert mae(xs) <= rmse(xs) + 1e-9
+        assert rmse(xs) <= max_error(xs) + 1e-9
+
+    @given(errors, st.floats(min_value=0.1, max_value=10))
+    def test_rmse_scales_linearly(self, xs, k):
+        scaled = [x * k for x in xs]
+        assert rmse(scaled) == pytest.approx(k * rmse(xs), rel=1e-6, abs=1e-6)

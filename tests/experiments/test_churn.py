@@ -1,0 +1,49 @@
+"""Tests for the churn study."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.churn import churn_study
+
+
+@pytest.fixture(scope="module")
+def churned():
+    return churn_study(
+        ExperimentConfig(duration=40.0), disconnect_hazard=0.02
+    )
+
+
+class TestChurnStudy:
+    def test_no_churn_baseline(self):
+        result = churn_study(
+            ExperimentConfig(duration=20.0), disconnect_hazard=0.0
+        )
+        assert result.disconnections == 0
+        assert result.reconnection_transmits == 0
+        assert result.reduction > 0.2
+
+    def test_churn_happens(self, churned):
+        assert churned.disconnections > 0
+
+    def test_every_reconnection_transmits_at_most_once(self, churned):
+        assert churned.reconnect_overhead <= 1.0 + 1e-9
+
+    def test_reduction_survives_churn(self, churned):
+        assert churned.reduction > 0.2
+
+    def test_errors_bounded(self, churned):
+        assert 0.0 < churned.mean_rmse < 10.0
+
+    def test_hazard_validation(self):
+        with pytest.raises(ValueError):
+            churn_study(ExperimentConfig(duration=5.0), disconnect_hazard=2.0)
+
+    def test_outage_validation(self):
+        with pytest.raises(ValueError):
+            churn_study(ExperimentConfig(duration=5.0), mean_outage=0.0)
+
+    def test_deterministic(self):
+        a = churn_study(ExperimentConfig(duration=15.0), disconnect_hazard=0.01)
+        b = churn_study(ExperimentConfig(duration=15.0), disconnect_hazard=0.01)
+        assert a.disconnections == b.disconnections
+        assert a.reduction == b.reduction

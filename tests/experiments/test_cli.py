@@ -1,0 +1,79 @@
+"""Tests for the CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Road" in out and "Building" in out
+
+    def test_report_short_run(self, capsys):
+        assert main(["report", "--duration", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 7" in out
+
+    @pytest.mark.parametrize("target", ["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"])
+    def test_each_figure_target(self, capsys, target):
+        assert main([target, "--duration", "10"]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_general_df_flag(self, capsys):
+        assert main(["fig4", "--duration", "5", "--general-df"]) == 0
+        assert "gdf-1" in capsys.readouterr().out
+
+    def test_unknown_target_exits(self):
+        with pytest.raises(SystemExit):
+            main(["figure-99"])
+
+    def test_seed_flag(self, capsys):
+        assert main(["fig5", "--duration", "5", "--seed", "9"]) == 0
+
+    def test_map_target(self, capsys):
+        assert main(["map"]) == 0
+        out = capsys.readouterr().out
+        assert "B4" in out
+
+    def test_confusion_target(self, capsys):
+        assert main(["confusion", "--duration", "25"]) == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_energy_target(self, capsys):
+        assert main(["energy", "--duration", "8"]) == 0
+        assert "saved vs ideal" in capsys.readouterr().out
+
+    def test_replicate_target(self, capsys):
+        assert main(["replicate", "--duration", "8", "--seeds", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "95% CI" in out and "n=2" in out
+
+    def test_plot_flag(self, capsys):
+        assert main(["fig4", "--duration", "8", "--plot"]) == 0
+        assert "└" in capsys.readouterr().out
+
+    def test_fig6_plot(self, capsys):
+        assert main(["fig6", "--duration", "8", "--plot"]) == 0
+        assert "█" in capsys.readouterr().out
+
+    def test_export_flags(self, capsys, tmp_path):
+        json_path = tmp_path / "r.json"
+        csv_path = tmp_path / "r.csv"
+        assert main([
+            "fig5", "--duration", "6",
+            "--export-json", str(json_path),
+            "--export-csv", str(csv_path),
+        ]) == 0
+        assert json_path.exists() and csv_path.exists()
+
+    def test_config_file(self, capsys, tmp_path):
+        config = tmp_path / "exp.toml"
+        config.write_text("dth_factors = [1.0]\n")
+        assert main([
+            "fig4", "--duration", "6", "--config", str(config)
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "adf-1:" in out
+        assert "adf-0.75" not in out

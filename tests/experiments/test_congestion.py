@@ -1,0 +1,48 @@
+"""Tests for the congestion study."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.congestion import congestion_study
+
+
+@pytest.fixture(scope="module")
+def points():
+    return congestion_study(
+        ExperimentConfig(duration=30.0, dth_factors=(1.25,)),
+        bandwidth_bps=60_000.0,
+    )
+
+
+class TestCongestionStudy:
+    def test_point_per_lane(self, points):
+        assert {p.lane for p in points} == {"ideal", "adf-1.25"}
+
+    def test_offered_matches_lane_totals(self, points):
+        ideal = next(p for p in points if p.lane == "ideal")
+        assert ideal.offered == 140 * 30
+
+    def test_ideal_saturates(self, points):
+        ideal = next(p for p in points if p.lane == "ideal")
+        assert ideal.utilisation > 0.9
+
+    def test_adf_relieves_the_link(self, points):
+        ideal = next(p for p in points if p.lane == "ideal")
+        adf = next(p for p in points if p.lane == "adf-1.25")
+        assert adf.mean_delay < ideal.mean_delay
+        assert adf.drop_rate <= ideal.drop_rate
+
+    def test_generous_bandwidth_no_congestion(self):
+        points = congestion_study(
+            ExperimentConfig(duration=15.0, dth_factors=(1.0,)),
+            bandwidth_bps=10_000_000.0,
+        )
+        for p in points:
+            assert p.drop_rate == 0.0
+            assert p.mean_delay < 0.01
+
+    def test_bandwidth_validation(self):
+        with pytest.raises(ValueError):
+            congestion_study(
+                ExperimentConfig(duration=5.0), bandwidth_bps=0.0
+            )

@@ -1,0 +1,57 @@
+"""Tests for the HLA-federated experiment."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.federation import (
+    mobile_grid_fom,
+    run_federated_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def fed_result():
+    return run_federated_experiment(
+        ExperimentConfig(duration=30.0), dth_factor=1.0
+    )
+
+
+class TestFom:
+    def test_classes_declared(self):
+        fom = mobile_grid_fom()
+        assert fom.object_class("MobileNode").has_attribute("x")
+        assert "dth" in fom.interaction_class("LocationUpdate").parameters
+
+
+class TestFederatedRun:
+    def test_reflections_count(self, fed_result):
+        # 140 nodes x 30 steps, every step reflected to the ADF federate.
+        assert fed_result.reflections == 140 * 30
+
+    def test_filtering_happened(self, fed_result):
+        assert 0 < fed_result.lus_forwarded < fed_result.reflections
+
+    def test_broker_trails_by_at_most_one_step(self, fed_result):
+        """TSO lookahead: only the final step's LUs may be in flight."""
+        in_flight = fed_result.lus_forwarded - fed_result.lus_received_by_broker
+        assert 0 <= in_flight <= 140
+
+    def test_reduction_positive(self, fed_result):
+        assert 0.2 < fed_result.reduction_vs_ideal < 0.8
+
+    def test_rmse_series_collected(self, fed_result):
+        assert len(fed_result.rmse_series) > 0
+        # One-step delivery delay bounds errors above zero but they must
+        # stay campus-scale sane.
+        assert fed_result.rmse_series.mean() < 30.0
+
+    def test_matches_direct_harness_roughly(self, fed_result):
+        """The federated reduction should track the direct harness within
+        a few percentage points (same population, same filter)."""
+        from repro.experiments import run_experiment
+
+        direct = run_experiment(
+            ExperimentConfig(duration=30.0, dth_factors=(1.0,))
+        )
+        direct_reduction = direct.reduction_vs_ideal("adf-1")
+        assert abs(direct_reduction - fed_result.reduction_vs_ideal) < 0.10

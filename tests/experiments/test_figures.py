@@ -1,0 +1,104 @@
+"""Tests for the per-figure data generators."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    fig4_lus_per_second,
+    fig5_accumulated_lus,
+    fig6_transmission_rate_by_region,
+    fig7_rmse_over_time,
+    fig8_rmse_by_region_without_le,
+    fig9_rmse_by_region_with_le,
+    run_experiment,
+    table1_specification,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment(ExperimentConfig(duration=40.0))
+
+
+class TestTable1:
+    def test_five_rows(self):
+        rows = table1_specification()
+        assert len(rows) == 5
+
+    def test_totals_sum_to_140(self):
+        assert sum(r.node_count for r in table1_specification()) == 140
+
+    def test_velocity_ranges_match_paper(self):
+        ranges = {(r.region_kind, r.mobility_pattern, r.node_type): r.velocity_range
+                  for r in table1_specification()}
+        assert ranges[("Road", "LMS", "Human")] == "1~4m/s"
+        assert ranges[("Road", "LMS", "Vehicle")] == "4~10m/s"
+        assert ranges[("Building", "SS", "Human")] == "0m/s"
+        assert ranges[("Building", "RMS", "Human")] == "0~1m/s"
+        assert ranges[("Building", "LMS", "Human")] == "1~1.5m/s"
+
+    def test_region_counts(self):
+        rows = table1_specification()
+        assert {r.region_count for r in rows if r.region_kind == "Road"} == {5}
+        assert {r.region_count for r in rows if r.region_kind == "Building"} == {6}
+
+
+class TestFig4:
+    def test_series_per_lane(self, result):
+        series = fig4_lus_per_second(result)
+        assert set(series) == set(result.lanes)
+
+    def test_one_sample_per_second(self, result):
+        series = fig4_lus_per_second(result)
+        assert len(series["ideal"]) == 40
+
+    def test_ideal_is_constant_140(self, result):
+        series = fig4_lus_per_second(result)["ideal"]
+        # First bin may differ (no step at t=0); the rest are 140.
+        assert all(v == 140.0 for _, v in list(series)[1:])
+
+    def test_adf_below_ideal(self, result):
+        series = fig4_lus_per_second(result)
+        assert series["adf-1.25"].total() < series["ideal"].total()
+
+
+class TestFig5:
+    def test_accumulation_monotone(self, result):
+        for series in fig5_accumulated_lus(result).values():
+            values = list(series.values)
+            assert values == sorted(values)
+
+    def test_final_value_is_total(self, result):
+        series = fig5_accumulated_lus(result)
+        _, final = series["adf-1"].last()
+        assert final == result.lanes["adf-1"].total_lus
+
+
+class TestFig6:
+    def test_excludes_ideal(self, result):
+        assert "ideal" not in fig6_transmission_rate_by_region(result)
+
+    def test_rates_in_unit_interval(self, result):
+        for rates in fig6_transmission_rate_by_region(result).values():
+            assert 0.0 <= rates["building"] <= 1.0
+            assert 0.0 <= rates["road"] <= 1.0
+
+
+class TestFig7:
+    def test_both_series_present(self, result):
+        data = fig7_rmse_over_time(result)
+        for lane in data.values():
+            assert len(lane["with_le"]) > 0
+            assert len(lane["without_le"]) > 0
+
+
+class TestFig89:
+    def test_keys(self, result):
+        for data in (fig8_rmse_by_region_without_le(result),
+                     fig9_rmse_by_region_with_le(result)):
+            for row in data.values():
+                assert set(row) == {"road", "building", "ratio"}
+
+    def test_road_dominates(self, result):
+        for row in fig8_rmse_by_region_without_le(result).values():
+            assert row["road"] > row["building"]

@@ -1,0 +1,165 @@
+"""Integration tests for the evaluation harness (short runs)."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, MobileGridExperiment, run_experiment
+from repro.mobility.population import PopulationSpec
+
+
+@pytest.fixture(scope="module")
+def short_result():
+    """A 60-second run of the full 140-node experiment."""
+    return run_experiment(ExperimentConfig(duration=60.0))
+
+
+class TestStructure:
+    def test_lanes_present(self, short_result):
+        assert set(short_result.lanes) == {"ideal", "adf-0.75", "adf-1", "adf-1.25"}
+
+    def test_node_count(self, short_result):
+        assert short_result.node_count == 140
+
+    def test_general_df_lanes_optional(self):
+        result = run_experiment(
+            ExperimentConfig(
+                duration=10.0, dth_factors=(1.0,), include_general_df=True
+            )
+        )
+        assert "gdf-1" in result.lanes
+
+    def test_ideal_counts_every_node_every_second(self, short_result):
+        assert short_result.ideal.total_lus == 140 * 60
+
+
+class TestPaperShape:
+    def test_reduction_increases_with_dth(self, short_result):
+        reductions = [
+            short_result.reduction_vs_ideal(lane.name)
+            for lane in short_result.adf_lanes()
+        ]
+        assert reductions == sorted(reductions)
+
+    def test_reductions_in_paper_ballpark(self, short_result):
+        """Paper: 30.5% / 53.4% / 76.7%; we require the right ranges."""
+        r075 = short_result.reduction_vs_ideal("adf-0.75")
+        r125 = short_result.reduction_vs_ideal("adf-1.25")
+        assert 0.15 <= r075 <= 0.45
+        assert 0.40 <= r125 <= 0.80
+
+    def test_buildings_filtered_harder_than_roads(self, short_result):
+        """Paper Fig. 6: building transmission rate below road rate."""
+        for lane in short_result.adf_lanes():
+            rates = short_result.transmission_rate_by_kind(lane.name)
+            assert rates["building"] < rates["road"]
+
+    def test_le_reduces_error_at_meaningful_suppression(self, short_result):
+        """Paper Fig. 7: the LE line sits below the no-LE line."""
+        for name in ("adf-1", "adf-1.25"):
+            lane = short_result.lanes[name]
+            assert lane.mean_rmse(with_le=True) < lane.mean_rmse(with_le=False)
+
+    def test_road_error_exceeds_building_error(self, short_result):
+        """Paper Figs. 8-9: road RMSE several times the building RMSE."""
+        for lane in short_result.adf_lanes():
+            assert lane.region_errors_without_le.road_to_building_ratio > 2.0
+            assert lane.region_errors_with_le.road_to_building_ratio > 2.0
+
+    def test_error_grows_with_dth(self, short_result):
+        rmses = [
+            lane.mean_rmse(with_le=False) for lane in short_result.adf_lanes()
+        ]
+        assert rmses == sorted(rmses)
+
+    def test_classifier_accuracy_reasonable(self, short_result):
+        assert short_result.classification_accuracy > 0.6
+
+    def test_fleet_speed_in_table1_range(self, short_result):
+        # 50 road nodes at 1-10 m/s, 90 building nodes at 0-1.5 m/s.
+        assert 1.0 < short_result.average_fleet_speed < 4.0
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces(self):
+        cfg = ExperimentConfig(duration=15.0, dth_factors=(1.0,))
+        a = run_experiment(cfg)
+        b = run_experiment(cfg)
+        assert a.lanes["adf-1"].total_lus == b.lanes["adf-1"].total_lus
+        assert a.lanes["adf-1"].mean_rmse(with_le=True) == pytest.approx(
+            b.lanes["adf-1"].mean_rmse(with_le=True)
+        )
+
+    def test_different_seed_differs(self):
+        a = run_experiment(ExperimentConfig(duration=15.0, dth_factors=(1.0,), seed=1))
+        b = run_experiment(ExperimentConfig(duration=15.0, dth_factors=(1.0,), seed=2))
+        assert a.lanes["adf-1"].total_lus != b.lanes["adf-1"].total_lus
+
+
+class TestScaling:
+    def test_tiny_population(self):
+        spec = PopulationSpec(
+            road_humans_per_road=1,
+            road_vehicles_per_road=1,
+            building_stop=1,
+            building_random=1,
+            building_linear=1,
+        )
+        result = run_experiment(
+            ExperimentConfig(duration=20.0, dth_factors=(1.0,), population=spec)
+        )
+        assert result.node_count == 5 * 2 + 6 * 3
+        assert result.ideal.total_lus == result.node_count * 20
+
+    def test_channel_loss_reduces_delivered(self):
+        lossless = run_experiment(
+            ExperimentConfig(duration=15.0, dth_factors=(1.0,))
+        )
+        lossy = run_experiment(
+            ExperimentConfig(duration=15.0, dth_factors=(1.0,), channel_loss=0.5)
+        )
+        assert lossy.ideal.total_lus < lossless.ideal.total_lus * 0.7
+
+
+class TestClusterDynamics:
+    def test_cluster_series_recorded_for_adf_lanes(self, short_result):
+        for lane in short_result.adf_lanes():
+            assert len(lane.cluster_series) == 60
+            assert lane.cluster_series.values.max() >= 1
+
+    def test_cluster_count_stabilises(self, short_result):
+        """After the initial construction, the cluster count settles."""
+        lane = short_result.lanes["adf-1"]
+        tail = lane.cluster_series.window(30.0, 61.0).values
+        assert tail.max() - tail.min() <= 6
+
+    def test_ideal_lane_has_no_clusters(self, short_result):
+        assert len(short_result.ideal.cluster_series) == 0
+
+
+class TestHandoffs:
+    def test_handoffs_counted(self, short_result):
+        """Road nodes crossing junction overlaps and itinerant region
+        attribution produce some handoffs; stationary building nodes none."""
+        assert short_result.handoffs >= 0
+
+    def test_association_manager_tracks_all_nodes(self):
+        experiment = MobileGridExperiment(
+            ExperimentConfig(duration=10.0, dth_factors=(1.0,))
+        )
+        experiment.run()
+        served = sum(
+            len(experiment.associations.nodes_served_by(r))
+            for r in experiment.campus.regions
+        )
+        assert served == 140
+
+
+class TestGatewayFailure:
+    def test_outage_increases_estimates(self):
+        config = ExperimentConfig(duration=30.0, dth_factors=(1.0,))
+        experiment = MobileGridExperiment(config)
+        lane = experiment.lanes[1]
+        experiment.sim.schedule_at(5.0, lane.gateways["B4"].fail)
+        experiment.run()
+        gateway = lane.gateways["B4"]
+        assert gateway.discarded > 0
+        assert not gateway.operational

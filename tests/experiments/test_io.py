@@ -1,0 +1,111 @@
+"""Tests for result serialisation and config files."""
+
+import json
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.config_io import config_from_dict, load_config
+from repro.experiments.io import (
+    load_json,
+    result_to_dict,
+    write_json,
+    write_series_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment(ExperimentConfig(duration=20.0, dth_factors=(1.0,)))
+
+
+class TestResultToDict:
+    def test_round_trips_through_json(self, result):
+        blob = json.dumps(result_to_dict(result))
+        parsed = json.loads(blob)
+        assert parsed["node_count"] == 140
+
+    def test_contains_all_figures(self, result):
+        data = result_to_dict(result)
+        for key in ("fig6", "fig8", "fig9", "lanes"):
+            assert key in data
+
+    def test_lane_detail(self, result):
+        lane = result_to_dict(result)["lanes"]["adf-1"]
+        assert lane["total_lus"] == result.lanes["adf-1"].total_lus
+        assert 0.0 < lane["reduction_vs_ideal"] < 1.0
+        assert len(lane["rmse_with_le"]["times"]) == 20
+
+
+class TestFiles:
+    def test_write_and_load_json(self, result, tmp_path):
+        path = write_json(result, tmp_path / "run.json")
+        loaded = load_json(path)
+        assert loaded["duration"] == 20.0
+
+    def test_write_series_csv(self, result, tmp_path):
+        path = write_series_csv(result, tmp_path / "lus.csv")
+        lines = path.read_text().splitlines()
+        assert lines[0] == "time,ideal,adf-1"
+        assert len(lines) == 21  # header + 20 seconds
+
+    def test_rmse_csv(self, result, tmp_path):
+        path = write_series_csv(
+            result, tmp_path / "rmse.csv", kind="rmse_with_le"
+        )
+        assert "adf-1" in path.read_text().splitlines()[0]
+
+    def test_unknown_kind_rejected(self, result, tmp_path):
+        with pytest.raises(ValueError, match="unknown series kind"):
+            write_series_csv(result, tmp_path / "x.csv", kind="nope")
+
+
+class TestConfigIo:
+    def test_from_dict(self):
+        config = config_from_dict(
+            {"duration": 60.0, "dth_factors": [1.0, 1.5], "seed": 9}
+        )
+        assert config.duration == 60.0
+        assert config.dth_factors == (1.0, 1.5)
+        assert config.seed == 9
+
+    def test_nested_population(self):
+        config = config_from_dict(
+            {
+                "duration": 10.0,
+                "population": {"road_humans_per_road": 2, "building_stop": 1},
+            }
+        )
+        assert config.population.road_humans_per_road == 2
+        assert config.population.building_stop == 1
+        # Untouched fields keep their Table 1 defaults.
+        assert config.population.building_random == 5
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown config keys"):
+            config_from_dict({"durration": 60.0})
+
+    def test_unknown_population_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown population keys"):
+            config_from_dict({"population": {"bogus": 1}})
+
+    def test_load_toml(self, tmp_path):
+        path = tmp_path / "exp.toml"
+        path.write_text(
+            'duration = 30.0\ndth_factors = [0.75]\nseed = 3\n'
+            "[population]\nroad_vehicles_per_road = 1\n"
+        )
+        config = load_config(path)
+        assert config.duration == 30.0
+        assert config.population.road_vehicles_per_road == 1
+
+    def test_load_json(self, tmp_path):
+        path = tmp_path / "exp.json"
+        path.write_text(json.dumps({"duration": 15.0}))
+        assert load_config(path).duration == 15.0
+
+    def test_unsupported_format(self, tmp_path):
+        path = tmp_path / "exp.yaml"
+        path.write_text("duration: 1")
+        with pytest.raises(ValueError, match="unsupported"):
+            load_config(path)

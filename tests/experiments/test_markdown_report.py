@@ -1,0 +1,55 @@
+"""Tests for the Markdown report writer."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.markdown_report import (
+    render_markdown_report,
+    write_markdown_report,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    result = run_experiment(ExperimentConfig(duration=20.0))
+    return render_markdown_report(result, title="Test run")
+
+
+class TestMarkdownReport:
+    def test_title(self, report):
+        assert report.startswith("# Test run")
+
+    def test_all_sections_present(self, report):
+        for heading in (
+            "## Table 1",
+            "## Figs. 4-5",
+            "## Fig. 6",
+            "## Fig. 7",
+            "## Fig. 8",
+            "## Fig. 9",
+            "## Cluster dynamics",
+        ):
+            assert heading in report
+
+    def test_tables_are_valid_markdown(self, report):
+        lines = report.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("|") and "---" in line:
+                header = lines[i - 1]
+                assert header.count("|") == line.count("|")
+
+    def test_charts_fenced(self, report):
+        assert report.count("```") % 2 == 0
+        assert "LUs per second" in report
+
+    def test_every_lane_mentioned(self, report):
+        for lane in ("ideal", "adf-0.75", "adf-1", "adf-1.25"):
+            assert lane in report
+
+    def test_write_to_file(self, tmp_path):
+        result = run_experiment(
+            ExperimentConfig(duration=10.0, dth_factors=(1.0,))
+        )
+        path = write_markdown_report(result, tmp_path / "report.md")
+        assert path.exists()
+        assert path.read_text().startswith("# Mobile-grid evaluation report")

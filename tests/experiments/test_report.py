@@ -1,0 +1,30 @@
+"""Tests for the ASCII report."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, render_report, run_experiment
+
+
+@pytest.fixture(scope="module")
+def report():
+    return render_report(run_experiment(ExperimentConfig(duration=20.0)))
+
+
+class TestReport:
+    def test_mentions_every_figure(self, report):
+        for token in ("Table 1", "Fig. 4/5", "Fig. 6", "Fig. 7", "Fig. 8", "Fig. 9"):
+            assert token in report
+
+    def test_mentions_every_lane(self, report):
+        for lane in ("ideal", "adf-0.75", "adf-1", "adf-1.25"):
+            assert lane in report
+
+    def test_mentions_population(self, report):
+        assert "140 MNs" in report
+
+    def test_table1_rows_rendered(self, report):
+        assert "VR=4~10m/s" in report
+
+    def test_is_plain_text(self, report):
+        assert isinstance(report, str)
+        assert len(report.splitlines()) > 20

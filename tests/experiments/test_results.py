@@ -1,0 +1,103 @@
+"""Tests for result containers."""
+
+import math
+
+import pytest
+
+from repro.experiments.results import ExperimentResult, LaneResult, RegionErrors
+from repro.network.traffic import TrafficMeter
+from repro.util.timeseries import TimeSeries
+
+
+class TestRegionErrors:
+    def test_rmse_per_kind(self):
+        errors = RegionErrors()
+        errors.add(3.0, is_road=True)
+        errors.add(4.0, is_road=True)
+        errors.add(1.0, is_road=False)
+        assert errors.road_rmse == pytest.approx(math.sqrt(12.5))
+        assert errors.building_rmse == 1.0
+
+    def test_ratio(self):
+        errors = RegionErrors()
+        errors.add(4.0, is_road=True)
+        errors.add(1.0, is_road=False)
+        assert errors.road_to_building_ratio == 4.0
+
+    def test_ratio_no_building_is_inf(self):
+        errors = RegionErrors()
+        errors.add(1.0, is_road=True)
+        assert errors.road_to_building_ratio == math.inf
+
+    def test_empty_rmse_zero(self):
+        assert RegionErrors().road_rmse == 0.0
+
+    def test_negative_error_rejected(self):
+        with pytest.raises(ValueError):
+            RegionErrors().add(-1.0, is_road=True)
+
+
+def lane(name, factor, counts, rmse_on=(), rmse_off=()):
+    meter = TrafficMeter(name)
+    for t, region in counts:
+        meter.count(t, region)
+    return LaneResult(
+        name=name,
+        dth_factor=factor,
+        meter=meter,
+        rmse_with_le=TimeSeries(rmse_on),
+        rmse_without_le=TimeSeries(rmse_off),
+    )
+
+
+@pytest.fixture
+def result():
+    lanes = {
+        "ideal": lane("ideal", None, [(0, "R1")] * 8 + [(0, "B1")] * 2),
+        "adf-1": lane(
+            "adf-1",
+            1.0,
+            [(0, "R1")] * 4 + [(0, "B1")],
+            rmse_on=[(0, 1.0), (1, 2.0)],
+            rmse_off=[(0, 2.0), (1, 4.0)],
+        ),
+        "adf-0.75": lane("adf-0.75", 0.75, [(0, "R1")] * 6),
+    }
+    return ExperimentResult(
+        duration=10.0,
+        report_interval=1.0,
+        node_count=5,
+        lanes=lanes,
+        road_region_ids=["R1"],
+        building_region_ids=["B1"],
+    )
+
+
+class TestExperimentResult:
+    def test_ideal_lane(self, result):
+        assert result.ideal.name == "ideal"
+        assert result.ideal.total_lus == 10
+
+    def test_adf_lanes_sorted_by_factor(self, result):
+        names = [lane.name for lane in result.adf_lanes()]
+        assert names == ["adf-0.75", "adf-1"]
+
+    def test_reduction_vs_ideal(self, result):
+        assert result.reduction_vs_ideal("adf-1") == pytest.approx(0.5)
+        assert result.reduction_vs_ideal("ideal") == 0.0
+
+    def test_transmission_rate_by_kind(self, result):
+        rates = result.transmission_rate_by_kind("adf-1")
+        assert rates["road"] == pytest.approx(0.5)
+        assert rates["building"] == pytest.approx(0.5)
+
+    def test_mean_rmse(self, result):
+        lane_result = result.lanes["adf-1"]
+        assert lane_result.mean_rmse(with_le=True) == 1.5
+        assert lane_result.mean_rmse(with_le=False) == 3.0
+
+    def test_le_improvement(self, result):
+        assert result.lanes["adf-1"].le_improvement() == pytest.approx(0.5)
+
+    def test_le_improvement_empty_is_one(self, result):
+        assert result.lanes["adf-0.75"].le_improvement() == 1.0

@@ -1,0 +1,65 @@
+"""Tests for the scaling and generality study modules."""
+
+import pytest
+
+from repro.experiments.generality import (
+    MOBILITY_GENERATORS,
+    generality_study,
+)
+from repro.experiments.scaling import scaling_sweep
+
+
+class TestScalingSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return scaling_sweep((1, 2), duration=20.0)
+
+    def test_point_per_factor(self, points):
+        assert [p.factor for p in points] == [1, 2]
+
+    def test_node_counts_scale(self, points):
+        assert points[0].node_count == 140
+        assert points[1].node_count == 280
+
+    def test_reduction_stable(self, points):
+        assert abs(points[0].reduction - points[1].reduction) < 0.12
+
+    def test_wall_time_recorded(self, points):
+        assert all(p.wall_seconds > 0 for p in points)
+
+    def test_nodes_per_cluster_grows(self, points):
+        assert points[1].nodes_per_cluster() > points[0].nodes_per_cluster()
+
+    def test_empty_factors_rejected(self):
+        with pytest.raises(ValueError):
+            scaling_sweep((), duration=5.0)
+
+
+class TestGeneralityStudy:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return generality_study(n_nodes=12, duration=40.0)
+
+    def test_all_generators_covered(self, results):
+        assert {r.model for r in results} == set(MOBILITY_GENERATORS)
+
+    def test_reduction_everywhere(self, results):
+        for r in results:
+            assert r.reduction > 0.1, r.model
+
+    def test_le_never_hurts_much(self, results):
+        for r in results:
+            assert r.le_ratio < 1.2, r.model
+
+    def test_errors_bounded(self, results):
+        for r in results:
+            assert r.mean_rmse_with_le < 10.0
+
+    def test_subset_of_models(self):
+        only_rwp = {"random-waypoint": MOBILITY_GENERATORS["random-waypoint"]}
+        results = generality_study(models=only_rwp, n_nodes=6, duration=20.0)
+        assert len(results) == 1
+
+    def test_empty_models_rejected(self):
+        with pytest.raises(ValueError):
+            generality_study(models={}, n_nodes=4, duration=10.0)

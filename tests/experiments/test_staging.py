@@ -1,0 +1,74 @@
+"""Tests for the staging study and the DataTransfer message."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.staging import staging_study
+from repro.network.messages import DataTransfer
+
+
+class TestDataTransfer:
+    def test_size_includes_payload(self):
+        transfer = DataTransfer(
+            sender="broker", timestamp=0.0, task_id=1, payload_bytes=1000
+        )
+        assert transfer.size_bytes == 32 + 16 + 1000
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            DataTransfer(sender="b", timestamp=0.0, payload_bytes=-1)
+
+    def test_direction_validated(self):
+        with pytest.raises(ValueError):
+            DataTransfer(sender="b", timestamp=0.0, direction="sideways")
+        out = DataTransfer(sender="n", timestamp=0.0, direction="output")
+        assert out.direction == "output"
+
+
+class TestStagingStudy:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return staging_study(
+            ExperimentConfig(duration=90.0, dth_factors=(1.25,)),
+            n_tasks=6,
+            task_bytes=20_000,
+        )
+
+    def test_point_per_lane(self, points):
+        assert {p.lane for p in points} == {"ideal", "adf-1.25"}
+
+    def test_both_finish(self, points):
+        assert all(p.staging_finished for p in points)
+
+    def test_adf_stages_faster(self, points):
+        by_lane = {p.lane: p for p in points}
+        assert (
+            by_lane["adf-1.25"].staging_completed_at
+            < by_lane["ideal"].staging_completed_at
+        )
+
+    def test_adf_keeps_lus_fresher(self, points):
+        by_lane = {p.lane: p for p in points}
+        assert (
+            by_lane["adf-1.25"].mean_lu_delay < by_lane["ideal"].mean_lu_delay
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            staging_study(ExperimentConfig(duration=30.0), n_tasks=0)
+        with pytest.raises(ValueError):
+            staging_study(ExperimentConfig(duration=30.0), job_start=60.0)
+        with pytest.raises(ValueError):
+            staging_study(ExperimentConfig(duration=30.0), bandwidth_bps=0.0)
+
+    def test_huge_bandwidth_staging_is_instant(self):
+        points = staging_study(
+            ExperimentConfig(duration=20.0, dth_factors=(1.0,)),
+            bandwidth_bps=1e9,
+            n_tasks=3,
+            task_bytes=10_000,
+            job_start=5.0,
+        )
+        for p in points:
+            assert p.staging_completed_at - 5.0 < 0.5
+            assert p.mean_lu_delay < 0.01

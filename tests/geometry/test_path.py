@@ -1,0 +1,100 @@
+"""Tests for arc-length parametrised paths."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Path, Vec2
+
+coords = st.floats(min_value=-1e3, max_value=1e3)
+waypoint_lists = st.lists(
+    st.tuples(coords, coords), min_size=1, max_size=12
+).map(lambda pts: [Vec2(x, y) for x, y in pts])
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Path([])
+
+    def test_single_point(self):
+        p = Path([Vec2(1, 2)])
+        assert p.length == 0.0
+        assert p.point_at(10) == Vec2(1, 2)
+        assert p.direction_at(0) == 0.0
+
+    def test_duplicates_collapsed(self):
+        p = Path([Vec2(0, 0), Vec2(0, 0), Vec2(1, 0)])
+        assert p.segment_count() == 1
+
+    def test_length(self):
+        p = Path([Vec2(0, 0), Vec2(3, 0), Vec2(3, 4)])
+        assert p.length == 7.0
+
+    def test_start_end(self):
+        p = Path([Vec2(0, 0), Vec2(5, 0)])
+        assert p.start == Vec2(0, 0)
+        assert p.end == Vec2(5, 0)
+
+
+class TestParametrisation:
+    def test_point_at_interior(self):
+        p = Path([Vec2(0, 0), Vec2(10, 0)])
+        assert p.point_at(4.0) == Vec2(4, 0)
+
+    def test_point_at_vertex(self):
+        p = Path([Vec2(0, 0), Vec2(3, 0), Vec2(3, 4)])
+        assert p.point_at(3.0) == Vec2(3, 0)
+
+    def test_point_at_across_segments(self):
+        p = Path([Vec2(0, 0), Vec2(3, 0), Vec2(3, 4)])
+        assert p.point_at(5.0) == Vec2(3, 2)
+
+    def test_point_at_clamps(self):
+        p = Path([Vec2(0, 0), Vec2(10, 0)])
+        assert p.point_at(-1) == Vec2(0, 0)
+        assert p.point_at(99) == Vec2(10, 0)
+
+    def test_direction_changes_at_corner(self):
+        p = Path([Vec2(0, 0), Vec2(3, 0), Vec2(3, 4)])
+        assert p.direction_at(1.0) == pytest.approx(0.0)
+        assert p.direction_at(5.0) == pytest.approx(1.5707963, abs=1e-6)
+
+    def test_remaining(self):
+        p = Path([Vec2(0, 0), Vec2(10, 0)])
+        assert p.remaining(4.0) == 6.0
+        assert p.remaining(15.0) == 0.0
+
+
+class TestComposition:
+    def test_reversed(self):
+        p = Path([Vec2(0, 0), Vec2(10, 0)])
+        r = p.reversed()
+        assert r.start == Vec2(10, 0)
+        assert r.length == p.length
+
+    def test_concat(self):
+        a = Path([Vec2(0, 0), Vec2(1, 0)])
+        b = Path([Vec2(1, 0), Vec2(1, 1)])
+        c = a.concat(b)
+        assert c.length == pytest.approx(2.0)
+        assert c.segment_count() == 2
+
+
+class TestProperties:
+    @given(waypoint_lists)
+    def test_reversed_preserves_length(self, waypoints):
+        p = Path(waypoints)
+        assert p.reversed().length == pytest.approx(p.length, rel=1e-9, abs=1e-9)
+
+    @given(waypoint_lists, st.floats(min_value=0, max_value=1))
+    def test_point_at_is_monotone_along_path(self, waypoints, frac):
+        p = Path(waypoints)
+        s = frac * p.length
+        # Distance travelled from the start never exceeds arc length.
+        assert p.start.distance_to(p.point_at(s)) <= s + 1e-6
+
+    @given(waypoint_lists)
+    def test_endpoints(self, waypoints):
+        p = Path(waypoints)
+        assert p.point_at(0.0).is_close(p.start, tol=1e-9)
+        assert p.point_at(p.length).is_close(p.end, tol=1e-6)

@@ -1,0 +1,121 @@
+"""Tests for rectangles and segments."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Rect, Segment, Vec2
+
+coords = st.floats(min_value=-1e4, max_value=1e4)
+
+
+class TestRect:
+    def test_basic_properties(self):
+        r = Rect(0, 0, 4, 3)
+        assert r.width == 4
+        assert r.height == 3
+        assert r.area == 12
+        assert r.center == Vec2(2, 1.5)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1)
+
+    def test_zero_area_allowed(self):
+        r = Rect(1, 1, 1, 1)
+        assert r.area == 0.0
+        assert r.contains(Vec2(1, 1))
+
+    def test_from_center(self):
+        r = Rect.from_center(Vec2(5, 5), 4, 2)
+        assert (r.x_min, r.y_min, r.x_max, r.y_max) == (3, 4, 7, 6)
+
+    def test_contains_boundary(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.contains(Vec2(0, 0))
+        assert r.contains(Vec2(1, 1))
+        assert not r.contains(Vec2(1.01, 0.5))
+
+    def test_contains_with_tolerance(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.contains(Vec2(1.05, 0.5), tol=0.1)
+
+    def test_clamp(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.clamp(Vec2(5, -3)) == Vec2(1, 0)
+        assert r.clamp(Vec2(0.5, 0.5)) == Vec2(0.5, 0.5)
+
+    def test_random_point_inside(self, rng):
+        r = Rect(10, 20, 30, 40)
+        for _ in range(100):
+            assert r.contains(r.random_point(rng))
+
+    def test_random_point_covers_area(self, rng):
+        r = Rect(0, 0, 1, 1)
+        points = [r.random_point(rng) for _ in range(500)]
+        xs = np.array([p.x for p in points])
+        assert xs.mean() == pytest.approx(0.5, abs=0.1)
+
+    def test_intersects(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.intersects(Rect(1, 1, 3, 3))
+        assert a.intersects(Rect(2, 2, 3, 3))  # touching counts
+        assert not a.intersects(Rect(2.1, 2.1, 3, 3))
+
+    def test_expanded(self):
+        r = Rect(0, 0, 1, 1).expanded(1.0)
+        assert (r.x_min, r.y_max) == (-1.0, 2.0)
+
+
+class TestSegment:
+    def test_length_and_direction(self):
+        s = Segment(Vec2(0, 0), Vec2(3, 4))
+        assert s.length == 5.0
+        assert s.direction == pytest.approx(math.atan2(4, 3))
+
+    def test_point_at_clamps(self):
+        s = Segment(Vec2(0, 0), Vec2(10, 0))
+        assert s.point_at(-5) == Vec2(0, 0)
+        assert s.point_at(5) == Vec2(5, 0)
+        assert s.point_at(20) == Vec2(10, 0)
+
+    def test_midpoint(self):
+        assert Segment(Vec2(0, 0), Vec2(2, 2)).midpoint() == Vec2(1, 1)
+
+    def test_project_interior(self):
+        s = Segment(Vec2(0, 0), Vec2(10, 0))
+        arc, closest = s.project(Vec2(4, 3))
+        assert arc == pytest.approx(4.0)
+        assert closest == Vec2(4, 0)
+
+    def test_project_beyond_ends(self):
+        s = Segment(Vec2(0, 0), Vec2(10, 0))
+        arc, closest = s.project(Vec2(-5, 1))
+        assert arc == 0.0
+        assert closest == Vec2(0, 0)
+
+    def test_distance_to_point(self):
+        s = Segment(Vec2(0, 0), Vec2(10, 0))
+        assert s.distance_to_point(Vec2(5, 3)) == pytest.approx(3.0)
+
+    def test_degenerate_segment(self):
+        s = Segment(Vec2(1, 1), Vec2(1, 1))
+        assert s.length == 0.0
+        arc, closest = s.project(Vec2(5, 5))
+        assert arc == 0.0
+        assert closest == Vec2(1, 1)
+
+
+class TestProperties:
+    @given(coords, coords, coords, coords)
+    def test_clamped_point_is_inside(self, x, y, px, py):
+        r = Rect(min(x, y), min(x, y), max(x, y) + 1, max(x, y) + 1)
+        assert r.contains(r.clamp(Vec2(px, py)), tol=1e-9)
+
+    @given(coords, coords, coords, coords, st.floats(min_value=0, max_value=100))
+    def test_point_at_is_on_segment(self, x1, y1, x2, y2, s):
+        seg = Segment(Vec2(x1, y1), Vec2(x2, y2))
+        p = seg.point_at(s)
+        assert seg.distance_to_point(p) < 1e-6

@@ -1,0 +1,118 @@
+"""Tests for 2-D vectors and angle arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry import Vec2, angle_difference, normalize_angle
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+angles = st.floats(min_value=-50.0, max_value=50.0)
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        assert Vec2(1, 2) + Vec2(3, 4) == Vec2(4, 6)
+        assert Vec2(3, 4) - Vec2(1, 2) == Vec2(2, 2)
+
+    def test_scalar_mul_div(self):
+        assert Vec2(1, 2) * 2 == Vec2(2, 4)
+        assert 2 * Vec2(1, 2) == Vec2(2, 4)
+        assert Vec2(2, 4) / 2 == Vec2(1, 2)
+
+    def test_neg(self):
+        assert -Vec2(1, -2) == Vec2(-1, 2)
+
+    def test_immutability(self):
+        v = Vec2(1, 2)
+        with pytest.raises(AttributeError):
+            v.x = 5  # type: ignore[misc]
+
+
+class TestMetrics:
+    def test_norm(self):
+        assert Vec2(3, 4).norm() == 5.0
+        assert Vec2(3, 4).norm_squared() == 25.0
+
+    def test_distance(self):
+        assert Vec2(0, 0).distance_to(Vec2(3, 4)) == 5.0
+
+    def test_dot_cross(self):
+        assert Vec2(1, 0).dot(Vec2(0, 1)) == 0.0
+        assert Vec2(1, 0).cross(Vec2(0, 1)) == 1.0
+
+    def test_angle(self):
+        assert Vec2(1, 0).angle() == 0.0
+        assert Vec2(0, 1).angle() == pytest.approx(math.pi / 2)
+        assert Vec2(-1, 0).angle() == pytest.approx(math.pi)
+
+    def test_zero_vector_angle_is_zero(self):
+        assert Vec2.zero().angle() == 0.0
+
+    def test_unit(self):
+        u = Vec2(3, 4).unit()
+        assert u.norm() == pytest.approx(1.0)
+
+    def test_unit_of_zero_raises(self):
+        with pytest.raises(ValueError):
+            Vec2.zero().unit()
+
+    def test_rotation(self):
+        r = Vec2(1, 0).rotated(math.pi / 2)
+        assert r.is_close(Vec2(0, 1), tol=1e-12)
+
+    def test_lerp(self):
+        assert Vec2(0, 0).lerp(Vec2(10, 20), 0.5) == Vec2(5, 10)
+
+    def test_from_polar(self):
+        v = Vec2.from_polar(2.0, math.pi / 2)
+        assert v.is_close(Vec2(0, 2), tol=1e-12)
+
+    def test_as_tuple(self):
+        assert Vec2(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+
+class TestAngleHelpers:
+    @pytest.mark.parametrize(
+        "theta,expected",
+        [
+            (0.0, 0.0),
+            (math.pi, math.pi),
+            (-math.pi, math.pi),
+            (3 * math.pi, math.pi),
+            (2 * math.pi, 0.0),
+        ],
+    )
+    def test_normalize_angle(self, theta, expected):
+        assert normalize_angle(theta) == pytest.approx(expected)
+
+    def test_angle_difference_sign(self):
+        assert angle_difference(0.1, 0.0) == pytest.approx(0.1)
+        assert angle_difference(0.0, 0.1) == pytest.approx(-0.1)
+
+    def test_angle_difference_across_seam(self):
+        a, b = math.pi - 0.05, -math.pi + 0.05
+        assert abs(angle_difference(a, b)) == pytest.approx(0.1, abs=1e-9)
+
+
+class TestProperties:
+    @given(finite, finite, finite, finite)
+    def test_triangle_inequality(self, x1, y1, x2, y2):
+        a, b = Vec2(x1, y1), Vec2(x2, y2)
+        assert (a + b).norm() <= a.norm() + b.norm() + 1e-6
+
+    @given(angles)
+    def test_normalize_angle_in_range(self, theta):
+        n = normalize_angle(theta)
+        assert -math.pi < n <= math.pi + 1e-12
+
+    @given(angles, angles)
+    def test_angle_difference_bounded(self, a, b):
+        d = angle_difference(a, b)
+        assert abs(d) <= math.pi + 1e-9
+
+    @given(finite, finite, angles)
+    def test_rotation_preserves_norm(self, x, y, theta):
+        v = Vec2(x, y)
+        assert v.rotated(theta).norm() == pytest.approx(v.norm(), rel=1e-6, abs=1e-6)

@@ -1,0 +1,63 @@
+"""Tests for attribute-level subscription."""
+
+import pytest
+
+from repro.hla import FederationObjectModel, RTIError, RTIKernel
+
+from tests.hla.test_rti import Recorder
+
+
+@pytest.fixture
+def setup():
+    fom = FederationObjectModel()
+    fom.add_object_class("MN", ("x", "y", "battery"))
+    rti = RTIKernel("attr", fom)
+    owner_amb, sub_amb = Recorder(), Recorder()
+    owner = rti.join("owner", owner_amb)
+    subscriber = rti.join("subscriber", sub_amb)
+    rti.publish_object_class(owner, "MN")
+    return rti, owner, subscriber, sub_amb
+
+
+class TestAttributeSubscription:
+    def test_filtered_reflection(self, setup):
+        rti, owner, subscriber, sub_amb = setup
+        rti.subscribe_object_class(subscriber, "MN", attributes=("x", "y"))
+        instance = rti.register_object_instance(owner, "MN", "mn-1")
+        rti.update_attribute_values(
+            owner, instance, {"x": 1.0, "y": 2.0, "battery": 0.5}
+        )
+        assert sub_amb.reflections == [(instance, {"x": 1.0, "y": 2.0}, None)]
+
+    def test_irrelevant_update_not_delivered(self, setup):
+        rti, owner, subscriber, sub_amb = setup
+        rti.subscribe_object_class(subscriber, "MN", attributes=("battery",))
+        instance = rti.register_object_instance(owner, "MN", "mn-1")
+        rti.update_attribute_values(owner, instance, {"x": 1.0})
+        assert sub_amb.reflections == []
+
+    def test_unknown_attribute_rejected(self, setup):
+        rti, _, subscriber, _ = setup
+        with pytest.raises(RTIError, match="not declared"):
+            rti.subscribe_object_class(subscriber, "MN", attributes=("ghost",))
+
+    def test_full_subscription_unchanged(self, setup):
+        rti, owner, subscriber, sub_amb = setup
+        rti.subscribe_object_class(subscriber, "MN")
+        instance = rti.register_object_instance(owner, "MN", "mn-1")
+        rti.update_attribute_values(owner, instance, {"battery": 0.9})
+        assert sub_amb.reflections == [(instance, {"battery": 0.9}, None)]
+
+    def test_resubscription_widens(self, setup):
+        rti, owner, subscriber, sub_amb = setup
+        rti.subscribe_object_class(subscriber, "MN", attributes=("x",))
+        rti.subscribe_object_class(subscriber, "MN")  # widen to all
+        instance = rti.register_object_instance(owner, "MN", "mn-1")
+        rti.update_attribute_values(owner, instance, {"y": 3.0})
+        assert sub_amb.reflections == [(instance, {"y": 3.0}, None)]
+
+    def test_discovery_still_happens(self, setup):
+        rti, owner, subscriber, sub_amb = setup
+        instance = rti.register_object_instance(owner, "MN", "mn-1")
+        rti.subscribe_object_class(subscriber, "MN", attributes=("x",))
+        assert sub_amb.discovered == [(instance, "MN", "mn-1")]

@@ -1,0 +1,61 @@
+"""Tests for FOM declarations."""
+
+import pytest
+
+from repro.hla import FederationObjectModel, InteractionClass, ObjectClass
+
+
+class TestObjectClass:
+    def test_attributes(self):
+        cls = ObjectClass("MobileNode", ("x", "y"))
+        assert cls.has_attribute("x")
+        assert not cls.has_attribute("z")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectClass("", ("x",))
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectClass("C", ("x", "x"))
+
+
+class TestInteractionClass:
+    def test_parameters(self):
+        cls = InteractionClass("LU", ("node", "x"))
+        assert cls.parameters == ("node", "x")
+
+    def test_no_parameters_ok(self):
+        assert InteractionClass("Ping").parameters == ()
+
+    def test_duplicate_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionClass("I", ("a", "a"))
+
+
+class TestFom:
+    def test_declare_and_lookup(self):
+        fom = FederationObjectModel()
+        fom.add_object_class("MN", ("x",))
+        fom.add_interaction_class("LU", ("node",))
+        assert fom.object_class("MN").name == "MN"
+        assert fom.interaction_class("LU").name == "LU"
+
+    def test_duplicate_object_class_rejected(self):
+        fom = FederationObjectModel()
+        fom.add_object_class("MN", ("x",))
+        with pytest.raises(ValueError):
+            fom.add_object_class("MN", ("y",))
+
+    def test_duplicate_interaction_rejected(self):
+        fom = FederationObjectModel()
+        fom.add_interaction_class("LU")
+        with pytest.raises(ValueError):
+            fom.add_interaction_class("LU")
+
+    def test_unknown_lookup_raises(self):
+        fom = FederationObjectModel()
+        with pytest.raises(KeyError, match="not in the FOM"):
+            fom.object_class("Ghost")
+        with pytest.raises(KeyError, match="not in the FOM"):
+            fom.interaction_class("Ghost")

@@ -1,0 +1,192 @@
+"""Tests for the RTI kernel: federation/declaration/object services."""
+
+import pytest
+
+from repro.hla import FederateAmbassador, FederationObjectModel, RTIError, RTIKernel
+
+
+class Recorder(FederateAmbassador):
+    """An ambassador that logs every callback."""
+
+    def __init__(self):
+        self.discovered = []
+        self.removed = []
+        self.reflections = []
+        self.interactions = []
+        self.grants = []
+
+    def discover_object_instance(self, instance, class_name, instance_name):
+        self.discovered.append((instance, class_name, instance_name))
+
+    def remove_object_instance(self, instance):
+        self.removed.append(instance)
+
+    def reflect_attribute_values(self, instance, attributes, timestamp):
+        self.reflections.append((instance, attributes, timestamp))
+
+    def receive_interaction(self, class_name, parameters, timestamp):
+        self.interactions.append((class_name, parameters, timestamp))
+
+    def time_advance_grant(self, time):
+        self.grants.append(time)
+
+
+@pytest.fixture
+def fom():
+    model = FederationObjectModel()
+    model.add_object_class("MN", ("x", "y"))
+    model.add_interaction_class("LU", ("node", "x"))
+    return model
+
+
+@pytest.fixture
+def rti(fom):
+    return RTIKernel("test", fom)
+
+
+class TestFederationManagement:
+    def test_join_returns_handles(self, rti):
+        a = rti.join("a", Recorder())
+        b = rti.join("b", Recorder())
+        assert a != b
+        assert rti.federate_names() == ["a", "b"]
+
+    def test_duplicate_name_rejected(self, rti):
+        rti.join("a", Recorder())
+        with pytest.raises(RTIError):
+            rti.join("a", Recorder())
+
+    def test_resign_removes(self, rti):
+        handle = rti.join("a", Recorder())
+        rti.resign(handle)
+        assert rti.federate_names() == []
+
+    def test_resign_deletes_owned_instances(self, rti):
+        amb_a, amb_b = Recorder(), Recorder()
+        a = rti.join("a", amb_a)
+        b = rti.join("b", amb_b)
+        rti.publish_object_class(a, "MN")
+        rti.subscribe_object_class(b, "MN")
+        instance = rti.register_object_instance(a, "MN", "mn-1")
+        rti.resign(a)
+        assert amb_b.removed == [instance]
+
+    def test_unknown_handle_rejected(self, rti):
+        with pytest.raises(RTIError):
+            rti.publish_object_class(99, "MN")
+
+
+class TestObjectManagement:
+    def test_register_requires_publish(self, rti):
+        a = rti.join("a", Recorder())
+        with pytest.raises(RTIError, match="without publishing"):
+            rti.register_object_instance(a, "MN", "mn-1")
+
+    def test_subscriber_discovers_new_instances(self, rti):
+        amb_b = Recorder()
+        a = rti.join("a", Recorder())
+        b = rti.join("b", amb_b)
+        rti.publish_object_class(a, "MN")
+        rti.subscribe_object_class(b, "MN")
+        instance = rti.register_object_instance(a, "MN", "mn-1")
+        assert amb_b.discovered == [(instance, "MN", "mn-1")]
+
+    def test_late_subscriber_discovers_existing(self, rti):
+        amb_b = Recorder()
+        a = rti.join("a", Recorder())
+        rti.publish_object_class(a, "MN")
+        instance = rti.register_object_instance(a, "MN", "mn-1")
+        b = rti.join("b", amb_b)
+        rti.subscribe_object_class(b, "MN")
+        assert amb_b.discovered == [(instance, "MN", "mn-1")]
+
+    def test_owner_does_not_discover_own_instance(self, rti):
+        amb = Recorder()
+        a = rti.join("a", amb)
+        rti.publish_object_class(a, "MN")
+        rti.subscribe_object_class(a, "MN")
+        rti.register_object_instance(a, "MN", "mn-1")
+        assert amb.discovered == []
+
+    def test_updates_reflected_to_subscribers(self, rti):
+        amb_b = Recorder()
+        a = rti.join("a", Recorder())
+        b = rti.join("b", amb_b)
+        rti.publish_object_class(a, "MN")
+        rti.subscribe_object_class(b, "MN")
+        instance = rti.register_object_instance(a, "MN", "mn-1")
+        rti.update_attribute_values(a, instance, {"x": 1.0, "y": 2.0})
+        assert amb_b.reflections == [(instance, {"x": 1.0, "y": 2.0}, None)]
+
+    def test_update_unknown_attribute_rejected(self, rti):
+        a = rti.join("a", Recorder())
+        rti.publish_object_class(a, "MN")
+        instance = rti.register_object_instance(a, "MN", "mn-1")
+        with pytest.raises(RTIError, match="not declared"):
+            rti.update_attribute_values(a, instance, {"z": 1.0})
+
+    def test_non_owner_cannot_update(self, rti):
+        a = rti.join("a", Recorder())
+        b = rti.join("b", Recorder())
+        rti.publish_object_class(a, "MN")
+        rti.publish_object_class(b, "MN")
+        instance = rti.register_object_instance(a, "MN", "mn-1")
+        with pytest.raises(RTIError, match="owned by"):
+            rti.update_attribute_values(b, instance, {"x": 1.0})
+
+    def test_get_attribute_values_snapshot(self, rti):
+        a = rti.join("a", Recorder())
+        rti.publish_object_class(a, "MN")
+        instance = rti.register_object_instance(a, "MN", "mn-1")
+        rti.update_attribute_values(a, instance, {"x": 3.0})
+        assert rti.get_attribute_values(instance) == {"x": 3.0}
+
+    def test_delete_notifies_subscribers(self, rti):
+        amb_b = Recorder()
+        a = rti.join("a", Recorder())
+        b = rti.join("b", amb_b)
+        rti.publish_object_class(a, "MN")
+        rti.subscribe_object_class(b, "MN")
+        instance = rti.register_object_instance(a, "MN", "mn-1")
+        rti.delete_object_instance(a, instance)
+        assert amb_b.removed == [instance]
+
+    def test_delete_requires_ownership(self, rti):
+        a = rti.join("a", Recorder())
+        b = rti.join("b", Recorder())
+        rti.publish_object_class(a, "MN")
+        instance = rti.register_object_instance(a, "MN", "mn-1")
+        with pytest.raises(RTIError):
+            rti.delete_object_instance(b, instance)
+
+
+class TestInteractions:
+    def test_send_requires_publish(self, rti):
+        a = rti.join("a", Recorder())
+        with pytest.raises(RTIError, match="without publishing"):
+            rti.send_interaction(a, "LU", {"node": "m"})
+
+    def test_delivered_to_subscribers_only(self, rti):
+        amb_b, amb_c = Recorder(), Recorder()
+        a = rti.join("a", Recorder())
+        b = rti.join("b", amb_b)
+        rti.join("c", amb_c)
+        rti.publish_interaction_class(a, "LU")
+        rti.subscribe_interaction_class(b, "LU")
+        rti.send_interaction(a, "LU", {"node": "m", "x": 1.0})
+        assert amb_b.interactions == [("LU", {"node": "m", "x": 1.0}, None)]
+        assert amb_c.interactions == []
+
+    def test_sender_does_not_receive_own(self, rti):
+        amb = Recorder()
+        a = rti.join("a", amb)
+        rti.publish_interaction_class(a, "LU")
+        rti.subscribe_interaction_class(a, "LU")
+        rti.send_interaction(a, "LU", {"node": "m"})
+        assert amb.interactions == []
+
+    def test_undeclared_parameter_rejected(self, rti):
+        a = rti.join("a", Recorder())
+        rti.publish_interaction_class(a, "LU")
+        with pytest.raises(RTIError, match="not declared"):
+            rti.send_interaction(a, "LU", {"bogus": 1})

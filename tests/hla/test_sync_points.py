@@ -1,0 +1,99 @@
+"""Tests for federation synchronization points."""
+
+import pytest
+
+from repro.hla import FederateAmbassador, FederationObjectModel, RTIError, RTIKernel
+
+
+class Recorder(FederateAmbassador):
+    def __init__(self):
+        self.announced = []
+        self.synchronized = []
+
+    def announce_synchronization_point(self, label, tag):
+        self.announced.append((label, tag))
+
+    def federation_synchronized(self, label):
+        self.synchronized.append(label)
+
+
+@pytest.fixture
+def federation():
+    rti = RTIKernel("sync", FederationObjectModel())
+    ambs = [Recorder() for _ in range(3)]
+    handles = [rti.join(f"f{i}", amb) for i, amb in enumerate(ambs)]
+    return rti, handles, ambs
+
+
+class TestRegistration:
+    def test_announced_to_everyone(self, federation):
+        rti, handles, ambs = federation
+        rti.register_synchronization_point(handles[0], "ready", tag={"x": 1})
+        for amb in ambs:
+            assert amb.announced == [("ready", {"x": 1})]
+
+    def test_duplicate_label_rejected(self, federation):
+        rti, handles, _ = federation
+        rti.register_synchronization_point(handles[0], "ready")
+        with pytest.raises(RTIError, match="already registered"):
+            rti.register_synchronization_point(handles[1], "ready")
+
+    def test_empty_label_rejected(self, federation):
+        rti, handles, _ = federation
+        with pytest.raises(RTIError, match="non-empty"):
+            rti.register_synchronization_point(handles[0], "")
+
+    def test_unknown_federate_rejected(self, federation):
+        rti, *_ = federation
+        with pytest.raises(RTIError):
+            rti.register_synchronization_point(99, "ready")
+
+
+class TestAchievement:
+    def test_synchronized_when_all_achieve(self, federation):
+        rti, handles, ambs = federation
+        rti.register_synchronization_point(handles[0], "go")
+        for handle in handles[:-1]:
+            rti.synchronization_point_achieved(handle, "go")
+            assert all(amb.synchronized == [] for amb in ambs)
+        rti.synchronization_point_achieved(handles[-1], "go")
+        for amb in ambs:
+            assert amb.synchronized == ["go"]
+
+    def test_pending_query(self, federation):
+        rti, handles, _ = federation
+        rti.register_synchronization_point(handles[0], "go")
+        assert rti.pending_synchronization("go") == set(handles)
+        rti.synchronization_point_achieved(handles[0], "go")
+        assert rti.pending_synchronization("go") == set(handles[1:])
+
+    def test_unknown_label_rejected(self, federation):
+        rti, handles, _ = federation
+        with pytest.raises(RTIError, match="unknown"):
+            rti.synchronization_point_achieved(handles[0], "ghost")
+
+    def test_double_achievement_rejected(self, federation):
+        rti, handles, _ = federation
+        rti.register_synchronization_point(handles[0], "go")
+        rti.synchronization_point_achieved(handles[0], "go")
+        with pytest.raises(RTIError, match="already achieved"):
+            rti.synchronization_point_achieved(handles[0], "go")
+
+    def test_resign_completes_point(self, federation):
+        """A resigning federate must not deadlock the federation."""
+        rti, handles, ambs = federation
+        rti.register_synchronization_point(handles[0], "go")
+        rti.synchronization_point_achieved(handles[0], "go")
+        rti.synchronization_point_achieved(handles[1], "go")
+        rti.resign(handles[2])
+        assert ambs[0].synchronized == ["go"]
+        assert ambs[1].synchronized == ["go"]
+
+    def test_multiple_points_independent(self, federation):
+        rti, handles, ambs = federation
+        rti.register_synchronization_point(handles[0], "init")
+        rti.register_synchronization_point(handles[0], "teardown")
+        for handle in handles:
+            rti.synchronization_point_achieved(handle, "init")
+        assert ambs[0].synchronized == ["init"]
+        assert rti.pending_synchronization("teardown") == set(handles)

@@ -1,0 +1,124 @@
+"""Tests for conservative time management."""
+
+import math
+
+import pytest
+
+from repro.hla.time_management import TimeManager
+
+
+@pytest.fixture
+def tm():
+    manager = TimeManager()
+    for handle in (1, 2):
+        manager.add_federate(handle)
+    return manager
+
+
+class TestRegistration:
+    def test_duplicate_rejected(self, tm):
+        with pytest.raises(ValueError):
+            tm.add_federate(1)
+
+    def test_remove_unknown_is_noop(self, tm):
+        tm.remove_federate(99)
+
+
+class TestModes:
+    def test_lookahead_must_be_positive(self, tm):
+        with pytest.raises(ValueError):
+            tm.enable_time_regulation(1, 0.0)
+
+    def test_unregulated_guarantee_is_infinite(self, tm):
+        assert tm.status(1).guarantee() == math.inf
+
+
+class TestLbts:
+    def test_no_regulators_means_infinite_lbts(self, tm):
+        assert tm.lbts_for(1) == math.inf
+
+    def test_lbts_excludes_self(self, tm):
+        tm.enable_time_regulation(1, 1.0)
+        assert tm.lbts_for(1) == math.inf
+        assert tm.lbts_for(2) == 1.0
+
+    def test_lbts_is_minimum_over_others(self, tm):
+        tm.add_federate(3)
+        tm.enable_time_regulation(1, 1.0)
+        tm.enable_time_regulation(2, 5.0)
+        assert tm.lbts_for(3) == 1.0
+
+    def test_pending_request_raises_guarantee(self, tm):
+        tm.enable_time_regulation(1, 1.0)
+        tm.request_advance(1, 10.0)
+        # Federate 1 promised nothing earlier than 10 + lookahead.
+        assert tm.lbts_for(2) == 11.0
+
+
+class TestGrants:
+    def test_unconstrained_granted_immediately(self, tm):
+        tm.request_advance(1, 50.0)
+        assert (1, 50.0) in tm.grantable()
+
+    def test_constrained_blocked_by_lbts(self, tm):
+        tm.enable_time_constrained(1)
+        tm.enable_time_regulation(2, 1.0)
+        tm.request_advance(1, 50.0)
+        assert tm.grantable() == []
+
+    def test_constrained_granted_when_lbts_reaches(self, tm):
+        tm.enable_time_constrained(1)
+        tm.enable_time_regulation(2, 1.0)
+        tm.request_advance(2, 49.0)  # guarantee becomes 50
+        tm.request_advance(1, 50.0)
+        grantable = dict(tm.grantable())
+        assert grantable.get(1) == 50.0
+
+    def test_grant_updates_logical_time(self, tm):
+        tm.request_advance(1, 7.0)
+        tm.grant(1, 7.0)
+        assert tm.status(1).logical_time == 7.0
+        assert tm.status(1).pending_request is None
+
+    def test_grant_mismatch_rejected(self, tm):
+        tm.request_advance(1, 7.0)
+        with pytest.raises(ValueError):
+            tm.grant(1, 8.0)
+
+    def test_double_request_rejected(self, tm):
+        tm.request_advance(1, 7.0)
+        with pytest.raises(ValueError):
+            tm.request_advance(1, 8.0)
+
+    def test_backwards_request_rejected(self, tm):
+        tm.request_advance(1, 7.0)
+        tm.grant(1, 7.0)
+        with pytest.raises(ValueError):
+            tm.request_advance(1, 6.0)
+
+    def test_grant_at_lbts_equality(self, tm):
+        """A TAR to exactly LBTS is grantable (equal-timestamp delivery is
+        still causally safe under our delivery rule)."""
+        for h in (1, 2):
+            tm.enable_time_regulation(h, 1.0)
+            tm.enable_time_constrained(h)
+        tm.request_advance(1, 1.0)  # LBTS for 1 is 0 + lookahead(2) = 1.0
+        assert dict(tm.grantable()) == {1: 1.0}
+
+    def test_lockstep_two_federates(self, tm):
+        """Requests beyond the partner's guarantee block until it also asks."""
+        for h in (1, 2):
+            tm.enable_time_regulation(h, 1.0)
+            tm.enable_time_constrained(h)
+        tm.request_advance(1, 1.5)
+        assert tm.grantable() == []  # 2 has only promised up to 1.0
+        tm.request_advance(2, 1.5)
+        granted = dict(tm.grantable())
+        assert granted == {1: 1.5, 2: 1.5}
+
+    def test_min_constrained_time(self, tm):
+        tm.enable_time_constrained(1)
+        assert tm.min_constrained_time() == 0.0
+        tm.request_advance(1, 3.0)
+        tm.grant(1, 3.0)
+        assert tm.min_constrained_time() == 3.0

@@ -1,0 +1,149 @@
+"""Tests for timestamp-ordered delivery under time management."""
+
+import pytest
+
+from repro.hla import FederateAmbassador, FederationObjectModel, RTIError, RTIKernel
+
+
+class Recorder(FederateAmbassador):
+    def __init__(self):
+        self.events = []
+        self.grants = []
+
+    def receive_interaction(self, class_name, parameters, timestamp):
+        self.events.append(("interaction", parameters.get("k"), timestamp))
+
+    def reflect_attribute_values(self, instance, attributes, timestamp):
+        self.events.append(("reflect", attributes, timestamp))
+
+    def time_advance_grant(self, time):
+        self.grants.append(time)
+
+
+@pytest.fixture
+def setup():
+    fom = FederationObjectModel()
+    fom.add_object_class("MN", ("x",))
+    fom.add_interaction_class("LU", ("k",))
+    rti = RTIKernel("tso", fom)
+    sender_amb, receiver_amb = Recorder(), Recorder()
+    sender = rti.join("sender", sender_amb)
+    receiver = rti.join("receiver", receiver_amb)
+    rti.publish_interaction_class(sender, "LU")
+    rti.subscribe_interaction_class(receiver, "LU")
+    rti.enable_time_regulation(sender, lookahead=1.0)
+    rti.enable_time_constrained(receiver)
+    return rti, sender, receiver, sender_amb, receiver_amb
+
+
+class TestLookahead:
+    def test_tso_requires_regulation(self):
+        fom = FederationObjectModel()
+        fom.add_interaction_class("LU", ("k",))
+        rti = RTIKernel("t", fom)
+        amb = Recorder()
+        sender = rti.join("s", amb)
+        rti.join("r", Recorder())
+        rti.publish_interaction_class(sender, "LU")
+        with pytest.raises(RTIError, match="not regulating"):
+            rti.send_interaction(sender, "LU", {"k": 1}, timestamp=1.0)
+
+    def test_lookahead_violation_rejected(self, setup):
+        rti, sender, *_ = setup
+        with pytest.raises(RTIError, match="lookahead"):
+            rti.send_interaction(sender, "LU", {"k": 1}, timestamp=0.5)
+
+    def test_send_at_exact_lookahead_allowed(self, setup):
+        rti, sender, *_ = setup
+        rti.send_interaction(sender, "LU", {"k": 1}, timestamp=1.0)
+
+
+class TestDelivery:
+    def test_tso_queued_until_grant(self, setup):
+        rti, sender, receiver, _, receiver_amb = setup
+        rti.send_interaction(sender, "LU", {"k": 1}, timestamp=2.0)
+        assert receiver_amb.events == []
+        assert rti.pending_tso(receiver) == 1
+        # The receiver cannot be granted 2.0 while the sender might still
+        # send messages before it; advance the sender first.
+        rti.time_advance_request(sender, 5.0)
+        rti.time_advance_request(receiver, 2.0)
+        assert receiver_amb.events == [("interaction", 1, 2.0)]
+        assert receiver_amb.grants == [2.0]
+
+    def test_tso_released_in_timestamp_order(self, setup):
+        rti, sender, receiver, _, receiver_amb = setup
+        rti.send_interaction(sender, "LU", {"k": "late"}, timestamp=5.0)
+        rti.send_interaction(sender, "LU", {"k": "early"}, timestamp=3.0)
+        rti.time_advance_request(sender, 10.0)
+        rti.time_advance_request(receiver, 10.0)
+        keys = [e[1] for e in receiver_amb.events]
+        assert keys == ["early", "late"]
+
+    def test_partial_release(self, setup):
+        rti, sender, receiver, _, receiver_amb = setup
+        rti.send_interaction(sender, "LU", {"k": 1}, timestamp=2.0)
+        rti.send_interaction(sender, "LU", {"k": 2}, timestamp=7.0)
+        rti.time_advance_request(sender, 10.0)
+        rti.time_advance_request(receiver, 3.0)
+        assert [e[1] for e in receiver_amb.events] == [1]
+        assert rti.pending_tso(receiver) == 1
+
+    def test_unconstrained_receiver_gets_tso_immediately(self):
+        fom = FederationObjectModel()
+        fom.add_interaction_class("LU", ("k",))
+        rti = RTIKernel("t", fom)
+        receiver_amb = Recorder()
+        sender = rti.join("s", Recorder())
+        receiver = rti.join("r", receiver_amb)
+        rti.publish_interaction_class(sender, "LU")
+        rti.subscribe_interaction_class(receiver, "LU")
+        rti.enable_time_regulation(sender, lookahead=1.0)
+        rti.send_interaction(sender, "LU", {"k": 1}, timestamp=9.0)
+        assert receiver_amb.events == [("interaction", 1, 9.0)]
+
+    def test_no_message_delivered_into_receivers_past(self, setup):
+        """The conservative guarantee: deliveries never precede logical time."""
+        rti, sender, receiver, _, receiver_amb = setup
+        rti.time_advance_request(receiver, 5.0)  # immediately granted (lbts inf? no)
+        # sender is regulating at time 0 with lookahead 1 => lbts = 1 < 5,
+        # so the receiver is NOT granted yet.
+        assert receiver_amb.grants == []
+        rti.send_interaction(sender, "LU", {"k": 1}, timestamp=2.0)
+        # Sender advances, raising LBTS beyond 5; receiver gets its grant and
+        # the message, in that causal order.
+        rti.time_advance_request(sender, 10.0)
+        assert receiver_amb.grants == [5.0]
+        assert receiver_amb.events == [("interaction", 1, 2.0)]
+
+
+class TestLockstepFederation:
+    def test_three_federates_advance_in_lockstep(self):
+        fom = FederationObjectModel()
+        fom.add_interaction_class("LU", ("k",))
+        rti = RTIKernel("t", fom)
+        ambs = [Recorder() for _ in range(3)]
+        handles = [rti.join(f"f{i}", amb) for i, amb in enumerate(ambs)]
+        for h in handles:
+            rti.enable_time_regulation(h, lookahead=1.0)
+            rti.enable_time_constrained(h)
+        for step in (1.0, 2.0, 3.0):
+            for h in handles:
+                rti.time_advance_request(h, step)
+            for amb in ambs:
+                assert amb.grants[-1] == step
+
+    def test_resign_unblocks_waiters(self):
+        fom = FederationObjectModel()
+        fom.add_interaction_class("LU", ("k",))
+        rti = RTIKernel("t", fom)
+        amb_a, amb_b = Recorder(), Recorder()
+        a = rti.join("a", amb_a)
+        b = rti.join("b", amb_b)
+        for h in (a, b):
+            rti.enable_time_regulation(h, lookahead=1.0)
+            rti.enable_time_constrained(h)
+        rti.time_advance_request(a, 5.0)
+        assert amb_a.grants == []
+        rti.resign(b)
+        assert amb_a.grants == [5.0]

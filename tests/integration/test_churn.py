@@ -1,0 +1,121 @@
+"""Node churn: MNs leaving and rejoining the grid (paper: disconnectivity)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AdaptiveDistanceFilter, AdfConfig, FilterDecision
+from repro.geometry import Vec2
+from repro.network.messages import LocationUpdate
+
+
+def lu(node, t, x, vx=2.0):
+    return LocationUpdate(
+        sender=node,
+        timestamp=t,
+        node_id=node,
+        position=Vec2(x, 0.0),
+        velocity=Vec2(vx, 0.0),
+        region_id="R1",
+    )
+
+
+class TestForget:
+    def test_forget_clears_all_state(self):
+        adf = AdaptiveDistanceFilter(AdfConfig())
+        for t in range(10):
+            adf.process(lu("n", float(t), 2.0 * t))
+        assert adf.label_of("n") is not None
+        adf.forget("n")
+        assert adf.label_of("n") is None
+        assert adf.cluster_manager.cluster_of("n") is None
+        assert adf.distance_filter.last_transmitted("n") is None
+
+    def test_returning_node_transmits_first_lu(self):
+        adf = AdaptiveDistanceFilter(AdfConfig())
+        for t in range(10):
+            adf.process(lu("n", float(t), 2.0 * t))
+        adf.forget("n")
+        decision = adf.process(lu("n", 100.0, 20.0, vx=0.0))
+        assert decision is FilterDecision.TRANSMIT
+
+    def test_forget_unknown_is_noop(self):
+        AdaptiveDistanceFilter(AdfConfig()).forget("ghost")
+
+    def test_forget_does_not_disturb_others(self):
+        adf = AdaptiveDistanceFilter(AdfConfig())
+        for t in range(10):
+            adf.process(lu("a", float(t), 2.0 * t))
+            adf.process(lu("b", float(t), 2.0 * t + 100))
+        adf.forget("a")
+        assert adf.label_of("b") is not None
+        assert adf.cluster_manager.cluster_of("b") is not None
+
+    def test_cluster_shrinks_on_forget(self):
+        adf = AdaptiveDistanceFilter(AdfConfig())
+        for t in range(10):
+            adf.process(lu("a", float(t), 2.0 * t))
+            adf.process(lu("b", float(t), 2.0 * t + 100))
+        cluster = adf.cluster_manager.cluster_of("b")
+        before = len(cluster)
+        adf.forget("a")
+        assert len(adf.cluster_manager.cluster_of("b")) == before - 1
+
+
+class TestChurnCycle:
+    def test_many_leave_join_cycles_do_not_leak(self):
+        adf = AdaptiveDistanceFilter(AdfConfig())
+        for cycle in range(20):
+            base = cycle * 100.0
+            for t in range(5):
+                adf.process(lu("churner", base + t, 2.0 * t))
+            adf.forget("churner")
+        assert adf.label_of("churner") is None
+        assert len(adf.classifier.node_ids()) == 0
+        assert adf.cluster_manager.clusterer.cluster_count() == 0
+
+    def test_reconstruct_after_churn(self):
+        adf = AdaptiveDistanceFilter(AdfConfig())
+        for t in range(10):
+            adf.process(lu("stayer", float(t), 2.0 * t))
+            adf.process(lu("leaver", float(t), 3.0 * t))
+        adf.forget("leaver")
+        count = adf.cluster_manager.reconstruct()
+        assert count >= 1
+        assert adf.cluster_manager.cluster_of("stayer") is not None
+        assert adf.cluster_manager.cluster_of("leaver") is None
+
+
+class TestBoundedStalenessInvariant:
+    """The ADF's core correctness property, checked adversarially."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-500, max_value=500),
+            min_size=2,
+            max_size=80,
+        )
+    )
+    def test_broker_view_always_within_current_dth(self, xs):
+        """At any instant, the true position is within the decision-time
+        DTH of the last transmitted fix (or a transmit happens right now).
+
+        The filter classifies and re-clusters on the incoming update before
+        gating it, so the binding threshold is the one in force *after*
+        processing (``dth_of`` queried immediately, with no intervening
+        recluster tick).
+        """
+        adf = AdaptiveDistanceFilter(AdfConfig(dth_factor=1.0))
+        last_tx: Vec2 | None = None
+        prev_x = xs[0]
+        for t, x in enumerate(xs):
+            vx = x - prev_x
+            prev_x = x
+            update = lu("n", float(t), x, vx=vx)
+            decision = adf.process(update)
+            dth_used = adf.dth_of("n")
+            if decision is FilterDecision.TRANSMIT:
+                last_tx = update.position
+            else:
+                assert last_tx is not None
+                assert update.position.distance_to(last_tx) <= dth_used + 1e-9

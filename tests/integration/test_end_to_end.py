@@ -1,0 +1,107 @@
+"""End-to-end integration: the complete stack, off the beaten path."""
+
+import pytest
+
+from repro import (
+    AdaptiveDistanceFilter,
+    AdfConfig,
+    BrokerConfig,
+    GridBroker,
+    default_campus,
+)
+from repro.core.distance_filter import FilterDecision
+from repro.geometry import Vec2
+from repro.mobility import ItineraryModel, MobileNode, tom_itinerary
+from repro.mobility.population import build_population, table1_spec
+from repro.network.messages import LocationUpdate
+from repro.util.rng import RngRegistry
+
+
+class TestTomThroughFullStack:
+    """Tom's itinerary driving ADF + broker directly (no harness)."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        campus = default_campus()
+        rng = RngRegistry(3)
+        model = ItineraryModel(campus, tom_itinerary(compressed=True), rng.stream("tom"))
+        tom = MobileNode("tom", model)
+        adf = AdaptiveDistanceFilter(AdfConfig(dth_factor=1.0))
+        broker = GridBroker(BrokerConfig(use_location_estimator=True))
+        errors = []
+        sent = 0
+        t = 0.0
+        while not model.finished and t < 36000:
+            t += 1.0
+            sample = tom.advance(1.0)
+            update = LocationUpdate(
+                sender="tom",
+                timestamp=t,
+                node_id="tom",
+                position=sample.position,
+                velocity=sample.velocity,
+                region_id="",
+            )
+            if adf.process(update) is FilterDecision.TRANSMIT:
+                from dataclasses import replace
+
+                broker.receive_update(
+                    replace(update, dth=adf.dth_of("tom"))
+                )
+                sent += 1
+            adf.tick(t)
+            broker.tick(t)
+            believed = broker.location_db.position_of("tom")
+            if believed is not None:
+                errors.append(tom.position.distance_to(believed))
+        return model, sent, t, errors
+
+    def test_itinerary_completes(self, run):
+        model, *_ = run
+        assert model.finished
+
+    def test_traffic_reduced(self, run):
+        _, sent, t, _ = run
+        assert sent < 0.8 * t
+
+    def test_error_stays_bounded(self, run):
+        *_, errors = run
+        assert max(errors) < 25.0
+
+    def test_mean_error_small(self, run):
+        *_, errors = run
+        assert sum(errors) / len(errors) < 3.0
+
+
+class TestPopulationCoverage:
+    def test_all_nodes_stay_on_campus(self):
+        campus = default_campus()
+        nodes = build_population(campus, table1_spec(), RngRegistry(5))
+        bounds_min, bounds_max = Vec2(-50, -50), Vec2(700, 600)
+        for _ in range(60):
+            for node in nodes:
+                p = node.advance(1.0).position
+                assert bounds_min.x <= p.x <= bounds_max.x
+                assert bounds_min.y <= p.y <= bounds_max.y
+
+    def test_building_nodes_stay_in_their_building(self):
+        campus = default_campus()
+        nodes = build_population(campus, table1_spec(), RngRegistry(5))
+        indoor = [n for n in nodes if n.home_region.startswith("B")]
+        for _ in range(40):
+            for node in indoor:
+                node.advance(1.0)
+        for node in indoor:
+            region = campus.region(node.home_region)
+            assert region.contains(node.position, tol=1.0)
+
+    def test_speeds_respect_table1_bands(self):
+        campus = default_campus()
+        nodes = build_population(campus, table1_spec(), RngRegistry(5))
+        for _ in range(30):
+            for node in nodes:
+                node.advance(1.0)
+                if node.home_region.startswith("R"):
+                    assert node.speed <= 10.0 + 1e-6
+                else:
+                    assert node.speed <= 1.5 + 1e-6

@@ -1,0 +1,80 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are documentation that executes; a broken example is a broken
+promise.  Each is run in-process (``runpy``) with the shortest duration
+its CLI accepts, and its stdout is checked for the landmark line that
+proves it reached its conclusion.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv: list[str], capsys) -> str:
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", ["30"], capsys)
+        assert "Headline:" in out
+
+    def test_tom_campus_day(self, capsys):
+        out = run_example("tom_campus_day.py", [], capsys)
+        assert "Day finished" in out
+
+    def test_traffic_sweep(self, capsys):
+        out = run_example("traffic_sweep.py", ["30"], capsys)
+        assert "Reading:" in out
+        assert "gdf-1.25" in out
+
+    def test_grid_scheduling(self, capsys):
+        out = run_example("grid_scheduling.py", [], capsys)
+        assert "Job completed" in out
+
+    def test_hla_federation(self, capsys):
+        out = run_example("hla_federation.py", ["20"], capsys)
+        assert "Traffic reduction vs ideal" in out
+
+    def test_failure_injection(self, capsys):
+        out = run_example("failure_injection.py", [], capsys)
+        assert "Gateway outage" in out
+
+    def test_analysis_report(self, capsys):
+        out = run_example("analysis_report.py", ["25"], capsys)
+        assert "95% CI" in out
+        assert "accuracy" in out
+
+    def test_synthetic_city(self, capsys):
+        out = run_example("synthetic_city.py", [], capsys)
+        assert "property of the algorithm" in out
+
+    def test_battery_saver(self, capsys):
+        out = run_example("battery_saver.py", [], capsys)
+        assert "transmitted" in out
+
+    def test_every_example_file_is_covered(self):
+        tested = {
+            "quickstart.py",
+            "tom_campus_day.py",
+            "traffic_sweep.py",
+            "grid_scheduling.py",
+            "hla_federation.py",
+            "failure_injection.py",
+            "analysis_report.py",
+            "synthetic_city.py",
+            "battery_saver.py",
+        }
+        on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+        assert on_disk == tested

@@ -1,0 +1,113 @@
+"""Failure injection across the stack: loss, outages, reordering."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.harness import MobileGridExperiment
+
+
+class TestChannelLoss:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        out = {}
+        for loss in (0.0, 0.3):
+            out[loss] = run_experiment(
+                ExperimentConfig(
+                    duration=40.0, dth_factors=(1.0,), channel_loss=loss
+                )
+            )
+        return out
+
+    def test_loss_reduces_delivered_traffic(self, runs):
+        assert runs[0.3].ideal.total_lus < runs[0.0].ideal.total_lus
+
+    def test_loss_rate_approximately_applied(self, runs):
+        delivered = runs[0.3].ideal.total_lus
+        expected = runs[0.0].ideal.total_lus * 0.7
+        assert delivered == pytest.approx(expected, rel=0.1)
+
+    def test_error_grows_under_loss_but_stays_bounded(self, runs):
+        clean = runs[0.0].lanes["adf-1"].mean_rmse(with_le=True)
+        lossy = runs[0.3].lanes["adf-1"].mean_rmse(with_le=True)
+        assert lossy > clean
+        assert lossy < 15.0
+
+    def test_le_still_helps_under_loss(self, runs):
+        lane = runs[0.3].lanes["adf-1"]
+        assert lane.mean_rmse(with_le=True) < lane.mean_rmse(with_le=False)
+
+    def test_broker_keeps_estimating_through_loss(self, runs):
+        lane = runs[0.3].lanes["adf-1"]
+        # More silence means more estimated records than in a clean run.
+        clean_est = runs[0.0].lanes["adf-1"]
+        del clean_est  # comparison via rmse above; here check counts exist
+        assert lane.total_lus > 0
+
+
+class TestGatewayOutage:
+    @pytest.fixture(scope="class")
+    def outage_run(self):
+        config = ExperimentConfig(duration=60.0, dth_factors=(1.0,))
+        experiment = MobileGridExperiment(config)
+        lane = experiment.lanes[1]
+        for region_id in ("B4", "B6"):
+            experiment.sim.schedule_at(20.0, lane.gateways[region_id].fail)
+            experiment.sim.schedule_at(40.0, lane.gateways[region_id].restore)
+        result = experiment.run()
+        return experiment, result
+
+    def test_outage_window_discards(self, outage_run):
+        experiment, _ = outage_run
+        lane = experiment.lanes[1]
+        assert lane.gateways["B4"].discarded > 0
+        assert lane.gateways["B6"].discarded > 0
+
+    def test_gateways_recover(self, outage_run):
+        experiment, _ = outage_run
+        lane = experiment.lanes[1]
+        assert lane.gateways["B4"].operational
+
+    def test_other_regions_unaffected(self, outage_run):
+        experiment, _ = outage_run
+        lane = experiment.lanes[1]
+        assert lane.gateways["B1"].discarded == 0
+
+    def test_traffic_resumes_after_restore(self, outage_run):
+        _, result = outage_run
+        meter = result.lanes["adf-1"].meter
+        after = meter.per_second(60.0).window(45.0, 60.0).total()
+        assert after > 0
+
+    def test_error_bounded_through_outage(self, outage_run):
+        _, result = outage_run
+        lane = result.lanes["adf-1"]
+        # Estimates carry the B4/B6 nodes through the dark window; the
+        # fleet RMSE may rise but must stay campus-sane.
+        _, worst = max(
+            ((t, v) for t, v in lane.rmse_with_le), key=lambda tv: tv[1]
+        )
+        assert worst < 30.0
+
+
+class TestLatencyReordering:
+    def test_jittered_channel_run_completes(self):
+        result = run_experiment(
+            ExperimentConfig(duration=30.0, dth_factors=(1.0,), channel_latency=0.2)
+        )
+        assert result.lanes["adf-1"].total_lus > 0
+
+    def test_latency_barely_changes_filtering(self):
+        """Latency delays when LUs reach the filter relative to the
+        periodic recluster, which can flip a handful of borderline
+        decisions — but the traffic statistics must be essentially equal,
+        and no LU may be lost."""
+        base = run_experiment(
+            ExperimentConfig(duration=30.0, dth_factors=(1.0,))
+        )
+        delayed = run_experiment(
+            ExperimentConfig(duration=30.0, dth_factors=(1.0,), channel_latency=0.2)
+        )
+        assert delayed.ideal.total_lus == base.ideal.total_lus
+        assert delayed.lanes["adf-1"].total_lus == pytest.approx(
+            base.lanes["adf-1"].total_lus, rel=0.01
+        )

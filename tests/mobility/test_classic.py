@@ -1,0 +1,161 @@
+"""Tests for the classic mobility models (RWP, Gauss-Markov, Manhattan)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect, Vec2
+from repro.mobility import (
+    GaussMarkovModel,
+    ManhattanGridModel,
+    RandomWaypointModel,
+)
+from repro.mobility.states import VelocityBand
+
+AREA = Rect(0, 0, 200, 200)
+BAND = VelocityBand(1.0, 3.0)
+
+
+class TestRandomWaypoint:
+    def test_stays_in_area(self, rng):
+        model = RandomWaypointModel(Vec2(100, 100), AREA, BAND, rng)
+        for _ in range(500):
+            assert AREA.contains(model.step(1.0), tol=1e-9)
+
+    def test_speed_bounded(self, rng):
+        model = RandomWaypointModel(Vec2(100, 100), AREA, BAND, rng, max_pause=0.0)
+        for _ in range(300):
+            prev = model.position
+            moved = model.step(1.0).distance_to(prev)
+            assert moved <= BAND.high + 1e-6
+
+    def test_pauses_at_waypoints(self, rng):
+        model = RandomWaypointModel(Vec2(100, 100), AREA, BAND, rng, max_pause=50.0)
+        still = 0
+        for _ in range(400):
+            prev = model.position
+            if model.step(1.0).distance_to(prev) < 1e-9:
+                still += 1
+        assert still > 10
+
+    def test_zero_pause_keeps_moving(self, rng):
+        model = RandomWaypointModel(Vec2(100, 100), AREA, BAND, rng, max_pause=0.0)
+        moving = sum(
+            1
+            for _ in range(200)
+            if (lambda prev: model.step(1.0).distance_to(prev) > 1e-9)(
+                model.position
+            )
+        )
+        assert moving == 200
+
+    def test_covers_the_area(self, rng):
+        model = RandomWaypointModel(Vec2(100, 100), AREA, BAND, rng, max_pause=0.0)
+        positions = np.array(
+            [model.step(5.0).as_tuple() for _ in range(800)]
+        )
+        assert positions[:, 0].max() - positions[:, 0].min() > 100
+        assert positions[:, 1].max() - positions[:, 1].min() > 100
+
+    def test_zero_speed_band_rejected(self, rng):
+        with pytest.raises(ValueError):
+            RandomWaypointModel(Vec2(0, 0), AREA, VelocityBand(0, 0), rng)
+
+
+class TestGaussMarkov:
+    def test_stays_in_area(self, rng):
+        model = GaussMarkovModel(Vec2(100, 100), AREA, BAND, rng)
+        for _ in range(500):
+            assert AREA.contains(model.step(1.0), tol=1e-9)
+
+    def test_speed_within_band(self, rng):
+        model = GaussMarkovModel(Vec2(100, 100), AREA, BAND, rng)
+        for _ in range(300):
+            prev = model.position
+            moved = model.step(1.0).distance_to(prev)
+            assert moved <= BAND.high + 1e-6
+
+    def test_alpha_validation(self, rng):
+        with pytest.raises(ValueError):
+            GaussMarkovModel(Vec2(0, 0), AREA, BAND, rng, alpha=1.5)
+
+    def test_high_alpha_gives_smooth_headings(self, rng_registry):
+        """High memory => small step-to-step heading changes (mostly)."""
+
+        def heading_changes(alpha, stream):
+            rng = rng_registry.stream(stream)
+            model = GaussMarkovModel(
+                Vec2(100, 100), AREA, BAND, rng, alpha=alpha
+            )
+            deltas = []
+            prev_heading = model.heading
+            for _ in range(200):
+                model.step(1.0)
+                deltas.append(abs(model.heading - prev_heading))
+                prev_heading = model.heading
+            return float(np.median(deltas))
+
+        smooth = heading_changes(0.95, "gm-smooth")
+        jumpy = heading_changes(0.1, "gm-jumpy")
+        assert smooth < jumpy
+
+    def test_boundary_steering(self, rng):
+        """A node pinned at a corner turns back towards the centre."""
+        model = GaussMarkovModel(
+            Vec2(1, 1), AREA, BAND, rng, alpha=0.5, heading_sigma=0.0
+        )
+        for _ in range(30):
+            model.step(1.0)
+        assert model.position.distance_to(AREA.center) < Vec2(1, 1).distance_to(
+            AREA.center
+        )
+
+
+class TestManhattan:
+    def test_stays_in_area(self, rng):
+        model = ManhattanGridModel(Vec2(100, 100), AREA, BAND, rng)
+        for _ in range(500):
+            assert AREA.contains(model.step(1.0), tol=1e-9)
+
+    def test_path_length_is_manhattan_distance(self, rng):
+        """Along a street grid the L1 step length is the distance walked,
+        so it can never exceed speed * dt (a step may span a corner, making
+        the Euclidean delta diagonal, but the L1 bound still holds)."""
+        model = ManhattanGridModel(Vec2(100, 100), AREA, BAND, rng, block=50.0)
+        for _ in range(300):
+            prev = model.position
+            new = model.step(0.5)
+            l1 = abs(new.x - prev.x) + abs(new.y - prev.y)
+            assert l1 <= BAND.high * 0.5 + 1e-6
+
+    @staticmethod
+    def _on_line(value: float, block: float = 50.0) -> bool:
+        residue = value % block
+        return min(residue, block - residue) < 1e-6
+
+    def test_position_on_grid_lines(self, rng):
+        model = ManhattanGridModel(Vec2(87, 133), AREA, BAND, rng, block=50.0)
+        for _ in range(300):
+            p = model.step(1.0)
+            assert self._on_line(p.x) or self._on_line(p.y)
+
+    def test_block_validation(self, rng):
+        with pytest.raises(ValueError):
+            ManhattanGridModel(Vec2(0, 0), AREA, BAND, rng, block=0.0)
+
+    def test_turns_happen(self, rng):
+        model = ManhattanGridModel(
+            Vec2(100, 100), AREA, BAND, rng, block=20.0, p_straight=0.2
+        )
+        directions = set()
+        prev = model.position
+        for _ in range(400):
+            new = model.step(1.0)
+            delta = new - prev
+            if delta.norm() > 1e-9:
+                directions.add(
+                    (round(np.sign(delta.x)), round(np.sign(delta.y)))
+                )
+            prev = new
+        assert len(directions) >= 3

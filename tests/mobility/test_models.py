@@ -1,0 +1,169 @@
+"""Tests for the SS/RMS/LMS mobility models."""
+
+import pytest
+
+from repro.geometry import Path, Rect, Vec2
+from repro.mobility.models import (
+    LinearPathModel,
+    RandomTripPlanner,
+    RandomWalkModel,
+    ShuttlePlanner,
+    StopModel,
+)
+from repro.mobility.states import VelocityBand
+
+
+class TestStopModel:
+    def test_never_moves(self):
+        model = StopModel(Vec2(3, 4))
+        for _ in range(50):
+            assert model.step(1.0) == Vec2(3, 4)
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            StopModel(Vec2(0, 0)).step(0.0)
+
+
+class TestRandomWalkModel:
+    def test_stays_in_area(self, rng):
+        area = Rect(0, 0, 30, 30)
+        model = RandomWalkModel(Vec2(15, 15), area, VelocityBand(0.0, 1.0), rng)
+        for _ in range(500):
+            assert area.contains(model.step(1.0), tol=1e-9)
+
+    def test_moves_at_all(self, rng):
+        area = Rect(0, 0, 30, 30)
+        model = RandomWalkModel(
+            Vec2(15, 15), area, VelocityBand(0.0, 1.0), rng, pause_probability=0.0
+        )
+        total = 0.0
+        for _ in range(100):
+            prev = model.position
+            total += model.step(1.0).distance_to(prev)
+        assert total > 1.0
+
+    def test_respects_speed_band(self, rng):
+        area = Rect(0, 0, 100, 100)
+        band = VelocityBand(0.0, 1.0)
+        model = RandomWalkModel(Vec2(50, 50), area, band, rng, pause_probability=0.0)
+        for _ in range(300):
+            prev = model.position
+            moved = model.step(1.0).distance_to(prev)
+            assert moved <= band.high + 1e-6
+
+    def test_pauses_happen(self, rng):
+        area = Rect(0, 0, 30, 30)
+        model = RandomWalkModel(
+            Vec2(15, 15), area, VelocityBand(0.5, 1.0), rng, pause_probability=0.9
+        )
+        still = 0
+        for _ in range(200):
+            prev = model.position
+            if model.step(1.0).distance_to(prev) < 1e-9:
+                still += 1
+        assert still > 20
+
+    def test_position_clamped_into_area(self, rng):
+        area = Rect(0, 0, 10, 10)
+        model = RandomWalkModel(Vec2(99, 99), area, VelocityBand(0, 1), rng)
+        assert area.contains(model.position)
+
+    def test_invalid_pause_probability(self, rng):
+        with pytest.raises(ValueError):
+            RandomWalkModel(
+                Vec2(0, 0), Rect(0, 0, 1, 1), VelocityBand(0, 1), rng,
+                pause_probability=1.5,
+            )
+
+
+class TestShuttlePlanner:
+    def test_alternates_direction(self):
+        path = Path([Vec2(0, 0), Vec2(10, 0)])
+        planner = ShuttlePlanner(path)
+        first = planner.next_path(Vec2(0, 0))
+        second = planner.next_path(Vec2(10, 0))
+        assert first.start == Vec2(0, 0)
+        assert second.start == Vec2(10, 0)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            ShuttlePlanner(Path([Vec2(0, 0)]))
+
+
+class TestRandomTripPlanner:
+    def test_requires_candidates(self, rng):
+        with pytest.raises(ValueError):
+            RandomTripPlanner([], rng)
+
+    def test_bridges_from_current_position(self, rng):
+        corridor = Path([Vec2(10, 0), Vec2(20, 0)])
+        planner = RandomTripPlanner([corridor], rng)
+        path = planner.next_path(Vec2(0, 0))
+        assert path.start == Vec2(0, 0)
+
+
+class TestLinearPathModel:
+    def make(self, rng, band=VelocityBand(1.0, 1.0), jitter=0.0):
+        path = Path([Vec2(0, 0), Vec2(100, 0)])
+        return LinearPathModel(
+            Vec2(0, 0), ShuttlePlanner(path), band, rng, speed_jitter=jitter
+        )
+
+    def test_constant_speed_no_jitter(self, rng):
+        model = self.make(rng)
+        for _ in range(20):
+            prev = model.position
+            moved = model.step(1.0).distance_to(prev)
+            assert moved == pytest.approx(1.0, abs=1e-9)
+
+    def test_moves_along_path(self, rng):
+        model = self.make(rng)
+        model.step(10.0)
+        assert model.position.is_close(Vec2(10, 0), tol=1e-9)
+
+    def test_no_teleport_when_starting_mid_path(self, rng):
+        """The planner's path starts elsewhere; the node must walk there."""
+        path = Path([Vec2(0, 0), Vec2(100, 0)])
+        model = LinearPathModel(
+            Vec2(50, 0), ShuttlePlanner(path), VelocityBand(1, 1), rng,
+            speed_jitter=0.0,
+        )
+        prev = model.position
+        new = model.step(1.0)
+        assert new.distance_to(prev) <= 1.0 + 1e-9
+
+    def test_reverses_at_path_end(self, rng):
+        model = self.make(rng)
+        model.step(100.0)  # reach the end exactly
+        assert model.position.is_close(Vec2(100, 0), tol=1e-6)
+        model.step(10.0)  # now heading back
+        assert model.position.x < 100.0
+
+    def test_speed_within_band_with_jitter(self, rng):
+        band = VelocityBand(2.0, 4.0)
+        model = self.make(rng, band=band, jitter=0.3)
+        for _ in range(100):
+            prev = model.position
+            moved = model.step(1.0).distance_to(prev)
+            assert moved <= band.high + 1e-6
+
+    def test_fractional_steps_accumulate(self, rng):
+        model = self.make(rng)
+        for _ in range(10):
+            model.step(0.1)
+        assert model.position.x == pytest.approx(1.0, abs=1e-6)
+
+    def test_negative_jitter_rejected(self, rng):
+        path = Path([Vec2(0, 0), Vec2(1, 0)])
+        with pytest.raises(ValueError):
+            LinearPathModel(
+                Vec2(0, 0), ShuttlePlanner(path), VelocityBand(1, 1), rng,
+                speed_jitter=-0.1,
+            )
+
+    def test_direction_is_along_path(self, rng):
+        model = self.make(rng)
+        prev = model.position
+        new = model.step(1.0)
+        angle = (new - prev).angle()
+        assert angle == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,99 @@
+"""Tests for MobileNode kinematics and history."""
+
+import pytest
+
+from repro.geometry import Path, Vec2
+from repro.mobility import MobileNode, MobilityState
+from repro.mobility.models import LinearPathModel, ShuttlePlanner, StopModel
+from repro.mobility.states import VelocityBand
+
+
+def walker(rng, speed=2.0):
+    path = Path([Vec2(0, 0), Vec2(100, 0)])
+    model = LinearPathModel(
+        Vec2(0, 0),
+        ShuttlePlanner(path),
+        VelocityBand(speed, speed),
+        rng,
+        speed_jitter=0.0,
+    )
+    return MobileNode("walker", model, true_state=MobilityState.LINEAR)
+
+
+class TestValidation:
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            MobileNode("", StopModel(Vec2(0, 0)))
+
+    def test_tiny_history_rejected(self):
+        with pytest.raises(ValueError):
+            MobileNode("n", StopModel(Vec2(0, 0)), history_length=1)
+
+    def test_invalid_dt(self):
+        node = MobileNode("n", StopModel(Vec2(0, 0)))
+        with pytest.raises(ValueError):
+            node.advance(0.0)
+
+
+class TestKinematics:
+    def test_velocity_from_displacement(self, rng):
+        node = walker(rng)
+        sample = node.advance(1.0)
+        assert sample.speed == pytest.approx(2.0, abs=1e-9)
+        assert node.speed == pytest.approx(2.0, abs=1e-9)
+        assert node.direction == pytest.approx(0.0, abs=1e-9)
+
+    def test_stationary_velocity_zero(self):
+        node = MobileNode("n", StopModel(Vec2(5, 5)))
+        sample = node.advance(1.0)
+        assert sample.speed == 0.0
+        assert sample.position == Vec2(5, 5)
+
+    def test_time_accumulates(self, rng):
+        node = walker(rng)
+        node.advance(1.0)
+        node.advance(0.5)
+        assert node.time == pytest.approx(1.5)
+
+    def test_replace_model(self, rng):
+        node = walker(rng)
+        node.advance(1.0)
+        node.replace_model(StopModel(node.position))
+        before = node.position
+        node.advance(1.0)
+        assert node.position == before
+        assert node.speed == 0.0
+
+
+class TestHistory:
+    def test_initial_sample_present(self, rng):
+        node = walker(rng)
+        assert len(node.history) == 1
+        assert node.latest().time == 0.0
+
+    def test_history_grows_then_caps(self, rng):
+        node = MobileNode(
+            "n", StopModel(Vec2(0, 0)), history_length=4
+        )
+        for _ in range(10):
+            node.advance(1.0)
+        assert len(node.history) == 4
+
+    def test_history_ordered(self, rng):
+        node = walker(rng)
+        for _ in range(5):
+            node.advance(1.0)
+        times = [s.time for s in node.history]
+        assert times == sorted(times)
+
+    def test_latest_matches_state(self, rng):
+        node = walker(rng)
+        node.advance(1.0)
+        latest = node.latest()
+        assert latest.position == node.position
+        assert latest.velocity == node.velocity
+
+    def test_motion_sample_direction(self, rng):
+        node = walker(rng)
+        sample = node.advance(1.0)
+        assert sample.direction == sample.velocity.angle()

@@ -1,0 +1,120 @@
+"""Tests for the Table 1 population builder."""
+
+from collections import Counter
+
+import pytest
+
+from repro.mobility import MobileNode, build_population, table1_spec
+from repro.mobility.population import PopulationSpec
+from repro.mobility.states import MobilityState, NodeKind
+from repro.util.rng import RngRegistry
+
+
+@pytest.fixture(scope="module")
+def population(request):
+    from repro.campus import default_campus
+
+    return build_population(default_campus(), table1_spec(), RngRegistry(7))
+
+
+class TestTable1Counts:
+    def test_total_140(self, population):
+        assert len(population) == 140
+
+    def test_50_road_nodes(self, population):
+        road = [n for n in population if n.home_region.startswith("R")]
+        assert len(road) == 50
+
+    def test_road_split_human_vehicle(self, population):
+        road = [n for n in population if n.home_region.startswith("R")]
+        kinds = Counter(n.kind for n in road)
+        assert kinds[NodeKind.HUMAN] == 25
+        assert kinds[NodeKind.VEHICLE] == 25
+
+    def test_90_building_nodes(self, population):
+        building = [n for n in population if n.home_region.startswith("B")]
+        assert len(building) == 90
+
+    def test_building_pattern_split(self, population):
+        building = [n for n in population if n.home_region.startswith("B")]
+        states = Counter(n.true_state for n in building)
+        assert states[MobilityState.STOP] == 30
+        assert states[MobilityState.RANDOM] == 30
+        assert states[MobilityState.LINEAR] == 30
+
+    def test_road_nodes_all_lms(self, population):
+        road = [n for n in population if n.home_region.startswith("R")]
+        assert all(n.true_state is MobilityState.LINEAR for n in road)
+
+    def test_ten_nodes_per_road(self, population):
+        per_region = Counter(
+            n.home_region for n in population if n.home_region.startswith("R")
+        )
+        assert all(count == 10 for count in per_region.values())
+        assert len(per_region) == 5
+
+    def test_fifteen_per_building(self, population):
+        per_region = Counter(
+            n.home_region for n in population if n.home_region.startswith("B")
+        )
+        assert all(count == 15 for count in per_region.values())
+        assert len(per_region) == 6
+
+    def test_unique_ids(self, population):
+        assert len({n.node_id for n in population}) == 140
+
+    def test_nodes_start_in_home_region(self, population):
+        from repro.campus import default_campus
+
+        campus = default_campus()
+        for node in population:
+            region = campus.region(node.home_region)
+            assert region.contains(node.position, tol=1e-6)
+
+
+class TestDeterminism:
+    def test_same_seed_same_population(self, campus):
+        a = build_population(campus, table1_spec(), RngRegistry(9))
+        b = build_population(campus, table1_spec(), RngRegistry(9))
+        for na, nb in zip(a, b):
+            assert na.node_id == nb.node_id
+            assert na.position == nb.position
+
+    def test_different_seed_different_positions(self, campus):
+        a = build_population(campus, table1_spec(), RngRegistry(1))
+        b = build_population(campus, table1_spec(), RngRegistry(2))
+        assert any(na.position != nb.position for na, nb in zip(a, b))
+
+    def test_trajectories_reproducible(self, campus):
+        a = build_population(campus, table1_spec(), RngRegistry(9))
+        b = build_population(campus, table1_spec(), RngRegistry(9))
+        for _ in range(10):
+            for na, nb in zip(a, b):
+                assert na.advance(1.0).position == nb.advance(1.0).position
+
+
+class TestSpec:
+    def test_total_for(self):
+        assert table1_spec().total_for(5, 6) == 140
+
+    def test_scaled(self):
+        spec = table1_spec().scaled(2)
+        assert spec.total_for(5, 6) == 280
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ValueError):
+            table1_spec().scaled(0)
+
+    def test_custom_spec(self, campus):
+        spec = PopulationSpec(
+            road_humans_per_road=1,
+            road_vehicles_per_road=0,
+            building_stop=1,
+            building_random=0,
+            building_linear=0,
+        )
+        nodes = build_population(campus, spec, RngRegistry(3))
+        assert len(nodes) == 5 + 6
+
+    def test_nodes_are_mobile_nodes(self, population):
+        assert all(isinstance(n, MobileNode) for n in population)

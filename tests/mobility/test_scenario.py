@@ -1,0 +1,143 @@
+"""Tests for itinerary-driven mobility (Tom's day)."""
+
+import pytest
+
+from repro.mobility import (
+    Itinerary,
+    ItineraryModel,
+    MoveTo,
+    Stay,
+    Wander,
+    tom_itinerary,
+)
+from repro.mobility.states import MobilityState
+
+
+class TestStepValidation:
+    def test_stay_requires_positive_duration(self):
+        with pytest.raises(ValueError):
+            Stay(0.0)
+
+    def test_wander_requires_positive_duration(self):
+        with pytest.raises(ValueError):
+            Wander(0.0, "B4")
+
+    def test_itinerary_requires_steps(self):
+        with pytest.raises(ValueError):
+            Itinerary("empty", "gateA", ())
+
+
+class TestTomItinerary:
+    def test_eleven_cases(self):
+        tom = tom_itinerary()
+        assert len(tom.steps) == 11
+        assert tom.start_node == "gateB"
+
+    def test_contains_all_three_patterns(self):
+        tom = tom_itinerary()
+        kinds = {type(s) for s in tom.steps}
+        assert kinds == {MoveTo, Stay, Wander}
+
+    def test_stationary_time_matches_paper(self):
+        """Cases 2, 4, 6: 1 h + 2 h + 90 min of stop time."""
+        tom = tom_itinerary()
+        assert tom.total_stationary_time() == pytest.approx(
+            3600 + 7200 + 5400
+        )
+
+    def test_compressed_shrinks_durations(self):
+        full = tom_itinerary()
+        small = tom_itinerary(compressed=True)
+        assert small.total_stationary_time() < full.total_stationary_time()
+
+
+class TestItineraryModel:
+    @pytest.fixture
+    def model(self, campus, rng):
+        return ItineraryModel(campus, tom_itinerary(compressed=True), rng)
+
+    def test_starts_at_gate_b(self, campus, model):
+        assert model.position == campus.node_pos("gateB")
+
+    def test_first_phase_is_walk_to_library(self, model):
+        model.step(1.0)
+        assert model.current_state is MobilityState.LINEAR
+
+    def test_day_completes(self, campus, model):
+        t = 0.0
+        while not model.finished and t < 36000:
+            model.step(1.0)
+            t += 1.0
+        assert model.finished
+
+    def test_ends_near_gate_a(self, campus, model):
+        """Tom's case (11) ends at gate A."""
+        t = 0.0
+        while not model.finished and t < 36000:
+            model.step(1.0)
+            t += 1.0
+        assert model.position.distance_to(campus.node_pos("gateA")) < 1.0
+
+    def test_visits_all_three_states(self, campus, model):
+        seen = set()
+        t = 0.0
+        while not model.finished and t < 36000:
+            model.step(1.0)
+            seen.add(model.current_state)
+            t += 1.0
+        assert seen == {
+            MobilityState.STOP,
+            MobilityState.RANDOM,
+            MobilityState.LINEAR,
+        }
+
+    def test_finished_model_stays_put(self, campus, model):
+        t = 0.0
+        while not model.finished and t < 36000:
+            model.step(1.0)
+            t += 1.0
+        where = model.position
+        model.step(5.0)
+        assert model.position == where
+
+    def test_stop_state_is_stationary(self, campus, rng):
+        itinerary = Itinerary("sit", "gateA", (Stay(100.0),))
+        model = ItineraryModel(campus, itinerary, rng)
+        start = model.position
+        for _ in range(10):
+            model.step(1.0)
+        assert model.position == start
+        assert model.current_state is MobilityState.STOP
+
+    def test_wander_stays_in_region(self, campus, rng):
+        itinerary = Itinerary(
+            "mill-about", "B4.door", (Wander(60.0, "B4"),)
+        )
+        model = ItineraryModel(campus, itinerary, rng)
+        bounds = campus.region("B4").bounds
+        for _ in range(60):
+            model.step(1.0)
+            assert bounds.contains(model.position, tol=1e-6)
+
+    def test_deterministic_under_seed(self, campus, rng_registry):
+        a = ItineraryModel(
+            campus, tom_itinerary(compressed=True), rng_registry.stream("s1")
+        )
+        b = ItineraryModel(
+            campus, tom_itinerary(compressed=True), rng_registry.stream("s1-copy")
+        )
+        # Different streams diverge...
+        for _ in range(200):
+            a.step(1.0)
+            b.step(1.0)
+        # ...but identical streams reproduce exactly.
+        from repro.util.rng import RngRegistry
+
+        c = ItineraryModel(
+            campus, tom_itinerary(compressed=True), RngRegistry(42).stream("x")
+        )
+        d = ItineraryModel(
+            campus, tom_itinerary(compressed=True), RngRegistry(42).stream("x")
+        )
+        for _ in range(200):
+            assert c.step(1.0) == d.step(1.0)

@@ -1,0 +1,72 @@
+"""Tests for the mobility taxonomy and velocity bands."""
+
+import pytest
+
+from repro.mobility.states import (
+    BUILDING_LINEAR_BAND,
+    BUILDING_RANDOM_BAND,
+    BUILDING_STOP_BAND,
+    ROAD_HUMAN_BAND,
+    ROAD_VEHICLE_BAND,
+    MobilityState,
+    VelocityBand,
+)
+
+
+class TestVelocityBand:
+    def test_mean(self):
+        assert VelocityBand(1.0, 3.0).mean == 2.0
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError, match="inverted"):
+            VelocityBand(2.0, 1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VelocityBand(-1.0, 1.0)
+
+    def test_sample_within_band(self, rng):
+        band = VelocityBand(2.0, 5.0)
+        for _ in range(200):
+            assert band.contains(band.sample(rng))
+
+    def test_degenerate_band_sample(self, rng):
+        band = VelocityBand(0.0, 0.0)
+        assert band.sample(rng) == 0.0
+
+    def test_clamp(self):
+        band = VelocityBand(1.0, 2.0)
+        assert band.clamp(0.5) == 1.0
+        assert band.clamp(3.0) == 2.0
+        assert band.clamp(1.5) == 1.5
+
+    def test_contains_tolerance(self):
+        band = VelocityBand(1.0, 2.0)
+        assert band.contains(1.0 - 1e-12)
+        assert not band.contains(0.9)
+
+
+class TestPaperBands:
+    """Velocity ranges straight from Table 1."""
+
+    def test_road_human(self):
+        assert (ROAD_HUMAN_BAND.low, ROAD_HUMAN_BAND.high) == (1.0, 4.0)
+
+    def test_road_vehicle(self):
+        assert (ROAD_VEHICLE_BAND.low, ROAD_VEHICLE_BAND.high) == (4.0, 10.0)
+
+    def test_building_stop_is_zero(self):
+        assert BUILDING_STOP_BAND.high == 0.0
+
+    def test_building_random(self):
+        assert (BUILDING_RANDOM_BAND.low, BUILDING_RANDOM_BAND.high) == (0.0, 1.0)
+
+    def test_building_linear_max(self):
+        assert BUILDING_LINEAR_BAND.high == 1.5
+
+
+class TestMobilityState:
+    def test_paper_abbreviations(self):
+        assert MobilityState.STOP.value == "SS"
+        assert MobilityState.RANDOM.value == "RMS"
+        assert MobilityState.LINEAR.value == "LMS"

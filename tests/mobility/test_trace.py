@@ -1,0 +1,78 @@
+"""Tests for trajectory traces."""
+
+import pytest
+
+from repro.geometry import Path, Vec2
+from repro.mobility import MobileNode, TrajectoryTrace
+from repro.mobility.models import LinearPathModel, ShuttlePlanner, StopModel
+from repro.mobility.states import VelocityBand
+
+
+@pytest.fixture
+def traced_walker(rng):
+    path = Path([Vec2(0, 0), Vec2(100, 0)])
+    model = LinearPathModel(
+        Vec2(0, 0), ShuttlePlanner(path), VelocityBand(2, 2), rng, speed_jitter=0.0
+    )
+    node = MobileNode("w", model)
+    trace = TrajectoryTrace()
+    trace.record(node)
+    for _ in range(10):
+        node.advance(1.0)
+        trace.record(node)
+    return node, trace
+
+
+class TestRecording:
+    def test_len_counts_samples(self, traced_walker):
+        _, trace = traced_walker
+        assert len(trace) == 11
+
+    def test_node_ids(self, traced_walker):
+        _, trace = traced_walker
+        assert trace.node_ids() == ["w"]
+
+    def test_samples_ordered(self, traced_walker):
+        _, trace = traced_walker
+        times = [s.time for s in trace.samples("w")]
+        assert times == sorted(times)
+
+    def test_positions_shape(self, traced_walker):
+        _, trace = traced_walker
+        assert trace.positions("w").shape == (11, 2)
+
+    def test_unknown_node_empty(self):
+        trace = TrajectoryTrace()
+        assert trace.samples("ghost") == []
+        assert trace.positions("ghost").size == 0
+
+
+class TestStats:
+    def test_total_distance(self, traced_walker):
+        _, trace = traced_walker
+        assert trace.total_distance("w") == pytest.approx(20.0, abs=1e-6)
+
+    def test_mean_speed(self, traced_walker):
+        _, trace = traced_walker
+        # The initial sample has zero velocity; ten more at 2 m/s.
+        assert trace.mean_speed("w") == pytest.approx(20.0 / 11.0, abs=1e-6)
+
+    def test_mean_speed_untraced_zero(self):
+        assert TrajectoryTrace().mean_speed("ghost") == 0.0
+
+    def test_fleet_mean_speed(self, rng):
+        trace = TrajectoryTrace()
+        stopper = MobileNode("s", StopModel(Vec2(0, 0)))
+        for _ in range(5):
+            stopper.advance(1.0)
+            trace.record(stopper)
+        assert trace.fleet_mean_speed() == 0.0
+
+    def test_fleet_mean_speed_empty(self):
+        assert TrajectoryTrace().fleet_mean_speed() == 0.0
+
+    def test_total_distance_single_sample(self):
+        trace = TrajectoryTrace()
+        node = MobileNode("n", StopModel(Vec2(0, 0)))
+        trace.record(node)
+        assert trace.total_distance("n") == 0.0

@@ -1,0 +1,142 @@
+"""Tests for MN-gateway association and handoffs."""
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.network import LocationUpdate, WirelessChannel, WirelessGateway
+from repro.network.association import AssociationManager
+from repro.simkernel import Simulator
+
+from tests.campus.test_region import make_building, make_road
+
+
+@pytest.fixture
+def manager(rng):
+    sim = Simulator()
+    got = []
+    gateways = {}
+    for region in (make_road("R1"), make_building("B1")):
+        channel = WirelessChannel(sim, rng)
+        gateways[region.region_id] = WirelessGateway(region, channel, got.append)
+    return AssociationManager(gateways), got
+
+
+def lu(node="n", region="R1", t=0.0):
+    return LocationUpdate(
+        sender=node,
+        timestamp=t,
+        node_id=node,
+        position=Vec2(0, 0),
+        region_id=region,
+    )
+
+
+class TestAssociation:
+    def test_first_contact_associates(self, manager):
+        mgr, _ = manager
+        gateway = mgr.observe(lu())
+        assert gateway.region.region_id == "R1"
+        assert mgr.serving_region("n") == "R1"
+        assert mgr.stats.associations == 1
+        assert mgr.stats.handoffs == 0
+
+    def test_same_region_no_handoff(self, manager):
+        mgr, _ = manager
+        mgr.observe(lu(t=0.0))
+        mgr.observe(lu(t=1.0))
+        assert mgr.stats.handoffs == 0
+
+    def test_region_change_is_handoff(self, manager):
+        mgr, _ = manager
+        mgr.observe(lu(region="R1", t=0.0))
+        mgr.observe(lu(region="B1", t=5.0))
+        assert mgr.stats.handoffs == 1
+        assert mgr.serving_region("n") == "B1"
+
+    def test_registration_cost_charged(self, manager):
+        mgr, _ = manager
+        mgr.observe(lu(region="R1", t=0.0))
+        mgr.observe(lu(region="B1", t=1.0))
+        mgr.observe(lu(region="R1", t=2.0))
+        assert mgr.stats.registration_messages == 2 * 2
+
+    def test_unknown_region_raises(self, manager):
+        mgr, _ = manager
+        with pytest.raises(KeyError):
+            mgr.observe(lu(region="R99"))
+
+    def test_serving_gateway_object(self, manager):
+        mgr, _ = manager
+        mgr.observe(lu())
+        gateway = mgr.serving_gateway("n")
+        assert gateway is not None and gateway.gateway_id == "gw.R1"
+        assert mgr.serving_gateway("ghost") is None
+
+    def test_negative_cost_rejected(self, manager):
+        mgr, _ = manager
+        with pytest.raises(ValueError):
+            AssociationManager({}, registration_cost_messages=-1)
+
+
+class TestHistory:
+    def test_handoff_records(self, manager):
+        mgr, _ = manager
+        mgr.observe(lu(region="R1", t=0.0))
+        mgr.observe(lu(region="B1", t=3.0))
+        history = mgr.handoff_history("n")
+        assert len(history) == 2  # initial association + one handoff
+        assert history[1].from_region == "R1"
+        assert history[1].to_region == "B1"
+        assert history[1].time == 3.0
+
+    def test_handoffs_per_second_excludes_initial(self, manager):
+        mgr, _ = manager
+        mgr.observe(lu(region="R1", t=0.5))
+        mgr.observe(lu(region="B1", t=1.5))
+        series = mgr.handoffs_per_second(3.0)
+        assert series.total() == 1.0
+
+    def test_nodes_served_by(self, manager):
+        mgr, _ = manager
+        mgr.observe(lu(node="a", region="R1"))
+        mgr.observe(lu(node="b", region="B1"))
+        assert mgr.nodes_served_by("R1") == ["a"]
+        assert mgr.nodes_served_by("B1") == ["b"]
+
+
+class TestTomHandoffs:
+    def test_itinerary_generates_handoffs(self, campus, rng):
+        """Tom's day crosses many regions; handoffs must track that."""
+        from repro.mobility import ItineraryModel, MobileNode, tom_itinerary
+        from repro.network.association import AssociationManager
+        from repro.simkernel import Simulator
+
+        sim = Simulator()
+        gateways = {}
+        for region in campus.regions.values():
+            channel = WirelessChannel(sim, rng)
+            gateways[region.region_id] = WirelessGateway(
+                region, channel, lambda m: None
+            )
+        mgr = AssociationManager(gateways)
+        model = ItineraryModel(campus, tom_itinerary(compressed=True), rng)
+        tom = MobileNode("tom", model)
+        t = 0.0
+        while not model.finished and t < 36000:
+            t += 1.0
+            sample = tom.advance(1.0)
+            region = campus.region_at(sample.position)
+            if region is None:
+                continue
+            mgr.observe(
+                LocationUpdate(
+                    sender="tom",
+                    timestamp=t,
+                    node_id="tom",
+                    position=sample.position,
+                    velocity=sample.velocity,
+                    region_id=region.region_id,
+                )
+            )
+        # Tom's schedule: gateB->R2->B4->R5->B6->R5->B4->R2/R1/R3->B3->R4.
+        assert mgr.stats.handoffs >= 8

@@ -1,0 +1,102 @@
+"""Tests for the wireless channel."""
+
+import pytest
+
+from repro.network import Message, WirelessChannel
+from repro.simkernel import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def msg(t=0.0):
+    return Message(sender="x", timestamp=t)
+
+
+class TestValidation:
+    def test_negative_latency_rejected(self, sim, rng):
+        with pytest.raises(ValueError):
+            WirelessChannel(sim, rng, base_latency=-1.0)
+
+    def test_bad_loss_probability(self, sim, rng):
+        with pytest.raises(ValueError):
+            WirelessChannel(sim, rng, loss_probability=1.5)
+
+
+class TestDelivery:
+    def test_zero_latency_is_synchronous(self, sim, rng):
+        channel = WirelessChannel(sim, rng)
+        got = []
+        assert channel.send(msg(), got.append)
+        assert len(got) == 1
+
+    def test_latency_delays_delivery(self, sim, rng):
+        channel = WirelessChannel(sim, rng, base_latency=2.0)
+        got = []
+        channel.send(msg(), lambda m: got.append(sim.now))
+        assert got == []
+        sim.run()
+        assert got == [2.0]
+
+    def test_jitter_adds_to_base(self, sim, rng):
+        channel = WirelessChannel(
+            sim, rng, base_latency=1.0, latency_jitter=0.5
+        )
+        samples = [channel.latency_sample() for _ in range(200)]
+        assert all(s >= 1.0 for s in samples)
+        assert any(s > 1.0 for s in samples)
+
+    def test_stats_counted(self, sim, rng):
+        channel = WirelessChannel(sim, rng)
+        channel.send(msg(), lambda m: None)
+        assert channel.stats.sent == 1
+        assert channel.stats.delivered == 1
+        assert channel.stats.bytes_sent == 32
+
+
+class TestLoss:
+    def test_total_loss(self, sim, rng):
+        channel = WirelessChannel(sim, rng, loss_probability=1.0)
+        got = []
+        assert not channel.send(msg(), got.append)
+        sim.run()
+        assert got == []
+        assert channel.stats.dropped == 1
+
+    def test_partial_loss_rate(self, sim, rng):
+        channel = WirelessChannel(sim, rng, loss_probability=0.3)
+        for _ in range(1000):
+            channel.send(msg(), lambda m: None)
+        assert channel.stats.loss_rate == pytest.approx(0.3, abs=0.06)
+
+    def test_loss_rate_empty(self, sim, rng):
+        assert WirelessChannel(sim, rng).stats.loss_rate == 0.0
+
+    def test_no_loss_by_default(self, sim, rng):
+        channel = WirelessChannel(sim, rng)
+        for _ in range(100):
+            channel.send(msg(), lambda m: None)
+        assert channel.stats.dropped == 0
+
+
+class TestOrdering:
+    def test_fixed_latency_preserves_order(self, sim, rng):
+        channel = WirelessChannel(sim, rng, base_latency=1.0)
+        got = []
+        a, b = msg(), msg()
+        channel.send(a, lambda m: got.append(m.seq))
+        channel.send(b, lambda m: got.append(m.seq))
+        sim.run()
+        assert got == [a.seq, b.seq]
+
+    def test_jittered_latency_can_reorder(self, sim, rng):
+        channel = WirelessChannel(sim, rng, latency_jitter=5.0)
+        got = []
+        messages = [msg() for _ in range(50)]
+        for m in messages:
+            channel.send(m, lambda mm: got.append(mm.seq))
+        sim.run()
+        assert sorted(got) == [m.seq for m in messages]
+        assert got != sorted(got)  # with 50 exponential draws, ~certain

@@ -1,0 +1,70 @@
+"""Tests for wireless gateways."""
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.network import LocationUpdate, WirelessChannel, WirelessGateway
+from repro.simkernel import Simulator
+
+from tests.campus.test_region import make_building, make_road
+
+
+@pytest.fixture
+def setup(rng):
+    sim = Simulator()
+    region = make_road()
+    channel = WirelessChannel(sim, rng)
+    got = []
+    gateway = WirelessGateway(region, channel, got.append)
+    return sim, gateway, got
+
+
+def lu(x=50.0, y=5.0):
+    return LocationUpdate(
+        sender="mn", timestamp=0.0, node_id="mn", position=Vec2(x, y), region_id="R1"
+    )
+
+
+class TestForwarding:
+    def test_receive_forwards_to_sink(self, setup):
+        _, gateway, got = setup
+        gateway.receive(lu())
+        assert len(got) == 1
+        assert gateway.received == 1
+        assert gateway.forwarded == 1
+
+    def test_gateway_id(self, setup):
+        _, gateway, _ = setup
+        assert gateway.gateway_id == "gw.R1"
+
+    def test_covers(self, setup):
+        _, gateway, _ = setup
+        assert gateway.covers(lu(50, 5))
+        assert not gateway.covers(lu(50, 500))
+
+
+class TestFailureInjection:
+    def test_failed_gateway_discards(self, setup):
+        _, gateway, got = setup
+        gateway.fail()
+        gateway.receive(lu())
+        assert got == []
+        assert gateway.discarded == 1
+        assert gateway.received == 1
+
+    def test_restore(self, setup):
+        _, gateway, got = setup
+        gateway.fail()
+        gateway.receive(lu())
+        gateway.restore()
+        gateway.receive(lu())
+        assert len(got) == 1
+
+    def test_lossy_uplink_counts_discards(self, rng):
+        sim = Simulator()
+        channel = WirelessChannel(sim, rng, loss_probability=1.0)
+        got = []
+        gateway = WirelessGateway(make_building(), channel, got.append)
+        gateway.receive(lu())
+        assert gateway.discarded == 1
+        assert gateway.forwarded == 0

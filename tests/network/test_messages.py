@@ -1,0 +1,60 @@
+"""Tests for wireless message types."""
+
+import math
+
+from repro.geometry import Vec2
+from repro.network import Ack, LocationUpdate, Message
+
+
+class TestMessage:
+    def test_sequence_monotone(self):
+        a = Message(sender="x", timestamp=0.0)
+        b = Message(sender="x", timestamp=0.0)
+        assert b.seq > a.seq
+
+    def test_base_size(self):
+        assert Message(sender="x", timestamp=0.0).size_bytes == 32
+
+
+class TestLocationUpdate:
+    def make(self, vx=3.0, vy=4.0):
+        return LocationUpdate(
+            sender="mn-1",
+            timestamp=5.0,
+            node_id="mn-1",
+            position=Vec2(10, 20),
+            velocity=Vec2(vx, vy),
+            region_id="R1",
+        )
+
+    def test_speed_and_direction(self):
+        lu = self.make()
+        assert lu.speed == 5.0
+        assert lu.direction == math.atan2(4, 3)
+
+    def test_size_larger_than_base(self):
+        assert self.make().size_bytes > 32
+
+    def test_defaults(self):
+        lu = LocationUpdate(sender="x", timestamp=0.0)
+        assert lu.position == Vec2.zero()
+        assert lu.speed == 0.0
+        assert lu.dth == 0.0
+
+    def test_dth_metadata(self):
+        lu = LocationUpdate(sender="x", timestamp=0.0, dth=2.5)
+        assert lu.dth == 2.5
+
+    def test_immutable(self):
+        import pytest
+
+        with pytest.raises(Exception):
+            self.make().node_id = "other"  # type: ignore[misc]
+
+
+class TestAck:
+    def test_acked_seq(self):
+        lu = LocationUpdate(sender="x", timestamp=0.0)
+        ack = Ack(sender="gw", timestamp=1.0, acked_seq=lu.seq)
+        assert ack.acked_seq == lu.seq
+        assert ack.size_bytes == 40

@@ -1,0 +1,177 @@
+"""Tests for the bandwidth-limited queueing channel."""
+
+import pytest
+
+from repro.network.messages import Message
+from repro.network.queueing import QueueingChannel
+from repro.simkernel import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def msg():
+    return Message(sender="x", timestamp=0.0)  # 32 bytes -> 256 bits
+
+
+class TestValidation:
+    def test_bandwidth_positive(self, sim):
+        with pytest.raises(ValueError):
+            QueueingChannel(sim, bandwidth_bps=0.0)
+
+    def test_queue_limit(self, sim):
+        with pytest.raises(ValueError):
+            QueueingChannel(sim, bandwidth_bps=100.0, queue_limit=0)
+
+
+class TestServiceTime:
+    def test_service_time(self, sim):
+        channel = QueueingChannel(sim, bandwidth_bps=256.0)
+        assert channel.service_time(msg()) == pytest.approx(1.0)
+
+    def test_single_message_delay(self, sim):
+        channel = QueueingChannel(sim, bandwidth_bps=256.0)
+        got = []
+        channel.send(msg(), lambda m: got.append(sim.now))
+        sim.run()
+        assert got == [pytest.approx(1.0)]
+        assert channel.stats.mean_delay == pytest.approx(1.0)
+
+
+class TestQueueing:
+    def test_fifo_order(self, sim):
+        channel = QueueingChannel(sim, bandwidth_bps=256.0)
+        got = []
+        messages = [msg() for _ in range(5)]
+        for m in messages:
+            channel.send(m, lambda mm: got.append(mm.seq))
+        sim.run()
+        assert got == [m.seq for m in messages]
+
+    def test_delay_grows_with_queue_depth(self, sim):
+        channel = QueueingChannel(sim, bandwidth_bps=256.0)
+        delays = []
+        for _ in range(4):
+            enqueued = sim.now
+            channel.send(msg(), lambda m, t=enqueued: delays.append(sim.now - t))
+        sim.run()
+        assert delays == [
+            pytest.approx(1.0),
+            pytest.approx(2.0),
+            pytest.approx(3.0),
+            pytest.approx(4.0),
+        ]
+
+    def test_queue_length_visible(self, sim):
+        channel = QueueingChannel(sim, bandwidth_bps=256.0)
+        for _ in range(4):
+            channel.send(msg(), lambda m: None)
+        assert channel.queue_length == 3  # one in service
+
+    def test_overflow_drops(self, sim):
+        channel = QueueingChannel(sim, bandwidth_bps=256.0, queue_limit=2)
+        results = [channel.send(msg(), lambda m: None) for _ in range(5)]
+        # First enters service immediately; two queue; rest rejected.
+        assert results == [True, True, True, False, False]
+        assert channel.stats.dropped_queue_full == 2
+        assert channel.stats.drop_rate == pytest.approx(2 / 5)
+
+    def test_work_conserving_after_idle(self, sim):
+        channel = QueueingChannel(sim, bandwidth_bps=256.0)
+        got = []
+        channel.send(msg(), lambda m: got.append(sim.now))
+        sim.run()
+        sim.schedule_in(5.0, lambda: channel.send(msg(), lambda m: got.append(sim.now)))
+        sim.run()
+        assert got[1] == pytest.approx(sim.now)
+        assert channel.stats.delivered == 2
+
+    def test_underload_keeps_delay_flat(self, sim):
+        """Arrivals slower than service never queue."""
+        channel = QueueingChannel(sim, bandwidth_bps=2560.0)  # 0.1 s service
+        for i in range(20):
+            sim.schedule_at(
+                i * 1.0, lambda: channel.send(msg(), lambda m: None)
+            )
+        sim.run()
+        assert channel.stats.max_delay == pytest.approx(0.1)
+
+    def test_overload_delay_explodes(self, sim):
+        """Arrivals faster than service stack up linearly."""
+        channel = QueueingChannel(
+            sim, bandwidth_bps=256.0, queue_limit=10_000
+        )  # 1 s service
+        for i in range(30):
+            sim.schedule_at(
+                i * 0.5, lambda: channel.send(msg(), lambda m: None)
+            )
+        sim.run()
+        assert channel.stats.max_delay > 10.0
+
+
+class TestMessageSizes:
+    def test_location_update_service_time(self, sim):
+        """An LU (96 bytes) over 60 kbit/s takes 12.8 ms."""
+        from repro.geometry import Vec2
+        from repro.network.messages import LocationUpdate
+
+        channel = QueueingChannel(sim, bandwidth_bps=60_000.0)
+        update = LocationUpdate(
+            sender="n", timestamp=0.0, node_id="n", position=Vec2(0, 0)
+        )
+        assert channel.service_time(update) == pytest.approx(
+            update.size_bytes * 8 / 60_000.0
+        )
+
+    def test_mixed_sizes_fifo(self, sim):
+        from repro.geometry import Vec2
+        from repro.network.messages import LocationUpdate
+
+        channel = QueueingChannel(sim, bandwidth_bps=256.0)
+        got = []
+        small = msg()
+        big = LocationUpdate(
+            sender="n", timestamp=0.0, node_id="n", position=Vec2(0, 0)
+        )
+        channel.send(big, lambda m: got.append(("big", sim.now)))
+        channel.send(small, lambda m: got.append(("small", sim.now)))
+        sim.run()
+        assert got[0][0] == "big"
+        assert got[1][1] > got[0][1]
+
+
+class TestConservation:
+    """Flow conservation, checked over random arrival patterns."""
+
+    def test_offered_equals_delivered_plus_dropped(self, rng):
+        from hypothesis import given, settings, strategies as st
+
+        @settings(max_examples=30, deadline=None)
+        @given(
+            st.lists(
+                st.floats(min_value=0.0, max_value=30.0),
+                min_size=1,
+                max_size=50,
+            ),
+            st.integers(min_value=1, max_value=8),
+        )
+        def run(arrival_times, queue_limit):
+            sim = Simulator()
+            channel = QueueingChannel(
+                sim, bandwidth_bps=256.0, queue_limit=queue_limit
+            )
+            for t in sorted(arrival_times):
+                sim.schedule_at(t, lambda: channel.send(msg(), lambda m: None))
+            sim.run()
+            stats = channel.stats
+            assert stats.accepted + stats.dropped_queue_full == len(
+                arrival_times
+            )
+            assert stats.delivered == stats.accepted
+            assert channel.queue_length == 0
+            # Delays are each at least one service time.
+            assert all(d >= 1.0 - 1e-9 for d in stats.delays)
+
+        run()

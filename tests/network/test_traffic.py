@@ -1,0 +1,74 @@
+"""Tests for traffic meters."""
+
+import pytest
+
+from repro.network import TrafficMeter
+
+
+@pytest.fixture
+def meter():
+    m = TrafficMeter("t")
+    # 3 LUs in second 0, 1 in second 1, none in second 2
+    m.count(0.1, "R1", size_bytes=10)
+    m.count(0.5, "R1", size_bytes=10)
+    m.count(0.9, "B1", size_bytes=10)
+    m.count(1.5, "B1", size_bytes=10)
+    return m
+
+
+class TestCounting:
+    def test_total(self, meter):
+        assert meter.total == 4
+
+    def test_total_bytes(self, meter):
+        assert meter.total_bytes == 40
+
+    def test_per_region(self, meter):
+        assert meter.per_region() == {"R1": 2, "B1": 2}
+
+    def test_region_total(self, meter):
+        assert meter.region_total("R1") == 2
+        assert meter.region_total("R9") == 0
+
+    def test_total_for_regions(self, meter):
+        assert meter.total_for_regions(["R1", "B1"]) == 4
+        assert meter.total_for_regions(["R1"]) == 2
+
+
+class TestSeries:
+    def test_per_second(self, meter):
+        series = meter.per_second(3.0)
+        assert list(series.values) == [3.0, 1.0, 0.0]
+
+    def test_accumulated(self, meter):
+        series = meter.accumulated(3.0)
+        assert list(series.values) == [3.0, 4.0, 4.0]
+
+    def test_custom_bin_width(self, meter):
+        # Bins are right-closed: (0, 1.5] holds all four events at
+        # 0.1 / 0.5 / 0.9 / 1.5; (1.5, 3.0] is empty.
+        series = meter.per_second(3.0, bin_width=1.5)
+        assert list(series.values) == [4.0, 0.0]
+
+    def test_mean_rate(self, meter):
+        assert meter.mean_rate(2.0) == 2.0
+
+    def test_mean_rate_excludes_out_of_window(self, meter):
+        meter.count(100.0, "R1")
+        assert meter.mean_rate(2.0) == 2.0
+
+    def test_mean_rate_invalid_duration(self, meter):
+        with pytest.raises(ValueError):
+            meter.mean_rate(0.0)
+
+    def test_unsorted_events_binned_correctly(self):
+        m = TrafficMeter()
+        m.count(2.5, "R1")
+        m.count(0.5, "R1")
+        series = m.per_second(3.0)
+        assert list(series.values) == [1.0, 0.0, 1.0]
+
+    def test_empty_meter(self):
+        m = TrafficMeter()
+        assert m.total == 0
+        assert m.per_second(2.0).total() == 0.0

@@ -1,0 +1,135 @@
+"""Tests for the simulation engine."""
+
+import pytest
+
+from repro.simkernel import SimulationError, Simulator
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_custom_start(self):
+        assert Simulator(start_time=10.0).now == 10.0
+
+    def test_clock_advances_with_events(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda: None)
+        sim.run()
+        assert sim.now == 5.0
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run_until(100.0)
+        assert sim.now == 100.0
+
+
+class TestScheduling:
+    def test_schedule_in(self):
+        sim = Simulator(start_time=10.0)
+        fired = []
+        sim.schedule_in(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [15.0]
+
+    def test_schedule_into_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_in(-1.0, lambda: None)
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for t in (1.0, 2.0):
+            sim.schedule_at(t, lambda: None)
+        sim.run()
+        assert sim.events_executed == 2
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_event_can_schedule_more_events(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            sim.schedule_in(1.0, lambda: fired.append(sim.now))
+
+        sim.schedule_at(1.0, first)
+        sim.run()
+        assert fired == [2.0]
+
+
+class TestRunUntil:
+    def test_executes_events_at_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(10.0, lambda: fired.append(1))
+        sim.run_until(10.0)
+        assert fired == [1]
+
+    def test_leaves_later_events_pending(self):
+        sim = Simulator()
+        sim.schedule_at(11.0, lambda: None)
+        sim.run_until(10.0)
+        assert sim.pending_events() == 1
+        assert sim.now == 10.0
+
+    def test_backwards_run_rejected(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(4.0)
+
+    def test_stop_breaks_loop(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule_at(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+
+class TestPeriodic:
+    def test_schedule_every_fires_repeatedly(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_every(1.0, lambda: times.append(sim.now), end=5.0)
+        sim.run_until(5.0)
+        assert times == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_schedule_every_with_start(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_every(2.0, lambda: times.append(sim.now), start=1.0, end=5.0)
+        sim.run_until(5.0)
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_schedule_every_respects_end(self):
+        sim = Simulator()
+        count = [0]
+        sim.schedule_every(1.0, lambda: count.__setitem__(0, count[0] + 1), end=3.0)
+        sim.run_until(100.0)
+        assert count[0] == 3
+
+    def test_invalid_interval(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_every(0.0, lambda: None)
+
+    def test_determinism(self):
+        def run_once():
+            sim = Simulator()
+            log = []
+            sim.schedule_every(1.0, lambda: log.append(("a", sim.now)), end=3.0)
+            sim.schedule_every(1.5, lambda: log.append(("b", sim.now)), end=3.0)
+            sim.run_until(3.0)
+            return log
+
+        assert run_once() == run_once()

@@ -1,0 +1,100 @@
+"""Tests for the future event list."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simkernel import EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        order = []
+        q.push(3.0, lambda: order.append("c"))
+        q.push(1.0, lambda: order.append("a"))
+        q.push(2.0, lambda: order.append("b"))
+        while not q.is_empty():
+            q.pop().action()
+        assert order == ["a", "b", "c"]
+
+    def test_equal_times_fifo(self):
+        q = EventQueue()
+        order = []
+        for name in "abc":
+            q.push(1.0, lambda n=name: order.append(n))
+        while not q.is_empty():
+            q.pop().action()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        order = []
+        q.push(1.0, lambda: order.append("low"), priority=5)
+        q.push(1.0, lambda: order.append("high"), priority=0)
+        while not q.is_empty():
+            q.pop().action()
+        assert order == ["high", "low"]
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), max_size=60))
+    def test_pop_sequence_is_sorted(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, lambda: None)
+        popped = []
+        while not q.is_empty():
+            popped.append(q.pop().time)
+        assert popped == sorted(popped)
+
+
+class TestLifecycle:
+    def test_len_counts_live(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert len(q) == 2
+        q.cancel(e)
+        assert len(q) == 1
+
+    def test_cancel_idempotent(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        q.cancel(e)
+        q.cancel(e)
+        assert len(q) == 0
+
+    def test_cancelled_events_skipped(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.cancel(e)
+        assert q.pop().time == 2.0
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(5.0, lambda: None)
+        assert q.peek_time() == 5.0
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        q.push(3.0, lambda: None)
+        q.cancel(e)
+        assert q.peek_time() == 3.0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_non_finite_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.push(math.inf, lambda: None)
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.clear()
+        assert q.is_empty()

@@ -1,0 +1,100 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.simkernel import Process, Simulator, hold
+
+
+class TestHold:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            hold(-1.0)
+
+    def test_zero_delay_allowed(self):
+        assert hold(0.0).delay == 0.0
+
+
+class TestProcess:
+    def test_sequential_holds(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            log.append(("start", sim.now))
+            yield hold(5.0)
+            log.append(("mid", sim.now))
+            yield hold(3.0)
+            log.append(("end", sim.now))
+
+        p = Process(sim, proc())
+        sim.run()
+        assert log == [("start", 0.0), ("mid", 5.0), ("end", 8.0)]
+        assert p.done
+
+    def test_bare_numbers_as_delays(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield 2.0
+            log.append(sim.now)
+
+        Process(sim, proc())
+        sim.run()
+        assert log == [2.0]
+
+    def test_start_delay(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            log.append(sim.now)
+            yield hold(1.0)
+
+        Process(sim, proc(), start_delay=4.0)
+        sim.run()
+        assert log == [4.0]
+
+    def test_negative_yield_raises_at_runtime(self):
+        sim = Simulator()
+
+        def proc():
+            yield -1.0
+
+        Process(sim, proc())
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        log = []
+
+        def proc(name, delay):
+            for _ in range(3):
+                yield hold(delay)
+                log.append((name, sim.now))
+
+        Process(sim, proc("fast", 1.0), name="fast")
+        Process(sim, proc("slow", 2.0), name="slow")
+        sim.run()
+        # At t=2.0 "slow" fires before "fast": its resume event was inserted
+        # earlier (at t=0) and equal-time events run in insertion order.
+        assert log == [
+            ("fast", 1.0),
+            ("slow", 2.0),
+            ("fast", 2.0),
+            ("fast", 3.0),
+            ("slow", 4.0),
+            ("slow", 6.0),
+        ]
+
+    def test_empty_generator_finishes_immediately(self):
+        sim = Simulator()
+
+        def proc():
+            return
+            yield  # pragma: no cover
+
+        p = Process(sim, proc())
+        sim.run()
+        assert p.done

@@ -1,0 +1,125 @@
+"""Tests for the append-only time series."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.timeseries import TimeSeries
+
+
+class TestAppend:
+    def test_append_and_len(self):
+        ts = TimeSeries()
+        ts.append(0.0, 1.0)
+        ts.append(1.0, 2.0)
+        assert len(ts) == 2
+
+    def test_times_must_be_non_decreasing(self):
+        ts = TimeSeries()
+        ts.append(5.0, 1.0)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            ts.append(4.0, 1.0)
+
+    def test_equal_times_allowed(self):
+        ts = TimeSeries()
+        ts.append(1.0, 1.0)
+        ts.append(1.0, 2.0)
+        assert len(ts) == 2
+
+    def test_constructor_points(self):
+        ts = TimeSeries([(0.0, 1.0), (1.0, 3.0)])
+        assert ts.total() == 4.0
+
+    def test_iteration_and_indexing(self):
+        ts = TimeSeries([(0.0, 1.0), (2.0, 5.0)])
+        assert list(ts) == [(0.0, 1.0), (2.0, 5.0)]
+        assert ts[1] == (2.0, 5.0)
+
+
+class TestStats:
+    def test_total_and_mean(self):
+        ts = TimeSeries([(0, 2.0), (1, 4.0)])
+        assert ts.total() == 6.0
+        assert ts.mean() == 3.0
+
+    def test_mean_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries().mean()
+
+    def test_total_of_empty_is_zero(self):
+        assert TimeSeries().total() == 0.0
+
+    def test_last(self):
+        ts = TimeSeries([(0, 1.0), (3, 9.0)])
+        assert ts.last() == (3.0, 9.0)
+
+    def test_last_of_empty_raises(self):
+        with pytest.raises(IndexError):
+            TimeSeries().last()
+
+    def test_is_empty(self):
+        assert TimeSeries().is_empty()
+        assert not TimeSeries([(0, 0)]).is_empty()
+
+
+class TestTransforms:
+    def test_cumulative(self):
+        ts = TimeSeries([(0, 1.0), (1, 2.0), (2, 3.0)])
+        assert list(ts.cumulative().values) == [1.0, 3.0, 6.0]
+
+    def test_cumulative_preserves_times(self):
+        ts = TimeSeries([(0, 1.0), (5, 2.0)])
+        assert list(ts.cumulative().times) == [0.0, 5.0]
+
+    def test_window(self):
+        ts = TimeSeries([(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)])
+        w = ts.window(1.0, 3.0)
+        assert list(w.values) == [2.0, 3.0]
+
+    def test_window_end_exclusive(self):
+        ts = TimeSeries([(1, 2.0)])
+        assert len(ts.window(0.0, 1.0)) == 0
+
+    def test_window_invalid(self):
+        with pytest.raises(ValueError):
+            TimeSeries().window(2.0, 1.0)
+
+    def test_bin_sum(self):
+        ts = TimeSeries([(0.1, 1.0), (0.9, 1.0), (1.5, 2.0)])
+        binned = ts.bin_sum(1.0, 3.0)
+        assert list(binned.values) == [2.0, 2.0, 0.0]
+        assert list(binned.times) == [0.0, 1.0, 2.0]
+
+    def test_bin_sum_ignores_out_of_range(self):
+        ts = TimeSeries([(5.0, 100.0)])
+        assert TimeSeries(ts).bin_sum(1.0, 3.0).total() == 0.0
+
+    def test_bin_sum_invalid_width(self):
+        with pytest.raises(ValueError):
+            TimeSeries().bin_sum(0.0, 10.0)
+
+
+class TestProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    def test_cumulative_last_equals_total(self, values):
+        ts = TimeSeries()
+        for i, v in enumerate(values):
+            ts.append(float(i), v)
+        _, last = ts.cumulative().last()
+        assert np.isclose(last, ts.total())
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=99),
+                st.floats(min_value=-100, max_value=100),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_bin_sum_conserves_mass(self, points):
+        points.sort(key=lambda p: p[0])
+        ts = TimeSeries(points)
+        binned = ts.bin_sum(7.0, 100.0)
+        assert np.isclose(binned.total(), ts.total())

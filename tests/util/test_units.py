@@ -1,0 +1,29 @@
+"""Tests for unit conversions."""
+
+from hypothesis import given, strategies as st
+import pytest
+
+from repro.util.units import HOUR, MINUTE, kmh_to_ms, ms_to_kmh
+
+
+def test_kmh_to_ms_known_value():
+    assert kmh_to_ms(36.0) == pytest.approx(10.0)
+
+
+def test_ms_to_kmh_known_value():
+    assert ms_to_kmh(10.0) == pytest.approx(36.0)
+
+
+def test_vehicle_limit_from_paper():
+    # The paper caps vehicles at 40 km/h ~ 11.1 m/s.
+    assert kmh_to_ms(40.0) == pytest.approx(11.11, abs=0.01)
+
+
+def test_constants():
+    assert MINUTE == 60.0
+    assert HOUR == 3600.0
+
+
+@given(st.floats(min_value=-1e6, max_value=1e6))
+def test_roundtrip(value):
+    assert ms_to_kmh(kmh_to_ms(value)) == pytest.approx(value, abs=1e-6)

@@ -1,0 +1,60 @@
+"""Tests for the validation helpers."""
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+)
+
+
+class TestCheckFinite:
+    def test_passes_through(self):
+        assert check_finite(1.5, "x") == 1.5
+
+    @pytest.mark.parametrize("bad", [math.inf, -math.inf, math.nan])
+    def test_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            check_finite(bad, "x")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.1, "x") == 0.1
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError, match="> 0"):
+            check_positive(bad, "x")
+
+    def test_name_in_message(self):
+        with pytest.raises(ValueError, match="lookahead"):
+            check_positive(-1, "lookahead")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            check_non_negative(-0.01, "x")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+        assert check_in_range(0.5, "x", 0.0, 1.0, inclusive=False) == 0.5
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match=r"\[0.*1"):
+            check_in_range(2.0, "x", 0.0, 1.0)

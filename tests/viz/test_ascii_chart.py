@@ -1,0 +1,85 @@
+"""Tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.util.timeseries import TimeSeries
+from repro.viz import bar_chart, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_flat(self):
+        s = sparkline([5.0] * 10)
+        assert set(s) == {"▁"}
+
+    def test_rising_series_rises(self):
+        s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert s[0] == "▁"
+        assert s[-1] == "█"
+
+    def test_resampled_to_width(self):
+        s = sparkline(range(1000), width=40)
+        assert len(s) == 40
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1, 2, 3], width=40)) == 3
+
+
+class TestLineChart:
+    def test_requires_series(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+
+    def test_rejects_all_empty(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": TimeSeries()})
+
+    def test_renders_axes_and_legend(self):
+        ts = TimeSeries([(float(i), float(i % 7)) for i in range(50)])
+        chart = line_chart({"lus": ts}, title="Fig. 4")
+        assert "Fig. 4" in chart
+        assert "lus" in chart
+        assert "└" in chart
+
+    def test_multiple_series_get_distinct_markers(self):
+        a = TimeSeries([(float(i), 1.0) for i in range(10)])
+        b = TimeSeries([(float(i), 2.0) for i in range(10)])
+        chart = line_chart({"a": a, "b": b})
+        assert "* a" in chart
+        assert "o b" in chart
+
+    def test_respects_height(self):
+        ts = TimeSeries([(float(i), float(i)) for i in range(30)])
+        chart = line_chart({"x": ts}, height=8, title="")
+        # height rows + axis + legend
+        assert len(chart.splitlines()) == 8 + 2
+
+    def test_min_max_labels(self):
+        ts = TimeSeries([(0.0, 10.0), (1.0, 90.0)])
+        chart = line_chart({"x": ts})
+        assert "90.00" in chart
+        assert "10.00" in chart
+
+
+class TestBarChart:
+    def test_requires_rows(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+
+    def test_scaled_to_max(self):
+        chart = bar_chart([("big", 10.0), ("small", 5.0)], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_labels_and_values_present(self):
+        chart = bar_chart([("road", 3.14)], unit="m", title="Fig. 8")
+        assert "Fig. 8" in chart
+        assert "road" in chart
+        assert "3.14m" in chart
+
+    def test_zero_values(self):
+        chart = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "█" not in chart

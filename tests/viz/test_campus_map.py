@@ -1,0 +1,64 @@
+"""Tests for the ASCII campus map."""
+
+from repro.mobility import build_population, table1_spec
+from repro.util.rng import RngRegistry
+from repro.viz import render_campus
+
+
+class TestRenderCampus:
+    def test_dimensions(self, campus):
+        out = render_campus(campus, width=60, height=20)
+        lines = out.splitlines()
+        assert len(lines) == 20
+        assert all(len(line) == 60 for line in lines)
+
+    def test_buildings_labelled(self, campus):
+        out = render_campus(campus)
+        for building in ("B1", "B2", "B3", "B4", "B5", "B6"):
+            assert building in out
+
+    def test_roads_drawn(self, campus):
+        assert "." in render_campus(campus)
+
+    def test_gates_marked(self, campus):
+        assert "G" in render_campus(campus)
+
+    def test_nodes_overlaid(self, campus):
+        nodes = build_population(campus, table1_spec(), RngRegistry(1))
+        out = render_campus(campus, nodes)
+        assert "o" in out  # humans
+        assert "v" in out  # vehicles
+
+    def test_without_nodes_no_markers(self, campus):
+        out = render_campus(campus)
+        assert "o" not in out
+        assert "v" not in out
+
+
+class TestGeneratedCityRender:
+    def test_generated_city_renders(self):
+        import numpy as np
+
+        from repro.campus import generate_grid_campus
+
+        city = generate_grid_campus(
+            blocks_x=2, blocks_y=2, building_probability=1.0,
+            rng=np.random.default_rng(3),
+        )
+        out = render_campus(city, width=50, height=18)
+        assert len(out.splitlines()) == 18
+        assert "#" in out and "." in out
+        # At least one building label survives any edge clipping.
+        assert any(b.region_id in out for b in city.buildings())
+
+    def test_out_of_bounds_node_clamped_onto_canvas(self, campus, rng):
+        from repro.geometry import Vec2
+        from repro.mobility import MobileNode
+        from repro.mobility.models import StopModel
+
+        wanderer = MobileNode("lost", StopModel(Vec2(99999, 99999)))
+        out = render_campus(campus, [wanderer], width=40, height=12)
+        lines = out.splitlines()
+        assert len(lines) == 12
+        assert all(len(line) == 40 for line in lines)
+        assert "o" in out  # clamped to the border, still drawn
