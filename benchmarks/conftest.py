@@ -5,6 +5,11 @@ benchmarks default to a 300-second run that already exhibits every
 qualitative result.  Set ``REPRO_BENCH_DURATION=1800`` for the full paper
 configuration (this is what EXPERIMENTS.md records).
 
+Set ``REPRO_BENCH_TELEMETRY=1`` to run the shared simulation with the
+telemetry subsystem enabled and dump its snapshot to
+``REPRO_BENCH_TELEMETRY_PATH`` (default ``bench_telemetry.json``) — useful
+for inspecting where a slow benchmark run spent its events.
+
 Each ``bench_*`` module prints the rows/series of one paper table or
 figure; the pytest-benchmark timings measure the regeneration cost of the
 corresponding analysis on top of the shared simulation run.
@@ -15,6 +20,7 @@ import os
 import pytest
 
 from repro.experiments import ExperimentConfig, run_experiment
+from repro.telemetry import TelemetryConfig, write_snapshot_json
 
 __all__ = ["bench_duration", "paper_run"]
 
@@ -27,11 +33,17 @@ def bench_duration() -> float:
 @pytest.fixture(scope="session")
 def paper_run():
     """One shared evaluation run (all ADF lanes + general-DF lanes)."""
+    telemetry_on = os.environ.get("REPRO_BENCH_TELEMETRY", "") not in ("", "0")
     config = ExperimentConfig(
         duration=bench_duration(),
         include_general_df=True,
+        telemetry=TelemetryConfig(enabled=telemetry_on),
     )
-    return run_experiment(config)
+    result = run_experiment(config)
+    if telemetry_on and result.telemetry is not None:
+        path = os.environ.get("REPRO_BENCH_TELEMETRY_PATH", "bench_telemetry.json")
+        print(f"\ntelemetry snapshot: {write_snapshot_json(result.telemetry, path)}")
+    return result
 
 
 def print_header(title: str) -> None:

@@ -27,7 +27,7 @@ def run_with_loss(loss: float) -> tuple[float, float]:
 def run_with_outage() -> tuple[float, float]:
     config = ExperimentConfig(duration=120.0, dth_factors=(1.0,))
     experiment = MobileGridExperiment(config)
-    lane = experiment.lanes[1]
+    lane = experiment.lane("adf-1")
     # Take the library's access point down for the middle third of the run.
     experiment.sim.schedule_at(40.0, lane.gateways["B4"].fail)
     experiment.sim.schedule_at(80.0, lane.gateways["B4"].restore)

@@ -40,6 +40,7 @@ from repro.experiments import (
 )
 from repro.geometry import Vec2
 from repro.mobility import MobileNode, build_population, table1_spec, tom_itinerary
+from repro.telemetry import Telemetry, TelemetryConfig
 
 __version__ = "1.0.0"
 
@@ -73,5 +74,7 @@ __all__ = [
     "build_population",
     "table1_spec",
     "tom_itinerary",
+    "Telemetry",
+    "TelemetryConfig",
     "__version__",
 ]

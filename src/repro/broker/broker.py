@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass
+from typing import Any
 
 from repro.broker.location_db import LocationDB, LocationRecord, RecordSource
 from repro.estimation.arima_tracker import ArimaTracker
@@ -31,6 +32,7 @@ from repro.estimation.tracker import (
 )
 from repro.geometry import Vec2
 from repro.network.messages import LocationUpdate
+from repro.telemetry import NULL_TELEMETRY
 from repro.util.validation import check_positive
 
 __all__ = ["BrokerConfig", "GridBroker"]
@@ -82,6 +84,8 @@ class GridBroker:
         config: BrokerConfig | None = None,
         *,
         tracker_factory: TrackerFactory | None = None,
+        telemetry: Any = None,
+        name: str = "broker",
     ) -> None:
         self.config = config or BrokerConfig()
         if tracker_factory is not None:
@@ -92,7 +96,14 @@ class GridBroker:
             self._tracker_factory = lambda: make(alpha)
         else:
             self._tracker_factory = LastKnownTracker
-        self.location_db = LocationDB()
+        self.name = name
+        tm = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._instrumented = tm.enabled
+        self._t_received = tm.counter("broker.lu_received", broker=name)
+        self._t_estimates = tm.counter("broker.estimates_made", broker=name)
+        self._t_invocations = tm.counter("broker.estimator_invocations", broker=name)
+        self._t_staleness = tm.gauge("broker.staleness_max", broker=name)
+        self.location_db = LocationDB(telemetry=telemetry, name=name)
         self._trackers: dict[str, LocationTracker] = {}
         self._updated_since_tick: set[str] = set()
         self.updates_received = 0
@@ -102,6 +113,8 @@ class GridBroker:
     def receive_update(self, update: LocationUpdate) -> None:
         """Store a received LU and feed the node's tracker."""
         self.updates_received += 1
+        if self._instrumented:
+            self._t_received.inc()
         tracker = self._tracker_for(update.node_id)
         cap = update.dth if update.dth > 0 else None
         # Map-matched trackers additionally consume the LU's region tag.
@@ -141,12 +154,21 @@ class GridBroker:
         the LU, then the grid broker estimates the location of the MN".
         """
         estimated = 0
+        staleness_max = 0.0
+        instrumented = self._instrumented
         for node_id, tracker in self._trackers.items():
+            if instrumented and tracker.last_fix is not None:
+                t_fix, _ = tracker.last_fix
+                age = now - t_fix
+                if age > staleness_max:
+                    staleness_max = age
             if node_id in self._updated_since_tick:
                 continue
             if not tracker.has_fix:
                 continue
             position = tracker.predict(now)
+            if instrumented:
+                self._t_invocations.inc()
             self.location_db.store(
                 LocationRecord(
                     node_id=node_id,
@@ -157,6 +179,9 @@ class GridBroker:
             )
             estimated += 1
         self.estimates_made += estimated
+        if instrumented:
+            self._t_estimates.inc(estimated)
+            self._t_staleness.set(staleness_max)
         self._updated_since_tick.clear()
         return estimated
 

@@ -11,8 +11,10 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass
+from typing import Any
 
 from repro.geometry import Vec2
+from repro.telemetry import NULL_TELEMETRY
 
 __all__ = ["RecordSource", "LocationRecord", "LocationDB"]
 
@@ -42,7 +44,13 @@ class LocationRecord:
 class LocationDB:
     """Latest-record store with bounded per-node history."""
 
-    def __init__(self, history_length: int = 128) -> None:
+    def __init__(
+        self,
+        history_length: int = 128,
+        *,
+        telemetry: Any = None,
+        name: str = "db",
+    ) -> None:
         if history_length < 1:
             raise ValueError(f"history_length must be >= 1, got {history_length}")
         self._latest: dict[str, LocationRecord] = {}
@@ -50,6 +58,11 @@ class LocationDB:
         self._history_length = history_length
         self.stored_received = 0
         self.stored_estimated = 0
+        tm = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._instrumented = tm.enabled
+        self._t_received = tm.counter("broker.db.stored_received", db=name)
+        self._t_estimated = tm.counter("broker.db.stored_estimated", db=name)
+        self._t_nodes = tm.gauge("broker.db.nodes", db=name)
 
     def store(self, record: LocationRecord) -> None:
         """Insert a record; it becomes the node's latest."""
@@ -68,6 +81,12 @@ class LocationDB:
             self.stored_received += 1
         else:
             self.stored_estimated += 1
+        if self._instrumented:
+            if record.source is RecordSource.RECEIVED:
+                self._t_received.inc()
+            else:
+                self._t_estimated.inc()
+            self._t_nodes.set(len(self._latest))
 
     def latest(self, node_id: str) -> LocationRecord | None:
         """The node's most recent record, if any."""

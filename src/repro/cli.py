@@ -9,6 +9,7 @@ Usage::
     python -m repro confusion --duration 120
     python -m repro energy --duration 120
     python -m repro replicate --duration 60 --seeds 1 2 3
+    python -m repro telemetry --duration 120 --export-json telemetry.json
 """
 
 from __future__ import annotations
@@ -44,6 +45,7 @@ _TARGETS = (
     "confusion",
     "energy",
     "replicate",
+    "telemetry",
 )
 
 
@@ -177,6 +179,20 @@ def _build_config(args: argparse.Namespace) -> ExperimentConfig:
 
 def _figure_target(args: argparse.Namespace) -> int:
     config = _build_config(args)
+    if args.target == "telemetry":
+        from dataclasses import replace
+
+        from repro.experiments.harness import MobileGridExperiment
+        from repro.telemetry import TelemetryConfig, write_snapshot_json
+
+        config = replace(config, telemetry=TelemetryConfig(enabled=True))
+        experiment = MobileGridExperiment(config)
+        experiment.run()
+        print(experiment.telemetry.summary())
+        if args.export_json:
+            snapshot = experiment.telemetry.snapshot()
+            print(f"wrote {write_snapshot_json(snapshot, args.export_json)}")
+        return 0
     if args.target == "energy":
         from repro.analysis import energy_report
         from repro.experiments.harness import MobileGridExperiment

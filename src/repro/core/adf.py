@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.baselines import FilterPolicy
 from repro.core.classifier import ClassifierConfig, MobilityClassifier
@@ -26,6 +27,7 @@ from repro.core.distance_filter import DistanceFilter, FilterDecision
 from repro.core.dth import ClusterAverageDth
 from repro.mobility.states import MobilityState
 from repro.network.messages import LocationUpdate
+from repro.telemetry import NULL_TELEMETRY
 from repro.util.validation import check_positive
 
 __all__ = ["AdfConfig", "AdfStats", "AdaptiveDistanceFilter"]
@@ -84,6 +86,7 @@ class AdaptiveDistanceFilter(FilterPolicy):
         config: AdfConfig | None = None,
         *,
         forward: Callable[[LocationUpdate], None] | None = None,
+        telemetry: Any = None,
     ) -> None:
         self.config = config or AdfConfig()
         self.classifier = MobilityClassifier(self.config.classifier)
@@ -92,7 +95,17 @@ class AdaptiveDistanceFilter(FilterPolicy):
             direction_weight=self.config.direction_weight,
             max_clusters=self.config.max_clusters,
         )
-        self.cluster_manager = ClusterManager(self.classifier, clusterer)
+        tm = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._telemetry = tm
+        self._instrumented = tm.enabled
+        name = f"adf({self.config.dth_factor:g}av)"
+        self._t_received = tm.counter("adf.lu_received", filter=name)
+        self._t_transmitted = tm.counter("adf.lu_transmitted", filter=name)
+        self._t_suppressed = tm.counter("adf.lu_suppressed", filter=name)
+        self._t_reclusters = tm.counter("adf.reclusters", filter=name)
+        self.cluster_manager = ClusterManager(
+            self.classifier, clusterer, telemetry=telemetry, name=name
+        )
         self.dth_policy = ClusterAverageDth(
             self.config.dth_factor,
             self.cluster_manager,
@@ -110,9 +123,22 @@ class AdaptiveDistanceFilter(FilterPolicy):
     # -- the per-LU pipeline ------------------------------------------------
     def process(self, update: LocationUpdate) -> FilterDecision:
         """Run one LU through the full ADF pipeline."""
+        instrumented = self._instrumented
         self.stats.received += 1
+        if instrumented:
+            self._t_received.inc()
+        before = self.classifier.label(update.node_id) if instrumented else None
         # (1) classify from the update's velocity observation.
         self.classifier.observe(update.node_id, update.speed, update.direction)
+        if instrumented:
+            after = self.classifier.label(update.node_id)
+            if after is not before:
+                self._telemetry.counter(
+                    "adf.state_transitions",
+                    filter=self.name,
+                    from_state=before.name if before else "none",
+                    to_state=after.name if after else "none",
+                ).inc()
         # (2) place into a cluster (SS nodes are kept out).
         self.cluster_manager.place(update.node_id)
         # (4) distance filter with the cluster-derived DTH.
@@ -122,11 +148,21 @@ class AdaptiveDistanceFilter(FilterPolicy):
         )
         if decision is FilterDecision.TRANSMIT:
             self.stats.transmitted += 1
+            if instrumented:
+                self._t_transmitted.inc()
             # (5) forward to the grid broker.
             if self._forward is not None:
                 self._forward(update)
         else:
             self.stats.suppressed += 1
+            if instrumented:
+                self._t_suppressed.inc()
+                cluster = self.cluster_manager.cluster_of(update.node_id)
+                self._telemetry.counter(
+                    "adf.suppressions_by_cluster",
+                    filter=self.name,
+                    cluster=str(cluster.cluster_id) if cluster else "none",
+                ).inc()
         return decision
 
     # -- periodic maintenance ---------------------------------------------------
@@ -139,6 +175,8 @@ class AdaptiveDistanceFilter(FilterPolicy):
         if now - self._last_recluster < self.config.recluster_interval:
             return False
         self.cluster_manager.reconstruct()
+        if self._instrumented:
+            self._t_reclusters.inc()
         self._last_recluster = now
         return True
 

@@ -8,9 +8,12 @@ observation windows and tracks reconstruction statistics.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.core.classifier import MobilityClassifier
 from repro.core.clustering import Cluster, MotionFeature, SequentialClusterer
 from repro.mobility.states import MobilityState
+from repro.telemetry import NULL_TELEMETRY
 
 __all__ = ["ClusterManager"]
 
@@ -22,11 +25,21 @@ class ClusterManager:
         self,
         classifier: MobilityClassifier,
         clusterer: SequentialClusterer,
+        *,
+        telemetry: Any = None,
+        name: str = "adf",
     ) -> None:
         self._classifier = classifier
         self._clusterer = clusterer
         self.reconstructions = 0
         self.reassignments = 0
+        tm = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._instrumented = tm.enabled
+        self._t_reconstructions = tm.counter(
+            "adf.cluster_reconstructions", filter=name
+        )
+        self._t_reassignments = tm.counter("adf.cluster_reassignments", filter=name)
+        self._t_live = tm.gauge("adf.clusters_live", filter=name)
 
     @property
     def clusterer(self) -> SequentialClusterer:
@@ -58,6 +71,8 @@ class ClusterManager:
         cluster = self._clusterer.assign(node_id, feature)
         if before is not None and before.cluster_id != cluster.cluster_id:
             self.reassignments += 1
+            if self._instrumented:
+                self._t_reassignments.inc()
         return cluster
 
     def reconstruct(self) -> int:
@@ -71,6 +86,9 @@ class ClusterManager:
         for node_id in node_ids:
             self.place(node_id)
         self.reconstructions += 1
+        if self._instrumented:
+            self._t_reconstructions.inc()
+            self._t_live.set(self._clusterer.cluster_count())
         return self._clusterer.cluster_count()
 
     def cluster_of(self, node_id: str) -> Cluster | None:

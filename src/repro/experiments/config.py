@@ -6,6 +6,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.adf import AdfConfig
 from repro.mobility.population import PopulationSpec, table1_spec
+from repro.telemetry import TelemetryConfig
 from repro.util.validation import check_positive
 
 __all__ = ["ExperimentConfig"]
@@ -33,6 +34,7 @@ class ExperimentConfig:
     include_general_df: bool = False
     channel_loss: float = 0.0
     channel_latency: float = 0.0
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def __post_init__(self) -> None:
         check_positive(self.duration, "duration")

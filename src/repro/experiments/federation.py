@@ -227,6 +227,7 @@ def run_federated_experiment(
     config: ExperimentConfig | None = None,
     *,
     dth_factor: float = 1.0,
+    telemetry: Any = None,
 ) -> FederationResult:
     """Run the experiment through the HLA federation.
 
@@ -240,10 +241,14 @@ def run_federated_experiment(
     rng = RngRegistry(config.seed)
     nodes = build_population(campus, config.population, rng)
 
-    rti = RTIKernel("mobile-grid", mobile_grid_fom())
+    rti = RTIKernel("mobile-grid", mobile_grid_fom(), telemetry=telemetry)
     step = config.report_interval
     mobility = MobilityFederate(rti, campus, nodes, step)
-    adf = AdfFederate(rti, AdaptiveDistanceFilter(config.adf_config(dth_factor)), step)
+    adf = AdfFederate(
+        rti,
+        AdaptiveDistanceFilter(config.adf_config(dth_factor), telemetry=telemetry),
+        step,
+    )
     broker = BrokerFederate(
         rti,
         GridBroker(
@@ -251,7 +256,9 @@ def run_federated_experiment(
                 use_location_estimator=True,
                 smoothing_alpha=config.smoothing_alpha,
                 report_interval=step,
-            )
+            ),
+            telemetry=telemetry,
+            name="federation",
         ),
         step,
     )

@@ -37,6 +37,7 @@ from repro.network.gateway import WirelessGateway
 from repro.network.messages import LocationUpdate
 from repro.network.traffic import TrafficMeter
 from repro.simkernel import Simulator
+from repro.telemetry import Telemetry
 from repro.util.rng import RngRegistry
 from repro.util.timeseries import TimeSeries
 
@@ -73,7 +74,10 @@ class MobileGridExperiment:
         self.config = config or ExperimentConfig()
         self.campus = campus or default_campus()
         self.rng = RngRegistry(self.config.seed)
-        self.sim = Simulator()
+        self.telemetry = Telemetry.from_config(self.config.telemetry)
+        self.sim = Simulator(telemetry=self.telemetry)
+        if self.telemetry.enabled:
+            self.telemetry.bind(self.sim, end=self.config.duration)
         self.nodes: list[MobileNode] = build_population(
             self.campus, self.config.population, self.rng
         )
@@ -92,7 +96,9 @@ class MobileGridExperiment:
     def _build_lanes(self) -> None:
         self._add_lane("ideal", None, IdealLUPolicy())
         for factor in self.config.dth_factors:
-            adf = AdaptiveDistanceFilter(self.config.adf_config(factor))
+            adf = AdaptiveDistanceFilter(
+                self.config.adf_config(factor), telemetry=self.telemetry
+            )
             self._add_lane(f"adf-{factor:g}", factor, adf)
         if self.config.include_general_df:
             for factor in self.config.dth_factors:
@@ -115,9 +121,15 @@ class MobileGridExperiment:
             name=name,
             dth_factor=factor,
             policy=policy,
-            meter=TrafficMeter(name),
-            broker_with_le=GridBroker(broker_cfg_on),
-            broker_without_le=GridBroker(broker_cfg_off),
+            meter=TrafficMeter(
+                name, bin_width=min(1.0, self.config.report_interval)
+            ),
+            broker_with_le=GridBroker(
+                broker_cfg_on, telemetry=self.telemetry, name=f"{name}/le-on"
+            ),
+            broker_without_le=GridBroker(
+                broker_cfg_off, telemetry=self.telemetry, name=f"{name}/le-off"
+            ),
         )
         channel_rng = self.rng.stream(f"channel/{name}")
         for region in self.campus.regions.values():
@@ -127,13 +139,28 @@ class MobileGridExperiment:
                 base_latency=self.config.channel_latency,
                 loss_probability=self.config.channel_loss,
                 name=f"{name}/{region.region_id}",
+                telemetry=self.telemetry,
             )
             lane.gateways[region.region_id] = WirelessGateway(
                 region,
                 channel,
                 sink=lambda lu, lane=lane: self._filter_and_forward(lane, lu),
+                telemetry=self.telemetry,
             )
         self.lanes.append(lane)
+
+    def lane(self, name: str) -> Lane:
+        """Look up a lane by name (e.g. ``"ideal"``, ``"adf-1"``).
+
+        Lane order is a construction detail; scripts that poke at a
+        specific lane should address it by name, not index.
+        """
+        for lane in self.lanes:
+            if lane.name == name:
+                return lane
+        raise KeyError(
+            f"no lane named {name!r}; have {[lane.name for lane in self.lanes]}"
+        )
 
     # -- per-LU path ---------------------------------------------------------------
     def _filter_and_forward(self, lane: Lane, update: LocationUpdate) -> None:
@@ -296,6 +323,7 @@ class MobileGridExperiment:
             classification_accuracy=accuracy,
             average_fleet_speed=mean_speed,
             handoffs=self.associations.stats.handoffs,
+            telemetry=self.telemetry.snapshot(),
         )
 
 

@@ -45,7 +45,7 @@ def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
             "mean_rmse_without_le": lane.mean_rmse(with_le=False),
             "filter_summary": lane.filter_summary,
         }
-    return {
+    out = {
         "duration": result.duration,
         "report_interval": result.report_interval,
         "node_count": result.node_count,
@@ -58,6 +58,9 @@ def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
         "fig8": fig8_rmse_by_region_without_le(result),
         "fig9": fig9_rmse_by_region_with_le(result),
     }
+    if result.telemetry is not None:
+        out["telemetry"] = result.telemetry
+    return out
 
 
 def write_json(result: ExperimentResult, path: str | Path) -> Path:

@@ -105,6 +105,9 @@ class ExperimentResult:
     #: Gateway handoffs observed over the run (mobility-driven signalling
     #: that exists regardless of LU filtering).
     handoffs: int = 0
+    #: Telemetry snapshot (metrics/samples/spans/events) when the run had
+    #: telemetry enabled; ``None`` otherwise.
+    telemetry: dict | None = None
 
     @property
     def ideal(self) -> LaneResult:

@@ -70,7 +70,13 @@ class _Instance:
 class RTIKernel:
     """A single-federation, in-process run-time infrastructure."""
 
-    def __init__(self, federation_name: str, fom: FederationObjectModel) -> None:
+    def __init__(
+        self,
+        federation_name: str,
+        fom: FederationObjectModel,
+        *,
+        telemetry: Any = None,
+    ) -> None:
         self.federation_name = federation_name
         self.fom = fom
         self._federates: dict[FederateHandle, _Federate] = {}
@@ -81,6 +87,16 @@ class RTIKernel:
         self._time = TimeManager()
         #: label -> set of federates that have not yet achieved the point.
         self._sync_pending: dict[str, set[FederateHandle]] = {}
+        from repro.telemetry import NULL_TELEMETRY
+
+        tm = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._instrumented = tm.enabled
+        self._t_reflections = tm.counter("hla.reflections_routed")
+        self._t_interactions = tm.counter("hla.interactions_routed")
+        self._t_tso_enqueued = tm.counter("hla.tso_enqueued")
+        self._t_tso_depth = tm.gauge("hla.tso_queue_depth")
+        self._t_grants = tm.counter("hla.time_advance_grants")
+        self._t_min_time = tm.gauge("hla.min_constrained_time")
 
     # ------------------------------------------------------------------
     # Federation management
@@ -248,6 +264,7 @@ class RTIKernel:
                 }
                 if not payload:
                     continue  # nothing this federate cares about changed
+            self._t_reflections.inc()
             self._route(
                 fed,
                 timestamp,
@@ -286,6 +303,7 @@ class RTIKernel:
                 continue
             if class_name not in other.subscribed_interactions:
                 continue
+            self._t_interactions.inc()
             self._route(
                 other,
                 timestamp,
@@ -388,11 +406,16 @@ class RTIKernel:
         while True:
             grants = self._time.grantable()
             if not grants:
+                if self._instrumented:
+                    floor = self._time.min_constrained_time()
+                    if floor != float("inf"):
+                        self._t_min_time.set(floor)
                 return
             for handle, time in grants:
                 if handle not in self._federates:
                     continue
                 self._time.grant(handle, time)
+                self._t_grants.inc()
                 fed = self._federates[handle]
                 self._release_tso(fed, time)
                 fed.ambassador.time_advance_grant(time)
@@ -428,10 +451,13 @@ class RTIKernel:
             fed.tso_queue,
             _TsoMessage(timestamp=timestamp, seq=next(self._tso_seq), deliver=deliver),
         )
+        self._t_tso_enqueued.inc()
+        self._t_tso_depth.inc()
 
     def _release_tso(self, fed: _Federate, up_to: float) -> None:
         while fed.tso_queue and fed.tso_queue[0].timestamp <= up_to:
             message = heapq.heappop(fed.tso_queue)
+            self._t_tso_depth.dec()
             message.deliver()
 
     def pending_tso(self, federate: FederateHandle) -> int:

@@ -11,11 +11,13 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from repro.network.messages import Message
 from repro.simkernel import Simulator
+from repro.telemetry import NULL_TELEMETRY
 
 __all__ = ["ChannelStats", "WirelessChannel"]
 
@@ -47,6 +49,7 @@ class WirelessChannel:
         latency_jitter: float = 0.0,
         loss_probability: float = 0.0,
         name: str = "channel",
+        telemetry: Any = None,
     ) -> None:
         if base_latency < 0:
             raise ValueError(f"base_latency must be >= 0, got {base_latency}")
@@ -63,6 +66,12 @@ class WirelessChannel:
         self._loss_probability = loss_probability
         self.name = name
         self.stats = ChannelStats()
+        tm = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._instrumented = tm.enabled
+        self._t_sent = tm.counter("net.channel.sent", channel=name)
+        self._t_delivered = tm.counter("net.channel.delivered", channel=name)
+        self._t_dropped = tm.counter("net.channel.dropped", channel=name)
+        self._t_latency = tm.histogram("net.channel.delivery_latency")
 
     def latency_sample(self) -> float:
         """One latency draw: base + exponential jitter."""
@@ -77,15 +86,23 @@ class WirelessChannel:
         Returns ``True`` when the message was accepted for delivery (it may
         still be in flight), ``False`` when it was dropped.
         """
+        instrumented = self._instrumented
         self.stats.sent += 1
         self.stats.bytes_sent += message.size_bytes
+        if instrumented:
+            self._t_sent.inc()
         if self._loss_probability > 0 and self._rng.random() < self._loss_probability:
             self.stats.dropped += 1
+            if instrumented:
+                self._t_dropped.inc()
             return False
         latency = self.latency_sample()
 
         def arrive() -> None:
             self.stats.delivered += 1
+            if instrumented:
+                self._t_delivered.inc()
+                self._t_latency.observe(latency)
             deliver(message)
 
         if latency <= 0:

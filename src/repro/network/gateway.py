@@ -8,10 +8,12 @@ and forwards them to the ADF.
 from __future__ import annotations
 
 from collections.abc import Callable
+from typing import Any
 
 from repro.campus import Region
 from repro.network.channel import WirelessChannel
 from repro.network.messages import LocationUpdate, Message
+from repro.telemetry import NULL_TELEMETRY, Severity
 
 __all__ = ["WirelessGateway"]
 
@@ -29,6 +31,8 @@ class WirelessGateway:
         region: Region,
         uplink: WirelessChannel,
         sink: Callable[[LocationUpdate], None],
+        *,
+        telemetry: Any = None,
     ) -> None:
         self.region = region
         self._uplink = uplink
@@ -37,6 +41,16 @@ class WirelessGateway:
         self.received = 0
         self.forwarded = 0
         self.discarded = 0
+        tm = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._telemetry = tm
+        self._instrumented = tm.enabled
+        # The uplink name carries the lane (e.g. "adf-1/R3"), so labelling
+        # by it keeps per-lane resolution where region alone would collapse
+        # all lanes' gateways for one region into a single counter.
+        labels = {"region": region.region_id, "uplink": uplink.name}
+        self._t_received = tm.counter("net.gateway.received", **labels)
+        self._t_forwarded = tm.counter("net.gateway.forwarded", **labels)
+        self._t_discarded = tm.counter("net.gateway.discarded", **labels)
 
     @property
     def gateway_id(self) -> str:
@@ -49,15 +63,24 @@ class WirelessGateway:
 
     def receive(self, update: LocationUpdate) -> None:
         """Accept an LU from an MN and forward it upstream."""
+        instrumented = self._instrumented
         self.received += 1
+        if instrumented:
+            self._t_received.inc()
         if not self.operational:
             self.discarded += 1
+            if instrumented:
+                self._t_discarded.inc()
             return
         accepted = self._uplink.send(update, self._deliver)
         if accepted:
             self.forwarded += 1
+            if instrumented:
+                self._t_forwarded.inc()
         else:
             self.discarded += 1
+            if instrumented:
+                self._t_discarded.inc()
 
     def _deliver(self, message: Message) -> None:
         assert isinstance(message, LocationUpdate)
@@ -66,10 +89,22 @@ class WirelessGateway:
     def fail(self) -> None:
         """Take the gateway down (failure injection)."""
         self.operational = False
+        self._telemetry.event(
+            Severity.WARNING,
+            "gateway down",
+            source=self.gateway_id,
+            region=self.region.region_id,
+        )
 
     def restore(self) -> None:
         """Bring the gateway back up."""
         self.operational = True
+        self._telemetry.event(
+            Severity.INFO,
+            "gateway restored",
+            source=self.gateway_id,
+            region=self.region.region_id,
+        )
 
     def __repr__(self) -> str:
         state = "up" if self.operational else "down"

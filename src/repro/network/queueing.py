@@ -17,9 +17,11 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.network.messages import Message
 from repro.simkernel import Simulator
+from repro.telemetry import NULL_TELEMETRY
 from repro.util.validation import check_positive
 
 __all__ = ["QueueingStats", "QueueingChannel"]
@@ -71,6 +73,7 @@ class QueueingChannel:
         bandwidth_bps: float,
         queue_limit: int = 256,
         name: str = "uplink",
+        telemetry: Any = None,
     ) -> None:
         check_positive(bandwidth_bps, "bandwidth_bps")
         if queue_limit < 1:
@@ -82,6 +85,13 @@ class QueueingChannel:
         self._busy = False
         self.name = name
         self.stats = QueueingStats()
+        tm = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._instrumented = tm.enabled
+        self._t_accepted = tm.counter("net.queue.accepted", queue=name)
+        self._t_delivered = tm.counter("net.queue.delivered", queue=name)
+        self._t_dropped = tm.counter("net.queue.dropped_full", queue=name)
+        self._t_depth = tm.gauge("net.queue.depth", queue=name)
+        self._t_delay = tm.histogram("net.queue.delay")
 
     @property
     def queue_length(self) -> int:
@@ -94,11 +104,17 @@ class QueueingChannel:
 
     def send(self, message: Message, deliver: Callable[[Message], None]) -> bool:
         """Offer a message; returns False when the queue is full."""
+        instrumented = self._instrumented
         if len(self._queue) >= self._queue_limit:
             self.stats.dropped_queue_full += 1
+            if instrumented:
+                self._t_dropped.inc()
             return False
         self.stats.accepted += 1
         self._queue.append(_Pending(message, deliver, self._sim.now))
+        if instrumented:
+            self._t_accepted.inc()
+            self._t_depth.set(len(self._queue))
         if not self._busy:
             self._start_next()
         return True
@@ -109,6 +125,8 @@ class QueueingChannel:
             return
         self._busy = True
         pending = self._queue.popleft()
+        if self._instrumented:
+            self._t_depth.set(len(self._queue))
         duration = self.service_time(pending.message)
 
         def complete() -> None:
@@ -117,6 +135,9 @@ class QueueingChannel:
             self.stats.total_delay += delay
             self.stats.max_delay = max(self.stats.max_delay, delay)
             self.stats.delays.append(delay)
+            if self._instrumented:
+                self._t_delivered.inc()
+                self._t_delay.observe(delay)
             pending.deliver(pending.message)
             self._start_next()
 

@@ -6,10 +6,18 @@ tags, then answers the three questions the evaluation asks:
 * LUs per second over time (Fig. 4);
 * accumulated LUs over the run (Fig. 5);
 * totals per region / per region *kind* (Fig. 6).
+
+Two retention modes exist.  The default (*exact*) keeps every event,
+which is what tests want but grows without bound on long runs.  Passing
+``bin_width`` switches to *binned* mode: events collapse into fixed-width
+time-bin counters at :meth:`count` time, bounding memory at one integer
+per bin regardless of traffic volume.  ``per_second`` then serves any
+bin width that is an integer multiple of the retention width.
 """
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 
 from repro.util.timeseries import TimeSeries
@@ -20,12 +28,22 @@ __all__ = ["TrafficMeter"]
 class TrafficMeter:
     """Counts timestamped, region-tagged message events."""
 
-    def __init__(self, name: str = "traffic") -> None:
+    def __init__(self, name: str = "traffic", *, bin_width: float | None = None) -> None:
+        if bin_width is not None and bin_width <= 0:
+            raise ValueError(f"bin_width must be > 0, got {bin_width}")
         self.name = name
+        self._bin_width = bin_width
         self._events: list[tuple[float, str]] = []
+        self._bins: Counter[int] = Counter()
+        self._total = 0
         self._per_region: Counter[str] = Counter()
         self._per_node: Counter[str] = Counter()
         self._bytes = 0
+
+    @property
+    def bin_width(self) -> float | None:
+        """Retention bin width (``None`` = exact per-event retention)."""
+        return self._bin_width
 
     def count(
         self,
@@ -41,7 +59,14 @@ class TrafficMeter:
         energy analysis uses to charge each device's battery for its own
         transmissions.
         """
-        self._events.append((time, region_id))
+        if self._bin_width is None:
+            self._events.append((time, region_id))
+        else:
+            # Right-closed bins, matching TimeSeries.bin_sum: bin i covers
+            # (i*w, (i+1)*w], with t = 0 joining bin 0.
+            index = math.ceil(time / self._bin_width) - 1
+            self._bins[index if index > 0 else 0] += 1
+        self._total += 1
         self._per_region[region_id] += 1
         if node_id:
             self._per_node[node_id] += 1
@@ -50,7 +75,7 @@ class TrafficMeter:
     @property
     def total(self) -> int:
         """Total messages counted."""
-        return len(self._events)
+        return self._total
 
     @property
     def total_bytes(self) -> int:
@@ -78,21 +103,58 @@ class TrafficMeter:
         return sum(self._per_region.get(r, 0) for r in region_ids)
 
     def per_second(self, duration: float, *, bin_width: float = 1.0) -> TimeSeries:
-        """Message counts binned into fixed windows over ``[0, duration)``."""
-        raw = TimeSeries()
-        for time, _ in sorted(self._events, key=lambda e: e[0]):
-            raw.append(time, 1.0)
-        return raw.bin_sum(bin_width, duration)
+        """Message counts binned into fixed windows over ``[0, duration)``.
+
+        In binned retention mode the requested *bin_width* must be an
+        integer multiple of the retention width (events inside a retention
+        bin are indistinguishable, so no finer resolution exists).
+        """
+        if self._bin_width is None:
+            raw = TimeSeries()
+            for time, _ in sorted(self._events, key=lambda e: e[0]):
+                raw.append(time, 1.0)
+            return raw.bin_sum(bin_width, duration)
+        ratio = bin_width / self._bin_width
+        k = round(ratio)
+        if k < 1 or abs(ratio - k) > 1e-9:
+            raise ValueError(
+                f"bin_width {bin_width} is not an integer multiple of the "
+                f"retention bin width {self._bin_width}"
+            )
+        n_bins = math.ceil(duration / bin_width)
+        n_base = math.ceil(duration / self._bin_width)
+        sums = [0.0] * n_bins
+        for index, count in self._bins.items():
+            if index >= n_base:
+                continue
+            big = index // k
+            if big < n_bins:
+                sums[big] += count
+        out = TimeSeries()
+        for i in range(n_bins):
+            out.append(i * bin_width, sums[i])
+        return out
 
     def accumulated(self, duration: float, *, bin_width: float = 1.0) -> TimeSeries:
         """Running total of messages, sampled once per bin (Fig. 5)."""
         return self.per_second(duration, bin_width=bin_width).cumulative()
 
     def mean_rate(self, duration: float) -> float:
-        """Average messages per second over ``[0, duration)``."""
+        """Average messages per second over ``[0, duration)``.
+
+        In binned mode the window edge is resolved at retention-bin
+        granularity: every bin starting before *duration* counts in full.
+        """
         if duration <= 0:
             raise ValueError(f"duration must be > 0, got {duration}")
-        in_window = sum(1 for t, _ in self._events if 0 <= t < duration)
+        if self._bin_width is None:
+            in_window = sum(1 for t, _ in self._events if 0 <= t < duration)
+        else:
+            in_window = sum(
+                count
+                for index, count in self._bins.items()
+                if index * self._bin_width < duration
+            )
         return in_window / duration
 
     def __repr__(self) -> str:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from collections.abc import Callable
+from typing import Any
 
 from repro.simkernel.events import Event, EventQueue
 
@@ -19,13 +20,26 @@ class Simulator:
     Time starts at ``start_time`` (default 0) and only moves forward.  All
     model components share one simulator and schedule work through it, which
     keeps global event ordering well-defined.
+
+    With *telemetry* enabled the engine counts executed events, tracks the
+    future-event-list depth as a gauge, and wraps each event's action in a
+    per-label tracing span; without it the event loop runs the bare path.
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0, *, telemetry: Any = None) -> None:
         self._now = float(start_time)
         self._queue = EventQueue()
         self._running = False
         self._events_executed = 0
+        if telemetry is not None and telemetry.enabled:
+            telemetry.tracer.set_sim_clock(lambda: self._now)
+            self._tracer = telemetry.tracer
+            self._t_events = telemetry.counter("sim.events_executed")
+            self._t_queue_depth = telemetry.gauge("sim.queue_depth")
+        else:
+            self._tracer = None
+            self._t_events = None
+            self._t_queue_depth = None
 
     # -- clock ---------------------------------------------------------------
     @property
@@ -122,7 +136,13 @@ class Simulator:
         event = self._queue.pop()
         self._now = event.time
         self._events_executed += 1
-        event.action()
+        if self._tracer is None:
+            event.action()
+        else:
+            self._t_events.inc()
+            self._t_queue_depth.set(len(self._queue))
+            with self._tracer.span(f"sim.activity:{event.label or 'unlabelled'}"):
+                event.action()
         return True
 
     def run_until(self, end_time: float) -> None:

@@ -1,0 +1,37 @@
+"""Telemetry configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.telemetry.events import Severity
+
+__all__ = ["TelemetryConfig"]
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Global telemetry switches for a run.
+
+    ``enabled`` gates everything: when False every telemetry hook in the
+    stack is a no-op with near-zero overhead and no state accumulates.
+    ``sample_interval`` is the sim-time period of the periodic metric
+    sampler; ``event_log_capacity`` bounds the structured event ring;
+    ``min_severity`` drops events quieter than the threshold at the
+    source.
+    """
+
+    enabled: bool = False
+    sample_interval: float = 10.0
+    event_log_capacity: int = 1024
+    min_severity: Severity = Severity.DEBUG
+
+    def __post_init__(self) -> None:
+        if self.sample_interval <= 0:
+            raise ValueError(
+                f"sample_interval must be > 0, got {self.sample_interval}"
+            )
+        if self.event_log_capacity < 1:
+            raise ValueError(
+                f"event_log_capacity must be >= 1, got {self.event_log_capacity}"
+            )

@@ -1,0 +1,144 @@
+"""Structured event log: a bounded ring buffer of typed records.
+
+Components log discrete happenings — a gateway failing, a recluster, a
+queue overflowing — as :class:`EventRecord` entries with a severity, the
+sim time, a source tag and free-form fields.  The log is a ring buffer:
+it never grows past its capacity, old records fall off the front, and
+every record is JSON-serialisable for export.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter as _Counter
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Severity", "EventRecord", "EventLog"]
+
+
+class Severity(enum.IntEnum):
+    """Event severity, ordered so records filter by threshold."""
+
+    DEBUG = 10
+    INFO = 20
+    WARNING = 30
+    ERROR = 40
+
+
+@dataclass(frozen=True, slots=True)
+class EventRecord:
+    """One logged event."""
+
+    time: float
+    severity: Severity
+    source: str
+    message: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (severity by name)."""
+        return {
+            "time": self.time,
+            "severity": self.severity.name,
+            "source": self.source,
+            "message": self.message,
+            "fields": dict(self.fields),
+        }
+
+
+class EventLog:
+    """Bounded, severity-aware event buffer."""
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        *,
+        min_severity: Severity = Severity.DEBUG,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._records: deque[EventRecord] = deque(maxlen=capacity)
+        self._capacity = capacity
+        self._min_severity = min_severity
+        self._total = 0
+        self._by_severity: _Counter[Severity] = _Counter()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum records retained."""
+        return self._capacity
+
+    @property
+    def total_logged(self) -> int:
+        """Records accepted over the log's lifetime (retained or not)."""
+        return self._total
+
+    @property
+    def dropped(self) -> int:
+        """Records pushed out of the ring by newer ones."""
+        return self._total - len(self._records)
+
+    def log(
+        self,
+        severity: Severity,
+        message: str,
+        *,
+        time: float = 0.0,
+        source: str = "",
+        **fields: Any,
+    ) -> EventRecord | None:
+        """Append a record; returns it, or None when below the threshold."""
+        if severity < self._min_severity:
+            return None
+        record = EventRecord(
+            time=time,
+            severity=severity,
+            source=source,
+            message=message,
+            fields=fields,
+        )
+        self._records.append(record)
+        self._total += 1
+        self._by_severity[severity] += 1
+        return record
+
+    def debug(self, message: str, **kwargs: Any) -> EventRecord | None:
+        """Log at DEBUG."""
+        return self.log(Severity.DEBUG, message, **kwargs)
+
+    def info(self, message: str, **kwargs: Any) -> EventRecord | None:
+        """Log at INFO."""
+        return self.log(Severity.INFO, message, **kwargs)
+
+    def warning(self, message: str, **kwargs: Any) -> EventRecord | None:
+        """Log at WARNING."""
+        return self.log(Severity.WARNING, message, **kwargs)
+
+    def error(self, message: str, **kwargs: Any) -> EventRecord | None:
+        """Log at ERROR."""
+        return self.log(Severity.ERROR, message, **kwargs)
+
+    def records(self, min_severity: Severity | None = None) -> list[EventRecord]:
+        """Retained records, oldest first, optionally severity-filtered."""
+        if min_severity is None:
+            return list(self._records)
+        return [r for r in self._records if r.severity >= min_severity]
+
+    def counts_by_severity(self) -> dict[str, int]:
+        """Lifetime record counts keyed by severity name."""
+        return {sev.name: self._by_severity.get(sev, 0) for sev in Severity}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-serialisable dump: stats plus the retained records."""
+        return {
+            "capacity": self._capacity,
+            "total_logged": self._total,
+            "dropped": self.dropped,
+            "counts": self.counts_by_severity(),
+            "records": [r.to_dict() for r in self._records],
+        }

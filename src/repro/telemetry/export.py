@@ -1,0 +1,157 @@
+"""Exporters: JSON / CSV snapshots and the human-readable summary table.
+
+The snapshot layout (see :meth:`Telemetry.snapshot`)::
+
+    {
+      "metrics": {"<name{labels}>": {"kind": ..., "value"/"count"/...}},
+      "samples": {"<name{labels}>": {"times": [...], "values": [...]}},
+      "spans":   {"<span name>":   {"count": ..., "wall_total": ...}},
+      "events":  {"capacity": ..., "records": [...]}
+    }
+
+``metrics`` and ``samples`` are deterministic under a fixed seed; span
+wall-clock timings are not, which is why they live in their own section.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.hub import Telemetry
+
+__all__ = [
+    "write_snapshot_json",
+    "write_metrics_csv",
+    "summary_table",
+]
+
+
+def write_snapshot_json(snapshot: dict[str, Any], path: str | Path) -> Path:
+    """Write a telemetry snapshot as indented JSON; returns the path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def write_metrics_csv(snapshot: dict[str, Any], path: str | Path) -> Path:
+    """Write the snapshot's metrics section as flat CSV rows.
+
+    Columns: metric, kind, value, count, sum, mean, min, max, p50, p90,
+    p99 (blank where a column does not apply to the instrument kind).
+    """
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    columns = [
+        "metric",
+        "kind",
+        "value",
+        "count",
+        "sum",
+        "mean",
+        "min",
+        "max",
+        "p50",
+        "p90",
+        "p99",
+    ]
+    with out.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(columns)
+        for name, data in sorted(snapshot.get("metrics", {}).items()):
+            row: dict[str, Any] = {"metric": name, "kind": data.get("kind", "")}
+            if data.get("kind") == "histogram":
+                quantiles = data.get("quantiles", {})
+                row.update(
+                    count=data.get("count", 0),
+                    sum=data.get("sum", 0.0),
+                    mean=data.get("mean", 0.0),
+                    min=data.get("min", 0.0),
+                    max=data.get("max", 0.0),
+                    p50=quantiles.get("0.5", ""),
+                    p90=quantiles.get("0.9", ""),
+                    p99=quantiles.get("0.99", ""),
+                )
+            else:
+                row["value"] = data.get("value", 0.0)
+            writer.writerow([row.get(c, "") for c in columns])
+    return out
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def summary_table(telemetry: "Telemetry") -> str:
+    """Render a run's telemetry as aligned, layer-grouped text tables."""
+    lines: list[str] = []
+
+    instruments = sorted(
+        telemetry.registry.instruments(), key=lambda m: m.full_name
+    )
+    if instruments:
+        lines.append("=== metrics ===")
+        width = max(len(m.full_name) for m in instruments)
+        last_layer = None
+        for metric in instruments:
+            layer = metric.name.split(".", 1)[0]
+            if layer != last_layer:
+                if last_layer is not None:
+                    lines.append("")
+                last_layer = layer
+            if metric.kind == "histogram":
+                lines.append(
+                    f"  {metric.full_name:<{width}}  n={metric.count:<8} "
+                    f"mean={_format_value(metric.mean):<10} "
+                    f"p50={_format_value(metric.quantile(0.5)):<10} "
+                    f"p99={_format_value(metric.quantile(0.99)):<10} "
+                    f"max={_format_value(metric.max)}"
+                )
+            else:
+                lines.append(
+                    f"  {metric.full_name:<{width}}  "
+                    f"{_format_value(metric.value)}"
+                )
+    else:
+        lines.append("=== metrics === (none registered)")
+
+    span_stats = telemetry.tracer.stats()
+    if span_stats:
+        lines.append("")
+        lines.append("=== spans (wall-clock; non-deterministic) ===")
+        width = max(len(name) for name in span_stats)
+        ordered = sorted(
+            span_stats.values(), key=lambda s: s.wall_total, reverse=True
+        )
+        for stats in ordered:
+            lines.append(
+                f"  {stats.name:<{width}}  n={stats.count:<8} "
+                f"total={stats.wall_total * 1e3:>9.2f}ms "
+                f"mean={stats.wall_mean * 1e6:>8.2f}us "
+                f"max={(0.0 if math.isinf(stats.wall_max) else stats.wall_max) * 1e6:>8.2f}us"
+            )
+
+    log = telemetry.events
+    lines.append("")
+    counts = ", ".join(
+        f"{name}={count}"
+        for name, count in log.counts_by_severity().items()
+        if count
+    )
+    lines.append(
+        f"=== events === {log.total_logged} logged"
+        f" ({counts or 'none'}), {log.dropped} dropped from ring"
+    )
+    for record in log.records()[-10:]:
+        lines.append(
+            f"  [{record.time:>8.1f}s {record.severity.name:<7}] "
+            f"{record.source}: {record.message}"
+        )
+    return "\n".join(lines)

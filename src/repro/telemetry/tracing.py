@@ -1,0 +1,149 @@
+"""Sim-time-aware tracing: nested spans with wall- and sim-clock timing.
+
+A :class:`Tracer` hands out :class:`Span` context managers.  Spans nest
+(the tracer keeps the active stack), and on exit each span folds its
+wall-clock duration *and* its sim-clock duration into per-span-name
+aggregate statistics.  Wall-clock numbers measure where the Python
+process spends real time; sim-clock numbers measure how much simulated
+time elapsed inside the span (non-zero only when the span's action
+advances the simulator, e.g. a nested ``run_until``).
+
+Wall-clock durations are inherently non-deterministic; exporters keep
+them separate from the seed-stable metric snapshot.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["SpanStats", "Span", "Tracer"]
+
+
+@dataclass
+class SpanStats:
+    """Aggregate timings for one span name."""
+
+    name: str
+    count: int = 0
+    wall_total: float = 0.0
+    wall_min: float = math.inf
+    wall_max: float = 0.0
+    sim_total: float = 0.0
+
+    def record(self, wall: float, sim: float) -> None:
+        """Fold one completed span into the aggregate."""
+        self.count += 1
+        self.wall_total += wall
+        if wall < self.wall_min:
+            self.wall_min = wall
+        if wall > self.wall_max:
+            self.wall_max = wall
+        self.sim_total += sim
+
+    @property
+    def wall_mean(self) -> float:
+        """Average wall-clock seconds per span."""
+        return self.wall_total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-serialisable state."""
+        return {
+            "count": self.count,
+            "wall_total": self.wall_total,
+            "wall_mean": self.wall_mean,
+            "wall_min": self.wall_min if self.count else 0.0,
+            "wall_max": self.wall_max,
+            "sim_total": self.sim_total,
+        }
+
+
+class Span:
+    """One timed section; use as a context manager."""
+
+    __slots__ = ("name", "_tracer", "_wall_start", "_sim_start", "depth")
+
+    def __init__(self, name: str, tracer: "Tracer") -> None:
+        self.name = name
+        self._tracer = tracer
+        self._wall_start = 0.0
+        self._sim_start = 0.0
+        #: Nesting depth at entry (0 = top level); set by ``__enter__``.
+        self.depth = 0
+
+    def __enter__(self) -> "Span":
+        self.depth = self._tracer._enter(self)
+        self._wall_start = _time.perf_counter()
+        self._sim_start = self._tracer._sim_now()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        wall = _time.perf_counter() - self._wall_start
+        sim = self._tracer._sim_now() - self._sim_start
+        self._tracer._exit(self, wall, sim)
+
+
+class Tracer:
+    """Creates spans and aggregates their statistics by name."""
+
+    def __init__(self, sim_clock: Callable[[], float] | None = None) -> None:
+        self._sim_clock = sim_clock
+        self._stats: dict[str, SpanStats] = {}
+        self._stack: list[Span] = []
+
+    def set_sim_clock(self, sim_clock: Callable[[], float] | None) -> None:
+        """Install the simulation clock spans read (None: sim time = 0)."""
+        self._sim_clock = sim_clock
+
+    def _sim_now(self) -> float:
+        return self._sim_clock() if self._sim_clock is not None else 0.0
+
+    def span(self, name: str) -> Span:
+        """A new span named *name*; enter it with ``with``."""
+        return Span(name, self)
+
+    # -- span lifecycle (called by Span) ----------------------------------
+    def _enter(self, span: Span) -> int:
+        depth = len(self._stack)
+        self._stack.append(span)
+        return depth
+
+    def _exit(self, span: Span, wall: float, sim: float) -> None:
+        # Pop through to this span; tolerates a span closed out of order
+        # (e.g. an exception unwinding several levels at once).
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        stats = self._stats.get(span.name)
+        if stats is None:
+            stats = SpanStats(span.name)
+            self._stats[span.name] = stats
+        stats.record(wall, sim)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def active_depth(self) -> int:
+        """How many spans are currently open."""
+        return len(self._stack)
+
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def stats(self) -> dict[str, SpanStats]:
+        """Aggregates keyed by span name (live objects, not copies)."""
+        return dict(self._stats)
+
+    def stats_for(self, name: str) -> SpanStats | None:
+        """The aggregate for one span name, if it ever ran."""
+        return self._stats.get(name)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-serialisable aggregates, sorted by span name."""
+        return {
+            name: self._stats[name].snapshot() for name in sorted(self._stats)
+        }

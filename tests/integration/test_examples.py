@@ -64,6 +64,11 @@ class TestExamples:
         out = run_example("battery_saver.py", [], capsys)
         assert "transmitted" in out
 
+    def test_telemetry_tour(self, capsys):
+        out = run_example("telemetry_tour.py", ["20"], capsys)
+        assert "metrics per layer" in out
+        assert "=== metrics ===" in out
+
     def test_every_example_file_is_covered(self):
         tested = {
             "quickstart.py",
@@ -75,6 +80,7 @@ class TestExamples:
             "analysis_report.py",
             "synthetic_city.py",
             "battery_saver.py",
+            "telemetry_tour.py",
         }
         on_disk = {p.name for p in EXAMPLES.glob("*.py")}
         assert on_disk == tested

@@ -72,3 +72,68 @@ class TestSeries:
         m = TrafficMeter()
         assert m.total == 0
         assert m.per_second(2.0).total() == 0.0
+
+
+class TestBinnedRetention:
+    """bin_width mode: bounded memory, identical series where resolvable."""
+
+    @pytest.fixture
+    def binned(self):
+        m = TrafficMeter("b", bin_width=1.0)
+        m.count(0.1, "R1", size_bytes=10)
+        m.count(0.5, "R1", size_bytes=10)
+        m.count(0.9, "B1", size_bytes=10)
+        m.count(1.5, "B1", size_bytes=10)
+        return m
+
+    def test_invalid_bin_width(self):
+        with pytest.raises(ValueError):
+            TrafficMeter("b", bin_width=0.0)
+
+    def test_totals_preserved(self, binned):
+        assert binned.total == 4
+        assert binned.total_bytes == 40
+        assert binned.per_region() == {"R1": 2, "B1": 2}
+
+    def test_per_second_matches_exact_mode(self, binned, meter):
+        assert list(binned.per_second(3.0).values) == list(
+            meter.per_second(3.0).values
+        )
+
+    def test_accumulated_matches_exact_mode(self, binned, meter):
+        assert list(binned.accumulated(3.0).values) == list(
+            meter.accumulated(3.0).values
+        )
+
+    def test_rebin_to_integer_multiple(self, binned):
+        series = binned.per_second(4.0, bin_width=2.0)
+        assert [t for t, _ in series] == [0.0, 2.0]
+        assert list(series.values) == [4.0, 0.0]
+
+    def test_non_multiple_width_raises(self, binned):
+        with pytest.raises(ValueError, match="integer multiple"):
+            binned.per_second(3.0, bin_width=1.5)
+
+    def test_finer_width_raises(self, binned):
+        with pytest.raises(ValueError, match="integer multiple"):
+            binned.per_second(3.0, bin_width=0.5)
+
+    def test_mean_rate(self, binned):
+        assert binned.mean_rate(2.0) == 2.0
+
+    def test_mean_rate_excludes_later_bins(self, binned):
+        binned.count(100.0, "R1")
+        assert binned.mean_rate(2.0) == 2.0
+
+    def test_events_past_duration_excluded(self):
+        m = TrafficMeter("b", bin_width=1.0)
+        m.count(0.5, "R1")
+        m.count(9.5, "R1")
+        assert list(m.per_second(2.0).values) == [1.0, 0.0]
+
+    def test_memory_bounded(self):
+        m = TrafficMeter("b", bin_width=1.0)
+        for i in range(10_000):
+            m.count(i * 0.001, "R1")  # all within (0, 10]
+        assert m.total == 10_000
+        assert len(m._bins) <= 11

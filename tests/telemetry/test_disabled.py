@@ -1,0 +1,90 @@
+"""Disabled telemetry must be an inert no-op everywhere."""
+
+import pytest
+
+from repro.simkernel import Simulator
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Severity,
+    Telemetry,
+    TelemetryConfig,
+)
+
+
+class TestFromConfig:
+    def test_disabled_config_yields_the_shared_null(self):
+        assert Telemetry.from_config(TelemetryConfig(enabled=False)) is NULL_TELEMETRY
+
+    def test_none_yields_the_shared_null(self):
+        assert Telemetry.from_config(None) is NULL_TELEMETRY
+
+    def test_enabled_config_yields_live_telemetry(self):
+        telemetry = Telemetry.from_config(TelemetryConfig(enabled=True))
+        assert isinstance(telemetry, Telemetry)
+        assert telemetry.enabled
+
+
+class TestNullBehaviour:
+    def test_enabled_flag(self):
+        assert NullTelemetry().enabled is False
+
+    def test_instruments_are_shared_noops(self):
+        null = NULL_TELEMETRY
+        c = null.counter("x", label="y")
+        assert c is null.counter("z")
+        assert c is null.gauge("g")
+        c.inc()
+        c.inc(100)
+        c.dec()
+        c.set(5)
+        c.observe(1.0)
+        assert c.value == 0.0
+
+    def test_span_is_reusable_noop(self):
+        null = NULL_TELEMETRY
+        with null.span("a") as s:
+            with null.span("b"):
+                pass
+        assert s is null.span("c")
+
+    def test_event_and_snapshot(self):
+        null = NULL_TELEMETRY
+        null.event(Severity.ERROR, "ignored", source="test")
+        assert null.snapshot() is None
+        assert "disabled" in null.summary()
+
+    def test_bind_is_inert(self):
+        sim = Simulator()
+        NULL_TELEMETRY.bind(sim, end=10.0)
+        sim.run()  # nothing scheduled
+        assert sim.now == 0.0
+
+
+class TestConfigValidation:
+    def test_defaults_disabled(self):
+        assert TelemetryConfig().enabled is False
+
+    def test_bad_interval_raises(self):
+        with pytest.raises(ValueError):
+            TelemetryConfig(sample_interval=0.0)
+
+    def test_bad_capacity_raises(self):
+        with pytest.raises(ValueError):
+            TelemetryConfig(event_log_capacity=0)
+
+
+class TestSimulatorIntegration:
+    def test_simulator_without_telemetry_runs_plain(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule_at(1.0, lambda: hits.append(sim.now))
+        sim.run()
+        assert hits == [1.0]
+
+    def test_simulator_with_null_telemetry_runs_plain(self):
+        sim = Simulator(telemetry=NULL_TELEMETRY)
+        hits = []
+        sim.schedule_at(1.0, lambda: hits.append(sim.now))
+        sim.run()
+        assert hits == [1.0]

@@ -1,0 +1,76 @@
+"""Tests for the bounded structured event log."""
+
+import json
+
+import pytest
+
+from repro.telemetry import EventLog, Severity
+
+
+class TestLogging:
+    def test_record_fields(self):
+        log = EventLog()
+        record = log.warning("queue full", time=12.5, source="uplink", depth=256)
+        assert record.time == 12.5
+        assert record.severity is Severity.WARNING
+        assert record.source == "uplink"
+        assert record.fields == {"depth": 256}
+
+    def test_helpers_map_to_severities(self):
+        log = EventLog()
+        assert log.debug("d").severity is Severity.DEBUG
+        assert log.info("i").severity is Severity.INFO
+        assert log.warning("w").severity is Severity.WARNING
+        assert log.error("e").severity is Severity.ERROR
+
+    def test_below_threshold_is_dropped(self):
+        log = EventLog(min_severity=Severity.WARNING)
+        assert log.info("chatty") is None
+        assert log.warning("real") is not None
+        assert log.total_logged == 1
+
+    def test_counts_by_severity(self):
+        log = EventLog()
+        log.info("a")
+        log.info("b")
+        log.error("c")
+        counts = log.counts_by_severity()
+        assert counts["INFO"] == 2
+        assert counts["ERROR"] == 1
+        assert counts["DEBUG"] == 0
+
+
+class TestRingBounds:
+    def test_capacity_evicts_oldest(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.info(f"event {i}", time=float(i))
+        assert len(log) == 3
+        assert [r.message for r in log.records()] == [
+            "event 2",
+            "event 3",
+            "event 4",
+        ]
+        assert log.total_logged == 5
+        assert log.dropped == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_records_filtered_by_severity(self):
+        log = EventLog()
+        log.debug("fine")
+        log.error("bad")
+        assert [r.message for r in log.records(Severity.WARNING)] == ["bad"]
+
+
+class TestSnapshot:
+    def test_json_safe(self):
+        log = EventLog(capacity=2)
+        log.info("hello", time=1.0, source="x", extra="y")
+        snap = log.snapshot()
+        json.dumps(snap)
+        assert snap["capacity"] == 2
+        assert snap["records"][0]["severity"] == "INFO"
+        assert snap["records"][0]["fields"] == {"extra": "y"}

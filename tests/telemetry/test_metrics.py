@@ -1,0 +1,152 @@
+"""Tests for counters, gauges, histograms and the registry."""
+
+import json
+import math
+
+import pytest
+
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    P2Quantile,
+    TelemetryError,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero(self, registry):
+        assert registry.counter("c").value == 0.0
+
+    def test_inc_default_one(self, registry):
+        c = registry.counter("c")
+        c.inc()
+        c.inc()
+        assert c.value == 2.0
+
+    def test_inc_amount(self, registry):
+        c = registry.counter("c")
+        c.inc(5)
+        assert c.value == 5.0
+
+    def test_negative_inc_raises(self, registry):
+        with pytest.raises(TelemetryError):
+            registry.counter("c").inc(-1)
+
+    def test_full_name_without_labels(self, registry):
+        assert registry.counter("sim.events").full_name == "sim.events"
+
+    def test_full_name_sorts_labels(self, registry):
+        c = registry.counter("net.sent", zone="a", channel="x")
+        assert c.full_name == "net.sent{channel=x,zone=a}"
+
+
+class TestGauge:
+    def test_set(self, registry):
+        g = registry.gauge("g")
+        g.set(7.5)
+        assert g.value == 7.5
+
+    def test_inc_dec(self, registry):
+        g = registry.gauge("g")
+        g.inc(3)
+        g.dec(1)
+        assert g.value == 2.0
+
+
+class TestHistogram:
+    def test_count_sum_min_max(self, registry):
+        h = registry.histogram("h")
+        for v in (0.5, 1.5, 2.5):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(4.5)
+        assert h.min == 0.5
+        assert h.max == 2.5
+        assert h.mean == pytest.approx(1.5)
+
+    def test_bucket_counts_cumulative(self, registry):
+        h = registry.histogram("h", buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 5.0):
+            h.observe(v)
+        counts = dict(h.bucket_counts())
+        assert counts[1.0] == 1
+        assert counts[2.0] == 2
+        assert counts[math.inf] == 3
+
+    def test_exact_quantiles_for_few_samples(self, registry):
+        h = registry.histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.quantile(0.5) == pytest.approx(2.0)
+
+    def test_p2_tracks_uniform_median(self, registry):
+        h = registry.histogram("h")
+        for i in range(1, 1001):
+            h.observe(i / 1000.0)
+        assert h.quantile(0.5) == pytest.approx(0.5, abs=0.02)
+        assert h.quantile(0.9) == pytest.approx(0.9, abs=0.02)
+
+    def test_snapshot_is_json_safe(self, registry):
+        h = registry.histogram("h")
+        h.observe(1.0)
+        json.dumps(h.snapshot())
+
+
+class TestP2Quantile:
+    def test_deterministic(self):
+        def run():
+            q = P2Quantile(0.5)
+            value = 0.0
+            for i in range(500):
+                value = (value * 1103515245 + 12345) % 1000
+                q.observe(value / 1000.0)
+            return q.value
+
+        assert run() == run()
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self, registry):
+        assert registry.counter("c", a="1") is registry.counter("c", a="1")
+
+    def test_different_labels_different_instruments(self, registry):
+        assert registry.counter("c", a="1") is not registry.counter("c", a="2")
+
+    def test_label_order_is_irrelevant(self, registry):
+        assert registry.counter("c", a="1", b="2") is registry.counter(
+            "c", b="2", a="1"
+        )
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("m")
+        with pytest.raises(TelemetryError):
+            registry.gauge("m")
+
+    def test_value_map_scalars(self, registry):
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        h = registry.histogram("h")
+        h.observe(9.0)
+        values = registry.value_map()
+        assert values["c"] == 2.0
+        assert values["g"] == 1.5
+        assert values["h"] == 1.0  # histograms sample their count
+
+    def test_snapshot_sorted_and_json_safe(self, registry):
+        registry.counter("z.last").inc()
+        registry.counter("a.first").inc()
+        snap = registry.snapshot()
+        assert list(snap) == sorted(snap)
+        json.dumps(snap)
+
+    def test_instrument_types(self, registry):
+        assert isinstance(registry.counter("c2"), Counter)
+        assert isinstance(registry.gauge("g2"), Gauge)
+        assert isinstance(registry.histogram("h2"), Histogram)

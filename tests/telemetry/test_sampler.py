@@ -1,0 +1,72 @@
+"""Tests for the periodic metric sampler."""
+
+import pytest
+
+from repro.simkernel import Simulator
+from repro.telemetry import MetricsRegistry, Sampler
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestSampling:
+    def test_samples_on_the_sim_grid(self, registry):
+        sim = Simulator()
+        counter = registry.counter("c")
+        sampler = Sampler(registry, interval=2.0)
+        sampler.install(sim, end=10.0)
+        sim.schedule_every(1.0, counter.inc, end=10.0)
+        sim.run()
+        series = sampler.series_for("c")
+        assert [t for t, _ in series] == [2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_histograms_sample_their_count(self, registry):
+        h = registry.histogram("lat")
+        h.observe(0.5)
+        h.observe(1.5)
+        sampler = Sampler(registry, interval=1.0)
+        sampler.sample(3.0)
+        assert sampler.series_for("lat")[0] == (3.0, 2.0)
+
+    def test_bounded_schedule_lets_run_terminate(self, registry):
+        # An unbounded periodic schedule would keep Simulator.run() alive
+        # forever; install() bounds it by `end`, so run() must return.
+        sim = Simulator()
+        sampler = Sampler(registry, interval=1.0)
+        sampler.install(sim, end=5.0)
+        sim.run()
+        assert sim.now == 5.0
+
+    def test_double_install_raises(self, registry):
+        sim = Simulator()
+        sampler = Sampler(registry, interval=1.0)
+        sampler.install(sim, end=5.0)
+        with pytest.raises(RuntimeError):
+            sampler.install(sim, end=5.0)
+
+    def test_interval_must_be_positive(self, registry):
+        with pytest.raises(ValueError):
+            Sampler(registry, interval=0.0)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_samples(self):
+        def run():
+            registry = MetricsRegistry()
+            sim = Simulator()
+            gauge = registry.gauge("depth")
+            state = {"v": 0.0}
+
+            def work():
+                state["v"] = (state["v"] * 7 + 3) % 11
+                gauge.set(state["v"])
+
+            sampler = Sampler(registry, interval=2.0)
+            sampler.install(sim, end=20.0)
+            sim.schedule_every(1.0, work, end=20.0)
+            sim.run()
+            return sampler.snapshot()
+
+        assert run() == run()

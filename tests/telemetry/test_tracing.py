@@ -1,0 +1,77 @@
+"""Tests for spans and the tracer."""
+
+import json
+
+import pytest
+
+from repro.telemetry import Tracer
+
+
+@pytest.fixture
+def tracer():
+    return Tracer()
+
+
+class TestNesting:
+    def test_depth_assigned_on_entry(self, tracer):
+        with tracer.span("outer") as outer:
+            assert outer.depth == 0
+            with tracer.span("inner") as inner:
+                assert inner.depth == 1
+                assert tracer.active_depth == 2
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.active_depth == 0
+        assert tracer.current() is None
+
+    def test_exception_unwinds_stack(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        assert tracer.active_depth == 0
+        assert tracer.stats_for("outer").count == 1
+        assert tracer.stats_for("inner").count == 1
+
+
+class TestTiming:
+    def test_wall_clock_accumulates(self, tracer):
+        for _ in range(3):
+            with tracer.span("work"):
+                sum(range(1000))
+        stats = tracer.stats_for("work")
+        assert stats.count == 3
+        assert stats.wall_total > 0.0
+        assert stats.wall_min <= stats.wall_mean <= stats.wall_max
+        assert stats.wall_total == pytest.approx(stats.wall_mean * 3)
+
+    def test_sim_clock_durations(self, tracer):
+        clock = {"now": 10.0}
+        tracer.set_sim_clock(lambda: clock["now"])
+        with tracer.span("step"):
+            clock["now"] = 14.0
+        assert tracer.stats_for("step").sim_total == pytest.approx(4.0)
+
+    def test_no_sim_clock_means_zero_sim_time(self, tracer):
+        with tracer.span("step"):
+            pass
+        assert tracer.stats_for("step").sim_total == 0.0
+
+
+class TestAggregation:
+    def test_same_name_folds_together(self, tracer):
+        for _ in range(5):
+            with tracer.span("repeat"):
+                pass
+        assert tracer.stats_for("repeat").count == 5
+        assert len(tracer.stats()) == 1
+
+    def test_snapshot_sorted_and_json_safe(self, tracer):
+        with tracer.span("b"):
+            pass
+        with tracer.span("a"):
+            pass
+        snap = tracer.snapshot()
+        assert list(snap) == ["a", "b"]
+        assert snap["a"]["count"] == 1
+        json.dumps(snap)
