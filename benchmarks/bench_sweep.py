@@ -1,0 +1,71 @@
+"""Sweep runner — parallel speedup and determinism.
+
+A 4-cell, 2-replication grid (duration x channel loss) over the full
+140-node population, executed serially and on 2 worker processes.  The
+two executions must produce bit-identical summaries — per-run seeds are
+derived from (cell, replication) identity, never from scheduling — and
+on a multi-core host the parallel execution must be faster.
+
+Set ``REPRO_BENCH_SWEEP_DURATION`` (default 30 simulated seconds per
+cell) to scale the work.
+"""
+
+import json
+import os
+import time
+
+from repro.experiments import ExperimentConfig, SweepSpec, run_sweep
+
+from benchmarks.conftest import print_header
+
+
+def _spec() -> SweepSpec:
+    duration = float(os.environ.get("REPRO_BENCH_SWEEP_DURATION", "30"))
+    base = ExperimentConfig(duration=duration, dth_factors=(1.0,))
+    return SweepSpec.from_axes(
+        {
+            "duration": (duration * 0.75, duration),
+            "channel_loss": (0.0, 0.01),
+        },
+        base=base,
+        replications=2,
+    )
+
+
+def test_sweep_parallel_speedup(benchmark):
+    spec = _spec()
+
+    start = time.perf_counter()
+    serial = run_sweep(spec, workers=1)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_sweep(spec, workers=2)
+    parallel_s = time.perf_counter() - start
+
+    # The benchmarked quantity: aggregate summaries over completed runs.
+    summaries = benchmark(
+        lambda: {key: cell.summaries() for key, cell in parallel.cells.items()}
+    )
+
+    print_header("Sweep: 4 cells x 2 replications, serial vs 2 workers")
+    print(f"{'execution':<16} {'wall seconds':>12}")
+    print(f"{'serial':<16} {serial_s:>12.2f}")
+    print(f"{'2 workers':<16} {parallel_s:>12.2f}")
+    print(f"speedup: {serial_s / parallel_s:.2f}x")
+    for key, cell in parallel.cells.items():
+        reduction = cell.summaries()["reduction(adf-1)"]
+        print(f"  {key}: {reduction}")
+
+    a = {key: cell.runs for key, cell in serial.cells.items()}
+    b = {key: cell.runs for key, cell in parallel.cells.items()}
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+    assert len(summaries) == 4
+
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+        os.cpu_count() or 1
+    )
+    if cores >= 2:
+        # Pool startup costs a fixed few hundred ms; beyond that the two
+        # workers must beat one process on a multi-core host.
+        assert parallel_s < serial_s * 1.1

@@ -8,7 +8,12 @@ traffic (:mod:`~repro.analysis.energy`) — the paper's motivating "low
 battery capacity" constraint, made measurable.
 """
 
-from repro.analysis.multirun import MetricSummary, replicate, summarize_metric
+from repro.analysis.multirun import (
+    MetricSummary,
+    replicate,
+    summarize_metric,
+    summarize_values,
+)
 from repro.analysis.confusion import ConfusionMatrix, evaluate_classifier
 from repro.analysis.energy import EnergyReport, energy_report
 from repro.analysis.traffic_stats import (
@@ -22,6 +27,7 @@ __all__ = [
     "MetricSummary",
     "replicate",
     "summarize_metric",
+    "summarize_values",
     "ConfusionMatrix",
     "evaluate_classifier",
     "EnergyReport",

@@ -12,7 +12,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import run_experiment
 from repro.experiments.results import ExperimentResult
 
-__all__ = ["replicate", "MetricSummary", "summarize_metric"]
+__all__ = ["replicate", "MetricSummary", "summarize_metric", "summarize_values"]
 
 
 def replicate(
@@ -51,25 +51,27 @@ class MetricSummary:
         )
 
 
-def summarize_metric(
-    results: Sequence[ExperimentResult],
-    extractor: Callable[[ExperimentResult], float],
+def summarize_values(
+    values: Sequence[float],
     *,
     metric: str = "metric",
     confidence: float = 0.95,
 ) -> MetricSummary:
-    """Mean ± t-interval of ``extractor(result)`` over the replications.
+    """Mean ± t-interval of raw *values* (one per replication).
 
-    For a single replication the interval degenerates to the point value.
+    For a single value the interval degenerates to the point value.
+    The sweep runner aggregates checkpointed (already-serialised) runs
+    through this entry point; :func:`summarize_metric` layers metric
+    extraction from live :class:`ExperimentResult` objects on top.
     """
-    values = np.array([extractor(result) for result in results], dtype=float)
-    n = values.size
+    array = np.array(list(values), dtype=float)
+    n = array.size
     if n == 0:
         raise ValueError("no results to summarise")
-    mean = float(values.mean())
+    mean = float(array.mean())
     if n == 1:
         return MetricSummary(metric, 1, mean, 0.0, mean, mean)
-    std = float(values.std(ddof=1))
+    std = float(array.std(ddof=1))
     sem = std / np.sqrt(n)
     t_crit = float(stats.t.ppf((1 + confidence) / 2, df=n - 1))
     return MetricSummary(
@@ -79,4 +81,19 @@ def summarize_metric(
         std=std,
         ci_low=mean - t_crit * sem,
         ci_high=mean + t_crit * sem,
+    )
+
+
+def summarize_metric(
+    results: Sequence[ExperimentResult],
+    extractor: Callable[[ExperimentResult], float],
+    *,
+    metric: str = "metric",
+    confidence: float = 0.95,
+) -> MetricSummary:
+    """Mean ± t-interval of ``extractor(result)`` over the replications."""
+    return summarize_values(
+        [extractor(result) for result in results],
+        metric=metric,
+        confidence=confidence,
     )

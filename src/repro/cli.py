@@ -10,6 +10,8 @@ Usage::
     python -m repro energy --duration 120
     python -m repro replicate --duration 60 --seeds 1 2 3
     python -m repro telemetry --duration 120 --export-json telemetry.json
+    python -m repro sweep --grid sweep.toml --workers 4 --out sweep_out
+    python -m repro sweep --smoke
 """
 
 from __future__ import annotations
@@ -46,6 +48,7 @@ _TARGETS = (
     "energy",
     "replicate",
     "telemetry",
+    "sweep",
 )
 
 
@@ -107,6 +110,52 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="with `report`: also write the run as a Markdown document",
     )
+    sweep = parser.add_argument_group("sweep", "options for the sweep target")
+    sweep.add_argument(
+        "--grid",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="sweep definition file (.toml/.json with axes/replications/base)",
+    )
+    sweep.add_argument(
+        "--set",
+        dest="axes",
+        action="append",
+        default=[],
+        metavar="FIELD=V1,V2",
+        help="add a sweep axis inline, e.g. --set duration=300,600 "
+        "(repeatable; overrides the same axis from --grid)",
+    )
+    sweep.add_argument(
+        "--replications",
+        type=int,
+        default=None,
+        help="replications per grid cell (seeds derived from the base seed)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial; results are identical)",
+    )
+    sweep.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="checkpoint directory (enables resume after an interrupt)",
+    )
+    sweep.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="recompute every run even when a checkpoint exists",
+    )
+    sweep.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run a tiny built-in 2x2 grid (CI smoke test)",
+    )
     return parser
 
 
@@ -141,6 +190,8 @@ def _static_target(args: argparse.Namespace) -> int | None:
         )
         print(matrix.render())
         return 0
+    if args.target == "sweep":
+        return _sweep_target(args)
     if args.target == "replicate":
         from repro.analysis import replicate, summarize_metric
 
@@ -155,6 +206,73 @@ def _static_target(args: argparse.Namespace) -> int | None:
             print(summarize_metric(results, extractor, metric=metric))
         return 0
     return None
+
+
+def _parse_axis_token(token: str) -> object:
+    """One inline axis value: int, then float, then bare string."""
+    for parse in (int, float):
+        try:
+            return parse(token)
+        except ValueError:
+            continue
+    return token
+
+
+def _smoke_spec() -> "SweepSpec":
+    """A tiny 2x2 grid over a reduced population (the CI smoke sweep)."""
+    from repro.experiments import SweepSpec
+    from repro.mobility.population import PopulationSpec
+
+    base = ExperimentConfig(
+        duration=8.0,
+        dth_factors=(1.0,),
+        population=PopulationSpec(
+            road_humans_per_road=1,
+            road_vehicles_per_road=1,
+            building_stop=1,
+            building_random=1,
+            building_linear=1,
+        ),
+    )
+    return SweepSpec.from_axes(
+        {"duration": (6.0, 8.0), "channel_loss": (0.0, 0.01)},
+        base=base,
+        replications=1,
+    )
+
+
+def _sweep_target(args: argparse.Namespace) -> int:
+    from repro.experiments import SweepSpec, load_sweep_spec, run_sweep
+
+    if args.smoke:
+        spec = _smoke_spec()
+    elif args.grid:
+        spec = load_sweep_spec(args.grid)
+    else:
+        spec = SweepSpec(base=_build_config(args))
+    if args.axes:
+        inline = {
+            name: tuple(_parse_axis_token(token) for token in values.split(","))
+            for name, _, values in (item.partition("=") for item in args.axes)
+        }
+        merged = dict(spec.axes)
+        merged.update(inline)
+        spec = SweepSpec.from_axes(
+            merged, base=spec.base, replications=spec.replications
+        )
+    if args.replications is not None:
+        spec = SweepSpec(
+            base=spec.base, axes=spec.axes, replications=args.replications
+        )
+    result = run_sweep(
+        spec,
+        out_dir=args.out,
+        workers=args.workers,
+        resume=not args.no_resume,
+        progress=print,
+    )
+    print(result.render())
+    return 0
 
 
 def _build_config(args: argparse.Namespace) -> ExperimentConfig:

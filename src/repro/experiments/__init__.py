@@ -9,6 +9,13 @@ Every figure and table of the paper has a generator here; the benchmarks in
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.results import ExperimentResult, LaneResult, RegionErrors
 from repro.experiments.harness import MobileGridExperiment, run_experiment
+from repro.experiments.runner import (
+    CellResult,
+    SweepResult,
+    SweepSpec,
+    load_sweep_spec,
+    run_sweep,
+)
 from repro.experiments.figures import (
     fig4_lus_per_second,
     fig5_accumulated_lus,
@@ -27,6 +34,11 @@ __all__ = [
     "RegionErrors",
     "MobileGridExperiment",
     "run_experiment",
+    "SweepSpec",
+    "SweepResult",
+    "CellResult",
+    "run_sweep",
+    "load_sweep_spec",
     "table1_specification",
     "fig4_lus_per_second",
     "fig5_accumulated_lus",

@@ -25,7 +25,7 @@ from typing import Any
 from repro.experiments.config import ExperimentConfig
 from repro.mobility.population import PopulationSpec
 
-__all__ = ["config_from_dict", "load_config"]
+__all__ = ["config_from_dict", "load_config", "apply_overrides"]
 
 _CONFIG_FIELDS = {f.name for f in dataclasses.fields(ExperimentConfig)}
 _POPULATION_FIELDS = {f.name for f in dataclasses.fields(PopulationSpec)}
@@ -52,6 +52,40 @@ def config_from_dict(data: dict[str, Any]) -> ExperimentConfig:
             raise ValueError(f"unknown population keys: {sorted(bad)}")
         kwargs["population"] = PopulationSpec(**population_data)
     return ExperimentConfig(**kwargs)
+
+
+def apply_overrides(
+    config: ExperimentConfig, params: dict[str, Any]
+) -> ExperimentConfig:
+    """Return *config* with sweep-axis *params* applied.
+
+    Keys are :class:`ExperimentConfig` field names, or dotted
+    ``population.<field>`` names for mobility knobs (e.g.
+    ``population.road_vehicles_per_road``).  Unknown keys raise — a
+    silently ignored sweep axis would make every cell identical.
+    """
+    top: dict[str, Any] = {}
+    population: dict[str, Any] = {}
+    for key, value in params.items():
+        if key.startswith("population."):
+            field = key.split(".", 1)[1]
+            if field not in _POPULATION_FIELDS:
+                raise ValueError(f"unknown population field {field!r}")
+            population[field] = value
+        elif key == "population":
+            raise ValueError(
+                "override individual 'population.<field>' keys, "
+                "not the whole population"
+            )
+        elif key not in _CONFIG_FIELDS:
+            raise ValueError(f"unknown config field {key!r}")
+        else:
+            top[key] = value
+    if "dth_factors" in top:
+        top["dth_factors"] = tuple(top["dth_factors"])
+    if population:
+        top["population"] = dataclasses.replace(config.population, **population)
+    return dataclasses.replace(config, **top)
 
 
 def load_config(path: str | Path) -> ExperimentConfig:

@@ -41,7 +41,16 @@ from repro.telemetry import Telemetry
 from repro.util.rng import RngRegistry
 from repro.util.timeseries import TimeSeries
 
-__all__ = ["Lane", "MobileGridExperiment", "run_experiment"]
+__all__ = ["Lane", "MobileGridExperiment", "policy_kind", "run_experiment"]
+
+
+def policy_kind(policy: FilterPolicy) -> str:
+    """The lane-kind tag ("ideal" / "adf" / "gdf") for a filter policy."""
+    if isinstance(policy, AdaptiveDistanceFilter):
+        return "adf"
+    if isinstance(policy, GeneralDistanceFilterPolicy):
+        return "gdf"
+    return "ideal"
 
 
 @dataclass
@@ -81,6 +90,12 @@ class MobileGridExperiment:
         self.nodes: list[MobileNode] = build_population(
             self.campus, self.config.population, self.rng
         )
+        self._home_region_by_node: dict[str, str] = {
+            node.node_id: node.home_region for node in self.nodes
+        }
+        self._road_region_ids: set[str] = {
+            region.region_id for region in self.campus.roads()
+        }
         self.lanes: list[Lane] = []
         self._build_lanes()
         # One association view for the whole experiment: which gateway
@@ -210,10 +225,7 @@ class MobileGridExperiment:
             updates.append(update)
         for lane in self.lanes:
             for update in updates:
-                gateway = lane.gateways.get(update.region_id)
-                if gateway is None:
-                    gateway = lane.gateways[self.nodes[0].home_region]
-                gateway.receive(update)
+                self._gateway_for(lane, update).receive(update)
             if isinstance(lane.policy, AdaptiveDistanceFilter):
                 lane.policy.tick(now)
                 lane.cluster_series.append(
@@ -225,13 +237,44 @@ class MobileGridExperiment:
         self._measure(now)
         self._score_classifier()
 
+    def _gateway_for(self, lane: Lane, update: LocationUpdate) -> WirelessGateway:
+        """The gateway serving *update*'s region.
+
+        When the update's region has no gateway (e.g. a node wandered off
+        every mapped region), fall back to the gateway of *that node's*
+        home region — not an arbitrary node's.  An update from an unknown
+        node with an unmapped region falls back to the first gateway so a
+        malformed update stays deterministic instead of crashing the run.
+        """
+        gateway = lane.gateways.get(update.region_id)
+        if gateway is None:
+            home = self._home_region_by_node.get(update.node_id, "")
+            gateway = lane.gateways.get(home)
+        if gateway is None:
+            gateway = next(iter(lane.gateways.values()))
+        return gateway
+
+    def _node_on_road(self, node: MobileNode) -> bool:
+        """Whether *node* currently stands on a road region.
+
+        Classification is by membership of the node's *current* region in
+        ``campus.roads()`` — not by its home region, which goes stale the
+        moment the node moves, and not by a name-prefix convention, which
+        breaks for campuses whose road ids don't start with "R".
+        """
+        region = self.campus.region_at(node.position)
+        region_id = region.region_id if region is not None else node.home_region
+        return region_id in self._road_region_ids
+
     def _measure(self, now: float) -> None:
+        # Road membership is a property of mobility, not of the lane, so
+        # resolve it once per node per step rather than once per lane.
+        on_road = [self._node_on_road(node) for node in self.nodes]
         for lane in self.lanes:
             errors_on: list[float] = []
             errors_off: list[float] = []
-            for node in self.nodes:
+            for node, is_road in zip(self.nodes, on_road):
                 truth = node.position
-                is_road = node.home_region.startswith("R")
                 believed_on = lane.broker_with_le.location_db.position_of(
                     node.node_id
                 )
@@ -306,6 +349,7 @@ class MobileGridExperiment:
                 region_errors_without_le=lane.region_errors_without_le,
                 filter_summary=summary,
                 cluster_series=lane.cluster_series,
+                kind=policy_kind(lane.policy),
             )
         accuracy = (
             self._classified_right / self._classified_total

@@ -20,7 +20,13 @@ from repro.experiments.figures import (
 from repro.experiments.results import ExperimentResult
 from repro.util.timeseries import TimeSeries
 
-__all__ = ["result_to_dict", "write_json", "write_series_csv", "load_json"]
+__all__ = [
+    "result_to_dict",
+    "write_json",
+    "write_json_atomic",
+    "write_series_csv",
+    "load_json",
+]
 
 
 def _series_to_lists(series: TimeSeries) -> dict[str, list[float]]:
@@ -35,6 +41,7 @@ def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
     lanes: dict[str, Any] = {}
     for name, lane in result.lanes.items():
         lanes[name] = {
+            "kind": lane.kind,
             "dth_factor": lane.dth_factor,
             "total_lus": lane.total_lus,
             "reduction_vs_ideal": result.reduction_vs_ideal(name),
@@ -67,6 +74,21 @@ def write_json(result: ExperimentResult, path: str | Path) -> Path:
     """Serialise a run to pretty-printed JSON; returns the path."""
     path = Path(path)
     path.write_text(json.dumps(result_to_dict(result), indent=2, sort_keys=True))
+    return path
+
+
+def write_json_atomic(data: dict[str, Any], path: str | Path) -> Path:
+    """Write *data* as JSON via a temp file + rename; returns the path.
+
+    Sweep checkpoints use this so an interrupted run never leaves a
+    half-written artifact behind: a checkpoint file either exists in
+    full or not at all, which is what makes resume-by-skipping safe.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(data, indent=2, sort_keys=True))
+    tmp.replace(path)
     return path
 
 

@@ -8,7 +8,7 @@ from dataclasses import dataclass, field
 from repro.network.traffic import TrafficMeter
 from repro.util.timeseries import TimeSeries
 
-__all__ = ["RegionErrors", "LaneResult", "ExperimentResult"]
+__all__ = ["RegionErrors", "LaneResult", "ExperimentResult", "LANE_KINDS"]
 
 
 @dataclass
@@ -57,6 +57,10 @@ class RegionErrors:
         return self.road_rmse / building if building > 0 else math.inf
 
 
+#: Valid values of :attr:`LaneResult.kind`.
+LANE_KINDS = ("ideal", "adf", "gdf")
+
+
 @dataclass
 class LaneResult:
     """Everything measured for one filtering policy ("lane") in a run."""
@@ -71,6 +75,16 @@ class LaneResult:
     filter_summary: dict[str, float] = field(default_factory=dict)
     #: Per-second live cluster count (empty for non-ADF lanes).
     cluster_series: TimeSeries = field(default_factory=TimeSeries)
+    #: Which policy family produced this lane ("ideal" / "adf" / "gdf").
+    #: Set from the policy type by the harness — lane *names* are free-form
+    #: display labels and must not be parsed for semantics.
+    kind: str = "ideal"
+
+    def __post_init__(self) -> None:
+        if self.kind not in LANE_KINDS:
+            raise ValueError(
+                f"kind must be one of {LANE_KINDS}, got {self.kind!r}"
+            )
 
     @property
     def total_lus(self) -> int:
@@ -115,11 +129,16 @@ class ExperimentResult:
         return self.lanes["ideal"]
 
     def adf_lanes(self) -> list[LaneResult]:
-        """The ADF lanes ordered by DTH factor."""
+        """The ADF lanes ordered by DTH factor.
+
+        Selection keys off the stored policy ``kind`` (plus the DTH
+        factor for ordering), not the lane name — names are display
+        labels and may be customised freely.
+        """
         adf = [
             lane
             for lane in self.lanes.values()
-            if lane.name.startswith("adf") and lane.dth_factor is not None
+            if lane.kind == "adf" and lane.dth_factor is not None
         ]
         return sorted(adf, key=lambda lane: lane.dth_factor)
 

@@ -20,6 +20,7 @@ See ``docs/telemetry.md`` for architecture and naming conventions.
 from repro.telemetry.config import TelemetryConfig
 from repro.telemetry.events import EventLog, EventRecord, Severity
 from repro.telemetry.export import (
+    merge_snapshots,
     summary_table,
     write_metrics_csv,
     write_snapshot_json,
@@ -54,6 +55,7 @@ __all__ = [
     "EventRecord",
     "Severity",
     "Sampler",
+    "merge_snapshots",
     "summary_table",
     "write_metrics_csv",
     "write_snapshot_json",

@@ -27,6 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "write_snapshot_json",
     "write_metrics_csv",
+    "merge_snapshots",
     "summary_table",
 ]
 
@@ -37,6 +38,75 @@ def write_snapshot_json(snapshot: dict[str, Any], path: str | Path) -> Path:
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
     return out
+
+
+def merge_snapshots(snapshots: list[dict[str, Any]]) -> dict[str, Any]:
+    """Combine several runs' telemetry snapshots into one cell summary.
+
+    The sweep runner collects one snapshot per replication of a sweep
+    cell; this folds them into cross-run aggregates:
+
+    * counters — values summed across runs;
+    * gauges — last values averaged across runs;
+    * histograms — ``count``/``sum`` summed, ``min``/``max`` taken over
+      all runs, ``mean`` recomputed from the merged totals (per-run P²
+      quantile markers and buckets cannot be merged exactly and are
+      dropped);
+    * spans — ``count``/``wall_total``/``sim_total`` summed;
+    * events — per-severity counts summed.
+
+    Sample series are per-run time series and do not aggregate across
+    runs, so they are omitted.
+    """
+    if not snapshots:
+        raise ValueError("no snapshots to merge")
+    metrics: dict[str, dict[str, Any]] = {}
+    spans: dict[str, dict[str, float]] = {}
+    event_counts: dict[str, int] = {}
+    for snapshot in snapshots:
+        for name, data in (snapshot.get("metrics") or {}).items():
+            kind = data.get("kind", "counter")
+            slot = metrics.setdefault(
+                name, {"kind": kind, "runs": 0, "value": 0.0}
+            )
+            slot["runs"] += 1
+            if kind == "histogram":
+                slot.setdefault("count", 0)
+                slot.setdefault("sum", 0.0)
+                slot["count"] += data.get("count", 0)
+                slot["sum"] += data.get("sum", 0.0)
+                if data.get("count"):
+                    slot["min"] = min(
+                        slot.get("min", math.inf), data.get("min", math.inf)
+                    )
+                    slot["max"] = max(
+                        slot.get("max", -math.inf), data.get("max", -math.inf)
+                    )
+                slot["mean"] = (
+                    slot["sum"] / slot["count"] if slot["count"] else 0.0
+                )
+                slot.pop("value", None)
+            else:
+                slot["value"] += data.get("value", 0.0)
+        for name, data in (snapshot.get("spans") or {}).items():
+            slot = spans.setdefault(
+                name, {"count": 0, "wall_total": 0.0, "sim_total": 0.0}
+            )
+            slot["count"] += data.get("count", 0)
+            slot["wall_total"] += data.get("wall_total", 0.0)
+            slot["sim_total"] += data.get("sim_total", 0.0)
+        counts = (snapshot.get("events") or {}).get("counts") or {}
+        for severity, count in counts.items():
+            event_counts[severity] = event_counts.get(severity, 0) + count
+    for slot in metrics.values():
+        if slot["kind"] == "gauge" and slot["runs"]:
+            slot["value"] /= slot["runs"]
+    return {
+        "runs": len(snapshots),
+        "metrics": dict(sorted(metrics.items())),
+        "spans": dict(sorted(spans.items())),
+        "events": {"counts": dict(sorted(event_counts.items()))},
+    }
 
 
 def write_metrics_csv(snapshot: dict[str, Any], path: str | Path) -> Path:

@@ -13,7 +13,7 @@ import hashlib
 
 import numpy as np
 
-__all__ = ["child_rng", "RngRegistry"]
+__all__ = ["child_rng", "spawn_seed", "RngRegistry"]
 
 
 def _key_to_entropy(key: str) -> int:
@@ -34,6 +34,19 @@ def child_rng(seed: int, name: str) -> np.random.Generator:
     """
     sequence = np.random.SeedSequence([seed, _key_to_entropy(name)])
     return np.random.default_rng(sequence)
+
+
+def spawn_seed(seed: int, key: str) -> int:
+    """Derive a child *experiment* seed for *key* under *seed*.
+
+    Where :func:`child_rng` hands out generators inside one experiment,
+    ``spawn_seed`` derives a whole new experiment-level seed — the sweep
+    runner uses it to give every (cell, replication) pair its own
+    independent seed while remaining reproducible from the base seed.
+    The same ``(seed, key)`` pair always yields the same child seed.
+    """
+    sequence = np.random.SeedSequence([seed, _key_to_entropy(key)])
+    return int(sequence.generate_state(1, np.uint64)[0])
 
 
 class RngRegistry:
@@ -74,6 +87,10 @@ class RngRegistry:
         """
         return _ForkedRegistry(self, name)
 
+    def spawn_seed(self, name: str) -> int:
+        """Derive an independent experiment seed keyed by *name*."""
+        return spawn_seed(self._seed, name)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"RngRegistry(seed={self._seed}, streams={len(self._streams)})"
 
@@ -91,3 +108,6 @@ class _ForkedRegistry(RngRegistry):
 
     def fork(self, name: str) -> "RngRegistry":
         return _ForkedRegistry(self._parent, f"{self._prefix}/{name}")
+
+    def spawn_seed(self, name: str) -> int:
+        return self._parent.spawn_seed(f"{self._prefix}/{name}")

@@ -62,3 +62,27 @@ class TestSummarize:
     def test_no_results_rejected(self):
         with pytest.raises(ValueError):
             summarize_metric([], lambda r: 0.0)
+
+
+class TestSummarizeValues:
+    def test_matches_summarize_metric(self, results):
+        from repro.analysis import summarize_values
+
+        values = [r.reduction_vs_ideal("adf-1") for r in results]
+        direct = summarize_values(values, metric="reduction")
+        via_extractor = summarize_metric(
+            results, lambda r: r.reduction_vs_ideal("adf-1"), metric="reduction"
+        )
+        assert direct == via_extractor
+
+    def test_single_value_degenerates_to_point(self):
+        from repro.analysis import summarize_values
+
+        summary = summarize_values([0.5], metric="m")
+        assert (summary.mean, summary.ci_low, summary.ci_high) == (0.5, 0.5, 0.5)
+
+    def test_empty_rejected(self):
+        from repro.analysis import summarize_values
+
+        with pytest.raises(ValueError):
+            summarize_values([])

@@ -77,3 +77,52 @@ class TestCli:
         out = capsys.readouterr().out
         assert "adf-1:" in out
         assert "adf-0.75" not in out
+
+
+class TestSweepCli:
+    GRID = (
+        'replications = 1\n'
+        '[axes]\nduration = [2.0, 3.0]\n'
+        '[base]\nduration = 2.0\ndth_factors = [1.0]\n'
+        '[base.population]\n'
+        'road_humans_per_road = 1\nroad_vehicles_per_road = 0\n'
+        'building_stop = 1\nbuilding_random = 0\nbuilding_linear = 0\n'
+    )
+
+    def test_sweep_grid_file(self, capsys, tmp_path):
+        grid = tmp_path / "sweep.toml"
+        grid.write_text(self.GRID)
+        out = tmp_path / "out"
+        assert main(["sweep", "--grid", str(grid), "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "cell duration=2" in text and "cell duration=3" in text
+        assert "2 run(s) executed" in text
+        assert (out / "manifest.json").exists()
+
+    def test_sweep_resumes_from_checkpoints(self, capsys, tmp_path):
+        grid = tmp_path / "sweep.toml"
+        grid.write_text(self.GRID)
+        out = tmp_path / "out"
+        assert main(["sweep", "--grid", str(grid), "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--grid", str(grid), "--out", str(out)]) == 0
+        assert "0 run(s) executed, 2 resumed" in capsys.readouterr().out
+
+    def test_sweep_inline_axis_and_replications(self, capsys, tmp_path):
+        grid = tmp_path / "sweep.toml"
+        grid.write_text(self.GRID)
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--grid", str(grid),
+                    "--set", "duration=2",
+                    "--set", "channel_loss=0,0.01",
+                    "--replications", "2",
+                ]
+            )
+            == 0
+        )
+        text = capsys.readouterr().out
+        assert "channel_loss=0.01" in text
+        assert "n=2" in text

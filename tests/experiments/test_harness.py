@@ -163,3 +163,135 @@ class TestGatewayFailure:
         gateway = lane.gateways["B4"]
         assert gateway.discarded > 0
         assert not gateway.operational
+
+
+class TestGatewayFallbackRouting:
+    """Regression: an update whose region has no gateway must route through
+    *its own node's* home-region gateway, not ``nodes[0]``'s."""
+
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        return MobileGridExperiment(
+            ExperimentConfig(duration=5.0, dth_factors=(1.0,))
+        )
+
+    def _update_for(self, node, region_id):
+        from repro.network.messages import LocationUpdate
+
+        return LocationUpdate(
+            sender=node.node_id,
+            timestamp=0.0,
+            node_id=node.node_id,
+            position=node.position,
+            velocity=node.velocity,
+            region_id=region_id,
+        )
+
+    def test_fallback_uses_the_updates_own_home_region(self, experiment):
+        lane = experiment.lanes[0]
+        node = next(
+            n for n in experiment.nodes
+            if n.home_region != experiment.nodes[0].home_region
+        )
+        update = self._update_for(node, "offsite")
+        gateway = experiment._gateway_for(lane, update)
+        assert gateway is lane.gateways[node.home_region]
+        assert gateway is not lane.gateways[experiment.nodes[0].home_region]
+
+    def test_known_region_routes_directly(self, experiment):
+        lane = experiment.lanes[0]
+        node = experiment.nodes[-1]
+        update = self._update_for(node, "B4")
+        assert experiment._gateway_for(lane, update) is lane.gateways["B4"]
+
+    def test_unknown_node_with_unknown_region_stays_deterministic(
+        self, experiment
+    ):
+        from repro.network.messages import LocationUpdate
+
+        lane = experiment.lanes[0]
+        update = LocationUpdate(
+            sender="ghost", timestamp=0.0, node_id="ghost", region_id="offsite"
+        )
+        first = experiment._gateway_for(lane, update)
+        assert first is next(iter(lane.gateways.values()))
+
+
+def _two_region_campus():
+    """A minimal campus whose road id does *not* start with "R"."""
+    from repro.campus import Campus
+    from repro.campus.region import NetworkAccess, Region, RegionKind
+    from repro.geometry import Path, Rect, Vec2
+
+    road = Region(
+        region_id="Main-St",
+        name="Main street",
+        kind=RegionKind.ROAD,
+        bounds=Rect(0.0, 40.0, 200.0, 60.0),
+        access=NetworkAccess.CELLULAR,
+        centerline=Path([Vec2(0.0, 50.0), Vec2(200.0, 50.0)]),
+    )
+    building = Region(
+        region_id="Lib-1",
+        name="Library annex",
+        kind=RegionKind.BUILDING,
+        bounds=Rect(250.0, 20.0, 330.0, 100.0),
+        access=NetworkAccess.CELLULAR | NetworkAccess.WLAN,
+        entrance=Vec2(250.0, 60.0),
+    )
+    return Campus([road, building])
+
+
+class TestRoadClassification:
+    """Regression: region-kind error attribution must key off membership of
+    the node's *current* region in ``campus.roads()``, not a name-prefix
+    convention over the stale home region."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        spec = PopulationSpec(
+            road_humans_per_road=2,
+            road_vehicles_per_road=0,
+            building_stop=2,
+            building_random=0,
+            building_linear=0,
+        )
+        config = ExperimentConfig(
+            duration=5.0, dth_factors=(1.0,), population=spec
+        )
+        return MobileGridExperiment(config, campus=_two_region_campus()).run()
+
+    def test_road_ids_reported(self, result):
+        assert result.road_region_ids == ["Main-St"]
+        assert result.building_region_ids == ["Lib-1"]
+
+    def test_non_r_prefixed_road_errors_counted_as_road(self, result):
+        errors = result.ideal.region_errors_without_le
+        assert errors.road_count > 0
+
+    def test_building_errors_counted_as_building(self, result):
+        errors = result.ideal.region_errors_without_le
+        assert errors.building_count > 0
+
+    def test_counts_split_by_current_region(self, result):
+        # 2 road nodes + 2 building nodes, 5 one-second steps: every
+        # sample lands in exactly one bucket.
+        errors = result.ideal.region_errors_without_le
+        assert errors.road_count + errors.building_count == 4 * 5
+
+
+class TestLaneKinds:
+    def test_kinds_set_from_policy_types(self, short_result):
+        assert short_result.ideal.kind == "ideal"
+        for lane in short_result.adf_lanes():
+            assert lane.kind == "adf"
+
+    def test_gdf_lanes_tagged(self):
+        result = run_experiment(
+            ExperimentConfig(
+                duration=5.0, dth_factors=(1.0,), include_general_df=True
+            )
+        )
+        assert result.lanes["gdf-1"].kind == "gdf"
+        # A gdf lane carries a dth_factor but must not count as an ADF lane.
+        assert [lane.name for lane in result.adf_lanes()] == ["adf-1"]

@@ -37,7 +37,7 @@ class TestRegionErrors:
             RegionErrors().add(-1.0, is_road=True)
 
 
-def lane(name, factor, counts, rmse_on=(), rmse_off=()):
+def lane(name, factor, counts, rmse_on=(), rmse_off=(), kind="adf"):
     meter = TrafficMeter(name)
     for t, region in counts:
         meter.count(t, region)
@@ -47,13 +47,16 @@ def lane(name, factor, counts, rmse_on=(), rmse_off=()):
         meter=meter,
         rmse_with_le=TimeSeries(rmse_on),
         rmse_without_le=TimeSeries(rmse_off),
+        kind=kind,
     )
 
 
 @pytest.fixture
 def result():
     lanes = {
-        "ideal": lane("ideal", None, [(0, "R1")] * 8 + [(0, "B1")] * 2),
+        "ideal": lane(
+            "ideal", None, [(0, "R1")] * 8 + [(0, "B1")] * 2, kind="ideal"
+        ),
         "adf-1": lane(
             "adf-1",
             1.0,
@@ -101,3 +104,27 @@ class TestExperimentResult:
 
     def test_le_improvement_empty_is_one(self, result):
         assert result.lanes["adf-0.75"].le_improvement() == 1.0
+
+
+class TestLaneKind:
+    """Regression: lane selection keys off the stored policy kind, not a
+    name-prefix convention that breaks for renamed/custom lanes."""
+
+    def test_renamed_adf_lane_still_selected(self, result):
+        result.lanes["tuned"] = lane("tuned", 2.0, [(0, "R1")], kind="adf")
+        names = [entry.name for entry in result.adf_lanes()]
+        assert names == ["adf-0.75", "adf-1", "tuned"]
+
+    def test_gdf_lane_with_factor_not_selected(self, result):
+        result.lanes["gdf-1"] = lane("gdf-1", 1.0, [(0, "R1")], kind="gdf")
+        assert all(entry.kind == "adf" for entry in result.adf_lanes())
+
+    def test_adf_prefixed_name_without_adf_kind_not_selected(self, result):
+        result.lanes["adf-like"] = lane(
+            "adf-like", 1.0, [(0, "R1")], kind="gdf"
+        )
+        assert "adf-like" not in [entry.name for entry in result.adf_lanes()]
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            lane("x", 1.0, [(0, "R1")], kind="bogus")

@@ -1,0 +1,81 @@
+"""Tests for cross-run telemetry snapshot merging."""
+
+import pytest
+
+from repro.telemetry import merge_snapshots
+
+
+def snapshot(counter=1.0, gauge=2.0, hist=(3, 6.0, 1.0, 3.0)):
+    count, total, lo, hi = hist
+    return {
+        "metrics": {
+            "lu.sent": {"kind": "counter", "value": counter},
+            "clusters.live": {"kind": "gauge", "value": gauge},
+            "latency": {
+                "kind": "histogram",
+                "count": count,
+                "sum": total,
+                "mean": total / count if count else 0.0,
+                "min": lo,
+                "max": hi,
+                "quantiles": {"0.5": 2.0},
+                "buckets": [[1.0, 1]],
+            },
+        },
+        "samples": {"clusters.live": {"times": [0.0], "values": [gauge]}},
+        "spans": {"step": {"count": 2, "wall_total": 0.5, "sim_total": 4.0}},
+        "events": {"counts": {"info": 3, "warn": 1}},
+    }
+
+
+class TestMergeSnapshots:
+    def test_counters_sum(self):
+        merged = merge_snapshots([snapshot(counter=1.0), snapshot(counter=4.0)])
+        assert merged["metrics"]["lu.sent"]["value"] == 5.0
+        assert merged["runs"] == 2
+
+    def test_gauges_average(self):
+        merged = merge_snapshots([snapshot(gauge=2.0), snapshot(gauge=4.0)])
+        assert merged["metrics"]["clusters.live"]["value"] == 3.0
+
+    def test_histograms_fold_count_sum_min_max(self):
+        merged = merge_snapshots(
+            [snapshot(hist=(3, 6.0, 1.0, 3.0)), snapshot(hist=(1, 10.0, 0.5, 10.0))]
+        )
+        latency = merged["metrics"]["latency"]
+        assert latency["count"] == 4
+        assert latency["sum"] == 16.0
+        assert latency["mean"] == 4.0
+        assert latency["min"] == 0.5
+        assert latency["max"] == 10.0
+        # Per-run quantile markers cannot be merged exactly; they're dropped.
+        assert "quantiles" not in latency
+
+    def test_spans_and_events_sum(self):
+        merged = merge_snapshots([snapshot(), snapshot()])
+        assert merged["spans"]["step"]["count"] == 4
+        assert merged["spans"]["step"]["wall_total"] == 1.0
+        assert merged["events"]["counts"] == {"info": 6, "warn": 2}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_snapshots([])
+
+    def test_single_snapshot_passthrough_totals(self):
+        merged = merge_snapshots([snapshot()])
+        assert merged["runs"] == 1
+        assert merged["metrics"]["lu.sent"]["value"] == 1.0
+
+    def test_real_run_snapshots_merge(self):
+        from repro.experiments import ExperimentConfig, run_experiment
+        from repro.telemetry import TelemetryConfig
+
+        config = ExperimentConfig(
+            duration=3.0,
+            dth_factors=(1.0,),
+            telemetry=TelemetryConfig(enabled=True),
+        )
+        snaps = [run_experiment(config).telemetry for _ in range(2)]
+        merged = merge_snapshots(snaps)
+        assert merged["runs"] == 2
+        assert merged["metrics"]

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.util.rng import RngRegistry, child_rng
+from repro.util.rng import RngRegistry, child_rng, spawn_seed
 
 
 class TestChildRng:
@@ -67,3 +67,28 @@ class TestRngRegistry:
     def test_fork_preserves_seed(self):
         reg = RngRegistry(21)
         assert reg.fork("sub").seed == 21
+
+
+class TestSpawnSeed:
+    def test_same_key_reproduces(self):
+        assert spawn_seed(42, "sweep/a#rep0") == spawn_seed(42, "sweep/a#rep0")
+
+    def test_distinct_keys_differ(self):
+        seeds = {spawn_seed(42, f"sweep/cell#rep{i}") for i in range(50)}
+        assert len(seeds) == 50
+
+    def test_distinct_base_seeds_differ(self):
+        assert spawn_seed(1, "k") != spawn_seed(2, "k")
+
+    def test_spawned_seed_is_valid_registry_seed(self):
+        RngRegistry(spawn_seed(42, "child"))
+
+    def test_registry_method_matches_function(self):
+        reg = RngRegistry(42)
+        assert reg.spawn_seed("x") == spawn_seed(42, "x")
+
+    def test_forked_registry_namespaces_spawn(self):
+        reg = RngRegistry(42)
+        sub = reg.fork("sub")
+        assert sub.spawn_seed("x") == spawn_seed(42, "sub/x")
+        assert sub.spawn_seed("x") != reg.spawn_seed("x")
