@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Compare two pytest-benchmark JSON files (baseline vs. candidate).
+
+Usage::
+
+    python benchmarks/compare.py BENCH_simulation.json new.json
+    python benchmarks/compare.py --fail-on-regress 1.25 baseline.json new.json
+
+Benchmarks are matched by name.  For each pair the script prints the
+baseline and candidate minima plus the ratio candidate/baseline (> 1 means
+the candidate got slower).  By default the script only reports; with
+``--fail-on-regress THRESHOLD`` it exits non-zero when any matched
+benchmark's ratio exceeds the threshold.
+
+Minima are compared, not means: the minimum is the least noise-polluted
+statistic a shared machine produces (see docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_stats(path: Path) -> dict[str, dict[str, float]]:
+    """Map benchmark name -> stats dict from a pytest-benchmark JSON file."""
+    data = json.loads(path.read_text())
+    return {bench["name"]: bench["stats"] for bench in data.get("benchmarks", [])}
+
+
+def compare(
+    baseline: dict[str, dict[str, float]],
+    candidate: dict[str, dict[str, float]],
+) -> list[tuple[str, float, float, float]]:
+    """Rows of (name, baseline_min_s, candidate_min_s, ratio) for shared names."""
+    rows = []
+    for name in sorted(baseline.keys() & candidate.keys()):
+        base_min = baseline[name]["min"]
+        cand_min = candidate[name]["min"]
+        rows.append((name, base_min, cand_min, cand_min / base_min))
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="baseline benchmark JSON")
+    parser.add_argument("candidate", type=Path, help="candidate benchmark JSON")
+    parser.add_argument(
+        "--fail-on-regress",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="exit 1 when any candidate/baseline min ratio exceeds RATIO "
+        "(e.g. 1.25 tolerates 25%% slowdown; default: report only)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_stats(args.baseline)
+    candidate = load_stats(args.candidate)
+    rows = compare(baseline, candidate)
+    if not rows:
+        print("no benchmarks in common between the two files", file=sys.stderr)
+        return 2
+
+    width = max(len(name) for name, *_ in rows)
+    print(f"{'benchmark':<{width}}  {'base min':>10}  {'cand min':>10}  ratio")
+    worst = 0.0
+    for name, base_min, cand_min, ratio in rows:
+        print(
+            f"{name:<{width}}  {base_min * 1000:>8.1f}ms  "
+            f"{cand_min * 1000:>8.1f}ms  {ratio:5.2f}x"
+        )
+        worst = max(worst, ratio)
+
+    only_base = sorted(baseline.keys() - candidate.keys())
+    only_cand = sorted(candidate.keys() - baseline.keys())
+    if only_base:
+        print(f"only in baseline: {', '.join(only_base)}")
+    if only_cand:
+        print(f"only in candidate: {', '.join(only_cand)}")
+
+    if args.fail_on_regress is not None and worst > args.fail_on_regress:
+        print(
+            f"REGRESSION: worst ratio {worst:.2f}x exceeds "
+            f"threshold {args.fail_on_regress:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

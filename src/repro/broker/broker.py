@@ -15,6 +15,8 @@ The broker is driven two ways:
 
 from __future__ import annotations
 
+import math
+from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass
 from typing import Any
@@ -22,6 +24,7 @@ from typing import Any
 from repro.broker.location_db import LocationDB, LocationRecord, RecordSource
 from repro.estimation.arima_tracker import ArimaTracker
 from repro.estimation.kalman import KalmanTracker
+from repro.estimation.map_matched import MapMatchedTracker
 from repro.estimation.tracker import (
     BrownTracker,
     HoltTracker,
@@ -88,6 +91,10 @@ class GridBroker:
         name: str = "broker",
     ) -> None:
         self.config = config or BrokerConfig()
+        # Only a caller-supplied factory can produce MapMatchedTrackers;
+        # the named estimator families never do, so the per-LU isinstance
+        # check is skipped entirely for standard brokers.
+        self._maybe_map_matched = tracker_factory is not None
         if tracker_factory is not None:
             self._tracker_factory: TrackerFactory = tracker_factory
         elif self.config.use_location_estimator:
@@ -96,6 +103,18 @@ class GridBroker:
             self._tracker_factory = lambda: make(alpha)
         else:
             self._tracker_factory = LastKnownTracker
+        # No-LE brokers create nothing but LastKnownTrackers, whose update
+        # is a plain field refresh — receive_update inlines it.  Brokers on
+        # the default "brown" estimator likewise hold only BrownTrackers,
+        # whose update receive_update also inlines.
+        self._last_known_only = (
+            tracker_factory is None and not self.config.use_location_estimator
+        )
+        self._brown_only = (
+            tracker_factory is None
+            and self.config.use_location_estimator
+            and self.config.estimator == "brown"
+        )
         self.name = name
         tm = telemetry if telemetry is not None else NULL_TELEMETRY
         self._instrumented = tm.enabled
@@ -110,17 +129,84 @@ class GridBroker:
         self.estimates_made = 0
 
     # -- LU ingestion --------------------------------------------------------
-    def receive_update(self, update: LocationUpdate) -> None:
-        """Store a received LU and feed the node's tracker."""
+    def receive_update(
+        self, update: LocationUpdate, record: LocationRecord | None = None
+    ) -> None:
+        """Store a received LU and feed the node's tracker.
+
+        *record*, when given, is a prebuilt RECEIVED record for this LU —
+        callers fanning one LU out to several brokers (the harness feeds
+        each lane's with-LE and without-LE broker the same update) build
+        it once and share it; records are frozen, so sharing is safe.
+        """
         self.updates_received += 1
         if self._instrumented:
             self._t_received.inc()
-        tracker = self._tracker_for(update.node_id)
+        node_id = update.node_id
+        tracker = self._trackers.get(node_id)
+        if tracker is None:
+            tracker = self._trackers[node_id] = self._tracker_factory()
         cap = update.dth if update.dth > 0 else None
+        timestamp = update.timestamp
+        if self._last_known_only:
+            # Inlined LastKnownTracker.update (cap is already None-or-
+            # positive, matching its displacement_cap normalisation).
+            if tracker._last_time is not None and timestamp < tracker._last_time:
+                raise ValueError(
+                    f"update times must be non-decreasing: "
+                    f"{timestamp} < {tracker._last_time}"
+                )
+            tracker._last_time = timestamp
+            tracker._last_position = update.position
+            tracker._displacement_cap = cap
+            tracker._updates += 1
+        elif self._brown_only:
+            # Inlined BrownTracker.update, smoothers included — identical
+            # arithmetic, one frame instead of two per LU.
+            if tracker._last_time is not None and timestamp < tracker._last_time:
+                raise ValueError(
+                    f"update times must be non-decreasing: "
+                    f"{timestamp} < {tracker._last_time}"
+                )
+            velocity = update.velocity
+            vx, vy = velocity.x, velocity.y
+            speed = math.hypot(vx, vy)
+            sp = tracker._speed
+            if sp._n == 0:
+                sp._s1 = speed
+                sp._s2 = speed
+            else:
+                a = sp._alpha
+                sp._s1 = a * speed + (1.0 - a) * sp._s1
+                sp._s2 = a * sp._s1 + (1.0 - a) * sp._s2
+            sp._n += 1
+            if speed > 1e-9:
+                c = vx / speed
+                dc = tracker._dir_cos
+                if dc._n == 0:
+                    dc._s1 = c
+                    dc._s2 = c
+                else:
+                    a = dc._alpha
+                    dc._s1 = a * c + (1.0 - a) * dc._s1
+                    dc._s2 = a * dc._s1 + (1.0 - a) * dc._s2
+                dc._n += 1
+                s = vy / speed
+                ds = tracker._dir_sin
+                if ds._n == 0:
+                    ds._s1 = s
+                    ds._s2 = s
+                else:
+                    a = ds._alpha
+                    ds._s1 = a * s + (1.0 - a) * ds._s1
+                    ds._s2 = a * ds._s1 + (1.0 - a) * ds._s2
+                ds._n += 1
+            tracker._last_time = timestamp
+            tracker._last_position = update.position
+            tracker._displacement_cap = cap
+            tracker._updates += 1
         # Map-matched trackers additionally consume the LU's region tag.
-        from repro.estimation.map_matched import MapMatchedTracker
-
-        if isinstance(tracker, MapMatchedTracker):
+        elif self._maybe_map_matched and isinstance(tracker, MapMatchedTracker):
             tracker.update(
                 update.timestamp,
                 update.position,
@@ -135,15 +221,34 @@ class GridBroker:
                 update.velocity,
                 displacement_cap=cap,
             )
-        self.location_db.store(
-            LocationRecord(
-                node_id=update.node_id,
-                time=update.timestamp,
+        if record is None:
+            record = LocationRecord(
+                node_id=node_id,
+                time=timestamp,
                 position=update.position,
                 source=RecordSource.RECEIVED,
             )
-        )
-        self._updated_since_tick.add(update.node_id)
+        # Inlined LocationDB.store (same checks, counters and history
+        # bookkeeping): this path runs once per LU per broker, and the
+        # store frame was a measurable slice of the whole simulation.
+        db = self.location_db
+        latest = db._latest
+        previous = latest.get(node_id)
+        if previous is not None and timestamp < previous.time:
+            raise ValueError(
+                f"record for {node_id} at {timestamp} is older than "
+                f"latest ({previous.time})"
+            )
+        latest[node_id] = record
+        history = db._history.get(node_id)
+        if history is None:
+            history = db._history[node_id] = deque(maxlen=db._history_length)
+        history.append(record)
+        db.stored_received += 1
+        if db._instrumented:
+            db._t_received.inc()
+            db._t_nodes.set(len(latest))
+        self._updated_since_tick.add(node_id)
 
     # -- the estimation sweep ------------------------------------------------
     def tick(self, now: float) -> int:
@@ -156,20 +261,28 @@ class GridBroker:
         estimated = 0
         staleness_max = 0.0
         instrumented = self._instrumented
+        updated = self._updated_since_tick
+        if not instrumented and len(updated) == len(self._trackers):
+            # Every known node reported this interval (the ideal lane's
+            # steady state): nothing to estimate and no staleness gauge to
+            # feed, so the sweep is a no-op.
+            updated.clear()
+            return 0
+        store = self.location_db.store
         for node_id, tracker in self._trackers.items():
             if instrumented and tracker.last_fix is not None:
                 t_fix, _ = tracker.last_fix
                 age = now - t_fix
                 if age > staleness_max:
                     staleness_max = age
-            if node_id in self._updated_since_tick:
+            if node_id in updated:
                 continue
-            if not tracker.has_fix:
+            if tracker._last_position is None:  # inlined tracker.has_fix
                 continue
             position = tracker.predict(now)
             if instrumented:
                 self._t_invocations.inc()
-            self.location_db.store(
+            store(
                 LocationRecord(
                     node_id=node_id,
                     time=now,

@@ -8,6 +8,7 @@ with that structure.
 """
 
 from repro.campus.region import NetworkAccess, Region, RegionKind
+from repro.campus.spatial_index import RegionSpatialIndex
 from repro.campus.campus import Campus
 from repro.campus.builder import default_campus
 from repro.campus.generator import generate_grid_campus
@@ -16,6 +17,7 @@ __all__ = [
     "NetworkAccess",
     "Region",
     "RegionKind",
+    "RegionSpatialIndex",
     "Campus",
     "default_campus",
     "generate_grid_campus",

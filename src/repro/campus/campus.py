@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+import types
+from collections.abc import Iterable, Mapping
 
 import networkx as nx
 import numpy as np
 
 from repro.campus.region import Region, RegionKind
+from repro.campus.spatial_index import RegionSpatialIndex
 from repro.geometry import Path, Vec2
 
 __all__ = ["Campus"]
@@ -28,13 +30,21 @@ class Campus:
             if region.region_id in self._regions:
                 raise ValueError(f"duplicate region id {region.region_id!r}")
             self._regions[region.region_id] = region
+        self._regions_view = types.MappingProxyType(self._regions)
         self._graph = nx.Graph()
+        # Built lazily on the first point query; the region set is fixed at
+        # construction so the index never needs invalidation.
+        self._spatial_index: RegionSpatialIndex | None = None
+        # nearest_node cache: node names + an (N, 2) position array, rebuilt
+        # after add_node.
+        self._nav_names: list[str] | None = None
+        self._nav_xy: np.ndarray | None = None
 
     # -- regions ---------------------------------------------------------------
     @property
-    def regions(self) -> dict[str, Region]:
-        """All regions keyed by id."""
-        return dict(self._regions)
+    def regions(self) -> Mapping[str, Region]:
+        """All regions keyed by id (read-only view; regions are immutable)."""
+        return self._regions_view
 
     def region(self, region_id: str) -> Region:
         """Region by id (KeyError when unknown)."""
@@ -51,8 +61,29 @@ class Campus:
         """All building regions, in insertion order."""
         return [r for r in self._regions.values() if r.kind is RegionKind.BUILDING]
 
+    @property
+    def spatial_index(self) -> RegionSpatialIndex:
+        """The uniform-grid region index (built on first use)."""
+        index = self._spatial_index
+        if index is None:
+            index = self._spatial_index = RegionSpatialIndex(
+                self._regions.values()
+            )
+        return index
+
     def region_at(self, point: Vec2) -> Region | None:
         """The region containing *point*; buildings win over roads on overlap."""
+        index = self._spatial_index
+        if index is None:
+            index = self.spatial_index
+        return index.region_at(point)
+
+    def region_at_linear(self, point: Vec2) -> Region | None:
+        """Reference linear-scan implementation of :meth:`region_at`.
+
+        Kept as the semantic specification the spatial index is tested
+        against; prefer :meth:`region_at` everywhere else.
+        """
         hit: Region | None = None
         for region in self._regions.values():
             if region.contains(point):
@@ -77,6 +108,8 @@ class Campus:
         if name in self._graph:
             raise ValueError(f"navigation node {name!r} already exists")
         self._graph.add_node(name, pos=pos)
+        self._nav_names = None
+        self._nav_xy = None
 
     def add_edge(self, a: str, b: str, region_id: str) -> None:
         """Connect two navigation points; length is the straight-line distance."""
@@ -94,13 +127,24 @@ class Campus:
             raise KeyError(f"unknown navigation node {name!r}") from None
 
     def nearest_node(self, point: Vec2) -> str:
-        """The navigation node closest to *point*."""
+        """The navigation node closest to *point*.
+
+        Distances for all nodes come from one vectorized ``np.hypot`` over
+        a position array cached until the next :meth:`add_node`; ties
+        resolve to the earliest-inserted node, as the original per-node
+        ``min`` did.
+        """
         if self._graph.number_of_nodes() == 0:
             raise ValueError("navigation graph is empty")
-        return min(
-            self._graph.nodes,
-            key=lambda n: self.node_pos(n).distance_to(point),
-        )
+        names, xy = self._nav_names, self._nav_xy
+        if names is None or xy is None:
+            names = self._nav_names = list(self._graph.nodes)
+            data = self._graph.nodes
+            xy = self._nav_xy = np.array(
+                [(data[n]["pos"].x, data[n]["pos"].y) for n in names]
+            )
+        distances = np.hypot(xy[:, 0] - point.x, xy[:, 1] - point.y)
+        return names[int(np.argmin(distances))]
 
     def route(self, start: str, goal: str) -> Path:
         """Shortest path between two navigation nodes as a geometric Path."""
@@ -126,8 +170,9 @@ class Campus:
         """Region ids visited by the midpoints of a path's segments (deduped)."""
         seen: list[str] = []
         points = list(path.waypoints)
+        region_at = self.region_at
         for a, b in zip(points, points[1:]):
-            region = self.region_at(a.lerp(b, 0.5))
+            region = region_at(a.lerp(b, 0.5))
             if region is not None and (not seen or seen[-1] != region.region_id):
                 seen.append(region.region_id)
         return seen

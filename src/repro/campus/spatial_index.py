@@ -1,0 +1,157 @@
+"""Uniform-grid spatial index over campus regions.
+
+``Campus.region_at`` is the single hottest geometric query in the
+simulator: the harness asks it once per node per reporting interval, the
+HLA mobility federate once per node per step, and routing asks it per
+path segment.  The seed implementation scanned every region per query —
+O(regions) ``Rect.contains`` calls whose cost multiplies with node count
+across whole parameter sweeps.
+
+:class:`RegionSpatialIndex` replaces the scan with a uniform grid over
+the union of the region bounding boxes.  Each cell stores the regions
+whose bounds intersect it, *in campus insertion order*, so a query only
+tests the handful of candidates overlapping its cell while reproducing
+``Campus.region_at``'s exact semantics:
+
+* buildings win over roads on overlap (first containing building returns
+  immediately);
+* among roads, the first-inserted containing road wins;
+* points outside every region return ``None``.
+
+Cell assignment and query use the *same* coordinate-to-cell arithmetic,
+so a point inside a region always lands in a cell that lists that region
+(floating-point subtraction and division are monotone), making the index
+exactly equivalent to the linear scan — a property the campus test suite
+asserts over randomized campuses.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.campus.region import Region
+from repro.geometry import Vec2
+
+__all__ = ["RegionSpatialIndex"]
+
+
+class RegionSpatialIndex:
+    """Cells → candidate regions, preserving region_at precedence."""
+
+    def __init__(
+        self,
+        regions: Iterable[Region],
+        *,
+        cells_per_axis: int | None = None,
+    ) -> None:
+        self._regions: tuple[Region, ...] = tuple(regions)
+        if not self._regions:
+            self._nx = self._ny = 0
+            self._cells: list[tuple[Region, ...]] = []
+            return
+        self._x_min = min(r.bounds.x_min for r in self._regions)
+        self._y_min = min(r.bounds.y_min for r in self._regions)
+        self._x_max = max(r.bounds.x_max for r in self._regions)
+        self._y_max = max(r.bounds.y_max for r in self._regions)
+        if cells_per_axis is None:
+            # ~4 cells per region caps expected candidates per cell at a
+            # small constant; long thin regions (roads) still span a full
+            # row or column, so finer grids stop paying off quickly.
+            cells_per_axis = max(1, math.ceil(math.sqrt(4 * len(self._regions))))
+        if cells_per_axis < 1:
+            raise ValueError(f"cells_per_axis must be >= 1, got {cells_per_axis}")
+        self._nx = self._ny = cells_per_axis
+        # Degenerate extents (all regions on one line) collapse to one cell
+        # on that axis; _cell_x/_cell_y clamp guards the division.
+        self._cell_w = (self._x_max - self._x_min) / self._nx or 1.0
+        self._cell_h = (self._y_max - self._y_min) / self._ny or 1.0
+        buckets: list[list[Region]] = [[] for _ in range(self._nx * self._ny)]
+        for region in self._regions:
+            b = region.bounds
+            for iy in range(self._cell_y(b.y_min), self._cell_y(b.y_max) + 1):
+                row = iy * self._nx
+                for ix in range(self._cell_x(b.x_min), self._cell_x(b.x_max) + 1):
+                    buckets[row + ix].append(region)
+        self._cells = [tuple(bucket) for bucket in buckets]
+        # Flattened per-cell entries (bounds, kind flag, region) so the
+        # region_at loop runs without any method or property calls — it is
+        # the simulator's most frequent query.
+        self._cell_entries = [
+            tuple(
+                (
+                    r.bounds.x_min,
+                    r.bounds.x_max,
+                    r.bounds.y_min,
+                    r.bounds.y_max,
+                    r.is_building,
+                    r,
+                )
+                for r in bucket
+            )
+            for bucket in buckets
+        ]
+
+    # -- cell arithmetic (shared by build and query) ---------------------------
+    def _cell_x(self, x: float) -> int:
+        ix = int((x - self._x_min) / self._cell_w)
+        return 0 if ix < 0 else (self._nx - 1 if ix >= self._nx else ix)
+
+    def _cell_y(self, y: float) -> int:
+        iy = int((y - self._y_min) / self._cell_h)
+        return 0 if iy < 0 else (self._ny - 1 if iy >= self._ny else iy)
+
+    # -- queries ---------------------------------------------------------------
+    def region_at(self, point: Vec2) -> Region | None:
+        """The region containing *point*; buildings win over roads on overlap."""
+        if not self._regions:
+            return None
+        x, y = point.x, point.y
+        x_min, y_min = self._x_min, self._y_min
+        # Negated form so NaN coordinates fall out here (no region contains
+        # them) instead of reaching the int() cell computation below.
+        if not (x_min <= x <= self._x_max and y_min <= y <= self._y_max):
+            return None
+        nx = self._nx
+        ix = int((x - x_min) / self._cell_w)
+        if ix < 0:
+            ix = 0
+        elif ix >= nx:
+            ix = nx - 1
+        ny = self._ny
+        iy = int((y - y_min) / self._cell_h)
+        if iy < 0:
+            iy = 0
+        elif iy >= ny:
+            iy = ny - 1
+        hit: Region | None = None
+        for rx0, rx1, ry0, ry1, is_building, region in self._cell_entries[
+            iy * nx + ix
+        ]:
+            if rx0 <= x <= rx1 and ry0 <= y <= ry1:
+                if is_building:
+                    return region
+                if hit is None:
+                    hit = region
+        return hit
+
+    def candidates_at(self, point: Vec2) -> tuple[Region, ...]:
+        """The cell's candidate list for *point* (diagnostics and tests)."""
+        if not self._regions:
+            return ()
+        return self._cells[self._cell_y(point.y) * self._nx + self._cell_x(point.x)]
+
+    @property
+    def grid_shape(self) -> tuple[int, int]:
+        """(columns, rows) of the cell grid."""
+        return (self._nx, self._ny)
+
+    def max_candidates(self) -> int:
+        """Largest candidate list over all cells (index quality metric)."""
+        return max((len(c) for c in self._cells), default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RegionSpatialIndex(regions={len(self._regions)}, "
+            f"grid={self._nx}x{self._ny}, max_candidates={self.max_candidates()})"
+        )

@@ -12,6 +12,7 @@ Usage::
     python -m repro telemetry --duration 120 --export-json telemetry.json
     python -m repro sweep --grid sweep.toml --workers 4 --out sweep_out
     python -m repro sweep --smoke
+    python -m repro profile --duration 20 --top 25
 """
 
 from __future__ import annotations
@@ -49,6 +50,7 @@ _TARGETS = (
     "replicate",
     "telemetry",
     "sweep",
+    "profile",
 )
 
 
@@ -109,6 +111,26 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="with `report`: also write the run as a Markdown document",
+    )
+    profile = parser.add_argument_group("profile", "options for the profile target")
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        help="how many hot functions to print (profile target)",
+    )
+    profile.add_argument(
+        "--sort",
+        choices=("cumulative", "tottime", "calls"),
+        default="cumulative",
+        help="profile stat ordering (profile target)",
+    )
+    profile.add_argument(
+        "--profile-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also dump the raw pstats file (profile target)",
     )
     sweep = parser.add_argument_group("sweep", "options for the sweep target")
     sweep.add_argument(
@@ -192,6 +214,8 @@ def _static_target(args: argparse.Namespace) -> int | None:
         return 0
     if args.target == "sweep":
         return _sweep_target(args)
+    if args.target == "profile":
+        return _profile_target(args)
     if args.target == "replicate":
         from repro.analysis import replicate, summarize_metric
 
@@ -206,6 +230,28 @@ def _static_target(args: argparse.Namespace) -> int | None:
             print(summarize_metric(results, extractor, metric=metric))
         return 0
     return None
+
+
+def _profile_target(args: argparse.Namespace) -> int:
+    """cProfile one experiment run and print the hottest functions.
+
+    The duration default (1800 s) is sized for figures, not profiling;
+    20-30 simulated seconds is plenty to rank the hot paths.
+    """
+    import cProfile
+    import pstats
+
+    config = _build_config(args)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_experiment(config)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    if args.profile_out:
+        stats.dump_stats(args.profile_out)
+        print(f"wrote {args.profile_out}")
+    return 0
 
 
 def _parse_axis_token(token: str) -> object:

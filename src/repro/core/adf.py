@@ -15,6 +15,7 @@ on a configurable period driven by :meth:`AdaptiveDistanceFilter.tick`.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
@@ -23,12 +24,12 @@ from repro.core.baselines import FilterPolicy
 from repro.core.classifier import ClassifierConfig, MobilityClassifier
 from repro.core.cluster_manager import ClusterManager
 from repro.core.clustering import SequentialClusterer
-from repro.core.distance_filter import DistanceFilter, FilterDecision
+from repro.core.distance_filter import DistanceFilter, FilterDecision, _Reference
 from repro.core.dth import ClusterAverageDth
 from repro.mobility.states import MobilityState
 from repro.network.messages import LocationUpdate
 from repro.telemetry import NULL_TELEMETRY
-from repro.util.validation import check_positive
+from repro.util.validation import check_non_negative, check_positive
 
 __all__ = ["AdfConfig", "AdfStats", "AdaptiveDistanceFilter"]
 
@@ -115,6 +116,10 @@ class AdaptiveDistanceFilter(FilterPolicy):
         self._forward = forward
         self.stats = AdfStats()
         self._last_recluster = 0.0
+        #: DTH used by the most recent :meth:`process` call.  Callers that
+        #: stamp the DTH onto a just-transmitted LU (the harness) read it
+        #: instead of re-deriving the same value from the cluster.
+        self.last_dth: float = 0.0
 
     @property
     def name(self) -> str:
@@ -127,11 +132,19 @@ class AdaptiveDistanceFilter(FilterPolicy):
         self.stats.received += 1
         if instrumented:
             self._t_received.inc()
-        before = self.classifier.label(update.node_id) if instrumented else None
-        # (1) classify from the update's velocity observation.
-        self.classifier.observe(update.node_id, update.speed, update.direction)
+        node_id = update.node_id
+        before = self.classifier.label(node_id) if instrumented else None
+        # (1) classify from the update's velocity observation.  Speed and
+        # heading are inlined from the LocationUpdate.speed / .direction
+        # properties (math.hypot == Vec2.norm, atan2 + zero-vector
+        # convention == Vec2.angle).
+        velocity = update.velocity
+        vx, vy = velocity.x, velocity.y
+        speed = math.hypot(vx, vy)
+        direction = 0.0 if vx == 0.0 and vy == 0.0 else math.atan2(vy, vx)
+        label = self.classifier.observe(node_id, speed, direction)
         if instrumented:
-            after = self.classifier.label(update.node_id)
+            after = self.classifier.label(node_id)
             if after is not before:
                 self._telemetry.counter(
                     "adf.state_transitions",
@@ -139,13 +152,43 @@ class AdaptiveDistanceFilter(FilterPolicy):
                     from_state=before.name if before else "none",
                     to_state=after.name if after else "none",
                 ).inc()
-        # (2) place into a cluster (SS nodes are kept out).
-        self.cluster_manager.place(update.node_id)
-        # (4) distance filter with the cluster-derived DTH.
-        dth = self.dth_policy.dth_for(update.node_id)
-        decision = self.distance_filter.decide(
-            update.node_id, update.position, update.timestamp, dth
-        )
+        # (2) place into a cluster (SS nodes are kept out).  The returned
+        # cluster is exactly cluster_of(node_id) after placement, so the
+        # DTH derives from it directly — the arithmetic below matches
+        # ClusterAverageDth.dth_for (including Cluster.average_speed).
+        cluster = self.cluster_manager.place(node_id, label)
+        dthp = self.dth_policy
+        if type(dthp) is ClusterAverageDth and dthp._manager is self.cluster_manager:
+            if cluster is None:
+                dth = 0.0
+            else:
+                n = len(cluster._members)
+                avg = max(cluster._speed_sum / n, 0.0) if n else 0.0
+                dth = dthp.factor * avg * dthp.report_interval
+        else:
+            # dth_policy is public and may be swapped for a custom policy
+            # (e.g. the battery-aware wrapper) — take the virtual path.
+            dth = dthp.dth_for(node_id)
+        self.last_dth = dth
+        # (4) distance filter with the cluster-derived DTH; same gate,
+        # counters and reference bookkeeping as DistanceFilter.decide.
+        if not 0.0 <= dth < math.inf:
+            check_non_negative(dth, "dth")
+        df = self.distance_filter
+        position = update.position
+        ref = df._reference.get(node_id)
+        if ref is None:
+            transmit = True
+        else:
+            rp = ref.position
+            transmit = math.hypot(position.x - rp.x, position.y - rp.y) > dth
+        if transmit:
+            df._reference[node_id] = _Reference(position, update.timestamp)
+            df.transmitted += 1
+            decision = FilterDecision.TRANSMIT
+        else:
+            df.suppressed += 1
+            decision = FilterDecision.SUPPRESS
         if decision is FilterDecision.TRANSMIT:
             self.stats.transmitted += 1
             if instrumented:

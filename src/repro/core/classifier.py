@@ -62,29 +62,57 @@ class ObservationWindow:
         self._speeds: deque[float] = deque(maxlen=size)
         self._dir_x: deque[float] = deque(maxlen=size)
         self._dir_y: deque[float] = deque(maxlen=size)
+        # Memoized window statistics, invalidated on add.  Classification
+        # and feature extraction both read them for every LU, so without
+        # the cache each window is re-summed several times per step.
+        self._mean_speed: float | None = None
+        self._dir_means: tuple[float, float] | None = None
 
     def add(self, speed: float, direction: float) -> None:
         """Record one observation (direction ignored for ~zero speed)."""
         self._speeds.append(speed)
+        self._mean_speed = None
         if speed > 1e-9:
             self._dir_x.append(math.cos(direction))
             self._dir_y.append(math.sin(direction))
+            self._dir_means = None
 
     def __len__(self) -> int:
         return len(self._speeds)
 
     def mean_speed(self) -> float:
         """Average observed speed in the window."""
-        if not self._speeds:
-            return 0.0
-        return sum(self._speeds) / len(self._speeds)
+        mean = self._mean_speed
+        if mean is None:
+            if not self._speeds:
+                return 0.0
+            mean = self._mean_speed = sum(self._speeds) / len(self._speeds)
+        return mean
 
-    def speed_std(self) -> float:
-        """Standard deviation of the windowed speeds."""
+    def _dir_mean_components(self) -> tuple[float, float]:
+        """Cached mean of the unit heading vectors (empty window: zeros)."""
+        means = self._dir_means
+        if means is None:
+            n = len(self._dir_x)
+            if n == 0:
+                return (0.0, 0.0)
+            means = self._dir_means = (
+                sum(self._dir_x) / n,
+                sum(self._dir_y) / n,
+            )
+        return means
+
+    def speed_std(self, mean: float | None = None) -> float:
+        """Standard deviation of the windowed speeds.
+
+        *mean* may be passed in when the caller already computed
+        :meth:`mean_speed`, sparing a second pass over the window.
+        """
         n = len(self._speeds)
         if n < 2:
             return 0.0
-        mean = self.mean_speed()
+        if mean is None:
+            mean = self.mean_speed()
         var = sum((s - mean) ** 2 for s in self._speeds) / n
         return math.sqrt(var)
 
@@ -98,8 +126,7 @@ class ObservationWindow:
         n = len(self._dir_x)
         if n < 2:
             return 0.0
-        mean_x = sum(self._dir_x) / n
-        mean_y = sum(self._dir_y) / n
+        mean_x, mean_y = self._dir_mean_components()
         resultant = math.hypot(mean_x, mean_y)
         if resultant <= 1e-12:
             return math.inf
@@ -111,8 +138,7 @@ class ObservationWindow:
         """Circular mean heading of the window (radians)."""
         if not self._dir_x:
             return 0.0
-        mean_x = sum(self._dir_x) / len(self._dir_x)
-        mean_y = sum(self._dir_y) / len(self._dir_y)
+        mean_x, mean_y = self._dir_mean_components()
         return math.atan2(mean_y, mean_x)
 
 
@@ -132,15 +158,23 @@ class MobilityClassifier:
         if window is None:
             window = ObservationWindow(self.config.window)
             self._windows[node_id] = window
-        window.add(speed, direction)
+        # Inlined ObservationWindow.add — one call per LU per filter.
+        window._speeds.append(speed)
+        window._mean_speed = None
+        if speed > 1e-9:
+            window._dir_x.append(math.cos(direction))
+            window._dir_y.append(math.sin(direction))
+            window._dir_means = None
         label = self._classify(window, speed)
         self._labels[node_id] = label
         return label
 
     def _classify(self, window: ObservationWindow, speed: float) -> MobilityState:
         cfg = self.config
+        speeds = window._speeds
+        n = len(speeds)
         # Until the window warms up, fall back to the instantaneous rule.
-        if len(window) < cfg.min_observations:
+        if n < cfg.min_observations:
             if speed <= cfg.stop_speed:
                 return MobilityState.STOP
             return (
@@ -148,13 +182,41 @@ class MobilityClassifier:
                 if speed > cfg.v_walk
                 else MobilityState.RANDOM
             )
-        mean_speed = window.mean_speed()
+        # Window statistics inlined from mean_speed / speed_std /
+        # direction_std (identical arithmetic, shared memoized sums):
+        # classification runs once per LU per filter.
+        mean_speed = window._mean_speed
+        if mean_speed is None:
+            mean_speed = window._mean_speed = sum(speeds) / n
         if mean_speed <= cfg.stop_speed:
             return MobilityState.STOP
         if mean_speed > cfg.v_walk:
             return MobilityState.LINEAR
-        constant_speed = window.speed_std() <= cfg.speed_std_threshold
-        constant_direction = window.direction_std() <= cfg.direction_std_threshold
+        if n < 2:
+            speed_std = 0.0
+        else:
+            var = sum([(s - mean_speed) ** 2 for s in speeds]) / n
+            speed_std = math.sqrt(var)
+        constant_speed = speed_std <= cfg.speed_std_threshold
+        dir_x = window._dir_x
+        nd = len(dir_x)
+        if nd < 2:
+            direction_std = 0.0
+        else:
+            means = window._dir_means
+            if means is None:
+                means = window._dir_means = (
+                    sum(dir_x) / nd,
+                    sum(window._dir_y) / nd,
+                )
+            resultant = math.hypot(means[0], means[1])
+            if resultant <= 1e-12:
+                direction_std = math.inf
+            elif resultant >= 1.0:
+                direction_std = 0.0
+            else:
+                direction_std = math.sqrt(-2.0 * math.log(resultant))
+        constant_direction = direction_std <= cfg.direction_std_threshold
         if constant_speed and constant_direction:
             return MobilityState.LINEAR
         return MobilityState.RANDOM

@@ -8,6 +8,7 @@ observation windows and tracks reconstruction statistics.
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
 from repro.core.classifier import MobilityClassifier
@@ -31,6 +32,9 @@ class ClusterManager:
     ) -> None:
         self._classifier = classifier
         self._clusterer = clusterer
+        # place() reads one window per LU; keep a direct handle on the
+        # classifier's window map instead of a method call per lookup.
+        self._windows = classifier._windows
         self.reconstructions = 0
         self.reassignments = 0
         tm = telemetry if telemetry is not None else NULL_TELEMETRY
@@ -53,23 +57,47 @@ class ClusterManager:
             return None
         return MotionFeature(window.mean_speed(), window.mean_direction())
 
-    def place(self, node_id: str) -> Cluster | None:
+    def place(
+        self, node_id: str, label: MobilityState | None = None
+    ) -> Cluster | None:
         """(Re)place one node according to its current label and feature.
 
         SS nodes are kept out of clusters (the paper clusters every MN
         *except* those in SS); they are unassigned if previously clustered.
         Returns the node's cluster, or ``None`` for SS/unknown nodes.
+        *label*, when given, is the node's already-known classification
+        (the ADF just classified it); otherwise it is looked up.
         """
-        label = self._classifier.label(node_id)
+        if label is None:
+            label = self._classifier.label(node_id)
         if label is None or label is MobilityState.STOP:
             self._clusterer.unassign(node_id)
             return None
-        feature = self.feature_of(node_id)
-        if feature is None:
+        # Inlined feature_of: mean speed + circular-mean direction straight
+        # from the window's memoized sums — this runs once per moving node
+        # per LU.
+        window = self._windows.get(node_id)
+        if window is None or not window._speeds:
             return None
-        before = self._clusterer.cluster_of(node_id)
-        cluster = self._clusterer.assign(node_id, feature)
-        if before is not None and before.cluster_id != cluster.cluster_id:
+        mean = window._mean_speed
+        if mean is None:
+            mean = window._mean_speed = sum(window._speeds) / len(window._speeds)
+        if not window._dir_x:
+            direction = 0.0
+        else:
+            means = window._dir_means
+            if means is None:
+                n = len(window._dir_x)
+                means = window._dir_means = (
+                    sum(window._dir_x) / n,
+                    sum(window._dir_y) / n,
+                )
+            direction = math.atan2(means[1], means[0])
+        feature = MotionFeature(mean, direction)
+        clusterer = self._clusterer
+        cid_before = clusterer._assignment.get(node_id)
+        cluster = clusterer.assign(node_id, feature)
+        if cid_before is not None and cid_before != cluster.cluster_id:
             self.reassignments += 1
             if self._instrumented:
                 self._t_reassignments.inc()

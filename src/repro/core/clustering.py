@@ -29,7 +29,12 @@ class MotionFeature:
     direction: float
 
     def __post_init__(self) -> None:
-        check_non_negative(self.speed, "speed")
+        # Fast accept for the common case; the chained comparison is False
+        # for negatives, NaN and +inf, all of which check_non_negative
+        # rejects with the usual message.  Features are constructed per
+        # placement and per centroid rebuild, so this runs constantly.
+        if not 0.0 <= self.speed < math.inf:
+            check_non_negative(self.speed, "speed")
 
     def distance_to(self, other: "MotionFeature", direction_weight: float) -> float:
         """Similarity difference between two features.
@@ -51,9 +56,19 @@ class Cluster:
     def __init__(self, cluster_id: int, first_member: str, feature: MotionFeature):
         self.cluster_id = cluster_id
         self._members: dict[str, MotionFeature] = {first_member: feature}
+        cx = math.cos(feature.direction)
+        sy = math.sin(feature.direction)
+        # Each member's heading trig, computed once at insertion; removal
+        # subtracts the exact stored values instead of recomputing them.
+        self._trig: dict[str, tuple[float, float]] = {first_member: (cx, sy)}
         self._speed_sum = feature.speed
-        self._dir_x_sum = math.cos(feature.direction)
-        self._dir_y_sum = math.sin(feature.direction)
+        self._dir_x_sum = cx
+        self._dir_y_sum = sy
+        # Centroid cache, invalidated on membership change.  BSAS assignment
+        # asks every cluster for its centroid on every placement; without the
+        # cache that is an atan2 + MotionFeature construction per cluster per
+        # node per step — the clustering hot spot of the whole simulator.
+        self._centroid: MotionFeature | None = None
 
     # -- membership ---------------------------------------------------------
     @property
@@ -72,16 +87,22 @@ class Cluster:
         if node_id in self._members:
             self.remove(node_id)
         self._members[node_id] = feature
+        cx = math.cos(feature.direction)
+        sy = math.sin(feature.direction)
+        self._trig[node_id] = (cx, sy)
         self._speed_sum += feature.speed
-        self._dir_x_sum += math.cos(feature.direction)
-        self._dir_y_sum += math.sin(feature.direction)
+        self._dir_x_sum += cx
+        self._dir_y_sum += sy
+        self._centroid = None
 
     def remove(self, node_id: str) -> None:
         """Remove a member (KeyError when absent)."""
         feature = self._members.pop(node_id)
+        cx, sy = self._trig.pop(node_id)
         self._speed_sum -= feature.speed
-        self._dir_x_sum -= math.cos(feature.direction)
-        self._dir_y_sum -= math.sin(feature.direction)
+        self._dir_x_sum -= cx
+        self._dir_y_sum -= sy
+        self._centroid = None
 
     def member_feature(self, node_id: str) -> MotionFeature:
         """The feature a member was inserted with."""
@@ -90,14 +111,17 @@ class Cluster:
     # -- representative -----------------------------------------------------
     @property
     def centroid(self) -> MotionFeature:
-        """Mean speed + circular-mean direction of the members."""
-        n = len(self._members)
-        if n == 0:
-            return MotionFeature(0.0, 0.0)
-        return MotionFeature(
-            speed=max(self._speed_sum / n, 0.0),
-            direction=math.atan2(self._dir_y_sum / n, self._dir_x_sum / n),
-        )
+        """Mean speed + circular-mean direction of the members (cached)."""
+        centroid = self._centroid
+        if centroid is None:
+            n = len(self._members)
+            if n == 0:
+                return MotionFeature(0.0, 0.0)
+            centroid = self._centroid = MotionFeature(
+                speed=max(self._speed_sum / n, 0.0),
+                direction=math.atan2(self._dir_y_sum / n, self._dir_x_sum / n),
+            )
+        return centroid
 
     @property
     def average_speed(self) -> float:
@@ -164,27 +188,78 @@ class SequentialClusterer:
         """The nearest cluster and its distance (``(None, inf)`` when empty)."""
         best: Cluster | None = None
         best_d = math.inf
-        for cluster in self._clusters.values():
-            d = feature.distance_to(cluster.centroid, self.direction_weight)
-            if d < best_d:
-                best, best_d = cluster, d
+        weight = self.direction_weight
+        f_speed = feature.speed
+        f_dir = feature.direction
+        # Inlined MotionFeature.distance_to: this loop visits every cluster
+        # for every placed node every step, so the per-candidate method and
+        # property calls were the clustering bottleneck.  The arithmetic is
+        # identical to distance_to.
+        if weight <= 0.0:
+            for cluster in self._clusters.values():
+                c = cluster._centroid
+                if c is None:
+                    # Inlined Cluster.centroid rebuild (clusters in the live
+                    # dict are never empty, so n >= 1).
+                    n = len(cluster._members)
+                    c = cluster._centroid = MotionFeature(
+                        speed=max(cluster._speed_sum / n, 0.0),
+                        direction=math.atan2(
+                            cluster._dir_y_sum / n, cluster._dir_x_sum / n
+                        ),
+                    )
+                d = abs(f_speed - c.speed)
+                if d < best_d:
+                    best, best_d = cluster, d
+        else:
+            for cluster in self._clusters.values():
+                c = cluster._centroid
+                if c is None:
+                    c = cluster.centroid
+                d = abs(f_speed - c.speed) + weight * abs(
+                    angle_difference(f_dir, c.direction)
+                )
+                if d < best_d:
+                    best, best_d = cluster, d
         return best, best_d
 
     def assign(self, node_id: str, feature: MotionFeature) -> Cluster:
         """Place *node_id* per BSAS; returns its (possibly new) cluster."""
-        self.unassign(node_id)
+        clusters = self._clusters
+        # Inlined unassign + Cluster.remove using the stored trig values;
+        # reassignment runs once per moving node per step.
+        cid = self._assignment.pop(node_id, None)
+        if cid is not None:
+            old = clusters[cid]
+            previous = old._members.pop(node_id)
+            cx, sy = old._trig.pop(node_id)
+            old._speed_sum -= previous.speed
+            old._dir_x_sum -= cx
+            old._dir_y_sum -= sy
+            old._centroid = None
+            if not old._members:
+                del clusters[cid]
         cluster, distance = self.nearest(feature)
-        if cluster is not None and distance < self.alpha:
-            cluster.add(node_id, feature)
-        elif (
-            self.max_clusters is not None
-            and len(self._clusters) >= self.max_clusters
-            and cluster is not None
+        if cluster is not None and (
+            distance < self.alpha
+            or (
+                self.max_clusters is not None
+                and len(clusters) >= self.max_clusters
+            )
         ):
-            cluster.add(node_id, feature)
+            # Inlined Cluster.add: the node was just unassigned, so it is
+            # never already a member here.
+            cluster._members[node_id] = feature
+            cx = math.cos(feature.direction)
+            sy = math.sin(feature.direction)
+            cluster._trig[node_id] = (cx, sy)
+            cluster._speed_sum += feature.speed
+            cluster._dir_x_sum += cx
+            cluster._dir_y_sum += sy
+            cluster._centroid = None
         else:
             cluster = Cluster(next(self._ids), node_id, feature)
-            self._clusters[cluster.cluster_id] = cluster
+            clusters[cluster.cluster_id] = cluster
         self._assignment[node_id] = cluster.cluster_id
         return cluster
 

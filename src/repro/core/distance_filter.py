@@ -10,6 +10,7 @@ even after drifting arbitrarily far.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 
 from repro.geometry import Vec2
@@ -51,7 +52,8 @@ class DistanceFilter:
         exactly the zero-displacement (stationary) updates while letting any
         actual movement through.
         """
-        check_non_negative(dth, "dth")
+        if not 0.0 <= dth < math.inf:
+            check_non_negative(dth, "dth")
         ref = self._reference.get(node_id)
         if ref is None or position.distance_to(ref.position) > dth:
             self._reference[node_id] = _Reference(position, time)

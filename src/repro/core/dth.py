@@ -82,9 +82,13 @@ class ClusterAverageDth(DthPolicy):
         self.factor = check_positive(factor, "factor")
         self.report_interval = check_positive(report_interval, "report_interval")
         self._manager = manager
+        # dth_for runs per LU (filtering) and again per transmitted LU
+        # (stamping); go straight to the clusterer instead of hopping
+        # through the manager each time.
+        self._clusterer = manager.clusterer
 
     def dth_for(self, node_id: str) -> float:
-        cluster = self._manager.cluster_of(node_id)
+        cluster = self._clusterer.cluster_of(node_id)
         if cluster is None:
             return 0.0
         return self.factor * cluster.average_speed * self.report_interval

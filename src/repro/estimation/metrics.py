@@ -15,7 +15,10 @@ __all__ = ["rmse", "mae", "max_error"]
 
 
 def _as_errors(errors: Iterable[float]) -> np.ndarray:
-    arr = np.asarray(list(errors), dtype=float)
+    if isinstance(errors, np.ndarray):
+        arr = np.asarray(errors, dtype=float)
+    else:
+        arr = np.asarray(list(errors), dtype=float)
     if arr.size == 0:
         raise ValueError("cannot compute a metric over zero errors")
     if np.any(arr < 0):

@@ -113,6 +113,27 @@ class LastKnownTracker(LocationTracker):
     This is the "without LE" configuration of Figs. 7 and 8.
     """
 
+    def update(
+        self,
+        time: float,
+        position: Vec2,
+        velocity: Vec2,
+        *,
+        displacement_cap: float | None = None,
+    ) -> None:
+        # Concrete override: no observation to absorb, so skip the abstract
+        # _observe dispatch — this runs once per LU for every no-LE broker.
+        if self._last_time is not None and time < self._last_time:
+            raise ValueError(
+                f"update times must be non-decreasing: {time} < {self._last_time}"
+            )
+        self._last_time = time
+        self._last_position = position
+        self._displacement_cap = (
+            displacement_cap if displacement_cap and displacement_cap > 0 else None
+        )
+        self._updates += 1
+
     def _observe(self, time: float, position: Vec2, velocity: Vec2) -> None:
         pass
 
@@ -141,13 +162,68 @@ class BrownTracker(LocationTracker):
         self._dir_cos = BrownDoubleExponentialSmoothing(alpha)
         self._dir_sin = BrownDoubleExponentialSmoothing(alpha)
 
+    def update(
+        self,
+        time: float,
+        position: Vec2,
+        velocity: Vec2,
+        *,
+        displacement_cap: float | None = None,
+    ) -> None:
+        # Concrete override flattening base.update -> _observe -> the three
+        # smoother updates into one frame; the arithmetic matches
+        # BrownDoubleExponentialSmoothing.update exactly (and vx / speed
+        # matches (velocity / speed).x).
+        if self._last_time is not None and time < self._last_time:
+            raise ValueError(
+                f"update times must be non-decreasing: {time} < {self._last_time}"
+            )
+        vx, vy = velocity.x, velocity.y
+        speed = math.hypot(vx, vy)
+        sp = self._speed
+        if sp._n == 0:
+            sp._s1 = speed
+            sp._s2 = speed
+        else:
+            a = sp._alpha
+            sp._s1 = a * speed + (1.0 - a) * sp._s1
+            sp._s2 = a * sp._s1 + (1.0 - a) * sp._s2
+        sp._n += 1
+        if speed > 1e-9:
+            c = vx / speed
+            dc = self._dir_cos
+            if dc._n == 0:
+                dc._s1 = c
+                dc._s2 = c
+            else:
+                a = dc._alpha
+                dc._s1 = a * c + (1.0 - a) * dc._s1
+                dc._s2 = a * dc._s1 + (1.0 - a) * dc._s2
+            dc._n += 1
+            s = vy / speed
+            ds = self._dir_sin
+            if ds._n == 0:
+                ds._s1 = s
+                ds._s2 = s
+            else:
+                a = ds._alpha
+                ds._s1 = a * s + (1.0 - a) * ds._s1
+                ds._s2 = a * ds._s1 + (1.0 - a) * ds._s2
+            ds._n += 1
+        self._last_time = time
+        self._last_position = position
+        self._displacement_cap = (
+            displacement_cap if displacement_cap and displacement_cap > 0 else None
+        )
+        self._updates += 1
+
     def _observe(self, time: float, position: Vec2, velocity: Vec2) -> None:
-        speed = velocity.norm()
+        vx, vy = velocity.x, velocity.y
+        speed = math.hypot(vx, vy)
         self._speed.update(speed)
         if speed > 1e-9:
-            unit = velocity / speed
-            self._dir_cos.update(unit.x)
-            self._dir_sin.update(unit.y)
+            self._dir_cos.update(vx / speed)
+            self._dir_sin.update(vy / speed)
 
     def _heading_vector(self) -> Vec2 | None:
         """Smoothed heading as a vector whose norm encodes confidence.
@@ -170,15 +246,48 @@ class BrownTracker(LocationTracker):
         return Vec2(c, s)
 
     def predict(self, time: float) -> Vec2:
-        t_fix, position = self._require_fix()
+        # Flattened: forecast/level/trend, _heading_vector and _clamp_to_cap
+        # inlined with identical arithmetic — the broker estimates every
+        # silent node once per tick through this method.
+        position = self._last_position
+        t_fix = self._last_time
+        if position is None or t_fix is None:
+            raise RuntimeError("tracker has no fix yet; cannot predict")
         dt = max(time - t_fix, 0.0)
-        if dt == 0.0 or not self._speed.ready:
+        sp = self._speed
+        if dt == 0.0 or sp._n == 0:
             return position
-        speed = max(self._speed.forecast(1.0), 0.0)
-        heading = self._heading_vector()
-        if speed <= 1e-9 or heading is None:
+        a = sp._alpha
+        s1, s2 = sp._s1, sp._s2
+        speed = max(2.0 * s1 - s2 + 1.0 * (a / (1.0 - a) * (s1 - s2)), 0.0)
+        dc = self._dir_cos
+        if speed <= 1e-9 or dc._n == 0:
             return position
-        return self._clamp_to_cap(position + heading * (speed * dt))
+        a = dc._alpha
+        s1, s2 = dc._s1, dc._s2
+        c = 2.0 * s1 - s2 + 1.0 * (a / (1.0 - a) * (s1 - s2))
+        ds = self._dir_sin
+        a = ds._alpha
+        s1, s2 = ds._s1, ds._s2
+        s = 2.0 * s1 - s2 + 1.0 * (a / (1.0 - a) * (s1 - s2))
+        norm = math.hypot(c, s)
+        if norm <= 1e-9:
+            return position
+        if norm > 1.0:
+            c, s = c / norm, s / norm
+        k = speed * dt
+        px = position.x + c * k
+        py = position.y + s * k
+        cap = self._displacement_cap
+        if cap is None:
+            return Vec2(px, py)
+        ox = px - position.x
+        oy = py - position.y
+        distance = math.hypot(ox, oy)
+        if distance <= cap:
+            return Vec2(px, py)
+        scale = cap / distance
+        return Vec2(position.x + ox * scale, position.y + oy * scale)
 
 
 class VelocityComponentTracker(LocationTracker):

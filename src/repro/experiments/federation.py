@@ -90,10 +90,16 @@ class MobilityFederate(FederateAmbassador):
         self.granted_time = 0.0
 
     def advance_and_publish(self, to_time: float) -> None:
-        """Move every node one step and push TSO attribute updates."""
+        """Move every node one step and push TSO attribute updates.
+
+        Region resolution goes through the campus spatial index — one
+        point query per node per step is the mobility federate's hottest
+        geometric operation.
+        """
+        region_at = self._campus.region_at
         for node in self._nodes:
             sample = node.advance(self._step)
-            region = self._campus.region_at(sample.position)
+            region = region_at(sample.position)
             self._rti.update_attribute_values(
                 self.handle,
                 self._instances[node.node_id],

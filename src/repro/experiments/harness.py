@@ -15,9 +15,15 @@ truth for both, yielding every data series of Figs. 4-9 from a single run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import functools
+import math
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.broker.broker import BrokerConfig, GridBroker
+from repro.broker.location_db import LocationRecord, RecordSource
 from repro.campus import Campus, default_campus
 from repro.core.adf import AdaptiveDistanceFilter
 from repro.core.baselines import (
@@ -69,6 +75,13 @@ class Lane:
     region_errors_with_le: RegionErrors = field(default_factory=RegionErrors)
     region_errors_without_le: RegionErrors = field(default_factory=RegionErrors)
     cluster_series: TimeSeries = field(default_factory=TimeSeries)
+    #: Per-node DTH lookup bound once from the policy type (None for
+    #: policies without one, e.g. ideal) — the per-LU isinstance dance of
+    #: the seed's ``_current_dth`` resolved at lane construction instead.
+    dth_getter: Callable[[str], float] | None = None
+    #: True for the ideal lane: its policy transmits unconditionally, so
+    #: the per-LU process() call reduces to a counter increment.
+    is_ideal: bool = False
 
 
 class MobileGridExperiment:
@@ -96,6 +109,7 @@ class MobileGridExperiment:
         self._road_region_ids: set[str] = {
             region.region_id for region in self.campus.roads()
         }
+        self._node_ids: list[str] = [node.node_id for node in self.nodes]
         self.lanes: list[Lane] = []
         self._build_lanes()
         # One association view for the whole experiment: which gateway
@@ -145,6 +159,8 @@ class MobileGridExperiment:
             broker_without_le=GridBroker(
                 broker_cfg_off, telemetry=self.telemetry, name=f"{name}/le-off"
             ),
+            dth_getter=self._dth_getter(policy),
+            is_ideal=type(policy) is IdealLUPolicy,
         )
         channel_rng = self.rng.stream(f"channel/{name}")
         for region in self.campus.regions.values():
@@ -159,7 +175,7 @@ class MobileGridExperiment:
             lane.gateways[region.region_id] = WirelessGateway(
                 region,
                 channel,
-                sink=lambda lu, lane=lane: self._filter_and_forward(lane, lu),
+                sink=functools.partial(self._filter_and_forward, lane),
                 telemetry=self.telemetry,
             )
         self.lanes.append(lane)
@@ -179,53 +195,140 @@ class MobileGridExperiment:
 
     # -- per-LU path ---------------------------------------------------------------
     def _filter_and_forward(self, lane: Lane, update: LocationUpdate) -> None:
-        decision = lane.policy.process(update)
-        if decision is FilterDecision.TRANSMIT:
-            dth = self._current_dth(lane.policy, update.node_id)
+        if lane.is_ideal:
+            # IdealLUPolicy.process inlined: unconditional TRANSMIT plus its
+            # transmitted counter; the ideal lane has no dth_getter, so the
+            # update is forwarded unmodified.
+            lane.policy.transmitted += 1
+        else:
+            decision = lane.policy.process(update)
+            if decision is not FilterDecision.TRANSMIT:
+                return
+            getter = lane.dth_getter
+            dth = getter(update.node_id) if getter is not None else 0.0
             if dth > 0:
-                update = replace(update, dth=dth)
-            lane.meter.count(
-                update.timestamp,
-                update.region_id,
-                size_bytes=update.size_bytes,
-                node_id=update.node_id,
-            )
-            lane.broker_with_le.receive_update(update)
-            lane.broker_without_le.receive_update(update)
+                # Direct construction beats dataclasses.replace on the hot
+                # path; seq is carried over, matching replace's semantics.
+                update = LocationUpdate(
+                    sender=update.sender,
+                    timestamp=update.timestamp,
+                    seq=update.seq,
+                    node_id=update.node_id,
+                    position=update.position,
+                    velocity=update.velocity,
+                    region_id=update.region_id,
+                    dth=dth,
+                )
+        # Inlined TrafficMeter.count (same binning and counters): the meter
+        # is charged once per transmitted LU, and the call plus its keyword
+        # arguments showed up in every profile.
+        meter = lane.meter
+        timestamp = update.timestamp
+        region_id = update.region_id
+        node_id = update.node_id
+        width = meter._bin_width
+        if width is None:
+            meter._events.append((timestamp, region_id))
+        else:
+            index = math.ceil(timestamp / width) - 1
+            meter._bins[index if index > 0 else 0] += 1
+        meter._total += 1
+        meter._per_region[region_id] += 1
+        if node_id:
+            meter._per_node[node_id] += 1
+        meter._bytes += update.size_bytes
+        # Both brokers store an identical RECEIVED record; build it once.
+        record = LocationRecord(
+            node_id=node_id,
+            time=timestamp,
+            position=update.position,
+            source=RecordSource.RECEIVED,
+        )
+        lane.broker_with_le.receive_update(update, record)
+        lane.broker_without_le.receive_update(update, record)
 
     @staticmethod
-    def _current_dth(policy: FilterPolicy, node_id: str) -> float:
-        """The DTH the filter will hold this node to until its next LU."""
+    def _dth_getter(policy: FilterPolicy) -> Callable[[str], float] | None:
+        """The per-node DTH lookup for *policy*, resolved once per lane."""
         if isinstance(policy, AdaptiveDistanceFilter):
-            return policy.dth_of(node_id)
+            # The getter runs immediately after process() for the same
+            # update, so the DTH process() just derived is still current —
+            # no second cluster lookup needed.
+            return lambda node_id: policy.last_dth
         if isinstance(policy, GeneralDistanceFilterPolicy):
-            return policy.dth_policy.dth_for(node_id)
-        return 0.0
+            return policy.dth_policy.dth_for
+        return None
 
     # -- one reporting interval ------------------------------------------------------
     def _step(self) -> None:
+        """Advance mobility one interval and push the results through every lane.
+
+        Each node's region is resolved exactly *once* per step (via the
+        campus spatial index) and threaded through to measurement — the
+        seed code paid a second full region scan per node in
+        ``_measure``'s road classification.
+        """
         now = self.sim.now
         dt = self.config.report_interval
         updates: list[LocationUpdate] = []
+        positions: list[tuple[float, float]] = []
+        on_road: list[bool] = []
+        region_at = self.campus.region_at
+        road_ids = self._road_region_ids
+        observe = self.associations.observe
+        # Same-package peek at the serving map: observe() is a no-op when
+        # the node's serving region is unchanged (the overwhelmingly common
+        # case — handoffs are rare), so only region changes pay the call.
+        serving = self.associations._serving
+        speed_sum = self._speed_sum
+        speed_count = self._speed_count
         for node in self.nodes:
             sample = node.advance(dt)
-            self._speed_sum += sample.speed
-            self._speed_count += 1
-            region = self.campus.region_at(sample.position)
+            velocity = sample.velocity
+            # math.hypot == Vec2.norm == MotionSample.speed, sans two hops.
+            speed_sum += math.hypot(velocity.x, velocity.y)
+            speed_count += 1
+            position = sample.position
+            region = region_at(position)
+            node_id = node.node_id
             region_id = region.region_id if region else node.home_region
+            positions.append((position.x, position.y))
+            on_road.append(region_id in road_ids)
             update = LocationUpdate(
-                sender=node.node_id,
+                sender=node_id,
                 timestamp=now,
-                node_id=node.node_id,
-                position=sample.position,
-                velocity=sample.velocity,
+                node_id=node_id,
+                position=position,
+                velocity=velocity,
                 region_id=region_id,
             )
-            self.associations.observe(update)
+            if serving.get(node_id) != region_id:
+                observe(update)
             updates.append(update)
+        self._speed_sum = speed_sum
+        self._speed_count = speed_count
         for lane in self.lanes:
+            gateways = lane.gateways
+            fallback = self._gateway_for
+            fwd = self._filter_and_forward
             for update in updates:
-                self._gateway_for(lane, update).receive(update)
+                gateway = gateways.get(update.region_id)
+                if gateway is None:
+                    gateway = fallback(lane, update)
+                if gateway._fused_uplink and gateway.operational:
+                    # Inlined WirelessGateway.receive fused fast path:
+                    # same gateway/channel counters, synchronous delivery
+                    # straight into the filter without the partial-bound
+                    # sink hop.
+                    gateway.received += 1
+                    stats = gateway._uplink.stats
+                    stats.sent += 1
+                    stats.bytes_sent += update.size_bytes
+                    stats.delivered += 1
+                    gateway.forwarded += 1
+                    fwd(lane, update)
+                else:
+                    gateway.receive(update)
             if isinstance(lane.policy, AdaptiveDistanceFilter):
                 lane.policy.tick(now)
                 lane.cluster_series.append(
@@ -234,7 +337,7 @@ class MobileGridExperiment:
                 )
             lane.broker_with_le.tick(now)
             lane.broker_without_le.tick(now)
-        self._measure(now)
+        self._measure(now, positions, on_road)
         self._score_classifier()
 
     def _gateway_for(self, lane: Lane, update: LocationUpdate) -> WirelessGateway:
@@ -254,45 +357,66 @@ class MobileGridExperiment:
             gateway = next(iter(lane.gateways.values()))
         return gateway
 
-    def _node_on_road(self, node: MobileNode) -> bool:
-        """Whether *node* currently stands on a road region.
+    def _measure(
+        self,
+        now: float,
+        positions: list[tuple[float, float]],
+        on_road: list[bool],
+    ) -> None:
+        """Per-lane location error against the *positions* ground truth.
 
-        Classification is by membership of the node's *current* region in
-        ``campus.roads()`` — not by its home region, which goes stale the
-        moment the node moves, and not by a name-prefix convention, which
-        breaks for campuses whose road ids don't start with "R".
+        Road membership (*on_road*) and the truth positions were resolved
+        once in ``_step`` — a property of mobility, not of the lane — and
+        are shared by every lane and both brokers.  Per-node distances use
+        scalar ``math.hypot`` (bit-identical with the seed's
+        ``Vec2.distance_to``); the RMSE reduction over each error vector
+        is batched through numpy.
         """
-        region = self.campus.region_at(node.position)
-        region_id = region.region_id if region is not None else node.home_region
-        return region_id in self._road_region_ids
-
-    def _measure(self, now: float) -> None:
-        # Road membership is a property of mobility, not of the lane, so
-        # resolve it once per node per step rather than once per lane.
-        on_road = [self._node_on_road(node) for node in self.nodes]
+        node_ids = self._node_ids
+        hypot = math.hypot
         for lane in self.lanes:
-            errors_on: list[float] = []
-            errors_off: list[float] = []
-            for node, is_road in zip(self.nodes, on_road):
-                truth = node.position
-                believed_on = lane.broker_with_le.location_db.position_of(
-                    node.node_id
-                )
-                believed_off = lane.broker_without_le.location_db.position_of(
-                    node.node_id
-                )
-                if believed_on is not None:
-                    err = truth.distance_to(believed_on)
-                    errors_on.append(err)
-                    lane.region_errors_with_le.add(err, is_road=is_road)
-                if believed_off is not None:
-                    err = truth.distance_to(believed_off)
-                    errors_off.append(err)
-                    lane.region_errors_without_le.add(err, is_road=is_road)
-            if errors_on:
-                lane.rmse_with_le.append(now, rmse(errors_on))
-            if errors_off:
-                lane.rmse_without_le.append(now, rmse(errors_off))
+            for location_db, series, region_errors in (
+                (
+                    lane.broker_with_le.location_db,
+                    lane.rmse_with_le,
+                    lane.region_errors_with_le,
+                ),
+                (
+                    lane.broker_without_le.location_db,
+                    lane.rmse_without_le,
+                    lane.region_errors_without_le,
+                ),
+            ):
+                latest = location_db.latest_map
+                errors: list[float] = []
+                append = errors.append
+                # Fold the per-kind squared sums locally in the same
+                # per-sample order RegionErrors.add would, then write back
+                # once — identical floating-point results, no method call
+                # per sample.
+                road_sq = region_errors.road_sq_sum
+                road_n = region_errors.road_count
+                bld_sq = region_errors.building_sq_sum
+                bld_n = region_errors.building_count
+                for (tx, ty), node_id, is_road in zip(positions, node_ids, on_road):
+                    record = latest.get(node_id)
+                    if record is None:
+                        continue
+                    believed = record.position
+                    err = hypot(tx - believed.x, ty - believed.y)
+                    append(err)
+                    if is_road:
+                        road_sq += err * err
+                        road_n += 1
+                    else:
+                        bld_sq += err * err
+                        bld_n += 1
+                region_errors.road_sq_sum = road_sq
+                region_errors.road_count = road_n
+                region_errors.building_sq_sum = bld_sq
+                region_errors.building_count = bld_n
+                if errors:
+                    series.append(now, rmse(np.asarray(errors)))
 
     def _score_classifier(self) -> None:
         adf = next(
@@ -305,15 +429,21 @@ class MobileGridExperiment:
         )
         if adf is None:
             return
+        labels = adf.classifier._labels
+        right = 0
+        total = 0
         for node in self.nodes:
-            if node.true_state is None:
+            true_state = node.true_state
+            if true_state is None:
                 continue
-            label = adf.label_of(node.node_id)
+            label = labels.get(node.node_id)
             if label is None:
                 continue
-            self._classified_total += 1
-            if label is node.true_state:
-                self._classified_right += 1
+            total += 1
+            if label is true_state:
+                right += 1
+        self._classified_total += total
+        self._classified_right += right
 
     # -- the run ------------------------------------------------------------------
     def run(self) -> ExperimentResult:

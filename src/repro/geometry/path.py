@@ -10,6 +10,7 @@ LMS mobility model needs.
 from __future__ import annotations
 
 import bisect
+import math
 from collections.abc import Iterable, Sequence
 
 from repro.geometry.vec import Vec2
@@ -76,14 +77,23 @@ class Path:
 
     def point_at(self, s: float) -> Vec2:
         """Position at arc length *s* from the start (clamped)."""
-        if len(self._points) == 1:
-            return self._points[0]
-        i, offset = self._locate(s)
-        a, b = self._points[i], self._points[i + 1]
-        seg_len = a.distance_to(b)
+        points = self._points
+        if len(points) == 1:
+            return points[0]
+        # Inlined _locate / distance_to / lerp with identical arithmetic:
+        # every moving LMS node queries its path once per step.
+        cumlen = self._cumlen
+        s = min(max(s, 0.0), cumlen[-1])
+        i = bisect.bisect_right(cumlen, s) - 1
+        i = min(i, len(points) - 2)
+        offset = s - cumlen[i]
+        a = points[i]
+        b = points[i + 1]
+        seg_len = math.hypot(a.x - b.x, a.y - b.y)
         if seg_len == 0.0:
             return a
-        return a.lerp(b, offset / seg_len)
+        t = offset / seg_len
+        return Vec2(a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t)
 
     def direction_at(self, s: float) -> float:
         """Heading (radians) of the segment containing arc length *s*."""

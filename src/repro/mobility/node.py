@@ -105,7 +105,7 @@ class MobileNode:
         """Move the node forward by *dt* seconds; returns the new sample."""
         if dt <= 0:
             raise ValueError(f"dt must be > 0, got {dt}")
-        old = self.position
+        old = self._model.position
         new = self._model.step(dt)
         self._velocity = (new - old) / dt
         self._time += dt

@@ -64,6 +64,7 @@ class WirelessChannel:
         self._base_latency = base_latency
         self._latency_jitter = latency_jitter
         self._loss_probability = loss_probability
+        self._transparent = base_latency <= 0 and latency_jitter <= 0
         self.name = name
         self.stats = ChannelStats()
         tm = telemetry if telemetry is not None else NULL_TELEMETRY
@@ -87,19 +88,29 @@ class WirelessChannel:
         still be in flight), ``False`` when it was dropped.
         """
         instrumented = self._instrumented
-        self.stats.sent += 1
-        self.stats.bytes_sent += message.size_bytes
+        stats = self.stats
+        stats.sent += 1
+        stats.bytes_sent += message.size_bytes
         if instrumented:
             self._t_sent.inc()
         if self._loss_probability > 0 and self._rng.random() < self._loss_probability:
-            self.stats.dropped += 1
+            stats.dropped += 1
             if instrumented:
                 self._t_dropped.inc()
             return False
+        if self._transparent:
+            # Transparent-channel fast path (the paper's default): no rng
+            # draw, no closure, no event — deliver synchronously.
+            stats.delivered += 1
+            if instrumented:
+                self._t_delivered.inc()
+                self._t_latency.observe(0.0)
+            deliver(message)
+            return True
         latency = self.latency_sample()
 
         def arrive() -> None:
-            self.stats.delivered += 1
+            stats.delivered += 1
             if instrumented:
                 self._t_delivered.inc()
                 self._t_latency.observe(latency)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 from repro.geometry import Vec2
 
@@ -26,12 +27,16 @@ class Message:
 
     sender: str
     timestamp: float
-    seq: int = field(default_factory=_next_seq)
+    # _sequence.__next__ directly: the factory runs per message, and the
+    # wrapper function added a frame to every construction.
+    seq: int = field(default_factory=_sequence.__next__)
 
-    @property
-    def size_bytes(self) -> int:
-        """Approximate over-the-air size (headers only for the base class)."""
-        return 32
+    #: Approximate over-the-air size (headers only for the base class).
+    #: A plain class attribute, not a property: bandwidth accounting reads
+    #: it once per message per channel, and the size of these types is a
+    #: constant.  Subclasses with variable payloads override it as a
+    #: property (see DataTransfer).
+    size_bytes: ClassVar[int] = 32
 
 
 @dataclass(frozen=True, slots=True)
@@ -52,10 +57,8 @@ class LocationUpdate(Message):
     #: ``dth`` of ``position`` — the broker's estimator exploits that bound.
     dth: float = 0.0
 
-    @property
-    def size_bytes(self) -> int:
-        # header + node id + 4 floats (position, velocity) + region tag
-        return 32 + 16 + 4 * 8 + 8
+    # header + node id + 4 floats (position, velocity) + region tag
+    size_bytes: ClassVar[int] = 32 + 16 + 4 * 8 + 8
 
     @property
     def speed(self) -> float:
@@ -74,9 +77,7 @@ class Ack(Message):
 
     acked_seq: int = -1
 
-    @property
-    def size_bytes(self) -> int:
-        return 32 + 8
+    size_bytes: ClassVar[int] = 32 + 8
 
 
 @dataclass(frozen=True, slots=True)

@@ -59,12 +59,13 @@ class TrafficMeter:
         energy analysis uses to charge each device's battery for its own
         transmissions.
         """
-        if self._bin_width is None:
+        width = self._bin_width
+        if width is None:
             self._events.append((time, region_id))
         else:
             # Right-closed bins, matching TimeSeries.bin_sum: bin i covers
             # (i*w, (i+1)*w], with t = 0 joining bin 0.
-            index = math.ceil(time / self._bin_width) - 1
+            index = math.ceil(time / width) - 1
             self._bins[index if index > 0 else 0] += 1
         self._total += 1
         self._per_region[region_id] += 1

@@ -1,0 +1,180 @@
+"""The spatial region index vs. the linear-scan reference semantics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.campus import default_campus
+from repro.campus.campus import Campus
+from repro.campus.region import NetworkAccess, Region, RegionKind
+from repro.geometry import Path, Rect, Vec2
+
+
+def _road(region_id: str, bounds: Rect) -> Region:
+    centerline = Path(
+        [
+            Vec2(bounds.x_min, (bounds.y_min + bounds.y_max) / 2.0),
+            Vec2(bounds.x_max, (bounds.y_min + bounds.y_max) / 2.0),
+        ]
+    )
+    return Region(
+        region_id=region_id,
+        name=region_id,
+        kind=RegionKind.ROAD,
+        bounds=bounds,
+        access=NetworkAccess.CELLULAR,
+        centerline=centerline,
+    )
+
+
+def _building(region_id: str, bounds: Rect) -> Region:
+    return Region(
+        region_id=region_id,
+        name=region_id,
+        kind=RegionKind.BUILDING,
+        bounds=bounds,
+        access=NetworkAccess.CELLULAR | NetworkAccess.WLAN,
+        entrance=bounds.center,
+    )
+
+
+_rects = st.builds(
+    lambda x, y, w, h: Rect(x, y, x + w, y + h),
+    x=st.floats(-50.0, 450.0),
+    y=st.floats(-50.0, 450.0),
+    w=st.floats(1.0, 200.0),
+    h=st.floats(1.0, 200.0),
+)
+
+
+@st.composite
+def _campuses(draw):
+    """A random campus: 1-8 roads and 0-8 buildings, freely overlapping."""
+    road_rects = draw(st.lists(_rects, min_size=1, max_size=8))
+    building_rects = draw(st.lists(_rects, min_size=0, max_size=8))
+    regions = [_road(f"road-{i}", r) for i, r in enumerate(road_rects)]
+    regions += [_building(f"bldg-{i}", r) for i, r in enumerate(building_rects)]
+    return Campus(regions)
+
+
+_points = st.builds(
+    Vec2,
+    st.floats(-200.0, 800.0),
+    st.floats(-200.0, 800.0),
+)
+
+
+class TestIndexMatchesLinearScan:
+    """region_at (grid index) must agree with region_at_linear everywhere."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(campus=_campuses(), points=st.lists(_points, min_size=1, max_size=20))
+    def test_random_campuses(self, campus, points):
+        for point in points:
+            assert campus.region_at(point) is campus.region_at_linear(point)
+
+    @settings(max_examples=100, deadline=None)
+    @given(campus=_campuses())
+    def test_region_corners_and_edges(self, campus):
+        """Boundary points (where cell rounding bites) agree too."""
+        for region in campus.regions.values():
+            b = region.bounds
+            for point in (
+                Vec2(b.x_min, b.y_min),
+                Vec2(b.x_max, b.y_max),
+                Vec2(b.x_min, b.y_max),
+                Vec2(b.x_max, b.y_min),
+                b.center,
+                Vec2(b.x_min, (b.y_min + b.y_max) / 2.0),
+            ):
+                assert campus.region_at(point) is campus.region_at_linear(point)
+
+    def test_default_campus_dense_grid(self):
+        campus = default_campus()
+        xs = [i * 7.3 - 30.0 for i in range(70)]
+        ys = [j * 6.1 - 30.0 for j in range(70)]
+        for x in xs:
+            for y in ys:
+                point = Vec2(x, y)
+                assert campus.region_at(point) is campus.region_at_linear(point)
+
+
+class TestPrecedence:
+    def test_building_wins_over_road_on_overlap(self):
+        road = _road("r", Rect(0.0, 0.0, 100.0, 20.0))
+        building = _building("b", Rect(40.0, 0.0, 60.0, 20.0))
+        campus = Campus([road, building])
+        inside_both = Vec2(50.0, 10.0)
+        assert campus.region_at(inside_both) is building
+        assert campus.region_at_linear(inside_both) is building
+        road_only = Vec2(10.0, 10.0)
+        assert campus.region_at(road_only) is road
+
+    def test_first_road_wins_among_roads(self):
+        first = _road("first", Rect(0.0, 0.0, 100.0, 20.0))
+        second = _road("second", Rect(0.0, 0.0, 100.0, 20.0))
+        campus = Campus([first, second])
+        assert campus.region_at(Vec2(50.0, 10.0)) is first
+
+    def test_outside_everything_is_none(self):
+        campus = default_campus()
+        assert campus.region_at(Vec2(1e6, 1e6)) is None
+        assert campus.region_at(Vec2(-1e6, -1e6)) is None
+        assert campus.region_at(Vec2(math.nan, math.nan)) is None
+
+
+class TestIndexStructure:
+    def test_grid_shape_and_candidates(self):
+        campus = default_campus()
+        index = campus.spatial_index
+        cols, rows = index.grid_shape
+        assert cols >= 1 and rows >= 1
+        assert index.max_candidates() >= 1
+        # Candidate sets are supersets of the true containing regions.
+        point = campus.regions["R1"].bounds.center
+        hit = campus.region_at(point)
+        assert hit in index.candidates_at(point)
+
+    def test_index_is_lazy_and_cached(self):
+        campus = default_campus()
+        assert campus._spatial_index is None
+        first = campus.spatial_index
+        assert campus.spatial_index is first
+
+
+class TestRegionsView:
+    def test_regions_mapping_is_read_only(self):
+        campus = default_campus()
+        with pytest.raises(TypeError):
+            campus.regions["x"] = None  # type: ignore[index]
+        with pytest.raises(AttributeError):
+            campus.regions.pop("R1")  # type: ignore[attr-defined]
+
+    def test_regions_view_tracks_registry(self):
+        campus = default_campus()
+        assert set(campus.regions) == set(campus._regions)
+
+
+class TestNearestNodeCache:
+    def test_matches_min_over_nodes(self):
+        campus = default_campus()
+        point = Vec2(123.0, 45.0)
+        expected = min(
+            campus.graph.nodes,
+            key=lambda n: campus.node_pos(n).distance_to(point),
+        )
+        assert campus.nearest_node(point) == expected
+
+    def test_cache_invalidated_by_add_node(self):
+        campus = default_campus()
+        probe = Vec2(-500.0, -500.0)
+        campus.nearest_node(probe)  # prime the cache
+        campus.add_node("brand-new", Vec2(-499.0, -499.0))
+        assert campus.nearest_node(probe) == "brand-new"
+
+    def test_empty_graph_raises(self):
+        road = _road("r", Rect(0.0, 0.0, 10.0, 10.0))
+        campus = Campus([road])
+        with pytest.raises(ValueError):
+            campus.nearest_node(Vec2(0.0, 0.0))

@@ -164,3 +164,61 @@ class TestInvariants:
             c.assign(f"n{i}", MotionFeature(speed, theta))
         for cluster in c.clusters:
             assert cluster.average_speed >= 0.0
+
+
+class TestCentroidCache:
+    """The cached centroid must always equal a fresh recomputation."""
+
+    def _fresh_centroid(self, cluster):
+        n = len(cluster)
+        speed = sum(f.speed for f in cluster._members.values()) / n
+        x = sum(math.cos(f.direction) for f in cluster._members.values()) / n
+        y = sum(math.sin(f.direction) for f in cluster._members.values()) / n
+        return max(speed, 0.0), math.atan2(y, x)
+
+    def test_cache_hit_returns_same_object(self):
+        c = SequentialClusterer(alpha=1.0)
+        cluster = c.assign("a", MotionFeature(1.0, 0.1))
+        first = cluster.centroid
+        assert cluster.centroid is first
+
+    def test_add_invalidates(self):
+        c = SequentialClusterer(alpha=1.0)
+        cluster = c.assign("a", MotionFeature(1.0, 0.1))
+        before = cluster.centroid
+        cluster.add("b", MotionFeature(1.5, 0.3))
+        after = cluster.centroid
+        assert after is not before
+        speed, direction = self._fresh_centroid(cluster)
+        assert after.speed == speed
+        assert after.direction == direction
+
+    def test_remove_invalidates(self):
+        c = SequentialClusterer(alpha=1.0)
+        cluster = c.assign("a", MotionFeature(1.0, 0.1))
+        cluster.add("b", MotionFeature(1.5, 0.3))
+        cluster.centroid  # prime the cache
+        cluster.remove("b")
+        speed, direction = self._fresh_centroid(cluster)
+        assert cluster.centroid.speed == speed
+        assert cluster.centroid.direction == direction
+
+    def test_assign_reassignment_invalidates_both_clusters(self):
+        c = SequentialClusterer(alpha=0.5)
+        first = c.assign("a", MotionFeature(1.0, 0.0))
+        c.assign("b", MotionFeature(1.1, 0.0))
+        first.centroid  # prime
+        second = c.assign("b", MotionFeature(5.0, 0.0))  # moves far away
+        assert second is not first
+        assert first.centroid.speed == 1.0
+
+    @given(st.lists(st.tuples(speeds, angles), min_size=1, max_size=40))
+    def test_cached_centroid_matches_recomputation(self, samples):
+        c = SequentialClusterer(alpha=0.8)
+        for i, (speed, theta) in enumerate(samples):
+            c.assign(f"n{i % 5}", MotionFeature(speed, theta))
+        for cluster in c.clusters:
+            centroid = cluster.centroid
+            speed, direction = self._fresh_centroid(cluster)
+            assert centroid.speed == pytest.approx(speed, abs=1e-12)
+            assert centroid.direction == pytest.approx(direction, abs=1e-12)
