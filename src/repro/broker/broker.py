@@ -35,7 +35,7 @@ from repro.estimation.tracker import (
 )
 from repro.geometry import Vec2
 from repro.network.messages import LocationUpdate
-from repro.telemetry import NULL_TELEMETRY
+from repro.telemetry import NULL_TELEMETRY, Severity
 from repro.util.validation import check_positive
 
 __all__ = ["BrokerConfig", "GridBroker"]
@@ -69,6 +69,17 @@ class BrokerConfig:
     estimator: str = "brown"
     smoothing_alpha: float = 0.4
     report_interval: float = 1.0
+    #: Graceful degradation under silence (both default off, preserving the
+    #: paper's unbounded-extrapolation behaviour bit for bit):
+    #: ``max_extrapolation_age`` — once a node's last *received* fix is
+    #: older than this, estimates decay to the last-known position instead
+    #: of extrapolating further (a stale velocity belief diverges without
+    #: bound; a stale position is at least anchored to reality).
+    max_extrapolation_age: float | None = None
+    #: ``quarantine_age`` — nodes silent longer than this are quarantined:
+    #: excluded from ``believed_position`` and the estimation sweep (with a
+    #: WARNING event) until an LU resyncs them.
+    quarantine_age: float | None = None
 
     def __post_init__(self) -> None:
         check_positive(self.report_interval, "report_interval")
@@ -76,6 +87,19 @@ class BrokerConfig:
             raise ValueError(
                 f"unknown estimator {self.estimator!r}; "
                 f"choose from {sorted(_ESTIMATORS)}"
+            )
+        if self.max_extrapolation_age is not None:
+            check_positive(self.max_extrapolation_age, "max_extrapolation_age")
+        if self.quarantine_age is not None:
+            check_positive(self.quarantine_age, "quarantine_age")
+        if (
+            self.max_extrapolation_age is not None
+            and self.quarantine_age is not None
+            and self.quarantine_age < self.max_extrapolation_age
+        ):
+            raise ValueError(
+                "quarantine_age must be >= max_extrapolation_age "
+                f"({self.quarantine_age} < {self.max_extrapolation_age})"
             )
 
 
@@ -117,6 +141,7 @@ class GridBroker:
         )
         self.name = name
         tm = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._telemetry = tm
         self._instrumented = tm.enabled
         self._t_received = tm.counter("broker.lu_received", broker=name)
         self._t_estimates = tm.counter("broker.estimates_made", broker=name)
@@ -127,6 +152,21 @@ class GridBroker:
         self._updated_since_tick: set[str] = set()
         self.updates_received = 0
         self.estimates_made = 0
+        # Graceful-degradation state (all dormant — and the per-LU hot path
+        # untouched — unless an age bound is configured).
+        self._max_extrapolation_age = self.config.max_extrapolation_age
+        self._quarantine_age = self.config.quarantine_age
+        self._degraded_mode = (
+            self._max_extrapolation_age is not None
+            or self._quarantine_age is not None
+        )
+        self._quarantined: set[str] = set()
+        self.quarantines = 0
+        self.resyncs = 0
+        self.stale_lus_dropped = 0
+        self._t_quarantined = tm.counter("broker.quarantined", broker=name)
+        self._t_resyncs = tm.counter("broker.resyncs", broker=name)
+        self._t_stale_dropped = tm.counter("broker.stale_lus_dropped", broker=name)
 
     # -- LU ingestion --------------------------------------------------------
     def receive_update(
@@ -144,6 +184,43 @@ class GridBroker:
             self._t_received.inc()
         node_id = update.node_id
         tracker = self._trackers.get(node_id)
+        skip_db = False
+        if self._degraded_mode:
+            # Reconnect resync: a post-outage LU burst may arrive late,
+            # reordered, or for a quarantined node.  Absorb it instead of
+            # letting the strict monotonic-time checks blow up the broker.
+            timestamp = update.timestamp
+            if (
+                tracker is not None
+                and tracker._last_time is not None
+                and timestamp < tracker._last_time
+            ):
+                # Older than what we already know — a retransmit that lost
+                # the race.  It carries no new information; drop it.
+                self.stale_lus_dropped += 1
+                if self._instrumented:
+                    self._t_stale_dropped.inc()
+                return
+            if node_id in self._quarantined:
+                self._quarantined.discard(node_id)
+                self.resyncs += 1
+                if self._instrumented:
+                    self._t_resyncs.inc()
+                self._telemetry.event(
+                    Severity.INFO,
+                    "node resynced",
+                    source=self.name,
+                    node=node_id,
+                )
+                # Fresh tracker: smoothing state from before a long outage
+                # describes a trajectory the node abandoned long ago.
+                tracker = None
+            previous = self.location_db._latest.get(node_id)
+            if previous is not None and timestamp < previous.time:
+                # The DB already holds a newer (estimated) record; feed the
+                # tracker — a real fix always beats an estimate — but keep
+                # the DB's time ordering intact.
+                skip_db = True
         if tracker is None:
             tracker = self._trackers[node_id] = self._tracker_factory()
         cap = update.dth if update.dth > 0 else None
@@ -221,33 +298,34 @@ class GridBroker:
                 update.velocity,
                 displacement_cap=cap,
             )
-        if record is None:
-            record = LocationRecord(
-                node_id=node_id,
-                time=timestamp,
-                position=update.position,
-                source=RecordSource.RECEIVED,
-            )
-        # Inlined LocationDB.store (same checks, counters and history
-        # bookkeeping): this path runs once per LU per broker, and the
-        # store frame was a measurable slice of the whole simulation.
-        db = self.location_db
-        latest = db._latest
-        previous = latest.get(node_id)
-        if previous is not None and timestamp < previous.time:
-            raise ValueError(
-                f"record for {node_id} at {timestamp} is older than "
-                f"latest ({previous.time})"
-            )
-        latest[node_id] = record
-        history = db._history.get(node_id)
-        if history is None:
-            history = db._history[node_id] = deque(maxlen=db._history_length)
-        history.append(record)
-        db.stored_received += 1
-        if db._instrumented:
-            db._t_received.inc()
-            db._t_nodes.set(len(latest))
+        if not skip_db:
+            if record is None:
+                record = LocationRecord(
+                    node_id=node_id,
+                    time=timestamp,
+                    position=update.position,
+                    source=RecordSource.RECEIVED,
+                )
+            # Inlined LocationDB.store (same checks, counters and history
+            # bookkeeping): this path runs once per LU per broker, and the
+            # store frame was a measurable slice of the whole simulation.
+            db = self.location_db
+            latest = db._latest
+            previous = latest.get(node_id)
+            if previous is not None and timestamp < previous.time:
+                raise ValueError(
+                    f"record for {node_id} at {timestamp} is older than "
+                    f"latest ({previous.time})"
+                )
+            latest[node_id] = record
+            history = db._history.get(node_id)
+            if history is None:
+                history = db._history[node_id] = deque(maxlen=db._history_length)
+            history.append(record)
+            db.stored_received += 1
+            if db._instrumented:
+                db._t_received.inc()
+                db._t_nodes.set(len(latest))
         self._updated_since_tick.add(node_id)
 
     # -- the estimation sweep ------------------------------------------------
@@ -269,6 +347,9 @@ class GridBroker:
             updated.clear()
             return 0
         store = self.location_db.store
+        degraded = self._degraded_mode
+        max_age = self._max_extrapolation_age
+        quarantine_age = self._quarantine_age
         for node_id, tracker in self._trackers.items():
             if instrumented and tracker.last_fix is not None:
                 t_fix, _ = tracker.last_fix
@@ -279,7 +360,33 @@ class GridBroker:
                 continue
             if tracker._last_position is None:  # inlined tracker.has_fix
                 continue
-            position = tracker.predict(now)
+            if degraded:
+                age = now - tracker._last_time
+                if quarantine_age is not None and age > quarantine_age:
+                    if node_id not in self._quarantined:
+                        self._quarantined.add(node_id)
+                        self.quarantines += 1
+                        if instrumented:
+                            self._t_quarantined.inc()
+                        self._telemetry.event(
+                            Severity.WARNING,
+                            "node quarantined",
+                            source=self.name,
+                            node=node_id,
+                            age=age,
+                        )
+                    # A quarantined node gets no estimates: fabricating
+                    # records for a node we have effectively lost would
+                    # poison every consumer of the location DB.
+                    continue
+                if max_age is not None and age > max_age:
+                    # Decay: past the extrapolation budget the velocity
+                    # belief is stale; anchor to the last received fix.
+                    position = tracker._last_position
+                else:
+                    position = tracker.predict(now)
+            else:
+                position = tracker.predict(now)
             if instrumented:
                 self._t_invocations.inc()
             store(
@@ -304,8 +411,23 @@ class GridBroker:
 
         Prefers a live tracker prediction at *now* when available (fresher
         than the last stored record); otherwise the latest DB record.
+        Under graceful degradation, quarantined (or quarantine-aged) nodes
+        yield ``None`` and predictions past the extrapolation budget decay
+        to the last received fix.
         """
         tracker = self._trackers.get(node_id)
+        if self._degraded_mode:
+            if node_id in self._quarantined:
+                return None
+            if tracker is not None and tracker.has_fix and now is not None:
+                age = now - tracker._last_time
+                if self._quarantine_age is not None and age > self._quarantine_age:
+                    return None
+                if (
+                    self._max_extrapolation_age is not None
+                    and age > self._max_extrapolation_age
+                ):
+                    return tracker._last_position
         if tracker is not None and tracker.has_fix and now is not None:
             return tracker.predict(now)
         return self.location_db.position_of(node_id)
@@ -326,6 +448,14 @@ class GridBroker:
             return None
         t_fix, _ = tracker.last_fix
         return max(now - t_fix, 0.0)
+
+    def quarantined_nodes(self) -> list[str]:
+        """Nodes currently quarantined (sorted; graceful degradation only)."""
+        return sorted(self._quarantined)
+
+    def is_quarantined(self, node_id: str) -> bool:
+        """True while *node_id* is quarantined."""
+        return node_id in self._quarantined
 
     def stale_nodes(self, now: float, *, max_age: float) -> list[str]:
         """Nodes whose last received LU is older than *max_age* seconds."""

@@ -13,6 +13,8 @@ Usage::
     python -m repro sweep --grid sweep.toml --workers 4 --out sweep_out
     python -m repro sweep --smoke
     python -m repro profile --duration 20 --top 25
+    python -m repro chaos --duration 300 --intensities 0 0.5 1.0
+    python -m repro chaos --smoke --export-json resilience.json
 """
 
 from __future__ import annotations
@@ -51,6 +53,7 @@ _TARGETS = (
     "telemetry",
     "sweep",
     "profile",
+    "chaos",
 )
 
 
@@ -176,7 +179,21 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--smoke",
         action="store_true",
-        help="run a tiny built-in 2x2 grid (CI smoke test)",
+        help="run a tiny built-in scenario (CI smoke test; sweep and chaos)",
+    )
+    chaos = parser.add_argument_group("chaos", "options for the chaos target")
+    chaos.add_argument(
+        "--intensities",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="I",
+        help="fault intensities in [0, 1] to sweep (chaos target)",
+    )
+    chaos.add_argument(
+        "--churn",
+        action="store_true",
+        help="also inject node churn faults (chaos target)",
     )
     return parser
 
@@ -214,6 +231,8 @@ def _static_target(args: argparse.Namespace) -> int | None:
         return 0
     if args.target == "sweep":
         return _sweep_target(args)
+    if args.target == "chaos":
+        return _chaos_target(args)
     if args.target == "profile":
         return _profile_target(args)
     if args.target == "replicate":
@@ -285,6 +304,39 @@ def _smoke_spec() -> "SweepSpec":
         base=base,
         replications=1,
     )
+
+
+def _chaos_target(args: argparse.Namespace) -> int:
+    """Fault-intensity sweep; prints (and optionally exports) the report."""
+    from repro.experiments import ChaosConfig, chaos_sweep
+    from repro.mobility.population import PopulationSpec
+
+    if args.smoke:
+        config = ExperimentConfig(
+            duration=40.0,
+            seed=args.seed,
+            population=PopulationSpec(
+                road_humans_per_road=1,
+                road_vehicles_per_road=1,
+                building_stop=1,
+                building_random=1,
+                building_linear=1,
+            ),
+        )
+        intensities = tuple(args.intensities or (0.0, 0.6))
+    else:
+        config = _build_config(args)
+        intensities = tuple(args.intensities or (0.0, 0.25, 0.5, 0.75, 1.0))
+    report = chaos_sweep(
+        intensities, config, chaos=ChaosConfig(churn=args.churn)
+    )
+    print(report.render())
+    if args.export_json:
+        with open(args.export_json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+        print(f"wrote {args.export_json}")
+    return 0
 
 
 def _sweep_target(args: argparse.Namespace) -> int:

@@ -9,6 +9,13 @@ Every figure and table of the paper has a generator here; the benchmarks in
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.results import ExperimentResult, LaneResult, RegionErrors
 from repro.experiments.harness import MobileGridExperiment, run_experiment
+from repro.experiments.chaos import (
+    ChaosConfig,
+    ChaosResult,
+    ResilienceReport,
+    chaos_study,
+    chaos_sweep,
+)
 from repro.experiments.runner import (
     CellResult,
     SweepResult,
@@ -34,6 +41,11 @@ __all__ = [
     "RegionErrors",
     "MobileGridExperiment",
     "run_experiment",
+    "ChaosConfig",
+    "ChaosResult",
+    "ResilienceReport",
+    "chaos_study",
+    "chaos_sweep",
     "SweepSpec",
     "SweepResult",
     "CellResult",

@@ -22,7 +22,7 @@ from repro.core.distance_filter import FilterDecision
 from repro.estimation.metrics import rmse
 from repro.experiments.config import ExperimentConfig
 from repro.mobility.population import build_population
-from repro.network.messages import LocationUpdate
+from repro.network.messages import LocationUpdate, SequenceSource
 from repro.util.rng import RngRegistry
 from repro.util.validation import check_in_range, check_positive
 
@@ -65,6 +65,7 @@ def churn_study(
     registry = RngRegistry(config.seed)
     nodes = build_population(campus, config.population, registry)
     churn_rng = registry.stream("churn")
+    seq = SequenceSource()  # per-run seqs: deterministic under sweep workers
 
     adf = AdaptiveDistanceFilter(config.adf_config(dth_factor))
     broker = GridBroker(
@@ -105,6 +106,7 @@ def churn_study(
             update = LocationUpdate(
                 sender=node.node_id,
                 timestamp=now,
+                seq=seq.take(),
                 node_id=node.node_id,
                 position=sample.position,
                 velocity=sample.velocity,

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.core.adf import AdfConfig
+from repro.faults.schedule import FaultSchedule
 from repro.mobility.population import PopulationSpec, table1_spec
 from repro.telemetry import TelemetryConfig
 from repro.util.validation import check_positive
@@ -35,6 +36,11 @@ class ExperimentConfig:
     channel_loss: float = 0.0
     channel_latency: float = 0.0
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    #: Deterministic fault injection (None = the paper's ideal substrate).
+    #: The harness binds the schedule to every lane's gateways and channels
+    #: via :class:`repro.faults.FaultInjector`; churn faults are only
+    #: honoured by the chaos/churn studies and are rejected here.
+    faults: FaultSchedule | None = None
 
     def __post_init__(self) -> None:
         check_positive(self.duration, "duration")

@@ -35,12 +35,13 @@ from repro.core.distance_filter import FilterDecision
 from repro.estimation.metrics import rmse
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.results import ExperimentResult, LaneResult, RegionErrors
+from repro.faults.injector import FaultInjector
 from repro.mobility.node import MobileNode
 from repro.mobility.population import build_population
 from repro.network.association import AssociationManager
 from repro.network.channel import WirelessChannel
 from repro.network.gateway import WirelessGateway
-from repro.network.messages import LocationUpdate
+from repro.network.messages import LocationUpdate, SequenceSource
 from repro.network.traffic import TrafficMeter
 from repro.simkernel import Simulator
 from repro.telemetry import Telemetry
@@ -110,12 +111,30 @@ class MobileGridExperiment:
             region.region_id for region in self.campus.roads()
         }
         self._node_ids: list[str] = [node.node_id for node in self.nodes]
+        # Per-run sequence source: every LU the harness emits takes its seq
+        # from here, so seq values depend only on this run's own traffic —
+        # not on whatever else the process built before (which made them
+        # scheduling-dependent under the process-parallel sweep runner).
+        self._seq = SequenceSource()
         self.lanes: list[Lane] = []
         self._build_lanes()
         # One association view for the whole experiment: which gateway
         # serves each node is a property of mobility, not of the filter
         # policy, so the ideal lane's gateways stand in for all lanes.
         self.associations = AssociationManager(self.lanes[0].gateways)
+        self.fault_injector: FaultInjector | None = None
+        if self.config.faults is not None and self.config.faults:
+            self.fault_injector = FaultInjector(
+                self.config.faults, telemetry=self.telemetry
+            )
+            self.fault_injector.attach(
+                self.sim,
+                gateways=[
+                    gateway
+                    for lane in self.lanes
+                    for gateway in lane.gateways.values()
+                ],
+            )
         self._speed_sum = 0.0
         self._speed_count = 0
         self._classified_right = 0
@@ -275,6 +294,7 @@ class MobileGridExperiment:
         on_road: list[bool] = []
         region_at = self.campus.region_at
         road_ids = self._road_region_ids
+        take_seq = self._seq.take
         observe = self.associations.observe
         # Same-package peek at the serving map: observe() is a no-op when
         # the node's serving region is unchanged (the overwhelmingly common
@@ -297,6 +317,7 @@ class MobileGridExperiment:
             update = LocationUpdate(
                 sender=node_id,
                 timestamp=now,
+                seq=take_seq(),
                 node_id=node_id,
                 position=position,
                 velocity=velocity,

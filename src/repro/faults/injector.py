@@ -1,0 +1,196 @@
+"""Binding fault schedules to live simulation objects.
+
+The :class:`FaultInjector` takes a declarative
+:class:`~repro.faults.schedule.FaultSchedule` and schedules the apply /
+revert actions on the simulator: gateway outages call
+``WirelessGateway.fail()`` / ``restore()``, channel degradations call
+``WirelessChannel.degrade()`` / ``restore()`` (which recompute the
+transparent and fused fast-path flags, so the harness's inlined delivery
+paths cannot bypass an injected fault).  Every action is appended to a
+deterministic :attr:`~FaultInjector.timeline` and mirrored as a telemetry
+event, giving resilience reports an authoritative record of what was
+injected and when.
+
+Churn faults are *not* bound to simulator events: offline-node bookkeeping
+belongs to the driving study's step loop (see the chaos and churn studies),
+which polls ``schedule.churn_window(now)``.  Attaching a schedule that
+contains churn to a consumer that cannot honour it is an error, not a
+silent no-op.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.faults.schedule import (
+    ChannelDegradation,
+    FaultSchedule,
+    GatewayOutage,
+    NodeChurn,
+    RegionBlackout,
+)
+from repro.network.channel import WirelessChannel
+from repro.network.gateway import WirelessGateway
+from repro.simkernel import Simulator
+from repro.telemetry import NULL_TELEMETRY, Severity
+
+__all__ = ["FaultInjector", "TimelineEntry"]
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One applied or reverted fault action."""
+
+    time: float
+    action: str  # "apply" | "revert"
+    kind: str  # fault spec class name
+    target: str  # gateway/channel identifier
+
+    def to_json_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "action": self.action,
+            "kind": self.kind,
+            "target": self.target,
+        }
+
+
+class FaultInjector:
+    """Drives a fault schedule against gateways and channels."""
+
+    def __init__(self, schedule: FaultSchedule, *, telemetry: Any = None) -> None:
+        self.schedule = schedule
+        self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.timeline: list[TimelineEntry] = []
+        self._attached = False
+
+    def attach(
+        self,
+        sim: Simulator,
+        *,
+        gateways: Iterable[WirelessGateway] = (),
+        channels: Iterable[WirelessChannel] = (),
+        allow_churn: bool = False,
+    ) -> None:
+        """Schedule every fault window on *sim*.
+
+        *gateways* are the outage/blackout targets; their uplinks are also
+        degradation targets, keyed by region.  *channels* are extra
+        degradation targets not owned by a gateway (matched only by
+        region-unscoped degradations).  A schedule containing churn faults
+        requires ``allow_churn=True`` — the caller's step loop must poll
+        :meth:`FaultSchedule.churn_window` itself.
+        """
+        if self._attached:
+            raise RuntimeError("injector is already attached")
+        if self.schedule.has_churn and not allow_churn:
+            raise ValueError(
+                "schedule contains NodeChurn faults, which simulator-attached "
+                "consumers cannot honour; drive churn from the study's step "
+                "loop (chaos/churn studies) or pass allow_churn=True after "
+                "wiring churn_window() into yours"
+            )
+        self._attached = True
+        gateways = list(gateways)
+        extra_channels = list(channels)
+        by_region: dict[str, list[WirelessGateway]] = {}
+        for gateway in gateways:
+            by_region.setdefault(gateway.region.region_id, []).append(gateway)
+        for fault in self.schedule.faults:
+            if isinstance(fault, GatewayOutage):
+                targets = by_region.get(fault.region_id, [])
+                self._schedule_outage(sim, fault, targets)
+            elif isinstance(fault, RegionBlackout):
+                targets = [
+                    gw
+                    for region_id in fault.region_ids
+                    for gw in by_region.get(region_id, [])
+                ]
+                self._schedule_outage(sim, fault, targets)
+            elif isinstance(fault, ChannelDegradation):
+                if fault.regions is None:
+                    seen: set[int] = set()
+                    targets_ch: list[WirelessChannel] = []
+                    for channel in [gw.uplink for gw in gateways] + extra_channels:
+                        if id(channel) not in seen:
+                            seen.add(id(channel))
+                            targets_ch.append(channel)
+                else:
+                    targets_ch = [
+                        gw.uplink
+                        for region_id in fault.regions
+                        for gw in by_region.get(region_id, [])
+                    ]
+                self._schedule_degradation(sim, fault, targets_ch)
+            # NodeChurn: handled by the study's step loop, nothing to schedule.
+
+    # -- scheduling helpers ---------------------------------------------------
+    def _schedule_outage(
+        self,
+        sim: Simulator,
+        fault: GatewayOutage | RegionBlackout,
+        targets: list[WirelessGateway],
+    ) -> None:
+        kind = type(fault).__name__
+
+        def apply() -> None:
+            for gateway in targets:
+                gateway.fail()
+                self._record(sim.now, "apply", kind, gateway.gateway_id)
+
+        def revert() -> None:
+            for gateway in targets:
+                gateway.restore()
+                self._record(sim.now, "revert", kind, gateway.gateway_id)
+
+        sim.schedule_at(fault.start, apply, label="faults:outage")
+        sim.schedule_at(fault.end, revert, label="faults:restore")
+
+    def _schedule_degradation(
+        self,
+        sim: Simulator,
+        fault: ChannelDegradation,
+        targets: list[WirelessChannel],
+    ) -> None:
+        def apply() -> None:
+            for channel in targets:
+                channel.degrade(
+                    base_latency=fault.base_latency,
+                    latency_jitter=fault.latency_jitter,
+                    loss_probability=fault.loss_probability,
+                    burst_loss=fault.burst if fault.burst is not None else False,
+                )
+                self._record(sim.now, "apply", "ChannelDegradation", channel.name)
+
+        def revert() -> None:
+            for channel in targets:
+                channel.restore()
+                self._record(sim.now, "revert", "ChannelDegradation", channel.name)
+
+        sim.schedule_at(fault.start, apply, label="faults:degrade")
+        sim.schedule_at(fault.end, revert, label="faults:restore")
+
+    def _record(self, time: float, action: str, kind: str, target: str) -> None:
+        self.timeline.append(
+            TimelineEntry(time=time, action=action, kind=kind, target=target)
+        )
+        self._telemetry.event(
+            Severity.WARNING if action == "apply" else Severity.INFO,
+            f"fault {action}: {kind}",
+            source="faults",
+            target=target,
+            kind=kind,
+        )
+
+    # -- reporting ------------------------------------------------------------
+    def timeline_json(self) -> list[dict]:
+        """The recorded timeline as JSON-serialisable dicts."""
+        return [entry.to_json_dict() for entry in self.timeline]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FaultInjector(faults={len(self.schedule)}, "
+            f"actions={len(self.timeline)})"
+        )

@@ -7,23 +7,28 @@ count every message, producing the per-second / accumulated / per-region
 series of the paper's figures.
 """
 
-from repro.network.messages import Ack, LocationUpdate, Message
-from repro.network.channel import ChannelStats, WirelessChannel
+from repro.network.messages import Ack, LocationUpdate, Message, SequenceSource
+from repro.network.channel import ChannelStats, GilbertElliottLoss, WirelessChannel
 from repro.network.gateway import WirelessGateway
 from repro.network.association import AssociationManager, HandoffRecord
 from repro.network.queueing import QueueingChannel, QueueingStats
+from repro.network.reliable import ReliableLink, ReliableLinkStats
 from repro.network.traffic import TrafficMeter
 
 __all__ = [
     "Message",
     "LocationUpdate",
     "Ack",
+    "SequenceSource",
     "WirelessChannel",
     "ChannelStats",
+    "GilbertElliottLoss",
     "WirelessGateway",
     "AssociationManager",
     "HandoffRecord",
     "QueueingChannel",
     "QueueingStats",
+    "ReliableLink",
+    "ReliableLinkStats",
     "TrafficMeter",
 ]

@@ -54,17 +54,33 @@ class WirelessGateway:
         # Transparent lossless uninstrumented uplinks (the paper's default
         # channel) always accept and deliver synchronously; receive() can
         # then fold the channel's send() bookkeeping into its own frame.
+        # The flag is derived from *mutable* channel state, so the channel
+        # re-invokes _refresh_fused after every parameter change — a fault
+        # injector raising loss mid-run must defeat the fused path too.
+        self._fused_uplink = False
+        self._refresh_fused()
+        uplink.add_reconfigure_listener(self._refresh_fused)
+
+    def _refresh_fused(self) -> None:
+        """Recompute the fused fast-path flag from current uplink state."""
+        uplink = self._uplink
         self._fused_uplink = (
             not self._instrumented
             and not uplink._instrumented
             and uplink._transparent
             and uplink._loss_probability <= 0
+            and uplink._burst is None
         )
 
     @property
     def gateway_id(self) -> str:
         """Id of the gateway: ``gw.<region>``."""
         return f"gw.{self.region.region_id}"
+
+    @property
+    def uplink(self) -> WirelessChannel:
+        """The channel this gateway forwards over (fault injection hooks)."""
+        return self._uplink
 
     def covers(self, update: LocationUpdate) -> bool:
         """True when the update's fix lies inside this gateway's region."""

@@ -8,13 +8,47 @@ from typing import ClassVar
 
 from repro.geometry import Vec2
 
-__all__ = ["Message", "LocationUpdate", "Ack"]
+__all__ = ["Message", "LocationUpdate", "Ack", "SequenceSource"]
 
 _sequence = itertools.count()
 
 
 def _next_seq() -> int:
     return next(_sequence)
+
+
+class SequenceSource:
+    """A per-run message sequence counter.
+
+    The process-global default sequence keeps ad-hoc ``Message`` construction
+    cheap, but its values depend on everything else the process has built —
+    a second experiment in the same process sees different seqs, and the
+    sweep runner's process reuse makes them scheduling-dependent.  Run-scoped
+    components (the harness, the churn and chaos studies, ReliableLink)
+    thread one of these instead and pass ``seq=`` explicitly, so a given
+    seed reproduces the exact same sequence numbers every time.
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        self._next = start
+
+    def take(self) -> int:
+        """Issue the next sequence number."""
+        value = self._next
+        self._next = value + 1
+        return value
+
+    @property
+    def issued(self) -> int:
+        """How many sequence numbers have been issued so far."""
+        return self._next
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SequenceSource(next={self._next})"
 
 
 @dataclass(frozen=True, slots=True)

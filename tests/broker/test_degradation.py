@@ -1,0 +1,181 @@
+"""Tests for the broker's graceful degradation under silence and outages."""
+
+import pytest
+
+from repro.broker import BrokerConfig, GridBroker, RecordSource
+from repro.geometry import Vec2
+from repro.network.messages import LocationUpdate
+from repro.telemetry import Severity, Telemetry, TelemetryConfig
+
+
+def lu(node="n", t=0.0, x=0.0, vx=0.0):
+    return LocationUpdate(
+        sender=node,
+        timestamp=t,
+        node_id=node,
+        position=Vec2(x, 0.0),
+        velocity=Vec2(vx, 0.0),
+        region_id="R1",
+    )
+
+
+def degraded_broker(max_age=5.0, quarantine=20.0, telemetry=None):
+    return GridBroker(
+        BrokerConfig(
+            max_extrapolation_age=max_age,
+            quarantine_age=quarantine,
+        ),
+        telemetry=telemetry,
+    )
+
+
+class TestConfigValidation:
+    def test_defaults_keep_degradation_off(self):
+        broker = GridBroker()
+        assert not broker._degraded_mode
+
+    def test_negative_ages_rejected(self):
+        with pytest.raises(ValueError):
+            BrokerConfig(max_extrapolation_age=-1.0)
+        with pytest.raises(ValueError):
+            BrokerConfig(quarantine_age=0.0)
+
+    def test_quarantine_must_cover_extrapolation(self):
+        with pytest.raises(ValueError):
+            BrokerConfig(max_extrapolation_age=10.0, quarantine_age=5.0)
+
+    def test_either_knob_alone_enables_degraded_mode(self):
+        assert GridBroker(
+            BrokerConfig(max_extrapolation_age=5.0)
+        )._degraded_mode
+        assert GridBroker(BrokerConfig(quarantine_age=5.0))._degraded_mode
+
+
+class TestExtrapolationDecay:
+    def test_decays_to_last_known_fix(self):
+        broker = degraded_broker(max_age=3.0, quarantine=100.0)
+        # A node moving at 2 m/s, then silence.
+        broker.receive_update(lu(t=0.0, x=0.0, vx=2.0))
+        broker.receive_update(lu(t=1.0, x=2.0, vx=2.0))
+        last_fix = Vec2(2.0, 0.0)
+        # Within the budget the tracker still extrapolates.
+        near = broker.believed_position("n", now=3.0)
+        assert near is not None and near.x > last_fix.x
+        # Past the budget the belief anchors to the last received fix.
+        far = broker.believed_position("n", now=50.0)
+        assert far == last_fix
+
+    def test_unbounded_broker_diverges_without_the_knob(self):
+        plain = GridBroker()
+        bounded = degraded_broker(max_age=3.0, quarantine=1000.0)
+        for broker in (plain, bounded):
+            broker.receive_update(lu(t=0.0, x=0.0, vx=2.0))
+            broker.receive_update(lu(t=1.0, x=2.0, vx=2.0))
+        now = 500.0
+        runaway = plain.believed_position("n", now)
+        anchored = bounded.believed_position("n", now)
+        truth = Vec2(2.0, 0.0)  # say the node actually stopped
+        assert runaway.distance_to(truth) > 100.0
+        assert anchored.distance_to(truth) == 0.0
+
+    def test_tick_stores_decayed_estimates(self):
+        broker = degraded_broker(max_age=2.0, quarantine=100.0)
+        broker.receive_update(lu(t=0.0, x=0.0, vx=5.0))
+        broker.tick(0.5)  # the LU's own interval: nothing to estimate
+        broker.tick(10.0)
+        record = broker.location_db.latest("n")
+        assert record.source is RecordSource.ESTIMATED
+        assert record.position == Vec2(0.0, 0.0)  # anchored, not x=50
+
+
+class TestQuarantine:
+    def test_long_silent_node_quarantined(self):
+        telemetry = Telemetry(TelemetryConfig(enabled=True))
+        broker = degraded_broker(max_age=2.0, quarantine=5.0, telemetry=telemetry)
+        broker.receive_update(lu(t=0.0))
+        broker.tick(1.0)
+        broker.tick(6.0)
+        assert broker.is_quarantined("n")
+        assert broker.quarantined_nodes() == ["n"]
+        assert broker.quarantines == 1
+        assert broker.believed_position("n", now=6.0) is None
+        warnings = [
+            e
+            for e in telemetry.events.records()
+            if e.severity is Severity.WARNING and "quarantined" in e.message
+        ]
+        assert len(warnings) == 1
+
+    def test_quarantine_counted_once(self):
+        broker = degraded_broker(max_age=2.0, quarantine=5.0)
+        broker.receive_update(lu(t=0.0))
+        broker.tick(6.0)
+        broker.tick(7.0)
+        broker.tick(8.0)
+        assert broker.quarantines == 1
+
+    def test_quarantined_node_gets_no_estimates(self):
+        broker = degraded_broker(max_age=2.0, quarantine=5.0)
+        broker.receive_update(lu(t=0.0))
+        broker.tick(1.0)
+        stored_before = broker.estimates_made
+        broker.tick(6.0)
+        assert broker.estimates_made == stored_before
+
+    def test_aged_but_unticked_node_also_hidden(self):
+        # believed_position applies the quarantine age even before a tick
+        # formally quarantines the node.
+        broker = degraded_broker(max_age=2.0, quarantine=5.0)
+        broker.receive_update(lu(t=0.0))
+        assert broker.believed_position("n", now=10.0) is None
+
+
+class TestResync:
+    def test_lu_lifts_quarantine_and_resets_tracker(self):
+        broker = degraded_broker(max_age=2.0, quarantine=5.0)
+        broker.receive_update(lu(t=0.0, x=0.0, vx=9.0))
+        broker.tick(1.0)
+        broker.tick(6.0)
+        assert broker.is_quarantined("n")
+        broker.receive_update(lu(t=10.0, x=42.0, vx=0.0))
+        assert not broker.is_quarantined("n")
+        assert broker.resyncs == 1
+        # Fresh tracker: the pre-outage velocity belief is gone.
+        assert broker.believed_position("n", now=10.0) == Vec2(42.0, 0.0)
+
+    def test_stale_lu_dropped_not_crashing(self):
+        broker = degraded_broker()
+        broker.receive_update(lu(t=5.0, x=5.0))
+        broker.receive_update(lu(t=3.0, x=3.0))  # late retransmit
+        assert broker.stale_lus_dropped == 1
+        assert broker.updates_received == 2
+        assert broker.location_db.latest("n").time == 5.0
+
+    def test_stale_lu_raises_without_degraded_mode(self):
+        broker = GridBroker()
+        broker.receive_update(lu(t=5.0))
+        with pytest.raises(ValueError):
+            broker.receive_update(lu(t=3.0))
+
+    def test_post_outage_burst_keeps_db_time_monotonic(self):
+        broker = degraded_broker(max_age=2.0, quarantine=50.0)
+        broker.receive_update(lu(t=0.0, x=0.0))
+        broker.tick(1.0)
+        broker.tick(2.0)  # stores an estimate at t=2
+        # An LU older than the latest (estimated) DB record still feeds
+        # the tracker but must not rewind the DB.
+        broker.receive_update(lu(t=1.5, x=1.0))
+        assert broker.location_db.latest("n").time == 2.0
+        assert broker.believed_position("n", now=1.5) == Vec2(1.0, 0.0)
+
+    def test_resync_burst_after_quarantine(self):
+        """A reconnecting node's buffered LUs all land safely."""
+        broker = degraded_broker(max_age=2.0, quarantine=5.0)
+        broker.receive_update(lu(t=0.0, x=0.0))
+        broker.tick(1.0)
+        broker.tick(6.0)
+        for i, t in enumerate((10.0, 10.1, 10.2)):
+            broker.receive_update(lu(t=t, x=float(i)))
+        assert broker.resyncs == 1
+        assert not broker.is_quarantined("n")
+        assert broker.believed_position("n", now=10.2) is not None

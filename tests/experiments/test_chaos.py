@@ -1,0 +1,175 @@
+"""Tests for the chaos study and resilience report."""
+
+import json
+
+import pytest
+
+from repro.experiments import ChaosConfig, ExperimentConfig, chaos_study, chaos_sweep
+from repro.experiments.chaos import UPLINK_REGION_ID
+from repro.faults import FaultSchedule
+from repro.mobility.population import PopulationSpec
+
+
+def tiny_config(duration=40.0, seed=7):
+    return ExperimentConfig(
+        duration=duration,
+        seed=seed,
+        population=PopulationSpec(
+            road_humans_per_road=1,
+            road_vehicles_per_road=1,
+            building_stop=1,
+            building_random=1,
+            building_linear=1,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def chaotic():
+    return chaos_study(tiny_config(), intensity=0.6)
+
+
+class TestZeroIntensity:
+    def test_fault_free_control(self):
+        result = chaos_study(tiny_config(duration=20.0), intensity=0.0)
+        assert result.plain.lost == 0
+        assert result.arq.lost == 0
+        assert result.plain.retransmits == 0
+        assert result.arq.retransmits == 0
+        assert result.timeline == ()
+        assert result.schedule == ()
+        # All three lanes saw identical LUs: no inflation at all.
+        assert result.plain.rmse_inflation == 1.0
+        assert result.arq.rmse_inflation == 1.0
+        assert result.plain.recovery_time == 0.0
+        assert result.lu_overhead == pytest.approx(1.0)
+
+
+class TestFaultedRun:
+    def test_faults_cost_the_plain_lane(self, chaotic):
+        assert chaotic.plain.lost > 0
+        assert chaotic.plain.rmse_inflation > 1.0
+        assert chaotic.timeline  # injector actually fired
+
+    def test_arq_recovers_most_losses(self, chaotic):
+        # Acceptance bar: the reliable lane wins back >= 95% of what the
+        # fire-and-forget lane loses under the injected faults.
+        assert chaotic.recovered_fraction >= 0.95
+        assert chaotic.arq.lost <= chaotic.plain.lost
+
+    def test_recovery_costs_retransmissions(self, chaotic):
+        assert chaotic.arq.retransmits > 0
+        assert chaotic.lu_overhead > 1.0
+
+    def test_arq_tracks_truth_better(self, chaotic):
+        assert chaotic.arq.mean_rmse <= chaotic.plain.mean_rmse
+
+    def test_loss_only_schedule_fully_recovered(self):
+        # Without outage windows the retry budget faces only burst loss;
+        # the ARQ lane must recover essentially everything.
+        result = chaos_study(
+            tiny_config(duration=30.0),
+            chaos=ChaosConfig(outages=False),
+            intensity=0.8,
+        )
+        assert result.plain.lost > 0
+        assert result.recovered_fraction >= 0.95
+
+    def test_intensity_bounds(self):
+        with pytest.raises(ValueError):
+            chaos_study(tiny_config(duration=5.0), intensity=1.5)
+
+    def test_explicit_schedule_overrides_intensity(self):
+        result = chaos_study(
+            tiny_config(duration=20.0),
+            intensity=0.9,
+            schedule=FaultSchedule(),
+        )
+        assert result.plain.lost == 0
+        assert result.schedule == ()
+
+
+class TestChurn:
+    def test_churn_disconnects_nodes(self):
+        result = chaos_study(
+            tiny_config(duration=40.0),
+            chaos=ChaosConfig(churn=True),
+            intensity=1.0,
+        )
+        assert any(
+            entry["kind"] == "NodeChurn" for entry in result.schedule
+        )
+        # hazard 0.004/s over 28 nodes x 40 s: expect at least one event
+        # under the fixed seed (deterministic, so this cannot flake).
+        assert result.disconnections >= 1
+
+
+class TestReproducibility:
+    def test_same_seed_same_report_bytes(self):
+        config = tiny_config(duration=30.0)
+        a = chaos_sweep((0.0, 0.6), config)
+        b = chaos_sweep((0.0, 0.6), config)
+        assert a.to_json() == b.to_json()
+
+    def test_different_seed_different_report(self):
+        a = chaos_sweep((0.6,), tiny_config(duration=30.0, seed=1))
+        b = chaos_sweep((0.6,), tiny_config(duration=30.0, seed=2))
+        assert a.to_json() != b.to_json()
+
+    def test_timeline_is_schedule_applied(self, chaotic):
+        applies = [e for e in chaotic.timeline if e["action"] == "apply"]
+        reverts = [e for e in chaotic.timeline if e["action"] == "revert"]
+        assert len(applies) == len(reverts)
+        # The blackout targets the synthetic uplink region's gateway.
+        assert any(e["target"] == f"gw.{UPLINK_REGION_ID}" for e in applies)
+
+
+class TestReport:
+    def test_render_mentions_lanes_and_intensities(self):
+        report = chaos_sweep((0.0, 0.6), tiny_config(duration=20.0))
+        text = report.render()
+        assert "plain" in text and "arq" in text
+        assert "0.00" in text and "0.60" in text
+        assert "recovered" in text
+
+    def test_json_round_trip(self):
+        report = chaos_sweep((0.5,), tiny_config(duration=20.0))
+        parsed = json.loads(report.to_json())
+        assert len(parsed["results"]) == 1
+        result = parsed["results"][0]
+        assert result["intensity"] == 0.5
+        assert set(result) >= {
+            "plain",
+            "arq",
+            "offered",
+            "schedule",
+            "timeline",
+            "recovered_fraction",
+        }
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            chaos_sweep((), tiny_config(duration=5.0))
+
+
+class TestCliTarget:
+    def test_chaos_smoke_runs_and_exports(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out_path = tmp_path / "resilience.json"
+        assert (
+            main(["chaos", "--smoke", "--export-json", str(out_path)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "Resilience report" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["results"]
+
+    def test_chaos_smoke_byte_reproducible(self, capsys, tmp_path):
+        from repro.cli import main
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        main(["chaos", "--smoke", "--intensities", "0.7", "--export-json", str(a)])
+        main(["chaos", "--smoke", "--intensities", "0.7", "--export-json", str(b)])
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()

@@ -47,3 +47,48 @@ class TestChurnStudy:
         b = churn_study(ExperimentConfig(duration=15.0), disconnect_hazard=0.01)
         assert a.disconnections == b.disconnections
         assert a.reduction == b.reduction
+
+
+class TestChurnEdgeCases:
+    def test_same_seed_identical_result(self):
+        """Full frozen-dataclass equality, not just a couple of fields."""
+        a = churn_study(ExperimentConfig(duration=20.0), disconnect_hazard=0.02)
+        b = churn_study(ExperimentConfig(duration=20.0), disconnect_hazard=0.02)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = churn_study(
+            ExperimentConfig(duration=20.0, seed=1), disconnect_hazard=0.02
+        )
+        b = churn_study(
+            ExperimentConfig(duration=20.0, seed=2), disconnect_hazard=0.02
+        )
+        assert a != b
+
+    def test_zero_hazard_no_reconnection_lus(self):
+        result = churn_study(
+            ExperimentConfig(duration=10.0), disconnect_hazard=0.0
+        )
+        assert result.disconnections == 0
+        assert result.reconnection_transmits == 0
+        assert result.reconnect_overhead == 0.0
+
+    def test_outage_shorter_than_dt_reconnects_next_step(self):
+        """An outage below the reporting interval is clamped to one step.
+
+        With hazard 1.0 every connected node disconnects on its hazard
+        draw, sits out exactly one step (the sub-dt outage is clamped to
+        dt), and reconnects the step after — so a run of N steps yields
+        roughly N/2 disconnections per node, and every reconnection
+        transmits (the ADF forgot the node).
+        """
+        config = ExperimentConfig(duration=10.0)
+        result = churn_study(
+            config, disconnect_hazard=1.0, mean_outage=1e-6
+        )
+        nodes, steps = result.node_count, config.steps()
+        expected = nodes * steps / 2
+        assert expected * 0.8 <= result.disconnections <= expected * 1.2
+        # Every completed outage forced a reconnection LU.
+        assert result.reconnection_transmits > 0
+        assert result.reconnect_overhead > 0.7

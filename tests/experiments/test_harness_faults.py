@@ -1,0 +1,134 @@
+"""Harness fault-injection wiring and fast-path parity tests."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, MobileGridExperiment, run_experiment
+from repro.faults import (
+    ChannelDegradation,
+    FaultSchedule,
+    GatewayOutage,
+    NodeChurn,
+)
+from repro.mobility.population import PopulationSpec
+
+
+def tiny_config(duration=20.0, **kwargs):
+    return ExperimentConfig(
+        duration=duration,
+        dth_factors=(1.0,),
+        population=PopulationSpec(
+            road_humans_per_road=1,
+            road_vehicles_per_road=1,
+            building_stop=1,
+            building_random=1,
+            building_linear=1,
+        ),
+        **kwargs,
+    )
+
+
+def lane_fingerprint(result, name="adf-1"):
+    lane = result.lanes[name]
+    return (
+        lane.total_lus,
+        lane.mean_rmse(with_le=True),
+        lane.mean_rmse(with_le=False),
+    )
+
+
+class TestFastPathParity:
+    """Satellite check: the harness's inlined fused gateway path must be
+    observationally identical to routing through WirelessGateway.receive."""
+
+    def test_inlined_path_matches_general_path(self):
+        config = tiny_config()
+        fused = MobileGridExperiment(config)
+        general = MobileGridExperiment(config)
+        for lane in general.lanes:
+            for gateway in lane.gateways.values():
+                assert gateway._fused_uplink  # default substrate is fused
+                gateway._fused_uplink = False  # force gateway.receive
+        fused_result = fused.run()
+        general_result = general.run()
+        for name in fused_result.lanes:
+            assert lane_fingerprint(fused_result, name) == lane_fingerprint(
+                general_result, name
+            )
+        for lane_f, lane_g in zip(fused.lanes, general.lanes):
+            for region_id, gw_f in lane_f.gateways.items():
+                gw_g = lane_g.gateways[region_id]
+                assert (gw_f.received, gw_f.forwarded, gw_f.discarded) == (
+                    gw_g.received,
+                    gw_g.forwarded,
+                    gw_g.discarded,
+                )
+                for field in ("sent", "delivered", "dropped", "bytes_sent"):
+                    assert getattr(gw_f.uplink.stats, field) == getattr(
+                        gw_g.uplink.stats, field
+                    )
+
+
+class TestFaultWiring:
+    def test_no_schedule_means_no_injector(self):
+        experiment = MobileGridExperiment(tiny_config())
+        assert experiment.fault_injector is None
+
+    def test_empty_schedule_means_no_injector(self):
+        experiment = MobileGridExperiment(tiny_config(faults=FaultSchedule()))
+        assert experiment.fault_injector is None
+
+    def test_empty_schedule_is_bit_identical_to_none(self):
+        a = run_experiment(tiny_config())
+        b = run_experiment(tiny_config(faults=FaultSchedule()))
+        assert lane_fingerprint(a) == lane_fingerprint(b)
+        assert lane_fingerprint(a, "ideal") == lane_fingerprint(b, "ideal")
+
+    def test_outage_schedule_drops_lus(self):
+        schedule = FaultSchedule(
+            tuple(
+                GatewayOutage(region_id=region_id, start=5.0, duration=10.0)
+                for region_id in ("R1", "R2", "B1", "B2")
+            )
+        )
+        clean = run_experiment(tiny_config())
+        faulted_experiment = MobileGridExperiment(tiny_config(faults=schedule))
+        faulted = faulted_experiment.run()
+        assert faulted.ideal.total_lus < clean.ideal.total_lus
+        timeline = faulted_experiment.fault_injector.timeline
+        assert any(e.action == "apply" for e in timeline)
+        assert any(e.action == "revert" for e in timeline)
+        # Every gateway is operational again after the run.
+        for lane in faulted_experiment.lanes:
+            assert all(gw.operational for gw in lane.gateways.values())
+
+    def test_degradation_schedule_loses_traffic(self):
+        schedule = FaultSchedule(
+            (
+                ChannelDegradation(
+                    start=2.0, duration=15.0, loss_probability=0.8
+                ),
+            )
+        )
+        clean = run_experiment(tiny_config())
+        faulted = run_experiment(tiny_config(faults=schedule))
+        assert faulted.ideal.total_lus < clean.ideal.total_lus
+
+    def test_churn_schedule_rejected_by_harness(self):
+        schedule = FaultSchedule(
+            (NodeChurn(start=0.0, duration=10.0, hazard=0.1, mean_outage=5.0),)
+        )
+        with pytest.raises(ValueError, match="churn"):
+            MobileGridExperiment(tiny_config(faults=schedule))
+
+    def test_faulted_run_still_deterministic(self):
+        schedule = FaultSchedule(
+            (
+                GatewayOutage(region_id="R1", start=3.0, duration=5.0),
+                ChannelDegradation(
+                    start=8.0, duration=6.0, loss_probability=0.5
+                ),
+            )
+        )
+        a = run_experiment(tiny_config(faults=schedule))
+        b = run_experiment(tiny_config(faults=schedule))
+        assert lane_fingerprint(a) == lane_fingerprint(b)

@@ -1,0 +1,200 @@
+"""Tests for declarative fault schedules."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    ChannelDegradation,
+    FaultSchedule,
+    GatewayOutage,
+    NodeChurn,
+    RegionBlackout,
+)
+from repro.network.channel import GilbertElliottLoss
+
+
+class TestFaultSpecs:
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            GatewayOutage(region_id="R1", start=-1.0, duration=5.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            GatewayOutage(region_id="R1", start=0.0, duration=0.0)
+
+    def test_end_property(self):
+        fault = GatewayOutage(region_id="R1", start=3.0, duration=2.0)
+        assert fault.end == 5.0
+
+    def test_blackout_needs_regions(self):
+        with pytest.raises(ValueError):
+            RegionBlackout(region_ids=(), start=0.0, duration=1.0)
+
+    def test_degradation_must_change_something(self):
+        with pytest.raises(ValueError):
+            ChannelDegradation(start=0.0, duration=1.0)
+
+    def test_degradation_loss_bounds(self):
+        with pytest.raises(ValueError):
+            ChannelDegradation(start=0.0, duration=1.0, loss_probability=1.5)
+
+    def test_degradation_negative_latency(self):
+        with pytest.raises(ValueError):
+            ChannelDegradation(start=0.0, duration=1.0, base_latency=-0.1)
+
+    def test_churn_hazard_bounds(self):
+        with pytest.raises(ValueError):
+            NodeChurn(start=0.0, duration=1.0, hazard=1.5, mean_outage=5.0)
+
+    def test_churn_outage_positive(self):
+        with pytest.raises(ValueError):
+            NodeChurn(start=0.0, duration=1.0, hazard=0.1, mean_outage=0.0)
+
+
+class TestGilbertElliott:
+    def test_parameter_bounds(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLoss(p_good_bad=1.2)
+
+    def test_steady_state_loss(self):
+        model = GilbertElliottLoss(
+            p_good_bad=0.1, p_bad_good=0.4, loss_good=0.0, loss_bad=0.5
+        )
+        p_bad = 0.1 / 0.5
+        assert model.steady_state_loss == pytest.approx(p_bad * 0.5)
+
+    def test_steady_state_degenerate(self):
+        model = GilbertElliottLoss(
+            p_good_bad=0.0, p_bad_good=0.0, loss_good=0.05, loss_bad=0.9
+        )
+        assert model.steady_state_loss == 0.05
+
+
+class TestSchedule:
+    def test_rejects_non_fault(self):
+        with pytest.raises(TypeError):
+            FaultSchedule(faults=("not a fault",))
+
+    def test_len_and_bool(self):
+        assert not FaultSchedule()
+        schedule = FaultSchedule(
+            (GatewayOutage(region_id="R1", start=0.0, duration=1.0),)
+        )
+        assert schedule
+        assert len(schedule) == 1
+
+    def test_of_kind_sorted_by_start(self):
+        a = GatewayOutage(region_id="R1", start=5.0, duration=1.0)
+        b = GatewayOutage(region_id="R2", start=1.0, duration=1.0)
+        schedule = FaultSchedule((a, b))
+        assert schedule.of_kind(GatewayOutage) == (b, a)
+
+    def test_churn_window_lookup(self):
+        churn = NodeChurn(start=2.0, duration=3.0, hazard=0.1, mean_outage=5.0)
+        schedule = FaultSchedule((churn,))
+        assert schedule.has_churn
+        assert schedule.churn_window(1.0) is None
+        assert schedule.churn_window(2.0) is churn
+        assert schedule.churn_window(4.9) is churn
+        assert schedule.churn_window(5.0) is None
+
+    def test_horizon(self):
+        assert FaultSchedule().horizon() == 0.0
+        schedule = FaultSchedule(
+            (
+                GatewayOutage(region_id="R1", start=1.0, duration=2.0),
+                GatewayOutage(region_id="R2", start=0.0, duration=10.0),
+            )
+        )
+        assert schedule.horizon() == 10.0
+
+    def test_describe_mentions_every_fault(self):
+        schedule = FaultSchedule.from_intensity(
+            0.5, 100.0, regions=("R1",), churn=True
+        )
+        text = schedule.describe()
+        assert "blackout" in text
+        assert "churn" in text
+        assert "degradation" in text
+
+
+class TestFromIntensity:
+    def test_zero_intensity_is_empty(self):
+        assert not FaultSchedule.from_intensity(0.0, 100.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.from_intensity(1.5, 100.0)
+        with pytest.raises(ValueError):
+            FaultSchedule.from_intensity(0.5, 0.0)
+
+    def test_deterministic(self):
+        a = FaultSchedule.from_intensity(0.7, 300.0, regions=("R1",), churn=True)
+        b = FaultSchedule.from_intensity(0.7, 300.0, regions=("R1",), churn=True)
+        assert a == b  # frozen dataclasses: structural equality
+
+    def test_shape(self):
+        schedule = FaultSchedule.from_intensity(
+            0.5, 100.0, regions=("R1", "R2"), churn=True
+        )
+        degradations = schedule.of_kind(ChannelDegradation)
+        assert len(degradations) == 1
+        assert degradations[0].burst is not None
+        blackouts = schedule.of_kind(RegionBlackout)
+        assert len(blackouts) == 1
+        assert blackouts[0].region_ids == ("R1", "R2")
+        assert schedule.has_churn
+
+    def test_no_regions_no_blackout(self):
+        schedule = FaultSchedule.from_intensity(0.5, 100.0)
+        assert not schedule.of_kind(RegionBlackout)
+        assert not schedule.has_churn
+
+    def test_intensity_scales_severity(self):
+        mild = FaultSchedule.from_intensity(0.2, 100.0)
+        harsh = FaultSchedule.from_intensity(1.0, 100.0)
+        mild_burst = mild.of_kind(ChannelDegradation)[0].burst
+        harsh_burst = harsh.of_kind(ChannelDegradation)[0].burst
+        assert harsh_burst.loss_bad > mild_burst.loss_bad
+        assert harsh_burst.steady_state_loss > mild_burst.steady_state_loss
+
+
+class TestRandomSchedule:
+    def test_same_seed_replays(self):
+        from repro.util.rng import RngRegistry
+
+        a = FaultSchedule.random(
+            0.8, 200.0, RngRegistry(9).stream("faults/schedule"), regions=("R1",)
+        )
+        b = FaultSchedule.random(
+            0.8, 200.0, RngRegistry(9).stream("faults/schedule"), regions=("R1",)
+        )
+        assert a == b
+
+    def test_zero_intensity_empty(self, rng):
+        assert not FaultSchedule.random(0.0, 100.0, rng)
+
+    def test_nonempty(self, rng):
+        assert FaultSchedule.random(0.9, 100.0, rng)
+
+
+class TestSerialisation:
+    def test_json_round_trips_through_dumps(self):
+        schedule = FaultSchedule.from_intensity(
+            0.5, 100.0, regions=("R1",), churn=True
+        )
+        text = json.dumps(schedule.to_json_dict(), sort_keys=True)
+        parsed = json.loads(text)
+        assert len(parsed) == len(schedule)
+        assert all("kind" in entry for entry in parsed)
+
+    def test_sorted_by_start(self):
+        schedule = FaultSchedule(
+            (
+                GatewayOutage(region_id="R1", start=9.0, duration=1.0),
+                GatewayOutage(region_id="R2", start=1.0, duration=1.0),
+            )
+        )
+        starts = [entry["start"] for entry in schedule.to_json_dict()]
+        assert starts == sorted(starts)

@@ -68,3 +68,78 @@ class TestFailureInjection:
         gateway.receive(lu())
         assert gateway.discarded == 1
         assert gateway.forwarded == 0
+
+
+class TestFusedFastPath:
+    """The fused-uplink flag must track mutable channel state.
+
+    Regression guard: PR 3 cached ``_fused_uplink`` at construction; a
+    mid-run channel reconfiguration (fault injection) must defeat the
+    cached fast path, not be silently bypassed by it.
+    """
+
+    def test_transparent_lossless_default_is_fused(self, setup):
+        _, gateway, _ = setup
+        assert gateway._fused_uplink
+
+    def test_lossy_channel_is_not_fused(self, rng):
+        sim = Simulator()
+        channel = WirelessChannel(sim, rng, loss_probability=0.5)
+        gateway = WirelessGateway(make_road(), channel, lambda m: None)
+        assert not gateway._fused_uplink
+
+    def test_degrade_clears_flag_and_restore_resets_it(self, setup):
+        _, gateway, _ = setup
+        gateway.uplink.degrade(loss_probability=0.5)
+        assert not gateway._fused_uplink
+        gateway.uplink.restore()
+        assert gateway._fused_uplink
+
+    def test_latency_reconfigure_clears_flag(self, setup):
+        _, gateway, _ = setup
+        gateway.uplink.configure(base_latency=1.0)
+        assert not gateway._fused_uplink
+
+    def test_burst_loss_clears_flag(self, setup):
+        from repro.network import GilbertElliottLoss
+
+        _, gateway, _ = setup
+        gateway.uplink.configure(burst_loss=GilbertElliottLoss())
+        assert not gateway._fused_uplink
+        gateway.uplink.configure(burst_loss=None)
+        assert gateway._fused_uplink
+
+    def test_degraded_traffic_actually_lost(self, setup):
+        """A stale fused flag would deliver despite 100% loss."""
+        _, gateway, got = setup
+        gateway.uplink.degrade(loss_probability=1.0)
+        gateway.receive(lu())
+        assert got == []
+        assert gateway.discarded == 1
+        gateway.uplink.restore()
+        gateway.receive(lu())
+        assert len(got) == 1
+
+    def test_fused_path_counters_match_general_path(self, rng, rng_registry):
+        """The fused fast path must be observationally identical."""
+        sim = Simulator()
+        fused_ch = WirelessChannel(sim, rng, name="fused")
+        general_ch = WirelessChannel(sim, rng_registry.stream("g"), name="general")
+        fused_got, general_got = [], []
+        fused = WirelessGateway(make_road(), fused_ch, fused_got.append)
+        general = WirelessGateway(make_road(), general_ch, general_got.append)
+        general._fused_uplink = False  # force the slow path
+        for _ in range(10):
+            update = lu()
+            fused.receive(update)
+            general.receive(update)
+        assert fused_got == general_got
+        assert (fused.received, fused.forwarded, fused.discarded) == (
+            general.received,
+            general.forwarded,
+            general.discarded,
+        )
+        for name in ("sent", "delivered", "dropped", "bytes_sent"):
+            assert getattr(fused_ch.stats, name) == getattr(
+                general_ch.stats, name
+            )

@@ -2,8 +2,10 @@
 
 import math
 
+import pytest
+
 from repro.geometry import Vec2
-from repro.network import Ack, LocationUpdate, Message
+from repro.network import Ack, LocationUpdate, Message, SequenceSource
 
 
 class TestMessage:
@@ -14,6 +16,34 @@ class TestMessage:
 
     def test_base_size(self):
         assert Message(sender="x", timestamp=0.0).size_bytes == 32
+
+
+class TestSequenceSource:
+    def test_monotone_from_start(self):
+        source = SequenceSource()
+        assert [source.take() for _ in range(3)] == [0, 1, 2]
+        assert source.issued == 3
+
+    def test_custom_start(self):
+        source = SequenceSource(start=100)
+        assert source.take() == 100
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SequenceSource(start=-1)
+
+    def test_sources_are_independent(self):
+        """Per-run sources restart at 0 — unlike the process-global
+        default counter, whose value depends on every Message ever built
+        in the process (a determinism hazard across sweep workers)."""
+        a, b = SequenceSource(), SequenceSource()
+        a.take(), a.take()
+        assert b.take() == 0
+
+    def test_explicit_seq_bypasses_global_counter(self):
+        source = SequenceSource()
+        m = Message(sender="x", timestamp=0.0, seq=source.take())
+        assert m.seq == 0
 
 
 class TestLocationUpdate:

@@ -1,0 +1,199 @@
+"""Tests for the ARQ reliable link."""
+
+import pytest
+
+from repro.network import (
+    GilbertElliottLoss,
+    Message,
+    ReliableLink,
+    SequenceSource,
+    WirelessChannel,
+)
+from repro.simkernel import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def make_link(sim, rng, **kwargs):
+    channel = WirelessChannel(sim, rng, name="data")
+    got = []
+    link = ReliableLink(sim, channel, got.append, **kwargs)
+    return link, channel, got
+
+
+def msg(seq_source, t=0.0):
+    return Message(sender="mn", timestamp=t, seq=seq_source.take())
+
+
+class TestValidation:
+    def test_bad_ack_timeout(self, sim, rng):
+        with pytest.raises(ValueError):
+            make_link(sim, rng, ack_timeout=0.0)
+
+    def test_bad_backoff(self, sim, rng):
+        with pytest.raises(ValueError):
+            make_link(sim, rng, backoff_factor=0.5)
+
+    def test_bad_retries(self, sim, rng):
+        with pytest.raises(ValueError):
+            make_link(sim, rng, max_retries=-1)
+
+    def test_duplicate_seq_in_flight_rejected(self, sim, rng):
+        channel = WirelessChannel(sim, rng, base_latency=1.0)
+        link = ReliableLink(sim, channel, lambda m: None)
+        seqs = SequenceSource()
+        message = msg(seqs)
+        link.send(message)
+        with pytest.raises(ValueError):
+            link.send(message)
+
+
+class TestLosslessPath:
+    def test_delivers_once_no_retransmits(self, sim, rng):
+        link, _, got = make_link(sim, rng)
+        seqs = SequenceSource()
+        for _ in range(5):
+            link.send(msg(seqs))
+        sim.run()
+        assert len(got) == 5
+        assert link.stats.offered == 5
+        assert link.stats.delivered == 5
+        assert link.stats.transmissions == 5
+        assert link.stats.retransmits == 0
+        assert link.stats.duplicates == 0
+        assert link.stats.acks_sent == 5
+        assert link.stats.acks_received == 5
+        assert link.stats.delivery_rate == 1.0
+        assert link.in_flight == 0
+
+
+class TestRetransmission:
+    def test_rides_out_transient_total_loss(self, sim, rng):
+        link, channel, got = make_link(
+            sim, rng, ack_timeout=0.5, max_retries=6
+        )
+        channel.degrade(loss_probability=1.0)
+        seqs = SequenceSource()
+        link.send(msg(seqs))
+        sim.run_until(1.0)
+        assert got == []
+        channel.restore()
+        sim.run()
+        assert len(got) == 1
+        assert link.stats.retransmits >= 1
+        assert link.stats.gave_up == 0
+        assert link.in_flight == 0
+
+    def test_gives_up_after_budget(self, sim, rng):
+        link, channel, got = make_link(
+            sim, rng, ack_timeout=0.5, max_retries=2
+        )
+        channel.degrade(loss_probability=1.0)
+        seqs = SequenceSource()
+        link.send(msg(seqs))
+        sim.run()
+        assert got == []
+        assert link.stats.gave_up == 1
+        assert link.stats.transmissions == 3  # first send + 2 retries
+        assert link.in_flight == 0
+
+    def test_exponential_backoff_spacing(self, sim, rng):
+        channel = WirelessChannel(sim, rng, name="data")
+        sends = []
+        original = channel.send
+
+        def spy(message, deliver):
+            sends.append(sim.now)
+            return original(message, deliver)
+
+        channel.send = spy
+        link = ReliableLink(
+            sim,
+            channel,
+            lambda m: None,
+            ack_timeout=1.0,
+            backoff_factor=2.0,
+            max_retries=3,
+        )
+        channel.degrade(loss_probability=1.0)
+        link.send(msg(SequenceSource()))
+        sim.run()
+        # Timeouts double: armed at 1, 2, 4 after each attempt.
+        assert sends == [0.0, 1.0, 3.0, 7.0]
+
+    def test_lost_ack_causes_duplicate_not_double_delivery(self, sim, rng):
+        channel = WirelessChannel(sim, rng, name="data")
+        ack_channel = WirelessChannel(sim, rng, name="ack")
+        got = []
+        link = ReliableLink(
+            sim,
+            channel,
+            got.append,
+            ack_channel=ack_channel,
+            ack_timeout=0.5,
+            max_retries=4,
+        )
+        ack_channel.degrade(loss_probability=1.0)
+        link.send(msg(SequenceSource()))
+        sim.run_until(2.0)
+        ack_channel.restore()
+        sim.run()
+        assert len(got) == 1  # dedup'd
+        assert link.stats.delivered == 1
+        assert link.stats.duplicates >= 1
+        assert link.stats.acks_sent >= 2
+        assert link.in_flight == 0
+
+    def test_recovers_under_burst_loss(self, sim, rng):
+        link, channel, got = make_link(
+            sim, rng, ack_timeout=0.3, max_retries=10
+        )
+        channel.degrade(
+            burst_loss=GilbertElliottLoss(
+                p_good_bad=0.3, p_bad_good=0.3, loss_good=0.1, loss_bad=0.9
+            )
+        )
+        seqs = SequenceSource()
+        for _ in range(50):
+            link.send(msg(seqs))
+        sim.run()
+        assert link.stats.delivered == 50
+        assert link.stats.retransmits > 0
+        assert len(got) == 50
+
+
+class TestAcceptGate:
+    def test_no_ack_while_rejected_then_delivery(self, sim, rng):
+        channel = WirelessChannel(sim, rng, name="data")
+        got = []
+        up = {"ok": False}
+        link = ReliableLink(
+            sim,
+            channel,
+            got.append,
+            accept=lambda message: up["ok"],
+            ack_timeout=0.5,
+            max_retries=6,
+        )
+        link.send(msg(SequenceSource()))
+        sim.run_until(1.0)
+        assert got == []
+        assert link.stats.acks_sent == 0
+        assert link.in_flight == 1  # still retrying
+        up["ok"] = True
+        sim.run()
+        assert len(got) == 1
+        assert link.stats.delivered == 1
+
+    def test_permanent_rejection_exhausts_budget(self, sim, rng):
+        link, channel, got = make_link(
+            sim, rng, accept=lambda message: False, ack_timeout=0.5, max_retries=2
+        )
+        link.send(msg(SequenceSource()))
+        sim.run()
+        assert got == []
+        assert link.stats.gave_up == 1
+        assert link.stats.acks_sent == 0
