@@ -9,7 +9,7 @@ ADF is designed to cut).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.mobility.states import DeviceType
 from repro.util.validation import check_in_range, check_positive

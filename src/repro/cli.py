@@ -15,12 +15,19 @@ Usage::
     python -m repro profile --duration 20 --top 25
     python -m repro chaos --duration 300 --intensities 0 0.5 1.0
     python -m repro chaos --smoke --export-json resilience.json
+    python -m repro lint
+    python -m repro lint --paths src --lint-format json
+
+Targets are registered in a dispatch table via :func:`register_target`;
+adding a new target is one decorated handler function, not another
+branch in an ``elif`` chain.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from collections.abc import Callable
 
 from repro.experiments import (
     ExperimentConfig,
@@ -35,26 +42,25 @@ from repro.experiments import (
     table1_specification,
 )
 
-__all__ = ["main"]
+__all__ = ["main", "register_target"]
 
-_TARGETS = (
-    "report",
-    "table1",
-    "fig4",
-    "fig5",
-    "fig6",
-    "fig7",
-    "fig8",
-    "fig9",
-    "map",
-    "confusion",
-    "energy",
-    "replicate",
-    "telemetry",
-    "sweep",
-    "profile",
-    "chaos",
-)
+Handler = Callable[[argparse.Namespace], int]
+
+#: target name -> handler; populated by :func:`register_target`.
+_HANDLERS: dict[str, Handler] = {}
+
+
+def register_target(*names: str) -> Callable[[Handler], Handler]:
+    """Register a handler for one or more CLI target names."""
+
+    def decorate(handler: Handler) -> Handler:
+        for name in names:
+            if name in _HANDLERS:
+                raise ValueError(f"duplicate CLI target {name!r}")
+            _HANDLERS[name] = handler
+        return handler
+
+    return decorate
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -62,7 +68,9 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro-mobile-grid",
         description="Reproduce the ADF mobile-grid evaluation figures.",
     )
-    parser.add_argument("target", choices=_TARGETS, help="what to regenerate")
+    parser.add_argument(
+        "target", choices=sorted(_HANDLERS), help="what to regenerate"
+    )
     parser.add_argument(
         "--duration",
         type=float,
@@ -195,62 +203,100 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also inject node churn faults (chaos target)",
     )
+    lint = parser.add_argument_group("lint", "options for the lint target")
+    lint.add_argument(
+        "--paths",
+        type=str,
+        nargs="+",
+        default=None,
+        metavar="PATH",
+        help="files/directories to lint (default: src tests)",
+    )
+    lint.add_argument(
+        "--lint-format",
+        choices=("text", "json"),
+        default="text",
+        help="lint report format (lint target)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather the current lint findings (lint target)",
+    )
+    lint.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only git-modified files (lint target)",
+    )
     return parser
 
 
-def _static_target(args: argparse.Namespace) -> int | None:
-    """Handle targets that need no experiment run; None = not handled."""
-    if args.target == "table1":
-        for row in table1_specification():
-            print(
-                f"{row.region_kind:<9} x{row.region_count}  "
-                f"{row.mobility_pattern:<4} {row.node_type:<8} "
-                f"n={row.node_count:<4} VR={row.velocity_range}"
-            )
-        return 0
-    if args.target == "map":
-        from repro.campus import default_campus
-        from repro.mobility import build_population, table1_spec
-        from repro.util.rng import RngRegistry
-        from repro.viz import render_campus
-
-        campus = default_campus()
-        nodes = build_population(campus, table1_spec(), RngRegistry(args.seed))
-        for node in nodes:
-            node.advance(30.0)
-        print(render_campus(campus, nodes))
-        return 0
-    if args.target == "confusion":
-        from repro.analysis import evaluate_classifier
-
-        duration = min(args.duration, 300.0)
-        matrix = evaluate_classifier(
-            ExperimentConfig(seed=args.seed), duration=duration
+@register_target("table1")
+def _table1_target(args: argparse.Namespace) -> int:
+    for row in table1_specification():
+        print(
+            f"{row.region_kind:<9} x{row.region_count}  "
+            f"{row.mobility_pattern:<4} {row.node_type:<8} "
+            f"n={row.node_count:<4} VR={row.velocity_range}"
         )
-        print(matrix.render())
-        return 0
-    if args.target == "sweep":
-        return _sweep_target(args)
-    if args.target == "chaos":
-        return _chaos_target(args)
-    if args.target == "profile":
-        return _profile_target(args)
-    if args.target == "replicate":
-        from repro.analysis import replicate, summarize_metric
-
-        config = ExperimentConfig(duration=args.duration, dth_factors=(1.0,))
-        results = replicate(config, args.seeds)
-        for metric, extractor in (
-            ("reduction(adf-1)", lambda r: r.reduction_vs_ideal("adf-1")),
-            ("rmse w/ LE", lambda r: r.lanes["adf-1"].mean_rmse(with_le=True)),
-            ("rmse w/o LE", lambda r: r.lanes["adf-1"].mean_rmse(with_le=False)),
-            ("classifier acc", lambda r: r.classification_accuracy),
-        ):
-            print(summarize_metric(results, extractor, metric=metric))
-        return 0
-    return None
+    return 0
 
 
+@register_target("map")
+def _map_target(args: argparse.Namespace) -> int:
+    from repro.campus import default_campus
+    from repro.mobility import build_population, table1_spec
+    from repro.util.rng import RngRegistry
+    from repro.viz import render_campus
+
+    campus = default_campus()
+    nodes = build_population(campus, table1_spec(), RngRegistry(args.seed))
+    for node in nodes:
+        node.advance(30.0)
+    print(render_campus(campus, nodes))
+    return 0
+
+
+@register_target("confusion")
+def _confusion_target(args: argparse.Namespace) -> int:
+    from repro.analysis import evaluate_classifier
+
+    duration = min(args.duration, 300.0)
+    matrix = evaluate_classifier(ExperimentConfig(seed=args.seed), duration=duration)
+    print(matrix.render())
+    return 0
+
+
+@register_target("replicate")
+def _replicate_target(args: argparse.Namespace) -> int:
+    from repro.analysis import replicate, summarize_metric
+
+    config = ExperimentConfig(duration=args.duration, dth_factors=(1.0,))
+    results = replicate(config, args.seeds)
+    for metric, extractor in (
+        ("reduction(adf-1)", lambda r: r.reduction_vs_ideal("adf-1")),
+        ("rmse w/ LE", lambda r: r.lanes["adf-1"].mean_rmse(with_le=True)),
+        ("rmse w/o LE", lambda r: r.lanes["adf-1"].mean_rmse(with_le=False)),
+        ("classifier acc", lambda r: r.classification_accuracy),
+    ):
+        print(summarize_metric(results, extractor, metric=metric))
+    return 0
+
+
+@register_target("lint")
+def _lint_target(args: argparse.Namespace) -> int:
+    from repro.lint import main as lint_main
+
+    argv = list(args.paths or ())
+    argv += ["--format", args.lint_format]
+    if args.write_baseline:
+        argv.append("--write-baseline")
+    if args.changed:
+        argv.append("--changed")
+    return lint_main(argv)
+
+
+@register_target("profile")
 def _profile_target(args: argparse.Namespace) -> int:
     """cProfile one experiment run and print the hottest functions.
 
@@ -306,6 +352,7 @@ def _smoke_spec() -> "SweepSpec":
     )
 
 
+@register_target("chaos")
 def _chaos_target(args: argparse.Namespace) -> int:
     """Fault-intensity sweep; prints (and optionally exports) the report."""
     from repro.experiments import ChaosConfig, chaos_sweep
@@ -327,9 +374,7 @@ def _chaos_target(args: argparse.Namespace) -> int:
     else:
         config = _build_config(args)
         intensities = tuple(args.intensities or (0.0, 0.25, 0.5, 0.75, 1.0))
-    report = chaos_sweep(
-        intensities, config, chaos=ChaosConfig(churn=args.churn)
-    )
+    report = chaos_sweep(intensities, config, chaos=ChaosConfig(churn=args.churn))
     print(report.render())
     if args.export_json:
         with open(args.export_json, "w", encoding="utf-8") as handle:
@@ -339,6 +384,7 @@ def _chaos_target(args: argparse.Namespace) -> int:
     return 0
 
 
+@register_target("sweep")
 def _sweep_target(args: argparse.Namespace) -> int:
     from repro.experiments import SweepSpec, load_sweep_spec, run_sweep
 
@@ -393,31 +439,39 @@ def _build_config(args: argparse.Namespace) -> ExperimentConfig:
     )
 
 
+@register_target("telemetry")
+def _telemetry_target(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.experiments.harness import MobileGridExperiment
+    from repro.telemetry import TelemetryConfig, write_snapshot_json
+
+    config = replace(_build_config(args), telemetry=TelemetryConfig(enabled=True))
+    experiment = MobileGridExperiment(config)
+    experiment.run()
+    print(experiment.telemetry.summary())
+    if args.export_json:
+        snapshot = experiment.telemetry.snapshot()
+        print(f"wrote {write_snapshot_json(snapshot, args.export_json)}")
+    return 0
+
+
+@register_target("energy")
+def _energy_target(args: argparse.Namespace) -> int:
+    from repro.analysis import energy_report
+    from repro.experiments.harness import MobileGridExperiment
+
+    experiment = MobileGridExperiment(_build_config(args))
+    result = experiment.run()
+    print(energy_report(result, experiment.nodes).render())
+    return 0
+
+
+@register_target(
+    "report", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"
+)
 def _figure_target(args: argparse.Namespace) -> int:
     config = _build_config(args)
-    if args.target == "telemetry":
-        from dataclasses import replace
-
-        from repro.experiments.harness import MobileGridExperiment
-        from repro.telemetry import TelemetryConfig, write_snapshot_json
-
-        config = replace(config, telemetry=TelemetryConfig(enabled=True))
-        experiment = MobileGridExperiment(config)
-        experiment.run()
-        print(experiment.telemetry.summary())
-        if args.export_json:
-            snapshot = experiment.telemetry.snapshot()
-            print(f"wrote {write_snapshot_json(snapshot, args.export_json)}")
-        return 0
-    if args.target == "energy":
-        from repro.analysis import energy_report
-        from repro.experiments.harness import MobileGridExperiment
-
-        experiment = MobileGridExperiment(config)
-        result = experiment.run()
-        print(energy_report(result, experiment.nodes).render())
-        return 0
-
     result = run_experiment(config)
     if args.export_json:
         from repro.experiments.io import write_json
@@ -514,10 +568,7 @@ def _figure_target(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
-    handled = _static_target(args)
-    if handled is not None:
-        return handled
-    return _figure_target(args)
+    return _HANDLERS[args.target](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -28,7 +28,6 @@ from repro.faults.schedule import (
     ChannelDegradation,
     FaultSchedule,
     GatewayOutage,
-    NodeChurn,
     RegionBlackout,
 )
 from repro.network.channel import WirelessChannel
@@ -48,7 +47,7 @@ class TimelineEntry:
     kind: str  # fault spec class name
     target: str  # gateway/channel identifier
 
-    def to_json_dict(self) -> dict:
+    def to_json_dict(self) -> dict[str, float | str]:
         return {
             "time": self.time,
             "action": self.action,

@@ -1,0 +1,47 @@
+"""`repro.lint` — AST-based determinism & invariant checker.
+
+The repository's headline guarantees — byte-reproducible chaos/sweep
+reports, bit-identical no-fault runs, the fused network fast path
+staying honest under mutable channels — all rest on a handful of code
+invariants (seeded RNG only, no wall clock in simulation paths, derived
+flags never hand-set, sorted-key JSON export).  This package checks
+those invariants statically on every source file so they are enforced
+by the lint gate instead of rediscovered by debugging.
+
+Usage::
+
+    python -m repro.lint src tests
+    python -m repro.lint --format json src
+    python -m repro.lint --write-baseline      # grandfather current findings
+    python -m repro.lint --changed             # only git-modified files
+
+Architecture (one module each):
+
+- :mod:`repro.lint.findings`     — the :class:`Finding` record + fingerprints
+- :mod:`repro.lint.engine`       — file loading, the single-pass AST visitor
+- :mod:`repro.lint.rules`        — the repo-specific rule catalog
+- :mod:`repro.lint.suppressions` — ``# lint: disable=CODE`` comment handling
+- :mod:`repro.lint.baseline`     — committed grandfathered-findings file
+- :mod:`repro.lint.reporting`    — text and JSON reporters
+- :mod:`repro.lint.cli`          — the ``python -m repro.lint`` front-end
+
+See ``docs/static-analysis.md`` for the rule catalog and the
+suppression/baseline policy.
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import Baseline
+from repro.lint.cli import main
+from repro.lint.engine import LintEngine, LintRule, lint_paths, rule_catalog
+from repro.lint.findings import Finding
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintEngine",
+    "LintRule",
+    "lint_paths",
+    "main",
+    "rule_catalog",
+]

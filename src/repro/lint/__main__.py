@@ -1,0 +1,10 @@
+"""``python -m repro.lint`` dispatch."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""The committed baseline of grandfathered findings.
+
+A baseline lets the lint gate go strict *now* while pre-existing
+findings are burned down over time: fingerprints listed in the baseline
+file do not fail the run, everything else does.  Fingerprints are
+line-number independent (see :class:`repro.lint.findings.Finding`), so
+edits elsewhere in a file do not churn the baseline; editing the
+offending line itself removes its protection, which is the point.
+
+The file is JSON with sorted keys so diffs stay reviewable::
+
+    {
+      "version": 1,
+      "fingerprints": {
+        "src/repro/foo.py::DET004::json.dumps(data)": 1
+      }
+    }
+
+Counts allow several identical offending lines in one file.  Stale
+entries (baselined findings that no longer occur) are reported by the
+CLI so the file shrinks monotonically.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+_VERSION = 1
+
+
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, fingerprints: dict[str, int] | None = None) -> None:
+        self.fingerprints = Counter(
+            {fp: int(n) for fp, n in (fingerprints or {}).items() if n > 0}
+        )
+
+    # -- persistence -------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        version = data.get("version")
+        if version != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path} "
+                f"(expected {_VERSION})"
+            )
+        fingerprints = data.get("fingerprints", {})
+        if not isinstance(fingerprints, dict):
+            raise ValueError(f"malformed baseline file {path}")
+        return cls(fingerprints)
+
+    def save(self, path: str | Path) -> Path:
+        """Write this baseline as sorted-key JSON; returns the path."""
+        path = Path(path)
+        payload = {
+            "version": _VERSION,
+            "fingerprints": dict(sorted(self.fingerprints.items())),
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """A baseline that grandfathers exactly *findings*."""
+        baseline = cls()
+        baseline.fingerprints = Counter(f.fingerprint for f in findings)
+        return baseline
+
+    # -- filtering ---------------------------------------------------------
+    def filter(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[str]]:
+        """Split *findings* into (new, grandfathered) and list stale entries.
+
+        Each baseline entry absorbs at most its count of matching
+        findings; surplus matches are new.  Entries with no matching
+        finding at all are *stale* and should be pruned from the file.
+        """
+        budget = Counter(self.fingerprints)
+        new: list[Finding] = []
+        grandfathered: list[Finding] = []
+        for finding in findings:
+            if budget[finding.fingerprint] > 0:
+                budget[finding.fingerprint] -= 1
+                grandfathered.append(finding)
+            else:
+                new.append(finding)
+        matched = self.fingerprints - budget
+        stale = sorted(fp for fp in self.fingerprints if matched[fp] == 0)
+        return new, grandfathered, stale
+
+    def __len__(self) -> int:
+        return sum(self.fingerprints.values())

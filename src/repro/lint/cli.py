@@ -1,0 +1,149 @@
+"""The ``python -m repro.lint`` front-end.
+
+Exit codes: 0 — no non-baselined findings; 1 — findings (or a stale
+baseline under ``--strict-baseline``); 2 — usage errors.
+
+The default paths (``src tests``) and baseline location
+(``lint-baseline.json`` at the repo root, when present) match the CI
+lint gate, so a bare ``python -m repro.lint`` reproduces CI locally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.lint.engine import LintEngine, find_repo_root, rule_catalog
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="AST-based determinism & invariant checker for this repo.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline file of grandfathered findings "
+        f"(default: {DEFAULT_BASELINE_NAME} at the repo root, if present)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files modified per git (for pre-commit hooks)",
+    )
+    parser.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help="also fail when the baseline contains stale entries",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _list_rules() -> int:
+    for rule in rule_catalog():
+        doc = (rule.__doc__ or "").strip().splitlines()[0]
+        print(f"{rule.code}  {doc}")
+        print(f"        fix: {rule.hint}")
+    return 0
+
+
+def _changed_files(root: Path) -> list[Path]:
+    """Python files git considers modified/added vs HEAD (plus untracked)."""
+    out = subprocess.run(
+        ["git", "diff", "--name-only", "--diff-filter=ACMR", "HEAD"],
+        cwd=root,
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout
+    untracked = subprocess.run(
+        ["git", "ls-files", "--others", "--exclude-standard"],
+        cwd=root,
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout
+    names = sorted(set(out.splitlines()) | set(untracked.splitlines()))
+    return [
+        root / name
+        for name in names
+        if name.endswith(".py") and (root / name).is_file()
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+    anchor = Path(args.paths[0]) if args.paths else Path.cwd()
+    root = find_repo_root(anchor if anchor.is_dir() else anchor.parent)
+    select = args.select.split(",") if args.select else None
+    try:
+        engine = LintEngine(root=root, select=select)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.changed:
+        paths = _changed_files(root)
+    elif args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        paths = [root / "src", root / "tests"]
+    findings = engine.lint(paths)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
+    )
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(baseline_path)
+        print(f"wrote {baseline_path} ({len(findings)} finding(s) grandfathered)")
+        return 0
+    baseline = Baseline.load(baseline_path)
+    new, grandfathered, stale = baseline.filter(findings)
+
+    from repro.lint.reporting import render_json, render_text
+
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(new, grandfathered, stale))
+    if new:
+        return 1
+    if stale and args.strict_baseline:
+        return 1
+    return 0

@@ -1,0 +1,236 @@
+"""File loading, the rule registry, and the single-pass AST visitor.
+
+Every rule declares the AST node types it cares about; the engine parses
+each file once and dispatches nodes to the interested rules in a single
+pre-order walk (parents before children, which rules such as DET004's
+``json.loads(json.dumps(...))`` exemption rely on).  Findings are
+filtered through the file's inline suppressions before being returned.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator, Sequence
+from pathlib import Path
+
+from repro.lint.findings import Finding
+from repro.lint.suppressions import Suppressions
+
+__all__ = [
+    "LintRule",
+    "LintEngine",
+    "FileContext",
+    "register_rule",
+    "rule_catalog",
+    "find_repo_root",
+    "iter_python_files",
+    "lint_paths",
+]
+
+#: Code used for files the engine cannot parse at all.
+PARSE_ERROR_CODE = "LINT000"
+
+
+class FileContext:
+    """Everything a rule may need about the file under analysis."""
+
+    def __init__(self, path: Path, rel_path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.rel_path = rel_path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+
+    def source_line(self, lineno: int) -> str:
+        """The stripped text of 1-based *lineno* ('' when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+class LintRule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`code`, :attr:`title`, :attr:`hint` and
+    :attr:`node_types`, override :meth:`visit` (and optionally
+    :meth:`begin_file` / :meth:`end_file`), and register themselves with
+    :func:`register_rule`.  Rules are instantiated fresh for every run,
+    so per-file state in ``begin_file`` is safe.
+    """
+
+    code: str = ""
+    title: str = ""
+    hint: str = ""
+    #: AST node classes dispatched to :meth:`visit` (isinstance match).
+    node_types: tuple[type[ast.AST], ...] = ()
+
+    def applies_to(self, rel_path: str) -> bool:
+        """Whether this rule runs on the file at repo-relative *rel_path*."""
+        return True
+
+    def begin_file(self, ctx: FileContext) -> None:
+        """Reset per-file state; called once before the walk."""
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one dispatched node."""
+        return iter(())
+
+    def end_file(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings that need the whole file to have been walked."""
+        return iter(())
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding for *node* carrying this rule's code and hint."""
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            path=ctx.rel_path,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+            hint=self.hint,
+            source_line=ctx.source_line(line),
+        )
+
+
+_RULES: dict[str, type[LintRule]] = {}
+
+
+def register_rule(cls: type[LintRule]) -> type[LintRule]:
+    """Class decorator adding a rule to the global registry (by code)."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in _RULES:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _RULES[cls.code] = cls
+    return cls
+
+
+def rule_catalog() -> tuple[LintRule, ...]:
+    """Fresh instances of every registered rule, ordered by code."""
+    import repro.lint.rules  # noqa: F401  (registers the built-in rules)
+
+    return tuple(_RULES[code]() for code in sorted(_RULES))
+
+
+def find_repo_root(start: Path) -> Path:
+    """The nearest ancestor of *start* holding a ``pyproject.toml``.
+
+    Falls back to *start* itself so the engine still produces stable
+    relative paths when run outside a checkout (e.g. on a temp dir).
+    """
+    start = start.resolve()
+    for candidate in (start, *start.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return start
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """All ``.py`` files under *paths*, deterministically ordered.
+
+    Directories are walked recursively; hidden directories and
+    ``__pycache__`` are skipped.
+    """
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            candidates: Iterable[Path] = (path,)
+        elif path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = ()
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            parts = resolved.parts
+            if any(p == "__pycache__" or p.startswith(".") for p in parts[1:]):
+                continue
+            if resolved not in seen:
+                seen.add(resolved)
+                yield resolved
+
+
+class LintEngine:
+    """Runs a rule set over files and returns suppression-filtered findings."""
+
+    def __init__(
+        self,
+        root: Path | None = None,
+        rules: Sequence[LintRule] | None = None,
+        select: Sequence[str] | None = None,
+    ) -> None:
+        self.root = (root or find_repo_root(Path.cwd())).resolve()
+        catalog = tuple(rules) if rules is not None else rule_catalog()
+        if select:
+            wanted = set(select)
+            unknown = wanted - {rule.code for rule in catalog}
+            if unknown:
+                raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
+            catalog = tuple(r for r in catalog if r.code in wanted)
+        self.rules = catalog
+
+    def rel_path(self, path: Path) -> str:
+        """Repo-relative ``/``-separated path (absolute when outside root)."""
+        resolved = path.resolve()
+        try:
+            return resolved.relative_to(self.root).as_posix()
+        except ValueError:
+            return resolved.as_posix()
+
+    def lint_file(self, path: Path) -> list[Finding]:
+        """All (non-suppressed) findings for one file."""
+        rel = self.rel_path(path)
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            line = exc.lineno or 1
+            ctx_lines = source.splitlines()
+            src_line = ctx_lines[line - 1].strip() if line <= len(ctx_lines) else ""
+            return [
+                Finding(
+                    path=rel,
+                    line=line,
+                    col=(exc.offset or 1) - 1,
+                    code=PARSE_ERROR_CODE,
+                    message=f"file does not parse: {exc.msg}",
+                    hint="fix the syntax error; unparseable files are unchecked",
+                    source_line=src_line,
+                )
+            ]
+        ctx = FileContext(path, rel, source, tree)
+        active = [rule for rule in self.rules if rule.applies_to(rel)]
+        if not active:
+            return []
+        findings: list[Finding] = []
+        for rule in active:
+            rule.begin_file(ctx)
+        for node in ast.walk(tree):  # BFS: parents always precede children
+            for rule in active:
+                if isinstance(node, rule.node_types):
+                    findings.extend(rule.visit(node, ctx))
+        for rule in active:
+            findings.extend(rule.end_file(ctx))
+        suppressions = Suppressions.parse(source)
+        kept = [f for f in findings if not suppressions.covers(f.code, f.line)]
+        return sorted(kept, key=Finding.sort_key)
+
+    def lint(self, paths: Sequence[Path]) -> list[Finding]:
+        """All findings across *paths* (files or directories), sorted."""
+        findings: list[Finding] = []
+        for path in iter_python_files(paths):
+            findings.extend(self.lint_file(path))
+        return sorted(findings, key=Finding.sort_key)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    root: Path | None = None,
+    select: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Convenience wrapper: lint *paths* with the full built-in rule set."""
+    engine = LintEngine(root=root, select=select)
+    return engine.lint([Path(p) for p in paths])

@@ -1,0 +1,61 @@
+"""The lint finding record and its baseline fingerprint.
+
+A finding pins a rule violation to a file position.  Its *fingerprint*
+deliberately excludes the line number: baselines key findings by
+``path::code::normalised-source-line`` so that unrelated edits above a
+grandfathered finding do not un-baseline it, while editing the offending
+line itself does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    """Repo-relative, ``/``-separated path of the offending file."""
+    line: int
+    """1-based line of the offending node."""
+    col: int
+    """0-based column of the offending node."""
+    code: str
+    """Rule code, e.g. ``DET001``."""
+    message: str
+    """What is wrong, phrased for the file's author."""
+    hint: str = ""
+    """How to fix it (the rule's standing fix hint)."""
+    source_line: str = field(default="", compare=False)
+    """The stripped source text of the offending line (for fingerprints)."""
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used by the baseline file."""
+        normalised = " ".join(self.source_line.split())
+        return f"{self.path}::{self.code}::{normalised}"
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        """Stable report ordering: path, then position, then code."""
+        return (self.path, self.line, self.col, self.code)
+
+    def render(self) -> str:
+        """``path:line:col: CODE message (hint)`` single-line form."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+        if self.hint:
+            text += f" [hint: {self.hint}]"
+        return text
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable form (used by the ``--format json`` reporter)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint,
+        }

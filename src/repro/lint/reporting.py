@@ -1,0 +1,57 @@
+"""Text and JSON reporters for lint runs.
+
+Both reporters are deterministic: findings arrive pre-sorted from the
+engine and the JSON form is emitted with sorted keys, so a lint report
+can itself be diffed byte-for-byte across runs (the same discipline
+DET004 demands of the simulator's own exports).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from collections.abc import Sequence
+
+from repro.lint.findings import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(
+    new: Sequence[Finding],
+    grandfathered: Sequence[Finding],
+    stale: Sequence[str],
+) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in new]
+    if new:
+        by_code = Counter(finding.code for finding in new)
+        breakdown = ", ".join(
+            f"{code} x{count}" for code, count in sorted(by_code.items())
+        )
+        lines.append(f"{len(new)} finding(s): {breakdown}")
+    else:
+        lines.append("no findings")
+    if grandfathered:
+        lines.append(f"{len(grandfathered)} baselined finding(s) not shown")
+    for fingerprint in stale:
+        lines.append(f"stale baseline entry (prune it): {fingerprint}")
+    return "\n".join(lines)
+
+
+def render_json(
+    new: Sequence[Finding],
+    grandfathered: Sequence[Finding],
+    stale: Sequence[str],
+) -> str:
+    """Machine-readable report (stable field ordering, sorted keys)."""
+    payload = {
+        "findings": [finding.to_dict() for finding in new],
+        "counts": {
+            "new": len(new),
+            "grandfathered": len(grandfathered),
+            "stale_baseline_entries": len(stale),
+        },
+        "stale_baseline_entries": list(stale),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -8,7 +8,6 @@ Models are deterministic given their RNG stream.
 from __future__ import annotations
 
 import abc
-from collections.abc import Callable
 
 import numpy as np
 

@@ -11,7 +11,7 @@ experiments can report total signalling, not just LUs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.network.gateway import WirelessGateway
 from repro.network.messages import LocationUpdate

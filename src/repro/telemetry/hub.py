@@ -18,16 +18,20 @@ Components should cache instruments at construction time::
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from typing import TYPE_CHECKING, Any
 
 from repro.telemetry.config import TelemetryConfig
 from repro.telemetry.events import EventLog, Severity
 from repro.telemetry.metrics import (
     DEFAULT_QUANTILES,
+    Counter,
+    Gauge,
+    Histogram,
     MetricsRegistry,
 )
 from repro.telemetry.sampler import Sampler
-from repro.telemetry.tracing import Tracer
+from repro.telemetry.tracing import Span, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simkernel import Simulator
@@ -49,7 +53,7 @@ class Telemetry:
             min_severity=self.config.min_severity,
         )
         self.sampler = Sampler(self.registry, self.config.sample_interval)
-        self._clock = None
+        self._clock: Callable[[], float] | None = None
 
     @classmethod
     def from_config(
@@ -61,11 +65,11 @@ class Telemetry:
         return NULL_TELEMETRY
 
     # -- instruments ------------------------------------------------------
-    def counter(self, name: str, **labels: Any):
+    def counter(self, name: str, **labels: Any) -> Counter:
         """Registry counter for ``(name, labels)``."""
         return self.registry.counter(name, **labels)
 
-    def gauge(self, name: str, **labels: Any):
+    def gauge(self, name: str, **labels: Any) -> Gauge:
         """Registry gauge for ``(name, labels)``."""
         return self.registry.gauge(name, **labels)
 
@@ -76,14 +80,14 @@ class Telemetry:
         buckets: tuple[float, ...] | None = None,
         quantiles: tuple[float, ...] = DEFAULT_QUANTILES,
         **labels: Any,
-    ):
+    ) -> Histogram:
         """Registry histogram for ``(name, labels)``."""
         return self.registry.histogram(
             name, buckets=buckets, quantiles=quantiles, **labels
         )
 
     # -- tracing / events -------------------------------------------------
-    def span(self, name: str):
+    def span(self, name: str) -> Span:
         """A tracer span; use with ``with``."""
         return self.tracer.span(name)
 

@@ -47,7 +47,8 @@ class TestFastPathParity:
         for lane in general.lanes:
             for gateway in lane.gateways.values():
                 assert gateway._fused_uplink  # default substrate is fused
-                gateway._fused_uplink = False  # force gateway.receive
+                # Forcing the slow path is the point of this parity test.
+                gateway._fused_uplink = False  # lint: disable=INV001
         fused_result = fused.run()
         general_result = general.run()
         for name in fused_result.lanes:

@@ -1,0 +1,45 @@
+"""Shared helpers: build a miniature repo layout and lint snippets in it.
+
+Rules scope themselves by repo-relative path (``src/repro/...``), so
+fixtures write snippets into a fake checkout under ``tmp_path`` with a
+``pyproject.toml`` root marker and lint them with an engine rooted
+there.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint.engine import LintEngine
+
+
+@pytest.fixture
+def lint_snippet(tmp_path):
+    """Lint *source* as if it lived at *rel* inside a checkout."""
+
+    def run(rel: str, source: str, select: list[str] | None = None):
+        (tmp_path / "pyproject.toml").touch()
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        engine = LintEngine(root=tmp_path, select=select)
+        return engine.lint_file(path)
+
+    return run
+
+
+@pytest.fixture
+def fake_repo(tmp_path):
+    """A writable fake checkout root; returns (root, write) helpers."""
+    (tmp_path / "pyproject.toml").touch()
+
+    def write(rel: str, source: str) -> Path:
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        return path
+
+    return tmp_path, write

@@ -1,0 +1,115 @@
+"""Baseline persistence, line-shift stability, and staleness reporting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import LintEngine
+from repro.lint.findings import Finding
+
+
+def _finding(line=5, source_line="return time.time()", path="src/repro/x.py"):
+    return Finding(
+        path=path,
+        line=line,
+        col=4,
+        code="DET001",
+        message="wall-clock call",
+        hint="use the sim clock",
+        source_line=source_line,
+    )
+
+
+class TestFingerprint:
+    def test_excludes_line_number_and_normalises_whitespace(self):
+        a = _finding(line=5, source_line="return  time.time()")
+        b = _finding(line=42, source_line="return time.time()")
+        assert a.fingerprint == b.fingerprint
+
+    def test_distinguishes_path_code_and_source(self):
+        base = _finding()
+        assert base.fingerprint != _finding(path="src/repro/y.py").fingerprint
+        assert (
+            base.fingerprint
+            != _finding(source_line="return time.monotonic()").fingerprint
+        )
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_counts(self, tmp_path):
+        baseline = Baseline.from_findings([_finding(), _finding(line=9)])
+        path = baseline.save(tmp_path / "lint-baseline.json")
+        loaded = Baseline.load(path)
+        assert loaded.fingerprints == baseline.fingerprints
+        assert len(loaded) == 2
+
+    def test_file_is_sorted_json(self, tmp_path):
+        baseline = Baseline.from_findings(
+            [_finding(path="src/repro/z.py"), _finding(path="src/repro/a.py")]
+        )
+        path = baseline.save(tmp_path / "lint-baseline.json")
+        data = json.loads(path.read_text())
+        keys = list(data["fingerprints"])
+        assert keys == sorted(keys)
+        assert data["version"] == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "absent.json")) == 0
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        path.write_text('{"version": 99, "fingerprints": {}}')
+        with pytest.raises(ValueError, match="unsupported baseline version"):
+            Baseline.load(path)
+
+
+class TestFilter:
+    def test_grandfathered_new_and_stale_split(self):
+        old = _finding()
+        baseline = Baseline.from_findings(
+            [old, _finding(path="src/repro/gone.py")]
+        )
+        fresh = _finding(source_line="return time.time_ns()")
+        new, grandfathered, stale = baseline.filter([old, fresh])
+        assert new == [fresh]
+        assert grandfathered == [old]
+        assert stale == [_finding(path="src/repro/gone.py").fingerprint]
+
+    def test_count_budget_absorbs_at_most_n(self):
+        baseline = Baseline.from_findings([_finding()])
+        dupes = [_finding(line=5), _finding(line=6)]
+        new, grandfathered, _ = baseline.filter(dupes)
+        assert len(grandfathered) == 1
+        assert len(new) == 1
+
+    def test_survives_line_shift(self, fake_repo):
+        """Editing *other* lines must not un-baseline a finding."""
+        root, write = fake_repo
+        rel = "src/repro/experiments/x.py"
+        body = "import time\n\n\ndef stamp():\n    return time.time()\n"
+        path = write(rel, body)
+        engine = LintEngine(root=root)
+        baseline = Baseline.from_findings(engine.lint_file(path))
+
+        shifted = "import time\n\nPAD = 1\nPAD2 = 2\n\n\ndef stamp():\n    return time.time()\n"
+        path.write_text(shifted)
+        new, grandfathered, stale = baseline.filter(engine.lint_file(path))
+        assert new == []
+        assert len(grandfathered) == 1
+        assert stale == []
+
+    def test_editing_offending_line_removes_protection(self, fake_repo):
+        root, write = fake_repo
+        rel = "src/repro/experiments/x.py"
+        path = write(rel, "import time\nstamp = time.time()\n")
+        engine = LintEngine(root=root)
+        baseline = Baseline.from_findings(engine.lint_file(path))
+
+        path.write_text("import time\nstamp = time.time() + 1.0\n")
+        new, grandfathered, stale = baseline.filter(engine.lint_file(path))
+        assert len(new) == 1
+        assert grandfathered == []
+        assert len(stale) == 1

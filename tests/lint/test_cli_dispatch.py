@@ -1,0 +1,54 @@
+"""The repro CLI dispatch table and its ``lint`` target."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.cli as cli
+
+
+class TestDispatchTable:
+    def test_every_parser_choice_has_a_handler(self):
+        parser = cli._build_parser()
+        target_action = next(
+            a for a in parser._actions if a.dest == "target"
+        )
+        assert list(target_action.choices) == sorted(cli._HANDLERS)
+
+    def test_expected_targets_registered(self):
+        for target in (
+            "report",
+            "fig4",
+            "fig9",
+            "table1",
+            "sweep",
+            "chaos",
+            "telemetry",
+            "lint",
+        ):
+            assert target in cli._HANDLERS
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError, match="duplicate CLI target"):
+
+            @cli.register_target("lint")
+            def clash(args):  # pragma: no cover - never dispatched
+                return 0
+
+    def test_figure_targets_share_one_handler(self):
+        handlers = {cli._HANDLERS[f"fig{n}"] for n in range(4, 10)}
+        assert len(handlers) == 1
+        assert cli._HANDLERS["report"] in handlers
+
+
+class TestLintTarget:
+    def test_lint_target_forwards_to_repro_lint(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").touch()
+        pkg = tmp_path / "src" / "repro" / "experiments"
+        pkg.mkdir(parents=True)
+        (pkg / "x.py").write_text("import time\nstamp = time.time()\n")
+        rc = cli.main(
+            ["lint", "--paths", str(tmp_path / "src"), "--lint-format", "json"]
+        )
+        assert rc == 1
+        assert '"code": "DET001"' in capsys.readouterr().out

@@ -1,0 +1,176 @@
+"""INV001, TEL001, CFG001: invariant, telemetry and config rules."""
+
+from __future__ import annotations
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestInv001DerivedFlags:
+    def test_assignment_outside_owners_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            "src/repro/experiments/x.py",
+            """\
+            def force(channel, gateway):
+                channel._transparent = True
+                gateway._fused_uplink = False
+            """,
+        )
+        assert codes(findings) == ["INV001", "INV001"]
+        assert [f.line for f in findings] == [2, 3]
+
+    def test_annotated_and_augmented_assignment_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            "tests/network/x.py",
+            """\
+            def force(channel):
+                channel._transparent: bool = True
+                channel._fused_uplink |= True
+            """,
+        )
+        assert codes(findings) == ["INV001", "INV001"]
+
+    def test_owner_modules_exempt(self, lint_snippet):
+        for owner in (
+            "src/repro/network/channel.py",
+            "src/repro/network/gateway.py",
+        ):
+            assert not lint_snippet(
+                owner,
+                """\
+                def _refresh(self):
+                    self._transparent = self.loss_rate == 0.0
+                    self._fused_uplink = self._transparent
+                """,
+            )
+
+    def test_reads_and_other_attributes_clean(self, lint_snippet):
+        assert not lint_snippet(
+            "src/repro/experiments/x.py",
+            """\
+            def inspect(channel):
+                flag = channel._transparent
+                channel._budget = 3
+                return flag
+            """,
+        )
+
+
+class TestTel001MetricNames:
+    def test_fstring_name_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            "src/repro/network/x.py",
+            """\
+            def record(hub, region):
+                hub.counter(f"net.sent.{region}").inc()
+            """,
+        )
+        assert codes(findings) == ["TEL001"]
+        assert "not a string literal" in findings[0].message
+
+    def test_camel_case_and_undotted_names_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            "src/repro/network/x.py",
+            """\
+            def record(hub):
+                hub.gauge("netQueueDepth").set(1)
+                hub.histogram(name="latency").observe(2)
+            """,
+        )
+        assert codes(findings) == ["TEL001", "TEL001"]
+        assert "not dotted lowercase" in findings[0].message
+
+    def test_literal_dotted_lowercase_clean(self, lint_snippet):
+        assert not lint_snippet(
+            "src/repro/network/x.py",
+            """\
+            def record(hub):
+                hub.counter("net.arq.retransmits", channel="uplink").inc()
+                hub.gauge("net.queue.depth").set(1)
+                hub.histogram(name="net.lu.latency_ms").observe(2)
+            """,
+        )
+
+    def test_numpy_histogram_not_a_metric(self, lint_snippet):
+        # np.histogram shares a method name with the telemetry instrument
+        # but its receiver is an imported module, so TEL001 must not fire.
+        assert not lint_snippet(
+            "src/repro/experiments/x.py",
+            """\
+            import numpy as np
+
+
+            def bin_counts(xs):
+                return np.histogram(xs, bins=10)
+            """,
+        )
+
+    def test_telemetry_package_out_of_scope(self, lint_snippet):
+        # The subsystem's own internals build names dynamically by design.
+        assert not lint_snippet(
+            "src/repro/telemetry/x.py",
+            """\
+            def record(hub, suffix):
+                hub.counter("net." + suffix).inc()
+            """,
+        )
+
+
+class TestCfg001ConfigDefaults:
+    def test_mutable_and_computed_defaults_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            "src/repro/experiments/x.py",
+            """\
+            from dataclasses import dataclass, field
+
+
+            @dataclass
+            class SweepConfig:
+                regions: list = []
+                factory: object = field(default_factory=lambda: {})
+                stamp: float = make_stamp()
+            """,
+        )
+        assert codes(findings) == ["CFG001", "CFG001", "CFG001"]
+        assert [f.line for f in findings] == [6, 7, 8]
+        assert "SweepConfig.regions" in findings[0].message
+
+    def test_serialisable_defaults_clean(self, lint_snippet):
+        assert not lint_snippet(
+            "src/repro/experiments/x.py",
+            """\
+            from dataclasses import dataclass, field
+
+            from repro.network import LinkKind
+
+
+            @dataclass
+            class ChannelSpec:
+                rate_hz: float = 2.0
+                offset: float = -0.5
+                name: str | None = None
+                kind: LinkKind = LinkKind.WLAN
+                limit: int = MAX_NODES
+                bounds: tuple = (0.0, 1.0)
+                lanes: tuple = field(default_factory=tuple)
+            """,
+        )
+
+    def test_only_config_and_spec_dataclasses_checked(self, lint_snippet):
+        # Non-dataclasses and non-Config/Spec names are out of scope.
+        assert not lint_snippet(
+            "src/repro/experiments/x.py",
+            """\
+            from dataclasses import dataclass
+
+
+            class RunnerConfig:
+                cache: dict = {}
+
+
+            @dataclass
+            class ResultRow:
+                values: list = make_values()
+            """,
+        )

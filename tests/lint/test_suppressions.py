@@ -1,0 +1,75 @@
+"""Inline suppression comments and their interaction with the engine."""
+
+from __future__ import annotations
+
+from repro.lint.suppressions import Suppressions
+
+
+class TestParsing:
+    def test_line_suppression_single_and_multi_code(self):
+        sup = Suppressions.parse(
+            "x = 1  # lint: disable=DET001\n"
+            "y = 2  # lint: disable=DET002, INV001\n"
+        )
+        assert sup.covers("DET001", 1)
+        assert sup.covers("DET002", 2)
+        assert sup.covers("INV001", 2)
+        assert not sup.covers("DET001", 2)
+        assert not sup.covers("DET002", 1)
+
+    def test_file_suppression_covers_every_line(self):
+        sup = Suppressions.parse(
+            '"""doc."""\n# lint: disable-file=TEL001\nx = 1\n'
+        )
+        assert sup.covers("TEL001", 1)
+        assert sup.covers("TEL001", 999)
+        assert not sup.covers("DET001", 3)
+
+    def test_no_blanket_disable_all(self):
+        # "all" is parsed as a (nonexistent) code, not a wildcard.
+        sup = Suppressions.parse("x = 1  # lint: disable=all\n")
+        assert not sup.covers("DET001", 1)
+
+
+class TestEngineIntegration:
+    def test_suppressed_line_is_dropped_others_kept(self, lint_snippet):
+        findings = lint_snippet(
+            "src/repro/experiments/x.py",
+            """\
+            import time
+
+
+            def stamps():
+                a = time.time()  # lint: disable=DET001
+                b = time.time()
+                return a, b
+            """,
+        )
+        assert [f.code for f in findings] == ["DET001"]
+        assert findings[0].line == 6
+
+    def test_wrong_code_does_not_suppress(self, lint_snippet):
+        findings = lint_snippet(
+            "src/repro/experiments/x.py",
+            """\
+            import time
+
+
+            def stamp():
+                return time.time()  # lint: disable=DET002
+            """,
+        )
+        assert [f.code for f in findings] == ["DET001"]
+
+    def test_file_level_suppression(self, lint_snippet):
+        assert not lint_snippet(
+            "src/repro/experiments/x.py",
+            """\
+            # lint: disable-file=DET001
+            import time
+
+
+            def stamp():
+                return time.time()
+            """,
+        )

@@ -128,7 +128,8 @@ class TestFusedFastPath:
         fused_got, general_got = [], []
         fused = WirelessGateway(make_road(), fused_ch, fused_got.append)
         general = WirelessGateway(make_road(), general_ch, general_got.append)
-        general._fused_uplink = False  # force the slow path
+        # Forcing the slow path is the point of this parity test.
+        general._fused_uplink = False  # lint: disable=INV001
         for _ in range(10):
             update = lu()
             fused.receive(update)

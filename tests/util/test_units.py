@@ -1,7 +1,7 @@
 """Tests for unit conversions."""
 
-from hypothesis import given, strategies as st
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.util.units import HOUR, MINUTE, kmh_to_ms, ms_to_kmh
 
