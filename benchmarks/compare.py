@@ -14,6 +14,13 @@ benchmark's ratio exceeds the threshold.
 
 Minima are compared, not means: the minimum is the least noise-polluted
 statistic a shared machine produces (see docs/performance.md).
+
+Benchmarks may also attach application-level numbers via pytest-benchmark
+``extra_info`` (e.g. ``bench_serving.py`` records ``msgs_per_s`` and
+``p99_latency_s``).  Numeric keys present in both files are printed with
+their own ratios; with ``--fail-on-regress`` they gate too — keys ending
+in ``_per_s`` are rates (higher is better), everything else is a cost
+(lower is better).
 """
 
 from __future__ import annotations
@@ -24,10 +31,54 @@ import sys
 from pathlib import Path
 
 
+#: ``extra_info`` keys with this suffix are throughputs: a *drop* is the
+#: regression.  Everything else (latencies, counts) regresses upward.
+RATE_SUFFIX = "_per_s"
+
+
 def load_stats(path: Path) -> dict[str, dict[str, float]]:
     """Map benchmark name -> stats dict from a pytest-benchmark JSON file."""
     data = json.loads(path.read_text())
     return {bench["name"]: bench["stats"] for bench in data.get("benchmarks", [])}
+
+
+def load_extra_info(path: Path) -> dict[str, dict[str, float]]:
+    """Map benchmark name -> numeric extra_info entries (may be empty)."""
+    data = json.loads(path.read_text())
+    out: dict[str, dict[str, float]] = {}
+    for bench in data.get("benchmarks", []):
+        numeric = {
+            key: value
+            for key, value in bench.get("extra_info", {}).items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+        if numeric:
+            out[bench["name"]] = numeric
+    return out
+
+
+def compare_extra_info(
+    baseline: dict[str, dict[str, float]],
+    candidate: dict[str, dict[str, float]],
+) -> list[tuple[str, str, float, float, float]]:
+    """Rows of (bench, key, base, cand, regress_ratio) for shared keys.
+
+    ``regress_ratio`` is normalised so > 1 always means "got worse":
+    cand/base for costs, base/cand for ``*_per_s`` rates.
+    """
+    rows = []
+    for name in sorted(baseline.keys() & candidate.keys()):
+        shared = sorted(baseline[name].keys() & candidate[name].keys())
+        for key in shared:
+            base, cand = baseline[name][key], candidate[name][key]
+            if base <= 0 or cand <= 0:
+                continue  # counts of zero carry no ratio
+            if key.endswith(RATE_SUFFIX):
+                ratio = base / cand
+            else:
+                ratio = cand / base
+            rows.append((name, key, base, cand, ratio))
+    return rows
 
 
 def compare(
@@ -73,6 +124,19 @@ def main(argv: list[str] | None = None) -> int:
             f"{cand_min * 1000:>8.1f}ms  {ratio:5.2f}x"
         )
         worst = max(worst, ratio)
+
+    extra_rows = compare_extra_info(
+        load_extra_info(args.baseline), load_extra_info(args.candidate)
+    )
+    if extra_rows:
+        label_width = max(len(f"{name}:{key}") for name, key, *_ in extra_rows)
+        print(f"\n{'extra_info':<{label_width}}  {'base':>12}  {'cand':>12}  regress")
+        for name, key, base, cand, ratio in extra_rows:
+            print(
+                f"{name + ':' + key:<{label_width}}  {base:>12,.4g}  "
+                f"{cand:>12,.4g}  {ratio:5.2f}x"
+            )
+            worst = max(worst, ratio)
 
     only_base = sorted(baseline.keys() - candidate.keys())
     only_cand = sorted(candidate.keys() - baseline.keys())

@@ -1,0 +1,53 @@
+"""Serving walkthrough: record a trace, then find the ingest knee.
+
+The broker-as-a-service path (docs/serving.md) decouples workload from
+service: record the LU stream one experiment lane actually transmitted,
+then replay it open-loop at increasing rates against a small ingest
+service and watch where latency gives way to shedding.
+
+Usage::
+
+    python examples/serving_replay.py
+"""
+
+from repro import ExperimentConfig
+from repro.serving import ReplayConfig, ServingConfig, record_trace, replay_trace
+
+
+def main() -> None:
+    config = ExperimentConfig(duration=60.0, seed=7, dth_factors=(1.0,))
+    meta, records = record_trace(config)
+    print(
+        f"recorded {len(records)} LUs from lane {meta['lane']} "
+        f"({meta['node_count']} nodes, {meta['duration']:.0f} s)\n"
+    )
+
+    # A deliberately small service: 2 shards x 256 msgs per 50 ms flush
+    # caps the drain rate at ~10k msg/s.
+    serving = ServingConfig(
+        shards=2, queue_capacity=512, batch_size=256, flush_interval=0.05
+    )
+    print(f"service drain ceiling: {serving.drain_rate:,.0f} msg/s\n")
+
+    print(f"{'rate':>10} {'p50':>8} {'p99':>8} {'shed':>7}")
+    for rate in (2_000.0, 8_000.0, 12_000.0, 20_000.0):
+        report = replay_trace(
+            records,
+            ReplayConfig(rate=rate, serving=serving),
+            trace_meta=meta,
+        )
+        print(
+            f"{rate:>10,.0f} {report.latency_p50 * 1000:>6.1f}ms "
+            f"{report.latency_p99 * 1000:>6.1f}ms {report.shed_rate:>7.1%}"
+        )
+
+    print(
+        "\nBelow the drain ceiling the p99 sits near the flush interval; "
+        "beyond it the bounded queues shed instead of buffering without "
+        "bound, so the knee appears in the shed column, not as a melted "
+        "tail latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -17,10 +17,15 @@ Usage::
     python -m repro chaos --smoke --export-json resilience.json
     python -m repro lint
     python -m repro lint --paths src --lint-format json
+    python -m repro serving --record trace.jsonl --duration 120
+    python -m repro serving --replay trace.jsonl --rate 50000 --shards 8
+    python -m repro serving --smoke --export-json serving.json
+    python -m repro --list-targets
 
 Targets are registered in a dispatch table via :func:`register_target`;
-adding a new target is one decorated handler function, not another
-branch in an ``elif`` chain.
+adding a new target is one decorated handler function (with a one-line
+description for the ``--list-targets`` index), not another branch in an
+``elif`` chain.
 """
 
 from __future__ import annotations
@@ -49,18 +54,39 @@ Handler = Callable[[argparse.Namespace], int]
 #: target name -> handler; populated by :func:`register_target`.
 _HANDLERS: dict[str, Handler] = {}
 
+#: target name -> one-line description shown by ``--list-targets``.
+_DESCRIPTIONS: dict[str, str] = {}
 
-def register_target(*names: str) -> Callable[[Handler], Handler]:
-    """Register a handler for one or more CLI target names."""
+
+def register_target(
+    *names: str, description: str = ""
+) -> Callable[[Handler], Handler]:
+    """Register a handler for one or more CLI target names.
+
+    *description* is the one-line blurb ``--list-targets`` shows for each
+    of the names (falls back to the handler's first docstring line).
+    """
 
     def decorate(handler: Handler) -> Handler:
+        doc = (handler.__doc__ or "").strip()
+        blurb = description or (doc.splitlines()[0] if doc else "")
         for name in names:
             if name in _HANDLERS:
                 raise ValueError(f"duplicate CLI target {name!r}")
             _HANDLERS[name] = handler
+            _DESCRIPTIONS[name] = blurb
         return handler
 
     return decorate
+
+
+def list_targets() -> str:
+    """The ``--list-targets`` index: every target with its description."""
+    width = max(len(name) for name in _HANDLERS)
+    lines = ["available targets:"]
+    for name in sorted(_HANDLERS):
+        lines.append(f"  {name:<{width}}  {_DESCRIPTIONS.get(name, '')}".rstrip())
+    return "\n".join(lines)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -69,7 +95,16 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Reproduce the ADF mobile-grid evaluation figures.",
     )
     parser.add_argument(
-        "target", choices=sorted(_HANDLERS), help="what to regenerate"
+        "target",
+        nargs="?",
+        default=None,
+        choices=sorted(_HANDLERS),
+        help="what to regenerate (omit to list the available targets)",
+    )
+    parser.add_argument(
+        "--list-targets",
+        action="store_true",
+        help="list every registered target with a one-line description",
     )
     parser.add_argument(
         "--duration",
@@ -187,7 +222,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--smoke",
         action="store_true",
-        help="run a tiny built-in scenario (CI smoke test; sweep and chaos)",
+        help="run a tiny built-in scenario (CI smoke test; sweep, chaos "
+        "and serving)",
     )
     chaos = parser.add_argument_group("chaos", "options for the chaos target")
     chaos.add_argument(
@@ -228,10 +264,56 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="lint only git-modified files (lint target)",
     )
+    serving = parser.add_argument_group(
+        "serving", "options for the serving target"
+    )
+    serving.add_argument(
+        "--record",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="record the experiment's LU stream as a replayable trace",
+    )
+    serving.add_argument(
+        "--replay",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="replay a recorded trace through the ingest service",
+    )
+    serving.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="MSG_PER_S",
+        help="open-loop replay rate in msg/s (0 = as recorded)",
+    )
+    serving.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="location-store shard count (serving target)",
+    )
+    serving.add_argument(
+        "--trace-lane",
+        type=str,
+        default="adf-1",
+        metavar="LANE",
+        help="which harness lane's LU stream to record (default adf-1)",
+    )
+    serving.add_argument(
+        "--sweep-interval",
+        type=float,
+        default=0.0,
+        metavar="SEC",
+        help="trace-time seconds between estimation sweeps (0 = off)",
+    )
     return parser
 
 
-@register_target("table1")
+@register_target(
+    "table1", description="print the paper's Table 1 population specification"
+)
 def _table1_target(args: argparse.Namespace) -> int:
     for row in table1_specification():
         print(
@@ -242,7 +324,9 @@ def _table1_target(args: argparse.Namespace) -> int:
     return 0
 
 
-@register_target("map")
+@register_target(
+    "map", description="render the campus map with the node population"
+)
 def _map_target(args: argparse.Namespace) -> int:
     from repro.campus import default_campus
     from repro.mobility import build_population, table1_spec
@@ -257,7 +341,10 @@ def _map_target(args: argparse.Namespace) -> int:
     return 0
 
 
-@register_target("confusion")
+@register_target(
+    "confusion",
+    description="mobility-classifier confusion matrix on one run",
+)
 def _confusion_target(args: argparse.Namespace) -> int:
     from repro.analysis import evaluate_classifier
 
@@ -267,7 +354,10 @@ def _confusion_target(args: argparse.Namespace) -> int:
     return 0
 
 
-@register_target("replicate")
+@register_target(
+    "replicate",
+    description="re-run key metrics across seeds with confidence intervals",
+)
 def _replicate_target(args: argparse.Namespace) -> int:
     from repro.analysis import replicate, summarize_metric
 
@@ -283,7 +373,10 @@ def _replicate_target(args: argparse.Namespace) -> int:
     return 0
 
 
-@register_target("lint")
+@register_target(
+    "lint",
+    description="run the repo's determinism/invariant static analysis",
+)
 def _lint_target(args: argparse.Namespace) -> int:
     from repro.lint import main as lint_main
 
@@ -296,7 +389,10 @@ def _lint_target(args: argparse.Namespace) -> int:
     return lint_main(argv)
 
 
-@register_target("profile")
+@register_target(
+    "profile",
+    description="cProfile one experiment run and print the hottest functions",
+)
 def _profile_target(args: argparse.Namespace) -> int:
     """cProfile one experiment run and print the hottest functions.
 
@@ -352,7 +448,10 @@ def _smoke_spec() -> "SweepSpec":
     )
 
 
-@register_target("chaos")
+@register_target(
+    "chaos",
+    description="fault-intensity resilience sweep (loss/outage/churn)",
+)
 def _chaos_target(args: argparse.Namespace) -> int:
     """Fault-intensity sweep; prints (and optionally exports) the report."""
     from repro.experiments import ChaosConfig, chaos_sweep
@@ -384,7 +483,10 @@ def _chaos_target(args: argparse.Namespace) -> int:
     return 0
 
 
-@register_target("sweep")
+@register_target(
+    "sweep",
+    description="parameter-grid sweep with checkpoint/resume and workers",
+)
 def _sweep_target(args: argparse.Namespace) -> int:
     from repro.experiments import SweepSpec, load_sweep_spec, run_sweep
 
@@ -439,7 +541,10 @@ def _build_config(args: argparse.Namespace) -> ExperimentConfig:
     )
 
 
-@register_target("telemetry")
+@register_target(
+    "telemetry",
+    description="run one experiment with telemetry on and dump the snapshot",
+)
 def _telemetry_target(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
@@ -456,7 +561,10 @@ def _telemetry_target(args: argparse.Namespace) -> int:
     return 0
 
 
-@register_target("energy")
+@register_target(
+    "energy",
+    description="per-node-type transmission energy accounting report",
+)
 def _energy_target(args: argparse.Namespace) -> int:
     from repro.analysis import energy_report
     from repro.experiments.harness import MobileGridExperiment
@@ -468,7 +576,14 @@ def _energy_target(args: argparse.Namespace) -> int:
 
 
 @register_target(
-    "report", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9"
+    "report",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    description="regenerate a paper figure (fig4..fig9) or the full report",
 )
 def _figure_target(args: argparse.Namespace) -> int:
     config = _build_config(args)
@@ -565,9 +680,83 @@ def _figure_target(args: argparse.Namespace) -> int:
     return 0
 
 
+@register_target(
+    "serving",
+    description="broker-as-a-service: record / replay LU traces at rate",
+)
+def _serving_target(args: argparse.Namespace) -> int:
+    """Record an LU trace and/or replay one through the ingest service."""
+    from repro.serving import (
+        ReplayConfig,
+        ServingConfig,
+        read_trace,
+        record_trace,
+        replay_trace,
+    )
+    from repro.telemetry import Telemetry, TelemetryConfig
+
+    if args.smoke:
+        from repro.mobility.population import PopulationSpec
+
+        config = ExperimentConfig(
+            duration=20.0,
+            seed=args.seed,
+            population=PopulationSpec(
+                road_humans_per_road=1,
+                road_vehicles_per_road=1,
+                building_stop=1,
+                building_random=1,
+                building_linear=1,
+            ),
+        )
+        meta, records = record_trace(
+            config, lane=args.trace_lane, path=args.record
+        )
+        print(f"recorded {len(records)} LUs (lane {args.trace_lane})")
+        rate = args.rate if args.rate is not None else 2000.0
+        sweep = args.sweep_interval or 1.0
+    elif args.replay:
+        meta, records = read_trace(args.replay)
+        print(f"loaded {len(records)} LUs from {args.replay}")
+        rate = args.rate if args.rate is not None else 10_000.0
+        sweep = args.sweep_interval
+    elif args.record:
+        meta, records = record_trace(
+            _build_config(args), lane=args.trace_lane, path=args.record
+        )
+        print(
+            f"wrote {args.record}: {len(records)} LUs "
+            f"(lane {args.trace_lane}, seed {meta['seed']})"
+        )
+        return 0
+    else:
+        print(
+            "serving needs --record PATH, --replay PATH or --smoke",
+            file=sys.stderr,
+        )
+        return 2
+
+    replay_config = ReplayConfig(
+        rate=rate,
+        sweep_interval=sweep,
+        serving=ServingConfig(shards=args.shards),
+    )
+    telemetry = Telemetry(TelemetryConfig(enabled=True))
+    report = replay_trace(
+        records, replay_config, trace_meta=meta, telemetry=telemetry
+    )
+    print(report.summary())
+    if args.export_json:
+        print(f"wrote {report.write_json(args.export_json)}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.target is None or args.list_targets:
+        print(list_targets())
+        return 0
     return _HANDLERS[args.target](args)
 
 

@@ -93,8 +93,13 @@ class MobileGridExperiment:
         config: ExperimentConfig | None = None,
         *,
         campus: Campus | None = None,
+        lu_observer: Callable[[str, LocationUpdate], None] | None = None,
     ) -> None:
         self.config = config or ExperimentConfig()
+        #: Called as ``lu_observer(lane_name, update)`` for every LU that
+        #: survives a lane's filter (the serving trace recorder taps this).
+        #: None costs one identity test per transmitted LU.
+        self._lu_observer = lu_observer
         self.campus = campus or default_campus()
         self.rng = RngRegistry(self.config.seed)
         self.telemetry = Telemetry.from_config(self.config.telemetry)
@@ -256,6 +261,8 @@ class MobileGridExperiment:
         if node_id:
             meter._per_node[node_id] += 1
         meter._bytes += update.size_bytes
+        if self._lu_observer is not None:
+            self._lu_observer(lane.name, update)
         # Both brokers store an identical RECEIVED record; build it once.
         record = LocationRecord(
             node_id=node_id,

@@ -203,11 +203,12 @@ class GlobalRandomRule(_ImportTrackingRule):
 class UnsortedIterationRule(LintRule):
     """DET003: no unordered-container iteration in report-feeding packages.
 
-    ``experiments/``, ``faults/`` and ``network/`` produce the data that
-    lands in reports and exported JSON.  Iterating a set (or a raw
-    ``.keys()`` view) there makes row order an accident of hashing or
-    insertion history; an explicit ``sorted()`` makes the ordering part
-    of the contract.
+    ``experiments/``, ``faults/``, ``network/`` and ``serving/`` produce
+    the data that lands in reports and exported JSON (for ``serving/``,
+    the byte-compared trace files and replay reports).  Iterating a set
+    (or a raw ``.keys()`` view) there makes row order an accident of
+    hashing or insertion history; an explicit ``sorted()`` makes the
+    ordering part of the contract.
     """
 
     code = "DET003"
@@ -222,6 +223,7 @@ class UnsortedIterationRule(LintRule):
             "src/repro/experiments",
             "src/repro/faults",
             "src/repro/network",
+            "src/repro/serving",
         )
 
     @staticmethod

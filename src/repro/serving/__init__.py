@@ -1,0 +1,52 @@
+"""Broker-as-a-service: online LU ingest + trace record/replay workloads.
+
+The serving layer lifts the paper's in-loop broker into a service shape:
+
+* :mod:`repro.serving.trace` — record one harness lane's transmitted LU
+  stream into a compact replayable log (``repro-lu-trace``);
+* :mod:`repro.serving.store` — a region-sharded location store whose
+  shards are PR 4 degraded-mode :class:`~repro.broker.broker.GridBroker`
+  instances (staleness, extrapolation, quarantine for free);
+* :mod:`repro.serving.service` — the bounded-queue, batch-draining
+  ingest front door with explicit shed-based backpressure;
+* :mod:`repro.serving.client` — an ARQ client adapter that turns shed
+  into sender-side retry via the accept gate;
+* :mod:`repro.serving.frontend` — a thread-pool front end for genuinely
+  concurrent producers (validated by conservation laws);
+* :mod:`repro.serving.loadgen` / :mod:`repro.serving.report` — open-loop
+  replay at configurable rates with a byte-reproducible SLO report.
+"""
+
+from repro.serving.client import ReliableIngestClient
+from repro.serving.frontend import ThreadedFrontEnd
+from repro.serving.loadgen import ReplayConfig, replay_trace
+from repro.serving.report import ServingReport
+from repro.serving.service import IngestService, ServingConfig
+from repro.serving.store import IngestOutcome, ShardedLocationStore, shard_for
+from repro.serving.trace import (
+    TraceError,
+    TraceRecord,
+    TraceRecorder,
+    read_trace,
+    record_trace,
+    write_trace,
+)
+
+__all__ = [
+    "IngestOutcome",
+    "IngestService",
+    "ReliableIngestClient",
+    "ReplayConfig",
+    "ServingConfig",
+    "ServingReport",
+    "ShardedLocationStore",
+    "ThreadedFrontEnd",
+    "TraceError",
+    "TraceRecord",
+    "TraceRecorder",
+    "read_trace",
+    "record_trace",
+    "replay_trace",
+    "shard_for",
+    "write_trace",
+]

@@ -1,0 +1,90 @@
+"""Client-side transport adapter: replayed LUs over the ARQ link.
+
+The load generator can feed an :class:`~repro.serving.service.IngestService`
+directly (the fast path for throughput ceilings), but a realistic client
+sits on the far side of a lossy wireless link.
+:class:`ReliableIngestClient` models that client: it pushes LUs through a
+:class:`~repro.network.reliable.ReliableLink` whose receiver-side *sink*
+is the service's :meth:`~repro.serving.service.IngestService.submit` and
+whose *accept* gate is the service's
+:meth:`~repro.serving.service.IngestService.has_capacity` — so a service
+under backpressure simply refuses the message *before* it is acked, the
+sender's ARQ timer fires, and the LU is retried with backoff instead of
+being silently dropped.  Shed becomes retransmission pressure, visible in
+both the link's and the service's counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.network.channel import WirelessChannel
+from repro.network.messages import LocationUpdate, Message, SequenceSource
+from repro.network.reliable import ReliableLink
+from repro.simkernel import Simulator
+
+__all__ = ["ReliableIngestClient"]
+
+
+class ReliableIngestClient:
+    """Submits LUs to an ingest service through a lossy ARQ link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        service: Any,
+        channel: WirelessChannel,
+        *,
+        ack_channel: WirelessChannel | None = None,
+        ack_timeout: float = 0.5,
+        backoff_factor: float = 2.0,
+        max_retries: int = 4,
+        seq_source: SequenceSource | None = None,
+        name: str = "ingest-client",
+        telemetry: Any = None,
+    ) -> None:
+        self._service = service
+        self.name = name
+        self.link = ReliableLink(
+            sim,
+            channel,
+            self._deliver,
+            ack_channel=ack_channel,
+            accept=self._accept,
+            ack_timeout=ack_timeout,
+            backoff_factor=backoff_factor,
+            max_retries=max_retries,
+            seq_source=seq_source,
+            name=name,
+            telemetry=telemetry,
+        )
+        #: LUs the service shed even though the accept gate let them in
+        #: (capacity vanished between probe and submit — only possible
+        #: when something else fills the queue within the same event).
+        self.shed_after_accept = 0
+
+    def _accept(self, message: Message) -> bool:
+        # Withholding the ack (returning False) is the backpressure
+        # signal: the sender's timeout fires and the LU is retried.
+        if isinstance(message, LocationUpdate):
+            return bool(self._service.has_capacity(message))
+        return True
+
+    def _deliver(self, message: Message) -> None:
+        if isinstance(message, LocationUpdate):
+            if not self._service.submit(message):
+                self.shed_after_accept += 1
+
+    def send(self, update: LocationUpdate) -> None:
+        """Offer one LU for reliable delivery to the service."""
+        self.link.send(update)
+
+    @property
+    def stats(self) -> Any:
+        """The underlying link's :class:`ReliableLinkStats`."""
+        return self.link.stats
+
+    @property
+    def in_flight(self) -> int:
+        """LUs sent but neither acked nor abandoned yet."""
+        return self.link.in_flight

@@ -1,0 +1,146 @@
+"""A thread-pool ingest front end for genuinely concurrent clients.
+
+The deterministic replay path (:mod:`repro.serving.loadgen`) is
+single-threaded on the simulation kernel so its reports are
+byte-reproducible.  :class:`ThreadedFrontEnd` is the other half of the
+tentpole: real OS threads accepting submissions from many concurrent
+producers into one bounded queue, with worker threads draining batches
+into a lock-guarded :class:`~repro.serving.store.ShardedLocationStore`.
+
+Interleavings here are scheduler-dependent by nature, so this path is
+validated by conservation laws rather than byte-stability::
+
+    offered == accepted + shed
+    accepted == store.applied + store.duplicates + store.reordered
+              + store.broker_stale_dropped
+
+No wall clock is read (DET001): the front end measures *what* happened
+(counts), never *when*; latency SLOs belong to the deterministic replay
+path where time is virtual and reproducible.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any
+
+from repro.network.messages import LocationUpdate
+from repro.serving.store import ShardedLocationStore
+from repro.telemetry import NULL_TELEMETRY
+
+__all__ = ["ThreadedFrontEnd"]
+
+#: Internal sentinel telling a worker thread to exit its drain loop.
+_STOP = object()
+
+
+class ThreadedFrontEnd:
+    """Bounded-queue, worker-thread ingest front end over a shared store."""
+
+    def __init__(
+        self,
+        store: ShardedLocationStore | None = None,
+        *,
+        workers: int = 2,
+        queue_capacity: int = 4096,
+        shards: int = 4,
+        telemetry: Any = None,
+        name: str = "frontend",
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {queue_capacity}"
+            )
+        # A caller-provided store must already be lock-guarded; the
+        # default store is built thread-safe here.
+        self.store = store or ShardedLocationStore(
+            shards, thread_safe=True, telemetry=telemetry, name=name
+        )
+        self.name = name
+        self._queue: queue.Queue[Any] = queue.Queue(maxsize=queue_capacity)
+        self._workers = [
+            threading.Thread(
+                target=self._drain,
+                name=f"{name}-worker-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        self._counter_lock = threading.Lock()
+        self.offered = 0
+        self.accepted = 0
+        self.shed = 0
+        self._started = False
+        self._stopped = False
+        tm = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._instrumented = tm.enabled
+        self._t_offered = tm.counter("serving.frontend.offered", frontend=name)
+        self._t_shed = tm.counter("serving.frontend.shed", frontend=name)
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the worker threads (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for worker in self._workers:
+            worker.start()
+
+    def stop(self) -> None:
+        """Drain everything queued, then join the workers.
+
+        One sentinel per worker is enqueued *behind* the backlog, so every
+        accepted submission is applied before the threads exit.
+        """
+        if not self._started or self._stopped:
+            self._stopped = True
+            return
+        self._stopped = True
+        for _ in self._workers:
+            self._queue.put(_STOP)
+        for worker in self._workers:
+            worker.join()
+
+    def __enter__(self) -> "ThreadedFrontEnd":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- intake ---------------------------------------------------------------
+    def submit(self, update: LocationUpdate) -> bool:
+        """Offer one LU from any thread; False when the queue sheds it."""
+        with self._counter_lock:
+            self.offered += 1
+        if self._instrumented:
+            self._t_offered.inc()
+        try:
+            self._queue.put_nowait(update)
+        except queue.Full:
+            with self._counter_lock:
+                self.shed += 1
+            if self._instrumented:
+                self._t_shed.inc()
+            return False
+        with self._counter_lock:
+            self.accepted += 1
+        return True
+
+    # -- the drain loop (worker threads) --------------------------------------
+    def _drain(self) -> None:
+        store_apply = self.store.apply
+        get = self._queue.get
+        while True:
+            item = get()
+            if item is _STOP:
+                return
+            store_apply(item)
+
+    @property
+    def backlog(self) -> int:
+        """Approximate submissions accepted but not yet applied."""
+        return self._queue.qsize()

@@ -1,0 +1,233 @@
+"""The serving layer's region-sharded location store.
+
+Each shard owns one :class:`~repro.broker.broker.GridBroker` running the
+PR 4 graceful-degradation policy (bounded extrapolation + quarantine +
+reconnect resync), so the store inherits the broker's tolerant ingest
+semantics instead of re-inventing them:
+
+* an LU strictly older than the node's last applied fix is dropped as
+  stale (the broker's ``stale_lus_dropped`` path);
+* an LU older than a just-made *estimate* still feeds the tracker but
+  skips the DB write (``skip_db``), keeping every shard's
+  :class:`~repro.broker.location_db.LocationDB` time-monotonic;
+* nodes silent past the quarantine age are excluded from estimates
+  until an LU resyncs them.
+
+On top of that the store adds what a transport-facing service needs:
+
+* deterministic region sharding (CRC32 of the region id — stable across
+  processes and ``PYTHONHASHSEED``);
+* per-node duplicate suppression by sequence number (an ARQ retransmit
+  whose ack was lost arrives twice; replay across shards can reorder) —
+  a seq at or below the node's last applied one is never new
+  information, because traces order each node's seqs by time;
+* a store-level per-node latest pointer, because a moving node's records
+  land in whichever shard serves the reporting region.
+
+``thread_safe=True`` guards every mutation with one lock for the
+threaded front end; the deterministic replay path runs single-threaded
+and skips the lock entirely.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import zlib
+from typing import Any
+
+from repro.broker.broker import BrokerConfig, GridBroker
+from repro.broker.location_db import LocationRecord
+from repro.geometry import Vec2
+from repro.network.messages import LocationUpdate
+from repro.telemetry import NULL_TELEMETRY
+from repro.util.validation import check_positive
+
+__all__ = ["IngestOutcome", "ShardedLocationStore", "shard_for"]
+
+
+def shard_for(region_id: str, shard_count: int) -> int:
+    """The shard index serving *region_id* (CRC32 — seed/process stable)."""
+    return zlib.crc32(region_id.encode("utf-8")) % shard_count
+
+
+class IngestOutcome(enum.Enum):
+    """What became of one submitted LU."""
+
+    APPLIED = "applied"
+    DUPLICATE = "duplicate"
+    STALE = "stale"
+
+
+class ShardedLocationStore:
+    """Region-sharded, reorder/duplicate-tolerant location store."""
+
+    def __init__(
+        self,
+        shard_count: int = 4,
+        *,
+        report_interval: float = 1.0,
+        max_extrapolation_intervals: float = 10.0,
+        quarantine_intervals: float = 30.0,
+        smoothing_alpha: float = 0.4,
+        use_location_estimator: bool = True,
+        thread_safe: bool = False,
+        telemetry: Any = None,
+        name: str = "serving",
+    ) -> None:
+        if shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+        check_positive(report_interval, "report_interval")
+        check_positive(max_extrapolation_intervals, "max_extrapolation_intervals")
+        check_positive(quarantine_intervals, "quarantine_intervals")
+        self.shard_count = shard_count
+        self.name = name
+        broker_config = BrokerConfig(
+            use_location_estimator=use_location_estimator,
+            smoothing_alpha=smoothing_alpha,
+            report_interval=report_interval,
+            # Both ages set => the brokers run in degraded mode, which is
+            # what makes receive_update absorb reordered/late LUs (stale
+            # drop + skip_db) instead of raising on them.
+            max_extrapolation_age=max_extrapolation_intervals * report_interval,
+            quarantine_age=quarantine_intervals * report_interval,
+        )
+        self._shards: list[GridBroker] = [
+            GridBroker(
+                broker_config,
+                telemetry=telemetry,
+                name=f"{name}/shard-{index}",
+            )
+            for index in range(shard_count)
+        ]
+        #: node -> seq of the last applied LU (duplicate gate).
+        self._last_seq: dict[str, int] = {}
+        #: node -> timestamp of the last applied LU (reorder gate).
+        self._last_time: dict[str, float] = {}
+        #: node -> shard index holding the node's freshest record.
+        self._node_shard: dict[str, int] = {}
+        self.applied = 0
+        self.duplicates = 0
+        self.reordered = 0
+        self._lock = threading.Lock() if thread_safe else None
+        tm = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._instrumented = tm.enabled
+        self._t_applied = tm.counter("serving.store.applied", store=name)
+        self._t_duplicates = tm.counter("serving.store.duplicates", store=name)
+        self._t_reordered = tm.counter("serving.store.reordered", store=name)
+        self._t_nodes = tm.gauge("serving.store.nodes", store=name)
+
+    # -- ingest ---------------------------------------------------------------
+    def apply(self, update: LocationUpdate) -> IngestOutcome:
+        """Ingest one LU; returns what the store did with it."""
+        if self._lock is None:
+            return self._apply(update)
+        with self._lock:
+            return self._apply(update)
+
+    def _apply(self, update: LocationUpdate) -> IngestOutcome:
+        node_id = update.node_id
+        last_seq = self._last_seq.get(node_id)
+        if last_seq is not None and update.seq <= last_seq:
+            # Retransmit or cross-shard reorder of something already
+            # applied: per node, trace seqs are issued in time order, so
+            # a non-advancing seq cannot carry new information.
+            self.duplicates += 1
+            if self._instrumented:
+                self._t_duplicates.inc()
+            return IngestOutcome.DUPLICATE
+        timestamp = update.timestamp
+        last_time = self._last_time.get(node_id)
+        if last_time is not None and timestamp < last_time:
+            # A fresher seq with an older timestamp: the stream was
+            # re-stamped inconsistently (or clocks regressed).  Mirror
+            # the broker's stale-drop rather than corrupting DB order.
+            self.reordered += 1
+            if self._instrumented:
+                self._t_reordered.inc()
+            return IngestOutcome.STALE
+        shard_index = shard_for(update.region_id, self.shard_count)
+        self._shards[shard_index].receive_update(update)
+        self._last_seq[node_id] = update.seq
+        self._last_time[node_id] = timestamp
+        self._node_shard[node_id] = shard_index
+        self.applied += 1
+        if self._instrumented:
+            self._t_applied.inc()
+            self._t_nodes.set(len(self._last_seq))
+        return IngestOutcome.APPLIED
+
+    def apply_batch(self, updates: list[LocationUpdate]) -> int:
+        """Ingest a batch; returns how many were applied (not dropped)."""
+        applied = 0
+        for update in updates:
+            if self.apply(update) is IngestOutcome.APPLIED:
+                applied += 1
+        return applied
+
+    # -- the estimation sweep -------------------------------------------------
+    def tick(self, now: float) -> int:
+        """Run every shard broker's estimation sweep; returns estimates made.
+
+        This is the PR 4 machinery doing its serving-side job: silent
+        nodes get extrapolated (decaying to the last fix past the
+        extrapolation budget) and long-silent ones are quarantined.
+        """
+        if self._lock is not None:
+            with self._lock:
+                return sum(shard.tick(now) for shard in self._shards)
+        return sum(shard.tick(now) for shard in self._shards)
+
+    # -- queries --------------------------------------------------------------
+    def latest(self, node_id: str) -> LocationRecord | None:
+        """The node's freshest stored record across shards."""
+        shard_index = self._node_shard.get(node_id)
+        if shard_index is None:
+            return None
+        return self._shards[shard_index].location_db.latest(node_id)
+
+    def believed_position(
+        self, node_id: str, now: float | None = None
+    ) -> Vec2 | None:
+        """The owning shard broker's belief (degradation rules included)."""
+        shard_index = self._node_shard.get(node_id)
+        if shard_index is None:
+            return None
+        return self._shards[shard_index].believed_position(node_id, now)
+
+    def shard(self, index: int) -> GridBroker:
+        """Direct access to one shard's broker (tests and diagnostics)."""
+        return self._shards[index]
+
+    @property
+    def node_count(self) -> int:
+        """Distinct nodes with at least one applied LU."""
+        return len(self._last_seq)
+
+    @property
+    def estimates_made(self) -> int:
+        """Estimated records stored by all shard sweeps."""
+        return sum(shard.estimates_made for shard in self._shards)
+
+    @property
+    def quarantines(self) -> int:
+        """Quarantine transitions across shards."""
+        return sum(shard.quarantines for shard in self._shards)
+
+    @property
+    def resyncs(self) -> int:
+        """Quarantine exits (an LU resynced the node) across shards."""
+        return sum(shard.resyncs for shard in self._shards)
+
+    @property
+    def broker_stale_dropped(self) -> int:
+        """LUs the shard brokers themselves dropped as stale."""
+        return sum(shard.stale_lus_dropped for shard in self._shards)
+
+    def shard_sizes(self) -> list[int]:
+        """Per-shard DB sizes (distinct nodes per shard), in shard order."""
+        return [len(shard.location_db) for shard in self._shards]
+
+    def shard_received(self) -> list[int]:
+        """Per-shard RECEIVED record counts, in shard order."""
+        return [shard.location_db.stored_received for shard in self._shards]

@@ -1,0 +1,270 @@
+"""LU trace record/replay: a compact, replayable log of an LU stream.
+
+The serving subsystem decouples workload *generation* from workload
+*serving*: a :class:`TraceRecorder` captures the LU stream one harness
+lane actually transmitted (post-filter, DTH-stamped) into a flat list of
+:class:`TraceRecord` rows, and :func:`write_trace` / :func:`read_trace`
+persist them as a line-oriented log the load generator replays at any
+rate.
+
+Format (``repro-lu-trace`` version 1) — one JSON document per line:
+
+* line 1, the header: ``{"format": "repro-lu-trace", "meta": {...},
+  "version": 1}`` with sorted keys and compact separators;
+* every further line, one record as a JSON array
+  ``[time, seq, node_id, x, y, vx, vy, region_id, dth]``.
+
+Arrays carry no key order, floats round-trip exactly through Python's
+``json`` (repr-based shortest-float encoding), and the header is dumped
+with ``sort_keys=True`` — so writing the same records twice produces
+byte-identical files, which the serving determinism gate (CI
+``serving-smoke``) relies on.  Records are written in capture order;
+the recorder captures in simulation order, so per node both ``time``
+and ``seq`` are non-decreasing — the trace invariant the sharded
+store's duplicate detection leans on.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.geometry import Vec2
+from repro.network.messages import LocationUpdate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.config import ExperimentConfig
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "TraceError",
+    "TraceRecord",
+    "TraceRecorder",
+    "write_trace",
+    "read_trace",
+    "record_trace",
+]
+
+TRACE_FORMAT = "repro-lu-trace"
+TRACE_VERSION = 1
+
+
+class TraceError(ValueError):
+    """A malformed trace file (bad header, truncated or mistyped row)."""
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One captured LU, flattened to plain scalars.
+
+    ``seq`` is the per-run sequence number the harness stamped on the
+    LU; within one node it increases with ``time``, which is what lets
+    the serving store treat a replayed ``seq`` at-or-below the last
+    applied one as a retransmit/reorder rather than new information.
+    """
+
+    time: float
+    seq: int
+    node_id: str
+    x: float
+    y: float
+    vx: float
+    vy: float
+    region_id: str
+    dth: float
+
+    @classmethod
+    def from_update(cls, update: LocationUpdate) -> "TraceRecord":
+        """Flatten a transmitted LU into a trace row."""
+        return cls(
+            time=update.timestamp,
+            seq=update.seq,
+            node_id=update.node_id,
+            x=update.position.x,
+            y=update.position.y,
+            vx=update.velocity.x,
+            vy=update.velocity.y,
+            region_id=update.region_id,
+            dth=update.dth,
+        )
+
+    def to_update(self) -> LocationUpdate:
+        """Rebuild the LU this row captured (bit-identical fields)."""
+        return LocationUpdate(
+            sender=self.node_id,
+            timestamp=self.time,
+            seq=self.seq,
+            node_id=self.node_id,
+            position=Vec2(self.x, self.y),
+            velocity=Vec2(self.vx, self.vy),
+            region_id=self.region_id,
+            dth=self.dth,
+        )
+
+    def to_row(self) -> list[Any]:
+        """The JSON-array row this record serialises to."""
+        return [
+            self.time,
+            self.seq,
+            self.node_id,
+            self.x,
+            self.y,
+            self.vx,
+            self.vy,
+            self.region_id,
+            self.dth,
+        ]
+
+    @classmethod
+    def from_row(cls, row: Sequence[Any]) -> "TraceRecord":
+        """Parse one trace line's JSON array (strict arity and types)."""
+        if len(row) != 9:
+            raise TraceError(f"trace row needs 9 fields, got {len(row)}")
+        time, seq, node_id, x, y, vx, vy, region_id, dth = row
+        if not isinstance(node_id, str) or not isinstance(region_id, str):
+            raise TraceError(f"trace row ids must be strings: {row!r}")
+        if not isinstance(seq, int):
+            raise TraceError(f"trace row seq must be an int: {row!r}")
+        return cls(
+            time=float(time),
+            seq=seq,
+            node_id=node_id,
+            x=float(x),
+            y=float(y),
+            vx=float(vx),
+            vy=float(vy),
+            region_id=region_id,
+            dth=float(dth),
+        )
+
+
+class TraceRecorder:
+    """Captures one lane's transmitted LU stream from the harness.
+
+    Instances are :class:`~repro.experiments.harness.MobileGridExperiment`
+    ``lu_observer`` callables: the harness invokes them as
+    ``observer(lane_name, update)`` for every LU that survived the lane's
+    filter.  Only the configured *lane*'s stream is kept — recording the
+    ADF lane yields the paper's reduced traffic, recording ``ideal`` the
+    unfiltered firehose.
+    """
+
+    def __init__(self, lane: str = "adf-1") -> None:
+        self.lane = lane
+        self.records: list[TraceRecord] = []
+
+    def __call__(self, lane_name: str, update: LocationUpdate) -> None:
+        if lane_name == self.lane:
+            self.records.append(TraceRecord.from_update(update))
+
+
+def write_trace(
+    records: Iterable[TraceRecord],
+    path: str | Path,
+    *,
+    meta: dict[str, Any] | None = None,
+) -> Path:
+    """Write *records* (plus a header) as a trace file; returns the path.
+
+    *meta* must be JSON-serialisable scalars/containers; it rides in the
+    header for provenance (seed, lane, duration, node count).
+    """
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    rows = list(records)
+    header = {
+        "format": TRACE_FORMAT,
+        "version": TRACE_VERSION,
+        "meta": dict(meta or {}),
+        "records": len(rows),
+    }
+    with out.open("w", encoding="utf-8") as handle:
+        handle.write(
+            json.dumps(header, sort_keys=True, separators=(",", ":"))
+        )
+        handle.write("\n")
+        for record in rows:
+            handle.write(
+                json.dumps(
+                    record.to_row(), sort_keys=True, separators=(",", ":")
+                )
+            )
+            handle.write("\n")
+    return out
+
+
+def read_trace(path: str | Path) -> tuple[dict[str, Any], list[TraceRecord]]:
+    """Load a trace file; returns ``(meta, records)``.
+
+    Validates the header (format/version), the declared record count,
+    and every row's shape, so a truncated or foreign file fails loudly
+    instead of replaying garbage.
+    """
+    source = Path(path)
+    with source.open("r", encoding="utf-8") as handle:
+        first = handle.readline()
+        if not first:
+            raise TraceError(f"{source}: empty trace file")
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"{source}: unreadable trace header") from exc
+        if not isinstance(header, dict) or header.get("format") != TRACE_FORMAT:
+            raise TraceError(f"{source}: not a {TRACE_FORMAT} file")
+        if header.get("version") != TRACE_VERSION:
+            raise TraceError(
+                f"{source}: unsupported trace version {header.get('version')!r}"
+            )
+        records: list[TraceRecord] = []
+        for lineno, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"{source}:{lineno}: unreadable row") from exc
+            if not isinstance(row, list):
+                raise TraceError(f"{source}:{lineno}: row is not an array")
+            records.append(TraceRecord.from_row(row))
+    declared = header.get("records")
+    if isinstance(declared, int) and declared != len(records):
+        raise TraceError(
+            f"{source}: header declares {declared} records, file has "
+            f"{len(records)} (truncated?)"
+        )
+    meta = header.get("meta")
+    return (meta if isinstance(meta, dict) else {}), records
+
+
+def record_trace(
+    config: "ExperimentConfig",
+    *,
+    lane: str = "adf-1",
+    path: str | Path | None = None,
+) -> tuple[dict[str, Any], list[TraceRecord]]:
+    """Run one experiment and capture *lane*'s transmitted LU stream.
+
+    Returns ``(meta, records)``; when *path* is given the trace is also
+    written there.  The capture is a pure function of the experiment
+    seed/config, so re-recording produces byte-identical traces.
+    """
+    from repro.experiments.harness import MobileGridExperiment
+
+    recorder = TraceRecorder(lane)
+    experiment = MobileGridExperiment(config, lu_observer=recorder)
+    experiment.lane(lane)  # fail fast on an unknown lane name
+    experiment.run()
+    meta: dict[str, Any] = {
+        "lane": lane,
+        "seed": config.seed,
+        "duration": config.duration,
+        "report_interval": config.report_interval,
+        "node_count": len(experiment.nodes),
+    }
+    if path is not None:
+        write_trace(recorder.records, path, meta=meta)
+    return meta, recorder.records

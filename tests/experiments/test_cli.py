@@ -79,6 +79,69 @@ class TestCli:
         assert "adf-0.75" not in out
 
 
+class TestTargetListing:
+    def test_list_targets_flag(self, capsys):
+        assert main(["--list-targets"]) == 0
+        out = capsys.readouterr().out
+        assert "available targets:" in out
+        for target in ("report", "serving", "sweep", "lint"):
+            assert f"\n  {target}" in out
+
+    def test_bare_invocation_lists_targets(self, capsys):
+        assert main([]) == 0
+        assert "available targets:" in capsys.readouterr().out
+
+    def test_every_target_has_a_description(self, capsys):
+        assert main(["--list-targets"]) == 0
+        out = capsys.readouterr().out
+        for line in out.splitlines()[1:]:
+            name, _, description = line.strip().partition("  ")
+            assert description.strip(), f"target {name} lacks a description"
+
+
+class TestServingCli:
+    def test_record_then_replay(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "serving", "--smoke", "--record", str(trace),
+        ]) == 0
+        assert trace.exists()
+        capsys.readouterr()
+        assert main([
+            "serving", "--replay", str(trace), "--rate", "3000",
+            "--shards", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "loaded" in out and "p99=" in out
+
+    def test_smoke_exports_deterministic_report(self, capsys, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(["serving", "--smoke", "--export-json", str(a)]) == 0
+        assert main(["serving", "--smoke", "--export-json", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+        import json
+
+        report = json.loads(a.read_text())
+        assert report["latency_p99"] > 0.0
+        assert "shed_rate" in report
+        assert (
+            "serving.ingest.latency{service=serving}" in report["metrics"]
+        )
+
+    def test_standalone_record(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        assert main([
+            "serving", "--record", str(trace), "--duration", "5",
+        ]) == 0
+        assert trace.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_mode_required(self, capsys):
+        assert main(["serving"]) == 2
+        assert "needs --record" in capsys.readouterr().err
+
+
 class TestSweepCli:
     GRID = (
         'replications = 1\n'

@@ -69,6 +69,11 @@ class TestExamples:
         assert "metrics per layer" in out
         assert "=== metrics ===" in out
 
+    def test_serving_replay(self, capsys):
+        out = run_example("serving_replay.py", [], capsys)
+        assert "drain ceiling" in out
+        assert "shed column" in out
+
     def test_every_example_file_is_covered(self):
         tested = {
             "quickstart.py",
@@ -81,6 +86,7 @@ class TestExamples:
             "synthetic_city.py",
             "battery_saver.py",
             "telemetry_tour.py",
+            "serving_replay.py",
         }
         on_disk = {p.name for p in EXAMPLES.glob("*.py")}
         assert on_disk == tested

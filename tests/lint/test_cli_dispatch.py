@@ -25,8 +25,20 @@ class TestDispatchTable:
             "chaos",
             "telemetry",
             "lint",
+            "serving",
         ):
             assert target in cli._HANDLERS
+
+    def test_every_target_has_a_description(self):
+        for target in cli._HANDLERS:
+            assert cli._DESCRIPTIONS.get(target), (
+                f"target {target!r} lacks a --list-targets description"
+            )
+
+    def test_list_targets_covers_dispatch_table(self):
+        listing = cli.list_targets()
+        for target in cli._HANDLERS:
+            assert f"\n  {target}" in listing
 
     def test_duplicate_registration_raises(self):
         with pytest.raises(ValueError, match="duplicate CLI target"):

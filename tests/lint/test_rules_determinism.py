@@ -169,6 +169,32 @@ class TestDet003UnsortedIteration:
             """,
         )
 
+    def test_serving_package_in_scope(self, lint_snippet):
+        # serving/ writes byte-compared traces and replay reports.
+        findings = lint_snippet(
+            "src/repro/serving/x.py",
+            """\
+            def rows(d):
+                return [k for k in d.keys()]
+            """,
+        )
+        assert codes(findings) == ["DET003"]
+
+    def test_serving_unsorted_json_dump_flagged(self, lint_snippet):
+        # DET004 already covers serving/ (src/repro-wide): a trace or
+        # report writer without sort_keys=True fails the gate.
+        findings = lint_snippet(
+            "src/repro/serving/x.py",
+            """\
+            import json
+
+
+            def write_report(data, fh):
+                json.dump(data, fh)
+            """,
+        )
+        assert codes(findings) == ["DET004"]
+
 
 class TestDet004UnsortedJson:
     def test_dump_and_dumps_without_sort_keys_flagged(self, lint_snippet):

@@ -1,0 +1,104 @@
+"""Conservation-law tests for the threaded ingest front end.
+
+Interleavings are scheduler-dependent, so these tests assert *counts*
+(nothing lost, nothing double-counted), never ordering or byte-level
+output — that discipline belongs to the single-threaded replay path.
+"""
+
+import threading
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.network.messages import LocationUpdate
+from repro.serving import ShardedLocationStore, ThreadedFrontEnd
+
+
+def lu(node="n1", t=0.0, seq=0, region="road-1"):
+    return LocationUpdate(
+        sender=node,
+        timestamp=t,
+        seq=seq,
+        node_id=node,
+        position=Vec2(1.0, 0.0),
+        velocity=Vec2(1.0, 0.0),
+        region_id=region,
+        dth=4.0,
+    )
+
+
+class TestLifecycle:
+    def test_context_manager_drains_before_exit(self):
+        with ThreadedFrontEnd(workers=2, shards=2) as frontend:
+            for i in range(50):
+                frontend.submit(lu(node=f"n{i % 4}", t=float(i), seq=i))
+        # stop() put the sentinels behind the backlog: all applied.
+        assert frontend.offered == 50
+        assert frontend.accepted + frontend.shed == 50
+        store = frontend.store
+        assert frontend.accepted == (
+            store.applied + store.duplicates + store.reordered
+        )
+
+    def test_start_idempotent_and_stop_safe_twice(self):
+        frontend = ThreadedFrontEnd(workers=1)
+        frontend.start()
+        frontend.start()
+        frontend.stop()
+        frontend.stop()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError, match="workers"):
+            ThreadedFrontEnd(workers=0)
+        with pytest.raises(ValueError, match="queue_capacity"):
+            ThreadedFrontEnd(queue_capacity=0)
+
+
+class TestConcurrentProducers:
+    def test_conservation_across_producer_threads(self):
+        frontend = ThreadedFrontEnd(workers=3, shards=4, queue_capacity=64)
+        per_thread = 200
+
+        def produce(prefix):
+            for i in range(per_thread):
+                frontend.submit(
+                    lu(node=f"{prefix}-{i % 7}", t=float(i), seq=i,
+                       region=f"r{i % 9}")
+                )
+
+        with frontend:
+            producers = [
+                threading.Thread(target=produce, args=(f"p{p}",))
+                for p in range(4)
+            ]
+            for thread in producers:
+                thread.start()
+            for thread in producers:
+                thread.join()
+        assert frontend.offered == 4 * per_thread
+        assert frontend.accepted + frontend.shed == frontend.offered
+        store = frontend.store
+        assert frontend.accepted == (
+            store.applied + store.duplicates + store.reordered
+        )
+        assert frontend.backlog == 0
+
+    def test_tiny_queue_sheds_under_burst(self):
+        # Workers started only after the burst: the bounded queue must
+        # reject the overflow instead of buffering it.
+        frontend = ThreadedFrontEnd(workers=1, queue_capacity=8)
+        results = [
+            frontend.submit(lu(t=float(i), seq=i)) for i in range(20)
+        ]
+        assert results.count(True) == 8
+        assert frontend.shed == 12
+        frontend.start()
+        frontend.stop()
+        assert frontend.store.applied + frontend.store.duplicates == 8
+
+    def test_caller_supplied_store_is_used(self):
+        store = ShardedLocationStore(2, thread_safe=True)
+        with ThreadedFrontEnd(store, workers=1) as frontend:
+            frontend.submit(lu(t=1.0, seq=1))
+        assert store.applied == 1
+        assert frontend.store is store

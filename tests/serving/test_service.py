@@ -1,0 +1,174 @@
+"""Tests for the bounded-queue ingest service."""
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.network.messages import LocationUpdate
+from repro.serving import IngestService, ServingConfig
+from repro.simkernel import Simulator
+from repro.telemetry import Telemetry, TelemetryConfig
+
+
+def lu(node="n1", t=0.0, seq=0, region="road-1"):
+    return LocationUpdate(
+        sender=node,
+        timestamp=t,
+        seq=seq,
+        node_id=node,
+        position=Vec2(1.0, 2.0),
+        velocity=Vec2(1.0, 0.0),
+        region_id=region,
+        dth=4.0,
+    )
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = ServingConfig()
+        assert config.drain_rate == pytest.approx(
+            config.shards * config.batch_size / config.flush_interval
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shards": 0},
+            {"queue_capacity": 0},
+            {"batch_size": 0},
+            {"flush_interval": 0.0},
+            {"report_interval": -1.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServingConfig(**kwargs)
+
+
+class TestSubmitAndFlush:
+    def test_submit_applies_after_flush(self):
+        sim = Simulator()
+        service = IngestService(sim, ServingConfig(shards=2))
+        assert service.submit(lu(t=1.0, seq=1))
+        assert service.backlog == 1
+        assert service.store.applied == 0  # queued, not yet applied
+        sim.run()
+        assert service.backlog == 0
+        assert service.store.applied == 1
+        assert service.stats.batches == 1
+
+    def test_flush_stops_when_drained(self):
+        sim = Simulator()
+        service = IngestService(sim, ServingConfig(shards=1))
+        service.submit(lu(t=1.0, seq=1))
+        sim.run()
+        assert sim.pending_events() == 0  # no self-perpetuating idle flushes
+
+    def test_batch_size_bounds_per_flush(self):
+        sim = Simulator()
+        service = IngestService(
+            sim,
+            ServingConfig(
+                shards=1, batch_size=2, queue_capacity=100, flush_interval=0.1
+            ),
+        )
+        for i in range(5):
+            service.submit(lu(t=float(i), seq=i))
+        sim.run_until(0.1)
+        assert service.store.applied == 2  # one flush, batch-limited
+        sim.run()
+        assert service.store.applied == 5
+        assert service.stats.batches == 3
+
+    def test_latency_measured_from_arrival(self):
+        sim = Simulator()
+        service = IngestService(
+            sim, ServingConfig(shards=1, flush_interval=0.5)
+        )
+        service.submit(lu(t=1.0, seq=1), arrival=0.0)
+        sim.run()
+        # The flush fires 0.5 s after submission (at sim time 0).
+        assert service.latency.count == 1
+        assert service.latency.max == pytest.approx(0.5)
+        assert service.latency_quantile(0.5) == pytest.approx(0.5)
+
+
+class TestBackpressure:
+    def test_full_queue_sheds(self):
+        sim = Simulator()
+        service = IngestService(
+            sim, ServingConfig(shards=1, queue_capacity=2)
+        )
+        results = [service.submit(lu(t=float(i), seq=i)) for i in range(4)]
+        assert results == [True, True, False, False]
+        assert service.stats.shed == 2
+        assert service.stats.shed_rate == pytest.approx(0.5)
+        assert service.stats.shed_per_shard == [2]
+
+    def test_has_capacity_tracks_queue(self):
+        sim = Simulator()
+        service = IngestService(
+            sim, ServingConfig(shards=1, queue_capacity=1)
+        )
+        probe = lu(t=9.0, seq=9)
+        assert service.has_capacity(probe)
+        service.submit(lu(t=1.0, seq=1))
+        assert not service.has_capacity(probe)
+        sim.run()
+        assert service.has_capacity(probe)
+
+    def test_conservation_law(self):
+        sim = Simulator()
+        service = IngestService(
+            sim, ServingConfig(shards=2, queue_capacity=3, batch_size=2)
+        )
+        for i in range(20):
+            service.submit(lu(node=f"n{i % 5}", t=float(i), seq=i))
+        sim.run()
+        stats = service.stats
+        store = service.store
+        assert stats.offered == stats.accepted + stats.shed
+        assert stats.accepted == (
+            store.applied + store.duplicates + store.reordered
+        )
+
+    def test_queue_depth_high_water_mark(self):
+        sim = Simulator()
+        service = IngestService(sim, ServingConfig(shards=1))
+        for i in range(7):
+            service.submit(lu(t=float(i), seq=i))
+        assert service.stats.max_queue_depth == 7
+        assert service.stats.max_total_depth == 0  # measured at flush
+        sim.run()
+        assert service.stats.max_total_depth == 7
+
+
+class TestTelemetry:
+    def test_metrics_registered_and_counted(self):
+        telemetry = Telemetry(TelemetryConfig(enabled=True))
+        sim = Simulator()
+        service = IngestService(
+            sim,
+            ServingConfig(shards=1, queue_capacity=1),
+            telemetry=telemetry,
+        )
+        service.submit(lu(t=1.0, seq=1))
+        service.submit(lu(t=2.0, seq=2))  # shed
+        sim.run()
+        registry = telemetry.registry
+        assert registry.get(
+            "serving.ingest.offered", service="serving"
+        ).value == 2
+        assert registry.get(
+            "serving.ingest.shed", service="serving"
+        ).value == 1
+        histogram = registry.get("serving.ingest.latency", service="serving")
+        assert histogram is service.latency
+        assert histogram.count == 1
+
+    def test_quantiles_without_telemetry(self):
+        """p50/p99 must be computable even with telemetry disabled."""
+        sim = Simulator()
+        service = IngestService(sim, ServingConfig(shards=1))
+        service.submit(lu(t=1.0, seq=1))
+        sim.run()
+        assert service.latency_quantile(0.99) > 0.0

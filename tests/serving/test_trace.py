@@ -1,0 +1,161 @@
+"""Tests for the LU trace format and the harness capture hook."""
+
+import json
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.network.messages import LocationUpdate
+from repro.serving import (
+    TraceError,
+    TraceRecord,
+    TraceRecorder,
+    read_trace,
+    record_trace,
+    write_trace,
+)
+
+from tests.serving.conftest import tiny_config
+
+
+def make_record(time=1.0, seq=0, node="n1", region="road-1"):
+    return TraceRecord(
+        time=time,
+        seq=seq,
+        node_id=node,
+        x=10.0,
+        y=20.0,
+        vx=1.5,
+        vy=-0.5,
+        region_id=region,
+        dth=4.0,
+    )
+
+
+class TestRoundTrip:
+    def test_update_round_trip(self):
+        update = LocationUpdate(
+            sender="n1",
+            timestamp=3.25,
+            seq=17,
+            node_id="n1",
+            position=Vec2(1.125, 2.5),
+            velocity=Vec2(-0.75, 0.25),
+            region_id="bldg-2",
+            dth=6.0,
+        )
+        rebuilt = TraceRecord.from_update(update).to_update()
+        assert rebuilt == update
+
+    def test_row_round_trip_exact_floats(self):
+        record = make_record(time=0.1 + 0.2)  # a float with an ugly repr
+        row = json.loads(json.dumps(record.to_row()))
+        assert TraceRecord.from_row(row) == record
+
+    def test_file_round_trip(self, tmp_path):
+        records = [make_record(time=float(t), seq=t) for t in range(5)]
+        path = write_trace(records, tmp_path / "t.jsonl", meta={"seed": 1})
+        meta, loaded = read_trace(path)
+        assert meta == {"seed": 1}
+        assert loaded == records
+
+    def test_write_is_byte_deterministic(self, tmp_path):
+        records = [make_record(seq=s) for s in range(3)]
+        a = write_trace(records, tmp_path / "a.jsonl", meta={"z": 1, "a": 2})
+        b = write_trace(records, tmp_path / "b.jsonl", meta={"a": 2, "z": 1})
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestValidation:
+    def test_row_arity_checked(self):
+        with pytest.raises(TraceError, match="9 fields"):
+            TraceRecord.from_row([1.0, 2])
+
+    def test_row_id_types_checked(self):
+        row = make_record().to_row()
+        row[2] = 42  # node_id must be a string
+        with pytest.raises(TraceError, match="ids must be strings"):
+            TraceRecord.from_row(row)
+
+    def test_row_seq_type_checked(self):
+        row = make_record().to_row()
+        row[1] = "7"
+        with pytest.raises(TraceError, match="seq must be an int"):
+            TraceRecord.from_row(row)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceError, match="empty"):
+            read_trace(path)
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text('{"hello": "world"}\n')
+        with pytest.raises(TraceError, match="not a repro-lu-trace"):
+            read_trace(path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "v99.jsonl"
+        path.write_text(
+            '{"format":"repro-lu-trace","meta":{},"records":0,"version":99}\n'
+        )
+        with pytest.raises(TraceError, match="version"):
+            read_trace(path)
+
+    def test_truncation_detected(self, tmp_path):
+        records = [make_record(time=float(t), seq=t) for t in range(4)]
+        path = write_trace(records, tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop the last row
+        with pytest.raises(TraceError, match="truncated"):
+            read_trace(path)
+
+
+class TestRecorder:
+    def test_lane_filtering(self):
+        recorder = TraceRecorder("adf-1")
+        update = LocationUpdate(sender="n", timestamp=0.0, seq=0, node_id="n")
+        recorder("ideal", update)
+        recorder("adf-1", update)
+        assert len(recorder.records) == 1
+
+    def test_unknown_lane_fails_fast(self):
+        with pytest.raises(KeyError):
+            record_trace(tiny_config(duration=5.0), lane="no-such-lane")
+
+
+class TestRecordTrace:
+    def test_capture_is_seed_deterministic(self, tmp_path, tiny_trace):
+        meta, records = tiny_trace
+        path = tmp_path / "again.jsonl"
+        meta2, records2 = record_trace(tiny_config(), path=path)
+        assert meta2 == meta
+        assert records2 == records
+        # and the on-disk form round-trips the in-memory capture
+        meta3, records3 = read_trace(path)
+        assert (meta3, records3) == (meta, records)
+
+    def test_meta_provenance(self, tiny_trace):
+        meta, records = tiny_trace
+        assert meta["lane"] == "adf-1"
+        assert meta["seed"] == 11
+        assert meta["node_count"] > 0
+        assert records, "the ADF lane should transmit at least some LUs"
+
+    def test_per_node_time_and_seq_monotone(self, tiny_trace):
+        """The trace invariant the store's duplicate gate relies on."""
+        _, records = tiny_trace
+        last = {}
+        for record in records:
+            if record.node_id in last:
+                prev_seq, prev_time = last[record.node_id]
+                assert record.seq > prev_seq
+                assert record.time >= prev_time
+            last[record.node_id] = (record.seq, record.time)
+
+    def test_ideal_lane_records_superset(self):
+        config = tiny_config(duration=6.0)
+        _, adf = record_trace(config, lane="adf-1")
+        _, ideal = record_trace(config, lane="ideal")
+        assert len(ideal) > len(adf)
