@@ -4,6 +4,8 @@ Not a paper figure — these guard against performance regressions in the
 simulation kernel, the ADF pipeline and the HLA federation.
 """
 
+import math
+
 import pytest
 
 from repro.core import AdaptiveDistanceFilter, AdfConfig
@@ -77,3 +79,102 @@ def test_federated_runtime(benchmark):
         ).reflections
 
     assert benchmark.pedantic(run, rounds=2, iterations=1) == 140 * 30
+
+
+def test_columnar_step_throughput_100k(benchmark):
+    """100k-node stepping workload: columnar arrays vs the object path.
+
+    One "step" is the per-interval hot path both engines share: advance
+    mobility, derive speed/heading, resolve regions, feed the classifier
+    windows and gate the distance filter.  (Cluster placement is a scalar
+    loop in both engines and is excluded.)  The object path is timed
+    inside the test over the same fleet; the speedup lands in extra_info
+    where `compare.py --gate-keys '*_speedup'` guards it — a
+    hardware-independent ratio, unlike the absolute nodes/s.
+    """
+    import time as _time
+
+    import numpy as np
+
+    from repro.campus import default_campus
+    from repro.core.classifier import ClassifierConfig, MobilityClassifier
+    from repro.core.columnar import ColumnarClassifier, ColumnarMobilitySource
+    from repro.core.columnar.engine import RegionResolver, df_decide
+    from repro.core.columnar.kernels import FAST_KERNEL
+    from repro.core.distance_filter import DistanceFilter, FilterDecision
+    from repro.mobility.population import build_population, table1_spec
+    from repro.util.rng import RngRegistry
+
+    campus = default_campus()
+    spec = table1_spec()
+    base = spec.total_for(len(campus.roads()), len(campus.buildings()))
+    factor = max(1, round(100_000 / base))
+    source = ColumnarMobilitySource(campus, spec.scaled(factor), seed=42)
+    state = source.build_state()
+    n = len(state)
+    assert n >= 99_000
+    resolver = RegionResolver(campus)
+    home_codes = np.asarray(
+        [resolver.code_of[h] for h in source.home_regions()], dtype=np.int64
+    )
+    kernel = FAST_KERNEL
+    classifier = ColumnarClassifier(ClassifierConfig(), n, kernel)
+    fix_x = np.zeros(n)
+    fix_y = np.zeros(n)
+    has_fix = np.zeros(n, dtype=bool)
+    dth = np.full(n, 2.0)
+
+    def columnar_step():
+        source.advance(state, 1.0)
+        x, y, vx, vy = state.x, state.y, state.vx, state.vy
+        speeds = kernel.hypot(vx, vy)
+        directions = np.where(
+            (vx == 0.0) & (vy == 0.0), 0.0, kernel.atan2(vy, vx)
+        )
+        resolver.resolve(x, y, home_codes)
+        classifier.observe(speeds, directions)
+        transmit = df_decide(x, y, fix_x, fix_y, has_fix, dth, kernel)
+        idx = np.flatnonzero(transmit)
+        fix_x[idx] = x[idx]
+        fix_y[idx] = y[idx]
+        has_fix[idx] = True
+        return int(idx.size)
+
+    benchmark.pedantic(columnar_step, rounds=5, iterations=1, warmup_rounds=1)
+    if benchmark.stats is not None:
+        columnar_s = benchmark.stats.stats.min
+    else:
+        # --benchmark-disable (the plain test suite): time one step inline.
+        start = _time.perf_counter()
+        columnar_step()
+        columnar_s = _time.perf_counter() - start
+
+    # The object path over the same fleet size, one step, timed in-line.
+    nodes = build_population(campus, spec.scaled(factor), RngRegistry(42))
+    obj_classifier = MobilityClassifier(ClassifierConfig())
+    obj_filter = DistanceFilter()
+    transmitted = 0
+    start = _time.perf_counter()
+    for node in nodes:
+        sample = node.advance(1.0)
+        position, velocity = sample.position, sample.velocity
+        speed = math.hypot(velocity.x, velocity.y)
+        direction = (
+            0.0
+            if velocity.x == 0.0 and velocity.y == 0.0
+            else math.atan2(velocity.y, velocity.x)
+        )
+        campus.region_at(position)
+        obj_classifier.observe(node.node_id, speed, direction)
+        decision = obj_filter.decide(node.node_id, position, 1.0, 2.0)
+        if decision is FilterDecision.TRANSMIT:
+            transmitted += 1
+    object_s = _time.perf_counter() - start
+    assert transmitted > 0
+
+    speedup = object_s / columnar_s
+    benchmark.extra_info["nodes"] = n
+    benchmark.extra_info["columnar_nodes_per_s"] = n / columnar_s
+    benchmark.extra_info["object_nodes_per_s"] = len(nodes) / object_s
+    benchmark.extra_info["columnar_vs_object_speedup"] = speedup
+    assert speedup >= 5.0

@@ -19,21 +19,30 @@ Benchmarks may also attach application-level numbers via pytest-benchmark
 ``extra_info`` (e.g. ``bench_serving.py`` records ``msgs_per_s`` and
 ``p99_latency_s``).  Numeric keys present in both files are printed with
 their own ratios; with ``--fail-on-regress`` they gate too — keys ending
-in ``_per_s`` are rates (higher is better), everything else is a cost
-(lower is better).
+in ``_per_s`` or ``_speedup`` are rates (higher is better), everything
+else is a cost (lower is better).
+
+``--gate-keys PATTERN`` narrows the gate to extra_info keys matching the
+fnmatch pattern; timing rows and other keys then report only.  That is
+how CI gates hardware-independent ratios (``--gate-keys '*_speedup'``)
+while absolute wall-clock numbers, recorded on different hardware, stay
+informational.
 """
 
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import json
 import sys
 from pathlib import Path
 
 
-#: ``extra_info`` keys with this suffix are throughputs: a *drop* is the
-#: regression.  Everything else (latencies, counts) regresses upward.
-RATE_SUFFIX = "_per_s"
+#: ``extra_info`` keys with these suffixes are "higher is better": a
+#: *drop* is the regression.  ``_per_s`` marks throughputs, ``_speedup``
+#: hardware-independent ratios (e.g. columnar vs object path).  Everything
+#: else (latencies, counts) regresses upward.
+RATE_SUFFIXES = ("_per_s", "_speedup")
 
 
 def load_stats(path: Path) -> dict[str, dict[str, float]]:
@@ -73,7 +82,7 @@ def compare_extra_info(
             base, cand = baseline[name][key], candidate[name][key]
             if base <= 0 or cand <= 0:
                 continue  # counts of zero carry no ratio
-            if key.endswith(RATE_SUFFIX):
+            if key.endswith(RATE_SUFFIXES):
                 ratio = base / cand
             else:
                 ratio = cand / base
@@ -106,6 +115,14 @@ def main(argv: list[str] | None = None) -> int:
         help="exit 1 when any candidate/baseline min ratio exceeds RATIO "
         "(e.g. 1.25 tolerates 25%% slowdown; default: report only)",
     )
+    parser.add_argument(
+        "--gate-keys",
+        type=str,
+        default=None,
+        metavar="PATTERN",
+        help="with --fail-on-regress: gate only extra_info keys matching "
+        "this fnmatch pattern (timing rows become report-only)",
+    )
     args = parser.parse_args(argv)
 
     baseline = load_stats(args.baseline)
@@ -115,6 +132,7 @@ def main(argv: list[str] | None = None) -> int:
         print("no benchmarks in common between the two files", file=sys.stderr)
         return 2
 
+    gate_keys = args.gate_keys
     width = max(len(name) for name, *_ in rows)
     print(f"{'benchmark':<{width}}  {'base min':>10}  {'cand min':>10}  ratio")
     worst = 0.0
@@ -123,7 +141,8 @@ def main(argv: list[str] | None = None) -> int:
             f"{name:<{width}}  {base_min * 1000:>8.1f}ms  "
             f"{cand_min * 1000:>8.1f}ms  {ratio:5.2f}x"
         )
-        worst = max(worst, ratio)
+        if gate_keys is None:
+            worst = max(worst, ratio)
 
     extra_rows = compare_extra_info(
         load_extra_info(args.baseline), load_extra_info(args.candidate)
@@ -136,7 +155,8 @@ def main(argv: list[str] | None = None) -> int:
                 f"{name + ':' + key:<{label_width}}  {base:>12,.4g}  "
                 f"{cand:>12,.4g}  {ratio:5.2f}x"
             )
-            worst = max(worst, ratio)
+            if gate_keys is None or fnmatch.fnmatch(key, gate_keys):
+                worst = max(worst, ratio)
 
     only_base = sorted(baseline.keys() - candidate.keys())
     only_cand = sorted(candidate.keys() - baseline.keys())

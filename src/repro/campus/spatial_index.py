@@ -146,6 +146,36 @@ class RegionSpatialIndex:
         """(columns, rows) of the cell grid."""
         return (self._nx, self._ny)
 
+    def grid_geometry(self) -> tuple[float, float, float, float, float, float]:
+        """``(x_min, x_max, y_min, y_max, cell_w, cell_h)`` of the grid.
+
+        Raises for an empty index (there is no grid to describe).  The
+        columnar engine vectorises ``region_at`` from these parameters
+        plus :meth:`cell_table`, using the identical point-to-cell
+        arithmetic.
+        """
+        if not self._regions:
+            raise ValueError("empty index has no grid geometry")
+        return (
+            self._x_min,
+            self._x_max,
+            self._y_min,
+            self._y_max,
+            self._cell_w,
+            self._cell_h,
+        )
+
+    def cell_table(
+        self,
+    ) -> list[tuple[tuple[float, float, float, float, bool, Region], ...]]:
+        """Per-cell candidate entries, row-major, in query precedence order.
+
+        Each entry is ``(x_min, x_max, y_min, y_max, is_building, region)``
+        exactly as :meth:`region_at` walks them: the first containing
+        building wins, else the first containing road.
+        """
+        return list(self._cell_entries) if self._regions else []
+
     def max_candidates(self) -> int:
         """Largest candidate list over all cells (index quality metric)."""
         return max((len(c) for c in self._cells), default=0)

@@ -225,6 +225,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run a tiny built-in scenario (CI smoke test; sweep, chaos "
         "and serving)",
     )
+    scaling = parser.add_argument_group(
+        "scaling", "options for the population-scaling target"
+    )
+    scaling.add_argument(
+        "--node-counts",
+        type=int,
+        nargs="+",
+        default=[1_000, 10_000, 100_000],
+        metavar="N",
+        help="fleet sizes to sweep through the columnar engine",
+    )
+    scaling.add_argument(
+        "--sweep-duration",
+        type=float,
+        default=10.0,
+        help="simulated seconds per scaling point (the columnar sweep "
+        "ignores --duration so the 1800 s default cannot explode a "
+        "100k-node run)",
+    )
+    scaling.add_argument(
+        "--exact-kernel",
+        action="store_true",
+        help="use the bit-exact math kernel instead of the fast one",
+    )
     chaos = parser.add_argument_group("chaos", "options for the chaos target")
     chaos.add_argument(
         "--intensities",
@@ -748,6 +772,47 @@ def _serving_target(args: argparse.Namespace) -> int:
     print(report.summary())
     if args.export_json:
         print(f"wrote {report.write_json(args.export_json)}")
+    return 0
+
+
+@register_target(
+    "population-scaling",
+    description="columnar-engine fleet-size sweep: LU rate & RMSE at 1k-100k+ nodes",
+)
+def _population_scaling_target(args: argparse.Namespace) -> int:
+    """Sweep fleet sizes through the columnar engine and print the table."""
+    from repro.core.columnar.kernels import EXACT_KERNEL, FAST_KERNEL
+    from repro.experiments.scaling import population_sweep, render_population_table
+
+    kernel = EXACT_KERNEL if args.exact_kernel else FAST_KERNEL
+    points = population_sweep(
+        tuple(args.node_counts),
+        duration=args.sweep_duration,
+        seed=args.seed,
+        kernel=kernel,
+    )
+    print(render_population_table(points))
+    if args.export_json:
+        import json
+
+        payload = [
+            {
+                "target_nodes": p.target_nodes,
+                "node_count": p.node_count,
+                "reduction": p.reduction,
+                "lu_rate": p.lu_rate,
+                "ideal_lu_rate": p.ideal_lu_rate,
+                "rmse_with_le": p.rmse_with_le,
+                "wall_seconds": p.wall_seconds,
+                "steps": p.steps,
+                "node_steps_per_second": p.node_steps_per_second,
+            }
+            for p in points
+        ]
+        with open(args.export_json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.export_json}")
     return 0
 
 

@@ -1,0 +1,740 @@
+"""The columnar experiment engine: the harness loop as array ops.
+
+:class:`ColumnarExperiment` re-implements the per-step pipeline of
+:class:`repro.experiments.harness.MobileGridExperiment` — mobility,
+region resolution, association, per-lane filtering, broker estimation and
+measurement — over :class:`ColumnarNodeState` columns.  The object
+harness remains the reference spec; in *exact* kernel mode with an
+:class:`ObjectMobilitySource` this engine is bit-identical to it on
+every collected metric (locked by the golden parity test against the
+determinism fixture).
+
+Scope: the engine models the paper's ideal substrate — telemetry off, no
+fault schedule, lossless zero-latency channels (exactly the fixture and
+scaling-study configuration).  Anything richer needs the object harness;
+the constructor rejects unsupported configurations instead of silently
+diverging.
+
+Sequential-to-columnar correspondences worth knowing when reading the
+code:
+
+* accumulation chains (fleet speed sum, per-region squared error sums,
+  the general-DF global speed average) use :func:`chain_add` /
+  :func:`running_chain`, whose ``np.cumsum`` scan is bit-identical to the
+  object path's left-to-right ``+=`` loops;
+* BSAS cluster placement is inherently sequential (each placement
+  mutates the centroid the next node compares against), so it stays a
+  per-node loop over the real :class:`SequentialClusterer` — shared once
+  across all ADF lanes, which see identical update streams;
+* the distance-filter decide, Brown smoother recurrences and tracker
+  prediction are one-shot per node per step and vectorise exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import numpy as np
+
+from repro.campus import Campus, default_campus
+from repro.core.adf import AdfConfig
+from repro.core.clustering import MotionFeature, SequentialClusterer
+from repro.core.columnar.classifier import ColumnarClassifier
+from repro.core.columnar.kernels import (
+    EXACT_KERNEL,
+    MathKernel,
+    chain_add,
+    running_chain,
+)
+from repro.core.columnar.mobility import MobilitySource, ObjectMobilitySource
+from repro.core.columnar.state import PATTERN_CODES
+from repro.estimation.metrics import rmse
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.results import ExperimentResult, LaneResult, RegionErrors
+from repro.mobility.population import build_population
+from repro.mobility.states import MobilityState
+from repro.network.messages import LocationUpdate
+from repro.network.traffic import TrafficMeter
+from repro.telemetry import Telemetry
+from repro.util.rng import RngRegistry
+from repro.util.timeseries import TimeSeries
+
+__all__ = [
+    "ColumnarExperiment",
+    "RegionResolver",
+    "df_decide",
+    "run_columnar_experiment",
+]
+
+_STOP = PATTERN_CODES[MobilityState.STOP]
+
+
+def df_decide(
+    x: np.ndarray,
+    y: np.ndarray,
+    fix_x: np.ndarray,
+    fix_y: np.ndarray,
+    has_fix: np.ndarray,
+    dth: np.ndarray,
+    kernel: MathKernel,
+) -> np.ndarray:
+    """Vectorised ``DistanceFilter.decide`` gate for the whole population.
+
+    Returns the transmit mask: nodes without a reference fix always
+    transmit; others transmit when their displacement from the fix
+    exceeds their DTH.  Reference bookkeeping is the caller's (update
+    ``fix_x/fix_y/has_fix`` at the transmitting rows).
+    """
+    distance = kernel.hypot(x - fix_x, y - fix_y)
+    return ~has_fix | (distance > dth)
+
+
+class RegionResolver:
+    """Vectorised ``Campus.region_at`` plus home-region fallback.
+
+    Built from the campus spatial index's public grid geometry and cell
+    table; uses the identical point-to-cell arithmetic and candidate
+    precedence (first containing building, else first containing road),
+    so the resolved regions match the object path exactly.
+    """
+
+    def __init__(self, campus: Campus) -> None:
+        index = campus.spatial_index
+        self.region_ids: list[str] = list(campus.regions)
+        self.code_of: dict[str, int] = {
+            rid: i for i, rid in enumerate(self.region_ids)
+        }
+        self.is_road = np.asarray(
+            [campus.regions[rid].is_road for rid in self.region_ids], dtype=bool
+        )
+        (
+            self._x_min,
+            self._x_max,
+            self._y_min,
+            self._y_max,
+            self._cell_w,
+            self._cell_h,
+        ) = index.grid_geometry()
+        self._nx, self._ny = index.grid_shape
+        code_of = self.code_of
+        self._cells = [
+            tuple(
+                (x0, x1, y0, y1, is_building, code_of[region.region_id])
+                for (x0, x1, y0, y1, is_building, region) in entries
+            )
+            for entries in index.cell_table()
+        ]
+
+    def resolve(
+        self, x: np.ndarray, y: np.ndarray, fallback_codes: np.ndarray
+    ) -> np.ndarray:
+        """Region code per node; *fallback_codes* where no region contains."""
+        codes = fallback_codes.copy()
+        in_bounds = (
+            (x >= self._x_min)
+            & (x <= self._x_max)
+            & (y >= self._y_min)
+            & (y <= self._y_max)
+        )
+        idx_in = np.flatnonzero(in_bounds)
+        if not idx_in.size:
+            return codes
+        nx = self._nx
+        ix = np.clip(
+            ((x[idx_in] - self._x_min) / self._cell_w).astype(np.int64),
+            0,
+            nx - 1,
+        )
+        iy = np.clip(
+            ((y[idx_in] - self._y_min) / self._cell_h).astype(np.int64),
+            0,
+            self._ny - 1,
+        )
+        cell = iy * nx + ix
+        for c in np.unique(cell):
+            rows = idx_in[cell == c]
+            cx = x[rows]
+            cy = y[rows]
+            building_hit = np.full(rows.size, -1, dtype=np.int64)
+            road_hit = np.full(rows.size, -1, dtype=np.int64)
+            for x0, x1, y0, y1, is_building, code in self._cells[c]:
+                contains = (cx >= x0) & (cx <= x1) & (cy >= y0) & (cy <= y1)
+                if is_building:
+                    building_hit = np.where(
+                        contains & (building_hit == -1), code, building_hit
+                    )
+                else:
+                    road_hit = np.where(
+                        contains & (road_hit == -1), code, road_hit
+                    )
+            hit = np.where(building_hit != -1, building_hit, road_hit)
+            found = hit != -1
+            codes[rows[found]] = hit[found]
+        return codes
+
+
+class _BrownBrokerState:
+    """Columnar Brown trackers + latest-record map for one with-LE broker."""
+
+    def __init__(self, n: int, alpha: float) -> None:
+        self.alpha = alpha
+        self.sp_s1 = np.zeros(n)
+        self.sp_s2 = np.zeros(n)
+        self.sp_n = np.zeros(n, dtype=np.int64)
+        self.dc_s1 = np.zeros(n)
+        self.dc_s2 = np.zeros(n)
+        self.ds_s1 = np.zeros(n)
+        self.ds_s2 = np.zeros(n)
+        self.dir_n = np.zeros(n, dtype=np.int64)
+        self.last_x = np.zeros(n)
+        self.last_y = np.zeros(n)
+        self.last_t = np.zeros(n)
+        self.cap = np.full(n, np.nan)
+        self.known = np.zeros(n, dtype=bool)
+        self.updated = np.zeros(n, dtype=bool)
+        # The location DB's latest-record positions (estimates overwrite).
+        self.bel_x = np.zeros(n)
+        self.bel_y = np.zeros(n)
+
+    def receive(
+        self,
+        idx: np.ndarray,
+        x: np.ndarray,
+        y: np.ndarray,
+        vx: np.ndarray,
+        vy: np.ndarray,
+        speeds: np.ndarray,
+        dth: np.ndarray,
+        now: float,
+    ) -> None:
+        """Absorb the transmitting rows *idx* (Brown recurrences inlined)."""
+        a = self.alpha
+        sp = speeds[idx]
+        first = self.sp_n[idx] == 0
+        s1 = np.where(first, sp, a * sp + (1.0 - a) * self.sp_s1[idx])
+        s2 = np.where(first, sp, a * s1 + (1.0 - a) * self.sp_s2[idx])
+        self.sp_s1[idx] = s1
+        self.sp_s2[idx] = s2
+        self.sp_n[idx] += 1
+        moving = sp > 1e-9
+        midx = idx[moving]
+        if midx.size:
+            ms = speeds[midx]
+            firstd = self.dir_n[midx] == 0
+            c = vx[midx] / ms
+            c1 = np.where(firstd, c, a * c + (1.0 - a) * self.dc_s1[midx])
+            c2 = np.where(firstd, c, a * c1 + (1.0 - a) * self.dc_s2[midx])
+            self.dc_s1[midx] = c1
+            self.dc_s2[midx] = c2
+            s = vy[midx] / ms
+            t1 = np.where(firstd, s, a * s + (1.0 - a) * self.ds_s1[midx])
+            t2 = np.where(firstd, s, a * t1 + (1.0 - a) * self.ds_s2[midx])
+            self.ds_s1[midx] = t1
+            self.ds_s2[midx] = t2
+            self.dir_n[midx] += 1
+        self.last_x[idx] = x[idx]
+        self.last_y[idx] = y[idx]
+        self.last_t[idx] = now
+        d = dth[idx]
+        self.cap[idx] = np.where(d > 0.0, d, np.nan)
+        self.known[idx] = True
+        self.updated[idx] = True
+        self.bel_x[idx] = x[idx]
+        self.bel_y[idx] = y[idx]
+
+    def tick(self, now: float, kernel: MathKernel) -> None:
+        """Estimate every known-but-silent node (BrownTracker.predict)."""
+        silent = self.known & ~self.updated
+        self.updated[:] = False
+        idx = np.flatnonzero(silent)
+        if not idx.size:
+            return
+        lx = self.last_x[idx]
+        ly = self.last_y[idx]
+        px = lx.copy()
+        py = ly.copy()
+        dt = np.maximum(now - self.last_t[idx], 0.0)
+        a = self.alpha
+        q = a / (1.0 - a)
+        s1 = self.sp_s1[idx]
+        s2 = self.sp_s2[idx]
+        speed = np.maximum(2.0 * s1 - s2 + 1.0 * (q * (s1 - s2)), 0.0)
+        active = (dt > 0.0) & (self.sp_n[idx] > 0)
+        active &= (speed > 1e-9) & (self.dir_n[idx] > 0)
+        c1 = self.dc_s1[idx]
+        c2 = self.dc_s2[idx]
+        c = 2.0 * c1 - c2 + 1.0 * (q * (c1 - c2))
+        t1 = self.ds_s1[idx]
+        t2 = self.ds_s2[idx]
+        s = 2.0 * t1 - t2 + 1.0 * (q * (t1 - t2))
+        norm = kernel.hypot(c, s)
+        active &= norm > 1e-9
+        over = active & (norm > 1.0)
+        c = np.divide(c, norm, out=c.copy(), where=over)
+        s = np.divide(s, norm, out=s.copy(), where=over)
+        k = speed * dt
+        cand_x = lx + c * k
+        cand_y = ly + s * k
+        ox = cand_x - lx
+        oy = cand_y - ly
+        distance = kernel.hypot(ox, oy)
+        cap = self.cap[idx]
+        # A NaN cap (no DTH on the last LU) never compares greater: no clamp.
+        capped = active & (distance > cap)
+        scale = np.divide(
+            cap, distance, out=np.ones_like(distance), where=capped
+        )
+        fx = np.where(capped, lx + ox * scale, cand_x)
+        fy = np.where(capped, ly + oy * scale, cand_y)
+        px = np.where(active, fx, px)
+        py = np.where(active, fy, py)
+        self.bel_x[idx] = px
+        self.bel_y[idx] = py
+
+
+class _LastKnownBrokerState:
+    """Columnar no-LE broker: estimates repeat the last received fix.
+
+    Its estimation sweep never moves a believed position, so only the
+    receive side exists.
+    """
+
+    def __init__(self, n: int) -> None:
+        self.known = np.zeros(n, dtype=bool)
+        self.bel_x = np.zeros(n)
+        self.bel_y = np.zeros(n)
+
+    def receive(self, idx: np.ndarray, x: np.ndarray, y: np.ndarray) -> None:
+        self.known[idx] = True
+        self.bel_x[idx] = x[idx]
+        self.bel_y[idx] = y[idx]
+
+
+class _AdfBrain:
+    """The classify/cluster/DTH pipeline shared by every ADF lane.
+
+    All ADF lanes process the identical update stream (process() runs for
+    every LU regardless of the filter outcome), so their classifier and
+    cluster state evolve identically — only the DTH factor, distance
+    filter and downstream measurement differ.  One brain therefore serves
+    all ADF lanes, exactly reproducing each lane's own pipeline.
+    """
+
+    def __init__(
+        self, config: AdfConfig, node_ids: list[str], kernel: MathKernel
+    ) -> None:
+        self.classifier = ColumnarClassifier(
+            config.classifier, len(node_ids), kernel
+        )
+        self.clusterer = SequentialClusterer(
+            config.alpha,
+            direction_weight=config.direction_weight,
+            max_clusters=config.max_clusters,
+        )
+        self.node_ids = node_ids
+        self.recluster_interval = config.recluster_interval
+        self.last_recluster = 0.0
+        self.reconstructions = 0
+        self.reassignments = 0
+        #: Cluster average speed captured right after each node's
+        #: placement — the sequencing ClusterAverageDth sees (later
+        #: placements this step may shift the cluster mean, but each
+        #: node's DTH derives from the cluster as it stood at its turn).
+        self.avg = np.zeros(len(node_ids))
+
+    def update(self, speeds: np.ndarray, directions: np.ndarray) -> np.ndarray:
+        labels = self.classifier.observe(speeds, directions)
+        self._place_all(labels, reconstructing=False)
+        return labels
+
+    def _place_all(self, labels: np.ndarray, *, reconstructing: bool) -> None:
+        means = self.classifier.mean_speed.tolist()
+        dirs = self.classifier.mean_directions().tolist()
+        labels_list = labels.tolist()
+        clusterer = self.clusterer
+        avg = self.avg
+        for i, nid in enumerate(self.node_ids):
+            if labels_list[i] == _STOP:
+                clusterer.unassign(nid)
+                if not reconstructing:
+                    avg[i] = 0.0
+                continue
+            feature = MotionFeature(means[i], dirs[i])
+            if reconstructing:
+                clusterer.assign(nid, feature)
+                continue
+            before = clusterer.cluster_of(nid)
+            cluster = clusterer.assign(nid, feature)
+            if before is not None and before.cluster_id != cluster.cluster_id:
+                self.reassignments += 1
+            avg[i] = cluster.average_speed
+
+    def tick(self, now: float) -> bool:
+        if now - self.last_recluster < self.recluster_interval:
+            return False
+        self.clusterer.clear()
+        self._place_all(self.classifier.labels, reconstructing=True)
+        self.reconstructions += 1
+        self.last_recluster = now
+        return True
+
+    def cluster_summary(self) -> dict[str, float]:
+        sizes = [len(c) for c in self.clusterer.clusters]
+        return {
+            "clusters": float(len(sizes)),
+            "clustered_nodes": float(sum(sizes)),
+            "mean_size": float(sum(sizes) / len(sizes)) if sizes else 0.0,
+            "reconstructions": float(self.reconstructions),
+            "reassignments": float(self.reassignments),
+        }
+
+
+class _GdfBrain:
+    """The global-average speed state shared by every general-DF lane."""
+
+    def __init__(self) -> None:
+        self.speed_sum = 0.0
+        self.count = 0
+
+    def observe(self, speeds: np.ndarray) -> np.ndarray:
+        """Per-node global average *as of that node's turn* this step."""
+        running = running_chain(self.speed_sum, speeds)
+        counts = np.arange(
+            self.count + 1, self.count + len(speeds) + 1, dtype=np.float64
+        )
+        avg = running / counts
+        self.speed_sum = float(running[-1])
+        self.count += len(speeds)
+        return avg
+
+
+class _ColumnarLane:
+    """Per-lane filter, meter and broker state in columnar form."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        dth_factor: float | None,
+        n: int,
+        n_regions: int,
+        smoothing_alpha: float,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.dth_factor = dth_factor
+        # Distance-filter references.
+        self.fix_x = np.zeros(n)
+        self.fix_y = np.zeros(n)
+        self.has_fix = np.zeros(n, dtype=bool)
+        self.received = 0
+        self.transmitted = 0
+        self.suppressed = 0
+        # Traffic-meter accumulators (folded into a TrafficMeter at collect).
+        self.m_total = 0
+        self.m_bytes = 0
+        self.m_region = np.zeros(n_regions, dtype=np.int64)
+        self.m_node = np.zeros(n, dtype=np.int64)
+        self.m_bins: Counter[int] = Counter()
+        self.with_le = _BrownBrokerState(n, smoothing_alpha)
+        self.without_le = _LastKnownBrokerState(n)
+        self.rmse_with_le = TimeSeries()
+        self.rmse_without_le = TimeSeries()
+        self.region_errors_with_le = RegionErrors()
+        self.region_errors_without_le = RegionErrors()
+        self.cluster_series = TimeSeries()
+
+
+class ColumnarExperiment:
+    """The struct-of-arrays evaluation engine."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        *,
+        campus: Campus | None = None,
+        source: MobilitySource | None = None,
+        kernel: MathKernel = EXACT_KERNEL,
+    ) -> None:
+        self.config = config or ExperimentConfig()
+        cfg = self.config
+        self.kernel = kernel
+        self.campus = campus or default_campus()
+        self.telemetry = Telemetry.from_config(cfg.telemetry)
+        if self.telemetry.enabled:
+            raise ValueError(
+                "the columnar engine does not support telemetry; "
+                "use MobileGridExperiment"
+            )
+        if cfg.faults is not None and cfg.faults:
+            raise ValueError(
+                "the columnar engine does not support fault schedules; "
+                "use MobileGridExperiment"
+            )
+        if cfg.channel_loss != 0.0 or cfg.channel_latency != 0.0:
+            raise ValueError(
+                "the columnar engine models the lossless zero-latency "
+                "substrate only; use MobileGridExperiment"
+            )
+        if source is None:
+            nodes = build_population(
+                self.campus, cfg.population, RngRegistry(cfg.seed)
+            )
+            source = ObjectMobilitySource(nodes)
+        self.source = source
+        self.state = source.build_state()
+        self.node_ids: list[str] = list(self.state.node_ids)
+        n = len(self.state)
+        if n == 0:
+            raise ValueError("the mobility source produced no nodes")
+        self.resolver = RegionResolver(self.campus)
+        self._home_codes = np.asarray(
+            [self.resolver.code_of[h] for h in source.home_regions()],
+            dtype=np.int64,
+        )
+        # Association view (one for the whole experiment, as in the harness).
+        self._serving = np.full(n, -1, dtype=np.int64)
+        self.handoffs = 0
+        self.associations = 0
+        self.registration_messages = 0
+        self._speed_sum = 0.0
+        self._speed_count = 0
+        self._classified_right = 0
+        self._classified_total = 0
+        n_regions = len(self.resolver.region_ids)
+        self._bin_width = min(1.0, cfg.report_interval)
+        self._size_bytes = LocationUpdate.size_bytes
+        self.lanes: list[_ColumnarLane] = [
+            _ColumnarLane("ideal", "ideal", None, n, n_regions, cfg.smoothing_alpha)
+        ]
+        for factor in cfg.dth_factors:
+            self.lanes.append(
+                _ColumnarLane(
+                    f"adf-{factor:g}", "adf", factor, n, n_regions,
+                    cfg.smoothing_alpha,
+                )
+            )
+        if cfg.include_general_df:
+            for factor in cfg.dth_factors:
+                self.lanes.append(
+                    _ColumnarLane(
+                        f"gdf-{factor:g}", "gdf", factor, n, n_regions,
+                        cfg.smoothing_alpha,
+                    )
+                )
+        self.adf_brain = _AdfBrain(
+            cfg.adf_config(cfg.dth_factors[0]), self.node_ids, kernel
+        )
+        self.gdf_brain = _GdfBrain() if cfg.include_general_df else None
+        self._zero_dth = np.zeros(n)
+
+    # -- one reporting interval ---------------------------------------------
+    def _step(self, now: float) -> None:
+        cfg = self.config
+        state = self.state
+        kernel = self.kernel
+        n = len(state)
+        self.source.advance(state, cfg.report_interval)
+        x, y, vx, vy = state.x, state.y, state.vx, state.vy
+        speeds = kernel.hypot(vx, vy)
+        directions = np.where(
+            (vx == 0.0) & (vy == 0.0), 0.0, kernel.atan2(vy, vx)
+        )
+        self._speed_sum = chain_add(self._speed_sum, speeds)
+        self._speed_count += n
+        codes = self.resolver.resolve(x, y, self._home_codes)
+        on_road = self.resolver.is_road[codes]
+        # Association: observe() runs only for nodes whose serving region
+        # changed; first sight is an association, later changes a handoff.
+        changed = codes != self._serving
+        if np.any(changed):
+            new = changed & (self._serving == -1)
+            n_new = int(np.count_nonzero(new))
+            n_handoff = int(np.count_nonzero(changed)) - n_new
+            self.associations += n_new
+            self.handoffs += n_handoff
+            self.registration_messages += 2 * n_handoff
+            self._serving[changed] = codes[changed]
+        labels = self.adf_brain.update(speeds, directions)
+        gdf_avg = (
+            self.gdf_brain.observe(speeds) if self.gdf_brain is not None else None
+        )
+        interval = cfg.report_interval
+        bin_index = math.ceil(now / self._bin_width) - 1
+        if bin_index < 0:
+            bin_index = 0
+        for lane in self.lanes:
+            if lane.kind == "ideal":
+                dth_arr = self._zero_dth
+                idx = np.arange(n)
+                transmitted = n
+            else:
+                if lane.kind == "adf":
+                    dth_arr = (lane.dth_factor * self.adf_brain.avg) * interval
+                else:
+                    dth_arr = (lane.dth_factor * gdf_avg) * interval
+                lane.received += n
+                transmit = df_decide(
+                    x, y, lane.fix_x, lane.fix_y, lane.has_fix, dth_arr, kernel
+                )
+                idx = np.flatnonzero(transmit)
+                transmitted = idx.size
+                lane.fix_x[idx] = x[idx]
+                lane.fix_y[idx] = y[idx]
+                lane.has_fix[idx] = True
+                lane.suppressed += n - transmitted
+            lane.transmitted += transmitted
+            lane.m_total += transmitted
+            lane.m_bytes += transmitted * self._size_bytes
+            lane.m_region += np.bincount(
+                codes[idx], minlength=len(lane.m_region)
+            )
+            lane.m_node[idx] += 1
+            lane.m_bins[bin_index] += transmitted
+            lane.with_le.receive(idx, x, y, vx, vy, speeds, dth_arr, now)
+            lane.without_le.receive(idx, x, y)
+        self.adf_brain.tick(now)
+        cluster_count = float(self.adf_brain.clusterer.cluster_count())
+        for lane in self.lanes:
+            if lane.kind == "adf":
+                lane.cluster_series.append(now, cluster_count)
+            lane.with_le.tick(now, kernel)
+        self._measure(now, x, y, on_road)
+        valid = state.pattern >= 0
+        self._classified_total += int(np.count_nonzero(valid))
+        self._classified_right += int(
+            np.count_nonzero(valid & (labels == state.pattern))
+        )
+
+    def _measure(
+        self, now: float, x: np.ndarray, y: np.ndarray, on_road: np.ndarray
+    ) -> None:
+        kernel = self.kernel
+        for lane in self.lanes:
+            for broker, series, region_errors in (
+                (lane.with_le, lane.rmse_with_le, lane.region_errors_with_le),
+                (
+                    lane.without_le,
+                    lane.rmse_without_le,
+                    lane.region_errors_without_le,
+                ),
+            ):
+                idx = np.flatnonzero(broker.known)
+                if not idx.size:
+                    continue
+                err = kernel.hypot(
+                    x[idx] - broker.bel_x[idx], y[idx] - broker.bel_y[idx]
+                )
+                sq = err * err
+                road = on_road[idx]
+                region_errors.road_sq_sum = chain_add(
+                    region_errors.road_sq_sum, sq[road]
+                )
+                region_errors.road_count += int(np.count_nonzero(road))
+                region_errors.building_sq_sum = chain_add(
+                    region_errors.building_sq_sum, sq[~road]
+                )
+                region_errors.building_count += int(np.count_nonzero(~road))
+                series.append(now, rmse(err))
+
+    # -- the run -------------------------------------------------------------
+    def run(self) -> ExperimentResult:
+        """Execute the configured duration and collect all measurements.
+
+        The step times replicate the simulator's periodic schedule: the
+        first step fires at ``report_interval`` (even past a shorter
+        duration, matching the drain of the final in-flight event) and
+        subsequent times accumulate by addition while they stay within
+        the duration.
+        """
+        interval = self.config.report_interval
+        duration = self.config.duration
+        t = interval
+        while True:
+            self._step(t)
+            nxt = t + interval
+            if nxt > duration:
+                break
+            t = nxt
+        return self._collect()
+
+    def _collect(self) -> ExperimentResult:
+        cfg = self.config
+        lanes: dict[str, LaneResult] = {}
+        for lane in self.lanes:
+            meter = TrafficMeter(lane.name, bin_width=self._bin_width)
+            per_region = {
+                self.resolver.region_ids[i]: int(count)
+                for i, count in enumerate(lane.m_region.tolist())
+                if count
+            }
+            per_node = {
+                nid: int(count)
+                for nid, count in zip(self.node_ids, lane.m_node.tolist())
+                if count
+            }
+            meter.add_counts(
+                messages=lane.m_total,
+                total_bytes=lane.m_bytes,
+                per_region=per_region,
+                per_node=per_node,
+                bins=dict(lane.m_bins),
+            )
+            summary: dict[str, float] = {}
+            if lane.kind == "adf":
+                received = lane.received
+                summary = {
+                    "received": float(received),
+                    "transmitted": float(lane.transmitted),
+                    "suppressed": float(lane.suppressed),
+                    "suppression_rate": (
+                        lane.suppressed / received if received else 0.0
+                    ),
+                }
+                summary.update(self.adf_brain.cluster_summary())
+            lanes[lane.name] = LaneResult(
+                name=lane.name,
+                dth_factor=lane.dth_factor,
+                meter=meter,
+                rmse_with_le=lane.rmse_with_le,
+                rmse_without_le=lane.rmse_without_le,
+                region_errors_with_le=lane.region_errors_with_le,
+                region_errors_without_le=lane.region_errors_without_le,
+                filter_summary=summary,
+                cluster_series=lane.cluster_series,
+                kind=lane.kind,
+            )
+        accuracy = (
+            self._classified_right / self._classified_total
+            if self._classified_total
+            else 0.0
+        )
+        mean_speed = (
+            self._speed_sum / self._speed_count if self._speed_count else 0.0
+        )
+        return ExperimentResult(
+            duration=cfg.duration,
+            report_interval=cfg.report_interval,
+            node_count=len(self.state),
+            lanes=lanes,
+            road_region_ids=[r.region_id for r in self.campus.roads()],
+            building_region_ids=[r.region_id for r in self.campus.buildings()],
+            classification_accuracy=accuracy,
+            average_fleet_speed=mean_speed,
+            handoffs=self.handoffs,
+            telemetry=self.telemetry.snapshot(),
+        )
+
+
+def run_columnar_experiment(
+    config: ExperimentConfig | None = None,
+    *,
+    campus: Campus | None = None,
+    source: MobilitySource | None = None,
+    kernel: MathKernel = EXACT_KERNEL,
+) -> ExperimentResult:
+    """Convenience wrapper: build, run and collect in one call."""
+    return ColumnarExperiment(
+        config, campus=campus, source=source, kernel=kernel
+    ).run()

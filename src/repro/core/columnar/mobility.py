@@ -1,0 +1,305 @@
+"""Mobility sources feeding the columnar engine.
+
+Two implementations of one protocol:
+
+* :class:`ObjectMobilitySource` steps the real :class:`MobileNode`
+  objects and scatters their positions/velocities into the columns.  It
+  draws from exactly the same per-node RNG streams as the object
+  harness, so the columnar engine on top of it is bit-identical to the
+  reference — this is the parity-test configuration.
+
+* :class:`ColumnarMobilitySource` generates the population natively in
+  arrays: per-pattern vectorised kernels (SS / RMS / LMS) with batched
+  RNG draws from a single seeded generator.  It is seed-deterministic
+  in its own right and follows the same Table 1 structure (regions,
+  pattern mix, velocity bands), but is a *synthetic* large-scale
+  workload, not a bit-replica of the object models — it exists so
+  100k–1M-node populations can be stepped at array speed.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.campus import Campus
+from repro.mobility.node import MobileNode
+from repro.mobility.population import PopulationSpec, table1_spec
+from repro.mobility.states import MobilityState
+from repro.core.columnar.state import PATTERN_CODES, ColumnarNodeState
+
+__all__ = ["MobilitySource", "ObjectMobilitySource", "ColumnarMobilitySource"]
+
+
+class MobilitySource(Protocol):
+    """Fills the position/velocity columns of a state, one step at a time."""
+
+    def build_state(self) -> ColumnarNodeState:
+        """Create the population's initial columnar state."""
+        ...  # pragma: no cover - protocol
+
+    def advance(self, state: ColumnarNodeState, dt: float) -> None:
+        """Advance every node by *dt*, updating x/y/vx/vy in place."""
+        ...  # pragma: no cover - protocol
+
+    def home_regions(self) -> list[str]:
+        """Each node's home region id, in node order."""
+        ...  # pragma: no cover - protocol
+
+
+class ObjectMobilitySource:
+    """Steps real ``MobileNode`` objects into the columns (reference mode)."""
+
+    def __init__(self, nodes: list[MobileNode]) -> None:
+        self.nodes = nodes
+
+    def build_state(self) -> ColumnarNodeState:
+        return ColumnarNodeState.from_nodes(self.nodes)
+
+    def home_regions(self) -> list[str]:
+        return [node.home_region for node in self.nodes]
+
+    def advance(self, state: ColumnarNodeState, dt: float) -> None:
+        x, y = state.x, state.y
+        vx, vy = state.vx, state.vy
+        for i, node in enumerate(self.nodes):
+            sample = node.advance(dt)
+            position = sample.position
+            velocity = sample.velocity
+            x[i] = position.x
+            y[i] = position.y
+            vx[i] = velocity.x
+            vy[i] = velocity.y
+
+
+class ColumnarMobilitySource:
+    """Native array-kernel population for large-scale runs.
+
+    Nodes are laid out per region following the Table 1 proportions of
+    *spec*: roads carry LMS humans and vehicles shuttling along the road
+    centreline; buildings carry SS (parked), RMS (random walk inside the
+    building bounds) and LMS (corridor shuttle) humans.  All stepping is
+    whole-population array arithmetic; all randomness comes from one
+    seeded ``default_rng`` in a fixed draw order, so runs are exactly
+    reproducible for a given (campus, spec, seed).
+    """
+
+    #: Probability an RMS node pauses when it reaches its waypoint, and
+    #: the pause-length bound — mirrors ``RandomWalkModel``'s parameters.
+    _PAUSE_PROBABILITY = 0.15
+    _MAX_PAUSE = 20.0
+    #: Relative per-step speed jitter of LMS nodes (``LinearPathModel``).
+    _SPEED_JITTER = 0.25
+
+    def __init__(
+        self,
+        campus: Campus,
+        spec: PopulationSpec | None = None,
+        *,
+        seed: int = 42,
+    ) -> None:
+        self.campus = campus
+        self.spec = spec or table1_spec()
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._build_columns()
+
+    # -- construction --------------------------------------------------------
+    def _build_columns(self) -> None:
+        spec = self.spec
+        node_ids: list[str] = []
+        pattern: list[int] = []
+        home: list[str] = []
+        seg_ax: list[float] = []
+        seg_ay: list[float] = []
+        seg_bx: list[float] = []
+        seg_by: list[float] = []
+        lo: list[float] = []
+        hi: list[float] = []
+        bx0: list[float] = []
+        bx1: list[float] = []
+        by0: list[float] = []
+        by1: list[float] = []
+
+        def add(nid: str, code: int, region_id: str, a, b, band, bounds) -> None:
+            node_ids.append(nid)
+            pattern.append(code)
+            home.append(region_id)
+            seg_ax.append(a[0])
+            seg_ay.append(a[1])
+            seg_bx.append(b[0])
+            seg_by.append(b[1])
+            lo.append(band[0])
+            hi.append(band[1])
+            bx0.append(bounds[0])
+            bx1.append(bounds[1])
+            by0.append(bounds[2])
+            by1.append(bounds[3])
+
+        linear = PATTERN_CODES[MobilityState.LINEAR]
+        random_code = PATTERN_CODES[MobilityState.RANDOM]
+        stop = PATTERN_CODES[MobilityState.STOP]
+        for region in self.campus.roads():
+            centerline = region.centerline
+            assert centerline is not None
+            a = (centerline.waypoints[0].x, centerline.waypoints[0].y)
+            b = (centerline.waypoints[-1].x, centerline.waypoints[-1].y)
+            bounds = (
+                region.bounds.x_min,
+                region.bounds.x_max,
+                region.bounds.y_min,
+                region.bounds.y_max,
+            )
+            hb = (spec.road_human_band.low, spec.road_human_band.high)
+            vb = (spec.road_vehicle_band.low, spec.road_vehicle_band.high)
+            rid = region.region_id
+            for i in range(spec.road_humans_per_road):
+                add(f"{rid}-human-{i:06d}", linear, rid, a, b, hb, bounds)
+            for i in range(spec.road_vehicles_per_road):
+                add(f"{rid}-vehicle-{i:06d}", linear, rid, a, b, vb, bounds)
+        for region in self.campus.buildings():
+            bounds = (
+                region.bounds.x_min,
+                region.bounds.x_max,
+                region.bounds.y_min,
+                region.bounds.y_max,
+            )
+            rid = region.region_id
+            if region.corridors:
+                corridor = region.corridors[0]
+                a = (corridor.waypoints[0].x, corridor.waypoints[0].y)
+                b = (corridor.waypoints[-1].x, corridor.waypoints[-1].y)
+            else:
+                a = (bounds[0], bounds[2])
+                b = (bounds[1], bounds[3])
+            sb = (spec.building_stop_band.low, spec.building_stop_band.high)
+            rb = (spec.building_random_band.low, spec.building_random_band.high)
+            lb = (spec.building_linear_band.low, spec.building_linear_band.high)
+            for i in range(spec.building_stop):
+                add(f"{rid}-SS-{i:06d}", stop, rid, a, b, sb, bounds)
+            for i in range(spec.building_random):
+                add(f"{rid}-RMS-{i:06d}", random_code, rid, a, b, rb, bounds)
+            for i in range(spec.building_linear):
+                add(f"{rid}-LMS-{i:06d}", linear, rid, a, b, lb, bounds)
+
+        n = len(node_ids)
+        self.node_ids = node_ids
+        self._home_regions = home
+        self._pattern = np.asarray(pattern, dtype=np.int8)
+        self._seg_ax = np.asarray(seg_ax)
+        self._seg_ay = np.asarray(seg_ay)
+        self._seg_bx = np.asarray(seg_bx)
+        self._seg_by = np.asarray(seg_by)
+        self._band_lo = np.asarray(lo)
+        self._band_hi = np.asarray(hi)
+        self._bx0 = np.asarray(bx0)
+        self._bx1 = np.asarray(bx1)
+        self._by0 = np.asarray(by0)
+        self._by1 = np.asarray(by1)
+        rng = self._rng
+        self._is_linear = self._pattern == linear
+        self._is_random = self._pattern == random_code
+        # LMS: arc-length fraction along the segment plus shuttle direction.
+        self._arc = rng.uniform(0.0, 1.0, n)
+        self._direction = np.where(rng.random(n) < 0.5, 1.0, -1.0)
+        self._base_speed = rng.uniform(self._band_lo, self._band_hi)
+        seg_dx = self._seg_bx - self._seg_ax
+        seg_dy = self._seg_by - self._seg_ay
+        self._seg_len = np.hypot(seg_dx, seg_dy)
+        self._seg_len[self._seg_len <= 0.0] = 1.0
+        # RMS: a current waypoint inside the building plus pause state.
+        self._start_x = rng.uniform(self._bx0, self._bx1)
+        self._start_y = rng.uniform(self._by0, self._by1)
+        self._target_x = rng.uniform(self._bx0, self._bx1)
+        self._target_y = rng.uniform(self._by0, self._by1)
+        self._walk_speed = np.maximum(
+            rng.uniform(self._band_lo, self._band_hi), 0.1
+        )
+        self._pause = np.zeros(n)
+
+    # -- the MobilitySource protocol ----------------------------------------
+    def build_state(self) -> ColumnarNodeState:
+        state = ColumnarNodeState(self.node_ids)
+        state.pattern[:] = self._pattern
+        lin = self._is_linear
+        state.x[:] = self._start_x
+        state.y[:] = self._start_y
+        state.x[lin] = (
+            self._seg_ax[lin]
+            + (self._seg_bx[lin] - self._seg_ax[lin]) * self._arc[lin]
+        )
+        state.y[lin] = (
+            self._seg_ay[lin]
+            + (self._seg_by[lin] - self._seg_ay[lin]) * self._arc[lin]
+        )
+        return state
+
+    def home_regions(self) -> list[str]:
+        return list(self._home_regions)
+
+    def advance(self, state: ColumnarNodeState, dt: float) -> None:
+        old_x = state.x.copy()
+        old_y = state.y.copy()
+        rng = self._rng
+        n = len(state)
+        # LMS: jittered shuttle along the segment, reflecting at the ends.
+        lin = self._is_linear
+        jitter = 1.0 + self._SPEED_JITTER * rng.standard_normal(n)
+        speed = np.clip(
+            self._base_speed * np.maximum(jitter, 0.1),
+            self._band_lo,
+            self._band_hi,
+        )
+        frac_step = speed * dt / self._seg_len
+        arc = self._arc + np.where(lin, self._direction * frac_step, 0.0)
+        # Reflect out-of-range arcs back into [0, 1] and flip direction.
+        over = arc > 1.0
+        under = arc < 0.0
+        arc[over] = 2.0 - arc[over]
+        arc[under] = -arc[under]
+        arc = np.clip(arc, 0.0, 1.0)
+        self._direction[over | under] *= -1.0
+        self._arc = arc
+        state.x[lin] = (
+            self._seg_ax[lin] + (self._seg_bx[lin] - self._seg_ax[lin]) * arc[lin]
+        )
+        state.y[lin] = (
+            self._seg_ay[lin] + (self._seg_by[lin] - self._seg_ay[lin]) * arc[lin]
+        )
+        # RMS: walk toward the waypoint; redraw (maybe pausing) on arrival.
+        rnd = self._is_random
+        if np.any(rnd):
+            dx = self._target_x - state.x
+            dy = self._target_y - state.y
+            dist = np.hypot(dx, dy)
+            paused = self._pause > 0.0
+            self._pause = np.maximum(self._pause - dt, 0.0)
+            travel = self._walk_speed * dt
+            moving = rnd & ~paused
+            reach = moving & (travel >= dist)
+            partial = moving & ~reach
+            scale = np.divide(
+                travel, dist, out=np.zeros_like(dist), where=dist > 0.0
+            )
+            state.x[partial] += dx[partial] * scale[partial]
+            state.y[partial] += dy[partial] * scale[partial]
+            state.x[reach] = self._target_x[reach]
+            state.y[reach] = self._target_y[reach]
+            # Arrivals: pick the next waypoint (and maybe a pause) for all
+            # nodes at once; unused draws keep the stream layout fixed.
+            new_tx = rng.uniform(self._bx0, self._bx1)
+            new_ty = rng.uniform(self._by0, self._by1)
+            pause_draw = rng.random(n)
+            pause_len = rng.uniform(1.0, self._MAX_PAUSE, n)
+            self._target_x[reach] = new_tx[reach]
+            self._target_y[reach] = new_ty[reach]
+            pausing = reach & (pause_draw < self._PAUSE_PROBABILITY)
+            self._pause[pausing] = pause_len[pausing]
+        # Velocities are derived from displacement, as MobileNode.advance
+        # derives them from the model step.
+        state.vx[:] = (state.x - old_x) / dt
+        state.vy[:] = (state.y - old_y) / dt
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ColumnarMobilitySource(n={len(self.node_ids)}, seed={self.seed})"

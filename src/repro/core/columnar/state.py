@@ -1,0 +1,156 @@
+"""Struct-of-arrays node state and its object-form conversions.
+
+One :class:`ColumnarNodeState` holds the whole population: position,
+velocity, heading, mobility pattern, current DTH and last-reported fix,
+each as one contiguous float64 (or int8) column.  The object form is a
+list of :class:`NodeSnapshot` — the conversion round-trips exactly
+(asserted by hypothesis tests), which is what lets the engine hand
+populations back and forth between the columnar and object paths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.geometry import Vec2
+from repro.mobility.states import MobilityState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mobility.node import MobileNode
+
+__all__ = [
+    "PATTERN_CODES",
+    "PATTERN_FROM_CODE",
+    "NO_PATTERN",
+    "NodeSnapshot",
+    "ColumnarNodeState",
+]
+
+#: Integer codes for the pattern column (``NO_PATTERN`` = unknown).
+NO_PATTERN = -1
+PATTERN_CODES: dict[MobilityState, int] = {
+    MobilityState.STOP: 0,
+    MobilityState.RANDOM: 1,
+    MobilityState.LINEAR: 2,
+}
+PATTERN_FROM_CODE: dict[int, MobilityState | None] = {
+    NO_PATTERN: None,
+    **{code: state for state, code in PATTERN_CODES.items()},
+}
+
+
+@dataclass(frozen=True, slots=True)
+class NodeSnapshot:
+    """The object form of one row of the columnar state."""
+
+    node_id: str
+    position: Vec2
+    velocity: Vec2
+    heading: float
+    pattern: MobilityState | None
+    dth: float
+    last_fix: Vec2 | None
+    last_fix_time: float | None
+
+
+class ColumnarNodeState:
+    """Columnar node state: one numpy column per field, one row per node."""
+
+    def __init__(self, node_ids: list[str]) -> None:
+        n = len(node_ids)
+        if len(set(node_ids)) != n:
+            raise ValueError("node ids must be unique")
+        self.node_ids: tuple[str, ...] = tuple(node_ids)
+        self.index_of: dict[str, int] = {nid: i for i, nid in enumerate(node_ids)}
+        self.n = n
+        self.x = np.zeros(n, dtype=np.float64)
+        self.y = np.zeros(n, dtype=np.float64)
+        self.vx = np.zeros(n, dtype=np.float64)
+        self.vy = np.zeros(n, dtype=np.float64)
+        self.heading = np.zeros(n, dtype=np.float64)
+        self.pattern = np.full(n, NO_PATTERN, dtype=np.int8)
+        self.dth = np.zeros(n, dtype=np.float64)
+        #: Last *transmitted* fix (the distance filter's reference point);
+        #: ``has_fix`` gates rows that never transmitted.
+        self.fix_x = np.zeros(n, dtype=np.float64)
+        self.fix_y = np.zeros(n, dtype=np.float64)
+        self.fix_time = np.zeros(n, dtype=np.float64)
+        self.has_fix = np.zeros(n, dtype=bool)
+
+    # -- conversions ---------------------------------------------------------
+    @classmethod
+    def from_nodes(cls, nodes: "list[MobileNode]") -> "ColumnarNodeState":
+        """Seed columnar state from live mobility objects."""
+        state = cls([node.node_id for node in nodes])
+        for i, node in enumerate(nodes):
+            position = node.position
+            velocity = node.velocity
+            state.x[i] = position.x
+            state.y[i] = position.y
+            state.vx[i] = velocity.x
+            state.vy[i] = velocity.y
+            state.heading[i] = (
+                0.0
+                if velocity.x == 0.0 and velocity.y == 0.0
+                else math.atan2(velocity.y, velocity.x)
+            )
+            true_state = node.true_state
+            if true_state is not None:
+                state.pattern[i] = PATTERN_CODES[true_state]
+        return state
+
+    @classmethod
+    def from_snapshots(cls, snapshots: list[NodeSnapshot]) -> "ColumnarNodeState":
+        """Build columnar state from the object form."""
+        state = cls([snap.node_id for snap in snapshots])
+        for i, snap in enumerate(snapshots):
+            state.x[i] = snap.position.x
+            state.y[i] = snap.position.y
+            state.vx[i] = snap.velocity.x
+            state.vy[i] = snap.velocity.y
+            state.heading[i] = snap.heading
+            state.pattern[i] = (
+                PATTERN_CODES[snap.pattern] if snap.pattern is not None else NO_PATTERN
+            )
+            state.dth[i] = snap.dth
+            if snap.last_fix is not None:
+                state.fix_x[i] = snap.last_fix.x
+                state.fix_y[i] = snap.last_fix.y
+                state.fix_time[i] = (
+                    snap.last_fix_time if snap.last_fix_time is not None else 0.0
+                )
+                state.has_fix[i] = True
+        return state
+
+    def to_snapshots(self) -> list[NodeSnapshot]:
+        """The object form of every row (inverse of ``from_snapshots``)."""
+        out: list[NodeSnapshot] = []
+        for i, node_id in enumerate(self.node_ids):
+            has_fix = bool(self.has_fix[i])
+            out.append(
+                NodeSnapshot(
+                    node_id=node_id,
+                    position=Vec2(float(self.x[i]), float(self.y[i])),
+                    velocity=Vec2(float(self.vx[i]), float(self.vy[i])),
+                    heading=float(self.heading[i]),
+                    pattern=PATTERN_FROM_CODE[int(self.pattern[i])],
+                    dth=float(self.dth[i]),
+                    last_fix=(
+                        Vec2(float(self.fix_x[i]), float(self.fix_y[i]))
+                        if has_fix
+                        else None
+                    ),
+                    last_fix_time=float(self.fix_time[i]) if has_fix else None,
+                )
+            )
+        return out
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ColumnarNodeState(n={self.n})"

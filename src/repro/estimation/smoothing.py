@@ -159,7 +159,6 @@ class HoltLinearSmoothing(_Smoother):
         self._beta = check_in_range(beta, "beta", 0.0, 1.0, inclusive=False)
         self._level = 0.0
         self._trend = 0.0
-        self._prev = 0.0
 
     def _absorb(self, value: float) -> None:
         if self._n == 0:
@@ -173,7 +172,6 @@ class HoltLinearSmoothing(_Smoother):
             self._trend = self._beta * (self._level - prev_level) + (
                 1.0 - self._beta
             ) * self._trend
-        self._prev = value
 
     @property
     def level(self) -> float:

@@ -303,10 +303,10 @@ class MobileGridExperiment:
         road_ids = self._road_region_ids
         take_seq = self._seq.take
         observe = self.associations.observe
-        # Same-package peek at the serving map: observe() is a no-op when
+        # Read-only view of the serving map: observe() is a no-op when
         # the node's serving region is unchanged (the overwhelmingly common
         # case — handoffs are rare), so only region changes pay the call.
-        serving = self.associations._serving
+        serving = self.associations.serving_view
         speed_sum = self._speed_sum
         speed_count = self._speed_count
         for node in self.nodes:
@@ -374,15 +374,17 @@ class MobileGridExperiment:
         When the update's region has no gateway (e.g. a node wandered off
         every mapped region), fall back to the gateway of *that node's*
         home region — not an arbitrary node's.  An update from an unknown
-        node with an unmapped region falls back to the first gateway so a
-        malformed update stays deterministic instead of crashing the run.
+        node with an unmapped region falls back to the lexicographically
+        first gateway region, so a malformed update lands on a gateway
+        chosen by the campus, not by dict insertion history, and stays
+        deterministic instead of crashing the run.
         """
         gateway = lane.gateways.get(update.region_id)
         if gateway is None:
             home = self._home_region_by_node.get(update.node_id, "")
             gateway = lane.gateways.get(home)
         if gateway is None:
-            gateway = next(iter(lane.gateways.values()))
+            gateway = lane.gateways[min(lane.gateways)]
         return gateway
 
     def _measure(

@@ -2,9 +2,16 @@
 
 The paper evaluates exactly 140 MNs.  A system claim like "reduces
 communication traffic" should be robust to fleet size, and a grid broker
-cares about how the cluster structure grows.  This module sweeps the
-population multiplier and reports, per size: LU reduction, cluster count,
-mean RMSE and wall-clock cost.
+cares about how the cluster structure grows.  Two sweeps live here:
+
+* :func:`scaling_sweep` multiplies the Table 1 population through the
+  *object* harness (2x-4x the paper's fleet) — full fidelity, object
+  speed.
+* :func:`population_sweep` pushes to 1k-100k+ nodes through the
+  *columnar* engine with the fast kernel and the native array mobility
+  source, reporting LU rate, reduction and RMSE versus fleet size along
+  with stepping throughput.  This is the regime the object path cannot
+  reach in reasonable wall-clock.
 """
 
 from __future__ import annotations
@@ -15,7 +22,13 @@ from dataclasses import dataclass, replace
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import run_experiment
 
-__all__ = ["ScalingPoint", "scaling_sweep"]
+__all__ = [
+    "ScalingPoint",
+    "scaling_sweep",
+    "PopulationPoint",
+    "population_sweep",
+    "render_population_table",
+]
 
 
 @dataclass(frozen=True)
@@ -70,3 +83,103 @@ def scaling_sweep(
             )
         )
     return points
+
+
+@dataclass(frozen=True)
+class PopulationPoint:
+    """One fleet size of the columnar population sweep."""
+
+    target_nodes: int
+    node_count: int
+    reduction: float
+    lu_rate: float
+    ideal_lu_rate: float
+    rmse_with_le: float
+    wall_seconds: float
+    steps: int
+
+    @property
+    def node_steps_per_second(self) -> float:
+        """Stepping throughput: node-steps per wall-clock second."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.node_count * self.steps / self.wall_seconds
+
+
+def population_sweep(
+    node_counts: tuple[int, ...] = (1_000, 10_000, 100_000),
+    *,
+    duration: float = 10.0,
+    dth_factor: float = 1.0,
+    seed: int = 42,
+    kernel=None,
+) -> list[PopulationPoint]:
+    """LU rate and estimation error versus fleet size, at array speed.
+
+    Each requested size is realised by scaling the Table 1 per-region
+    counts to the nearest multiple of the base 140-node fleet and running
+    the columnar engine over a native :class:`ColumnarMobilitySource`
+    population (the fast kernel by default — bit-parity with the object
+    path is the parity test's job, not the scaling study's).
+    """
+    from repro.campus import default_campus
+    from repro.core.columnar import ColumnarMobilitySource, run_columnar_experiment
+    from repro.core.columnar.kernels import FAST_KERNEL
+    from repro.mobility.population import table1_spec
+
+    if not node_counts:
+        raise ValueError("need at least one node count")
+    kernel = kernel if kernel is not None else FAST_KERNEL
+    campus = default_campus()
+    base_spec = table1_spec()
+    base_size = base_spec.total_for(
+        len(campus.roads()), len(campus.buildings())
+    )
+    lane_name = f"adf-{dth_factor:g}"
+    points: list[PopulationPoint] = []
+    for target in node_counts:
+        if target < 1:
+            raise ValueError(f"node counts must be >= 1, got {target}")
+        factor = max(1, round(target / base_size))
+        source = ColumnarMobilitySource(
+            campus, base_spec.scaled(factor), seed=seed
+        )
+        config = ExperimentConfig(
+            duration=duration, dth_factors=(dth_factor,), seed=seed
+        )
+        start = time.perf_counter()
+        result = run_columnar_experiment(
+            config, campus=campus, source=source, kernel=kernel
+        )
+        wall = time.perf_counter() - start
+        lane = result.lanes[lane_name]
+        ideal = result.lanes["ideal"]
+        points.append(
+            PopulationPoint(
+                target_nodes=target,
+                node_count=result.node_count,
+                reduction=result.reduction_vs_ideal(lane_name),
+                lu_rate=lane.meter.mean_rate(duration),
+                ideal_lu_rate=ideal.meter.mean_rate(duration),
+                rmse_with_le=lane.mean_rmse(with_le=True),
+                wall_seconds=wall,
+                steps=config.steps(),
+            )
+        )
+    return points
+
+
+def render_population_table(points: list[PopulationPoint]) -> str:
+    """The population sweep as an aligned text table."""
+    header = (
+        f"{'nodes':>9}  {'LU/s (adf)':>11}  {'LU/s (ideal)':>12}  "
+        f"{'reduction':>9}  {'RMSE w/LE':>9}  {'wall s':>8}  {'knode-steps/s':>13}"
+    )
+    lines = [header, "-" * len(header)]
+    for p in points:
+        lines.append(
+            f"{p.node_count:>9d}  {p.lu_rate:>11.1f}  {p.ideal_lu_rate:>12.1f}  "
+            f"{p.reduction:>8.1%}  {p.rmse_with_le:>9.2f}  {p.wall_seconds:>8.2f}  "
+            f"{p.node_steps_per_second / 1e3:>13.0f}"
+        )
+    return "\n".join(lines)

@@ -28,6 +28,7 @@ __all__ = [
     "UnsortedIterationRule",
     "UnsortedJsonRule",
     "DerivedFlagRule",
+    "PrivatePeekRule",
     "MetricNameRule",
     "ConfigDefaultRule",
 ]
@@ -365,6 +366,88 @@ class DerivedFlagRule(LintRule):
                     f"assignment to derived flag .{target.attr} outside "
                     "network/channel.py / network/gateway.py",
                 )
+
+
+@register_rule
+class PrivatePeekRule(LintRule):
+    """INV002: no reads of another module's private attributes.
+
+    A ``_name`` attribute is a contract between a class and its own
+    module; code elsewhere that peeks at it (``obj._serving``,
+    ``channel._burst``) couples itself to internals that are free to
+    change without notice — the harness's old ``associations._serving``
+    read is the motivating bug.  Reads of ``self._x``/``cls._x`` are
+    fine, as is touching any ``_name`` the *current* module itself
+    defines (module-level privacy: helper classes in one file may share
+    internals).  The few deliberate peeks on the network fast path are
+    grandfathered in ``lint-baseline.json``; new ones need a public
+    accessor instead.
+    """
+
+    code = "INV002"
+    title = "cross-module private-attribute peek"
+    hint = (
+        "expose a public accessor/property on the owning class instead "
+        "of reading its _private attribute from outside its module"
+    )
+    node_types = (ast.Attribute,)
+
+    def applies_to(self, rel_path: str) -> bool:
+        return _under(rel_path, "src/repro")
+
+    def begin_file(self, ctx: FileContext) -> None:
+        #: every _name this module itself defines: self/cls attribute
+        #: assignments plus anything bound in a class body (methods,
+        #: class attributes, annotations).
+        defined: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    list(node.targets)
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in ("self", "cls")
+                    ):
+                        defined.add(target.attr)
+            elif isinstance(node, ast.ClassDef):
+                for stmt in node.body:
+                    if isinstance(
+                        stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        defined.add(stmt.name)
+                    elif isinstance(stmt, ast.Assign):
+                        for t in stmt.targets:
+                            if isinstance(t, ast.Name):
+                                defined.add(t.id)
+                    elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                        stmt.target, ast.Name
+                    ):
+                        defined.add(stmt.target.id)
+        self._module_private = defined
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, ast.Attribute)
+        if not isinstance(node.ctx, ast.Load):
+            return
+        name = node.attr
+        if not name.startswith("_") or name.startswith("__"):
+            return
+        receiver = node.value
+        if isinstance(receiver, ast.Name) and receiver.id in ("self", "cls"):
+            return
+        if name in self._module_private:
+            return
+        yield self.finding(
+            ctx,
+            node,
+            f"read of private attribute .{name} on an object from "
+            "another module",
+        )
 
 
 @register_rule

@@ -11,7 +11,9 @@ experiments can report total signalling, not just LUs.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
+from types import MappingProxyType
 
 from repro.network.gateway import WirelessGateway
 from repro.network.messages import LocationUpdate
@@ -60,6 +62,17 @@ class AssociationManager:
     def serving_region(self, node_id: str) -> str | None:
         """Region id of the gateway currently serving *node_id*."""
         return self._serving.get(node_id)
+
+    @property
+    def serving_view(self) -> Mapping[str, str]:
+        """Read-only live view of node id -> serving region.
+
+        For hot loops that probe the serving map per node per step (the
+        harness checks it before paying an ``observe`` call): a mapping
+        proxy costs one attribute read up front and nothing per lookup,
+        without handing mutable internals across the module boundary.
+        """
+        return MappingProxyType(self._serving)
 
     def serving_gateway(self, node_id: str) -> WirelessGateway | None:
         """The gateway object currently serving *node_id*."""

@@ -73,6 +73,36 @@ class TrafficMeter:
             self._per_node[node_id] += 1
         self._bytes += size_bytes
 
+    def add_counts(
+        self,
+        *,
+        messages: int,
+        total_bytes: int = 0,
+        per_region: dict[str, int] | None = None,
+        per_node: dict[str, int] | None = None,
+        bins: dict[int, int] | None = None,
+        events: list[tuple[float, str]] | None = None,
+    ) -> None:
+        """Merge pre-aggregated counts into the meter.
+
+        The columnar engine accumulates whole-population traffic in arrays
+        and folds the totals in once at collection time; *bins* applies in
+        binned retention mode (keyed by bin index), *events* in exact mode.
+        """
+        if messages < 0 or total_bytes < 0:
+            raise ValueError("counts must be >= 0")
+        self._total += messages
+        self._bytes += total_bytes
+        if per_region:
+            self._per_region.update(per_region)
+        if per_node:
+            self._per_node.update(per_node)
+        if self._bin_width is None:
+            if events:
+                self._events.extend(events)
+        elif bins:
+            self._bins.update(bins)
+
     @property
     def total(self) -> int:
         """Total messages counted."""

@@ -126,3 +126,38 @@ class TestProperties:
             b.update(intercept + slope * t)
         expected = intercept + slope * 400
         assert b.forecast(1) == pytest.approx(expected, rel=0.05, abs=0.5)
+
+
+class TestUpdateAbsorbEquivalence:
+    """``update`` must equal ``_absorb`` + ``_n`` + ``level`` for every
+    smoother.
+
+    ``BrownDoubleExponentialSmoothing.update`` is a concrete performance
+    override of the template method (one call per LU per component on the
+    broker hot path); this property pins it to the abstract recipe so the
+    two can never drift.
+    """
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: SimpleExponentialSmoothing(0.3),
+            lambda: BrownDoubleExponentialSmoothing(0.4),
+            lambda: HoltLinearSmoothing(0.4, 0.2),
+        ],
+        ids=["simple", "brown", "holt"],
+    )
+    @given(series=st.lists(values, min_size=1, max_size=40))
+    def test_update_equals_absorb_plus_level(self, factory, series):
+        via_update = factory()
+        via_absorb = factory()
+        for value in series:
+            returned = via_update.update(value)
+            via_absorb._absorb(float(value))
+            via_absorb._n += 1
+            # Bit-equality, not approx: update() must be the same
+            # arithmetic, not a reimplementation that happens to be close.
+            assert returned == via_absorb.level
+            assert via_update.level == via_absorb.level
+            assert via_update.n_observations == via_absorb.n_observations
+            assert via_update.forecast(2.5) == via_absorb.forecast(2.5)

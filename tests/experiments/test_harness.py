@@ -214,7 +214,9 @@ class TestGatewayFallbackRouting:
             sender="ghost", timestamp=0.0, node_id="ghost", region_id="offsite"
         )
         first = experiment._gateway_for(lane, update)
-        assert first is next(iter(lane.gateways.values()))
+        # Lexicographic min, not insertion order: the fallback must not
+        # depend on the order regions happened to be registered in.
+        assert first is lane.gateways[min(lane.gateways)]
 
 
 def _two_region_campus():

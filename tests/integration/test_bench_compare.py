@@ -1,0 +1,130 @@
+"""benchmarks/compare.py: the regression gate CI and local runs share.
+
+Loaded by path (benchmarks/ is not a package); exercises the ``main``
+entry point the same way the CI step invokes it, with synthetic
+pytest-benchmark JSON pairs.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_compare():
+    spec = importlib.util.spec_from_file_location(
+        "bench_compare", _REPO_ROOT / "benchmarks" / "compare.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+compare = _load_compare()
+
+
+def _bench_json(path: Path, *, min_s: float, extra: dict) -> Path:
+    payload = {
+        "benchmarks": [
+            {
+                "name": "test_columnar_step_throughput_100k",
+                "stats": {"min": min_s},
+                "extra_info": extra,
+            }
+        ]
+    }
+    path.write_text(json.dumps(payload, sort_keys=True))
+    return path
+
+
+@pytest.fixture
+def pair(tmp_path):
+    def build(*, cand_min: float, cand_extra: dict) -> list[str]:
+        base = _bench_json(
+            tmp_path / "base.json",
+            min_s=0.1,
+            extra={"columnar_vs_object_speedup": 100.0, "nodes": 100_000},
+        )
+        cand = _bench_json(
+            tmp_path / "cand.json", min_s=cand_min, extra=cand_extra
+        )
+        return [str(base), str(cand)]
+
+    return build
+
+
+class TestGateKeys:
+    def test_clean_candidate_passes(self, pair):
+        argv = pair(
+            cand_min=0.1,
+            cand_extra={"columnar_vs_object_speedup": 100.0, "nodes": 100_000},
+        )
+        assert compare.main(argv + ["--fail-on-regress", "1.25"]) == 0
+
+    def test_speedup_drop_fails_even_with_gate_keys(self, pair, capsys):
+        # The speedup is a rate: 100x -> 50x is a 2.0x regression.
+        argv = pair(
+            cand_min=0.1,
+            cand_extra={"columnar_vs_object_speedup": 50.0, "nodes": 100_000},
+        )
+        args = ["--fail-on-regress", "1.25", "--gate-keys", "*_speedup"]
+        assert compare.main(argv + args) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_gate_keys_ignores_timing_regression(self, pair):
+        # 3x slower wall clock: fails the plain gate, passes the narrowed
+        # one — CI hardware differs from the baseline recorder's.
+        argv = pair(
+            cand_min=0.3,
+            cand_extra={"columnar_vs_object_speedup": 100.0, "nodes": 100_000},
+        )
+        assert compare.main(argv + ["--fail-on-regress", "1.25"]) == 1
+        assert (
+            compare.main(
+                argv
+                + ["--fail-on-regress", "1.25", "--gate-keys", "*_speedup"]
+            )
+            == 0
+        )
+
+    def test_gate_keys_ignores_other_extra_info(self, pair):
+        # A nodes-count growth is a >1 "cost" ratio but not a *_speedup
+        # key; narrowed gate stays green, the full extra_info gate trips.
+        argv = pair(
+            cand_min=0.1,
+            cand_extra={"columnar_vs_object_speedup": 100.0, "nodes": 200_000},
+        )
+        assert compare.main(argv + ["--fail-on-regress", "1.25"]) == 1
+        assert (
+            compare.main(
+                argv
+                + ["--fail-on-regress", "1.25", "--gate-keys", "*_speedup"]
+            )
+            == 0
+        )
+
+    def test_report_only_without_threshold(self, pair, capsys):
+        argv = pair(
+            cand_min=0.5,
+            cand_extra={"columnar_vs_object_speedup": 10.0, "nodes": 100_000},
+        )
+        assert compare.main(argv) == 0
+        out = capsys.readouterr().out
+        assert "columnar_vs_object_speedup" in out
+
+
+class TestCommittedBaseline:
+    def test_committed_baseline_has_the_gated_key(self):
+        """CI's --gate-keys '*_speedup' must have something to gate."""
+        data = json.loads((_REPO_ROOT / "BENCH_simulation.json").read_text())
+        keys = {
+            key
+            for bench in data["benchmarks"]
+            for key in bench.get("extra_info", {})
+        }
+        assert "columnar_vs_object_speedup" in keys

@@ -9,6 +9,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.lint.baseline import Baseline
 from repro.lint.cli import main
 from repro.lint.engine import find_repo_root, lint_paths
 
@@ -110,15 +111,22 @@ class TestBaselineWorkflow:
 
 
 class TestRepoCleanGate:
-    def test_checkout_lints_clean(self):
-        """The CI gate: the repo's own src/ and tests/ have no findings."""
+    def test_checkout_lints_clean_modulo_baseline(self):
+        """The CI gate: no new findings and no stale baseline entries."""
         findings = lint_paths(
             [REPO_ROOT / "src", REPO_ROOT / "tests"], root=REPO_ROOT
         )
-        assert findings == [], "\n".join(f.render() for f in findings)
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        new, _, stale = baseline.filter(findings)
+        assert new == [], "\n".join(f.render() for f in new)
+        assert stale == []
 
-    def test_committed_baseline_is_empty_if_present(self):
+    def test_committed_baseline_only_grandfathers_fast_path_peeks(self):
+        """Only INV002 (the deliberate hot-path private peeks) may be
+        grandfathered; every other rule stays strict everywhere."""
         path = REPO_ROOT / "lint-baseline.json"
         if path.is_file():
             data = json.loads(path.read_text())
-            assert data["fingerprints"] == {}
+            assert all(
+                "::INV002::" in fp for fp in data["fingerprints"]
+            ), sorted(data["fingerprints"])

@@ -46,6 +46,8 @@ class TestInv001DerivedFlags:
             )
 
     def test_reads_and_other_attributes_clean(self, lint_snippet):
+        # select=INV001: the read is INV001-clean but is exactly the kind
+        # of cross-module peek INV002 exists to flag.
         assert not lint_snippet(
             "src/repro/experiments/x.py",
             """\
@@ -54,7 +56,100 @@ class TestInv001DerivedFlags:
                 channel._budget = 3
                 return flag
             """,
+            select=["INV001"],
         )
+
+
+class TestInv002PrivatePeek:
+    def test_cross_module_read_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            "src/repro/experiments/x.py",
+            """\
+            def peek(manager):
+                return manager._serving.get("n1")
+            """,
+            select=["INV002"],
+        )
+        assert codes(findings) == ["INV002"]
+        assert "._serving" in findings[0].message
+
+    def test_self_and_cls_reads_clean(self, lint_snippet):
+        assert not lint_snippet(
+            "src/repro/network/x.py",
+            """\
+            class Meter:
+                def total(self):
+                    return self._total
+
+                @classmethod
+                def shared(cls):
+                    return cls._instance
+            """,
+            select=["INV002"],
+        )
+
+    def test_module_defined_attributes_clean(self, lint_snippet):
+        # Helper classes in one file may share internals: a _name the
+        # module itself defines (self-assignment or class body) is fair
+        # game for every class in that module.
+        assert not lint_snippet(
+            "src/repro/broker/x.py",
+            """\
+            class Tracker:
+                def __init__(self):
+                    self._last_time = None
+
+
+            class Broker:
+                def age(self, tracker, now):
+                    return now - tracker._last_time
+            """,
+            select=["INV002"],
+        )
+
+    def test_assignment_is_not_a_peek(self, lint_snippet):
+        # Writes are INV001's business (for derived flags); INV002 only
+        # cares about reads.
+        assert not lint_snippet(
+            "src/repro/experiments/x.py",
+            """\
+            def force(channel):
+                channel._budget = 3
+            """,
+            select=["INV002"],
+        )
+
+    def test_dunder_reads_clean(self, lint_snippet):
+        assert not lint_snippet(
+            "src/repro/util/x.py",
+            """\
+            def describe(obj):
+                return obj.__class__.__name__
+            """,
+            select=["INV002"],
+        )
+
+    def test_out_of_scope_paths_clean(self, lint_snippet):
+        # Tests and benchmarks may poke internals on purpose.
+        assert not lint_snippet(
+            "tests/network/x.py",
+            """\
+            def probe(manager):
+                return manager._serving
+            """,
+            select=["INV002"],
+        )
+
+    def test_chained_receiver_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            "src/repro/experiments/x.py",
+            """\
+            def peek(adf):
+                return adf.classifier._labels
+            """,
+            select=["INV002"],
+        )
+        assert codes(findings) == ["INV002"]
 
 
 class TestTel001MetricNames:
