@@ -86,8 +86,8 @@ def test_columnar_step_throughput_100k(benchmark):
 
     One "step" is the per-interval hot path both engines share: advance
     mobility, derive speed/heading, resolve regions, feed the classifier
-    windows and gate the distance filter.  (Cluster placement is a scalar
-    loop in both engines and is excluded.)  The object path is timed
+    windows and gate the distance filter.  (Cluster placement has its own
+    ratio gate, test_cluster_placement_speedup_100k.)  The object path is timed
     inside the test over the same fleet; the speedup lands in extra_info
     where `compare.py --gate-keys '*_speedup'` guards it — a
     hardware-independent ratio, unlike the absolute nodes/s.
@@ -178,3 +178,145 @@ def test_columnar_step_throughput_100k(benchmark):
     benchmark.extra_info["object_nodes_per_s"] = len(nodes) / object_s
     benchmark.extra_info["columnar_vs_object_speedup"] = speedup
     assert speedup >= 5.0
+
+
+def test_cluster_placement_speedup_100k(benchmark):
+    """100k-node BSAS placement: columnar struct-of-arrays vs objects.
+
+    The workload is the real thing: a 100k fleet advanced to classifier
+    steady state, whose per-step (stop mask, window mean speed/heading)
+    triples drive full placement sweeps.  The vectorized side is
+    `ColumnarClusterer.place_all` in batched mode — the epoch-chunked
+    path the 1M population rung runs on; the exact sequential mode is
+    timed alongside it.  The object side is the pre-columnar engine loop
+    over `SequentialClusterer`, faithfully: string node ids, the
+    full-width `mean_directions()` readback per sweep, a checked
+    `MotionFeature` per node, the `cluster_of` pre-lookup this PR
+    removed, and per-node `average_speed` writes into a numpy row.  Both
+    ratios land in extra_info where `compare.py --gate-keys '*_speedup'`
+    guards them.
+    """
+    import time as _time
+
+    import numpy as np
+
+    from repro.campus import default_campus
+    from repro.core.classifier import ClassifierConfig
+    from repro.core.clustering import MotionFeature, SequentialClusterer
+    from repro.core.columnar import ColumnarClassifier, ColumnarMobilitySource
+    from repro.core.columnar.clustering import ColumnarClusterer
+    from repro.core.columnar.kernels import FAST_KERNEL
+    from repro.core.columnar.state import PATTERN_CODES
+    from repro.mobility.population import table1_spec
+    from repro.mobility.states import MobilityState
+
+    campus = default_campus()
+    spec = table1_spec()
+    base = spec.total_for(len(campus.roads()), len(campus.buildings()))
+    factor = max(1, round(100_000 / base))
+    source = ColumnarMobilitySource(campus, spec.scaled(factor), seed=42)
+    state = source.build_state()
+    n = len(state)
+    assert n >= 99_000
+    node_ids = list(state.node_ids)
+    kernel = FAST_KERNEL
+    classifier = ColumnarClassifier(ClassifierConfig(), n, kernel)
+    stop_code = PATTERN_CODES[MobilityState.STOP]
+
+    # Advance to classifier steady state; keep the last sweeps' inputs.
+    workloads = []
+    for _ in range(6):
+        source.advance(state, 1.0)
+        vx, vy = state.vx, state.vy
+        speeds = kernel.hypot(vx, vy)
+        directions = np.where(
+            (vx == 0.0) & (vy == 0.0), 0.0, kernel.atan2(vy, vx)
+        )
+        labels = classifier.observe(speeds, directions)
+        workloads.append(
+            (
+                labels == stop_code,
+                classifier.mean_speed.copy(),
+                classifier.mean_directions().copy(),
+            )
+        )
+    workloads = workloads[-3:]
+
+    def time_columnar(mode):
+        col = ColumnarClusterer(0.75, capacity=n, max_clusters=64, mode=mode)
+        avg = np.zeros(n)
+        for stop, speeds, _ in workloads:  # warm to cluster steady state
+            col.place_all(stop, speeds, None, avg)
+        assert col.cluster_count() > 0
+        best = math.inf
+        for r in range(3):
+            stop, speeds, _ = workloads[r % len(workloads)]
+            start = _time.perf_counter()
+            col.place_all(stop, speeds, None, avg)
+            best = min(best, _time.perf_counter() - start)
+        return best
+
+    exact_s = time_columnar("exact")
+
+    batched = ColumnarClusterer(0.75, capacity=n, max_clusters=64, mode="batched")
+    avg = np.zeros(n)
+    for stop, speeds, _ in workloads:
+        batched.place_all(stop, speeds, None, avg)
+    assert batched.cluster_count() > 0
+    cursor = [0]
+
+    def placement_sweep():
+        stop, speeds, _ = workloads[cursor[0] % len(workloads)]
+        cursor[0] += 1
+        return batched.place_all(stop, speeds, None, avg)
+
+    benchmark.pedantic(placement_sweep, rounds=5, iterations=1, warmup_rounds=1)
+    if benchmark.stats is not None:
+        batched_s = benchmark.stats.stats.min
+    else:
+        # --benchmark-disable (the plain test suite): time sweeps inline.
+        batched_s = math.inf
+        for _ in range(3):
+            start = _time.perf_counter()
+            placement_sweep()
+            batched_s = min(batched_s, _time.perf_counter() - start)
+
+    # The object loop this PR replaced, over the same workloads.
+    seq = SequentialClusterer(0.75, max_clusters=64)
+    avg_o = np.zeros(n)
+
+    def object_sweep(stop_mask, mean_speed, mean_dirs):
+        means = mean_speed.tolist()
+        dirs = mean_dirs.tolist()
+        stop_list = stop_mask.tolist()
+        moves = 0
+        for i, nid in enumerate(node_ids):
+            if stop_list[i]:
+                seq.unassign(nid)
+                avg_o[i] = 0.0
+                continue
+            feature = MotionFeature(means[i], dirs[i])
+            before = seq.cluster_of(nid)  # the pre-lookup this PR removed
+            cluster, _ = seq.assign(nid, feature)
+            if before is not None and before.cluster_id != cluster.cluster_id:
+                moves += 1
+            avg_o[i] = cluster.average_speed
+        return moves
+
+    for workload in workloads:
+        object_sweep(*workload)
+    object_s = math.inf
+    for workload in workloads[:2]:
+        start = _time.perf_counter()
+        object_sweep(*workload)
+        object_s = min(object_s, _time.perf_counter() - start)
+
+    speedup = object_s / batched_s
+    benchmark.extra_info["nodes"] = n
+    benchmark.extra_info["batched_placements_per_s"] = n / batched_s
+    benchmark.extra_info["exact_placements_per_s"] = n / exact_s
+    benchmark.extra_info["object_placements_per_s"] = n / object_s
+    benchmark.extra_info["cluster_placement_speedup"] = speedup
+    benchmark.extra_info["exact_placement_speedup"] = object_s / exact_s
+    assert speedup >= 5.0
+    assert object_s / exact_s >= 2.0  # exact mode's own sanity floor

@@ -249,6 +249,37 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the bit-exact math kernel instead of the fast one",
     )
+    scaling.add_argument(
+        "--cluster-mode",
+        choices=("exact", "batched"),
+        default="exact",
+        help="BSAS placement path: exact (bit-faithful sequential) or "
+        "batched (epoch-chunked, for the 1M-node rung)",
+    )
+    scaling.add_argument(
+        "--city-blocks",
+        type=int,
+        nargs=2,
+        default=None,
+        metavar=("NX", "NY"),
+        help="sweep a generated NX x NY grid city instead of the "
+        "default campus",
+    )
+    scaling.add_argument(
+        "--block-size",
+        type=float,
+        default=150.0,
+        metavar="M",
+        help="city block edge length in metres (with --city-blocks)",
+    )
+    scaling.add_argument(
+        "--record-trace",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="record the largest rung's ADF LU stream as a "
+        "repro-lu-trace file (see --trace-lane)",
+    )
     chaos = parser.add_argument_group("chaos", "options for the chaos target")
     chaos.add_argument(
         "--intensities",
@@ -785,13 +816,32 @@ def _population_scaling_target(args: argparse.Namespace) -> int:
     from repro.experiments.scaling import population_sweep, render_population_table
 
     kernel = EXACT_KERNEL if args.exact_kernel else FAST_KERNEL
+    campus = None
+    if args.city_blocks is not None:
+        import numpy as np
+
+        from repro.campus.generator import generate_grid_campus
+
+        nx, ny = args.city_blocks
+        campus = generate_grid_campus(
+            blocks_x=nx,
+            blocks_y=ny,
+            block_size=args.block_size,
+            rng=np.random.default_rng(args.seed),
+        )
     points = population_sweep(
         tuple(args.node_counts),
         duration=args.sweep_duration,
         seed=args.seed,
         kernel=kernel,
+        campus=campus,
+        cluster_mode=args.cluster_mode,
+        trace_path=args.record_trace,
+        trace_lane=args.trace_lane,
     )
     print(render_population_table(points))
+    if args.record_trace:
+        print(f"recorded trace to {args.record_trace}")
     if args.export_json:
         import json
 
@@ -805,7 +855,9 @@ def _population_scaling_target(args: argparse.Namespace) -> int:
                 "rmse_with_le": p.rmse_with_le,
                 "wall_seconds": p.wall_seconds,
                 "steps": p.steps,
+                "peak_rss_mb": p.peak_rss_mb,
                 "node_steps_per_second": p.node_steps_per_second,
+                "cluster_mode": args.cluster_mode,
             }
             for p in points
         ]

@@ -93,11 +93,11 @@ class ClusterManager:
                     sum(window._dir_y) / n,
                 )
             direction = math.atan2(means[1], means[0])
-        feature = MotionFeature(mean, direction)
-        clusterer = self._clusterer
-        cid_before = clusterer._assignment.get(node_id)
-        cluster = clusterer.assign(node_id, feature)
-        if cid_before is not None and cid_before != cluster.cluster_id:
+        # Window means of validated observations are in range by
+        # construction — skip the feature re-check.
+        feature = MotionFeature.unchecked(mean, direction)
+        cluster, moved = self._clusterer.assign(node_id, feature)
+        if moved:
             self.reassignments += 1
             if self._instrumented:
                 self._t_reassignments.inc()

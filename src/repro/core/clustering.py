@@ -36,6 +36,20 @@ class MotionFeature:
         if not 0.0 <= self.speed < math.inf:
             check_non_negative(self.speed, "speed")
 
+    @classmethod
+    def unchecked(cls, speed: float, direction: float) -> "MotionFeature":
+        """Build a feature from already-validated values, skipping the check.
+
+        For internal producers whose inputs are provably in range — the
+        centroid rebuild (means of validated member speeds) and the
+        cluster manager's window-derived features (means of validated
+        observations).  User-facing construction stays on ``__init__``.
+        """
+        feature = object.__new__(cls)
+        object.__setattr__(feature, "speed", speed)
+        object.__setattr__(feature, "direction", direction)
+        return feature
+
     def distance_to(self, other: "MotionFeature", direction_weight: float) -> float:
         """Similarity difference between two features.
 
@@ -117,9 +131,9 @@ class Cluster:
             n = len(self._members)
             if n == 0:
                 return MotionFeature(0.0, 0.0)
-            centroid = self._centroid = MotionFeature(
-                speed=max(self._speed_sum / n, 0.0),
-                direction=math.atan2(self._dir_y_sum / n, self._dir_x_sum / n),
+            centroid = self._centroid = MotionFeature.unchecked(
+                max(self._speed_sum / n, 0.0),
+                math.atan2(self._dir_y_sum / n, self._dir_x_sum / n),
             )
         return centroid
 
@@ -202,9 +216,9 @@ class SequentialClusterer:
                     # Inlined Cluster.centroid rebuild (clusters in the live
                     # dict are never empty, so n >= 1).
                     n = len(cluster._members)
-                    c = cluster._centroid = MotionFeature(
-                        speed=max(cluster._speed_sum / n, 0.0),
-                        direction=math.atan2(
+                    c = cluster._centroid = MotionFeature.unchecked(
+                        max(cluster._speed_sum / n, 0.0),
+                        math.atan2(
                             cluster._dir_y_sum / n, cluster._dir_x_sum / n
                         ),
                     )
@@ -223,8 +237,13 @@ class SequentialClusterer:
                     best, best_d = cluster, d
         return best, best_d
 
-    def assign(self, node_id: str, feature: MotionFeature) -> Cluster:
-        """Place *node_id* per BSAS; returns its (possibly new) cluster."""
+    def assign(self, node_id: str, feature: MotionFeature) -> tuple[Cluster, bool]:
+        """Place *node_id* per BSAS; returns ``(cluster, moved)``.
+
+        ``moved`` is true when the node was already clustered and landed
+        in a *different* cluster — so callers tracking reassignments no
+        longer need a ``cluster_of`` pre-lookup before every placement.
+        """
         clusters = self._clusters
         # Inlined unassign + Cluster.remove using the stored trig values;
         # reassignment runs once per moving node per step.
@@ -261,7 +280,7 @@ class SequentialClusterer:
             cluster = Cluster(next(self._ids), node_id, feature)
             clusters[cluster.cluster_id] = cluster
         self._assignment[node_id] = cluster.cluster_id
-        return cluster
+        return cluster, cid is not None and cid != cluster.cluster_id
 
     def unassign(self, node_id: str) -> None:
         """Remove a node from its cluster (no-op when unassigned)."""

@@ -10,6 +10,7 @@ locked bit-for-bit against it by the golden parity test.
 """
 
 from repro.core.columnar.classifier import ColumnarClassifier
+from repro.core.columnar.clustering import ColumnarClusterer
 from repro.core.columnar.engine import ColumnarExperiment, run_columnar_experiment
 from repro.core.columnar.kernels import EXACT_KERNEL, FAST_KERNEL, MathKernel, chain_add
 from repro.core.columnar.mobility import (
@@ -21,6 +22,7 @@ from repro.core.columnar.state import ColumnarNodeState, NodeSnapshot
 
 __all__ = [
     "ColumnarClassifier",
+    "ColumnarClusterer",
     "ColumnarExperiment",
     "ColumnarMobilitySource",
     "ColumnarNodeState",

@@ -23,9 +23,12 @@ code:
   :func:`running_chain`, whose ``np.cumsum`` scan is bit-identical to the
   object path's left-to-right ``+=`` loops;
 * BSAS cluster placement is inherently sequential (each placement
-  mutates the centroid the next node compares against), so it stays a
-  per-node loop over the real :class:`SequentialClusterer` — shared once
-  across all ADF lanes, which see identical update streams;
+  mutates the centroid the next node compares against), so it runs the
+  struct-of-arrays :class:`ColumnarClusterer` in *exact* mode — same
+  sequential semantics, centroids in columns — shared once across all
+  ADF lanes, which see identical update streams.  ``cluster_mode=
+  "batched"`` swaps in its epoch-chunked approximation for the 1M-node
+  rung (and forfeits bit-parity);
 * the distance-filter decide, Brown smoother recurrences and tracker
   prediction are one-shot per node per step and vectorise exactly.
 """
@@ -39,8 +42,8 @@ import numpy as np
 
 from repro.campus import Campus, default_campus
 from repro.core.adf import AdfConfig
-from repro.core.clustering import MotionFeature, SequentialClusterer
 from repro.core.columnar.classifier import ColumnarClassifier
+from repro.core.columnar.clustering import ColumnarClusterer
 from repro.core.columnar.kernels import (
     EXACT_KERNEL,
     MathKernel,
@@ -322,17 +325,20 @@ class _AdfBrain:
     """
 
     def __init__(
-        self, config: AdfConfig, node_ids: list[str], kernel: MathKernel
+        self,
+        config: AdfConfig,
+        n: int,
+        kernel: MathKernel,
+        cluster_mode: str = "exact",
     ) -> None:
-        self.classifier = ColumnarClassifier(
-            config.classifier, len(node_ids), kernel
-        )
-        self.clusterer = SequentialClusterer(
+        self.classifier = ColumnarClassifier(config.classifier, n, kernel)
+        self.clusterer = ColumnarClusterer(
             config.alpha,
+            capacity=n,
             direction_weight=config.direction_weight,
             max_clusters=config.max_clusters,
+            mode=cluster_mode,
         )
-        self.node_ids = node_ids
         self.recluster_interval = config.recluster_interval
         self.last_recluster = 0.0
         self.reconstructions = 0
@@ -341,46 +347,44 @@ class _AdfBrain:
         #: placement — the sequencing ClusterAverageDth sees (later
         #: placements this step may shift the cluster mean, but each
         #: node's DTH derives from the cluster as it stood at its turn).
-        self.avg = np.zeros(len(node_ids))
+        self.avg = np.zeros(n)
 
     def update(self, speeds: np.ndarray, directions: np.ndarray) -> np.ndarray:
         labels = self.classifier.observe(speeds, directions)
-        self._place_all(labels, reconstructing=False)
+        self.reassignments += self.clusterer.place_all(
+            labels == _STOP,
+            self.classifier.mean_speed,
+            self._mean_directions(),
+            self.avg,
+        )
         return labels
 
-    def _place_all(self, labels: np.ndarray, *, reconstructing: bool) -> None:
-        means = self.classifier.mean_speed.tolist()
-        dirs = self.classifier.mean_directions().tolist()
-        labels_list = labels.tolist()
-        clusterer = self.clusterer
-        avg = self.avg
-        for i, nid in enumerate(self.node_ids):
-            if labels_list[i] == _STOP:
-                clusterer.unassign(nid)
-                if not reconstructing:
-                    avg[i] = 0.0
-                continue
-            feature = MotionFeature(means[i], dirs[i])
-            if reconstructing:
-                clusterer.assign(nid, feature)
-                continue
-            before = clusterer.cluster_of(nid)
-            cluster = clusterer.assign(nid, feature)
-            if before is not None and before.cluster_id != cluster.cluster_id:
-                self.reassignments += 1
-            avg[i] = cluster.average_speed
+    def _mean_directions(self) -> np.ndarray | None:
+        # The circular means cost an atan2 sweep and the speed-only
+        # distance (direction_weight == 0) never reads them.
+        if not self.clusterer.track_directions:
+            return None
+        return self.classifier.mean_directions()
 
     def tick(self, now: float) -> bool:
         if now - self.last_recluster < self.recluster_interval:
             return False
         self.clusterer.clear()
-        self._place_all(self.classifier.labels, reconstructing=True)
+        # Reconstruction replaces from a clean slate: nothing counts as
+        # a reassignment (place_all returns 0 moves) and avg is not
+        # re-captured, exactly as the object harness's reconstruct().
+        self.clusterer.place_all(
+            self.classifier.labels == _STOP,
+            self.classifier.mean_speed,
+            self._mean_directions(),
+            None,
+        )
         self.reconstructions += 1
         self.last_recluster = now
         return True
 
     def cluster_summary(self) -> dict[str, float]:
-        sizes = [len(c) for c in self.clusterer.clusters]
+        sizes = self.clusterer.cluster_sizes()
         return {
             "clusters": float(len(sizes)),
             "clustered_nodes": float(sum(sizes)),
@@ -456,10 +460,17 @@ class ColumnarExperiment:
         campus: Campus | None = None,
         source: MobilitySource | None = None,
         kernel: MathKernel = EXACT_KERNEL,
+        cluster_mode: str = "exact",
+        lu_observer=None,
     ) -> None:
         self.config = config or ExperimentConfig()
         cfg = self.config
         self.kernel = kernel
+        #: Optional LU-stream sink, called once per lane per step as
+        #: ``lu_observer(lane_name, now, idx, x, y, vx, vy, codes, dth)``
+        #: with the transmitting row indices — the columnar analogue of
+        #: the harness's per-update observer (trace recording hook).
+        self._lu_observer = lu_observer
         self.campus = campus or default_campus()
         self.telemetry = Telemetry.from_config(cfg.telemetry)
         if self.telemetry.enabled:
@@ -524,7 +535,7 @@ class ColumnarExperiment:
                     )
                 )
         self.adf_brain = _AdfBrain(
-            cfg.adf_config(cfg.dth_factors[0]), self.node_ids, kernel
+            cfg.adf_config(cfg.dth_factors[0]), n, kernel, cluster_mode
         )
         self.gdf_brain = _GdfBrain() if cfg.include_general_df else None
         self._zero_dth = np.zeros(n)
@@ -594,6 +605,10 @@ class ColumnarExperiment:
             lane.m_bins[bin_index] += transmitted
             lane.with_le.receive(idx, x, y, vx, vy, speeds, dth_arr, now)
             lane.without_le.receive(idx, x, y)
+            if self._lu_observer is not None:
+                self._lu_observer(
+                    lane.name, now, idx, x, y, vx, vy, codes, dth_arr
+                )
         self.adf_brain.tick(now)
         cluster_count = float(self.adf_brain.clusterer.cluster_count())
         for lane in self.lanes:
@@ -610,6 +625,17 @@ class ColumnarExperiment:
     def _measure(
         self, now: float, x: np.ndarray, y: np.ndarray, on_road: np.ndarray
     ) -> None:
+        """Per-lane RMSE and region-error accumulation, full width.
+
+        After the first step every broker knows every node (the ideal
+        lane transmits all rows and the ADF/GDF lanes transmit
+        everything on first contact), so the steady-state path skips the
+        ``flatnonzero`` + gather entirely and differences whole columns;
+        the gathered variant only serves the first partial-knowledge
+        steps.  Selecting rows preserves order, and the subtract /
+        hypot / square ops are elementwise — both paths produce
+        bit-identical sums and RMSE inputs.
+        """
         kernel = self.kernel
         for lane in self.lanes:
             for broker, series, region_errors in (
@@ -620,22 +646,28 @@ class ColumnarExperiment:
                     lane.region_errors_without_le,
                 ),
             ):
-                idx = np.flatnonzero(broker.known)
-                if not idx.size:
-                    continue
-                err = kernel.hypot(
-                    x[idx] - broker.bel_x[idx], y[idx] - broker.bel_y[idx]
-                )
+                known = broker.known
+                if known.all():
+                    err = kernel.hypot(x - broker.bel_x, y - broker.bel_y)
+                    road = on_road
+                else:
+                    idx = np.flatnonzero(known)
+                    if not idx.size:
+                        continue
+                    err = kernel.hypot(
+                        x[idx] - broker.bel_x[idx], y[idx] - broker.bel_y[idx]
+                    )
+                    road = on_road[idx]
                 sq = err * err
-                road = on_road[idx]
+                building = ~road
                 region_errors.road_sq_sum = chain_add(
                     region_errors.road_sq_sum, sq[road]
                 )
                 region_errors.road_count += int(np.count_nonzero(road))
                 region_errors.building_sq_sum = chain_add(
-                    region_errors.building_sq_sum, sq[~road]
+                    region_errors.building_sq_sum, sq[building]
                 )
-                region_errors.building_count += int(np.count_nonzero(~road))
+                region_errors.building_count += int(np.count_nonzero(building))
                 series.append(now, rmse(err))
 
     # -- the run -------------------------------------------------------------
@@ -733,8 +765,15 @@ def run_columnar_experiment(
     campus: Campus | None = None,
     source: MobilitySource | None = None,
     kernel: MathKernel = EXACT_KERNEL,
+    cluster_mode: str = "exact",
+    lu_observer=None,
 ) -> ExperimentResult:
     """Convenience wrapper: build, run and collect in one call."""
     return ColumnarExperiment(
-        config, campus=campus, source=source, kernel=kernel
+        config,
+        campus=campus,
+        source=source,
+        kernel=kernel,
+        cluster_mode=cluster_mode,
+        lu_observer=lu_observer,
     ).run()

@@ -97,6 +97,7 @@ class PopulationPoint:
     rmse_with_le: float
     wall_seconds: float
     steps: int
+    peak_rss_mb: float = 0.0
 
     @property
     def node_steps_per_second(self) -> float:
@@ -106,6 +107,17 @@ class PopulationPoint:
         return self.node_count * self.steps / self.wall_seconds
 
 
+def _peak_rss_mb() -> float:
+    """Process high-water RSS in MB (0.0 where resource is unavailable)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return 0.0
+    # ru_maxrss is KB on Linux (bytes on macOS, where this over-reports
+    # by 1024x — the sweep is benched on Linux, so keep the simple unit).
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
 def population_sweep(
     node_counts: tuple[int, ...] = (1_000, 10_000, 100_000),
     *,
@@ -113,14 +125,30 @@ def population_sweep(
     dth_factor: float = 1.0,
     seed: int = 42,
     kernel=None,
+    campus=None,
+    cluster_mode: str = "exact",
+    trace_path=None,
+    trace_lane: str | None = None,
 ) -> list[PopulationPoint]:
     """LU rate and estimation error versus fleet size, at array speed.
 
     Each requested size is realised by scaling the Table 1 per-region
-    counts to the nearest multiple of the base 140-node fleet and running
-    the columnar engine over a native :class:`ColumnarMobilitySource`
-    population (the fast kernel by default — bit-parity with the object
-    path is the parity test's job, not the scaling study's).
+    counts to the nearest multiple of the base fleet for *campus* (the
+    default campus, or a generated grid city) and running the columnar
+    engine over a native :class:`ColumnarMobilitySource` population (the
+    fast kernel by default — bit-parity with the object path is the
+    parity test's job, not the scaling study's).
+
+    *cluster_mode* selects the BSAS placement path: ``"exact"`` for the
+    bit-faithful sequential sweep, ``"batched"`` for the epoch-chunked
+    1M-node mode.  Each point reports the process's peak RSS after its
+    run; ``ru_maxrss`` is a high-water mark, so the column is
+    non-decreasing down the table and a rung's own footprint is the
+    delta from the previous row.
+
+    When *trace_path* is given, the **largest** rung's run records the
+    ADF lane's LU stream (or *trace_lane*) as a ``repro-lu-trace`` file
+    for serving replay.
     """
     from repro.campus import default_campus
     from repro.core.columnar import ColumnarMobilitySource, run_columnar_experiment
@@ -130,12 +158,13 @@ def population_sweep(
     if not node_counts:
         raise ValueError("need at least one node count")
     kernel = kernel if kernel is not None else FAST_KERNEL
-    campus = default_campus()
+    campus = campus if campus is not None else default_campus()
     base_spec = table1_spec()
     base_size = base_spec.total_for(
         len(campus.roads()), len(campus.buildings())
     )
     lane_name = f"adf-{dth_factor:g}"
+    trace_target = max(node_counts) if trace_path is not None else None
     points: list[PopulationPoint] = []
     for target in node_counts:
         if target < 1:
@@ -147,10 +176,36 @@ def population_sweep(
         config = ExperimentConfig(
             duration=duration, dth_factors=(dth_factor,), seed=seed
         )
+        recorder = None
+        if trace_target is not None and target == trace_target:
+            from repro.serving.trace import ColumnarTraceRecorder
+
+            recorder = ColumnarTraceRecorder(trace_lane or lane_name)
+            trace_target = None  # record once even with duplicate counts
         start = time.perf_counter()
-        result = run_columnar_experiment(
-            config, campus=campus, source=source, kernel=kernel
-        )
+        if recorder is None:
+            result = run_columnar_experiment(
+                config,
+                campus=campus,
+                source=source,
+                kernel=kernel,
+                cluster_mode=cluster_mode,
+            )
+        else:
+            from repro.core.columnar import ColumnarExperiment
+
+            experiment = ColumnarExperiment(
+                config,
+                campus=campus,
+                source=source,
+                kernel=kernel,
+                cluster_mode=cluster_mode,
+                lu_observer=recorder,
+            )
+            recorder.bind(
+                experiment.node_ids, experiment.resolver.region_ids
+            )
+            result = experiment.run()
         wall = time.perf_counter() - start
         lane = result.lanes[lane_name]
         ideal = result.lanes["ideal"]
@@ -164,8 +219,25 @@ def population_sweep(
                 rmse_with_le=lane.mean_rmse(with_le=True),
                 wall_seconds=wall,
                 steps=config.steps(),
+                peak_rss_mb=_peak_rss_mb(),
             )
         )
+        if recorder is not None:
+            from repro.serving.trace import write_trace
+
+            write_trace(
+                recorder.records,
+                trace_path,
+                meta={
+                    "lane": recorder.lane,
+                    "seed": seed,
+                    "duration": duration,
+                    "report_interval": config.report_interval,
+                    "node_count": result.node_count,
+                    "engine": "columnar",
+                    "cluster_mode": cluster_mode,
+                },
+            )
     return points
 
 
@@ -173,13 +245,14 @@ def render_population_table(points: list[PopulationPoint]) -> str:
     """The population sweep as an aligned text table."""
     header = (
         f"{'nodes':>9}  {'LU/s (adf)':>11}  {'LU/s (ideal)':>12}  "
-        f"{'reduction':>9}  {'RMSE w/LE':>9}  {'wall s':>8}  {'knode-steps/s':>13}"
+        f"{'reduction':>9}  {'RMSE w/LE':>9}  {'wall s':>8}  "
+        f"{'peak MB':>8}  {'knode-steps/s':>13}"
     )
     lines = [header, "-" * len(header)]
     for p in points:
         lines.append(
             f"{p.node_count:>9d}  {p.lu_rate:>11.1f}  {p.ideal_lu_rate:>12.1f}  "
             f"{p.reduction:>8.1%}  {p.rmse_with_le:>9.2f}  {p.wall_seconds:>8.2f}  "
-            f"{p.node_steps_per_second / 1e3:>13.0f}"
+            f"{p.peak_rss_mb:>8.0f}  {p.node_steps_per_second / 1e3:>13.0f}"
         )
     return "\n".join(lines)

@@ -24,15 +24,18 @@ from repro.serving.report import ServingReport
 from repro.serving.service import IngestService, ServingConfig
 from repro.serving.store import IngestOutcome, ShardedLocationStore, shard_for
 from repro.serving.trace import (
+    ColumnarTraceRecorder,
     TraceError,
     TraceRecord,
     TraceRecorder,
     read_trace,
+    record_columnar_trace,
     record_trace,
     write_trace,
 )
 
 __all__ = [
+    "ColumnarTraceRecorder",
     "IngestOutcome",
     "IngestService",
     "ReliableIngestClient",
@@ -45,6 +48,7 @@ __all__ = [
     "TraceRecord",
     "TraceRecorder",
     "read_trace",
+    "record_columnar_trace",
     "record_trace",
     "replay_trace",
     "shard_for",

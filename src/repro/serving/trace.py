@@ -44,9 +44,11 @@ __all__ = [
     "TraceError",
     "TraceRecord",
     "TraceRecorder",
+    "ColumnarTraceRecorder",
     "write_trace",
     "read_trace",
     "record_trace",
+    "record_columnar_trace",
 ]
 
 TRACE_FORMAT = "repro-lu-trace"
@@ -162,6 +164,77 @@ class TraceRecorder:
             self.records.append(TraceRecord.from_update(update))
 
 
+class ColumnarTraceRecorder:
+    """Captures one lane's LU stream from the *columnar* engine.
+
+    Instances are :class:`~repro.core.columnar.engine.ColumnarExperiment`
+    ``lu_observer`` callables: the engine invokes them once per lane per
+    step with the transmitting row indices and the full-width state
+    columns.  The recorder gathers the transmitted rows into
+    :class:`TraceRecord` objects, mapping row numbers and region codes
+    back to the string ids a trace carries — call :meth:`bind` with the
+    experiment's ``node_ids`` and ``resolver.region_ids`` before the run.
+
+    The columnar engine has no per-LU sequence stamps, so the recorder
+    synthesises ``seq`` from a single per-run counter advanced in
+    capture order (steps advance time, rows within a step are visited in
+    ascending index order) — per node both ``time`` and ``seq`` are
+    non-decreasing, the trace invariant replay relies on.
+    """
+
+    def __init__(self, lane: str = "adf-1") -> None:
+        self.lane = lane
+        self.records: list[TraceRecord] = []
+        self._node_ids: list[str] | None = None
+        self._region_ids: list[str] | None = None
+        self._seq = 0
+
+    def bind(self, node_ids: list[str], region_ids: list[str]) -> None:
+        """Attach the id tables that turn row/code integers into strings."""
+        self._node_ids = list(node_ids)
+        self._region_ids = list(region_ids)
+
+    def __call__(
+        self, lane_name, now, idx, x, y, vx, vy, codes, dth
+    ) -> None:
+        if lane_name != self.lane:
+            return
+        if self._node_ids is None or self._region_ids is None:
+            raise TraceError(
+                "ColumnarTraceRecorder is unbound — call bind(node_ids, "
+                "region_ids) before running the experiment"
+            )
+        node_ids = self._node_ids
+        region_ids = self._region_ids
+        records = self.records
+        seq = self._seq
+        time = float(now)
+        for i, xi, yi, vxi, vyi, code, dth_i in zip(
+            idx.tolist(),
+            x[idx].tolist(),
+            y[idx].tolist(),
+            vx[idx].tolist(),
+            vy[idx].tolist(),
+            codes[idx].tolist(),
+            dth[idx].tolist(),
+        ):
+            seq += 1
+            records.append(
+                TraceRecord(
+                    time=time,
+                    seq=seq,
+                    node_id=node_ids[i],
+                    x=xi,
+                    y=yi,
+                    vx=vxi,
+                    vy=vyi,
+                    region_id=region_ids[code],
+                    dth=dth_i,
+                )
+            )
+        self._seq = seq
+
+
 def write_trace(
     records: Iterable[TraceRecord],
     path: str | Path,
@@ -264,6 +337,59 @@ def record_trace(
         "duration": config.duration,
         "report_interval": config.report_interval,
         "node_count": len(experiment.nodes),
+    }
+    if path is not None:
+        write_trace(recorder.records, path, meta=meta)
+    return meta, recorder.records
+
+
+def record_columnar_trace(
+    config: "ExperimentConfig",
+    *,
+    lane: str = "adf-1",
+    path: str | Path | None = None,
+    campus=None,
+    source=None,
+    kernel=None,
+    cluster_mode: str = "exact",
+) -> tuple[dict[str, Any], list[TraceRecord]]:
+    """Record one lane's LU stream through the *columnar* engine.
+
+    The array-speed twin of :func:`record_trace`, for fleets the object
+    harness cannot reach (the 1M-node synthetic-city traces) — pass a
+    generated *campus* plus a :class:`ColumnarMobilitySource` *source*
+    to record a big-city workload.  Returns ``(meta, records)`` and,
+    when *path* is given, also writes the trace file.  Like the object
+    recorder, the capture is a pure function of seed/config/campus, so
+    re-recording produces byte-identical traces.
+    """
+    from repro.core.columnar.engine import ColumnarExperiment
+    from repro.core.columnar.kernels import EXACT_KERNEL
+
+    recorder = ColumnarTraceRecorder(lane)
+    experiment = ColumnarExperiment(
+        config,
+        campus=campus,
+        source=source,
+        kernel=kernel if kernel is not None else EXACT_KERNEL,
+        cluster_mode=cluster_mode,
+        lu_observer=recorder,
+    )
+    if lane not in {ln.name for ln in experiment.lanes}:
+        raise ValueError(
+            f"unknown lane {lane!r}; have "
+            f"{sorted(ln.name for ln in experiment.lanes)}"
+        )
+    recorder.bind(experiment.node_ids, experiment.resolver.region_ids)
+    experiment.run()
+    meta: dict[str, Any] = {
+        "lane": lane,
+        "seed": config.seed,
+        "duration": config.duration,
+        "report_interval": config.report_interval,
+        "node_count": len(experiment.node_ids),
+        "engine": "columnar",
+        "cluster_mode": cluster_mode,
     }
     if path is not None:
         write_trace(recorder.records, path, meta=meta)

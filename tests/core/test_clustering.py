@@ -33,14 +33,15 @@ class TestMotionFeature:
 class TestBsasBasics:
     def test_first_node_creates_cluster(self):
         c = SequentialClusterer(alpha=0.5)
-        cluster = c.assign("a", MotionFeature(2.0, 0.0))
+        cluster, moved = c.assign("a", MotionFeature(2.0, 0.0))
         assert c.cluster_count() == 1
         assert "a" in cluster
+        assert not moved
 
     def test_similar_nodes_share_cluster(self):
         c = SequentialClusterer(alpha=0.5)
         c.assign("a", MotionFeature(2.0, 0.0))
-        cluster = c.assign("b", MotionFeature(2.2, 0.0))
+        cluster, _ = c.assign("b", MotionFeature(2.2, 0.0))
         assert c.cluster_count() == 1
         assert len(cluster) == 2
 
@@ -130,7 +131,7 @@ class TestInvariants:
         for i, (speed, theta) in enumerate(samples):
             feature = MotionFeature(speed, theta)
             before = {cl.cluster_id: cl.centroid for cl in c.clusters}
-            cluster = c.assign(f"n{i}", feature)
+            cluster, _ = c.assign(f"n{i}", feature)
             if cluster.cluster_id in before and len(cluster) > 1:
                 d = feature.distance_to(before[cluster.cluster_id], 0.0)
                 assert d < alpha
@@ -178,13 +179,13 @@ class TestCentroidCache:
 
     def test_cache_hit_returns_same_object(self):
         c = SequentialClusterer(alpha=1.0)
-        cluster = c.assign("a", MotionFeature(1.0, 0.1))
+        cluster, _ = c.assign("a", MotionFeature(1.0, 0.1))
         first = cluster.centroid
         assert cluster.centroid is first
 
     def test_add_invalidates(self):
         c = SequentialClusterer(alpha=1.0)
-        cluster = c.assign("a", MotionFeature(1.0, 0.1))
+        cluster, _ = c.assign("a", MotionFeature(1.0, 0.1))
         before = cluster.centroid
         cluster.add("b", MotionFeature(1.5, 0.3))
         after = cluster.centroid
@@ -195,7 +196,7 @@ class TestCentroidCache:
 
     def test_remove_invalidates(self):
         c = SequentialClusterer(alpha=1.0)
-        cluster = c.assign("a", MotionFeature(1.0, 0.1))
+        cluster, _ = c.assign("a", MotionFeature(1.0, 0.1))
         cluster.add("b", MotionFeature(1.5, 0.3))
         cluster.centroid  # prime the cache
         cluster.remove("b")
@@ -205,11 +206,12 @@ class TestCentroidCache:
 
     def test_assign_reassignment_invalidates_both_clusters(self):
         c = SequentialClusterer(alpha=0.5)
-        first = c.assign("a", MotionFeature(1.0, 0.0))
+        first, _ = c.assign("a", MotionFeature(1.0, 0.0))
         c.assign("b", MotionFeature(1.1, 0.0))
         first.centroid  # prime
-        second = c.assign("b", MotionFeature(5.0, 0.0))  # moves far away
+        second, moved = c.assign("b", MotionFeature(5.0, 0.0))  # moves far away
         assert second is not first
+        assert moved
         assert first.centroid.speed == 1.0
 
     @given(st.lists(st.tuples(speeds, angles), min_size=1, max_size=40))

@@ -63,3 +63,56 @@ class TestGeneralityStudy:
     def test_empty_models_rejected(self):
         with pytest.raises(ValueError):
             generality_study(models={}, n_nodes=4, duration=10.0)
+
+
+class TestPopulationSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        from repro.experiments.scaling import population_sweep
+
+        return population_sweep((300, 600), duration=5.0)
+
+    def test_point_per_size(self, points):
+        assert [p.target_nodes for p in points] == [300, 600]
+        assert points[1].node_count > points[0].node_count
+
+    def test_peak_rss_reported_and_monotone(self, points):
+        """ru_maxrss is a high-water mark: positive and non-decreasing."""
+        assert points[0].peak_rss_mb > 0.0
+        assert points[1].peak_rss_mb >= points[0].peak_rss_mb
+
+    def test_table_has_rss_column(self, points):
+        from repro.experiments.scaling import render_population_table
+
+        table = render_population_table(points)
+        assert "peak MB" in table.splitlines()[0]
+
+    def test_generated_city_campus(self):
+        import numpy as np
+
+        from repro.campus.generator import generate_grid_campus
+        from repro.experiments.scaling import population_sweep
+
+        campus = generate_grid_campus(
+            blocks_x=3, blocks_y=3, rng=np.random.default_rng(7)
+        )
+        points = population_sweep((400,), duration=5.0, campus=campus)
+        assert points[0].node_count > 0
+        assert points[0].reduction > 0.0
+
+    def test_batched_mode_and_trace(self, tmp_path):
+        from repro.experiments.scaling import population_sweep
+        from repro.serving import read_trace
+
+        path = tmp_path / "sweep.jsonl"
+        points = population_sweep(
+            (200, 400),
+            duration=5.0,
+            cluster_mode="batched",
+            trace_path=path,
+        )
+        meta, records = read_trace(path)
+        # Only the largest rung is recorded.
+        assert meta["node_count"] == points[1].node_count
+        assert meta["cluster_mode"] == "batched"
+        assert records
