@@ -10,14 +10,22 @@ records the service-level numbers (sustained msgs/s, virtual-time p99
 ingest latency) so the baseline JSON documents both axes.
 """
 
+import itertools
+
 import pytest
 
 from repro.experiments import ExperimentConfig
 from repro.serving import (
+    DurabilityConfig,
+    DurabilityManager,
     ReplayConfig,
     ServingConfig,
+    read_trace,
     record_trace,
     replay_trace,
+    replay_trace_full,
+    run_recovery_gate,
+    write_trace,
 )
 
 from benchmarks.conftest import print_header
@@ -34,11 +42,35 @@ REPLAY = ReplayConfig(
     ),
 )
 
+#: Recovery measurement uses tighter flush windows so the crash hits a
+#: WAL with real flushed state behind it (the trace horizon at 100k
+#: msg/s is well under REPLAY's 50 ms first flush).
+GATE_REPLAY = ReplayConfig(
+    rate=100_000.0,
+    serving=ServingConfig(
+        shards=4, queue_capacity=4096, batch_size=2048, flush_interval=0.002
+    ),
+)
+
+#: Cross-test handoff: the WAL-off round's wall minimum, so the WAL-on
+#: test can assert its overhead budget on the same machine and run.
+_RESULTS: dict = {}
+
 
 @pytest.fixture(scope="module")
-def recorded_trace():
-    """(meta, records) for the fixed-seed trace every round replays."""
-    return record_trace(TRACE_CONFIG)
+def recorded_trace(tmp_path_factory):
+    """(meta, records) for the fixed-seed trace every round replays.
+
+    Recorded once, then written and loaded back — replaying a trace
+    *file* is what the serving CLI does, and rows parsed from disk carry
+    their canonical encoding, which the WAL logs directly instead of
+    re-serializing every LU.
+    """
+    meta, records = record_trace(TRACE_CONFIG)
+    path = write_trace(
+        records, tmp_path_factory.mktemp("trace") / "lane.jsonl", meta=meta
+    )
+    return read_trace(path)
 
 
 def test_serving_ingest_replay(benchmark, recorded_trace):
@@ -50,6 +82,7 @@ def test_serving_ingest_replay(benchmark, recorded_trace):
 
     report = benchmark(run)
     wall_min = benchmark.stats.stats.min
+    _RESULTS["off_min"] = wall_min
     benchmark.extra_info["trace_records"] = report.offered
     benchmark.extra_info["msgs_per_s"] = round(report.offered / wall_min, 1)
     benchmark.extra_info["p99_latency_s"] = report.latency_p99
@@ -65,3 +98,75 @@ def test_serving_ingest_replay(benchmark, recorded_trace):
     assert report.shed == 0
     assert report.applied > 0
     assert report.latency_p99 > 0.0
+
+
+def test_serving_ingest_replay_wal(benchmark, recorded_trace, tmp_path):
+    """Same replay with the write-ahead log on: the durability tax.
+
+    Gated two ways: ``wal_msgs_per_s`` against the committed baseline
+    (full local gate), and ``wal_on_vs_off_speedup`` — WAL-on throughput
+    as a fraction of the WAL-off round measured moments earlier on the
+    same machine — under CI's hardware-independent ``*_speedup`` gate.
+    ``wal_recovery_s`` records how long a mid-replay crash takes to
+    recover (snapshot load + WAL tail replay), lower-is-better under
+    ``compare.py``'s ``*_recovery_s`` rule.
+    """
+    meta, records = recorded_trace
+    rounds = itertools.count()
+
+    def run():
+        manager = DurabilityManager(
+            tmp_path / f"round-{next(rounds)}",
+            DurabilityConfig(snapshot_every=4096),
+        )
+        report, _service = replay_trace_full(
+            records, REPLAY, trace_meta=meta, durability=manager
+        )
+        manager.close()
+        return report
+
+    report = benchmark(run)
+    wall_min = benchmark.stats.stats.min
+    benchmark.extra_info["wal_msgs_per_s"] = round(
+        report.offered / wall_min, 1
+    )
+    benchmark.extra_info["wal_appended"] = report.wal_appended
+
+    off_min = _RESULTS.get("off_min")
+    if off_min is not None:
+        speedup = off_min / wall_min  # < 1: the WAL costs throughput
+        benchmark.extra_info["wal_on_vs_off_speedup"] = round(speedup, 4)
+
+    # One measured crash/recovery on the same trace: the chaos lane's
+    # convergence gate doubles as the recovery-time probe.
+    gate_report, _golden, _crashed = run_recovery_gate(
+        records,
+        tmp_path / "gate",
+        replay=GATE_REPLAY,
+        snapshot_every=4096,
+        trace_meta=meta,
+    )
+    benchmark.extra_info["wal_recovery_s"] = round(
+        gate_report.recovery_wall_s, 6
+    )
+
+    print_header("Serving: WAL-on replay + crash recovery")
+    print(report.summary())
+    print(
+        f"WAL-on ceiling: {report.offered / wall_min:,.0f} msgs/s "
+        f"({report.wal_appended} entries logged)"
+    )
+    if off_min is not None:
+        print(f"WAL-on vs WAL-off: {off_min / wall_min:.3f}x")
+    print(gate_report.summary())
+
+    assert report.shed == 0
+    assert report.wal_appended >= report.applied
+    assert gate_report.converged
+    # The durability tax budget: WAL-on within 25% of WAL-off, measured
+    # back-to-back on the same machine.
+    if off_min is not None:
+        assert wall_min <= 1.25 * off_min, (
+            f"WAL overhead {wall_min / off_min:.2f}x exceeds the 1.25x "
+            "budget"
+        )

@@ -20,7 +20,10 @@ Benchmarks may also attach application-level numbers via pytest-benchmark
 ``p99_latency_s``).  Numeric keys present in both files are printed with
 their own ratios; with ``--fail-on-regress`` they gate too — keys ending
 in ``_per_s`` or ``_speedup`` are rates (higher is better), everything
-else is a cost (lower is better).
+else is a cost (lower is better).  ``*_recovery_s`` keys (crash-recovery
+wall times from the durability benchmarks) are pinned as costs
+explicitly: a slower recovery regresses upward no matter what other
+suffix conventions are added later.
 
 ``--gate-keys PATTERN`` narrows the gate to extra_info keys matching the
 fnmatch pattern; timing rows and other keys then report only.  That is
@@ -43,6 +46,18 @@ from pathlib import Path
 #: hardware-independent ratios (e.g. columnar vs object path).  Everything
 #: else (latencies, counts) regresses upward.
 RATE_SUFFIXES = ("_per_s", "_speedup")
+
+#: Suffixes pinned as "lower is better" *before* the rate check runs.
+#: ``_recovery_s`` marks crash-recovery wall times; pinning them keeps a
+#: future rate suffix from ever flipping their polarity by accident.
+COST_SUFFIXES = ("_recovery_s",)
+
+
+def is_rate_key(key: str) -> bool:
+    """Whether *key* is higher-is-better (cost suffixes take precedence)."""
+    if key.endswith(COST_SUFFIXES):
+        return False
+    return key.endswith(RATE_SUFFIXES)
 
 
 def load_stats(path: Path) -> dict[str, dict[str, float]]:
@@ -82,7 +97,7 @@ def compare_extra_info(
             base, cand = baseline[name][key], candidate[name][key]
             if base <= 0 or cand <= 0:
                 continue  # counts of zero carry no ratio
-            if key.endswith(RATE_SUFFIXES):
+            if is_rate_key(key):
                 ratio = base / cand
             else:
                 ratio = cand / base

@@ -32,6 +32,7 @@ from repro.estimation.tracker import (
     LocationTracker,
     SimpleSmoothingTracker,
     VelocityComponentTracker,
+    tracker_from_state,
 )
 from repro.geometry import Vec2
 from repro.network.messages import LocationUpdate
@@ -404,6 +405,56 @@ class GridBroker:
             self._t_staleness.set(staleness_max)
         self._updated_since_tick.clear()
         return estimated
+
+    # -- state snapshots -----------------------------------------------------
+    def state_dict(self) -> dict:
+        """Complete broker state as JSON-safe values.
+
+        Covers the location DB (latest records + counters), every tracker's
+        smoothing state, the quarantine/updated-since-tick sets and the
+        broker counters.  :meth:`load_state` on a freshly-constructed broker
+        with the same config reproduces ``receive_update``/``tick``/
+        ``believed_position`` behaviour bit-exactly — the contract the
+        serving layer's shard snapshots (``repro.serving.durability``) rely
+        on.  Raises :class:`TypeError` when a tracker family has no state
+        codec (kalman/arima/map-matched).
+        """
+        return {
+            "db": self.location_db.state_dict(),
+            "estimates_made": self.estimates_made,
+            "quarantined": sorted(self._quarantined),
+            "quarantines": self.quarantines,
+            "resyncs": self.resyncs,
+            "stale_lus_dropped": self.stale_lus_dropped,
+            "trackers": {
+                node_id: tracker.state_dict()
+                for node_id, tracker in sorted(self._trackers.items())
+            },
+            "updated_since_tick": sorted(self._updated_since_tick),
+            "updates_received": self.updates_received,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict` bit-exactly.
+
+        The broker must have been constructed with the same config as the
+        one that produced *state* (config itself is not serialized — it is
+        the restoring owner's responsibility, mirroring how the serving
+        store rebuilds shards from its own ``ServingConfig``).
+        """
+        self.location_db.load_state(state["db"])
+        self._trackers.clear()
+        for node_id, tracker_state in state["trackers"].items():
+            self._trackers[node_id] = tracker_from_state(tracker_state)
+        self._updated_since_tick.clear()
+        self._updated_since_tick.update(state["updated_since_tick"])
+        self._quarantined.clear()
+        self._quarantined.update(state["quarantined"])
+        self.estimates_made = int(state["estimates_made"])
+        self.quarantines = int(state["quarantines"])
+        self.resyncs = int(state["resyncs"])
+        self.stale_lus_dropped = int(state["stale_lus_dropped"])
+        self.updates_received = int(state["updates_received"])
 
     # -- queries ------------------------------------------------------------------
     def believed_position(self, node_id: str, now: float | None = None) -> Vec2 | None:

@@ -96,6 +96,53 @@ class LocationDB:
                 self._t_estimated.inc()
             self._t_nodes.set(len(self._latest))
 
+    def state_dict(self) -> dict:
+        """Durable DB state as JSON-safe values.
+
+        Only latest records and counters are durable; per-node history is a
+        bounded diagnostic ring and is reseeded with the latest record on
+        restore.
+        """
+        return {
+            "history_length": self._history_length,
+            "latest": {
+                node_id: [
+                    record.time,
+                    record.position.x,
+                    record.position.y,
+                    record.source.value,
+                ]
+                for node_id, record in sorted(self._latest.items())
+            },
+            "stored_estimated": self.stored_estimated,
+            "stored_received": self.stored_received,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict`.
+
+        Latest records and counters round-trip exactly; each node's history
+        restarts with just its latest record.
+        """
+        self._latest.clear()
+        self._history.clear()
+        self._history_length = int(state["history_length"])
+        for node_id, row in state["latest"].items():
+            record = LocationRecord(
+                node_id=node_id,
+                time=float(row[0]),
+                position=Vec2(float(row[1]), float(row[2])),
+                source=RecordSource(row[3]),
+            )
+            self._latest[node_id] = record
+            history: deque[LocationRecord] = deque(maxlen=self._history_length)
+            history.append(record)
+            self._history[node_id] = history
+        self.stored_estimated = int(state["stored_estimated"])
+        self.stored_received = int(state["stored_received"])
+        if self._instrumented:
+            self._t_nodes.set(len(self._latest))
+
     def latest(self, node_id: str) -> LocationRecord | None:
         """The node's most recent record, if any."""
         return self._latest.get(node_id)

@@ -363,6 +363,62 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SEC",
         help="trace-time seconds between estimation sweeps (0 = off)",
     )
+    serving.add_argument(
+        "--recovery",
+        action="store_true",
+        help="chaos lane: crash a shard mid-replay, recover from WAL + "
+        "snapshot, and gate on convergence with the uncrashed run",
+    )
+    serving.add_argument(
+        "--crash-shard",
+        type=int,
+        default=0,
+        metavar="N",
+        help="which store shard the recovery lane crashes (default 0)",
+    )
+    serving.add_argument(
+        "--crash-at",
+        type=float,
+        default=0.45,
+        metavar="FRAC",
+        help="crash time as a fraction of the replay horizon (default 0.45)",
+    )
+    serving.add_argument(
+        "--restart-at",
+        type=float,
+        default=0.75,
+        metavar="FRAC",
+        help="restart time as a fraction of the replay horizon (default 0.75)",
+    )
+    serving.add_argument(
+        "--wal-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="directory for per-shard WALs and snapshots "
+        "(default: a temporary directory)",
+    )
+    serving.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=2048,
+        metavar="N",
+        help="snapshot+compact a shard every N WAL'd LUs (0 = never)",
+    )
+    serving.add_argument(
+        "--export-golden",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the uncrashed run's filtered store export (recovery lane)",
+    )
+    serving.add_argument(
+        "--export-recovered",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the recovered run's filtered store export (recovery lane)",
+    )
     return parser
 
 
@@ -796,6 +852,43 @@ def _serving_target(args: argparse.Namespace) -> int:
         sweep_interval=sweep,
         serving=ServingConfig(shards=args.shards),
     )
+    if args.recovery:
+        import tempfile
+
+        from repro.serving import run_recovery_gate, write_filtered_export
+
+        wal_dir = args.wal_dir or tempfile.mkdtemp(prefix="repro-wal-")
+        gate, golden_export, recovered_export = run_recovery_gate(
+            records,
+            wal_dir,
+            replay=replay_config,
+            crash_shard=args.crash_shard,
+            crash_fraction=args.crash_at,
+            restart_fraction=args.restart_at,
+            snapshot_every=args.snapshot_every,
+            trace_meta=meta,
+        )
+        print(gate.summary())
+        if args.export_golden:
+            path = write_filtered_export(
+                golden_export, gate.affected_nodes, args.export_golden
+            )
+            print(f"wrote {path}")
+        if args.export_recovered:
+            path = write_filtered_export(
+                recovered_export, gate.affected_nodes, args.export_recovered
+            )
+            print(f"wrote {path}")
+        if args.export_json:
+            print(f"wrote {gate.write_json(args.export_json)}")
+        if not gate.converged:
+            print(
+                "recovery DIVERGED on: "
+                + ", ".join(gate.divergent_nodes),
+                file=sys.stderr,
+            )
+            return 1
+        return 0
     telemetry = Telemetry(TelemetryConfig(enabled=True))
     report = replay_trace(
         records, replay_config, trace_meta=meta, telemetry=telemetry

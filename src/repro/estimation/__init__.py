@@ -23,6 +23,7 @@ from repro.estimation.tracker import (
     LocationTracker,
     SimpleSmoothingTracker,
     VelocityComponentTracker,
+    tracker_from_state,
 )
 from repro.estimation.metrics import mae, max_error, rmse
 
@@ -41,6 +42,7 @@ __all__ = [
     "VelocityComponentTracker",
     "SimpleSmoothingTracker",
     "HoltTracker",
+    "tracker_from_state",
     "rmse",
     "mae",
     "max_error",

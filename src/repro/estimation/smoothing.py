@@ -5,6 +5,12 @@ The paper's Location Estimator uses **Brown's double exponential smoothing**
 chosen over ARIMA because it is cheap to update online and needs no training
 dataset.  We also provide simple (single) smoothing and Holt's linear method
 for the estimator ablation.
+
+Every smoother exposes ``state_dict()`` / ``load_state()``: the complete
+internal state as plain JSON scalars, restored bit-exactly (floats
+round-trip through Python's shortest-repr ``json`` encoding).  The
+serving layer's shard snapshots (``repro.serving.durability``) lean on
+this to make broker estimator state reconstructible after a crash.
 """
 
 from __future__ import annotations
@@ -25,6 +31,14 @@ class _Smoother(abc.ABC):
 
     def __init__(self) -> None:
         self._n = 0
+
+    def state_dict(self) -> dict:
+        """Full internal state as JSON-safe scalars."""
+        raise NotImplementedError
+
+    def load_state(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict` bit-exactly."""
+        raise NotImplementedError
 
     @property
     def n_observations(self) -> int:
@@ -71,6 +85,16 @@ class SimpleExponentialSmoothing(_Smoother):
         """The smoothing constant."""
         return self._alpha
 
+    def state_dict(self) -> dict:
+        """Full internal state as JSON-safe scalars."""
+        return {"alpha": self._alpha, "n": self._n, "s": self._s}
+
+    def load_state(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict` bit-exactly."""
+        self._alpha = float(state["alpha"])
+        self._n = int(state["n"])
+        self._s = float(state["s"])
+
     def _absorb(self, value: float) -> None:
         if self._n == 0:
             self._s = value
@@ -109,6 +133,17 @@ class BrownDoubleExponentialSmoothing(_Smoother):
     def alpha(self) -> float:
         """The smoothing constant."""
         return self._alpha
+
+    def state_dict(self) -> dict:
+        """Full internal state as JSON-safe scalars."""
+        return {"alpha": self._alpha, "n": self._n, "s1": self._s1, "s2": self._s2}
+
+    def load_state(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict` bit-exactly."""
+        self._alpha = float(state["alpha"])
+        self._n = int(state["n"])
+        self._s1 = float(state["s1"])
+        self._s2 = float(state["s2"])
 
     def update(self, value: float) -> float:
         # Concrete override of _Smoother.update: Brown smoothers absorb one
@@ -159,6 +194,24 @@ class HoltLinearSmoothing(_Smoother):
         self._beta = check_in_range(beta, "beta", 0.0, 1.0, inclusive=False)
         self._level = 0.0
         self._trend = 0.0
+
+    def state_dict(self) -> dict:
+        """Full internal state as JSON-safe scalars."""
+        return {
+            "alpha": self._alpha,
+            "beta": self._beta,
+            "level": self._level,
+            "n": self._n,
+            "trend": self._trend,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict` bit-exactly."""
+        self._alpha = float(state["alpha"])
+        self._beta = float(state["beta"])
+        self._level = float(state["level"])
+        self._n = int(state["n"])
+        self._trend = float(state["trend"])
 
     def _absorb(self, value: float) -> None:
         if self._n == 0:

@@ -28,17 +28,69 @@ __all__ = [
     "VelocityComponentTracker",
     "SimpleSmoothingTracker",
     "HoltTracker",
+    "tracker_from_state",
 ]
 
 
 class LocationTracker(abc.ABC):
     """Base tracker: one per (broker, MN) pair."""
 
+    #: Stable identifier used by :meth:`state_dict` / :func:`tracker_from_state`.
+    #: ``None`` means the tracker family has no snapshot codec.
+    _state_kind: str | None = None
+
     def __init__(self) -> None:
         self._last_time: float | None = None
         self._last_position: Vec2 | None = None
         self._displacement_cap: float | None = None
         self._updates = 0
+
+    def state_dict(self) -> dict:
+        """Full tracker state as JSON-safe values.
+
+        Restoring via :func:`tracker_from_state` (or :meth:`load_state` on a
+        fresh instance of the same class) reproduces ``predict`` bit-exactly.
+        Raises :class:`TypeError` for tracker families without a codec.
+        """
+        if self._state_kind is None:
+            raise TypeError(
+                f"{type(self).__name__} does not support state snapshots; "
+                "durable serving shards require a snapshot-capable tracker"
+            )
+        state = {
+            "displacement_cap": self._displacement_cap,
+            "kind": self._state_kind,
+            "last_position": (
+                None
+                if self._last_position is None
+                else [self._last_position.x, self._last_position.y]
+            ),
+            "last_time": self._last_time,
+            "updates": self._updates,
+        }
+        state.update(self._extra_state())
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore state produced by :meth:`state_dict` bit-exactly."""
+        if state.get("kind") != self._state_kind:
+            raise ValueError(
+                f"tracker state kind {state.get('kind')!r} does not match "
+                f"{type(self).__name__} ({self._state_kind!r})"
+            )
+        self._last_time = None if state["last_time"] is None else float(state["last_time"])
+        pos = state["last_position"]
+        self._last_position = None if pos is None else Vec2(float(pos[0]), float(pos[1]))
+        cap = state["displacement_cap"]
+        self._displacement_cap = None if cap is None else float(cap)
+        self._updates = int(state["updates"])
+        self._load_extra_state(state)
+
+    def _extra_state(self) -> dict:
+        return {}
+
+    def _load_extra_state(self, state: dict) -> None:
+        pass
 
     @property
     def updates_received(self) -> int:
@@ -113,6 +165,8 @@ class LastKnownTracker(LocationTracker):
     This is the "without LE" configuration of Figs. 7 and 8.
     """
 
+    _state_kind = "last_known"
+
     def update(
         self,
         time: float,
@@ -156,11 +210,25 @@ class BrownTracker(LocationTracker):
         position(t) = last_fix + v_hat * (t - t_fix) * (cos θ_hat, sin θ_hat)
     """
 
+    _state_kind = "brown"
+
     def __init__(self, alpha: float = 0.4) -> None:
         super().__init__()
         self._speed = BrownDoubleExponentialSmoothing(alpha)
         self._dir_cos = BrownDoubleExponentialSmoothing(alpha)
         self._dir_sin = BrownDoubleExponentialSmoothing(alpha)
+
+    def _extra_state(self) -> dict:
+        return {
+            "dir_cos": self._dir_cos.state_dict(),
+            "dir_sin": self._dir_sin.state_dict(),
+            "speed": self._speed.state_dict(),
+        }
+
+    def _load_extra_state(self, state: dict) -> None:
+        self._dir_cos.load_state(state["dir_cos"])
+        self._dir_sin.load_state(state["dir_sin"])
+        self._speed.load_state(state["speed"])
 
     def update(
         self,
@@ -297,10 +365,19 @@ class VelocityComponentTracker(LocationTracker):
     unwrapping; included as an estimator-design ablation.
     """
 
+    _state_kind = "velocity"
+
     def __init__(self, alpha: float = 0.4) -> None:
         super().__init__()
         self._vx = BrownDoubleExponentialSmoothing(alpha)
         self._vy = BrownDoubleExponentialSmoothing(alpha)
+
+    def _extra_state(self) -> dict:
+        return {"vx": self._vx.state_dict(), "vy": self._vy.state_dict()}
+
+    def _load_extra_state(self, state: dict) -> None:
+        self._vx.load_state(state["vx"])
+        self._vy.load_state(state["vy"])
 
     def _observe(self, time: float, position: Vec2, velocity: Vec2) -> None:
         self._vx.update(velocity.x)
@@ -331,6 +408,18 @@ class _ScalarPairTracker(LocationTracker):
         self._dir_cos = dir_cos
         self._dir_sin = dir_sin
 
+    def _extra_state(self) -> dict:
+        return {
+            "dir_cos": self._dir_cos.state_dict(),
+            "dir_sin": self._dir_sin.state_dict(),
+            "speed": self._speed.state_dict(),
+        }
+
+    def _load_extra_state(self, state: dict) -> None:
+        self._dir_cos.load_state(state["dir_cos"])
+        self._dir_sin.load_state(state["dir_sin"])
+        self._speed.load_state(state["speed"])
+
     def _observe(self, time: float, position: Vec2, velocity: Vec2) -> None:
         speed = velocity.norm()
         self._speed.update(speed)
@@ -358,6 +447,8 @@ class _ScalarPairTracker(LocationTracker):
 class SimpleSmoothingTracker(_ScalarPairTracker):
     """Single exponential smoothing on speed/direction (no trend)."""
 
+    _state_kind = "simple"
+
     def __init__(self, alpha: float = 0.4) -> None:
         super().__init__(
             SimpleExponentialSmoothing(alpha),
@@ -369,9 +460,31 @@ class SimpleSmoothingTracker(_ScalarPairTracker):
 class HoltTracker(_ScalarPairTracker):
     """Holt's linear method on speed/direction."""
 
+    _state_kind = "holt"
+
     def __init__(self, alpha: float = 0.4, beta: float = 0.2) -> None:
         super().__init__(
             HoltLinearSmoothing(alpha, beta),
             HoltLinearSmoothing(alpha, beta),
             HoltLinearSmoothing(alpha, beta),
         )
+
+
+_TRACKER_CLASSES: dict[str, type[LocationTracker]] = {
+    "last_known": LastKnownTracker,
+    "brown": BrownTracker,
+    "velocity": VelocityComponentTracker,
+    "simple": SimpleSmoothingTracker,
+    "holt": HoltTracker,
+}
+
+
+def tracker_from_state(state: dict) -> LocationTracker:
+    """Rebuild a tracker from a :meth:`LocationTracker.state_dict` dict."""
+    kind = state.get("kind")
+    cls = _TRACKER_CLASSES.get(kind) if isinstance(kind, str) else None
+    if cls is None:
+        raise ValueError(f"unknown tracker state kind: {kind!r}")
+    tracker = cls()
+    tracker.load_state(state)
+    return tracker

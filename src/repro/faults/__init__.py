@@ -30,6 +30,7 @@ from repro.faults.schedule import (
     GatewayOutage,
     NodeChurn,
     RegionBlackout,
+    ShardCrash,
 )
 from repro.network.channel import GilbertElliottLoss
 
@@ -41,5 +42,6 @@ __all__ = [
     "GilbertElliottLoss",
     "NodeChurn",
     "RegionBlackout",
+    "ShardCrash",
     "TimelineEntry",
 ]

@@ -29,6 +29,7 @@ from repro.faults.schedule import (
     FaultSchedule,
     GatewayOutage,
     RegionBlackout,
+    ShardCrash,
 )
 from repro.network.channel import WirelessChannel
 from repro.network.gateway import WirelessGateway
@@ -71,6 +72,7 @@ class FaultInjector:
         *,
         gateways: Iterable[WirelessGateway] = (),
         channels: Iterable[WirelessChannel] = (),
+        service: Any = None,
         allow_churn: bool = False,
     ) -> None:
         """Schedule every fault window on *sim*.
@@ -78,9 +80,13 @@ class FaultInjector:
         *gateways* are the outage/blackout targets; their uplinks are also
         degradation targets, keyed by region.  *channels* are extra
         degradation targets not owned by a gateway (matched only by
-        region-unscoped degradations).  A schedule containing churn faults
-        requires ``allow_churn=True`` — the caller's step loop must poll
-        :meth:`FaultSchedule.churn_window` itself.
+        region-unscoped degradations).  *service* is the
+        :class:`~repro.serving.service.IngestService` that
+        :class:`~repro.faults.schedule.ShardCrash` windows target —
+        attaching a schedule containing shard crashes without one is an
+        error, not a silent no-op, as is a schedule containing churn
+        without ``allow_churn=True`` (the caller's step loop must poll
+        :meth:`FaultSchedule.churn_window` itself).
         """
         if self._attached:
             raise RuntimeError("injector is already attached")
@@ -90,6 +96,12 @@ class FaultInjector:
                 "consumers cannot honour; drive churn from the study's step "
                 "loop (chaos/churn studies) or pass allow_churn=True after "
                 "wiring churn_window() into yours"
+            )
+        if self.schedule.has_shard_crashes and service is None:
+            raise ValueError(
+                "schedule contains ShardCrash faults but no service was "
+                "given; pass the IngestService (with a durability manager) "
+                "whose shards the crashes target"
             )
         self._attached = True
         gateways = list(gateways)
@@ -123,6 +135,8 @@ class FaultInjector:
                         for gw in by_region.get(region_id, [])
                     ]
                 self._schedule_degradation(sim, fault, targets_ch)
+            elif isinstance(fault, ShardCrash):
+                self._schedule_shard_crash(sim, fault, service)
             # NodeChurn: handled by the study's step loop, nothing to schedule.
 
     # -- scheduling helpers ---------------------------------------------------
@@ -170,6 +184,23 @@ class FaultInjector:
 
         sim.schedule_at(fault.start, apply, label="faults:degrade")
         sim.schedule_at(fault.end, revert, label="faults:restore")
+
+    def _schedule_shard_crash(
+        self, sim: Simulator, fault: ShardCrash, service: Any
+    ) -> None:
+        index = fault.shard_index
+        target = f"shard-{index}"
+
+        def crash() -> None:
+            service.crash_shard(index)
+            self._record(sim.now, "apply", "ShardCrash", target)
+
+        def restart() -> None:
+            service.restart_shard(index)
+            self._record(sim.now, "revert", "ShardRestart", target)
+
+        sim.schedule_at(fault.start, crash, label="faults:shard-crash")
+        sim.schedule_at(fault.end, restart, label="faults:shard-restart")
 
     def _record(self, time: float, action: str, kind: str, target: str) -> None:
         self.timeline.append(

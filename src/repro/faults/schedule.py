@@ -32,6 +32,7 @@ __all__ = [
     "GatewayOutage",
     "NodeChurn",
     "RegionBlackout",
+    "ShardCrash",
 ]
 
 
@@ -146,7 +147,36 @@ class NodeChurn:
         return self.start + self.duration
 
 
-Fault = GatewayOutage | RegionBlackout | ChannelDegradation | NodeChurn
+@dataclass(frozen=True)
+class ShardCrash:
+    """One serving-store shard killed for a window, then restarted.
+
+    Bound by the injector to an
+    :class:`~repro.serving.service.IngestService`: at ``start`` the shard's
+    in-memory broker and queued-but-unflushed window are dropped
+    (``crash_shard``); at ``end`` it is reconstructed from its snapshot +
+    WAL tail (``restart_shard``) and resyncs through the normal ingest
+    path.  The restart is the window's end — a deterministic
+    ``ShardRestart`` event on the injector timeline.
+    """
+
+    shard_index: int
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.duration)
+        if self.shard_index < 0:
+            raise ValueError(
+                f"shard_index must be >= 0, got {self.shard_index}"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+Fault = GatewayOutage | RegionBlackout | ChannelDegradation | NodeChurn | ShardCrash
 
 
 @dataclass(frozen=True)
@@ -158,7 +188,14 @@ class FaultSchedule:
     def __post_init__(self) -> None:
         for fault in self.faults:
             if not isinstance(
-                fault, (GatewayOutage, RegionBlackout, ChannelDegradation, NodeChurn)
+                fault,
+                (
+                    GatewayOutage,
+                    RegionBlackout,
+                    ChannelDegradation,
+                    NodeChurn,
+                    ShardCrash,
+                ),
             ):
                 raise TypeError(f"not a fault spec: {fault!r}")
 
@@ -181,6 +218,10 @@ class FaultSchedule:
     @property
     def has_churn(self) -> bool:
         return any(isinstance(f, NodeChurn) for f in self.faults)
+
+    @property
+    def has_shard_crashes(self) -> bool:
+        return any(isinstance(f, ShardCrash) for f in self.faults)
 
     def churn_window(self, now: float) -> NodeChurn | None:
         """The churn fault active at *now*, if any (first match wins)."""
@@ -327,6 +368,8 @@ class FaultSchedule:
                     f"{window} churn: hazard {fault.hazard:g}/s, "
                     f"mean outage {fault.mean_outage:g}s"
                 )
+            elif isinstance(fault, ShardCrash):
+                lines.append(f"{window} shard crash: shard {fault.shard_index}")
             else:
                 parts = []
                 if fault.burst is not None:

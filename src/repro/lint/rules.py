@@ -108,8 +108,13 @@ class WallClockRule(_ImportTrackingRule):
     ``time.time``/``time.monotonic``/``datetime.now`` smuggle the host
     clock into that state and break bit-identical replay.  Wall-clock
     profiling belongs to the telemetry subsystem (tracer spans), which
-    keeps it out of seed-stable data; ``time.perf_counter`` is allowed
-    in benchmark harnesses because it never feeds simulation state.
+    keeps it out of seed-stable data.  ``time.perf_counter`` is audited
+    too: it is allowed in benchmark harnesses (outside ``src/``) and in
+    the explicitly declared wall-measurement sites
+    (:data:`_PERF_COUNTER_ALLOWED` — the scaling sweep's throughput
+    timers and the serving recovery lane's recovery-time measurement),
+    but nowhere else — in particular not in the serving durability
+    write paths, which must stay virtual-clock only.
     """
 
     code = "DET001"
@@ -131,6 +136,20 @@ class WallClockRule(_ImportTrackingRule):
         ("datetime", "date.today"),
     }
 
+    #: perf_counter is wall-clock too — these call sites are forbidden
+    #: except in the declared measurement modules below.
+    _PROFILING = {
+        ("time", "perf_counter"),
+        ("time", "perf_counter_ns"),
+    }
+
+    #: Modules allowed to read perf_counter: wall-time *measurement*
+    #: that decorates reports without feeding simulation state.
+    _PERF_COUNTER_ALLOWED = {
+        "src/repro/experiments/scaling.py",
+        "src/repro/serving/recovery.py",
+    }
+
     def applies_to(self, rel_path: str) -> bool:
         return _under(rel_path, "src/repro") and not _under(
             rel_path, "src/repro/telemetry"
@@ -143,6 +162,17 @@ class WallClockRule(_ImportTrackingRule):
             module, tail = resolved
             yield self.finding(
                 ctx, node, f"wall-clock call {module}.{tail}() in a sim path"
+            )
+        elif (
+            resolved in self._PROFILING
+            and ctx.rel_path not in self._PERF_COUNTER_ALLOWED
+        ):
+            module, tail = resolved
+            yield self.finding(
+                ctx,
+                node,
+                f"wall-clock call {module}.{tail}() outside the declared "
+                "measurement sites",
             )
 
 

@@ -14,15 +14,37 @@ The serving layer lifts the paper's in-loop broker into a service shape:
 * :mod:`repro.serving.frontend` — a thread-pool front end for genuinely
   concurrent producers (validated by conservation laws);
 * :mod:`repro.serving.loadgen` / :mod:`repro.serving.report` — open-loop
-  replay at configurable rates with a byte-reproducible SLO report.
+  replay at configurable rates with a byte-reproducible SLO report;
+* :mod:`repro.serving.durability` — per-shard write-ahead log +
+  snapshots + compaction, so a killed shard is reconstructible as
+  snapshot state plus WAL tail replay;
+* :mod:`repro.serving.recovery` — the crash-recovery convergence gate:
+  a mid-replay ``ShardCrash``/restart must reproduce the uncrashed
+  store byte-identically outside the explicitly-accounted shed window.
 """
 
 from repro.serving.client import ReliableIngestClient
+from repro.serving.durability import (
+    DurabilityConfig,
+    DurabilityManager,
+    WriteAheadLog,
+    read_wal,
+)
 from repro.serving.frontend import ThreadedFrontEnd
-from repro.serving.loadgen import ReplayConfig, replay_trace
+from repro.serving.loadgen import ReplayConfig, replay_trace, replay_trace_full
+from repro.serving.recovery import (
+    RecoveryGateReport,
+    run_recovery_gate,
+    write_filtered_export,
+)
 from repro.serving.report import ServingReport
-from repro.serving.service import IngestService, ServingConfig
-from repro.serving.store import IngestOutcome, ShardedLocationStore, shard_for
+from repro.serving.service import IngestService, RecoveryStats, ServingConfig
+from repro.serving.store import (
+    IngestOutcome,
+    IngestTally,
+    ShardedLocationStore,
+    shard_for,
+)
 from repro.serving.trace import (
     ColumnarTraceRecorder,
     TraceError,
@@ -36,8 +58,13 @@ from repro.serving.trace import (
 
 __all__ = [
     "ColumnarTraceRecorder",
+    "DurabilityConfig",
+    "DurabilityManager",
     "IngestOutcome",
     "IngestService",
+    "IngestTally",
+    "RecoveryGateReport",
+    "RecoveryStats",
     "ReliableIngestClient",
     "ReplayConfig",
     "ServingConfig",
@@ -47,10 +74,15 @@ __all__ = [
     "TraceError",
     "TraceRecord",
     "TraceRecorder",
+    "WriteAheadLog",
     "read_trace",
+    "read_wal",
     "record_columnar_trace",
     "record_trace",
     "replay_trace",
+    "replay_trace_full",
+    "run_recovery_gate",
     "shard_for",
+    "write_filtered_export",
     "write_trace",
 ]

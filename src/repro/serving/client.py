@@ -12,6 +12,17 @@ under backpressure simply refuses the message *before* it is acked, the
 sender's ARQ timer fires, and the LU is retried with backoff instead of
 being silently dropped.  Shed becomes retransmission pressure, visible in
 both the link's and the service's counters.
+
+Retry pressure needs a relief valve: a *crashed* shard refuses every
+message for its whole down window, and without one every client would
+burn its full retry budget per LU and then hammer the shard the moment
+it restarts (a retry storm against a recovering shard).  The client
+therefore keeps a per-shard **circuit breaker** driven by the link's
+sender-side outcomes: ``failure_threshold`` consecutive give-ups open
+the breaker, an open breaker sheds locally (cheap, accounted) instead of
+transmitting, and after an exponentially growing cooldown one probe is
+let through — an ack closes the breaker, another give-up reopens it with
+a longer cooldown.  Shed-vs-retry is explicit in :meth:`accounting`.
 """
 
 from __future__ import annotations
@@ -24,6 +35,20 @@ from repro.network.reliable import ReliableLink
 from repro.simkernel import Simulator
 
 __all__ = ["ReliableIngestClient"]
+
+
+class _Breaker:
+    """Per-shard circuit-breaker state."""
+
+    __slots__ = ("consecutive_failures", "open_until", "reopenings", "opens")
+
+    def __init__(self) -> None:
+        self.consecutive_failures = 0
+        self.open_until = 0.0
+        #: Consecutive openings without an intervening success — the
+        #: exponent of the cooldown backoff.
+        self.reopenings = 0
+        self.opens = 0
 
 
 class ReliableIngestClient:
@@ -39,12 +64,39 @@ class ReliableIngestClient:
         ack_timeout: float = 0.5,
         backoff_factor: float = 2.0,
         max_retries: int = 4,
+        failure_threshold: int = 3,
+        breaker_cooldown: float = 1.0,
+        breaker_backoff: float = 2.0,
+        breaker_max_cooldown: float = 30.0,
         seq_source: SequenceSource | None = None,
         name: str = "ingest-client",
         telemetry: Any = None,
     ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if breaker_cooldown <= 0:
+            raise ValueError(
+                f"breaker_cooldown must be > 0, got {breaker_cooldown}"
+            )
+        if breaker_backoff < 1.0:
+            raise ValueError(
+                f"breaker_backoff must be >= 1, got {breaker_backoff}"
+            )
+        if breaker_max_cooldown < breaker_cooldown:
+            raise ValueError(
+                "breaker_max_cooldown must be >= breaker_cooldown, got "
+                f"{breaker_max_cooldown} < {breaker_cooldown}"
+            )
+        self._sim = sim
         self._service = service
         self.name = name
+        self._failure_threshold = failure_threshold
+        self._breaker_cooldown = breaker_cooldown
+        self._breaker_backoff = breaker_backoff
+        self._breaker_max_cooldown = breaker_max_cooldown
+        self._breakers: dict[int, _Breaker] = {}
         self.link = ReliableLink(
             sim,
             channel,
@@ -57,12 +109,61 @@ class ReliableIngestClient:
             seq_source=seq_source,
             name=name,
             telemetry=telemetry,
+            on_acked=self._acked,
+            on_gave_up=self._gave_up,
         )
         #: LUs the service shed even though the accept gate let them in
         #: (capacity vanished between probe and submit — only possible
         #: when something else fills the queue within the same event).
         self.shed_after_accept = 0
+        #: LUs shed locally by an open breaker (never transmitted).
+        self.shed_by_breaker = 0
+        #: Breaker open transitions (probe failures reopening count too).
+        self.breaker_opens = 0
 
+    # -- breaker --------------------------------------------------------------
+    def _breaker(self, shard: int) -> _Breaker:
+        breaker = self._breakers.get(shard)
+        if breaker is None:
+            breaker = self._breakers[shard] = _Breaker()
+        return breaker
+
+    def breaker_is_open(self, shard: int) -> bool:
+        """Whether *shard*'s breaker currently refuses sends (no probe due)."""
+        breaker = self._breakers.get(shard)
+        return breaker is not None and self._sim.now < breaker.open_until
+
+    def _acked(self, message: Message) -> None:
+        if not isinstance(message, LocationUpdate):
+            return
+        breaker = self._breakers.get(self._service.shard_index(message))
+        if breaker is not None:
+            breaker.consecutive_failures = 0
+            breaker.reopenings = 0
+            breaker.open_until = 0.0
+
+    def _gave_up(self, message: Message) -> None:
+        if not isinstance(message, LocationUpdate):
+            return
+        breaker = self._breaker(self._service.shard_index(message))
+        breaker.consecutive_failures += 1
+        if breaker.consecutive_failures < self._failure_threshold:
+            return
+        cooldown = self._breaker_cooldown * (
+            self._breaker_backoff**breaker.reopenings
+        )
+        if cooldown > self._breaker_max_cooldown:
+            cooldown = self._breaker_max_cooldown
+        breaker.open_until = self._sim.now + cooldown
+        breaker.reopenings += 1
+        breaker.opens += 1
+        self.breaker_opens += 1
+        # The next send after open_until is the half-open probe: one
+        # give-up away from reopening with a longer cooldown, one ack
+        # away from closing fully.
+        breaker.consecutive_failures = self._failure_threshold - 1
+
+    # -- transport ------------------------------------------------------------
     def _accept(self, message: Message) -> bool:
         # Withholding the ack (returning False) is the backpressure
         # signal: the sender's timeout fires and the LU is retried.
@@ -75,9 +176,32 @@ class ReliableIngestClient:
             if not self._service.submit(message):
                 self.shed_after_accept += 1
 
-    def send(self, update: LocationUpdate) -> None:
-        """Offer one LU for reliable delivery to the service."""
+    def send(self, update: LocationUpdate) -> bool:
+        """Offer one LU for reliable delivery; False when breaker-shed.
+
+        An open breaker sheds without transmitting — the deliberate,
+        accounted alternative to burning the retry budget against a
+        shard known to be down.
+        """
+        if self.breaker_is_open(self._service.shard_index(update)):
+            self.shed_by_breaker += 1
+            return False
         self.link.send(update)
+        return True
+
+    # -- accounting -----------------------------------------------------------
+    def accounting(self) -> dict[str, int]:
+        """Shed-vs-retry accounting across the link and the breaker."""
+        stats = self.link.stats
+        return {
+            "breaker_opens": self.breaker_opens,
+            "delivered": stats.delivered,
+            "gave_up": stats.gave_up,
+            "offered": stats.offered,
+            "retransmits": stats.retransmits,
+            "shed_after_accept": self.shed_after_accept,
+            "shed_by_breaker": self.shed_by_breaker,
+        }
 
     @property
     def stats(self) -> Any:

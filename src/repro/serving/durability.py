@@ -1,0 +1,647 @@
+"""Per-shard durability: write-ahead log + snapshots + compaction.
+
+A :class:`~repro.serving.store.ShardedLocationStore` shard is a
+:class:`~repro.broker.broker.GridBroker` living entirely in memory — a
+crash loses its location DB, tracker states and quarantine sets.  This
+module makes that state *reconstructible*: every applied LU and every
+estimation sweep is appended to a per-shard write-ahead log before the
+flush window ends, and periodic snapshots capture the broker's complete
+``state_dict`` so the log can be compacted.  Recovery is then
+
+    snapshot state  +  WAL tail replay (entries past the snapshot LSN)
+
+which reproduces the shard bit-exactly, because a broker is a
+deterministic function of its applied-LU/tick sequence and
+``GridBroker.load_state`` restores the snapshot point exactly.
+
+WAL format (``repro-shard-wal`` version 1)
+------------------------------------------
+
+A flat sequence of length+checksum framed records::
+
+    [u32 length (LE)] [u32 crc32(payload) (LE)] [payload bytes]
+
+Payloads are UTF-8 JSON.  Frame 0 is the file header
+``{"base_lsn": N, "format": "repro-shard-wal", "shard": i, "version": 1}``;
+every further frame is one entry:
+
+* ``["lu", time, seq, node_id, x, y, vx, vy, region_id, dth]`` — the
+  ``repro-lu-trace`` row encoding of one *applied* LU (post-dedup: the
+  WAL records what the shard actually absorbed, so replay needs no
+  gate logic);
+* ``["tick", now]`` — one estimation sweep boundary.
+
+Entries carry implicit log sequence numbers: the first entry frame in a
+file has LSN ``base_lsn + 1``.  Compaction rewrites the file with a new
+``base_lsn`` (atomically, via a temp file and ``os.replace``), so LSNs
+are absolute across the shard's lifetime and a snapshot taken at LSN
+``k`` pairs with any WAL whose ``base_lsn <= k``.
+
+Torn tails are expected, not fatal: :func:`read_wal` scans frames and
+stops at the first incomplete or checksum-failing one, returning the
+longest valid prefix plus how many trailing bytes it discarded —
+exactly the contract a killed writer needs.
+
+Durability versus determinism: WAL/snapshot writes happen inside
+simulator events and never read a wall clock (DET001); ``fsync`` is
+policy (:class:`DurabilityConfig`), batched at flush-window boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.network.messages import LocationUpdate
+from repro.telemetry import NULL_TELEMETRY
+
+__all__ = [
+    "WAL_FORMAT",
+    "WAL_VERSION",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "WalError",
+    "WalContents",
+    "RecoveredShard",
+    "WriteAheadLog",
+    "DurabilityConfig",
+    "DurabilityManager",
+    "frame",
+    "read_wal",
+    "scan_frames",
+    "load_snapshot",
+    "write_snapshot",
+]
+
+WAL_FORMAT = "repro-shard-wal"
+WAL_VERSION = 1
+SNAPSHOT_FORMAT = "repro-shard-snapshot"
+SNAPSHOT_VERSION = 1
+
+#: Frame header: little-endian u32 payload length + u32 CRC32(payload).
+_FRAME_HEADER = struct.Struct("<II")
+
+
+class WalError(ValueError):
+    """A structurally invalid WAL or snapshot (beyond a torn tail)."""
+
+
+def frame(payload: bytes) -> bytes:
+    """Wrap *payload* in the length+checksum frame."""
+    return _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def scan_frames(data: bytes) -> tuple[list[Any], int]:
+    """Decode the longest valid frame prefix of *data*.
+
+    Returns ``(payloads, valid_length)`` where *payloads* are the decoded
+    JSON documents of every intact frame and *valid_length* is the byte
+    offset the scan stopped at — anything past it is a torn or corrupt
+    tail.  A frame is intact only when its length fits, its CRC matches
+    and its payload decodes as JSON.
+    """
+    payloads: list[Any] = []
+    offset = 0
+    header_size = _FRAME_HEADER.size
+    total = len(data)
+    while offset + header_size <= total:
+        length, checksum = _FRAME_HEADER.unpack_from(data, offset)
+        start = offset + header_size
+        end = start + length
+        if end > total:
+            break
+        payload = data[start:end]
+        if zlib.crc32(payload) != checksum:
+            break
+        try:
+            payloads.append(json.loads(payload.decode("utf-8")))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            break
+        offset = end
+    return payloads, offset
+
+
+@dataclass(frozen=True)
+class WalContents:
+    """A WAL file's decoded contents (longest valid prefix)."""
+
+    shard: int
+    base_lsn: int
+    entries: list[Any]
+    torn_bytes: int
+
+    @property
+    def next_lsn(self) -> int:
+        """The LSN the next appended entry would get."""
+        return self.base_lsn + len(self.entries) + 1
+
+
+def read_wal(path: str | Path) -> WalContents:
+    """Read a WAL file from disk, tolerating a torn tail.
+
+    Raises :class:`WalError` when the file has no intact, well-formed
+    header frame — that is not a torn write, it is not a WAL.
+    """
+    data = Path(path).read_bytes()
+    payloads, valid = scan_frames(data)
+    if not payloads:
+        raise WalError(f"{path}: no intact WAL header frame")
+    header = payloads[0]
+    if not isinstance(header, dict) or header.get("format") != WAL_FORMAT:
+        raise WalError(f"{path}: not a {WAL_FORMAT} file")
+    if header.get("version") != WAL_VERSION:
+        raise WalError(
+            f"{path}: unsupported WAL version {header.get('version')!r}"
+        )
+    return WalContents(
+        shard=int(header.get("shard", 0)),
+        base_lsn=int(header.get("base_lsn", 0)),
+        entries=payloads[1:],
+        torn_bytes=len(data) - valid,
+    )
+
+
+class WriteAheadLog:
+    """Append-only, length+checksum framed per-shard log.
+
+    Appends are buffered in memory and written on :meth:`flush` — the
+    service calls it once per flush window, so one window's records cost
+    one ``write`` (and, with ``fsync=True``, one ``fsync``).  The crash
+    model matches: anything appended but not yet flushed dies with the
+    process, which is exactly the "queued-but-unflushed window" the
+    recovery accounting charges to the crash.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        shard: int = 0,
+        base_lsn: int = 0,
+        fsync: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self.shard = shard
+        self.base_lsn = base_lsn
+        self.fsync = fsync
+        self.appended = 0
+        self.flushes = 0
+        self.fsyncs = 0
+        self._entries_in_file = 0
+        self._buffer: list[bytes] = []
+        #: node/region id -> its JSON string literal.  Ids repeat across
+        #: nearly every record, and ``json.dumps`` per append is the
+        #: single largest WAL cost — the cache turns the hot path into
+        #: one f-string (floats via ``repr``, which is valid JSON for
+        #: every finite value, and identical for identical inputs, so
+        #: determinism is untouched).
+        self._id_cache: dict[str, str] = {}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("wb")
+        self._fh.write(frame(self._header_payload()))
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+            self.fsyncs += 1
+
+    def _header_payload(self) -> bytes:
+        header = {
+            "base_lsn": self.base_lsn,
+            "format": WAL_FORMAT,
+            "shard": self.shard,
+            "version": WAL_VERSION,
+        }
+        return json.dumps(
+            header, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+    @property
+    def next_lsn(self) -> int:
+        """LSN the next appended entry will get (buffered ones included).
+
+        Entry LSNs start at ``base_lsn + 1`` — the base names the last
+        LSN already compacted *into* a snapshot, so "entries strictly
+        past LSN k" is always ``entries[k - base_lsn:]``.
+        """
+        return self.base_lsn + self._entries_in_file + len(self._buffer) + 1
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the most recently appended entry (``base_lsn`` if none)."""
+        return self.next_lsn - 1
+
+    def append(self, entry: list[Any]) -> int:
+        """Buffer one entry; returns its LSN (durable only after flush)."""
+        payload = json.dumps(
+            entry, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        self._buffer.append(frame(payload))
+        self.appended += 1
+        return self.last_lsn
+
+    def _json_id(self, value: str) -> str:
+        cached = self._id_cache.get(value)
+        if cached is None:
+            cached = self._id_cache[value] = json.dumps(
+                value, sort_keys=True
+            )
+        return cached
+
+    def append_update(self, update: LocationUpdate) -> int:
+        """Append one applied LU in the ``repro-lu-trace`` row encoding.
+
+        An update decoded from a recorded source carries its canonical
+        row bytes in ``update.wire``; the WAL then logs those received
+        bytes (splicing the ``"lu"`` tag in) rather than re-serializing
+        — re-encoding full-precision doubles costs more than the rest of
+        the append put together.  Both branches produce byte-identical
+        frames: ``wire`` is canonical by construction and the fallback's
+        ``repr``-formatted floats are exactly ``json.dumps``'s.
+        """
+        wire = update.wire
+        if wire is not None:
+            payload = b'["lu",' + wire[1:]
+        else:
+            position = update.position
+            velocity = update.velocity
+            payload = (
+                f'["lu",{update.timestamp!r},{update.seq},'
+                f"{self._json_id(update.node_id)},"
+                f"{position.x!r},{position.y!r},"
+                f"{velocity.x!r},{velocity.y!r},"
+                f"{self._json_id(update.region_id)},{update.dth!r}]"
+            ).encode("utf-8")
+        self._buffer.append(frame(payload))
+        self.appended += 1
+        return self.base_lsn + self._entries_in_file + len(self._buffer)
+
+    def append_tick(self, now: float) -> int:
+        """Append one estimation-sweep boundary."""
+        return self.append(["tick", now])
+
+    def flush(self) -> int:
+        """Write buffered frames; returns how many entries became durable."""
+        if not self._buffer:
+            return 0
+        flushed = len(self._buffer)
+        self._fh.write(b"".join(self._buffer))
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+            self.fsyncs += 1
+        self._entries_in_file += flushed
+        self._buffer.clear()
+        self.flushes += 1
+        return flushed
+
+    def drop_buffer(self) -> int:
+        """Discard appended-but-unflushed entries (the crash's lost window)."""
+        dropped = len(self._buffer)
+        self._buffer.clear()
+        self.appended -= dropped
+        return dropped
+
+    def compact(self, upto_lsn: int) -> int:
+        """Drop durable entries with LSN <= *upto_lsn*; returns how many.
+
+        Rewrites the file as header(base_lsn=*upto_lsn*) + surviving
+        entries via a temp file and an atomic ``os.replace``, so a crash
+        mid-compaction leaves either the old or the new file intact.
+        """
+        self.flush()
+        contents = read_wal(self.path)
+        keep_from = upto_lsn - contents.base_lsn
+        if keep_from <= 0:
+            return 0
+        keep_from = min(keep_from, len(contents.entries))
+        survivors = contents.entries[keep_from:]
+        self._fh.close()
+        new_base = contents.base_lsn + keep_from
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        self.base_lsn = new_base
+        with tmp.open("wb") as out:
+            out.write(frame(self._header_payload()))
+            for entry in survivors:
+                payload = json.dumps(
+                    entry, sort_keys=True, separators=(",", ":")
+                ).encode("utf-8")
+                out.write(frame(payload))
+            out.flush()
+            if self.fsync:
+                os.fsync(out.fileno())
+                self.fsyncs += 1
+        os.replace(tmp, self.path)
+        self._entries_in_file = len(survivors)
+        self._fh = self.path.open("ab")
+        return keep_from
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        self.flush()
+        self._fh.close()
+
+
+# -- snapshots ----------------------------------------------------------------
+def write_snapshot(
+    path: str | Path,
+    *,
+    shard: int,
+    lsn: int,
+    state: dict[str, Any],
+    gates: dict[str, Any],
+) -> Path:
+    """Atomically write one shard snapshot (sorted-key JSON).
+
+    *state* is the shard broker's ``state_dict()``; *gates* the store's
+    per-node dedup/latest-fix gates for nodes owned by this shard
+    (``node -> [seq, time, x, y]``).  *lsn* names the last WAL entry the
+    snapshot includes — recovery replays strictly-later entries only.
+    """
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "format": SNAPSHOT_FORMAT,
+        "gates": gates,
+        "lsn": lsn,
+        "shard": shard,
+        "state": state,
+        "version": SNAPSHOT_VERSION,
+    }
+    tmp = out.with_suffix(out.suffix + ".tmp")
+    with tmp.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True, separators=(",", ":"))
+        handle.write("\n")
+    os.replace(tmp, out)
+    return out
+
+
+def load_snapshot(path: str | Path) -> dict[str, Any]:
+    """Load and validate one shard snapshot document."""
+    source = Path(path)
+    try:
+        document = json.loads(source.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise WalError(f"{source}: unreadable snapshot") from exc
+    if (
+        not isinstance(document, dict)
+        or document.get("format") != SNAPSHOT_FORMAT
+    ):
+        raise WalError(f"{source}: not a {SNAPSHOT_FORMAT} file")
+    if document.get("version") != SNAPSHOT_VERSION:
+        raise WalError(
+            f"{source}: unsupported snapshot version "
+            f"{document.get('version')!r}"
+        )
+    return document
+
+
+@dataclass(frozen=True)
+class RecoveredShard:
+    """Everything recovery needs to rebuild one shard from disk."""
+
+    shard: int
+    #: Broker ``state_dict`` from the snapshot, or None (cold start).
+    state: dict[str, Any] | None
+    #: Store gates at the snapshot point (``node -> [seq, time, x, y]``).
+    gates: dict[str, Any]
+    #: WAL tail entries past the snapshot LSN, in append order.
+    entries: list[Any]
+    snapshot_lsn: int
+    torn_bytes: int
+
+    @property
+    def replayed(self) -> int:
+        """How many WAL entries recovery will replay."""
+        return len(self.entries)
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Durability tunables.
+
+    ``snapshot_every`` snapshots a shard (and compacts its WAL) once
+    that many LU entries accumulate past the last snapshot; ``0``
+    disables periodic snapshots, leaving recovery to full-log replay.
+    ``fsync`` batches an ``os.fsync`` per flush window — off by default
+    because the deterministic replay harness cares about write *order*,
+    not storage-power-loss semantics.
+    """
+
+    snapshot_every: int = 0
+    fsync: bool = False
+
+    def __post_init__(self) -> None:
+        if self.snapshot_every < 0:
+            raise ValueError(
+                f"snapshot_every must be >= 0, got {self.snapshot_every}"
+            )
+
+
+@dataclass
+class DurabilityStats:
+    """Counters accumulated by a durability manager."""
+
+    wal_appended: int = 0
+    wal_flushes: int = 0
+    snapshots_written: int = 0
+    compacted_entries: int = 0
+    recoveries: int = 0
+    recovered_entries: int = 0
+    dropped_unflushed: int = 0
+    lsn_per_shard: list[int] = field(default_factory=list)
+
+
+class DurabilityManager:
+    """Owns the per-shard WALs and snapshots under one directory.
+
+    Layout: ``shard-000.wal`` / ``shard-000.snap.json`` (index
+    zero-padded to three digits).  Bind to a shard count once (the
+    :class:`~repro.serving.service.IngestService` does this at
+    construction), then the service drives :meth:`log_applied` /
+    :meth:`log_tick` per record, :meth:`flush_window` per flush, and
+    :meth:`maybe_snapshot` at window boundaries.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        config: DurabilityConfig | None = None,
+        *,
+        telemetry: Any = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.config = config or DurabilityConfig()
+        self.stats = DurabilityStats()
+        self._wals: list[WriteAheadLog] = []
+        self._lus_since_snapshot: list[int] = []
+        self._snapshot_lsn: list[int] = []
+        tm = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._instrumented = tm.enabled
+        self._t_appended = tm.counter("serving.wal.appended")
+        self._t_flushes = tm.counter("serving.wal.flushes")
+        self._t_snapshots = tm.counter("serving.snapshot.written")
+        self._t_recovered = tm.counter("serving.recovery.replayed")
+
+    # -- layout ---------------------------------------------------------------
+    def wal_path(self, index: int) -> Path:
+        """The shard's WAL file path."""
+        return self.directory / f"shard-{index:03d}.wal"
+
+    def snapshot_path(self, index: int) -> Path:
+        """The shard's snapshot file path."""
+        return self.directory / f"shard-{index:03d}.snap.json"
+
+    @property
+    def shard_count(self) -> int:
+        """How many shards are bound (0 before :meth:`bind`)."""
+        return len(self._wals)
+
+    def bind(self, shard_count: int) -> None:
+        """Create fresh WALs for *shard_count* shards."""
+        if self._wals:
+            raise RuntimeError("DurabilityManager is already bound")
+        if shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._wals = [
+            WriteAheadLog(
+                self.wal_path(index),
+                shard=index,
+                fsync=self.config.fsync,
+            )
+            for index in range(shard_count)
+        ]
+        self._lus_since_snapshot = [0] * shard_count
+        self._snapshot_lsn = [0] * shard_count
+        self.stats.lsn_per_shard = [0] * shard_count
+
+    def wal(self, index: int) -> WriteAheadLog:
+        """The shard's live WAL (tests and diagnostics)."""
+        return self._wals[index]
+
+    # -- the write path -------------------------------------------------------
+    def log_applied(self, index: int, update: LocationUpdate) -> int:
+        """Append one applied LU to the shard's WAL; returns its LSN."""
+        lsn = self._wals[index].append_update(update)
+        self.note_appended(index, 1)
+        return lsn
+
+    def note_appended(self, index: int, count: int) -> None:
+        """Account *count* LU appends made directly on :meth:`wal`.
+
+        The service's drain loop appends on the shard WAL without the
+        per-record manager hop (the hop is measurable at 100k msg/s) and
+        settles the bookkeeping once per batch through here.
+        """
+        self._lus_since_snapshot[index] += count
+        self.stats.wal_appended += count
+        if self._instrumented:
+            self._t_appended.inc(count)
+
+    def log_tick(self, index: int, now: float) -> int:
+        """Append one estimation-sweep boundary to the shard's WAL."""
+        lsn = self._wals[index].append_tick(now)
+        self.stats.wal_appended += 1
+        if self._instrumented:
+            self._t_appended.inc()
+        return lsn
+
+    def flush_shard(self, index: int) -> int:
+        """Make the shard's buffered entries durable."""
+        wal = self._wals[index]
+        flushed = wal.flush()
+        if flushed:
+            self.stats.wal_flushes += 1
+            self.stats.lsn_per_shard[index] = wal.last_lsn
+            if self._instrumented:
+                self._t_flushes.inc()
+        return flushed
+
+    def maybe_snapshot(
+        self, index: int, state_fn: Callable[[], tuple[dict, dict]]
+    ) -> bool:
+        """Snapshot + compact the shard if its cadence is due.
+
+        *state_fn* is called only when a snapshot is actually taken; it
+        returns ``(broker_state_dict, store_gates)``.
+        """
+        every = self.config.snapshot_every
+        if every <= 0 or self._lus_since_snapshot[index] < every:
+            return False
+        state, gates = state_fn()
+        self.snapshot_now(index, state=state, gates=gates)
+        return True
+
+    def snapshot_now(
+        self, index: int, *, state: dict[str, Any], gates: dict[str, Any]
+    ) -> int:
+        """Write the shard's snapshot at its current LSN, then compact."""
+        wal = self._wals[index]
+        wal.flush()
+        lsn = wal.last_lsn
+        write_snapshot(
+            self.snapshot_path(index),
+            shard=index,
+            lsn=lsn,
+            state=state,
+            gates=gates,
+        )
+        self._snapshot_lsn[index] = lsn
+        self._lus_since_snapshot[index] = 0
+        self.stats.snapshots_written += 1
+        if self._instrumented:
+            self._t_snapshots.inc()
+        self.stats.compacted_entries += wal.compact(lsn)
+        return lsn
+
+    # -- the crash / recovery path --------------------------------------------
+    def on_crash(self, index: int) -> int:
+        """Drop the shard's unflushed WAL window; returns entries lost."""
+        dropped = self._wals[index].drop_buffer()
+        self.stats.dropped_unflushed += dropped
+        return dropped
+
+    def recover_shard(self, index: int) -> RecoveredShard:
+        """Read the shard's snapshot + WAL tail back from disk.
+
+        Reads the *files*, not in-memory state — the recovery path is
+        the same whether the shard died in-process (chaos lane) or the
+        whole process restarted.
+        """
+        snapshot_lsn = 0
+        state: dict[str, Any] | None = None
+        gates: dict[str, Any] = {}
+        snap_path = self.snapshot_path(index)
+        if snap_path.exists():
+            document = load_snapshot(snap_path)
+            snapshot_lsn = int(document["lsn"])
+            raw_state = document["state"]
+            state = raw_state if isinstance(raw_state, dict) else None
+            raw_gates = document.get("gates")
+            gates = raw_gates if isinstance(raw_gates, dict) else {}
+        contents = read_wal(self.wal_path(index))
+        skip = snapshot_lsn - contents.base_lsn
+        entries = contents.entries[skip:] if skip > 0 else contents.entries
+        recovered = RecoveredShard(
+            shard=index,
+            state=state,
+            gates=gates,
+            entries=list(entries),
+            snapshot_lsn=snapshot_lsn,
+            torn_bytes=contents.torn_bytes,
+        )
+        self.stats.recoveries += 1
+        self.stats.recovered_entries += recovered.replayed
+        if self._instrumented:
+            self._t_recovered.inc(recovered.replayed)
+        return recovered
+
+    def close(self) -> None:
+        """Flush and close every WAL."""
+        for wal in self._wals:
+            wal.close()

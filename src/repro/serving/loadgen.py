@@ -27,15 +27,17 @@ and a byte-identical :class:`~repro.serving.report.ServingReport`.
 from __future__ import annotations
 
 import math
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.serving.durability import DurabilityManager
 from repro.serving.report import ServingReport
 from repro.serving.service import IngestService, ServingConfig
 from repro.serving.trace import TraceRecord
 from repro.simkernel import Simulator
 
-__all__ = ["ReplayConfig", "replay_trace"]
+__all__ = ["ReplayConfig", "replay_trace", "replay_trace_full"]
 
 
 @dataclass(frozen=True)
@@ -77,11 +79,58 @@ def replay_trace(
     *,
     trace_meta: dict[str, Any] | None = None,
     telemetry: Any = None,
+    durability: DurabilityManager | None = None,
+    faults: Any = None,
+    recovery_clock: Callable[[], float] | None = None,
 ) -> ServingReport:
     """Replay *records* through a fresh ingest service; returns the report."""
+    report, _ = replay_trace_full(
+        records,
+        config,
+        trace_meta=trace_meta,
+        telemetry=telemetry,
+        durability=durability,
+        faults=faults,
+        recovery_clock=recovery_clock,
+    )
+    return report
+
+
+def replay_trace_full(
+    records: list[TraceRecord],
+    config: ReplayConfig | None = None,
+    *,
+    trace_meta: dict[str, Any] | None = None,
+    telemetry: Any = None,
+    durability: DurabilityManager | None = None,
+    faults: Any = None,
+    recovery_clock: Callable[[], float] | None = None,
+) -> tuple[ServingReport, IngestService]:
+    """Like :func:`replay_trace`, but also returns the drained service.
+
+    The recovery gate needs the service after the run — for the store's
+    convergence export and the crash's affected-node accounting.
+    *durability* attaches a WAL/snapshot manager to the service; *faults*
+    (a :class:`~repro.faults.schedule.FaultSchedule`) is bound via a
+    :class:`~repro.faults.injector.FaultInjector`, which is how
+    ``ShardCrash`` windows reach the service deterministically;
+    *recovery_clock* (e.g. ``time.perf_counter``) times recoveries
+    without the service itself touching a wall clock.
+    """
     config = config or ReplayConfig()
     sim = Simulator()
-    service = IngestService(sim, config.serving, telemetry=telemetry)
+    service = IngestService(
+        sim,
+        config.serving,
+        telemetry=telemetry,
+        durability=durability,
+        recovery_clock=recovery_clock,
+    )
+    if faults is not None and faults:
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(faults, telemetry=telemetry)
+        injector.attach(sim, service=service)
 
     arrivals = _arrival_times(records, config.rate)
     window = config.serving.flush_interval
@@ -124,7 +173,7 @@ def replay_trace(
     metrics = None
     if telemetry is not None and telemetry.enabled:
         metrics = telemetry.registry.snapshot()
-    return ServingReport.from_service(
+    report = ServingReport.from_service(
         service,
         records=len(records),
         rate=config.rate,
@@ -132,3 +181,4 @@ def replay_trace(
         trace_meta=trace_meta,
         metrics=metrics,
     )
+    return report, service

@@ -53,6 +53,18 @@ class ServingReport:
     node_count: int = 0
     shard_sizes: list[int] = field(default_factory=list)
 
+    # -- durability & recovery (all zero when durability is off) -------------
+    wal_appended: int = 0
+    wal_flushes: int = 0
+    snapshots_written: int = 0
+    compacted_entries: int = 0
+    crashes: int = 0
+    crash_dropped_queued: int = 0
+    shed_down: int = 0
+    down_dropped: int = 0
+    recoveries: int = 0
+    recovery_replayed: int = 0
+
     # -- SLOs (virtual seconds / msgs per virtual second) -------------------
     latency_count: int = 0
     latency_mean: float = 0.0
@@ -82,6 +94,7 @@ class ServingReport:
         stats = service.stats
         store = service.store
         latency = service.latency
+        durability = service.durability
         seconds = replay_seconds
         return cls(
             trace_meta=dict(trace_meta or {}),
@@ -105,6 +118,20 @@ class ServingReport:
             resyncs=store.resyncs,
             node_count=store.node_count,
             shard_sizes=store.shard_sizes(),
+            wal_appended=durability.stats.wal_appended if durability else 0,
+            wal_flushes=durability.stats.wal_flushes if durability else 0,
+            snapshots_written=(
+                durability.stats.snapshots_written if durability else 0
+            ),
+            compacted_entries=(
+                durability.stats.compacted_entries if durability else 0
+            ),
+            crashes=stats.crashes,
+            crash_dropped_queued=stats.crash_dropped_queued,
+            shed_down=stats.shed_down,
+            down_dropped=store.down_dropped,
+            recoveries=stats.recoveries,
+            recovery_replayed=sum(r.replayed for r in service.recoveries),
             latency_count=latency.count,
             latency_mean=latency.mean,
             latency_min=latency.min,

@@ -32,16 +32,17 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.network.messages import LocationUpdate
-from repro.serving.store import ShardedLocationStore, shard_for
+from repro.serving.durability import DurabilityManager
+from repro.serving.store import IngestOutcome, ShardedLocationStore, shard_for
 from repro.simkernel import Simulator
 from repro.telemetry import NULL_TELEMETRY
 from repro.telemetry.metrics import Histogram
 from repro.util.validation import check_positive
 
-__all__ = ["ServingConfig", "IngestService"]
+__all__ = ["ServingConfig", "IngestService", "RecoveryStats"]
 
 #: Latency buckets for the ingest histogram (virtual seconds).  Batched
 #: drains bound latency by the flush interval under light load, so the
@@ -120,11 +121,41 @@ class IngestStats:
     #: Peak summed depth across all shard queues at any flush boundary.
     max_total_depth: int = 0
     shed_per_shard: list[int] = field(default_factory=list)
+    #: Submissions refused because the target shard was crashed (a subset
+    #: of ``shed`` — the recovery gate's explicitly-accounted window).
+    shed_down: int = 0
+    #: Queued-but-unflushed records dropped by shard crashes.
+    crash_dropped_queued: int = 0
+    crashes: int = 0
+    recoveries: int = 0
 
     @property
     def shed_rate(self) -> float:
         """Fraction of offered submissions rejected for lack of queue room."""
         return self.shed / self.offered if self.offered else 0.0
+
+
+@dataclass(frozen=True)
+class RecoveryStats:
+    """One shard recovery, as observed by the service.
+
+    ``affected_nodes`` is the crash's explicitly-accounted loss window:
+    nodes whose queued-but-unflushed records died with the shard plus
+    nodes shed while it was down.  Everything *outside* that set must
+    converge byte-identically with an uncrashed run — the chaos lane's
+    correctness gate.  ``wall_s`` is measured by the injected recovery
+    clock (zero when none was provided) — the only wall-clock quantity
+    in the serving layer, and it never influences simulation behaviour.
+    """
+
+    shard: int
+    at: float
+    snapshot_lsn: int
+    replayed: int
+    dropped_queued: int
+    shed_while_down: int
+    affected_nodes: tuple[str, ...]
+    wall_s: float
 
 
 class IngestService:
@@ -137,10 +168,22 @@ class IngestService:
         *,
         telemetry: Any = None,
         name: str = "serving",
+        durability: DurabilityManager | None = None,
+        recovery_clock: Callable[[], float] | None = None,
     ) -> None:
         self.config = config or ServingConfig()
         self._sim = sim
         self.name = name
+        self.durability = durability
+        #: Wall clock for recovery-time measurement only (DET001: the
+        #: service itself never reads one; callers inject e.g.
+        #: ``time.perf_counter`` from the chaos lane).
+        self._recovery_clock = recovery_clock
+        self.recoveries: list[RecoveryStats] = []
+        #: Per-down-shard accumulation of the crash's loss window.
+        self._crash_affected: dict[int, set[str]] = {}
+        self._crash_dropped: dict[int, int] = {}
+        self._crash_shed: dict[int, int] = {}
         tm = telemetry if telemetry is not None else NULL_TELEMETRY
         self._telemetry = tm
         self._instrumented = tm.enabled
@@ -157,6 +200,8 @@ class IngestService:
         self._queues: list[deque[tuple[float, LocationUpdate]]] = [
             deque() for _ in range(self.config.shards)
         ]
+        if durability is not None:
+            durability.bind(self.config.shards)
         self._capacity = self.config.queue_capacity
         self._flush_scheduled = False
         self.stats = IngestStats(shed_per_shard=[0] * self.config.shards)
@@ -191,9 +236,14 @@ class IngestService:
         """Whether *update* would currently be accepted (not shed).
 
         Transport adapters use this as an ARQ accept gate: refusing the
-        message *before* acking turns shed into sender-side retry.
+        message *before* acking turns shed into sender-side retry.  A
+        crashed shard has no capacity — clients back off (circuit
+        breaker) instead of hammering a recovering shard.
         """
-        return len(self._queues[self.shard_index(update)]) < self._capacity
+        index = self.shard_index(update)
+        if self.store.shard_is_down(index):
+            return False
+        return len(self._queues[index]) < self._capacity
 
     def submit(
         self, update: LocationUpdate, *, arrival: float | None = None
@@ -209,6 +259,15 @@ class IngestService:
         if self._instrumented:
             self._t_offered.inc()
         index = self.shard_index(update)
+        if self.store.shard_is_down(index):
+            stats.shed += 1
+            stats.shed_down += 1
+            stats.shed_per_shard[index] += 1
+            self._crash_shed[index] = self._crash_shed.get(index, 0) + 1
+            self._crash_affected.setdefault(index, set()).add(update.node_id)
+            if self._instrumented:
+                self._t_shed.inc()
+            return False
         queue = self._queues[index]
         if len(queue) >= self._capacity:
             stats.shed += 1
@@ -246,17 +305,46 @@ class IngestService:
         batch_size = self.config.batch_size
         observe = self.latency.observe
         apply = self.store.apply
+        durability = self.durability
+        applied_outcome = IngestOutcome.APPLIED
         backlog = 0
         total_before = 0
-        for queue in self._queues:
+        for index, queue in enumerate(self._queues):
             total_before += len(queue)
             take = len(queue)
             if take > batch_size:
                 take = batch_size
-            for _ in range(take):
-                arrival, update = queue.popleft()
-                apply(update)
-                observe(now - arrival)
+            if durability is None:
+                for _ in range(take):
+                    arrival, update = queue.popleft()
+                    apply(update)
+                    observe(now - arrival)
+            else:
+                # Log-after-apply straight onto the shard WAL (the
+                # per-record manager hop costs real throughput at 100k
+                # msg/s); bookkeeping settles once per batch below.
+                append = durability.wal(index).append_update
+                appended = 0
+                for _ in range(take):
+                    arrival, update = queue.popleft()
+                    if apply(update) is applied_outcome:
+                        # Made durable before this event ends: the crash
+                        # model is event-granular, so WAL contents exactly
+                        # track what the shard absorbed.
+                        append(update)
+                        appended += 1
+                    observe(now - arrival)
+                if take:
+                    if appended:
+                        durability.note_appended(index, appended)
+                    durability.flush_shard(index)
+                    durability.maybe_snapshot(
+                        index,
+                        lambda index=index: (
+                            self.store.shard(index).state_dict(),
+                            self.store.shard_gates(index),
+                        ),
+                    )
             backlog += len(queue)
         stats = self.stats
         stats.batches += 1
@@ -274,8 +362,100 @@ class IngestService:
             )
 
     def tick(self, now: float) -> int:
-        """Run the store's estimation/quarantine sweep (PR 4 machinery)."""
+        """Run the store's estimation/quarantine sweep (PR 4 machinery).
+
+        With durability on, the sweep boundary is WAL-logged per live
+        shard *before* it runs, so replay reproduces estimation state
+        (extrapolation decay, quarantine timing) bit-exactly.
+        """
+        durability = self.durability
+        if durability is not None:
+            for index in range(self.config.shards):
+                if not self.store.shard_is_down(index):
+                    durability.log_tick(index, now)
+                    durability.flush_shard(index)
         return self.store.tick(now)
+
+    # -- crash / recovery -----------------------------------------------------
+    def crash_shard(self, index: int) -> int:
+        """Kill shard *index* deterministically; returns queued records lost.
+
+        Drops the in-memory broker, the shard's queued-but-unflushed
+        window, and any WAL entries not yet flushed — exactly what a
+        process crash between flush windows loses.  Requires durability:
+        a crash with no disk behind it could never satisfy the recovery
+        gate, so it is a configuration error.
+        """
+        if self.durability is None:
+            raise ValueError(
+                "crash_shard requires a durability manager — an in-memory "
+                "shard with no WAL cannot be recovered"
+            )
+        queue = self._queues[index]
+        dropped = len(queue)
+        affected = {update.node_id for _, update in queue}
+        queue.clear()
+        self.durability.on_crash(index)
+        affected.update(self.store.crash_shard(index))
+        self._crash_affected[index] = affected
+        self._crash_dropped[index] = dropped
+        self._crash_shed[index] = 0
+        stats = self.stats
+        stats.crashes += 1
+        stats.crash_dropped_queued += dropped
+        return dropped
+
+    def restart_shard(self, index: int) -> RecoveryStats:
+        """Recover shard *index* from snapshot + WAL tail replay.
+
+        Rebuilds the broker from disk, conditionally restores store
+        gates, then snapshots the recovered state (compacting the WAL)
+        so a repeat crash replays a short tail.  Returns the recovery's
+        stats, also appended to :attr:`recoveries`.
+        """
+        if self.durability is None:
+            raise ValueError("restart_shard requires a durability manager")
+        clock = self._recovery_clock
+        started = clock() if clock is not None else 0.0
+        recovered = self.durability.recover_shard(index)
+        replayed = self.store.restore_shard(
+            index,
+            state=recovered.state,
+            gates=recovered.gates,
+            entries=recovered.entries,
+        )
+        self.durability.snapshot_now(
+            index,
+            state=self.store.shard(index).state_dict(),
+            gates=self.store.shard_gates(index),
+        )
+        wall_s = (clock() - started) if clock is not None else 0.0
+        stats = RecoveryStats(
+            shard=index,
+            at=self._sim.now,
+            snapshot_lsn=recovered.snapshot_lsn,
+            replayed=replayed,
+            dropped_queued=self._crash_dropped.pop(index, 0),
+            shed_while_down=self._crash_shed.pop(index, 0),
+            affected_nodes=tuple(sorted(self._crash_affected.pop(index, set()))),
+            wall_s=wall_s,
+        )
+        self.recoveries.append(stats)
+        self.stats.recoveries += 1
+        return stats
+
+    def affected_nodes(self) -> set[str]:
+        """Every node in any crash's explicitly-accounted loss window.
+
+        The union over completed recoveries and still-down shards — the
+        set the convergence gate excludes from the byte-compare.
+        """
+        affected: set[str] = set()
+        for recovery in self.recoveries:
+            affected.update(recovery.affected_nodes)
+        for pending in self._crash_affected.values():
+            affected.update(pending)
+        return affected
 
     @property
     def backlog(self) -> int:

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import json
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
@@ -78,6 +78,13 @@ class TraceRecord:
     vy: float
     region_id: str
     dth: float
+    #: Canonical compact-JSON encoding of :meth:`to_row`, attached when the
+    #: record was parsed from a file.  Rides into
+    #: :attr:`~repro.network.messages.LocationUpdate.wire` so the serving
+    #: WAL can log the bytes as received instead of re-serializing every
+    #: LU.  Excluded from equality: parsed records still compare equal to
+    #: freshly captured ones.
+    encoded: bytes | None = field(default=None, compare=False, repr=False)
 
     @classmethod
     def from_update(cls, update: LocationUpdate) -> "TraceRecord":
@@ -105,6 +112,7 @@ class TraceRecord:
             velocity=Vec2(self.vx, self.vy),
             region_id=self.region_id,
             dth=self.dth,
+            wire=self.encoded,
         )
 
     def to_row(self) -> list[Any]:
@@ -131,16 +139,25 @@ class TraceRecord:
             raise TraceError(f"trace row ids must be strings: {row!r}")
         if not isinstance(seq, int):
             raise TraceError(f"trace row seq must be an int: {row!r}")
+        values = [
+            float(time),
+            seq,
+            node_id,
+            float(x),
+            float(y),
+            float(vx),
+            float(vy),
+            region_id,
+            float(dth),
+        ]
+        # Re-encode canonically (not the raw input line) so every consumer
+        # of ``encoded`` sees the exact bytes :func:`write_trace` would
+        # produce, whatever whitespace the source file used.
         return cls(
-            time=float(time),
-            seq=seq,
-            node_id=node_id,
-            x=float(x),
-            y=float(y),
-            vx=float(vx),
-            vy=float(vy),
-            region_id=region_id,
-            dth=float(dth),
+            *values,
+            encoded=json.dumps(
+                values, sort_keys=True, separators=(",", ":")
+            ).encode("utf-8"),
         )
 
 
@@ -270,12 +287,20 @@ def write_trace(
     return out
 
 
-def read_trace(path: str | Path) -> tuple[dict[str, Any], list[TraceRecord]]:
+def read_trace(
+    path: str | Path, *, allow_partial: bool = False
+) -> tuple[dict[str, Any], list[TraceRecord]]:
     """Load a trace file; returns ``(meta, records)``.
 
     Validates the header (format/version), the declared record count,
     and every row's shape, so a truncated or foreign file fails loudly
-    instead of replaying garbage.
+    instead of replaying garbage.  A row that fails to parse on the
+    *final* line is reported as a truncation (a crashed writer tears at
+    most the last line); with ``allow_partial=True`` that torn tail is
+    dropped and the valid prefix is returned instead — the header's
+    declared record count is then allowed to exceed what survives.
+    Corruption *before* the final line always raises: that is damage,
+    not a torn write.
     """
     source = Path(path)
     with source.open("r", encoding="utf-8") as handle:
@@ -292,23 +317,35 @@ def read_trace(path: str | Path) -> tuple[dict[str, Any], list[TraceRecord]]:
             raise TraceError(
                 f"{source}: unsupported trace version {header.get('version')!r}"
             )
-        records: list[TraceRecord] = []
-        for lineno, line in enumerate(handle, start=2):
-            if not line.strip():
-                continue
-            try:
-                row = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise TraceError(f"{source}:{lineno}: unreadable row") from exc
+        body = handle.readlines()
+    records: list[TraceRecord] = []
+    last_lineno = 1 + len(body)
+    for lineno, line in enumerate(body, start=2):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
             if not isinstance(row, list):
                 raise TraceError(f"{source}:{lineno}: row is not an array")
-            records.append(TraceRecord.from_row(row))
+            record = TraceRecord.from_row(row)
+        except (json.JSONDecodeError, TraceError) as exc:
+            if lineno == last_lineno:
+                if allow_partial:
+                    break
+                raise TraceError(
+                    f"{source}:{lineno}: truncated final row (torn write "
+                    f"from a crashed writer?) — pass allow_partial=True to "
+                    f"recover the {len(records)}-record valid prefix"
+                ) from exc
+            raise TraceError(f"{source}:{lineno}: unreadable row") from exc
+        records.append(record)
     declared = header.get("records")
     if isinstance(declared, int) and declared != len(records):
-        raise TraceError(
-            f"{source}: header declares {declared} records, file has "
-            f"{len(records)} (truncated?)"
-        )
+        if not (allow_partial and declared > len(records)):
+            raise TraceError(
+                f"{source}: header declares {declared} records, file has "
+                f"{len(records)} (truncated?)"
+            )
     meta = header.get("meta")
     return (meta if isinstance(meta, dict) else {}), records
 

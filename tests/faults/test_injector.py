@@ -181,3 +181,47 @@ class TestAttachRules:
         with pytest.raises(ValueError, match="churn"):
             FaultInjector(schedule).attach(sim)
         FaultInjector(schedule).attach(sim, allow_churn=True)
+
+
+class TestShardCrashBinding:
+    def make_service(self, sim, tmp_path):
+        from repro.serving import (
+            DurabilityManager,
+            IngestService,
+            ServingConfig,
+        )
+
+        return IngestService(
+            sim,
+            ServingConfig(shards=2, flush_interval=0.1),
+            durability=DurabilityManager(tmp_path),
+        )
+
+    def test_attach_without_service_rejected(self, sim):
+        from repro.faults import ShardCrash
+
+        schedule = FaultSchedule(
+            (ShardCrash(shard_index=0, start=1.0, duration=1.0),)
+        )
+        with pytest.raises(ValueError, match="service"):
+            FaultInjector(schedule).attach(sim)
+
+    def test_crash_and_restart_fire_at_schedule_times(self, sim, tmp_path):
+        from repro.faults import ShardCrash
+
+        service = self.make_service(sim, tmp_path)
+        schedule = FaultSchedule(
+            (ShardCrash(shard_index=1, start=2.0, duration=3.0),)
+        )
+        injector = FaultInjector(schedule)
+        injector.attach(sim, service=service)
+        sim.run_until(2.5)
+        assert service.store.shard_is_down(1)
+        sim.run_until(6.0)
+        assert not service.store.shard_is_down(1)
+        assert len(service.recoveries) == 1
+        actions = [
+            (e.action, e.kind, e.target) for e in injector.timeline
+        ]
+        assert ("apply", "ShardCrash", "shard-1") in actions
+        assert ("revert", "ShardRestart", "shard-1") in actions

@@ -198,3 +198,35 @@ class TestSerialisation:
         )
         starts = [entry["start"] for entry in schedule.to_json_dict()]
         assert starts == sorted(starts)
+
+
+class TestShardCrash:
+    def test_validation(self):
+        from repro.faults import ShardCrash
+
+        with pytest.raises(ValueError):
+            ShardCrash(shard_index=-1, start=1.0, duration=1.0)
+        with pytest.raises(ValueError):
+            ShardCrash(shard_index=0, start=-1.0, duration=1.0)
+        with pytest.raises(ValueError):
+            ShardCrash(shard_index=0, start=1.0, duration=0.0)
+
+    def test_end_and_detection(self):
+        from repro.faults import ShardCrash
+
+        crash = ShardCrash(shard_index=2, start=3.0, duration=4.0)
+        assert crash.end == 7.0
+        schedule = FaultSchedule((crash,))
+        assert schedule.has_shard_crashes
+        assert not FaultSchedule(
+            (GatewayOutage(region_id="R1", start=0.0, duration=1.0),)
+        ).has_shard_crashes
+
+    def test_describe_names_the_shard(self):
+        from repro.faults import ShardCrash
+
+        schedule = FaultSchedule(
+            (ShardCrash(shard_index=1, start=2.0, duration=3.0),)
+        )
+        assert "shard" in schedule.describe().lower()
+        assert "1" in schedule.describe()

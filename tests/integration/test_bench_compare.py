@@ -118,6 +118,45 @@ class TestGateKeys:
         assert "columnar_vs_object_speedup" in out
 
 
+class TestRecoveryKeys:
+    def test_recovery_s_is_a_cost_key(self):
+        assert not compare.is_rate_key("wal_recovery_s")
+        assert not compare.is_rate_key("crash_recovery_s")
+        assert compare.is_rate_key("msgs_per_s")
+        assert compare.is_rate_key("columnar_vs_object_speedup")
+
+    def test_slower_recovery_regresses_upward(self, tmp_path, capsys):
+        # 2ms -> 6ms recovery is a 3.0x regression even though the raw
+        # number is "small"; the polarity must not flip.
+        base = _bench_json(
+            tmp_path / "base.json",
+            min_s=0.1,
+            extra={"wal_recovery_s": 0.002},
+        )
+        cand = _bench_json(
+            tmp_path / "cand.json",
+            min_s=0.1,
+            extra={"wal_recovery_s": 0.006},
+        )
+        argv = [str(base), str(cand), "--fail-on-regress", "1.25"]
+        assert compare.main(argv) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_faster_recovery_passes(self, tmp_path):
+        base = _bench_json(
+            tmp_path / "base.json",
+            min_s=0.1,
+            extra={"wal_recovery_s": 0.006},
+        )
+        cand = _bench_json(
+            tmp_path / "cand.json",
+            min_s=0.1,
+            extra={"wal_recovery_s": 0.002},
+        )
+        argv = [str(base), str(cand), "--fail-on-regress", "1.25"]
+        assert compare.main(argv) == 0
+
+
 class TestCommittedBaseline:
     def test_committed_baseline_has_the_gated_key(self):
         """CI's --gate-keys '*_speedup' must have something to gate."""

@@ -37,17 +37,37 @@ class TestDet001WallClock:
         )
         assert codes(findings) == ["DET001", "DET001"]
 
-    def test_perf_counter_and_sim_clock_clean(self, lint_snippet):
-        assert not lint_snippet(
-            "src/repro/experiments/x.py",
-            """\
+    def test_perf_counter_clean_in_declared_measurement_sites(
+        self, lint_snippet
+    ):
+        snippet = """\
             import time
 
 
             def wall(sim):
                 return time.perf_counter() + sim.now
+            """
+        assert not lint_snippet(
+            "src/repro/experiments/scaling.py", snippet
+        )
+        assert not lint_snippet("src/repro/serving/recovery.py", snippet)
+
+    def test_perf_counter_flagged_elsewhere(self, lint_snippet):
+        # The WAL/snapshot write paths (and everything else under
+        # src/repro) must stay virtual-clock only; perf_counter is a
+        # wall clock like any other outside the declared sites.
+        findings = lint_snippet(
+            "src/repro/serving/durability.py",
+            """\
+            import time
+
+
+            def flush_stamp():
+                return time.perf_counter_ns()
             """,
         )
+        assert codes(findings) == ["DET001"]
+        assert "perf_counter_ns" in findings[0].message
 
     def test_telemetry_package_out_of_scope(self, lint_snippet):
         assert not lint_snippet(

@@ -132,3 +132,108 @@ class TestBackpressurePropagation:
         assert client._accept(probe)  # only LUs consult service capacity
         client._deliver(probe)  # and non-LUs are ignored by the sink
         assert service.stats.offered == 0
+
+
+class TestCircuitBreaker:
+    """Give-ups against a crashed shard open the breaker; acks close it."""
+
+    def make_crashed_stack(self, sim, tmp_path, **client_kw):
+        from repro.serving import DurabilityManager
+
+        channel = WirelessChannel(
+            sim, np.random.default_rng(3), loss_probability=0.0
+        )
+        service = IngestService(
+            sim,
+            ServingConfig(shards=1, flush_interval=0.05),
+            durability=DurabilityManager(tmp_path),
+        )
+        defaults = dict(
+            ack_timeout=0.1,
+            max_retries=1,
+            failure_threshold=2,
+            breaker_cooldown=5.0,
+            breaker_backoff=2.0,
+        )
+        defaults.update(client_kw)
+        client = ReliableIngestClient(
+            sim, service, channel, seq_source=SequenceSource(), **defaults
+        )
+        service.crash_shard(0)
+        return service, client
+
+    def test_consecutive_give_ups_open_the_breaker(self, tmp_path):
+        sim = Simulator()
+        service, client = self.make_crashed_stack(sim, tmp_path)
+        # Each send burns its retry budget against the down shard.
+        for i in range(2):
+            assert client.send(lu(t=float(i), seq=i))
+            sim.run()
+        assert client.stats.gave_up == 2
+        assert client.breaker_opens == 1
+        assert client.breaker_is_open(0)
+        # An open breaker sheds locally instead of transmitting.
+        offered_before = client.stats.offered
+        assert not client.send(lu(t=9.0, seq=9))
+        assert client.shed_by_breaker == 1
+        assert client.stats.offered == offered_before
+        acct = client.accounting()
+        assert acct["breaker_opens"] == 1
+        assert acct["shed_by_breaker"] == 1
+
+    def test_probe_failure_reopens_with_longer_cooldown(self, tmp_path):
+        sim = Simulator()
+        service, client = self.make_crashed_stack(sim, tmp_path)
+        for i in range(2):
+            client.send(lu(t=float(i), seq=i))
+            sim.run()
+        first_open_until = client._breakers[0].open_until
+        # Wait out the cooldown; the next send is the half-open probe.
+        sim.schedule_at(first_open_until + 0.01, lambda: None)
+        sim.run()
+        assert not client.breaker_is_open(0)
+        assert client.send(lu(t=10.0, seq=10))  # the probe transmits
+        sim.run()
+        # One more give-up reopened immediately, cooldown doubled.
+        assert client.breaker_opens == 2
+        assert client._breakers[0].reopenings == 2
+        second_window = client._breakers[0].open_until - sim.now
+        assert second_window == pytest.approx(10.0, abs=0.5)
+
+    def test_ack_after_restart_closes_the_breaker(self, tmp_path):
+        sim = Simulator()
+        service, client = self.make_crashed_stack(sim, tmp_path)
+        for i in range(2):
+            client.send(lu(t=float(i), seq=i))
+            sim.run()
+        assert client.breaker_is_open(0)
+        service.restart_shard(0)
+        breaker_deadline = client._breakers[0].open_until
+        sim.schedule_at(breaker_deadline + 0.01, lambda: None)
+        sim.run()
+        assert client.send(lu(t=20.0, seq=20))  # probe against live shard
+        sim.run()
+        assert client.stats.delivered >= 1
+        breaker = client._breakers[0]
+        assert breaker.consecutive_failures == 0
+        assert breaker.reopenings == 0
+        assert not client.breaker_is_open(0)
+        # Fully closed: further sends flow without shedding.
+        assert client.send(lu(t=21.0, seq=21))
+        sim.run()
+        assert client.shed_by_breaker == 0
+
+    def test_breaker_param_validation(self):
+        sim = Simulator()
+        channel = WirelessChannel(
+            sim, np.random.default_rng(3), loss_probability=0.0
+        )
+        service = IngestService(sim, ServingConfig(shards=1))
+        for bad in (
+            dict(failure_threshold=0),
+            dict(breaker_cooldown=0.0),
+            dict(breaker_backoff=0.5),
+            dict(breaker_cooldown=2.0, breaker_max_cooldown=1.0),
+        ):
+            with pytest.raises(ValueError):
+                ReliableIngestClient(sim, service, channel, **bad)

@@ -1,0 +1,358 @@
+"""WAL framing, snapshots, and snapshot+tail-replay equivalence.
+
+The framing properties are the load-bearing ones: recovery's whole
+contract rests on ``scan_frames`` returning exactly the longest valid
+prefix of a possibly-torn file, never decoding a corrupt frame and never
+discarding an intact one.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Vec2
+from repro.network.messages import LocationUpdate
+from repro.serving import IngestOutcome, ShardedLocationStore
+from repro.serving.durability import (
+    DurabilityConfig,
+    DurabilityManager,
+    WalError,
+    WriteAheadLog,
+    frame,
+    read_wal,
+    scan_frames,
+    write_snapshot,
+)
+
+# JSON documents a WAL frame might carry: entry-shaped arrays of scalars.
+_scalars = st.one_of(
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=8),
+)
+_entries = st.lists(st.lists(_scalars, max_size=6), max_size=8)
+
+
+def _encode(entries):
+    return b"".join(
+        frame(json.dumps(e, sort_keys=True).encode("utf-8")) for e in entries
+    )
+
+
+def lu(node="n1", t=0.0, seq=0, x=0.0, region="road-1", vx=1.0):
+    return LocationUpdate(
+        sender=node,
+        timestamp=t,
+        seq=seq,
+        node_id=node,
+        position=Vec2(x, 0.0),
+        velocity=Vec2(vx, 0.0),
+        region_id=region,
+        dth=4.0,
+    )
+
+
+class TestFraming:
+    @settings(max_examples=60, deadline=None)
+    @given(_entries)
+    def test_round_trip(self, entries):
+        data = _encode(entries)
+        payloads, valid = scan_frames(data)
+        assert payloads == entries
+        assert valid == len(data)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_entries, st.data())
+    def test_truncation_at_any_offset_yields_longest_valid_prefix(
+        self, entries, data
+    ):
+        """Crash-at-every-byte-offset: the scan never loses an intact
+        frame and never fabricates one from a torn tail."""
+        encoded = _encode(entries)
+        cut = data.draw(st.integers(min_value=0, max_value=len(encoded)))
+        payloads, valid = scan_frames(encoded[:cut])
+        # The survivors are a prefix of the original entries...
+        assert payloads == entries[: len(payloads)]
+        # ...the valid offset is consistent (rescanning reproduces it)...
+        assert scan_frames(encoded[:valid]) == (payloads, valid)
+        # ...and every frame wholly inside the cut survived: the valid
+        # prefix can only fall short of the cut by less than one frame.
+        assert valid <= cut
+        whole, _ = scan_frames(encoded)
+        frame_ends = []
+        offset = 0
+        for entry in whole:
+            offset += 8 + len(json.dumps(entry, sort_keys=True).encode())
+            frame_ends.append(offset)
+        assert valid == max(
+            [end for end in frame_ends if end <= cut], default=0
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.lists(_scalars, max_size=6), min_size=1, max_size=8),
+        st.data(),
+    )
+    def test_single_byte_corruption_never_decodes_past_it(
+        self, entries, data
+    ):
+        """CRC32 catches any single-byte flip: frames before the damage
+        survive untouched, nothing at or past it is ever returned."""
+        encoded = bytearray(_encode(entries))
+        pos = data.draw(
+            st.integers(min_value=0, max_value=len(encoded) - 1)
+        )
+        flip = data.draw(st.integers(min_value=1, max_value=255))
+        encoded[pos] ^= flip
+        payloads, valid = scan_frames(bytes(encoded))
+        assert payloads == entries[: len(payloads)]
+        assert valid <= pos  # the corrupt frame itself never validates
+
+    def test_empty_and_header_only_inputs(self):
+        assert scan_frames(b"") == ([], 0)
+        assert scan_frames(b"\x07\x00\x00") == ([], 0)  # short header
+
+    def test_non_json_payload_rejected_even_with_valid_crc(self):
+        import zlib
+
+        payload = b"\xff\xfe not json"
+        bogus = (
+            len(payload).to_bytes(4, "little")
+            + zlib.crc32(payload).to_bytes(4, "little")
+            + payload
+        )
+        assert scan_frames(bogus) == ([], 0)
+
+
+class TestWriteAheadLog:
+    def test_append_flush_read_round_trip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "s.wal", shard=3)
+        assert wal.append_update(lu(t=1.0, seq=1)) == 1
+        assert wal.append_tick(2.0) == 2
+        wal.flush()
+        wal.close()
+        contents = read_wal(tmp_path / "s.wal")
+        assert contents.shard == 3
+        assert contents.base_lsn == 0
+        assert contents.torn_bytes == 0
+        assert contents.entries[0][:4] == ["lu", 1.0, 1, "n1"]
+        assert contents.entries[1] == ["tick", 2.0]
+        assert contents.next_lsn == 3
+
+    def test_unflushed_entries_die_with_the_buffer(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "s.wal")
+        wal.append_update(lu(seq=1))
+        wal.flush()
+        wal.append_update(lu(seq=2))
+        wal.append_update(lu(seq=3))
+        assert wal.drop_buffer() == 2
+        assert wal.last_lsn == 1
+        wal.close()
+        assert len(read_wal(tmp_path / "s.wal").entries) == 1
+
+    def test_torn_tail_tolerated_on_read(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "s.wal")
+        wal.append_update(lu(seq=1))
+        wal.close()
+        with (tmp_path / "s.wal").open("ab") as fh:
+            fh.write(b"\x40\x00\x00\x00 torn")  # header promising 64 bytes
+        contents = read_wal(tmp_path / "s.wal")
+        assert len(contents.entries) == 1
+        assert contents.torn_bytes == len(b"\x40\x00\x00\x00 torn")
+
+    def test_compaction_preserves_absolute_lsns(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "s.wal")
+        for seq in range(1, 6):
+            wal.append_update(lu(seq=seq, t=float(seq)))
+        wal.flush()
+        assert wal.compact(3) == 3  # entries with LSN 1..3 dropped
+        wal.append_update(lu(seq=6, t=6.0))
+        assert wal.last_lsn == 6
+        wal.close()
+        contents = read_wal(tmp_path / "s.wal")
+        assert contents.base_lsn == 3
+        assert [e[2] for e in contents.entries] == [4, 5, 6]  # seqs
+        assert contents.next_lsn == 7
+
+    def test_compact_past_end_is_bounded(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "s.wal")
+        wal.append_update(lu(seq=1))
+        assert wal.compact(99) == 1
+        assert wal.base_lsn == 1
+        wal.close()
+        assert read_wal(tmp_path / "s.wal").entries == []
+
+    def test_not_a_wal_rejected(self, tmp_path):
+        (tmp_path / "junk.wal").write_bytes(b"not framed at all")
+        with pytest.raises(WalError, match="no intact WAL header"):
+            read_wal(tmp_path / "junk.wal")
+        (tmp_path / "other.wal").write_bytes(
+            frame(b'{"format":"something-else"}')
+        )
+        with pytest.raises(WalError, match="not a repro-shard-wal"):
+            read_wal(tmp_path / "other.wal")
+
+    def test_wire_and_fallback_encodings_byte_identical(self, tmp_path):
+        """An LU carrying its received row bytes must log the exact same
+        frame as one serialized field by field — whichever path a record
+        took in, recovery and the determinism gates see one encoding."""
+        updates = [
+            lu(node=f"n{i}", t=0.1 + i / 3.0, seq=i, x=i / 7.0, vx=-i / 11.0)
+            for i in range(5)
+        ]
+        plain = WriteAheadLog(tmp_path / "plain.wal")
+        for update in updates:
+            plain.append_update(update)
+        plain.flush()
+        plain.close()
+        from dataclasses import replace
+
+        wired = WriteAheadLog(tmp_path / "wired.wal")
+        for update in updates:
+            row = [
+                update.timestamp,
+                update.seq,
+                update.node_id,
+                update.position.x,
+                update.position.y,
+                update.velocity.x,
+                update.velocity.y,
+                update.region_id,
+                update.dth,
+            ]
+            encoded = json.dumps(row, separators=(",", ":")).encode("utf-8")
+            wired.append_update(replace(update, wire=encoded))
+        wired.flush()
+        wired.close()
+        assert (
+            (tmp_path / "plain.wal").read_bytes()
+            == (tmp_path / "wired.wal").read_bytes()
+        )
+
+
+class TestSnapshotTailReplay:
+    """Snapshot + WAL-tail replay reproduces a shard bit-exactly."""
+
+    def _stream(self, n=30):
+        # Two nodes reporting interleaved, region pinned to one shard.
+        return [
+            lu(
+                node=f"n{i % 2}",
+                t=1.0 + i * 0.5,
+                seq=1 + i // 2,
+                x=float(i),
+                vx=0.5,
+            )
+            for i in range(n)
+        ]
+
+    @pytest.mark.parametrize("snapshot_after", [0, 10, 29])
+    def test_recovered_shard_matches_uncrashed(
+        self, tmp_path, snapshot_after
+    ):
+        golden = ShardedLocationStore(1)
+        durable = ShardedLocationStore(1)
+        manager = DurabilityManager(tmp_path, DurabilityConfig())
+        manager.bind(1)
+        stream = self._stream()
+        for i, update in enumerate(stream):
+            golden.apply(update)
+            if durable.apply(update) is IngestOutcome.APPLIED:
+                manager.log_applied(0, update)
+            if i % 7 == 6:
+                now = update.timestamp + 0.1
+                golden.tick(now)
+                durable.tick(now)
+                manager.log_tick(0, now)
+            manager.flush_shard(0)
+            if snapshot_after and i == snapshot_after:
+                manager.snapshot_now(
+                    0,
+                    state=durable.shard(0).state_dict(),
+                    gates=durable.shard_gates(0),
+                )
+
+        # Crash and recover from disk only.
+        recovered_store = ShardedLocationStore(1)
+        recovered_store.crash_shard(0)
+        recovered = manager.recover_shard(0)
+        recovered_store.restore_shard(
+            0,
+            state=recovered.state,
+            gates=recovered.gates,
+            entries=recovered.entries,
+        )
+        manager.close()
+
+        assert (
+            recovered_store.shard(0).state_dict()
+            == golden.shard(0).state_dict()
+        )
+        assert recovered_store.export_state() == golden.export_state()
+        if snapshot_after:
+            assert recovered.snapshot_lsn > 0
+            assert recovered.replayed < len(stream)
+
+    def test_unflushed_window_is_the_only_loss(self, tmp_path):
+        manager = DurabilityManager(tmp_path, DurabilityConfig())
+        manager.bind(1)
+        store = ShardedLocationStore(1)
+        stream = self._stream(10)
+        for update in stream[:6]:
+            store.apply(update)
+            manager.log_applied(0, update)
+        manager.flush_shard(0)
+        for update in stream[6:]:
+            store.apply(update)
+            manager.log_applied(0, update)
+        # Crash before the second flush: exactly 4 entries evaporate.
+        assert manager.on_crash(0) == 4
+        assert manager.stats.dropped_unflushed == 4
+        recovered = manager.recover_shard(0)
+        assert recovered.replayed == 6
+        manager.close()
+
+    def test_snapshot_cadence_compacts(self, tmp_path):
+        manager = DurabilityManager(
+            tmp_path, DurabilityConfig(snapshot_every=5)
+        )
+        manager.bind(1)
+        store = ShardedLocationStore(1)
+        took = 0
+        for update in self._stream(12):
+            store.apply(update)
+            manager.log_applied(0, update)
+            manager.flush_shard(0)
+            if manager.maybe_snapshot(
+                0,
+                lambda: (store.shard(0).state_dict(), store.shard_gates(0)),
+            ):
+                took += 1
+        assert took == 2
+        assert manager.stats.snapshots_written == 2
+        assert manager.stats.compacted_entries == 10
+        contents = read_wal(manager.wal_path(0))
+        assert contents.base_lsn == 10
+        assert len(contents.entries) == 2
+        manager.close()
+
+    def test_bad_snapshot_rejected(self, tmp_path):
+        from repro.serving.durability import load_snapshot
+
+        path = tmp_path / "s.snap.json"
+        path.write_text("{broken", encoding="utf-8")
+        with pytest.raises(WalError, match="unreadable"):
+            load_snapshot(path)
+        write_snapshot(path, shard=0, lsn=3, state={}, gates={})
+        document = load_snapshot(path)
+        assert document["lsn"] == 3
+
+    def test_double_bind_rejected(self, tmp_path):
+        manager = DurabilityManager(tmp_path)
+        manager.bind(2)
+        with pytest.raises(RuntimeError, match="already bound"):
+            manager.bind(2)
+        manager.close()

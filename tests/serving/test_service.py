@@ -172,3 +172,97 @@ class TestTelemetry:
         service.submit(lu(t=1.0, seq=1))
         sim.run()
         assert service.latency_quantile(0.99) > 0.0
+
+
+class TestCrashRecovery:
+    def make_service(self, sim, tmp_path, **kw):
+        from repro.serving import DurabilityManager
+
+        return IngestService(
+            sim,
+            ServingConfig(shards=2, flush_interval=0.01, **kw),
+            durability=DurabilityManager(tmp_path),
+        )
+
+    def test_crash_without_durability_rejected(self):
+        service = IngestService(Simulator(), ServingConfig(shards=1))
+        with pytest.raises(ValueError, match="durability"):
+            service.crash_shard(0)
+        with pytest.raises(ValueError, match="durability"):
+            service.restart_shard(0)
+
+    def test_crash_drops_queue_and_restart_recovers(self, tmp_path):
+        sim = Simulator()
+        service = self.make_service(sim, tmp_path)
+        # Flushed state: two LUs applied and durable.
+        service.submit(lu(t=1.0, seq=1))
+        service.submit(lu(node="n2", t=1.0, seq=1))
+        sim.run()
+        index = service.shard_index(lu())
+        # Queued-but-unflushed window: submitted, crash before the drain.
+        service.submit(lu(t=2.0, seq=2))
+        dropped = service.crash_shard(index)
+        assert dropped == 1
+        assert service.stats.crashes == 1
+        assert service.stats.crash_dropped_queued == 1
+        assert service.store.shard_is_down(index)
+        # While down: sheds are accounted to the crash window.
+        assert not service.submit(lu(node="n3", t=3.0, seq=1))
+        assert service.stats.shed_down == 1
+        recovery = service.restart_shard(index)
+        assert not service.store.shard_is_down(index)
+        assert recovery.shard == index
+        assert recovery.dropped_queued == 1
+        assert recovery.shed_while_down == 1
+        assert "n1" in recovery.affected_nodes
+        assert "n3" in recovery.affected_nodes
+        assert recovery.replayed >= 1  # the flushed LUs came back
+        # The flushed fix survived the crash.
+        latest = service.store.latest("n1")
+        assert latest is not None and latest.time == 1.0
+        assert service.affected_nodes() >= {"n1", "n3"}
+
+    def test_has_capacity_false_while_down(self, tmp_path):
+        sim = Simulator()
+        service = self.make_service(sim, tmp_path)
+        probe = lu(t=1.0, seq=1)
+        assert service.has_capacity(probe)
+        service.crash_shard(service.shard_index(probe))
+        assert not service.has_capacity(probe)
+
+    def test_recovery_wall_clock_injected_not_ambient(self, tmp_path):
+        sim = Simulator()
+        from repro.serving import DurabilityManager
+
+        ticks = iter([10.0, 10.25])
+        service = IngestService(
+            sim,
+            ServingConfig(shards=1, flush_interval=0.01),
+            durability=DurabilityManager(tmp_path),
+            recovery_clock=lambda: next(ticks),
+        )
+        service.submit(lu(t=1.0, seq=1))
+        sim.run()
+        service.crash_shard(0)
+        recovery = service.restart_shard(0)
+        assert recovery.wall_s == pytest.approx(0.25)
+
+    def test_report_carries_durability_counters(self, tmp_path):
+        from repro.serving import ServingReport
+
+        sim = Simulator()
+        service = self.make_service(sim, tmp_path)
+        for i in range(1, 6):
+            service.submit(lu(t=float(i), seq=i))
+        sim.run()
+        service.crash_shard(0)
+        service.restart_shard(0)
+        report = ServingReport.from_service(
+            service, records=5, rate=0.0, replay_seconds=5.0
+        )
+        assert report.wal_appended >= 5
+        assert report.wal_flushes >= 1
+        assert report.crashes == 1
+        assert report.recoveries == 1
+        assert report.recovery_replayed >= 1
+        assert report.snapshots_written >= 1  # post-recovery snapshot

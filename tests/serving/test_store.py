@@ -85,10 +85,26 @@ class TestIngestGates:
         latest = store.latest("n1")
         assert latest is not None and latest.position == Vec2(2.0, 0.0)
 
-    def test_apply_batch_counts_applied_only(self):
+    def test_apply_batch_returns_per_outcome_tallies(self):
         store = ShardedLocationStore(2)
-        batch = [lu(t=1.0, seq=1), lu(t=1.0, seq=1), lu(t=2.0, seq=2)]
-        assert store.apply_batch(batch) == 2
+        batch = [
+            lu(t=1.0, seq=1),
+            lu(t=1.0, seq=1),  # duplicate seq
+            lu(t=2.0, seq=2),
+            lu(t=1.5, seq=3),  # fresher seq, older stamp -> stale
+        ]
+        tally = store.apply_batch(batch)
+        assert tally.applied == 2
+        assert tally.duplicates == 1
+        assert tally.stale == 1
+        assert tally.down == 0
+        assert tally.total == len(batch)
+        assert tally.as_dict() == {
+            "applied": 2,
+            "down": 0,
+            "duplicates": 1,
+            "stale": 1,
+        }
 
 
 class TestDbMonotonicity:

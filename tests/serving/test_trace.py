@@ -67,6 +67,27 @@ class TestRoundTrip:
         b = write_trace(records, tmp_path / "b.jsonl", meta={"a": 2, "z": 1})
         assert a.read_bytes() == b.read_bytes()
 
+    def test_parsed_records_carry_canonical_row_bytes(self, tmp_path):
+        """Rows loaded from disk remember their canonical encoding and
+        hand it to the rebuilt LU — the WAL logs these bytes verbatim."""
+        record = make_record(time=0.1 + 0.2, seq=3)
+        path = write_trace([record], tmp_path / "t.jsonl")
+        _, [loaded] = read_trace(path)
+        canonical = json.dumps(
+            record.to_row(), separators=(",", ":")
+        ).encode("utf-8")
+        assert loaded.encoded == canonical
+        assert loaded.to_update().wire == canonical
+        # Non-canonical whitespace in the source still parses to the
+        # canonical bytes, so downstream encodings never vary.
+        spaced = path.read_text().splitlines()
+        spaced[1] = spaced[1].replace(",", ", ")
+        path.write_text("\n".join(spaced) + "\n")
+        _, [reloaded] = read_trace(path)
+        assert reloaded.encoded == canonical
+        # In-memory captures have no received bytes to reuse.
+        assert record.encoded is None and record.to_update().wire is None
+
 
 class TestValidation:
     def test_row_arity_checked(self):
@@ -112,6 +133,40 @@ class TestValidation:
         path.write_text("\n".join(lines[:-1]) + "\n")  # drop the last row
         with pytest.raises(TraceError, match="truncated"):
             read_trace(path)
+
+    def test_torn_final_row_recoverable_with_allow_partial(self, tmp_path):
+        """A writer killed mid-row leaves a torn tail; ``allow_partial``
+        recovers the valid prefix instead of refusing the whole file."""
+        records = [make_record(time=float(t), seq=t) for t in range(4)]
+        path = write_trace(records, tmp_path / "t.jsonl")
+        text = path.read_text()
+        path.write_text(text[: len(text) - 10])  # tear the last row
+        with pytest.raises(TraceError, match="allow_partial"):
+            read_trace(path)
+        meta, got = read_trace(path, allow_partial=True)
+        assert [r.seq for r in got] == [0, 1, 2]
+        assert meta == {}
+
+    def test_allow_partial_does_not_mask_mid_file_damage(self, tmp_path):
+        records = [make_record(time=float(t), seq=t) for t in range(4)]
+        path = write_trace(records, tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2][:-4]  # damage a row that is NOT the last one
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceError, match="unreadable row"):
+            read_trace(path, allow_partial=True)
+
+    def test_allow_partial_tolerates_missing_rows(self, tmp_path):
+        # Declared count 4, only 2 intact rows left: strict mode refuses,
+        # partial mode returns what survived.
+        records = [make_record(time=float(t), seq=t) for t in range(4)]
+        path = write_trace(records, tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:3]) + "\n")
+        with pytest.raises(TraceError, match="truncated"):
+            read_trace(path)
+        _, got = read_trace(path, allow_partial=True)
+        assert len(got) == 2
 
 
 class TestRecorder:
