@@ -8,22 +8,39 @@ flags never hand-set, sorted-key JSON export).  This package checks
 those invariants statically on every source file so they are enforced
 by the lint gate instead of rediscovered by debugging.
 
+Since PR 10 the checker is whole-program: a cached cross-file project
+model (symbol table, import graph, class attribute inventory) and a
+per-function dataflow layer (CFG + held-locks lattice) power the
+RACE001/RACE002 lock-discipline analyses on the serving path, the
+DET005 order-taint check, and the API001 cross-module symbol check.
+
 Usage::
 
     python -m repro.lint src tests
+    python -m repro.lint --jobs auto           # multiprocess file fan-out
     python -m repro.lint --format json src
+    python -m repro.lint --sarif-file lint.sarif src tests   # CI annotations
     python -m repro.lint --write-baseline      # grandfather current findings
+    python -m repro.lint --prune-baseline      # drop stale baseline entries
     python -m repro.lint --changed             # only git-modified files
+    python -m repro.lint --changed=origin/main # only files in this PR
 
 Architecture (one module each):
 
-- :mod:`repro.lint.findings`     — the :class:`Finding` record + fingerprints
-- :mod:`repro.lint.engine`       — file loading, the single-pass AST visitor
-- :mod:`repro.lint.rules`        — the repo-specific rule catalog
-- :mod:`repro.lint.suppressions` — ``# lint: disable=CODE`` comment handling
-- :mod:`repro.lint.baseline`     — committed grandfathered-findings file
-- :mod:`repro.lint.reporting`    — text and JSON reporters
-- :mod:`repro.lint.cli`          — the ``python -m repro.lint`` front-end
+- :mod:`repro.lint.findings`      — the :class:`Finding` record + fingerprints
+- :mod:`repro.lint.engine`        — two-phase driver: cached/parallel
+  per-file pass, then whole-program rules over the project model
+- :mod:`repro.lint.project`       — cross-file symbol/import/class model
+- :mod:`repro.lint.dataflow`      — per-function CFGs, held-locks lattice,
+  self-alias reaching definitions
+- :mod:`repro.lint.rules`         — the per-file rule catalog
+- :mod:`repro.lint.rules_program` — dataflow/project rules (RACE*, DET005,
+  API001)
+- :mod:`repro.lint.cache`         — content-hash per-file result cache
+- :mod:`repro.lint.suppressions`  — ``# lint: disable=CODE`` comment handling
+- :mod:`repro.lint.baseline`      — committed grandfathered-findings file
+- :mod:`repro.lint.reporting`     — text, JSON and SARIF reporters
+- :mod:`repro.lint.cli`           — the ``python -m repro.lint`` front-end
 
 See ``docs/static-analysis.md`` for the rule catalog and the
 suppression/baseline policy.
@@ -35,12 +52,14 @@ from repro.lint.baseline import Baseline
 from repro.lint.cli import main
 from repro.lint.engine import LintEngine, LintRule, lint_paths, rule_catalog
 from repro.lint.findings import Finding
+from repro.lint.project import ProjectModel
 
 __all__ = [
     "Baseline",
     "Finding",
     "LintEngine",
     "LintRule",
+    "ProjectModel",
     "lint_paths",
     "main",
     "rule_catalog",

@@ -6,6 +6,9 @@ baseline under ``--strict-baseline``); 2 — usage errors.
 The default paths (``src tests``) and baseline location
 (``lint-baseline.json`` at the repo root, when present) match the CI
 lint gate, so a bare ``python -m repro.lint`` reproduces CI locally.
+Results are cached under ``.lint-cache/`` keyed by content hash (pass
+``--no-cache`` to disable); ``--jobs auto`` fans files out across
+worker processes.
 """
 
 from __future__ import annotations
@@ -16,7 +19,13 @@ import sys
 from pathlib import Path
 
 from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline
-from repro.lint.engine import LintEngine, find_repo_root, rule_catalog
+from repro.lint.engine import (
+    CACHE_DIR_NAME,
+    LintEngine,
+    find_repo_root,
+    resolve_jobs,
+    rule_catalog,
+)
 
 __all__ = ["main"]
 
@@ -34,9 +43,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--sarif-file",
+        metavar="PATH",
+        default=None,
+        help="also write a SARIF report to PATH (independent of --format, "
+        "so one run can gate on text output and feed CI code scanning)",
     )
     parser.add_argument(
         "--baseline",
@@ -51,6 +67,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record the current findings as the new baseline and exit 0",
     )
     parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="rewrite the baseline file with stale fingerprints removed",
+    )
+    parser.add_argument(
         "--select",
         metavar="CODES",
         default=None,
@@ -58,8 +79,25 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="lint only files git reports changed against REF "
+        "(default HEAD: working-tree changes, for pre-commit; CI passes "
+        "the PR base ref to lint exactly the PR's files)",
+    )
+    parser.add_argument(
+        "--jobs",
+        metavar="N",
+        default="1",
+        help="worker processes for the per-file phase: a number, or "
+        "'auto' for the CPU count (default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
         action="store_true",
-        help="lint only files modified per git (for pre-commit hooks)",
+        help=f"disable the {CACHE_DIR_NAME}/ content-hash result cache",
     )
     parser.add_argument(
         "--strict-baseline",
@@ -82,10 +120,10 @@ def _list_rules() -> int:
     return 0
 
 
-def _changed_files(root: Path) -> list[Path]:
-    """Python files git considers modified/added vs HEAD (plus untracked)."""
+def _changed_files(root: Path, ref: str) -> list[Path]:
+    """Python files git reports changed against *ref* (plus untracked)."""
     out = subprocess.run(
-        ["git", "diff", "--name-only", "--diff-filter=ACMR", "HEAD"],
+        ["git", "diff", "--name-only", "--diff-filter=ACMR", ref],
         cwd=root,
         capture_output=True,
         text=True,
@@ -115,13 +153,24 @@ def main(argv: list[str] | None = None) -> int:
     root = find_repo_root(anchor if anchor.is_dir() else anchor.parent)
     select = args.select.split(",") if args.select else None
     try:
-        engine = LintEngine(root=root, select=select)
+        jobs = resolve_jobs(args.jobs)
+    except ValueError:
+        print(f"error: invalid --jobs value {args.jobs!r}", file=sys.stderr)
+        return 2
+    cache_dir = None if args.no_cache else root / CACHE_DIR_NAME
+    try:
+        engine = LintEngine(root=root, select=select, jobs=jobs, cache_dir=cache_dir)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    if args.changed:
-        paths = _changed_files(root)
+    if args.changed is not None:
+        try:
+            paths = _changed_files(root, args.changed)
+        except subprocess.CalledProcessError as exc:
+            message = (exc.stderr or "").strip() or f"git diff against {args.changed!r} failed"
+            print(f"error: {message}", file=sys.stderr)
+            return 2
     elif args.paths:
         paths = [Path(p) for p in args.paths]
     else:
@@ -138,10 +187,28 @@ def main(argv: list[str] | None = None) -> int:
     baseline = Baseline.load(baseline_path)
     new, grandfathered, stale = baseline.filter(findings)
 
-    from repro.lint.reporting import render_json, render_text
+    if args.prune_baseline and stale:
+        for fingerprint in stale:
+            del baseline.fingerprints[fingerprint]
+        baseline.save(baseline_path)
+        print(
+            f"pruned {len(stale)} stale entr{'y' if len(stale) == 1 else 'ies'} "
+            f"from {baseline_path}",
+            file=sys.stderr,
+        )
+        stale = []
 
-    renderer = render_json if args.format == "json" else render_text
-    print(renderer(new, grandfathered, stale))
+    from repro.lint.reporting import render_json, render_sarif, render_text
+
+    if args.sarif_file:
+        sarif = render_sarif(new, grandfathered, engine.rules)
+        Path(args.sarif_file).write_text(sarif + "\n", encoding="utf-8")
+    if args.format == "sarif":
+        print(render_sarif(new, grandfathered, engine.rules))
+    elif args.format == "json":
+        print(render_json(new, grandfathered, stale))
+    else:
+        print(render_text(new, grandfathered, stale))
     if new:
         return 1
     if stale and args.strict_baseline:

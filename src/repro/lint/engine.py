@@ -1,19 +1,44 @@
-"""File loading, the rule registry, and the single-pass AST visitor.
+"""File loading, the rule registry, and the two-phase analysis driver.
 
-Every rule declares the AST node types it cares about; the engine parses
-each file once and dispatches nodes to the interested rules in a single
-pre-order walk (parents before children, which rules such as DET004's
-``json.loads(json.dumps(...))`` exemption rely on).  Findings are
-filtered through the file's inline suppressions before being returned.
+Phase 1 — **per-file rules**: every rule declares the AST node types it
+cares about; the engine parses each file once and dispatches nodes to
+the interested rules in a single pre-order walk (parents before
+children, which rules such as DET004's ``json.loads(json.dumps(...))``
+exemption rely on).  The :class:`FileContext` a rule sees now carries
+the file's :class:`~repro.lint.project.ModuleInfo` summary, so import
+resolution is shared with the whole-program model instead of each rule
+re-walking the tree.  Per-file results are a pure function of the
+file's bytes and the rule set, which makes two accelerations sound:
+a content-hash result cache (:mod:`repro.lint.cache`) and
+multiprocessing fan-out across files (``jobs > 1``).
+
+Phase 2 — **project rules**: rules with :attr:`LintRule.project_wide`
+set run once in the main process against a repo-wide
+:class:`~repro.lint.project.ProjectModel` (itself content-hash cached),
+regardless of how few files were selected for phase 1 — a cross-module
+check needs the whole repo as context even when linting one file.
+
+Findings from both phases are filtered through each file's inline
+suppressions before being returned.
 """
 
 from __future__ import annotations
 
 import ast
+import os
 from collections.abc import Iterable, Iterator, Sequence
 from pathlib import Path
+from typing import Callable
 
+from repro.lint.cache import CACHE_VERSION, ResultCache
 from repro.lint.findings import Finding
+from repro.lint.project import (
+    ModelCache,
+    ModuleInfo,
+    ProjectModel,
+    content_hash,
+    extract_module,
+)
 from repro.lint.suppressions import Suppressions
 
 __all__ = [
@@ -25,21 +50,47 @@ __all__ = [
     "find_repo_root",
     "iter_python_files",
     "lint_paths",
+    "resolve_jobs",
 ]
 
 #: Code used for files the engine cannot parse at all.
 PARSE_ERROR_CODE = "LINT000"
 
+#: Directory (under the repo root) holding the model and result caches.
+CACHE_DIR_NAME = ".lint-cache"
+
+#: Directories (relative to the repo root) the project model always
+#: covers, so cross-module checks see the whole repo even when only a
+#: subset of files is being linted.
+MODEL_SCOPE = ("src", "tests", "examples", "benchmarks", "scripts")
+
 
 class FileContext:
-    """Everything a rule may need about the file under analysis."""
+    """Everything a per-file rule may need about the file under analysis."""
 
-    def __init__(self, path: Path, rel_path: str, source: str, tree: ast.Module):
+    def __init__(
+        self, path: Path, rel_path: str, source: str, tree: ast.Module
+    ) -> None:
         self.path = path
         self.rel_path = rel_path
         self.source = source
         self.tree = tree
         self.lines = source.splitlines()
+        self._module_info: ModuleInfo | None = None
+
+    @property
+    def module_info(self) -> ModuleInfo:
+        """The file's whole-program summary (computed once, on demand).
+
+        Import edges here are resolved to absolute dotted modules —
+        including relative imports — which is what
+        ``_ImportTrackingRule`` and the project model both consume.
+        """
+        if self._module_info is None:
+            self._module_info = extract_module(
+                self.rel_path, self.source, self.tree
+            )
+        return self._module_info
 
     def source_line(self, lineno: int) -> str:
         """The stripped text of 1-based *lineno* ('' when out of range)."""
@@ -51,11 +102,15 @@ class FileContext:
 class LintRule:
     """Base class for one lint rule.
 
-    Subclasses set :attr:`code`, :attr:`title`, :attr:`hint` and
+    Per-file rules set :attr:`code`, :attr:`title`, :attr:`hint` and
     :attr:`node_types`, override :meth:`visit` (and optionally
     :meth:`begin_file` / :meth:`end_file`), and register themselves with
     :func:`register_rule`.  Rules are instantiated fresh for every run,
     so per-file state in ``begin_file`` is safe.
+
+    Whole-program rules set :attr:`project_wide` and override
+    :meth:`check_project` instead; they run once per engine run, in the
+    main process, after the per-file phase.
     """
 
     code: str = ""
@@ -63,6 +118,8 @@ class LintRule:
     hint: str = ""
     #: AST node classes dispatched to :meth:`visit` (isinstance match).
     node_types: tuple[type[ast.AST], ...] = ()
+    #: True for rules that run once against the whole project model.
+    project_wide: bool = False
 
     def applies_to(self, rel_path: str) -> bool:
         """Whether this rule runs on the file at repo-relative *rel_path*."""
@@ -77,6 +134,21 @@ class LintRule:
 
     def end_file(self, ctx: FileContext) -> Iterator[Finding]:
         """Yield findings that need the whole file to have been walked."""
+        return iter(())
+
+    def check_project(
+        self,
+        project: ProjectModel,
+        lint_files: frozenset[str],
+        source_line_for: Callable[[str, int], str],
+    ) -> Iterator[Finding]:
+        """Yield whole-program findings (``project_wide`` rules only).
+
+        *lint_files* is the set of repo-relative paths in this run;
+        findings must stay within it so ``--changed`` runs do not blame
+        files the user never asked about.  *source_line_for* fetches the
+        stripped source text for fingerprints.
+        """
         return iter(())
 
     def finding(
@@ -111,6 +183,7 @@ def register_rule(cls: type[LintRule]) -> type[LintRule]:
 def rule_catalog() -> tuple[LintRule, ...]:
     """Fresh instances of every registered rule, ordered by code."""
     import repro.lint.rules  # noqa: F401  (registers the built-in rules)
+    import repro.lint.rules_program  # noqa: F401  (whole-program rules)
 
     return tuple(_RULES[code]() for code in sorted(_RULES))
 
@@ -152,6 +225,37 @@ def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
                 yield resolved
 
 
+def resolve_jobs(value: str | int) -> int:
+    """``--jobs`` semantics: a positive int, or ``auto`` = CPU count."""
+    if isinstance(value, int):
+        return max(1, value)
+    if value.strip().lower() == "auto":
+        return os.cpu_count() or 1
+    return max(1, int(value))
+
+
+# -- worker-process plumbing -------------------------------------------------
+#
+# Each worker builds one engine at pool start (initializer) and reuses
+# it for every file it lints; results cross the pipe as plain dicts.
+
+_WORKER_ENGINE: "LintEngine | None" = None
+
+
+def _worker_init(root: str, select: tuple[str, ...] | None) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = LintEngine(
+        root=Path(root), select=list(select) if select else None
+    )
+
+
+def _worker_lint(task: tuple[str, str]) -> tuple[str, list[dict[str, object]]]:
+    path_str, rel = task
+    assert _WORKER_ENGINE is not None
+    findings = _WORKER_ENGINE.lint_file(Path(path_str))
+    return rel, [finding.to_payload() for finding in findings]
+
+
 class LintEngine:
     """Runs a rule set over files and returns suppression-filtered findings."""
 
@@ -160,6 +264,9 @@ class LintEngine:
         root: Path | None = None,
         rules: Sequence[LintRule] | None = None,
         select: Sequence[str] | None = None,
+        *,
+        jobs: int = 1,
+        cache_dir: Path | None = None,
     ) -> None:
         self.root = (root or find_repo_root(Path.cwd())).resolve()
         catalog = tuple(rules) if rules is not None else rule_catalog()
@@ -170,6 +277,9 @@ class LintEngine:
                 raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
             catalog = tuple(r for r in catalog if r.code in wanted)
         self.rules = catalog
+        self.jobs = max(1, jobs)
+        self.cache_dir = cache_dir
+        self._select = tuple(sorted(select)) if select else None
 
     def rel_path(self, path: Path) -> str:
         """Repo-relative ``/``-separated path (absolute when outside root)."""
@@ -179,10 +289,18 @@ class LintEngine:
         except ValueError:
             return resolved.as_posix()
 
+    def rules_signature(self) -> str:
+        """Cache signature: engine cache version + active rule codes."""
+        codes = ",".join(sorted(rule.code for rule in self.rules))
+        return f"{CACHE_VERSION}:{codes}"
+
     def lint_file(self, path: Path) -> list[Finding]:
-        """All (non-suppressed) findings for one file."""
+        """All (non-suppressed) per-file findings for one file."""
         rel = self.rel_path(path)
         source = path.read_text(encoding="utf-8")
+        return self._lint_source(path, rel, source)
+
+    def _lint_source(self, path: Path, rel: str, source: str) -> list[Finding]:
         try:
             tree = ast.parse(source, filename=str(path))
         except SyntaxError as exc:
@@ -201,7 +319,11 @@ class LintEngine:
                 )
             ]
         ctx = FileContext(path, rel, source, tree)
-        active = [rule for rule in self.rules if rule.applies_to(rel)]
+        active = [
+            rule
+            for rule in self.rules
+            if not rule.project_wide and rule.applies_to(rel)
+        ]
         if not active:
             return []
         findings: list[Finding] = []
@@ -217,12 +339,116 @@ class LintEngine:
         kept = [f for f in findings if not suppressions.covers(f.code, f.line)]
         return sorted(kept, key=Finding.sort_key)
 
+    # -- the two-phase driver ------------------------------------------------
     def lint(self, paths: Sequence[Path]) -> list[Finding]:
         """All findings across *paths* (files or directories), sorted."""
+        files = list(iter_python_files(paths))
+        sources: dict[str, str] = {}
+        hashes: dict[str, str] = {}
+        order: list[tuple[Path, str]] = []
+        for path in files:
+            rel = self.rel_path(path)
+            if rel in sources:
+                continue
+            source = path.read_text(encoding="utf-8")
+            sources[rel] = source
+            hashes[rel] = content_hash(source)
+            order.append((path, rel))
+
+        cache: ResultCache | None = None
+        if self.cache_dir is not None:
+            cache = ResultCache(
+                self.cache_dir / "results.json", self.rules_signature()
+            )
+
         findings: list[Finding] = []
-        for path in iter_python_files(paths):
-            findings.extend(self.lint_file(path))
+        pending: list[tuple[Path, str]] = []
+        for path, rel in order:
+            cached = cache.get(rel, hashes[rel]) if cache is not None else None
+            if cached is not None:
+                findings.extend(cached)
+            else:
+                pending.append((path, rel))
+
+        if self.jobs > 1 and len(pending) > 1:
+            results = self._lint_parallel(pending)
+        else:
+            results = {
+                rel: self._lint_source(path, rel, sources[rel])
+                for path, rel in pending
+            }
+        for path, rel in pending:
+            file_findings = results[rel]
+            findings.extend(file_findings)
+            if cache is not None:
+                cache.put(rel, hashes[rel], file_findings)
+        if cache is not None:
+            cache.save()
+
+        findings.extend(self._project_findings(files, sources))
         return sorted(findings, key=Finding.sort_key)
+
+    def _lint_parallel(
+        self, pending: Sequence[tuple[Path, str]]
+    ) -> dict[str, list[Finding]]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        tasks = [(str(path), rel) for path, rel in pending]
+        workers = min(self.jobs, len(tasks))
+        chunksize = max(1, len(tasks) // (workers * 4))
+        results: dict[str, list[Finding]] = {}
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(str(self.root), self._select),
+        ) as pool:
+            for rel, payloads in pool.map(_worker_lint, tasks, chunksize=chunksize):
+                results[rel] = [Finding.from_payload(p) for p in payloads]
+        return results
+
+    def _project_findings(
+        self, files: Sequence[Path], sources: dict[str, str]
+    ) -> list[Finding]:
+        project_rules = [rule for rule in self.rules if rule.project_wide]
+        if not project_rules:
+            return []
+        model = self._build_model(files)
+        lint_files = frozenset(sources)
+
+        def source_line_for(rel: str, lineno: int) -> str:
+            lines = sources.get(rel, "").splitlines()
+            if 1 <= lineno <= len(lines):
+                return lines[lineno - 1].strip()
+            return ""
+
+        suppressions: dict[str, Suppressions] = {}
+        kept: list[Finding] = []
+        for rule in project_rules:
+            for finding in rule.check_project(model, lint_files, source_line_for):
+                supp = suppressions.get(finding.path)
+                if supp is None:
+                    supp = Suppressions.parse(sources.get(finding.path, ""))
+                    suppressions[finding.path] = supp
+                if not supp.covers(finding.code, finding.line):
+                    kept.append(finding)
+        return kept
+
+    def _build_model(self, lint_targets: Sequence[Path]) -> ProjectModel:
+        """The repo-wide model: standard scope dirs plus the linted files."""
+        scope = [
+            self.root / name
+            for name in MODEL_SCOPE
+            if (self.root / name).is_dir()
+        ]
+        model_files = list(iter_python_files(scope))
+        known = set(model_files)
+        model_files.extend(p for p in lint_targets if p not in known)
+        model_cache = (
+            ModelCache(self.cache_dir / "model.json")
+            if self.cache_dir is not None
+            else None
+        )
+        return ProjectModel.build(self.root, model_files, cache=model_cache)
 
 
 def lint_paths(
@@ -230,7 +456,9 @@ def lint_paths(
     *,
     root: Path | None = None,
     select: Sequence[str] | None = None,
+    jobs: int = 1,
+    cache_dir: Path | None = None,
 ) -> list[Finding]:
     """Convenience wrapper: lint *paths* with the full built-in rule set."""
-    engine = LintEngine(root=root, select=select)
+    engine = LintEngine(root=root, select=select, jobs=jobs, cache_dir=cache_dir)
     return engine.lint([Path(p) for p in paths])

@@ -59,3 +59,32 @@ class Finding:
             "hint": self.hint,
             "fingerprint": self.fingerprint,
         }
+
+    def to_payload(self) -> dict[str, object]:
+        """Lossless form for worker IPC and the on-disk result cache.
+
+        Unlike :meth:`to_dict` this keeps :attr:`source_line`, so a
+        finding revived from the cache still fingerprints identically.
+        """
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "hint": self.hint,
+            "source_line": self.source_line,
+        }
+
+    @classmethod
+    def from_payload(cls, data: dict[str, object]) -> "Finding":
+        """Inverse of :meth:`to_payload`."""
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[call-overload]
+            col=int(data["col"]),  # type: ignore[call-overload]
+            code=str(data["code"]),
+            message=str(data["message"]),
+            hint=str(data.get("hint", "")),
+            source_line=str(data.get("source_line", "")),
+        )

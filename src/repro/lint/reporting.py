@@ -1,9 +1,14 @@
-"""Text and JSON reporters for lint runs.
+"""Text, JSON and SARIF reporters for lint runs.
 
-Both reporters are deterministic: findings arrive pre-sorted from the
-engine and the JSON form is emitted with sorted keys, so a lint report
-can itself be diffed byte-for-byte across runs (the same discipline
-DET004 demands of the simulator's own exports).
+All reporters are deterministic: findings arrive pre-sorted from the
+engine and the JSON/SARIF forms are emitted with sorted keys, so a lint
+report can itself be diffed byte-for-byte across runs (the same
+discipline DET004 demands of the simulator's own exports).
+
+The SARIF output targets GitHub code scanning: one run, the rule
+catalog under ``tool.driver.rules``, new findings at level ``error``
+and baselined ones carried along with an ``external`` suppression so
+the annotation history stays complete without failing the gate.
 """
 
 from __future__ import annotations
@@ -11,10 +16,14 @@ from __future__ import annotations
 import json
 from collections import Counter
 from collections.abc import Sequence
+from typing import Any, TYPE_CHECKING
 
 from repro.lint.findings import Finding
 
-__all__ = ["render_text", "render_json"]
+if TYPE_CHECKING:
+    from repro.lint.engine import LintRule
+
+__all__ = ["render_text", "render_json", "render_sarif"]
 
 
 def render_text(
@@ -53,5 +62,86 @@ def render_json(
             "stale_baseline_entries": len(stale),
         },
         "stale_baseline_entries": list(stale),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _sarif_result(finding: Finding, *, suppressed: bool) -> dict[str, Any]:
+    message = finding.message
+    if finding.hint:
+        message += f" — fix: {finding.hint}"
+    result: dict[str, Any] = {
+        "ruleId": finding.code,
+        "level": "note" if suppressed else "error",
+        "message": {"text": message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {"reproLint/v1": finding.fingerprint},
+    }
+    if suppressed:
+        result["suppressions"] = [
+            {"kind": "external", "justification": "grandfathered in lint-baseline.json"}
+        ]
+    return result
+
+
+def render_sarif(
+    new: Sequence[Finding],
+    grandfathered: Sequence[Finding],
+    rules: Sequence["LintRule"],
+) -> str:
+    """SARIF 2.1.0 document for CI code-scanning upload.
+
+    New findings are ``error``-level results; baselined ones ride along
+    as suppressed ``note``-level results so the full picture reaches the
+    code-scanning UI without turning the gate red.
+    """
+    rule_entries = [
+        {
+            "id": rule.code,
+            "name": type(rule).__name__,
+            "shortDescription": {"text": rule.title or rule.code},
+            "help": {"text": rule.hint or rule.title or rule.code},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in sorted(rules, key=lambda r: r.code)
+    ]
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "informationUri": "docs/static-analysis.md",
+                        "rules": rule_entries,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": (
+                    [_sarif_result(f, suppressed=False) for f in new]
+                    + [_sarif_result(f, suppressed=True) for f in grandfathered]
+                ),
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -22,16 +22,9 @@ from collections.abc import Iterator
 from repro.lint.engine import FileContext, LintRule, register_rule
 from repro.lint.findings import Finding
 
-__all__ = [
-    "WallClockRule",
-    "GlobalRandomRule",
-    "UnsortedIterationRule",
-    "UnsortedJsonRule",
-    "DerivedFlagRule",
-    "PrivatePeekRule",
-    "MetricNameRule",
-    "ConfigDefaultRule",
-]
+# Deliberately no __all__: rule classes are reached through the
+# register_rule registry (rule_catalog), never imported by name —
+# exporting them here is exactly the dead surface API001 flags.
 
 
 def _under(rel: str, *prefixes: str) -> bool:
@@ -52,25 +45,25 @@ def _dotted(node: ast.AST) -> str | None:
 
 
 class _ImportTrackingRule(LintRule):
-    """Base for rules that must resolve names through the file's imports."""
+    """Base for rules that must resolve names through the file's imports.
+
+    The alias maps are read off the file's
+    :class:`~repro.lint.project.ModuleInfo` summary — the same import
+    resolution the whole-program model uses — so relative imports
+    arrive pre-resolved to absolute dotted modules and every
+    import-aware rule agrees with the project graph.
+    """
 
     def begin_file(self, ctx: FileContext) -> None:
         #: local alias -> imported module path ("np" -> "numpy")
         self.module_alias: dict[str, str] = {}
         #: local name -> (module path, original name) for from-imports
         self.from_names: dict[str, tuple[str, str]] = {}
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    local = alias.asname or alias.name.split(".")[0]
-                    module = alias.name if alias.asname else alias.name.split(".")[0]
-                    self.module_alias[local] = module
-            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
-                for alias in node.names:
-                    if alias.name == "*":
-                        continue
-                    local = alias.asname or alias.name
-                    self.from_names[local] = (node.module, alias.name)
+        for edge in ctx.module_info.imports:
+            if edge.name is None:
+                self.module_alias[edge.alias] = edge.module
+            elif edge.name != "*":
+                self.from_names[edge.alias] = (edge.module, edge.name)
 
     def resolve_call(self, func: ast.AST) -> tuple[str, str] | None:
         """Resolve a call's func to ``(module, dotted_tail)`` via imports.

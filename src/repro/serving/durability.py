@@ -563,7 +563,9 @@ class DurabilityManager:
         return flushed
 
     def maybe_snapshot(
-        self, index: int, state_fn: Callable[[], tuple[dict, dict]]
+        self,
+        index: int,
+        state_fn: Callable[[], tuple[dict[str, Any], dict[str, Any]]],
     ) -> bool:
         """Snapshot + compact the shard if its cadence is due.
 

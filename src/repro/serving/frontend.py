@@ -82,10 +82,13 @@ class ThreadedFrontEnd:
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> None:
-        """Launch the worker threads (idempotent)."""
-        if self._started:
-            return
-        self._started = True
+        """Launch the worker threads (idempotent, thread-safe)."""
+        with self._counter_lock:
+            if self._started:
+                return
+            self._started = True
+        # Thread.start() happens outside the lock: only the winner of
+        # the flag flip above reaches this point.
         for worker in self._workers:
             worker.start()
 
@@ -95,10 +98,13 @@ class ThreadedFrontEnd:
         One sentinel per worker is enqueued *behind* the backlog, so every
         accepted submission is applied before the threads exit.
         """
-        if not self._started or self._stopped:
+        with self._counter_lock:
+            if self._stopped:
+                return
             self._stopped = True
+            started = self._started
+        if not started:
             return
-        self._stopped = True
         for _ in self._workers:
             self._queue.put(_STOP)
         for worker in self._workers:

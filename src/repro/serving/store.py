@@ -322,8 +322,17 @@ class ShardedLocationStore:
 
         Returns the (sorted) node ids whose gates were purged — their
         store-level knowledge now lives only on disk until
-        :meth:`restore_shard` replays it back.
+        :meth:`restore_shard` replays it back.  Under a thread-safe
+        store this must exclude concurrent :meth:`apply` calls: a
+        worker mid-apply could otherwise route into the broker being
+        replaced or resurrect a gate this crash just purged.
         """
+        if self._lock is None:
+            return self._crash_shard(index)
+        with self._lock:
+            return self._crash_shard(index)
+
+    def _crash_shard(self, index: int) -> list[str]:
         if not 0 <= index < self.shard_count:
             raise ValueError(f"no shard {index} in a {self.shard_count}-shard store")
         if index in self._down:
@@ -360,7 +369,24 @@ class ShardedLocationStore:
         restored *conditionally*: a node that reported through another
         shard while this one was down already has a fresher gate, and
         recovery must not regress it.  Returns the replayed entry count.
+
+        Like :meth:`crash_shard`, the whole rebuild holds the store
+        lock when one exists: replay mutates the same gate dict the
+        ingest hot path writes through.
         """
+        if self._lock is None:
+            return self._restore_shard(index, state=state, gates=gates, entries=entries)
+        with self._lock:
+            return self._restore_shard(index, state=state, gates=gates, entries=entries)
+
+    def _restore_shard(
+        self,
+        index: int,
+        *,
+        state: dict[str, Any] | None,
+        gates: dict[str, Any],
+        entries: list[Any],
+    ) -> int:
         if index not in self._down:
             raise ValueError(f"shard {index} is not down")
         broker = self._shards[index]

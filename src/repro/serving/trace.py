@@ -212,7 +212,16 @@ class ColumnarTraceRecorder:
         self._region_ids = list(region_ids)
 
     def __call__(
-        self, lane_name, now, idx, x, y, vx, vy, codes, dth
+        self,
+        lane_name: str,
+        now: float,
+        idx: Any,
+        x: Any,
+        y: Any,
+        vx: Any,
+        vy: Any,
+        codes: Any,
+        dth: Any,
     ) -> None:
         if lane_name != self.lane:
             return
@@ -385,9 +394,9 @@ def record_columnar_trace(
     *,
     lane: str = "adf-1",
     path: str | Path | None = None,
-    campus=None,
-    source=None,
-    kernel=None,
+    campus: Any = None,
+    source: Any = None,
+    kernel: Any = None,
     cluster_mode: str = "exact",
 ) -> tuple[dict[str, Any], list[TraceRecord]]:
     """Record one lane's LU stream through the *columnar* engine.

@@ -1,0 +1,200 @@
+"""DET005 (order-taint into JSON) and API001 (cross-module symbols)."""
+
+from __future__ import annotations
+
+from repro.lint.engine import LintEngine
+
+
+class TestOrderSensitiveExport:
+    def test_direct_comprehension_over_a_dict_view_is_flagged(self, lint_snippet):
+        findings = lint_snippet(
+            "src/repro/experiments/export.py",
+            """
+            import json
+
+            def export(table):
+                return json.dumps([key for key in table.keys()])
+            """,
+            select=["DET005"],
+        )
+        assert [f.code for f in findings] == ["DET005"]
+        assert ".keys()" in findings[0].message
+
+    def test_taint_flows_through_a_local(self, lint_snippet):
+        findings = lint_snippet(
+            "src/repro/serving/export.py",
+            """
+            import json
+
+            def export(gates, fh):
+                rows = [gate for gate in gates.values()]
+                json.dump(rows, fh)
+            """,
+            select=["DET005"],
+        )
+        assert [f.code for f in findings] == ["DET005"]
+
+    def test_taint_crosses_function_boundaries_within_the_module(
+        self, lint_snippet
+    ):
+        findings = lint_snippet(
+            "src/repro/faults/export.py",
+            """
+            import json
+
+            def collect(live):
+                return [node for node in live.keys()]
+
+            def export(live, fh):
+                json.dump(collect(live), fh)
+            """,
+            select=["DET005"],
+        )
+        assert [f.code for f in findings] == ["DET005"]
+        assert "collect" in findings[0].message
+
+    def test_append_inside_a_loop_over_a_set_taints_the_list(self, lint_snippet):
+        findings = lint_snippet(
+            "src/repro/network/export.py",
+            """
+            import json
+
+            def export(nodes):
+                out = []
+                for node in set(nodes):
+                    out.append(node.name)
+                return json.dumps(out)
+            """,
+            select=["DET005"],
+        )
+        assert [f.code for f in findings] == ["DET005"]
+
+    def test_sorted_iteration_is_clean(self, lint_snippet):
+        findings = lint_snippet(
+            "src/repro/experiments/export.py",
+            """
+            import json
+
+            def export(table):
+                return json.dumps([key for key in sorted(table.keys())])
+            """,
+            select=["DET005"],
+        )
+        assert findings == []
+
+    def test_dicts_built_from_unordered_iteration_are_exempt(self, lint_snippet):
+        # DET004 already forces sort_keys on export; key order is fixed
+        # at serialisation time, unlike list element order.
+        findings = lint_snippet(
+            "src/repro/experiments/export.py",
+            """
+            import json
+
+            def export(table):
+                return json.dumps(
+                    {key: 1 for key in table.keys()}, sort_keys=True
+                )
+            """,
+            select=["DET005"],
+        )
+        assert findings == []
+
+    def test_rule_is_scoped_to_export_producing_packages(self, lint_snippet):
+        findings = lint_snippet(
+            "src/repro/analysis/export.py",
+            """
+            import json
+
+            def export(table):
+                return json.dumps([key for key in table.keys()])
+            """,
+            select=["DET005"],
+        )
+        assert findings == []
+
+
+def _lint(root, paths, select=("API001",)):
+    engine = LintEngine(root=root, select=list(select))
+    return engine.lint(paths)
+
+
+class TestCrossModuleSymbols:
+    def test_undefined_from_import_is_flagged(self, fake_repo):
+        root, write = fake_repo
+        write("src/repro/a.py", "def foo(): ...\n")
+        target = write("src/repro/b.py", "from repro.a import bar\n")
+        findings = _lint(root, [target])
+        assert [f.code for f in findings] == ["API001"]
+        assert "'bar'" in findings[0].message
+        assert "repro.a" in findings[0].message
+
+    def test_importing_a_submodule_name_resolves(self, fake_repo):
+        root, write = fake_repo
+        write("src/repro/pkg/__init__.py", "")
+        write("src/repro/pkg/sub.py", "def f(): ...\n")
+        target = write("src/repro/b.py", "from repro.pkg import sub\n")
+        assert _lint(root, [target]) == []
+
+    def test_modules_outside_the_model_stay_silent(self, fake_repo):
+        root, write = fake_repo
+        target = write("src/repro/b.py", "from os.path import join\n")
+        assert _lint(root, [target]) == []
+
+    def test_dead_export_is_flagged(self, fake_repo):
+        root, write = fake_repo
+        target = write(
+            "src/repro/a.py",
+            """
+            __all__ = ["used", "dead"]
+
+            def used(): ...
+
+            def dead(): ...
+            """,
+        )
+        write("src/repro/b.py", "from repro.a import used\n")
+        findings = _lint(root, [target, root / "src" / "repro" / "b.py"])
+        assert [f.code for f in findings] == ["API001"]
+        assert "'dead'" in findings[0].message
+
+    def test_package_init_reexport_lists_are_exempt(self, fake_repo):
+        root, write = fake_repo
+        write("src/repro/pkg/impl.py", "def f(): ...\n")
+        target = write(
+            "src/repro/pkg/__init__.py",
+            '__all__ = ["f"]\nfrom repro.pkg.impl import f\n',
+        )
+        assert _lint(root, [target]) == []
+
+    def test_exports_the_module_itself_uses_are_not_dead(self, fake_repo):
+        root, write = fake_repo
+        target = write(
+            "src/repro/a.py",
+            """
+            __all__ = ["Result"]
+
+            class Result:
+                pass
+
+            def run():
+                return Result()
+            """,
+        )
+        assert _lint(root, [target]) == []
+
+    def test_findings_are_restricted_to_the_linted_set(self, fake_repo):
+        root, write = fake_repo
+        write("src/repro/a.py", '__all__ = ["dead"]\ndef dead(): ...\n')
+        target = write("src/repro/b.py", "X = 1\n")
+        # a.py is in the model (cross-file resolution) but not in the
+        # lint target set, so its dead export is not reported here.
+        assert _lint(root, [target]) == []
+
+    def test_suppression_comments_cover_project_findings(self, fake_repo):
+        root, write = fake_repo
+        write("src/repro/a.py", "def foo(): ...\n")
+        target = write(
+            "src/repro/b.py",
+            "from repro.a import bar  # lint: disable=API001\n",
+        )
+        assert _lint(root, [target]) == []

@@ -73,3 +73,117 @@ class TestEngineIntegration:
                 return time.time()
             """,
         )
+
+
+class TestEdgeCases:
+    """Decorators, comma lists, and suppressions under lock-tracking."""
+
+    def test_multi_code_list_silences_both_findings_on_one_line(
+        self, lint_snippet
+    ):
+        # One line, two rules: a wall-clock read (DET001) written to a
+        # shared attribute without the lock (RACE001).
+        source = """\
+        import threading
+        import time
+
+
+        class Meter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.seen = 0.0
+                self._worker = threading.Thread(target=self._tick)
+
+            def _tick(self):
+                self.seen = time.time(){comment}
+        """
+        both = lint_snippet(
+            "src/repro/serving/meter.py",
+            source.format(comment=""),
+            select=["DET001", "RACE001"],
+        )
+        assert sorted(f.code for f in both) == ["DET001", "RACE001"]
+        assert {f.line for f in both} == {12}
+
+        partial = lint_snippet(
+            "src/repro/serving/meter.py",
+            source.format(comment="  # lint: disable=DET001"),
+            select=["DET001", "RACE001"],
+        )
+        assert [f.code for f in partial] == ["RACE001"]
+
+        silenced = lint_snippet(
+            "src/repro/serving/meter.py",
+            source.format(comment="  # lint: disable=DET001, RACE001"),
+            select=["DET001", "RACE001"],
+        )
+        assert silenced == []
+
+    def test_decorators_do_not_shift_suppression_lines(self, lint_snippet):
+        # Findings anchor to the offending statement, so a suppression
+        # inside a decorated def lands on the same line regardless of
+        # how many decorators sit above it.
+        findings = lint_snippet(
+            "src/repro/experiments/x.py",
+            """\
+            import functools
+            import time
+
+
+            @functools.lru_cache(maxsize=None)
+            @functools.wraps(print)
+            def stamp():
+                return time.time()  # lint: disable=DET001
+            """,
+        )
+        assert findings == []
+
+    def test_decorator_line_comment_does_not_cover_the_body(
+        self, lint_snippet
+    ):
+        # Suppressions are strictly per-line: a comment on the decorator
+        # does not bleed into the function body below it.
+        findings = lint_snippet(
+            "src/repro/experiments/x.py",
+            """\
+            import functools
+            import time
+
+
+            @functools.wraps(print)  # lint: disable=DET001
+            def stamp():
+                return time.time()
+            """,
+        )
+        assert [f.code for f in findings] == ["DET001"]
+
+    def test_suppression_inside_a_with_body_tracks_the_lock_state(
+        self, lint_snippet
+    ):
+        # The suppressed wall-clock read sits *inside* `with self._lock:`;
+        # silencing DET001 there must not perturb the held-locks lattice —
+        # the unlocked write after the block is still flagged.
+        findings = lint_snippet(
+            "src/repro/serving/meter.py",
+            """\
+            import threading
+            import time
+
+
+            class Meter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.seen = 0.0
+                    self.count = 0
+                    self._worker = threading.Thread(target=self._tick)
+
+                def _tick(self):
+                    with self._lock:
+                        self.seen = time.time()  # lint: disable=DET001
+                    self.count += 1
+            """,
+            select=["DET001", "RACE001"],
+        )
+        assert [f.code for f in findings] == ["RACE001"]
+        assert findings[0].line == 15
+        assert "count" in findings[0].message
